@@ -1,0 +1,670 @@
+// Benchmarks regenerating the paper's quantitative claims (experiments
+// C1–C7 and figure F6 in DESIGN.md / EXPERIMENTS.md), plus the ablation
+// benches DESIGN.md calls out. Run with:
+//
+//	go test -bench=. -benchmem .
+package ajanta_test
+
+import (
+	"bytes"
+	"encoding/gob"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/agent"
+	"repro/internal/asl"
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/cred"
+	"repro/internal/domain"
+	"repro/internal/keys"
+	"repro/internal/names"
+	"repro/internal/netsim"
+	"repro/internal/policy"
+	"repro/internal/registry"
+	"repro/internal/resource"
+	"repro/internal/rpcbase"
+	"repro/internal/transfer"
+	"repro/internal/vm"
+)
+
+// --- shared fixtures -----------------------------------------------------
+
+const benchAgentDom = domain.ID(2)
+
+func benchCreds(b *testing.B) (*cred.Credentials, keys.Identity, *keys.Registry) {
+	b.Helper()
+	reg, err := keys.NewRegistry(names.Principal("umn.edu", "ca"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	owner, err := keys.NewIdentity(reg, names.Principal("umn.edu", "alice"), time.Hour)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := cred.Issue(owner, names.Agent("umn.edu", "bench"),
+		names.Principal("umn.edu", "app"), cred.NewRightSet(cred.All), time.Hour, "home")
+	if err != nil {
+		b.Fatal(err)
+	}
+	return &c, owner, reg
+}
+
+func benchCounterDef() *resource.Def {
+	var (
+		mu  sync.Mutex
+		val int64
+	)
+	return &resource.Def{
+		ResourceImpl: resource.ResourceImpl{
+			Name:  names.Resource("umn.edu", "counter"),
+			Owner: names.Principal("umn.edu", "admin"),
+		},
+		Path: "counter",
+		Methods: map[string]resource.Method{
+			"get": func([]vm.Value) (vm.Value, error) {
+				mu.Lock()
+				defer mu.Unlock()
+				return vm.I(val), nil
+			},
+			"add": func(args []vm.Value) (vm.Value, error) {
+				mu.Lock()
+				defer mu.Unlock()
+				val += args[0].Int
+				return vm.I(val), nil
+			},
+		},
+	}
+}
+
+func openPolicy(paths ...string) *policy.Engine {
+	eng := policy.NewEngine()
+	for _, p := range paths {
+		eng.AddRule(policy.Rule{AnyPrincipal: true, Resource: p, Methods: []string{"*"}})
+	}
+	return eng
+}
+
+// --- F6: the resource binding protocol, step by step ----------------------
+
+func BenchmarkF6_BindingSteps(b *testing.B) {
+	creds, _, _ := benchCreds(b)
+	def := benchCounterDef()
+	eng := openPolicy("counter")
+	reg := registry.New()
+	if err := reg.Register(registry.Entry{
+		Name: def.Name, Resource: def, AP: def, OwnerDomain: domain.ServerID,
+	}); err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("step3_registry_lookup", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := reg.Lookup(def.Name); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("step4_getProxy_upcall", func(b *testing.B) {
+		req := resource.Request{Caller: benchAgentDom, Creds: creds, Policy: eng}
+		for i := 0; i < b.N; i++ {
+			if _, err := def.GetProxy(req); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	proxy, err := def.GetProxy(resource.Request{Caller: benchAgentDom, Creds: creds, Policy: eng})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("step6_proxy_invoke", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := proxy.Invoke(benchAgentDom, "get", nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("full_bind_once_then_invoke", func(b *testing.B) {
+		e, _ := reg.Lookup(def.Name)
+		p, err := e.AP.GetProxy(resource.Request{Caller: benchAgentDom, Creds: creds, Policy: eng})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := p.Invoke(benchAgentDom, "get", nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// --- C1: per-invocation cost of the four access-control designs ----------
+
+func benchDesigns(b *testing.B) []baseline.Design {
+	b.Helper()
+	eng := openPolicy("counter")
+	dual := baseline.NewDualEnvDesign(benchCounterDef(), eng)
+	b.Cleanup(dual.Close)
+	return []baseline.Design{
+		baseline.NewProxyDesign(benchCounterDef(), eng),
+		baseline.NewFig5Design(benchCounterDef(), eng),
+		baseline.NewWrapperDesign(benchCounterDef(), eng),
+		baseline.NewSecMgrDesign(benchCounterDef(), eng),
+		dual,
+	}
+}
+
+func BenchmarkC1_AccessDesigns(b *testing.B) {
+	creds, _, _ := benchCreds(b)
+	for _, d := range benchDesigns(b) {
+		b.Run(d.Name(), func(b *testing.B) {
+			acc, err := d.Bind(benchAgentDom, creds)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := acc.Invoke(benchAgentDom, "get", nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- C2: setup-vs-steady-state crossover ----------------------------------
+
+func BenchmarkC2_SetupCrossover(b *testing.B) {
+	creds, _, _ := benchCreds(b)
+	for _, calls := range []int{1, 10, 100, 1000} {
+		for _, d := range benchDesigns(b) {
+			b.Run(fmt.Sprintf("%s/calls=%d", d.Name(), calls), func(b *testing.B) {
+				var dom uint64 = 100 // fresh domain per iteration = fresh binding
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					dom++
+					acc, err := d.Bind(domain.ID(dom), creds)
+					if err != nil {
+						b.Fatal(err)
+					}
+					for k := 0; k < calls; k++ {
+						if _, err := acc.Invoke(domain.ID(dom), "get", nil); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// --- C3: RPC vs REV bytes and time over the simulated network -------------
+
+func BenchmarkC3_RPCvsREVvsAgent(b *testing.B) {
+	const (
+		servers = 3
+		records = 500
+		payload = 128
+	)
+	start := func(b *testing.B) (*netsim.Network, []string) {
+		nw := netsim.NewNetwork()
+		addrs := make([]string, servers)
+		for i := range addrs {
+			addr := fmt.Sprintf("store%d:1", i)
+			l, err := nw.Listen(addr)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(func() { _ = l.Close() })
+			go (&rpcbase.Server{Store: rpcbase.NewStore(records, payload)}).Serve(l)
+			addrs[i] = addr
+		}
+		return nw, addrs
+	}
+	for _, sel := range []struct {
+		name      string
+		threshold int64
+	}{{"sel=10pct", 89}, {"sel=50pct", 49}, {"sel=100pct", -1}} {
+		b.Run("rpc/"+sel.name, func(b *testing.B) {
+			nw, addrs := start(b)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := rpcbase.RPCClient(nw.Dial, addrs, sel.threshold); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(nw.BytesSent())/float64(b.N), "wire-bytes/op")
+		})
+		b.Run("rev/"+sel.name, func(b *testing.B) {
+			nw, addrs := start(b)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := rpcbase.REVClient(nw.Dial, addrs, sel.threshold); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(nw.BytesSent())/float64(b.N), "wire-bytes/op")
+		})
+	}
+}
+
+// BenchmarkC3_AgentLive measures the REAL bytes a mobile agent puts on
+// the (simulated) wire for the same filter workload the RPC/REV benches
+// run: 3 servers x 500 records x 128 B payload. One op = one full tour
+// including secure transfers and homecoming. Compare the
+// wire-bytes/op metric with the rpc/rev benches above.
+func BenchmarkC3_AgentLive(b *testing.B) {
+	const (
+		servers = 3
+		records = 500
+		payload = 128
+	)
+	for _, sel := range []struct {
+		name      string
+		threshold int64
+	}{{"sel=10pct", 89}, {"sel=100pct", -1}} {
+		b.Run("agent/"+sel.name, func(b *testing.B) {
+			p, err := core.NewPlatform("bench.org")
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer p.StopAll()
+			open := []policy.Rule{{AnyPrincipal: true, Resource: "store", Methods: []string{"*"}}}
+			var tour []names.Name
+			scores := make([]int64, records)
+			for i := range scores {
+				scores[i] = int64(i % 100)
+			}
+			pay := string(make([]byte, payload))
+			for i := 0; i < servers; i++ {
+				short := fmt.Sprintf("s%d", i)
+				srv, err := p.StartServer(short, short+":7000",
+					core.ServerConfig{Rules: open, Fuel: 500_000_000})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := core.InstallResource(srv, core.RecordStoreResource(
+					names.Resource("bench.org", "store-"+short), "store", scores, pay)); err != nil {
+					b.Fatal(err)
+				}
+				tour = append(tour, srv.Name())
+			}
+			home, err := p.StartServer("home", "home:7000", core.ServerConfig{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			owner, err := p.NewOwner("bench")
+			if err != nil {
+				b.Fatal(err)
+			}
+			src := fmt.Sprintf(`module c3
+var results = []
+func visit() {
+  var parts = split(server_name(), "/")
+  var short = parts[len(parts) - 1]
+  var st = get_resource("ajanta:resource:bench.org/store-" + short)
+  var hits = invoke(st, "scan", %d)
+  var k = 0
+  while k < len(hits) {
+    results = append(results, invoke(st, "fetch", hits[k]))
+    k = k + 1
+  }
+}`, sel.threshold)
+			p.Net.ResetCounters()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				a, err := p.BuildAgent(core.AgentSpec{
+					Owner:     owner,
+					Name:      fmt.Sprintf("c3-%d-%d", sel.threshold+1, i),
+					Source:    src,
+					Itinerary: agentTour("visit", tour),
+					Home:      home,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				back, err := p.LaunchAndWait(home, a, 60*time.Second)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(back.Log) > 0 {
+					b.Fatalf("agent logged errors: %v", back.Log)
+				}
+			}
+			b.ReportMetric(float64(p.Net.BytesSent())/float64(b.N), "wire-bytes/op")
+		})
+	}
+}
+
+// agentTour builds an itinerary without importing agent in two places.
+func agentTour(entry string, servers []names.Name) agent.Itinerary {
+	return agent.Sequence(entry, servers...)
+}
+
+// --- C4: accounting overhead ----------------------------------------------
+
+func BenchmarkC4_Accounting(b *testing.B) {
+	creds, _, _ := benchCreds(b)
+	eng := openPolicy("counter")
+
+	b.Run("plain_proxy", func(b *testing.B) {
+		def := benchCounterDef()
+		p, err := def.GetProxy(resource.Request{Caller: benchAgentDom, Creds: creds, Policy: eng})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_, _ = p.Invoke(benchAgentDom, "get", nil)
+		}
+	})
+	b.Run("elapsed_metering", func(b *testing.B) {
+		def := benchCounterDef()
+		def.MeterElapsed = true
+		p, err := def.GetProxy(resource.Request{Caller: benchAgentDom, Creds: creds, Policy: eng})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_, _ = p.Invoke(benchAgentDom, "get", nil)
+		}
+	})
+	b.Run("usage_hook", func(b *testing.B) {
+		def := benchCounterDef()
+		var uses uint64
+		def.OnUse = func(domain.ID, string, uint64) { uses++ }
+		p, err := def.GetProxy(resource.Request{Caller: benchAgentDom, Creds: creds, Policy: eng})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_, _ = p.Invoke(benchAgentDom, "get", nil)
+		}
+	})
+	b.Run("direct_call_no_protection", func(b *testing.B) {
+		def := benchCounterDef()
+		fn := def.Methods["get"]
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_, _ = fn(nil)
+		}
+	})
+}
+
+// --- C5: identity-based capability check ----------------------------------
+
+func BenchmarkC5_IdentityCheck(b *testing.B) {
+	creds, _, _ := benchCreds(b)
+	eng := openPolicy("counter")
+	def := benchCounterDef()
+	p, err := def.GetProxy(resource.Request{Caller: benchAgentDom, Creds: creds, Policy: eng})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("holder_passes", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := p.Invoke(benchAgentDom, "get", nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("thief_rejected", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := p.Invoke(domain.ID(99), "get", nil); err == nil {
+				b.Fatal("stolen proxy worked")
+			}
+		}
+	})
+	// Ablation: identify the caller through a shared mutex-guarded
+	// goroutine→domain map instead of the env-carried token.
+	b.Run("ablation_domain_map", func(b *testing.B) {
+		var mu sync.RWMutex
+		m := map[int64]domain.ID{1: benchAgentDom}
+		lookup := func(gid int64) domain.ID {
+			mu.RLock()
+			defer mu.RUnlock()
+			return m[gid]
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			caller := lookup(1)
+			if _, err := p.Invoke(caller, "get", nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// --- C6: revocation --------------------------------------------------------
+
+func BenchmarkC6_Revocation(b *testing.B) {
+	creds, _, _ := benchCreds(b)
+	eng := openPolicy("counter")
+	def := benchCounterDef()
+
+	b.Run("revoke_one_proxy", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			p, err := def.GetProxy(resource.Request{Caller: benchAgentDom, Creds: creds, Policy: eng})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := p.Revoke(domain.ServerID); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("post_revocation_denial", func(b *testing.B) {
+		p, _ := def.GetProxy(resource.Request{Caller: benchAgentDom, Creds: creds, Policy: eng})
+		_ = p.Revoke(domain.ServerID)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := p.Invoke(benchAgentDom, "get", nil); err == nil {
+				b.Fatal("revoked proxy worked")
+			}
+		}
+	})
+	b.Run("selective_disable_enable", func(b *testing.B) {
+		p, _ := def.GetProxy(resource.Request{Caller: benchAgentDom, Creds: creds, Policy: eng})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := p.DisableMethod(domain.ServerID, "get"); err != nil {
+				b.Fatal(err)
+			}
+			if err := p.EnableMethod(domain.ServerID, "get"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// --- C7: transfer security cost ---------------------------------------------
+
+func benchTransferAgent(b *testing.B, reg *keys.Registry, owner keys.Identity, stateBytes int) *agent.Agent {
+	b.Helper()
+	c, err := cred.Issue(owner, names.Agent("umn.edu", "wire"),
+		names.Principal("umn.edu", "app"), cred.NewRightSet(cred.All), time.Hour, "home")
+	if err != nil {
+		b.Fatal(err)
+	}
+	mod, err := asl.Compile("module wire\nfunc main() { return 1 }")
+	if err != nil {
+		b.Fatal(err)
+	}
+	a, err := agent.New(c, "wire", []vm.Module{*mod}, agent.Itinerary{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := make([]byte, stateBytes)
+	a.State["blob"] = vm.S(string(payload))
+	return a
+}
+
+func BenchmarkC7_TransferSecurity(b *testing.B) {
+	_, owner, reg := benchCreds(b)
+	mkEndpoints := func(b *testing.B, plaintext bool) (*transfer.Endpoint, *transfer.Endpoint) {
+		idA, err := keys.NewIdentity(reg, names.Server("umn.edu", "bench-a"+fmt.Sprint(plaintext)), time.Hour)
+		if err != nil {
+			b.Fatal(err)
+		}
+		idB, err := keys.NewIdentity(reg, names.Server("umn.edu", "bench-b"+fmt.Sprint(plaintext)), time.Hour)
+		if err != nil {
+			b.Fatal(err)
+		}
+		v := reg.Verifier()
+		return &transfer.Endpoint{Identity: idA, Verifier: v, Plaintext: plaintext},
+			&transfer.Endpoint{Identity: idB, Verifier: v, Plaintext: plaintext}
+	}
+	for _, mode := range []struct {
+		name      string
+		plaintext bool
+	}{{"secure", false}, {"plaintext_baseline", true}} {
+		for _, size := range []int{1 << 10, 64 << 10} {
+			b.Run(fmt.Sprintf("%s/state=%dKiB", mode.name, size>>10), func(b *testing.B) {
+				sender, receiver := mkEndpoints(b, mode.plaintext)
+				nw := netsim.NewNetwork()
+				l, err := nw.Listen("b:1")
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer l.Close()
+				go func() {
+					for {
+						conn, err := l.Accept()
+						if err != nil {
+							return
+						}
+						_, _ = receiver.ReceiveAgent(conn, nil)
+						conn.Close()
+					}
+				}()
+				a := benchTransferAgent(b, reg, owner, size)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					conn, err := nw.Dial("b:1")
+					if err != nil {
+						b.Fatal(err)
+					}
+					if err := sender.SendAgent(conn, a); err != nil {
+						b.Fatal(err)
+					}
+					conn.Close()
+				}
+				b.ReportMetric(float64(nw.BytesSent())/float64(b.N), "wire-bytes/op")
+			})
+		}
+	}
+}
+
+// --- VM throughput and metering ablation -------------------------------------
+
+func benchVMModule(b *testing.B) *vm.Module {
+	b.Helper()
+	mod, err := asl.Compile(`module bench
+func work(n) {
+  var acc = 0
+  var i = 0
+  while i < n {
+    acc = acc + i * 3 % 7
+    i = i + 1
+  }
+  return acc
+}`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return mod
+}
+
+func BenchmarkVM_Throughput(b *testing.B) {
+	mod := benchVMModule(b)
+	env := vm.NewEnv()
+	env.Meter = vm.NewMeter(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := vm.Run(env, mod, "work", vm.I(1000)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(env.Meter.Used())/float64(b.N), "instrs/op")
+}
+
+func BenchmarkAblation_Metering(b *testing.B) {
+	mod := benchVMModule(b)
+	b.Run("unlimited_meter", func(b *testing.B) {
+		env := vm.NewEnv()
+		env.Meter = vm.NewMeter(0)
+		for i := 0; i < b.N; i++ {
+			if _, err := vm.Run(env, mod, "work", vm.I(1000)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("bounded_meter", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			env := vm.NewEnv()
+			env.Meter = vm.NewMeter(1 << 30)
+			if _, err := vm.Run(env, mod, "work", vm.I(1000)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// --- ablation: enable-set representation -------------------------------------
+
+func BenchmarkAblation_EnableSet(b *testing.B) {
+	methods := []string{"get", "put", "len", "reset", "scan", "fetch", "add", "sub"}
+	b.Run("string_map", func(b *testing.B) {
+		enabled := map[string]bool{"get": true, "add": true}
+		hits := 0
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if enabled[methods[i%len(methods)]] {
+				hits++
+			}
+		}
+	})
+	b.Run("bitmask", func(b *testing.B) {
+		idx := map[string]uint{"get": 0, "put": 1, "len": 2, "reset": 3,
+			"scan": 4, "fetch": 5, "add": 6, "sub": 7}
+		var mask uint64 = 1<<0 | 1<<6
+		hits := 0
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if mask&(1<<idx[methods[i%len(methods)]]) != 0 {
+				hits++
+			}
+		}
+	})
+}
+
+// --- ablation: agent wire encoding -------------------------------------------
+
+func BenchmarkAblation_Encoding(b *testing.B) {
+	_, owner, reg := benchCreds(b)
+	a := benchTransferAgent(b, reg, owner, 8<<10)
+	b.Run("gob", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			var buf bytes.Buffer
+			if err := gob.NewEncoder(&buf).Encode(a); err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(buf.Len()))
+		}
+	})
+	b.Run("json", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			data, err := json.Marshal(a)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(len(data)))
+		}
+	})
+}

@@ -1,0 +1,187 @@
+// Command ajanta-launch compiles an ASL agent and runs it on a
+// freshly assembled in-process platform: a home server plus N plain
+// agent servers connected by the simulated network. It is the quickest
+// way to watch an agent program travel.
+//
+// Usage:
+//
+//	ajanta-launch -servers 3 -entry visit agent.asl
+//
+// The agent's itinerary visits every server in order, running -entry at
+// each; its reports, final state and log are printed on return.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	ajanta "repro"
+)
+
+func main() {
+	nServers := flag.Int("servers", 1, "number of servers on the tour")
+	entry := flag.String("entry", "main", "function to run at each stop")
+	timeout := flag.Duration("timeout", 30*time.Second, "journey timeout")
+	counter := flag.Bool("counter", false, "install an open counter resource on every server")
+	caIn := flag.String("ca-in", "", "cross-process mode: CA state file from ajanta-server -ca-out")
+	peers := flag.String("peers", "", "cross-process mode: \"name=host:port,...\" tour targets")
+	homeAddr := flag.String("home", "127.0.0.1:7199", "cross-process mode: this process's home server address")
+	authorityFlag := flag.String("authority", "example.org", "naming authority")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: ajanta-launch [-servers N] [-entry fn] <agent.asl>")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	if *caIn != "" {
+		launchRemote(*authorityFlag, *caIn, *peers, *homeAddr, *entry, string(src), *timeout)
+		return
+	}
+
+	authority := *authorityFlag
+	p, err := ajanta.NewPlatform(authority)
+	if err != nil {
+		fatal(err)
+	}
+	defer p.StopAll()
+
+	var rules []ajanta.Rule
+	if *counter {
+		rules = []ajanta.Rule{{AnyPrincipal: true, Resource: "counter", Methods: []string{"*"}}}
+	}
+	var tour []ajanta.Name
+	for i := 0; i < *nServers; i++ {
+		short := fmt.Sprintf("s%d", i+1)
+		srv, err := p.StartServer(short, short+":7000", ajanta.ServerConfig{
+			Rules:                   rules,
+			InstalledResourcePolicy: true,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		if *counter {
+			if err := ajanta.InstallResource(srv, ajanta.CounterResource(
+				ajanta.ResourceName(authority, "counter-"+short), "counter")); err != nil {
+				fatal(err)
+			}
+		}
+		tour = append(tour, srv.Name())
+	}
+	home, err := p.StartServer("home", "home:7000", ajanta.ServerConfig{})
+	if err != nil {
+		fatal(err)
+	}
+	owner, err := p.NewOwner("cli-user")
+	if err != nil {
+		fatal(err)
+	}
+	a, err := p.BuildAgent(ajanta.AgentSpec{
+		Owner:     owner,
+		Name:      "cli-agent",
+		Source:    string(src),
+		Itinerary: ajanta.Tour(*entry, tour...),
+		Home:      home,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("launch: %s touring %d servers, entry %q\n", a.Name, *nServers, *entry)
+	back, err := p.LaunchAndWait(home, a, *timeout)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("returned after %d hops\n", back.Hops)
+	if len(back.Results) > 0 {
+		fmt.Println("results:")
+		for _, r := range back.Results {
+			fmt.Println("  ", r)
+		}
+	}
+	if len(back.State) > 0 {
+		fmt.Println("final state:")
+		for k, v := range back.State {
+			fmt.Printf("   %s = %s\n", k, v)
+		}
+	}
+	if len(back.Log) > 0 {
+		fmt.Println("log:")
+		fmt.Println("  " + strings.Join(back.Log, "\n   "))
+	}
+}
+
+// launchRemote sends the agent to servers running in OTHER processes:
+// it imports the shared CA, registers the peers in the name service,
+// runs a local home server over TCP, and launches the agent on a tour
+// of the named peers.
+func launchRemote(authority, caFile, peers, homeAddr, entry, src string, timeout time.Duration) {
+	caData, err := os.ReadFile(caFile)
+	if err != nil {
+		fatal(err)
+	}
+	p, err := ajanta.NewTCPPlatformFromCA(authority, caData)
+	if err != nil {
+		fatal(err)
+	}
+	defer p.StopAll()
+
+	var tour []ajanta.Name
+	for _, pair := range strings.Split(peers, ",") {
+		name, addr, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		if !ok || name == "" {
+			fatal(fmt.Errorf("bad -peers entry %q (want name=host:port)", pair))
+		}
+		if err := p.BindPeer(name, addr); err != nil {
+			fatal(err)
+		}
+		tour = append(tour, ajanta.ServerName(authority, name))
+	}
+	if len(tour) == 0 {
+		fatal(fmt.Errorf("cross-process mode needs -peers"))
+	}
+
+	home, err := p.StartServer("launch-home", homeAddr, ajanta.ServerConfig{})
+	if err != nil {
+		fatal(err)
+	}
+	owner, err := p.NewOwner("cli-user")
+	if err != nil {
+		fatal(err)
+	}
+	a, err := p.BuildAgent(ajanta.AgentSpec{
+		Owner:     owner,
+		Name:      "cli-agent",
+		Source:    src,
+		Itinerary: ajanta.Tour(entry, tour...),
+		Home:      home,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("launch: %s touring %d remote servers, entry %q\n", a.Name, len(tour), entry)
+	back, err := p.LaunchAndWait(home, a, timeout)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("returned after %d hops\n", back.Hops)
+	for _, r := range back.Results {
+		fmt.Println("result:", r)
+	}
+	for k, v := range back.State {
+		fmt.Printf("state:  %s = %s\n", k, v)
+	}
+	for _, l := range back.Log {
+		fmt.Println("log:   ", l)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ajanta-launch:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,223 @@
+// Command ajanta-server runs agent servers.
+//
+// Modes:
+//
+//	ajanta-server -describe
+//	    Start one server and print its Figure-1 component inventory.
+//
+//	ajanta-server -demo
+//	    Stand up a three-server marketplace over real TCP on loopback,
+//	    launch a shopping agent on a tour, and print what it found.
+//
+//	ajanta-server -name alpha -addr 127.0.0.1:7501 -ca-out /tmp/ca.bin \
+//	              -counter -peers "beta=127.0.0.1:7502"
+//	    Run one server over TCP until interrupted. The first server of
+//	    a deployment creates the shared CA (-ca-out); further processes
+//	    join it with -ca-in. -peers pre-binds other processes' servers
+//	    in the local name service so agents can be dispatched to them.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"time"
+
+	ajanta "repro"
+)
+
+func main() {
+	describe := flag.Bool("describe", false, "print the server component inventory and exit")
+	demo := flag.Bool("demo", false, "run the three-server marketplace demo")
+	name := flag.String("name", "s1", "server short name")
+	addr := flag.String("addr", "127.0.0.1:7001", "listen address")
+	authority := flag.String("authority", "example.org", "naming authority")
+	caOut := flag.String("ca-out", "", "create the platform CA and write its (secret) state to this file")
+	caIn := flag.String("ca-in", "", "join an existing deployment: read CA state from this file")
+	peers := flag.String("peers", "", "other processes' servers, \"name=host:port,name=host:port\"")
+	counter := flag.Bool("counter", false, "install an open counter resource named counter-<name>")
+	policyFile := flag.String("policy", "", "security policy file (allow/deny rules; see docs/PROTOCOLS.md)")
+	flag.Parse()
+
+	switch {
+	case *describe:
+		runDescribe(*authority, *name, *addr)
+	case *demo:
+		runDemo(*authority)
+	default:
+		runServer(*authority, *name, *addr, *caOut, *caIn, *peers, *policyFile, *counter)
+	}
+}
+
+// newPlatform builds the process's platform, creating or importing the
+// shared CA as requested.
+func newPlatform(authority, caOut, caIn string) (*ajanta.Platform, error) {
+	if caIn != "" {
+		data, err := os.ReadFile(caIn)
+		if err != nil {
+			return nil, err
+		}
+		return ajanta.NewTCPPlatformFromCA(authority, data)
+	}
+	p, err := ajanta.NewTCPPlatform(authority)
+	if err != nil {
+		return nil, err
+	}
+	if caOut != "" {
+		data, err := p.CA.Export()
+		if err != nil {
+			return nil, err
+		}
+		if err := os.WriteFile(caOut, data, 0o600); err != nil {
+			return nil, err
+		}
+		fmt.Printf("ajanta-server: CA state written to %s (keep it secret)\n", caOut)
+	}
+	return p, nil
+}
+
+// bindPeers parses "name=addr,name=addr" into name-service bindings.
+func bindPeers(p *ajanta.Platform, peers string) error {
+	if peers == "" {
+		return nil
+	}
+	for _, pair := range strings.Split(peers, ",") {
+		name, addr, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		if !ok {
+			return fmt.Errorf("bad -peers entry %q (want name=host:port)", pair)
+		}
+		if err := p.BindPeer(name, addr); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func runDescribe(authority, name, addr string) {
+	p, err := ajanta.NewTCPPlatform(authority)
+	if err != nil {
+		fatal(err)
+	}
+	defer p.StopAll()
+	srv, err := p.StartServer(name, addr, ajanta.ServerConfig{})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(srv.Describe())
+}
+
+func runServer(authority, name, addr, caOut, caIn, peers, policyFile string, counter bool) {
+	p, err := newPlatform(authority, caOut, caIn)
+	if err != nil {
+		fatal(err)
+	}
+	defer p.StopAll()
+	if err := bindPeers(p, peers); err != nil {
+		fatal(err)
+	}
+	cfg := ajanta.ServerConfig{InstalledResourcePolicy: true}
+	if policyFile != "" {
+		text, err := os.ReadFile(policyFile)
+		if err != nil {
+			fatal(err)
+		}
+		rules, err := ajanta.ParseRules(string(text))
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Rules = rules
+	}
+	if counter {
+		cfg.Rules = append(cfg.Rules,
+			ajanta.Rule{AnyPrincipal: true, Resource: "counter", Methods: []string{"*"}})
+	}
+	srv, err := p.StartServer(name, addr, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	if counter {
+		if err := ajanta.InstallResource(srv, ajanta.CounterResource(
+			ajanta.ResourceName(authority, "counter-"+name), "counter")); err != nil {
+			fatal(err)
+		}
+	}
+	fmt.Printf("ajanta-server: %s listening on %s (interrupt to stop)\n", srv.Name(), addr)
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	fmt.Println("\najanta-server: shutting down")
+}
+
+func runDemo(authority string) {
+	p, err := ajanta.NewTCPPlatform(authority)
+	if err != nil {
+		fatal(err)
+	}
+	defer p.StopAll()
+
+	open := []ajanta.Rule{{AnyPrincipal: true, Resource: "quotes", Methods: []string{"*"}}}
+	prices := map[string]int64{"s1": 120, "s2": 95, "s3": 110}
+	var tour []ajanta.Name
+	for i, short := range []string{"s1", "s2", "s3"} {
+		addr := fmt.Sprintf("127.0.0.1:%d", 7101+i)
+		srv, err := p.StartServer(short, addr, ajanta.ServerConfig{Rules: open})
+		if err != nil {
+			fatal(err)
+		}
+		q := ajanta.QuoteResource(ajanta.ResourceName(authority, "quotes-"+short), "quotes",
+			map[string]int64{"widget": prices[short]})
+		if err := ajanta.InstallResource(srv, q); err != nil {
+			fatal(err)
+		}
+		tour = append(tour, srv.Name())
+		fmt.Printf("demo: %s selling widget at %d on %s\n", srv.Name(), prices[short], addr)
+	}
+	home, err := p.StartServer("home", "127.0.0.1:7100", ajanta.ServerConfig{})
+	if err != nil {
+		fatal(err)
+	}
+	owner, err := p.NewOwner("demo-user")
+	if err != nil {
+		fatal(err)
+	}
+	a, err := p.BuildAgent(ajanta.AgentSpec{
+		Owner: owner,
+		Name:  "demo-shopper",
+		Source: fmt.Sprintf(`module shopper
+var best = 999999
+var where = ""
+func visit() {
+  var parts = split(server_name(), "/")
+  var short = parts[len(parts) - 1]
+  var q = get_resource("ajanta:resource:%s/quotes-" + short)
+  var price = invoke(q, "quote", "widget")
+  log("quote: " + str(price))
+  if price != nil && price < best {
+    best = price
+    where = srv
+  }
+}`, authority),
+		Itinerary: ajanta.Tour("visit", tour...),
+		Home:      home,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println("demo: launching shopper on its tour...")
+	back, err := p.LaunchAndWait(home, a, 30*time.Second)
+	if err != nil {
+		fatal(err)
+	}
+	for _, line := range back.Log {
+		fmt.Println("  agent:", line)
+	}
+	fmt.Printf("demo: best price %s at %s after %d hops\n",
+		back.State["best"], back.State["where"].Text(), back.Hops)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ajanta-server:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,77 @@
+// Command aslc compiles Agent Script Language sources to VM modules and
+// inspects the result.
+//
+// Usage:
+//
+//	aslc file.asl            # compile, verify, report
+//	aslc -d file.asl         # compile and print the disassembly
+//	aslc -run main file.asl  # compile and execute a function locally
+//
+// Local execution installs only the pure builtins (len/append/str/...)
+// plus a log host call that prints to stdout; server primitives such as
+// go and get_resource are unavailable outside an agent server.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/asl"
+	"repro/internal/vm"
+)
+
+func main() {
+	dis := flag.Bool("d", false, "print disassembly")
+	run := flag.String("run", "", "execute the named function after compiling")
+	fuel := flag.Uint64("fuel", vm.DefaultFuel, "instruction budget for -run")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: aslc [-d] [-run func] <file.asl>")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	mod, err := asl.Compile(string(src))
+	if err != nil {
+		fatal(err)
+	}
+	if *dis {
+		fmt.Print(mod.Disassemble())
+	}
+	fns := 0
+	for range mod.Fns {
+		fns++
+	}
+	fmt.Fprintf(os.Stderr, "aslc: module %q: %d functions, verified OK\n", mod.Name, fns)
+
+	if *run == "" {
+		return
+	}
+	env := vm.NewEnv()
+	env.Meter = vm.NewMeter(*fuel)
+	env.Resolver = vm.ModuleResolver{M: mod}
+	vm.InstallBuiltins(env)
+	env.Host["log"] = func(args []vm.Value) (vm.Value, error) {
+		for _, a := range args {
+			fmt.Println(a.Text())
+		}
+		return vm.Nil(), nil
+	}
+	if _, err := vm.Run(env, mod, asl.InitFunc); err != nil {
+		fatal(err)
+	}
+	v, err := vm.Run(env, mod, *run)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s() = %s  (%d instructions)\n", *run, v, env.Meter.Used())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "aslc:", err)
+	os.Exit(1)
+}

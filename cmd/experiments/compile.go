@@ -1,0 +1,11 @@
+package main
+
+import (
+	"repro/internal/asl"
+	"repro/internal/vm"
+)
+
+// compileASL isolates the asl dependency for the VM table.
+func compileASL(src string) (*vm.Module, error) {
+	return asl.Compile(src)
+}

@@ -1,0 +1,340 @@
+// Command experiments regenerates the evaluation tables recorded in
+// EXPERIMENTS.md: the per-design access costs (C1/C2), the
+// communication-paradigm comparison and its crossover sweep (C3),
+// accounting and revocation costs (C4/C6), transfer security cost (C7),
+// and VM throughput. Timings use testing.Benchmark, so absolute numbers
+// vary by machine; the *shapes* are what the reproduction asserts.
+//
+//	go run ./cmd/experiments            # everything
+//	go run ./cmd/experiments -only c3   # one experiment
+package main
+
+import (
+	"flag"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/cred"
+	"repro/internal/domain"
+	"repro/internal/keys"
+	"repro/internal/names"
+	"repro/internal/netsim"
+	"repro/internal/policy"
+	"repro/internal/resource"
+	"repro/internal/rpcbase"
+	"repro/internal/vm"
+)
+
+func main() {
+	only := flag.String("only", "", "run a single experiment: c1, c2, c3, c4, c6, vm")
+	flag.Parse()
+	run := func(name string, f func()) {
+		if *only == "" || *only == name {
+			f()
+		}
+	}
+	run("c1", tableC1)
+	run("c2", tableC2)
+	run("c3", tableC3)
+	run("c4", tableC4)
+	run("c6", tableC6)
+	run("vm", tableVM)
+}
+
+// --- shared fixtures -------------------------------------------------------
+
+func fixtures() (*cred.Credentials, *policy.Engine) {
+	reg, err := keys.NewRegistry(names.Principal("umn.edu", "ca"))
+	if err != nil {
+		panic(err)
+	}
+	owner, err := keys.NewIdentity(reg, names.Principal("umn.edu", "alice"), time.Hour)
+	if err != nil {
+		panic(err)
+	}
+	c, err := cred.Issue(owner, names.Agent("umn.edu", "exp"),
+		names.Principal("umn.edu", "app"), cred.NewRightSet(cred.All), time.Hour, "home")
+	if err != nil {
+		panic(err)
+	}
+	eng := policy.NewEngine()
+	eng.AddRule(policy.Rule{AnyPrincipal: true, Resource: "counter", Methods: []string{"*"}})
+	return &c, eng
+}
+
+func counterDef() *resource.Def {
+	var (
+		mu  sync.Mutex
+		val int64
+	)
+	return &resource.Def{
+		ResourceImpl: resource.ResourceImpl{
+			Name:  names.Resource("umn.edu", "counter"),
+			Owner: names.Principal("umn.edu", "admin"),
+		},
+		Path: "counter",
+		Methods: map[string]resource.Method{
+			"get": func([]vm.Value) (vm.Value, error) {
+				mu.Lock()
+				defer mu.Unlock()
+				return vm.I(val), nil
+			},
+		},
+	}
+}
+
+func designs(eng *policy.Engine) []baseline.Design {
+	dual := baseline.NewDualEnvDesign(counterDef(), eng)
+	return []baseline.Design{
+		baseline.NewFig5Design(counterDef(), eng),
+		baseline.NewProxyDesign(counterDef(), eng),
+		baseline.NewWrapperDesign(counterDef(), eng),
+		baseline.NewSecMgrDesign(counterDef(), eng),
+		dual,
+	}
+}
+
+const agentDom = domain.ID(2)
+
+// --- C1 ---------------------------------------------------------------------
+
+func tableC1() {
+	creds, eng := fixtures()
+	fmt.Println("C1: per-invocation access cost by design (§5.4)")
+	fmt.Printf("  %-12s %12s\n", "design", "ns/call")
+	for _, d := range designs(eng) {
+		acc, err := d.Bind(agentDom, creds)
+		if err != nil {
+			panic(err)
+		}
+		r := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := acc.Invoke(agentDom, "get", nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		fmt.Printf("  %-12s %12.1f\n", d.Name(), float64(r.NsPerOp()))
+	}
+	fmt.Println()
+}
+
+// --- C2 ---------------------------------------------------------------------
+
+func tableC2() {
+	creds, eng := fixtures()
+	fmt.Println("C2: total cost of one binding plus K calls (setup crossover)")
+	fmt.Printf("  %-12s", "design")
+	kList := []int{1, 10, 100, 1000}
+	for _, k := range kList {
+		fmt.Printf(" %10s", fmt.Sprintf("K=%d (µs)", k))
+	}
+	fmt.Println()
+	for _, d := range designs(eng) {
+		fmt.Printf("  %-12s", d.Name())
+		for _, k := range kList {
+			var dom uint64 = 1000
+			r := testing.Benchmark(func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					dom++
+					acc, err := d.Bind(domain.ID(dom), creds)
+					if err != nil {
+						b.Fatal(err)
+					}
+					for j := 0; j < k; j++ {
+						if _, err := acc.Invoke(domain.ID(dom), "get", nil); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+			})
+			fmt.Printf(" %10.2f", float64(r.NsPerOp())/1000)
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+}
+
+// --- C3 ---------------------------------------------------------------------
+
+func tableC3() {
+	fmt.Println("C3a: live bytes on the wire, 3 servers x 500 records x 128 B (measured)")
+	fmt.Printf("  %-12s %14s %14s\n", "selectivity", "rpc bytes", "rev bytes")
+	for _, sel := range []struct {
+		label     string
+		threshold int64
+	}{{"1%", 98}, {"10%", 89}, {"50%", 49}, {"100%", -1}} {
+		rpcB := measureLive(func(nw *netsim.Network, addrs []string) {
+			if _, err := rpcbase.RPCClient(nw.Dial, addrs, sel.threshold); err != nil {
+				panic(err)
+			}
+		})
+		revB := measureLive(func(nw *netsim.Network, addrs []string) {
+			if _, err := rpcbase.REVClient(nw.Dial, addrs, sel.threshold); err != nil {
+				panic(err)
+			}
+		})
+		fmt.Printf("  %-12s %14d %14d\n", sel.label, rpcB, revB)
+	}
+
+	fmt.Println("\nC3b: analytic sweep — winner by total bytes and by completion time")
+	fmt.Println("  (5 servers x 1000 records x 256 B, code 4 KiB, header 64 B)")
+	fmt.Printf("  %-12s %-10s %12s %12s %12s %-12s %-12s\n",
+		"selectivity", "latency", "rpc KB", "rev KB", "agent KB", "bytes-winner", "time-winner")
+	for _, sel := range []float64{0.01, 0.05, 0.25, 0.5, 1.0} {
+		for _, lat := range []time.Duration{time.Millisecond, 50 * time.Millisecond} {
+			w := rpcbase.Workload{Servers: 5, Records: 1000, RecSize: 256,
+				Selectivity: sel, CodeSize: 4096, HeaderSize: 64}
+			m := netsim.Model{Latency: lat, Bandwidth: 1 << 20}
+			rpc, rev, ag := rpcbase.RPCCost(w, m), rpcbase.REVCost(w, m), rpcbase.AgentCost(w, m)
+			fmt.Printf("  %-12.2f %-10s %12.1f %12.1f %12.1f %-12s %-12s\n",
+				sel, lat, kb(rpc.Bytes), kb(rev.Bytes), kb(ag.Bytes),
+				winnerBytes(rpc, rev, ag), winnerTime(rpc, rev, ag))
+		}
+	}
+	fmt.Println()
+}
+
+func kb(b uint64) float64 { return float64(b) / 1024 }
+
+func measureLive(f func(nw *netsim.Network, addrs []string)) uint64 {
+	nw := netsim.NewNetwork()
+	addrs := make([]string, 3)
+	for i := range addrs {
+		addr := fmt.Sprintf("s%d:1", i)
+		l, err := nw.Listen(addr)
+		if err != nil {
+			panic(err)
+		}
+		defer l.Close()
+		go (&rpcbase.Server{Store: rpcbase.NewStore(500, 128)}).Serve(l)
+		addrs[i] = addr
+	}
+	nw.ResetCounters()
+	f(nw, addrs)
+	return nw.BytesSent()
+}
+
+func winnerBytes(cs ...rpcbase.Cost) string {
+	best := cs[0]
+	for _, c := range cs[1:] {
+		if c.Bytes < best.Bytes {
+			best = c
+		}
+	}
+	return best.Paradigm
+}
+
+func winnerTime(cs ...rpcbase.Cost) string {
+	best := cs[0]
+	for _, c := range cs[1:] {
+		if c.Time < best.Time {
+			best = c
+		}
+	}
+	return best.Paradigm
+}
+
+// --- C4 ---------------------------------------------------------------------
+
+func tableC4() {
+	creds, eng := fixtures()
+	fmt.Println("C4: proxy accounting overhead")
+	bench := func(def *resource.Def) float64 {
+		p, err := def.GetProxy(resource.Request{Caller: agentDom, Creds: creds, Policy: eng})
+		if err != nil {
+			panic(err)
+		}
+		r := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, _ = p.Invoke(agentDom, "get", nil)
+			}
+		})
+		return float64(r.NsPerOp())
+	}
+	plain := counterDef()
+	metered := counterDef()
+	metered.MeterElapsed = true
+	direct := counterDef()
+	fn := direct.Methods["get"]
+	r := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_, _ = fn(nil)
+		}
+	})
+	fmt.Printf("  %-28s %10.1f ns/call\n", "direct call (no protection)", float64(r.NsPerOp()))
+	fmt.Printf("  %-28s %10.1f ns/call\n", "proxy + invocation counting", bench(plain))
+	fmt.Printf("  %-28s %10.1f ns/call\n", "proxy + elapsed-time metering", bench(metered))
+	fmt.Println()
+}
+
+// --- C6 ---------------------------------------------------------------------
+
+func tableC6() {
+	creds, eng := fixtures()
+	def := counterDef()
+	fmt.Println("C6: revocation operations")
+	r1 := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			p, err := def.GetProxy(resource.Request{Caller: agentDom, Creds: creds, Policy: eng})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := p.Revoke(domain.ServerID); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	p, _ := def.GetProxy(resource.Request{Caller: agentDom, Creds: creds, Policy: eng})
+	_ = p.Revoke(domain.ServerID)
+	r2 := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := p.Invoke(agentDom, "get", nil); err == nil {
+				b.Fatal("revoked proxy worked")
+			}
+		}
+	})
+	fmt.Printf("  %-28s %10.1f ns\n", "grant + revoke one proxy", float64(r1.NsPerOp()))
+	fmt.Printf("  %-28s %10.1f ns\n", "post-revocation denial", float64(r2.NsPerOp()))
+	fmt.Println()
+}
+
+// --- VM ---------------------------------------------------------------------
+
+func tableVM() {
+	fmt.Println("VM: agent interpreter throughput")
+	mod := mustCompile()
+	env := vm.NewEnv()
+	env.Meter = vm.NewMeter(0)
+	r := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := vm.Run(env, mod, "work", vm.I(1000)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	instrs := float64(env.Meter.Used())
+	secs := r.T.Seconds()
+	fmt.Printf("  ~%.1f M instructions/second (loop micro-benchmark)\n\n", instrs/secs/1e6)
+}
+
+func mustCompile() *vm.Module {
+	src := `module bench
+func work(n) {
+  var acc = 0
+  var i = 0
+  while i < n {
+    acc = acc + i * 3 % 7
+    i = i + 1
+  }
+  return acc
+}`
+	mod, err := compileASL(src)
+	if err != nil {
+		panic(err)
+	}
+	return mod
+}

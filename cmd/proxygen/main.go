@@ -1,0 +1,53 @@
+// Command proxygen is the paper's "simple lexical processing tool"
+// (§5.5): it reads a Go source file containing a resource interface and
+// emits the corresponding proxy class in the shape of the paper's
+// Figure 5.
+//
+// Usage:
+//
+//	proxygen -src internal/resource/buffer/buffer.go -iface Buffer [-out buffer_proxy.go]
+//
+// Without -out the generated source is written to stdout. The checked-in
+// internal/resource/buffer/buffer_proxy.go is this tool's output.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/proxygen"
+)
+
+func main() {
+	src := flag.String("src", "", "Go source file containing the resource interface")
+	iface := flag.String("iface", "", "interface name to generate a proxy for")
+	out := flag.String("out", "", "output file (default: stdout)")
+	flag.Parse()
+
+	if *src == "" || *iface == "" {
+		fmt.Fprintln(os.Stderr, "usage: proxygen -src <file.go> -iface <Interface> [-out <file.go>]")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(*src)
+	if err != nil {
+		fatal(err)
+	}
+	generated, err := proxygen.Generate(data, *iface)
+	if err != nil {
+		fatal(err)
+	}
+	if *out == "" {
+		_, _ = os.Stdout.Write(generated)
+		return
+	}
+	if err := os.WriteFile(*out, generated, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "proxygen: wrote %s\n", *out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "proxygen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,19 @@
+# counter.asl — exercises the Figure-6 binding protocol from the CLI.
+#
+#   go run ./cmd/ajanta-launch -servers 2 -entry visit -counter examples/agents/counter.asl
+#
+# Each server is started with an open counter resource named
+# counter-<short>; the agent binds to the local one at every stop.
+
+module counter
+
+var total = 0
+
+func visit() {
+  var parts = split(server_name(), "/")
+  var short = parts[len(parts) - 1]
+  var c = get_resource("ajanta:resource:example.org/counter-" + short)
+  invoke(c, "add", 10)
+  total = total + invoke(c, "get")
+  report("counter at " + short + " = " + str(invoke(c, "get")))
+}

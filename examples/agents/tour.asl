@@ -1,0 +1,15 @@
+# tour.asl — a minimal travelling agent for cmd/ajanta-launch.
+#
+#   go run ./cmd/ajanta-launch -servers 3 -entry visit examples/agents/tour.asl
+#
+# At each server it records where it is and how far it has travelled;
+# the launcher prints the accumulated state when it returns home.
+
+module tour
+
+var trail = []
+
+func visit() {
+  trail = append(trail, server_name())
+  log("hop " + str(hops()) + " as " + agent_name())
+}

@@ -1,0 +1,107 @@
+// Dynamicinstall: §5.5's "dynamic extension of server capabilities".
+//
+// A service provider dispatches an installer agent that carries a
+// dictionary service implemented in its own code bundle. The agent
+// registers the service at the target server and terminates, "leaving
+// the passive resource objects behind". Client agents from a different
+// principal later discover and use the service through the ordinary
+// proxy-request mechanism.
+//
+//	go run ./examples/dynamicinstall
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	ajanta "repro"
+)
+
+const dictService = `module dictsvc
+var table = {
+  "agent": "a program that migrates between servers on a user's behalf",
+  "proxy": "a per-agent protected interface to a resource"
+}
+func define(word) { return table[word] }
+func add(word, meaning) {
+  table[word] = meaning
+  return true
+}
+func size() { return len(table) }`
+
+func main() {
+	p, err := ajanta.NewPlatform("example.org")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer p.StopAll()
+
+	srv, err := p.StartServer("host", "host:7000", ajanta.ServerConfig{
+		// Demo default: dynamically installed resources are open to
+		// all principals; a production server would add rules.
+		InstalledResourcePolicy: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	home, err := p.StartServer("home", "home:7000", ajanta.ServerConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Phase 1: the provider's installer agent plants the service.
+	provider, err := p.NewOwner("provider")
+	if err != nil {
+		log.Fatal(err)
+	}
+	installer, err := p.BuildAgent(ajanta.AgentSpec{
+		Owner: provider,
+		Name:  "installer",
+		Source: `module installer
+func main() {
+  install_resource("ajanta:resource:example.org/dictionary", "dictsvc", "dictionary")
+  log("dictionary service installed")
+}`,
+		ExtraSources: []string{dictService},
+		Itinerary:    ajanta.Tour("main", srv.Name()),
+		Home:         home,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := p.LaunchAndWait(home, installer, 10*time.Second); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("installer done; registry now holds", srv.Registry().Len(), "resource(s)")
+
+	// Phase 2: an unrelated client uses (and extends) the service.
+	client, err := p.NewOwner("client")
+	if err != nil {
+		log.Fatal(err)
+	}
+	user, err := p.BuildAgent(ajanta.AgentSpec{
+		Owner: client,
+		Name:  "dictionary-user",
+		Source: `module user
+func main() {
+  var d = get_resource("ajanta:resource:example.org/dictionary")
+  report(invoke(d, "define", "agent"))
+  invoke(d, "add", "itinerary", "the planned tour of an agent")
+  report(invoke(d, "define", "itinerary"))
+  report(invoke(d, "size"))
+}`,
+		Itinerary: ajanta.Tour("main", srv.Name()),
+		Home:      home,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	back, err := p.LaunchAndWait(home, user, 10*time.Second)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("define(agent)     =", back.Results[0].Text())
+	fmt.Println("define(itinerary) =", back.Results[1].Text())
+	fmt.Println("dictionary size   =", back.Results[2])
+}

@@ -1,0 +1,135 @@
+// Negotiation: two autonomous agents from different owners meet at a
+// marketplace server and haggle through proxy-protected mailboxes —
+// the paper's secure inter-agent communication (§5.1: "communication
+// among co-located agents needs to be established securely") driving a
+// small protocol.
+//
+// The seller agent arrives first, registers its mailbox, and waits for
+// offers. The buyer agent arrives with a budget, opens its own mailbox
+// for replies, and bids upward until the seller accepts or the budget
+// is exhausted. Every message crosses a policy-screened proxy: peers
+// can only send; each agent alone drains its own mailbox.
+//
+//	go run ./examples/negotiation
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	ajanta "repro"
+)
+
+const sellerSrc = `module seller
+var reserve = 80        # private reservation price: never revealed
+var sold = 0
+
+func main() {
+  make_mailbox("ajanta:resource:bazaar.example/seller-box", "seller-box")
+  var buyerBox = nil
+  while sold == 0 {
+    var msg = recv()
+    if msg != nil {
+      # offers look like {"from": <mailbox name>, "bid": n}
+      if buyerBox == nil {
+        buyerBox = get_resource(msg["from"])
+      }
+      if msg["bid"] >= reserve {
+        invoke(buyerBox, "send", {"verdict": "accept", "price": msg["bid"]})
+        sold = 1
+        report("sold at " + str(msg["bid"]))
+      } else {
+        invoke(buyerBox, "send", {"verdict": "reject"})
+      }
+    }
+  }
+}`
+
+const buyerSrc = `module buyer
+var budget = 100
+var step = 15
+var bid = 40
+
+func main() {
+  make_mailbox("ajanta:resource:bazaar.example/buyer-box", "buyer-box")
+  var sellerBox = get_resource("ajanta:resource:bazaar.example/seller-box")
+  while true {
+    invoke(sellerBox, "send", {"from": "ajanta:resource:bazaar.example/buyer-box", "bid": bid})
+    var reply = nil
+    while reply == nil { reply = recv() }
+    if reply["verdict"] == "accept" {
+      report("bought at " + str(reply["price"]))
+      return
+    }
+    bid = bid + step
+    if bid > budget {
+      report("walked away: budget " + str(budget) + " exhausted")
+      return
+    }
+  }
+}`
+
+func main() {
+	p, err := ajanta.NewPlatform("bazaar.example")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer p.StopAll()
+
+	bazaar, err := p.StartServer("bazaar", "bazaar:7000", ajanta.ServerConfig{
+		Fuel: 500_000_000, // both agents busy-wait on their mailboxes
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	home, err := p.StartServer("home", "home:7000", ajanta.ServerConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	sellerOwner, err := p.NewOwner("merchant")
+	if err != nil {
+		log.Fatal(err)
+	}
+	buyerOwner, err := p.NewOwner("collector")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	seller, err := p.BuildAgent(ajanta.AgentSpec{
+		Owner: sellerOwner, Name: "seller",
+		Source:    sellerSrc,
+		Itinerary: ajanta.Tour("main", bazaar.Name()),
+		Home:      home,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sellerCh, err := p.Launch(home, seller)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Wait for the seller's mailbox to be open for business.
+	for bazaar.Registry().Len() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+
+	buyer, err := p.BuildAgent(ajanta.AgentSpec{
+		Owner: buyerOwner, Name: "buyer",
+		Source:    buyerSrc,
+		Itinerary: ajanta.Tour("main", bazaar.Name()),
+		Home:      home,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	buyerBack, err := p.LaunchAndWait(home, buyer, 30*time.Second)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sellerBack := <-sellerCh
+
+	fmt.Println("buyer: ", buyerBack.Results[0].Text())
+	fmt.Println("seller:", sellerBack.Results[0].Text())
+}

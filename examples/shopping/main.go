@@ -1,0 +1,133 @@
+// Shopping: the paper's motivating "on-line shopping" scenario (§1).
+//
+// Five merchants run agent servers, each selling the same catalogue at
+// different prices. A shopping agent tours them all with a budget
+// delegated by its owner, collects quotes *at* each merchant (moving
+// the computation to the data), and returns home with the best offer —
+// while the owner's application is free to do other work (the
+// asynchrony advantage the paper highlights).
+//
+//	go run ./examples/shopping
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	ajanta "repro"
+)
+
+var catalogues = map[string]map[string]int64{
+	"alpha": {"laptop": 2100, "phone": 900, "tablet": 650},
+	"bravo": {"laptop": 1950, "phone": 980},
+	"citra": {"laptop": 2300, "phone": 870, "tablet": 700},
+	"delta": {"phone": 940, "tablet": 610},
+	"echo":  {"laptop": 2050, "phone": 890, "tablet": 680},
+}
+
+func main() {
+	p, err := ajanta.NewPlatform("market.example")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer p.StopAll()
+
+	open := []ajanta.Rule{{AnyPrincipal: true, Resource: "catalogue", Methods: []string{"*"}}}
+	var tour []ajanta.Name
+	for _, merchant := range []string{"alpha", "bravo", "citra", "delta", "echo"} {
+		srv, err := p.StartServer(merchant, merchant+":7000", ajanta.ServerConfig{Rules: open})
+		if err != nil {
+			log.Fatal(err)
+		}
+		q := ajanta.QuoteResource(
+			ajanta.ResourceName("market.example", "catalogue-"+merchant),
+			"catalogue", catalogues[merchant])
+		if err := ajanta.InstallResource(srv, q); err != nil {
+			log.Fatal(err)
+		}
+		tour = append(tour, srv.Name())
+	}
+
+	home, err := p.StartServer("home", "home:7000", ajanta.ServerConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	owner, err := p.NewOwner("shopper")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The shopping list and budget are the agent's initial state; the
+	// best offers accumulate in its globals as it travels.
+	a, err := p.BuildAgent(ajanta.AgentSpec{
+		Owner: owner,
+		Name:  "bargain-hunter",
+		Source: `module shopper
+var wanted = ["laptop", "phone", "tablet"]
+var budget = 3500
+var best = {}       # item -> price
+var seller = {}     # item -> merchant server
+
+func visit() {
+  # merchant short name = server name segment after the last "/"
+  var parts = split(server_name(), "/")
+  var short = parts[len(parts) - 1]
+  var cat = get_resource("ajanta:resource:market.example/catalogue-" + short)
+  var k = 0
+  while k < len(wanted) {
+    var item = wanted[k]
+    var price = invoke(cat, "quote", item)
+    if price != nil {
+      if !contains(best, item) || price < best[item] {
+        best[item] = price
+        seller[item] = short
+      }
+    }
+    k = k + 1
+  }
+  log("visited " + short)
+}
+
+func summarize() {
+  var total = 0
+  var k = 0
+  while k < len(wanted) {
+    var item = wanted[k]
+    if contains(best, item) {
+      total = total + best[item]
+      report(item + ": " + str(best[item]) + " at " + seller[item])
+    } else {
+      report(item + ": unavailable")
+    }
+    k = k + 1
+  }
+  if total <= budget {
+    report("total " + str(total) + " within budget " + str(budget))
+  } else {
+    report("total " + str(total) + " EXCEEDS budget " + str(budget))
+  }
+}`,
+		// Visit every merchant, then come home and summarize there.
+		Itinerary: func() ajanta.Itinerary {
+			it := ajanta.Tour("visit", tour...)
+			it.Stops = append(it.Stops, ajanta.Stop{
+				Servers: []ajanta.Name{home.Name()}, Entry: "summarize"})
+			return it
+		}(),
+		Home: home,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("launching bargain-hunter across", len(tour), "merchants...")
+	back, err := p.LaunchAndWait(home, a, 15*time.Second)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range back.Results {
+		fmt.Println("  ", r.Text())
+	}
+	fmt.Printf("journey: %d hops, %d log lines\n", back.Hops, len(back.Log))
+}

@@ -1,0 +1,53 @@
+package ajanta_test
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestExamplesRun executes every example program end to end and checks
+// a signature line of its output, pinning the README walkthroughs.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples are subprocesses; skipped in -short mode")
+	}
+	cases := []struct {
+		dir  string
+		want string
+	}{
+		{"quickstart", "agent reported: 42"},
+		{"shopping", "within budget"},
+		{"compute", `{"matches": 1800, "sum": 171000}`},
+		{"dynamicinstall", "define(agent)     = a program that migrates"},
+		{"revocation", "full revocation: resource: proxy revoked"},
+		{"negotiation", "bought at 85"},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.dir, func(t *testing.T) {
+			t.Parallel()
+			cmd := exec.Command("go", "run", "./examples/"+c.dir)
+			done := make(chan struct{})
+			var out []byte
+			var err error
+			go func() {
+				out, err = cmd.CombinedOutput()
+				close(done)
+			}()
+			select {
+			case <-done:
+			case <-time.After(120 * time.Second):
+				_ = cmd.Process.Kill()
+				t.Fatal("example timed out")
+			}
+			if err != nil {
+				t.Fatalf("%v\n%s", err, out)
+			}
+			if !strings.Contains(string(out), c.want) {
+				t.Fatalf("output missing %q:\n%s", c.want, out)
+			}
+		})
+	}
+}

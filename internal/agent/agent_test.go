@@ -1,0 +1,160 @@
+package agent
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/asl"
+	"repro/internal/cred"
+	"repro/internal/keys"
+	"repro/internal/names"
+	"repro/internal/vm"
+)
+
+func testCreds(t *testing.T) cred.Credentials {
+	t.Helper()
+	reg, err := keys.NewRegistry(names.Principal("umn.edu", "ca"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner, err := keys.NewIdentity(reg, names.Principal("umn.edu", "alice"), time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := cred.Issue(owner, names.Agent("umn.edu", "a1"),
+		names.Principal("umn.edu", "app"), cred.NewRightSet(cred.All), time.Hour, "home")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func compile(t *testing.T, src string) vm.Module {
+	t.Helper()
+	m, err := asl.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return *m
+}
+
+func TestNewValidatesBundle(t *testing.T) {
+	creds := testCreds(t)
+	if _, err := New(creds, "m", nil, Itinerary{}); err != ErrNoCode {
+		t.Fatalf("got %v", err)
+	}
+	mod := compile(t, "module m\nfunc main() { return 1 }")
+	if _, err := New(creds, "other", []vm.Module{mod}, Itinerary{}); err == nil {
+		t.Fatal("missing main module accepted")
+	}
+	bad := vm.Module{Name: "bad", Fns: []vm.Func{{Name: "f", Code: []vm.Instr{{Op: vm.OpAdd}}}}}
+	if _, err := New(creds, "bad", []vm.Module{bad}, Itinerary{}); err == nil {
+		t.Fatal("unverifiable bundle accepted")
+	}
+	a, err := New(creds, "m", []vm.Module{mod}, Itinerary{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Name != creds.AgentName {
+		t.Fatal("name mismatch")
+	}
+}
+
+func TestItineraryCursor(t *testing.T) {
+	s1 := names.Server("a", "s1")
+	s2 := names.Server("b", "s2")
+	it := Sequence("main", s1, s2)
+	if it.Done() || it.Remaining() != 2 {
+		t.Fatal("fresh itinerary state wrong")
+	}
+	stop, ok := it.Current()
+	if !ok || stop.Servers[0] != s1 || stop.Entry != "main" {
+		t.Fatalf("current = %+v", stop)
+	}
+	it.Advance()
+	stop, ok = it.Current()
+	if !ok || stop.Servers[0] != s2 {
+		t.Fatalf("current = %+v", stop)
+	}
+	it.Advance()
+	if _, ok := it.Current(); ok || !it.Done() || it.Remaining() != 0 {
+		t.Fatal("exhausted itinerary state wrong")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	creds := testCreds(t)
+	mod := compile(t, "module m\nvar x = 5\nfunc main() { return x }")
+	a, err := New(creds, "m", []vm.Module{mod}, Sequence("main", names.Server("a", "s1")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.State["x"] = vm.I(42)
+	a.State["trail"] = vm.L(vm.S("s0"), vm.S("s1"))
+	a.Results = append(a.Results, vm.M(map[string]vm.Value{"price": vm.I(7)}))
+	a.Hops = 3
+	a.Initialized = true
+	a.Log = append(a.Log, "visited s0")
+
+	data, err := a.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Name != a.Name || b.Hops != 3 || !b.Initialized {
+		t.Fatalf("metadata lost: %+v", b)
+	}
+	if !b.State["x"].Equal(vm.I(42)) || !b.State["trail"].Equal(a.State["trail"]) {
+		t.Fatal("state lost")
+	}
+	if len(b.Results) != 1 || !b.Results[0].Equal(a.Results[0]) {
+		t.Fatal("results lost")
+	}
+	if len(b.Code) != 1 || b.Code[0].Name != "m" {
+		t.Fatal("code lost")
+	}
+	if b.Credentials.AgentName != creds.AgentName {
+		t.Fatal("credentials lost")
+	}
+	// The decoded bundle still verifies and runs.
+	if err := vm.VerifyBundle(b.Code); err != nil {
+		t.Fatal(err)
+	}
+	env := vm.NewEnv()
+	env.Globals = b.State
+	v, err := vm.Run(env, &b.Code[0], "main")
+	if err != nil || !v.Equal(vm.I(42)) {
+		t.Fatalf("%v %v", v, err)
+	}
+}
+
+func TestDecodeGarbage(t *testing.T) {
+	if _, err := Decode([]byte("not a gob stream")); err == nil {
+		t.Fatal("garbage decoded")
+	}
+}
+
+func TestSanitizeForTransferStripsHandles(t *testing.T) {
+	creds := testCreds(t)
+	mod := compile(t, "module m\nfunc main() { return 1 }")
+	a, _ := New(creds, "m", []vm.Module{mod}, Itinerary{})
+	a.State["h"] = vm.H(7)
+	a.State["nested"] = vm.L(vm.I(1), vm.H(9), vm.M(map[string]vm.Value{"p": vm.H(3)}))
+	a.State["keep"] = vm.S("data")
+	a.SanitizeForTransfer()
+	if a.State["h"].Kind != vm.KindNil {
+		t.Fatal("top-level handle survived")
+	}
+	if a.State["nested"].List[1].Kind != vm.KindNil {
+		t.Fatal("handle in list survived")
+	}
+	if a.State["nested"].List[2].Map["p"].Kind != vm.KindNil {
+		t.Fatal("handle in map survived")
+	}
+	if !a.State["keep"].Equal(vm.S("data")) {
+		t.Fatal("ordinary state damaged")
+	}
+}

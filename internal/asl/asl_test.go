@@ -1,0 +1,490 @@
+package asl
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/vm"
+)
+
+// run compiles src and executes fn, failing the test on any error.
+func run(t *testing.T, src, fn string, args ...vm.Value) vm.Value {
+	t.Helper()
+	m, err := Compile(src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	env := vm.NewEnv()
+	vm.InstallBuiltins(env)
+	env.Resolver = vm.ModuleResolver{M: m}
+	if _, err := vm.Run(env, m, InitFunc); err != nil {
+		t.Fatalf("init: %v", err)
+	}
+	v, err := vm.Run(env, m, fn, args...)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return v
+}
+
+func expectCompileErr(t *testing.T, src, substr string) {
+	t.Helper()
+	_, err := Compile(src)
+	if err == nil {
+		t.Fatalf("compiled, want error containing %q", substr)
+	}
+	if !strings.Contains(err.Error(), substr) {
+		t.Fatalf("error %q does not mention %q", err, substr)
+	}
+}
+
+func TestArithmeticPrecedence(t *testing.T) {
+	v := run(t, `module t
+func main() { return 2 + 3 * 4 - 10 / 5 }`, "main")
+	if !v.Equal(vm.I(12)) {
+		t.Fatalf("got %v", v)
+	}
+}
+
+func TestParenthesesAndUnary(t *testing.T) {
+	v := run(t, `module t
+func main() { return -(2 + 3) * 2 }`, "main")
+	if !v.Equal(vm.I(-10)) {
+		t.Fatalf("got %v", v)
+	}
+	v = run(t, `module t
+func main() { return !(1 == 2) }`, "main")
+	if !v.Equal(vm.B(true)) {
+		t.Fatalf("got %v", v)
+	}
+}
+
+func TestWhileLoopSum(t *testing.T) {
+	v := run(t, `module t
+func main(n) {
+  var i = 1
+  var acc = 0
+  while i <= n {
+    acc = acc + i
+    i = i + 1
+  }
+  return acc
+}`, "main", vm.I(100))
+	if !v.Equal(vm.I(5050)) {
+		t.Fatalf("got %v", v)
+	}
+}
+
+func TestBreakContinue(t *testing.T) {
+	// Sum odd numbers below 10, stopping at 7.
+	v := run(t, `module t
+func main() {
+  var i = 0
+  var acc = 0
+  while true {
+    i = i + 1
+    if i == 7 { break }
+    if i % 2 == 0 { continue }
+    acc = acc + i
+  }
+  return acc
+}`, "main")
+	if !v.Equal(vm.I(1 + 3 + 5)) {
+		t.Fatalf("got %v", v)
+	}
+}
+
+func TestIfElseChain(t *testing.T) {
+	src := `module t
+func grade(x) {
+  if x >= 90 { return "A" }
+  else if x >= 80 { return "B" }
+  else if x >= 70 { return "C" }
+  else { return "F" }
+}`
+	for _, c := range []struct {
+		in   int64
+		want string
+	}{{95, "A"}, {85, "B"}, {75, "C"}, {10, "F"}} {
+		if v := run(t, src, "grade", vm.I(c.in)); !v.Equal(vm.S(c.want)) {
+			t.Fatalf("grade(%d) = %v", c.in, v)
+		}
+	}
+}
+
+func TestFunctionsAndRecursion(t *testing.T) {
+	v := run(t, `module t
+func fib(n) {
+  if n < 2 { return n }
+  return fib(n - 1) + fib(n - 2)
+}
+func main() { return fib(15) }`, "main")
+	if !v.Equal(vm.I(610)) {
+		t.Fatalf("got %v", v)
+	}
+}
+
+func TestForwardReference(t *testing.T) {
+	v := run(t, `module t
+func main() { return later(5) }
+func later(x) { return x * 2 }`, "main")
+	if !v.Equal(vm.I(10)) {
+		t.Fatalf("got %v", v)
+	}
+}
+
+func TestGlobalsInitAndMutate(t *testing.T) {
+	src := `module t
+var counter = 10
+var name = "agent-" + "007"
+func bump() {
+  counter = counter + 1
+  return counter
+}
+func getname() { return name }`
+	m, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := vm.NewEnv()
+	if _, err := vm.Run(env, m, InitFunc); err != nil {
+		t.Fatal(err)
+	}
+	if !env.Globals["counter"].Equal(vm.I(10)) {
+		t.Fatalf("counter init = %v", env.Globals["counter"])
+	}
+	if v, _ := vm.Run(env, m, "bump"); !v.Equal(vm.I(11)) {
+		t.Fatalf("bump = %v", v)
+	}
+	if v, _ := vm.Run(env, m, "getname"); !v.Equal(vm.S("agent-007")) {
+		t.Fatalf("getname = %v", v)
+	}
+	// State persists in the env, ready to migrate.
+	if !env.Globals["counter"].Equal(vm.I(11)) {
+		t.Fatal("global table not updated")
+	}
+}
+
+func TestListsMapsIndexing(t *testing.T) {
+	v := run(t, `module t
+func main() {
+  var l = [1, 2, 3]
+  l[0] = 10
+  var m = {"a": 1, "b": 2}
+  m["c"] = l[0] + l[2]
+  return m["c"]
+}`, "main")
+	if !v.Equal(vm.I(13)) {
+		t.Fatalf("got %v", v)
+	}
+}
+
+func TestNestedIndexAssignment(t *testing.T) {
+	v := run(t, `module t
+func main() {
+  var grid = [[1, 2], [3, 4]]
+  grid[1][0] = 99
+  return grid[1][0] + grid[0][1]
+}`, "main")
+	if !v.Equal(vm.I(101)) {
+		t.Fatalf("got %v", v)
+	}
+}
+
+func TestLogicalShortCircuit(t *testing.T) {
+	// boom() would trap; short-circuit must avoid calling it.
+	src := `module t
+func boom() { return 1 / 0 }
+func main() {
+  if false && boom() { return "bad" }
+  if true || boom() { return "ok" }
+  return "unreachable"
+}`
+	if v := run(t, src, "main"); !v.Equal(vm.S("ok")) {
+		t.Fatalf("got %v", v)
+	}
+}
+
+func TestLogicalValueSemantics(t *testing.T) {
+	v := run(t, `module t
+func main() { return nil || "default" }`, "main")
+	if !v.Equal(vm.S("default")) {
+		t.Fatalf("got %v", v)
+	}
+	v = run(t, `module t
+func main() { return "x" && "y" }`, "main")
+	if !v.Equal(vm.S("y")) {
+		t.Fatalf("got %v", v)
+	}
+}
+
+func TestBuiltinsFromASL(t *testing.T) {
+	v := run(t, `module t
+func main() {
+  var l = [1, 2]
+  l = append(l, 3)
+  return len(l) + len("abcd")
+}`, "main")
+	if !v.Equal(vm.I(7)) {
+		t.Fatalf("got %v", v)
+	}
+}
+
+func TestHostCallFallback(t *testing.T) {
+	m, err := Compile(`module t
+func main() { return get_quote("widget") }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := vm.NewEnv()
+	env.Host["get_quote"] = func(args []vm.Value) (vm.Value, error) {
+		return vm.I(int64(len(args[0].Str)) * 10), nil
+	}
+	v, err := vm.Run(env, m, "main")
+	if err != nil || !v.Equal(vm.I(60)) {
+		t.Fatalf("%v %v", v, err)
+	}
+}
+
+func TestQualifiedCallCompilesToCallNamed(t *testing.T) {
+	m, err := Compile(`module t
+func main() { return lib:double(21) }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	_, f := m.Fn("main")
+	for _, ins := range f.Code {
+		if ins.Op == vm.OpCallNamed {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no OpCallNamed generated:\n%s", m.Disassemble())
+	}
+}
+
+func TestImplicitReturnNil(t *testing.T) {
+	v := run(t, `module t
+func main() { var x = 3 }`, "main")
+	if !v.Equal(vm.Nil()) {
+		t.Fatalf("got %v", v)
+	}
+	v = run(t, `module t
+func main() { return }`, "main")
+	if !v.Equal(vm.Nil()) {
+		t.Fatalf("got %v", v)
+	}
+}
+
+func TestComments(t *testing.T) {
+	v := run(t, `module t  # the module
+# a full-line comment
+func main() {
+  return 42  # answer
+}`, "main")
+	if !v.Equal(vm.I(42)) {
+		t.Fatalf("got %v", v)
+	}
+}
+
+func TestStringEscapes(t *testing.T) {
+	v := run(t, `module t
+func main() { return "a\nb\t\"c\\" }`, "main")
+	if !v.Equal(vm.S("a\nb\t\"c\\")) {
+		t.Fatalf("got %v", v)
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{`func main() {}`, "expected \"module\""},
+		{`module t
+func main() { return x }`, "undeclared variable"},
+		{`module t
+func main() { x = 1 }`, "assignment to undeclared"},
+		{`module t
+func main() { var a = 1 var a = 2 }`, "duplicate local"},
+		{`module t
+var g = 1
+var g = 2`, "duplicate global"},
+		{`module t
+func f() {}
+func f() {}`, "duplicate function"},
+		{`module t
+func f(a, a) {}`, "duplicate parameter"},
+		{`module t
+func __init__() {}`, "reserved"},
+		{`module t
+func main() { break }`, "break outside loop"},
+		{`module t
+func main() { continue }`, "continue outside loop"},
+		{`module t
+func f(x) { return x }
+func main() { return f(1, 2) }`, "wants 1 args"},
+		{`module t
+func main() { return 1 +`, "unexpected"},
+		{`module t
+func main() { 3 = 4 }`, "invalid assignment target"},
+		{`module t
+func main() { return "unterminated }`, "unterminated string"},
+		{`module t
+func main() { return 12abc }`, "malformed number"},
+		{`module t
+func main() { return "bad\q" }`, "bad escape"},
+		{`module t
+func main() { return $ }`, "unexpected character"},
+		{`module t
+func main() {`, "unterminated block"},
+	}
+	for _, c := range cases {
+		expectCompileErr(t, c.src, c.want)
+	}
+}
+
+func TestMoreParseErrors(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{"module 42", "expected module name"},
+		{"module t\nvar 7 = 1", "expected variable name"},
+		{"module t\nvar x 1", `expected "="`},
+		{"module t\nfunc 9() {}", "expected function name"},
+		{"module t\nfunc f(7) {}", "expected parameter name"},
+		{"module t\nfunc f(a b) {}", `expected ","`},
+		{"module t\nfunc f() { if true { } else 3 }", `expected "{"`},
+		{"module t\nfunc f() { return [1 2] }", `expected ","`},
+		{"module t\nfunc f() { return {1: 2 } }", ""}, // non-str key is a runtime trap, parses fine
+		{"module t\nfunc f() { return {\"a\" 2} }", `expected ":"`},
+		{"module t\nfunc f() { return a[1 }", `expected "]"`},
+		{"module t\nfunc f() { return (1 }", `expected ")"`},
+		{"module t\nfunc f() { return g(1 2) }", `expected ","`},
+		{"module t\nstray", "expected top-level"},
+	}
+	for _, c := range cases {
+		_, err := Compile(c.src)
+		if c.want == "" {
+			if err != nil {
+				t.Errorf("%q: unexpected error %v", c.src, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%q: error %v, want containing %q", c.src, err, c.want)
+		}
+	}
+}
+
+func TestMapLiteralNonStringKeyTraps(t *testing.T) {
+	m, err := Compile("module t\nfunc main() { return {1: 2} }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := vm.NewEnv()
+	if _, err := vm.Run(env, m, "main"); !errors.Is(err, vm.ErrTrap) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestCompileErrorHasLine(t *testing.T) {
+	_, err := Compile("module t\nfunc main() {\n  return x\n}")
+	var aerr *Error
+	if !errors.As(err, &aerr) {
+		t.Fatalf("error type %T", err)
+	}
+	if aerr.Line != 3 {
+		t.Fatalf("line = %d, want 3", aerr.Line)
+	}
+}
+
+// Property test: random arithmetic expressions evaluate identically in
+// the VM and in a direct Go evaluator. This exercises the lexer, parser,
+// code generator, verifier and interpreter end to end.
+type exprGen struct {
+	r     *rand.Rand
+	depth int
+}
+
+func (g *exprGen) gen() (string, int64) {
+	if g.depth > 4 || g.r.Intn(3) == 0 {
+		v := int64(g.r.Intn(100))
+		return sprintInt(v), v
+	}
+	g.depth++
+	defer func() { g.depth-- }()
+	ls, lv := g.gen()
+	rs, rv := g.gen()
+	switch g.r.Intn(4) {
+	case 0:
+		return "(" + ls + " + " + rs + ")", lv + rv
+	case 1:
+		return "(" + ls + " - " + rs + ")", lv - rv
+	case 2:
+		return "(" + ls + " * " + rs + ")", lv * rv
+	default:
+		if rv == 0 {
+			return "(" + ls + " + " + rs + ")", lv + rv
+		}
+		return "(" + ls + " / " + rs + ")", lv / rv
+	}
+}
+
+func sprintInt(v int64) string {
+	if v < 0 {
+		return "(0 - " + sprintInt(-v) + ")"
+	}
+	s := ""
+	if v == 0 {
+		return "0"
+	}
+	for v > 0 {
+		s = string(rune('0'+v%10)) + s
+		v /= 10
+	}
+	return s
+}
+
+func TestQuickExprEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		g := &exprGen{r: rand.New(rand.NewSource(seed))}
+		src, want := g.gen()
+		m, err := Compile("module q\nfunc main() { return " + src + " }")
+		if err != nil {
+			return false
+		}
+		v, err := vm.Run(vm.NewEnv(), m, "main")
+		return err == nil && v.Equal(vm.I(want))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every compiled module passes the verifier (Compile would
+// fail otherwise) and disassembles without panicking.
+func TestQuickCompiledModulesVerify(t *testing.T) {
+	srcs := []string{
+		`module a
+var s = [1, 2, 3]
+func main() { var t = 0 var i = 0 while i < len(s) { t = t + s[i] i = i + 1 } return t }`,
+		`module b
+func f(x, y) { return x % (y + 1) }
+func main() { return f(17, 4) }`,
+		`module c
+var m = {"k": 5}
+func main() { m["k"] = m["k"] * 2 return m["k"] }`,
+	}
+	for _, src := range srcs {
+		m, err := Compile(src)
+		if err != nil {
+			t.Fatalf("%s: %v", src[:8], err)
+		}
+		if err := vm.Verify(m); err != nil {
+			t.Fatalf("verify: %v", err)
+		}
+		if m.Disassemble() == "" {
+			t.Fatal("empty disassembly")
+		}
+	}
+}

@@ -1,0 +1,152 @@
+package asl
+
+// The AST. Nodes carry the source line for error reporting.
+
+type file struct {
+	name    string // module name
+	globals []globalDecl
+	funcs   []funcDecl
+}
+
+type globalDecl struct {
+	line int
+	name string
+	init expr
+}
+
+type funcDecl struct {
+	line   int
+	name   string
+	params []string
+	body   []stmt
+}
+
+// Statements.
+
+type stmt interface{ stmtLine() int }
+
+type varStmt struct {
+	line int
+	name string
+	init expr
+}
+
+type assignStmt struct {
+	line int
+	name string
+	val  expr
+}
+
+type indexAssignStmt struct {
+	line     int
+	agg, idx expr
+	val      expr
+}
+
+type ifStmt struct {
+	line int
+	cond expr
+	then []stmt
+	els  []stmt // nil when absent
+}
+
+type whileStmt struct {
+	line int
+	cond expr
+	body []stmt
+}
+
+type returnStmt struct {
+	line int
+	val  expr // nil = return nil
+}
+
+type breakStmt struct{ line int }
+type continueStmt struct{ line int }
+
+type exprStmt struct {
+	line int
+	e    expr
+}
+
+func (s varStmt) stmtLine() int         { return s.line }
+func (s assignStmt) stmtLine() int      { return s.line }
+func (s indexAssignStmt) stmtLine() int { return s.line }
+func (s ifStmt) stmtLine() int          { return s.line }
+func (s whileStmt) stmtLine() int       { return s.line }
+func (s returnStmt) stmtLine() int      { return s.line }
+func (s breakStmt) stmtLine() int       { return s.line }
+func (s continueStmt) stmtLine() int    { return s.line }
+func (s exprStmt) stmtLine() int        { return s.line }
+
+// Expressions.
+
+type expr interface{ exprLine() int }
+
+type intLit struct {
+	line int
+	val  int64
+}
+
+type strLit struct {
+	line int
+	val  string
+}
+
+type boolLit struct {
+	line int
+	val  bool
+}
+
+type nilLit struct{ line int }
+
+type nameRef struct {
+	line int
+	name string
+}
+
+type listLit struct {
+	line  int
+	elems []expr
+}
+
+type mapLit struct {
+	line int
+	keys []expr
+	vals []expr
+}
+
+type indexExpr struct {
+	line     int
+	agg, idx expr
+}
+
+type callExpr struct {
+	line int
+	name string
+	args []expr
+}
+
+type unaryExpr struct {
+	line int
+	op   string // "-" or "!"
+	x    expr
+}
+
+type binExpr struct {
+	line int
+	op   string
+	l, r expr
+}
+
+func (e intLit) exprLine() int    { return e.line }
+func (e strLit) exprLine() int    { return e.line }
+func (e boolLit) exprLine() int   { return e.line }
+func (e nilLit) exprLine() int    { return e.line }
+func (e nameRef) exprLine() int   { return e.line }
+func (e listLit) exprLine() int   { return e.line }
+func (e mapLit) exprLine() int    { return e.line }
+func (e indexExpr) exprLine() int { return e.line }
+func (e callExpr) exprLine() int  { return e.line }
+func (e unaryExpr) exprLine() int { return e.line }
+func (e binExpr) exprLine() int   { return e.line }

@@ -1,0 +1,380 @@
+package asl
+
+import (
+	"fmt"
+
+	"repro/internal/vm"
+)
+
+// InitFunc is the synthetic function that evaluates module-level `var`
+// initializers. The server runs it exactly once, at first launch; after
+// that the agent's global table is carried state and migrates as data.
+const InitFunc = "__init__"
+
+// Compile compiles ASL source into a verified VM module.
+func Compile(src string) (*vm.Module, error) {
+	f, err := parse(src)
+	if err != nil {
+		return nil, err
+	}
+	c := &compiler{
+		m:       &vm.Module{Name: f.name},
+		globals: make(map[string]bool),
+		funcIdx: make(map[string]int),
+		arity:   make(map[string]int),
+	}
+	for _, g := range f.globals {
+		if c.globals[g.name] {
+			return nil, errf(g.line, "duplicate global %q", g.name)
+		}
+		c.globals[g.name] = true
+	}
+	// Pre-register function indices so forward references compile.
+	for _, fn := range f.funcs {
+		if fn.name == InitFunc {
+			return nil, errf(fn.line, "%s is reserved", InitFunc)
+		}
+		if _, dup := c.funcIdx[fn.name]; dup {
+			return nil, errf(fn.line, "duplicate function %q", fn.name)
+		}
+		c.funcIdx[fn.name] = len(c.m.Fns)
+		c.arity[fn.name] = len(fn.params)
+		c.m.Fns = append(c.m.Fns, vm.Func{Name: fn.name, NParams: len(fn.params)})
+	}
+	// __init__ goes last so user function indices are stable.
+	initIdx := len(c.m.Fns)
+	c.m.Fns = append(c.m.Fns, vm.Func{Name: InitFunc})
+
+	for i, fn := range f.funcs {
+		compiled, err := c.compileFunc(fn)
+		if err != nil {
+			return nil, err
+		}
+		c.m.Fns[i] = compiled
+	}
+	initFn, err := c.compileInit(f.globals)
+	if err != nil {
+		return nil, err
+	}
+	c.m.Fns[initIdx] = initFn
+
+	if err := vm.Verify(c.m); err != nil {
+		// A verifier rejection of compiler output is a compiler bug;
+		// surface it loudly rather than shipping a broken module.
+		return nil, fmt.Errorf("asl: internal error: generated code failed verification: %w", err)
+	}
+	return c.m, nil
+}
+
+type compiler struct {
+	m       *vm.Module
+	globals map[string]bool
+	funcIdx map[string]int
+	arity   map[string]int
+}
+
+// fnCompiler holds per-function state.
+type fnCompiler struct {
+	c      *compiler
+	code   []vm.Instr
+	locals map[string]int
+	nloc   int
+	// loop patch stacks for break/continue.
+	breaks    [][]int
+	contTargs []int
+}
+
+func (c *compiler) compileFunc(fn funcDecl) (vm.Func, error) {
+	fc := &fnCompiler{c: c, locals: make(map[string]int)}
+	for _, p := range fn.params {
+		if _, dup := fc.locals[p]; dup {
+			return vm.Func{}, errf(fn.line, "duplicate parameter %q", p)
+		}
+		fc.locals[p] = fc.nloc
+		fc.nloc++
+	}
+	if err := fc.stmts(fn.body); err != nil {
+		return vm.Func{}, err
+	}
+	// Implicit `return nil` at the end of every function.
+	fc.emit(vm.Instr{Op: vm.OpPushNil})
+	fc.emit(vm.Instr{Op: vm.OpReturn})
+	return vm.Func{Name: fn.name, NParams: len(fn.params), NLocals: fc.nloc, Code: fc.code}, nil
+}
+
+func (c *compiler) compileInit(globals []globalDecl) (vm.Func, error) {
+	fc := &fnCompiler{c: c, locals: make(map[string]int)}
+	for _, g := range globals {
+		if err := fc.expr(g.init); err != nil {
+			return vm.Func{}, err
+		}
+		fc.emit(vm.Instr{Op: vm.OpStoreGlobal, A: c.m.InternStr(g.name)})
+	}
+	fc.emit(vm.Instr{Op: vm.OpPushNil})
+	fc.emit(vm.Instr{Op: vm.OpReturn})
+	return vm.Func{Name: InitFunc, NLocals: fc.nloc, Code: fc.code}, nil
+}
+
+func (fc *fnCompiler) emit(i vm.Instr) int {
+	fc.code = append(fc.code, i)
+	return len(fc.code) - 1
+}
+
+func (fc *fnCompiler) patch(at int, target int) {
+	fc.code[at].A = int32(target)
+}
+
+func (fc *fnCompiler) here() int { return len(fc.code) }
+
+func (fc *fnCompiler) stmts(ss []stmt) error {
+	for _, s := range ss {
+		if err := fc.stmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (fc *fnCompiler) stmt(s stmt) error {
+	switch st := s.(type) {
+	case varStmt:
+		if _, dup := fc.locals[st.name]; dup {
+			return errf(st.line, "duplicate local %q", st.name)
+		}
+		if err := fc.expr(st.init); err != nil {
+			return err
+		}
+		slot := fc.nloc
+		fc.nloc++
+		fc.locals[st.name] = slot
+		fc.emit(vm.Instr{Op: vm.OpStoreLocal, A: int32(slot)})
+		return nil
+	case assignStmt:
+		if err := fc.expr(st.val); err != nil {
+			return err
+		}
+		if slot, ok := fc.locals[st.name]; ok {
+			fc.emit(vm.Instr{Op: vm.OpStoreLocal, A: int32(slot)})
+			return nil
+		}
+		if fc.c.globals[st.name] {
+			fc.emit(vm.Instr{Op: vm.OpStoreGlobal, A: fc.c.m.InternStr(st.name)})
+			return nil
+		}
+		return errf(st.line, "assignment to undeclared variable %q", st.name)
+	case indexAssignStmt:
+		if err := fc.expr(st.agg); err != nil {
+			return err
+		}
+		if err := fc.expr(st.idx); err != nil {
+			return err
+		}
+		if err := fc.expr(st.val); err != nil {
+			return err
+		}
+		fc.emit(vm.Instr{Op: vm.OpSetIndex})
+		fc.emit(vm.Instr{Op: vm.OpPop})
+		return nil
+	case ifStmt:
+		if err := fc.expr(st.cond); err != nil {
+			return err
+		}
+		jz := fc.emit(vm.Instr{Op: vm.OpJumpIfFalse})
+		if err := fc.stmts(st.then); err != nil {
+			return err
+		}
+		if st.els == nil {
+			fc.patch(jz, fc.here())
+			return nil
+		}
+		jend := fc.emit(vm.Instr{Op: vm.OpJump})
+		fc.patch(jz, fc.here())
+		if err := fc.stmts(st.els); err != nil {
+			return err
+		}
+		fc.patch(jend, fc.here())
+		return nil
+	case whileStmt:
+		top := fc.here()
+		if err := fc.expr(st.cond); err != nil {
+			return err
+		}
+		jz := fc.emit(vm.Instr{Op: vm.OpJumpIfFalse})
+		fc.breaks = append(fc.breaks, nil)
+		fc.contTargs = append(fc.contTargs, top)
+		if err := fc.stmts(st.body); err != nil {
+			return err
+		}
+		fc.emit(vm.Instr{Op: vm.OpJump, A: int32(top)})
+		end := fc.here()
+		fc.patch(jz, end)
+		for _, b := range fc.breaks[len(fc.breaks)-1] {
+			fc.patch(b, end)
+		}
+		fc.breaks = fc.breaks[:len(fc.breaks)-1]
+		fc.contTargs = fc.contTargs[:len(fc.contTargs)-1]
+		return nil
+	case returnStmt:
+		if st.val == nil {
+			fc.emit(vm.Instr{Op: vm.OpPushNil})
+		} else if err := fc.expr(st.val); err != nil {
+			return err
+		}
+		fc.emit(vm.Instr{Op: vm.OpReturn})
+		return nil
+	case breakStmt:
+		if len(fc.breaks) == 0 {
+			return errf(st.line, "break outside loop")
+		}
+		at := fc.emit(vm.Instr{Op: vm.OpJump})
+		fc.breaks[len(fc.breaks)-1] = append(fc.breaks[len(fc.breaks)-1], at)
+		return nil
+	case continueStmt:
+		if len(fc.contTargs) == 0 {
+			return errf(st.line, "continue outside loop")
+		}
+		fc.emit(vm.Instr{Op: vm.OpJump, A: int32(fc.contTargs[len(fc.contTargs)-1])})
+		return nil
+	case exprStmt:
+		if err := fc.expr(st.e); err != nil {
+			return err
+		}
+		fc.emit(vm.Instr{Op: vm.OpPop})
+		return nil
+	default:
+		return errf(s.stmtLine(), "unknown statement type %T", s)
+	}
+}
+
+var binOps = map[string]vm.Opcode{
+	"+": vm.OpAdd, "-": vm.OpSub, "*": vm.OpMul, "/": vm.OpDiv, "%": vm.OpMod,
+	"==": vm.OpEq, "!=": vm.OpNe, "<": vm.OpLt, "<=": vm.OpLe, ">": vm.OpGt, ">=": vm.OpGe,
+}
+
+func (fc *fnCompiler) expr(e expr) error {
+	switch ex := e.(type) {
+	case intLit:
+		fc.emit(vm.Instr{Op: vm.OpPushInt, A: fc.c.m.InternInt(ex.val)})
+	case strLit:
+		fc.emit(vm.Instr{Op: vm.OpPushStr, A: fc.c.m.InternStr(ex.val)})
+	case boolLit:
+		if ex.val {
+			fc.emit(vm.Instr{Op: vm.OpPushTrue})
+		} else {
+			fc.emit(vm.Instr{Op: vm.OpPushFalse})
+		}
+	case nilLit:
+		fc.emit(vm.Instr{Op: vm.OpPushNil})
+	case nameRef:
+		if slot, ok := fc.locals[ex.name]; ok {
+			fc.emit(vm.Instr{Op: vm.OpLoadLocal, A: int32(slot)})
+		} else if fc.c.globals[ex.name] {
+			fc.emit(vm.Instr{Op: vm.OpLoadGlobal, A: fc.c.m.InternStr(ex.name)})
+		} else {
+			return errf(ex.line, "undeclared variable %q", ex.name)
+		}
+	case listLit:
+		for _, el := range ex.elems {
+			if err := fc.expr(el); err != nil {
+				return err
+			}
+		}
+		fc.emit(vm.Instr{Op: vm.OpMakeList, A: int32(len(ex.elems))})
+	case mapLit:
+		for i := range ex.keys {
+			if err := fc.expr(ex.keys[i]); err != nil {
+				return err
+			}
+			if err := fc.expr(ex.vals[i]); err != nil {
+				return err
+			}
+		}
+		fc.emit(vm.Instr{Op: vm.OpMakeMap, A: int32(len(ex.keys))})
+	case indexExpr:
+		if err := fc.expr(ex.agg); err != nil {
+			return err
+		}
+		if err := fc.expr(ex.idx); err != nil {
+			return err
+		}
+		fc.emit(vm.Instr{Op: vm.OpIndex})
+	case unaryExpr:
+		if err := fc.expr(ex.x); err != nil {
+			return err
+		}
+		if ex.op == "-" {
+			fc.emit(vm.Instr{Op: vm.OpNeg})
+		} else {
+			fc.emit(vm.Instr{Op: vm.OpNot})
+		}
+	case binExpr:
+		return fc.binExpr(ex)
+	case callExpr:
+		return fc.callExpr(ex)
+	default:
+		return errf(e.exprLine(), "unknown expression type %T", e)
+	}
+	return nil
+}
+
+func (fc *fnCompiler) binExpr(ex binExpr) error {
+	// Short-circuit logical operators keep the left value as the
+	// result when it decides the outcome (truthy semantics).
+	if ex.op == "&&" || ex.op == "||" {
+		if err := fc.expr(ex.l); err != nil {
+			return err
+		}
+		fc.emit(vm.Instr{Op: vm.OpDup})
+		var j int
+		if ex.op == "&&" {
+			j = fc.emit(vm.Instr{Op: vm.OpJumpIfFalse})
+		} else {
+			j = fc.emit(vm.Instr{Op: vm.OpJumpIfTrue})
+		}
+		fc.emit(vm.Instr{Op: vm.OpPop})
+		if err := fc.expr(ex.r); err != nil {
+			return err
+		}
+		fc.patch(j, fc.here())
+		return nil
+	}
+	if err := fc.expr(ex.l); err != nil {
+		return err
+	}
+	if err := fc.expr(ex.r); err != nil {
+		return err
+	}
+	op, ok := binOps[ex.op]
+	if !ok {
+		return errf(ex.line, "unknown operator %q", ex.op)
+	}
+	fc.emit(vm.Instr{Op: op})
+	return nil
+}
+
+// callExpr resolves calls in this order: same-module function →
+// qualified "module:function" (namespace call) → host function. The
+// host-call fallback is what binds agent programs to the server API.
+func (fc *fnCompiler) callExpr(ex callExpr) error {
+	for _, a := range ex.args {
+		if err := fc.expr(a); err != nil {
+			return err
+		}
+	}
+	if idx, ok := fc.c.funcIdx[ex.name]; ok {
+		if want := fc.c.arity[ex.name]; want != len(ex.args) {
+			return errf(ex.line, "%s wants %d args, got %d", ex.name, want, len(ex.args))
+		}
+		fc.emit(vm.Instr{Op: vm.OpCall, A: int32(idx), B: int32(len(ex.args))})
+		return nil
+	}
+	nameIdx := fc.c.m.InternStr(ex.name)
+	for _, r := range ex.name {
+		if r == ':' {
+			fc.emit(vm.Instr{Op: vm.OpCallNamed, A: nameIdx, B: int32(len(ex.args))})
+			return nil
+		}
+	}
+	fc.emit(vm.Instr{Op: vm.OpHostCall, A: nameIdx, B: int32(len(ex.args))})
+	return nil
+}

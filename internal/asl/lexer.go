@@ -1,0 +1,189 @@
+// Package asl implements the Agent Script Language: the source language
+// mobile agents are written in. It stands in for Java in the original
+// system — the paper's agents are programs whose code travels with them;
+// ASL compiles to internal/vm bytecode, which is what actually migrates.
+//
+// The language is deliberately small: ints, strings, bools, nil, lists
+// and maps; functions; `var`, assignment, `if`/`else`, `while`,
+// `return`, `break`, `continue`. Module-level `var` declarations are the
+// agent's *state* — they are compiled into a synthetic `__init__`
+// function executed once at launch, and thereafter the global table
+// migrates with the agent. Unresolved calls compile to host calls, which
+// is how agent code reaches the server API (`go`, `get_resource`,
+// `invoke`, `log`, ...).
+package asl
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokKind classifies tokens.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokInt
+	tokStr
+	tokPunct   // operators and delimiters
+	tokKeyword // module var func if else while return break continue true false nil
+)
+
+var keywords = map[string]bool{
+	"module": true, "var": true, "func": true, "if": true, "else": true,
+	"while": true, "return": true, "break": true, "continue": true,
+	"true": true, "false": true, "nil": true,
+}
+
+type token struct {
+	kind tokKind
+	text string
+	line int
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+// Error is a source-position-annotated compilation error.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("asl: line %d: %s", e.Line, e.Msg) }
+
+func errf(line int, format string, args ...any) error {
+	return &Error{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// twoCharPunct lists multi-character operators, longest-match-first.
+var twoCharPunct = []string{"==", "!=", "<=", ">=", "&&", "||"}
+
+// lex splits src into tokens. '#' starts a comment to end of line.
+func lex(src string) ([]token, error) {
+	var toks []token
+	line := 1
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '#':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case c == '"':
+			start := line
+			var sb strings.Builder
+			i++
+			for {
+				if i >= len(src) {
+					return nil, errf(start, "unterminated string")
+				}
+				ch := src[i]
+				if ch == '"' {
+					i++
+					break
+				}
+				if ch == '\n' {
+					return nil, errf(start, "newline in string")
+				}
+				if ch == '\\' {
+					i++
+					if i >= len(src) {
+						return nil, errf(start, "unterminated escape")
+					}
+					switch src[i] {
+					case 'n':
+						sb.WriteByte('\n')
+					case 't':
+						sb.WriteByte('\t')
+					case '"':
+						sb.WriteByte('"')
+					case '\\':
+						sb.WriteByte('\\')
+					default:
+						return nil, errf(line, "bad escape \\%c", src[i])
+					}
+					i++
+					continue
+				}
+				sb.WriteByte(ch)
+				i++
+			}
+			toks = append(toks, token{tokStr, sb.String(), start})
+		case c >= '0' && c <= '9':
+			start := i
+			for i < len(src) && src[i] >= '0' && src[i] <= '9' {
+				i++
+			}
+			if i < len(src) && (isIdentChar(src[i])) {
+				return nil, errf(line, "malformed number %q", src[start:i+1])
+			}
+			toks = append(toks, token{tokInt, src[start:i], line})
+		case isIdentStart(c):
+			start := i
+			for i < len(src) && isIdentChar(src[i]) {
+				i++
+			}
+			word := src[start:i]
+			// module-qualified call names like lib:fn are a single
+			// identifier token when the colon is followed by an ident.
+			if i+1 < len(src) && src[i] == ':' && isIdentStart(src[i+1]) {
+				i++
+				qstart := i
+				for i < len(src) && isIdentChar(src[i]) {
+					i++
+				}
+				word = word + ":" + src[qstart:i]
+			}
+			kind := tokIdent
+			if keywords[word] {
+				kind = tokKeyword
+			}
+			toks = append(toks, token{kind, word, line})
+		default:
+			matched := false
+			for _, p := range twoCharPunct {
+				if strings.HasPrefix(src[i:], p) {
+					toks = append(toks, token{tokPunct, p, line})
+					i += len(p)
+					matched = true
+					break
+				}
+			}
+			if matched {
+				continue
+			}
+			if strings.ContainsRune("+-*/%()[]{},=<>!:", rune(c)) {
+				toks = append(toks, token{tokPunct, string(c), line})
+				i++
+				continue
+			}
+			if unicode.IsPrint(rune(c)) {
+				return nil, errf(line, "unexpected character %q", c)
+			}
+			return nil, errf(line, "unexpected byte 0x%02x", c)
+		}
+	}
+	toks = append(toks, token{tokEOF, "", line})
+	return toks, nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentChar(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9')
+}

@@ -1,0 +1,386 @@
+package asl
+
+import "strconv"
+
+// parser is a recursive-descent parser with precedence climbing for
+// binary expressions.
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) accept(kind tokKind, text string) bool {
+	t := p.cur()
+	if t.kind == kind && t.text == text {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind tokKind, text string) (token, error) {
+	t := p.cur()
+	if t.kind == kind && t.text == text {
+		p.pos++
+		return t, nil
+	}
+	return t, errf(t.line, "expected %q, found %s", text, t)
+}
+
+func parse(src string) (*file, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	if _, err := p.expect(tokKeyword, "module"); err != nil {
+		return nil, err
+	}
+	nameTok := p.next()
+	if nameTok.kind != tokIdent {
+		return nil, errf(nameTok.line, "expected module name, found %s", nameTok)
+	}
+	f := &file{name: nameTok.text}
+	for p.cur().kind != tokEOF {
+		t := p.cur()
+		switch {
+		case t.kind == tokKeyword && t.text == "var":
+			p.pos++
+			g, err := p.parseGlobal(t.line)
+			if err != nil {
+				return nil, err
+			}
+			f.globals = append(f.globals, g)
+		case t.kind == tokKeyword && t.text == "func":
+			p.pos++
+			fn, err := p.parseFunc(t.line)
+			if err != nil {
+				return nil, err
+			}
+			f.funcs = append(f.funcs, fn)
+		default:
+			return nil, errf(t.line, "expected top-level var or func, found %s", t)
+		}
+	}
+	return f, nil
+}
+
+func (p *parser) parseGlobal(line int) (globalDecl, error) {
+	nameTok := p.next()
+	if nameTok.kind != tokIdent {
+		return globalDecl{}, errf(nameTok.line, "expected variable name, found %s", nameTok)
+	}
+	if _, err := p.expect(tokPunct, "="); err != nil {
+		return globalDecl{}, err
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return globalDecl{}, err
+	}
+	return globalDecl{line: line, name: nameTok.text, init: e}, nil
+}
+
+func (p *parser) parseFunc(line int) (funcDecl, error) {
+	nameTok := p.next()
+	if nameTok.kind != tokIdent {
+		return funcDecl{}, errf(nameTok.line, "expected function name, found %s", nameTok)
+	}
+	if _, err := p.expect(tokPunct, "("); err != nil {
+		return funcDecl{}, err
+	}
+	var params []string
+	for !p.accept(tokPunct, ")") {
+		if len(params) > 0 {
+			if _, err := p.expect(tokPunct, ","); err != nil {
+				return funcDecl{}, err
+			}
+		}
+		pt := p.next()
+		if pt.kind != tokIdent {
+			return funcDecl{}, errf(pt.line, "expected parameter name, found %s", pt)
+		}
+		params = append(params, pt.text)
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return funcDecl{}, err
+	}
+	return funcDecl{line: line, name: nameTok.text, params: params, body: body}, nil
+}
+
+func (p *parser) parseBlock() ([]stmt, error) {
+	if _, err := p.expect(tokPunct, "{"); err != nil {
+		return nil, err
+	}
+	var out []stmt
+	for !p.accept(tokPunct, "}") {
+		if p.cur().kind == tokEOF {
+			return nil, errf(p.cur().line, "unterminated block")
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+func (p *parser) parseStmt() (stmt, error) {
+	t := p.cur()
+	if t.kind == tokKeyword {
+		switch t.text {
+		case "var":
+			p.pos++
+			g, err := p.parseGlobal(t.line) // same shape: name = expr
+			if err != nil {
+				return nil, err
+			}
+			return varStmt{line: g.line, name: g.name, init: g.init}, nil
+		case "if":
+			p.pos++
+			return p.parseIf(t.line)
+		case "while":
+			p.pos++
+			cond, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			body, err := p.parseBlock()
+			if err != nil {
+				return nil, err
+			}
+			return whileStmt{line: t.line, cond: cond, body: body}, nil
+		case "return":
+			p.pos++
+			// `return` directly followed by `}` returns nil.
+			if p.cur().kind == tokPunct && p.cur().text == "}" {
+				return returnStmt{line: t.line}, nil
+			}
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			return returnStmt{line: t.line, val: e}, nil
+		case "break":
+			p.pos++
+			return breakStmt{line: t.line}, nil
+		case "continue":
+			p.pos++
+			return continueStmt{line: t.line}, nil
+		}
+	}
+	// assignment or expression statement
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.accept(tokPunct, "=") {
+		val, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		switch lhs := e.(type) {
+		case nameRef:
+			return assignStmt{line: lhs.line, name: lhs.name, val: val}, nil
+		case indexExpr:
+			return indexAssignStmt{line: lhs.line, agg: lhs.agg, idx: lhs.idx, val: val}, nil
+		default:
+			return nil, errf(t.line, "invalid assignment target")
+		}
+	}
+	return exprStmt{line: t.line, e: e}, nil
+}
+
+func (p *parser) parseIf(line int) (stmt, error) {
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	then, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	var els []stmt
+	if p.accept(tokKeyword, "else") {
+		if p.cur().kind == tokKeyword && p.cur().text == "if" {
+			elifTok := p.next()
+			nested, err := p.parseIf(elifTok.line)
+			if err != nil {
+				return nil, err
+			}
+			els = []stmt{nested}
+		} else {
+			els, err = p.parseBlock()
+			if err != nil {
+				return nil, err
+			}
+			if els == nil {
+				els = []stmt{}
+			}
+		}
+	}
+	return ifStmt{line: line, cond: cond, then: then, els: els}, nil
+}
+
+// Binary operator precedence, loosest first.
+var precedence = map[string]int{
+	"||": 1,
+	"&&": 2,
+	"==": 3, "!=": 3,
+	"<": 4, "<=": 4, ">": 4, ">=": 4,
+	"+": 5, "-": 5,
+	"*": 6, "/": 6, "%": 6,
+}
+
+func (p *parser) parseExpr() (expr, error) { return p.parseBin(1) }
+
+func (p *parser) parseBin(minPrec int) (expr, error) {
+	lhs, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		if t.kind != tokPunct {
+			return lhs, nil
+		}
+		prec, ok := precedence[t.text]
+		if !ok || prec < minPrec {
+			return lhs, nil
+		}
+		p.pos++
+		rhs, err := p.parseBin(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = binExpr{line: t.line, op: t.text, l: lhs, r: rhs}
+	}
+}
+
+func (p *parser) parseUnary() (expr, error) {
+	t := p.cur()
+	if t.kind == tokPunct && (t.text == "-" || t.text == "!") {
+		p.pos++
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return unaryExpr{line: t.line, op: t.text, x: x}, nil
+	}
+	return p.parsePostfix()
+}
+
+func (p *parser) parsePostfix() (expr, error) {
+	e, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		if t.kind == tokPunct && t.text == "[" {
+			p.pos++
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokPunct, "]"); err != nil {
+				return nil, err
+			}
+			e = indexExpr{line: t.line, agg: e, idx: idx}
+			continue
+		}
+		return e, nil
+	}
+}
+
+func (p *parser) parsePrimary() (expr, error) {
+	t := p.next()
+	switch {
+	case t.kind == tokInt:
+		v, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, errf(t.line, "bad integer %q", t.text)
+		}
+		return intLit{line: t.line, val: v}, nil
+	case t.kind == tokStr:
+		return strLit{line: t.line, val: t.text}, nil
+	case t.kind == tokKeyword && t.text == "true":
+		return boolLit{line: t.line, val: true}, nil
+	case t.kind == tokKeyword && t.text == "false":
+		return boolLit{line: t.line, val: false}, nil
+	case t.kind == tokKeyword && t.text == "nil":
+		return nilLit{line: t.line}, nil
+	case t.kind == tokIdent:
+		if p.cur().kind == tokPunct && p.cur().text == "(" {
+			p.pos++
+			var args []expr
+			for !p.accept(tokPunct, ")") {
+				if len(args) > 0 {
+					if _, err := p.expect(tokPunct, ","); err != nil {
+						return nil, err
+					}
+				}
+				a, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				args = append(args, a)
+			}
+			return callExpr{line: t.line, name: t.text, args: args}, nil
+		}
+		return nameRef{line: t.line, name: t.text}, nil
+	case t.kind == tokPunct && t.text == "(":
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case t.kind == tokPunct && t.text == "[":
+		var elems []expr
+		for !p.accept(tokPunct, "]") {
+			if len(elems) > 0 {
+				if _, err := p.expect(tokPunct, ","); err != nil {
+					return nil, err
+				}
+			}
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			elems = append(elems, e)
+		}
+		return listLit{line: t.line, elems: elems}, nil
+	case t.kind == tokPunct && t.text == "{":
+		var keys, vals []expr
+		for !p.accept(tokPunct, "}") {
+			if len(keys) > 0 {
+				if _, err := p.expect(tokPunct, ","); err != nil {
+					return nil, err
+				}
+			}
+			k, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokPunct, ":"); err != nil {
+				return nil, err
+			}
+			v, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			keys = append(keys, k)
+			vals = append(vals, v)
+		}
+		return mapLit{line: t.line, keys: keys, vals: vals}, nil
+	default:
+		return nil, errf(t.line, "unexpected %s", t)
+	}
+}

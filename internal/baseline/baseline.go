@@ -1,0 +1,336 @@
+// Package baseline implements the three alternative access-control
+// designs the paper surveys in §5.4 and argues against, so that the
+// proxy approach can be compared quantitatively (experiments C1/C2):
+//
+//  1. SecMgrDesign — "check all resource accesses using the security
+//     manager": every invocation consults the server's policy engine.
+//  2. WrapperDesign — "each resource is protected by encapsulating it
+//     in a wrapper object ... The wrapper accepts requests for the
+//     resource and determines whether or not to allow the access based
+//     on the client's identity. For this it needs to maintain an access
+//     control list." One wrapper per resource, ACL consulted per call.
+//  3. DualEnvDesign — the Safe-Tcl model: "two execution environments —
+//     a safe one which hosts the agent, and a more powerful trusted one
+//     which provides access to resources ... it may require a
+//     transition across system-level protection domains on every
+//     resource access." The domain transition is modeled by a
+//     synchronous channel round trip to a trusted goroutine.
+//
+// ProxyDesign adapts the real implementation (internal/resource) to the
+// same interface. All four run the same method tables, so benchmark
+// differences isolate the access-control mechanism.
+package baseline
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/cred"
+	"repro/internal/domain"
+	"repro/internal/policy"
+	"repro/internal/resource"
+	"repro/internal/vm"
+)
+
+// Accessor is the agent-side view every design hands out: invoke a
+// method on the protected resource.
+type Accessor interface {
+	Invoke(caller domain.ID, method string, args []vm.Value) (vm.Value, error)
+}
+
+// Design is one access-control architecture over a fixed resource.
+type Design interface {
+	// Name identifies the design in benchmark tables.
+	Name() string
+	// Bind grants one agent access and returns its accessor. For the
+	// proxy design this creates the per-agent proxy (the setup cost
+	// C2 measures); for the others it is cheap or free.
+	Bind(caller domain.ID, creds *cred.Credentials) (Accessor, error)
+}
+
+// --- shared test resource ----------------------------------------------
+
+// NewTestResource returns the method table and resource definition used
+// by all four designs in the benchmarks: a counter with get/add.
+func NewTestResource(def *resource.Def) (map[string]resource.Method, *resource.Def) {
+	return def.Methods, def
+}
+
+// --- 1. security-manager-mediated design --------------------------------
+
+// SecMgrDesign consults the policy engine on every invocation. The
+// paper's objection: "the security manager may tend to become an
+// excessively large module" — and, as the benches show, the decision
+// cost is paid per call rather than per binding.
+type SecMgrDesign struct {
+	Def    *resource.Def
+	Policy *policy.Engine
+	// credsOf maps a caller's domain to its credentials, standing in
+	// for the domain-database lookup the monitor performs per call.
+	mu      sync.RWMutex
+	credsOf map[domain.ID]*cred.Credentials
+}
+
+// NewSecMgrDesign builds the design.
+func NewSecMgrDesign(def *resource.Def, eng *policy.Engine) *SecMgrDesign {
+	return &SecMgrDesign{Def: def, Policy: eng, credsOf: make(map[domain.ID]*cred.Credentials)}
+}
+
+// Name implements Design.
+func (d *SecMgrDesign) Name() string { return "secmgr" }
+
+// Bind implements Design: registration only.
+func (d *SecMgrDesign) Bind(caller domain.ID, creds *cred.Credentials) (Accessor, error) {
+	d.mu.Lock()
+	d.credsOf[caller] = creds
+	d.mu.Unlock()
+	return secMgrAccessor{d: d}, nil
+}
+
+type secMgrAccessor struct{ d *SecMgrDesign }
+
+func (a secMgrAccessor) Invoke(caller domain.ID, method string, args []vm.Value) (vm.Value, error) {
+	a.d.mu.RLock()
+	creds := a.d.credsOf[caller]
+	a.d.mu.RUnlock()
+	if creds == nil {
+		return vm.Nil(), fmt.Errorf("baseline: secmgr: unknown domain %s", caller)
+	}
+	// Full policy decision on EVERY access.
+	grant := a.d.Policy.Decide(creds, a.d.Def.Path, a.d.Def.MethodNames())
+	if !grant.Methods[method] {
+		return vm.Nil(), resource.ErrMethodDisabled
+	}
+	fn := a.d.Def.Methods[method]
+	if fn == nil {
+		return vm.Nil(), resource.ErrUnknownMethod
+	}
+	return fn(args)
+}
+
+// --- 2. wrapper design ---------------------------------------------------
+
+// WrapperDesign keeps one wrapper per resource with an ACL keyed by
+// caller identity, checked on every call. Binding is a cheap ACL
+// insertion (computed once from policy), the per-call cost is the ACL
+// lookup — cheaper than secmgr, dearer than a proxy's pre-narrowed
+// enable set plus, as §5.4 notes, "all clients must be subjected to the
+// same access control mechanism".
+type WrapperDesign struct {
+	Def    *resource.Def
+	Policy *policy.Engine
+
+	mu  sync.RWMutex
+	acl map[domain.ID]map[string]bool
+}
+
+// NewWrapperDesign builds the design.
+func NewWrapperDesign(def *resource.Def, eng *policy.Engine) *WrapperDesign {
+	return &WrapperDesign{Def: def, Policy: eng, acl: make(map[domain.ID]map[string]bool)}
+}
+
+// Name implements Design.
+func (d *WrapperDesign) Name() string { return "wrapper" }
+
+// Bind implements Design: one policy decision, stored in the ACL.
+func (d *WrapperDesign) Bind(caller domain.ID, creds *cred.Credentials) (Accessor, error) {
+	grant := d.Policy.Decide(creds, d.Def.Path, d.Def.MethodNames())
+	if grant.Empty() {
+		return nil, resource.ErrNoAccess
+	}
+	d.mu.Lock()
+	d.acl[caller] = grant.Methods
+	d.mu.Unlock()
+	return wrapperAccessor{d: d}, nil
+}
+
+type wrapperAccessor struct{ d *WrapperDesign }
+
+func (a wrapperAccessor) Invoke(caller domain.ID, method string, args []vm.Value) (vm.Value, error) {
+	// ACL lookup under the wrapper's (shared!) lock on every call.
+	a.d.mu.RLock()
+	allowed := a.d.acl[caller]
+	ok := allowed != nil && allowed[method]
+	a.d.mu.RUnlock()
+	if !ok {
+		return vm.Nil(), resource.ErrMethodDisabled
+	}
+	fn := a.d.Def.Methods[method]
+	if fn == nil {
+		return vm.Nil(), resource.ErrUnknownMethod
+	}
+	return fn(args)
+}
+
+// --- 3. dual-environment (Safe Tcl) design -------------------------------
+
+// DualEnvDesign hosts the resource behind a trusted goroutine; each
+// access is a synchronous request/response across that boundary — the
+// "transition across system-level protection domains on every resource
+// access" the paper warns about.
+type DualEnvDesign struct {
+	Def    *resource.Def
+	Policy *policy.Engine
+
+	reqs chan dualReq
+	once sync.Once
+
+	mu  sync.RWMutex
+	acl map[domain.ID]map[string]bool
+}
+
+type dualReq struct {
+	caller domain.ID
+	method string
+	args   []vm.Value
+	reply  chan dualResp
+}
+
+type dualResp struct {
+	val vm.Value
+	err error
+}
+
+// NewDualEnvDesign builds the design and starts the trusted
+// environment.
+func NewDualEnvDesign(def *resource.Def, eng *policy.Engine) *DualEnvDesign {
+	d := &DualEnvDesign{
+		Def:    def,
+		Policy: eng,
+		reqs:   make(chan dualReq),
+		acl:    make(map[domain.ID]map[string]bool),
+	}
+	go d.trustedLoop()
+	return d
+}
+
+// trustedLoop is the trusted environment: it alone touches the
+// resource.
+func (d *DualEnvDesign) trustedLoop() {
+	for req := range d.reqs {
+		d.mu.RLock()
+		allowed := d.acl[req.caller]
+		ok := allowed != nil && allowed[req.method]
+		d.mu.RUnlock()
+		var resp dualResp
+		switch {
+		case !ok:
+			resp.err = resource.ErrMethodDisabled
+		default:
+			fn := d.Def.Methods[req.method]
+			if fn == nil {
+				resp.err = resource.ErrUnknownMethod
+			} else {
+				resp.val, resp.err = fn(req.args)
+			}
+		}
+		req.reply <- resp
+	}
+}
+
+// Close stops the trusted environment.
+func (d *DualEnvDesign) Close() {
+	d.once.Do(func() { close(d.reqs) })
+}
+
+// Name implements Design.
+func (d *DualEnvDesign) Name() string { return "dualenv" }
+
+// Bind implements Design.
+func (d *DualEnvDesign) Bind(caller domain.ID, creds *cred.Credentials) (Accessor, error) {
+	grant := d.Policy.Decide(creds, d.Def.Path, d.Def.MethodNames())
+	if grant.Empty() {
+		return nil, resource.ErrNoAccess
+	}
+	d.mu.Lock()
+	d.acl[caller] = grant.Methods
+	d.mu.Unlock()
+	return dualAccessor{d: d}, nil
+}
+
+type dualAccessor struct{ d *DualEnvDesign }
+
+func (a dualAccessor) Invoke(caller domain.ID, method string, args []vm.Value) (vm.Value, error) {
+	reply := make(chan dualResp, 1)
+	a.d.reqs <- dualReq{caller: caller, method: method, args: args, reply: reply}
+	resp := <-reply
+	return resp.val, resp.err
+}
+
+// --- 3½. the literal Figure-5 proxy --------------------------------------
+
+// Fig5Design is the paper's proxy reduced to exactly what Figure 5
+// shows: a per-agent object holding the resource reference and an
+// immutable enabled-method set; the per-call screen is one identity
+// comparison plus one map lookup. It isolates the cost of the proxy
+// *mechanism* from the cost of the §5.5 extensions (accounting, quotas,
+// expiry) that the production Proxy adds, and is the variant the
+// paper's "minimal amount of computation" claim describes.
+type Fig5Design struct {
+	Def    *resource.Def
+	Policy *policy.Engine
+}
+
+// NewFig5Design builds the design.
+func NewFig5Design(def *resource.Def, eng *policy.Engine) *Fig5Design {
+	return &Fig5Design{Def: def, Policy: eng}
+}
+
+// Name implements Design.
+func (d *Fig5Design) Name() string { return "proxy_fig5" }
+
+// Bind implements Design.
+func (d *Fig5Design) Bind(caller domain.ID, creds *cred.Credentials) (Accessor, error) {
+	grant := d.Policy.Decide(creds, d.Def.Path, d.Def.MethodNames())
+	if grant.Empty() {
+		return nil, resource.ErrNoAccess
+	}
+	enabled := make(map[string]resource.Method, len(grant.Methods))
+	for m, ok := range grant.Methods {
+		if ok {
+			enabled[m] = d.Def.Methods[m]
+		}
+	}
+	return &fig5Proxy{bound: caller, enabled: enabled}, nil
+}
+
+// fig5Proxy resolves the method function directly from the enabled map,
+// fusing the isEnabled check and the dispatch.
+type fig5Proxy struct {
+	bound   domain.ID
+	enabled map[string]resource.Method
+}
+
+func (p *fig5Proxy) Invoke(caller domain.ID, method string, args []vm.Value) (vm.Value, error) {
+	if caller != p.bound {
+		return vm.Nil(), resource.ErrNotHolder
+	}
+	fn := p.enabled[method]
+	if fn == nil {
+		return vm.Nil(), resource.ErrMethodDisabled
+	}
+	return fn(args)
+}
+
+// --- 4. the paper's proxy design (adapter) -------------------------------
+
+// ProxyDesign adapts internal/resource to the Design interface.
+type ProxyDesign struct {
+	Def    *resource.Def
+	Policy *policy.Engine
+}
+
+// NewProxyDesign builds the adapter.
+func NewProxyDesign(def *resource.Def, eng *policy.Engine) *ProxyDesign {
+	return &ProxyDesign{Def: def, Policy: eng}
+}
+
+// Name implements Design.
+func (d *ProxyDesign) Name() string { return "proxy" }
+
+// Bind implements Design: this is where the proxy is created — the
+// per-agent setup cost the paper acknowledges ("a proxy instance must
+// be created for each agent that accesses the resource").
+func (d *ProxyDesign) Bind(caller domain.ID, creds *cred.Credentials) (Accessor, error) {
+	return d.Def.GetProxy(resource.Request{Caller: caller, Creds: creds, Policy: d.Policy})
+}

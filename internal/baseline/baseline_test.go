@@ -1,0 +1,220 @@
+package baseline
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cred"
+	"repro/internal/domain"
+	"repro/internal/keys"
+	"repro/internal/names"
+	"repro/internal/policy"
+	"repro/internal/resource"
+	"repro/internal/vm"
+)
+
+const (
+	agentDom = domain.ID(2)
+	otherDom = domain.ID(3)
+)
+
+func counterDef() *resource.Def {
+	var (
+		mu  sync.Mutex
+		val int64
+	)
+	return &resource.Def{
+		ResourceImpl: resource.ResourceImpl{
+			Name:  names.Resource("acme.com", "counter"),
+			Owner: names.Principal("acme.com", "admin"),
+		},
+		Path: "counter",
+		Methods: map[string]resource.Method{
+			"get": func([]vm.Value) (vm.Value, error) {
+				mu.Lock()
+				defer mu.Unlock()
+				return vm.I(val), nil
+			},
+			"add": func(args []vm.Value) (vm.Value, error) {
+				mu.Lock()
+				defer mu.Unlock()
+				val += args[0].Int
+				return vm.I(val), nil
+			},
+		},
+	}
+}
+
+func testCredsAndPolicy(t *testing.T, allowed ...string) (*cred.Credentials, *policy.Engine) {
+	t.Helper()
+	reg, err := keys.NewRegistry(names.Principal("umn.edu", "ca"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner, err := keys.NewIdentity(reg, names.Principal("umn.edu", "alice"), time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := cred.Issue(owner, names.Agent("umn.edu", "a1"),
+		names.Principal("umn.edu", "app"), cred.NewRightSet(cred.All), time.Hour, "home")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := policy.NewEngine()
+	if len(allowed) == 0 {
+		allowed = []string{"*"}
+	}
+	eng.AddRule(policy.Rule{AnyPrincipal: true, Resource: "counter", Methods: allowed})
+	return &c, eng
+}
+
+// designs builds all four over fresh resources with the same policy.
+func designs(t *testing.T, allowed ...string) []Design {
+	t.Helper()
+	creds, eng := testCredsAndPolicy(t, allowed...)
+	_ = creds
+	dual := NewDualEnvDesign(counterDef(), eng)
+	t.Cleanup(dual.Close)
+	return []Design{
+		NewProxyDesign(counterDef(), eng),
+		NewFig5Design(counterDef(), eng),
+		NewWrapperDesign(counterDef(), eng),
+		NewSecMgrDesign(counterDef(), eng),
+		dual,
+	}
+}
+
+// TestAllDesignsEnforceSameDecisions: the four architectures must agree
+// on allow/deny for identical policies — they differ only in cost.
+func TestAllDesignsEnforceSameDecisions(t *testing.T) {
+	creds, _ := testCredsAndPolicy(t)
+	for _, d := range designs(t, "get") {
+		acc, err := d.Bind(agentDom, creds)
+		if err != nil {
+			t.Fatalf("%s: bind: %v", d.Name(), err)
+		}
+		if _, err := acc.Invoke(agentDom, "get", nil); err != nil {
+			t.Errorf("%s: allowed method rejected: %v", d.Name(), err)
+		}
+		if _, err := acc.Invoke(agentDom, "add", []vm.Value{vm.I(1)}); !errors.Is(err, resource.ErrMethodDisabled) {
+			t.Errorf("%s: denied method allowed: %v", d.Name(), err)
+		}
+		if _, err := acc.Invoke(agentDom, "bogus", nil); err == nil {
+			t.Errorf("%s: unknown method allowed", d.Name())
+		}
+	}
+}
+
+func TestAllDesignsProduceWorkingAccess(t *testing.T) {
+	creds, _ := testCredsAndPolicy(t)
+	for _, d := range designs(t) {
+		acc, err := d.Bind(agentDom, creds)
+		if err != nil {
+			t.Fatalf("%s: %v", d.Name(), err)
+		}
+		for i := 0; i < 3; i++ {
+			if _, err := acc.Invoke(agentDom, "add", []vm.Value{vm.I(2)}); err != nil {
+				t.Fatalf("%s: %v", d.Name(), err)
+			}
+		}
+		v, err := acc.Invoke(agentDom, "get", nil)
+		if err != nil || !v.Equal(vm.I(6)) {
+			t.Fatalf("%s: get = %v, %v", d.Name(), v, err)
+		}
+	}
+}
+
+func TestWrapperAndDualDenyUnboundCallers(t *testing.T) {
+	creds, eng := testCredsAndPolicy(t)
+	wrapper := NewWrapperDesign(counterDef(), eng)
+	acc, err := wrapper.Bind(agentDom, creds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := acc.Invoke(otherDom, "get", nil); !errors.Is(err, resource.ErrMethodDisabled) {
+		t.Fatalf("wrapper: unbound caller allowed: %v", err)
+	}
+	dual := NewDualEnvDesign(counterDef(), eng)
+	defer dual.Close()
+	acc2, err := dual.Bind(agentDom, creds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := acc2.Invoke(otherDom, "get", nil); !errors.Is(err, resource.ErrMethodDisabled) {
+		t.Fatalf("dualenv: unbound caller allowed: %v", err)
+	}
+}
+
+func TestSecMgrTracksPolicyChangesInstantly(t *testing.T) {
+	// The one advantage of checking policy per call: revocation by
+	// policy edit is instant, no proxy revocation needed. Verify the
+	// behaviour difference is real.
+	creds, eng := testCredsAndPolicy(t)
+	sm := NewSecMgrDesign(counterDef(), eng)
+	acc, _ := sm.Bind(agentDom, creds)
+	if _, err := acc.Invoke(agentDom, "get", nil); err != nil {
+		t.Fatal(err)
+	}
+	eng.SetRules(nil) // operator wipes the policy
+	if _, err := acc.Invoke(agentDom, "get", nil); !errors.Is(err, resource.ErrMethodDisabled) {
+		t.Fatalf("secmgr ignored the policy change: %v", err)
+	}
+}
+
+func TestProxyBindFailsOnEmptyGrant(t *testing.T) {
+	creds, _ := testCredsAndPolicy(t)
+	emptyEng := policy.NewEngine()
+	p := NewProxyDesign(counterDef(), emptyEng)
+	if _, err := p.Bind(agentDom, creds); !errors.Is(err, resource.ErrNoAccess) {
+		t.Fatalf("got %v", err)
+	}
+	f := NewFig5Design(counterDef(), emptyEng)
+	if _, err := f.Bind(agentDom, creds); !errors.Is(err, resource.ErrNoAccess) {
+		t.Fatalf("fig5: got %v", err)
+	}
+}
+
+func TestFig5ProxyConfinement(t *testing.T) {
+	creds, eng := testCredsAndPolicy(t)
+	d := NewFig5Design(counterDef(), eng)
+	acc, err := d.Bind(agentDom, creds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := acc.Invoke(otherDom, "get", nil); !errors.Is(err, resource.ErrNotHolder) {
+		t.Fatalf("stolen fig5 proxy worked: %v", err)
+	}
+	if _, err := acc.Invoke(agentDom, "get", nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDualEnvConcurrentCallers(t *testing.T) {
+	creds, eng := testCredsAndPolicy(t)
+	dual := NewDualEnvDesign(counterDef(), eng)
+	defer dual.Close()
+	acc, err := dual.Bind(agentDom, creds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				if _, err := acc.Invoke(agentDom, "add", []vm.Value{vm.I(1)}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	v, _ := acc.Invoke(agentDom, "get", nil)
+	if !v.Equal(vm.I(800)) {
+		t.Fatalf("counter = %v", v)
+	}
+}

@@ -1,0 +1,175 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/agent"
+	"repro/internal/domain"
+	"repro/internal/names"
+	"repro/internal/policy"
+	"repro/internal/resource"
+	"repro/internal/sandbox"
+	"repro/internal/vm"
+)
+
+// pricedCounter is a counter whose add costs 10 and get costs 1.
+func pricedCounter(rn names.Name, path string) *resource.Def {
+	def := CounterResource(rn, path)
+	def.Costs = map[string]uint64{"add": 10, "get": 1}
+	return def
+}
+
+// TestBillingLedger: the paper's electronic-commerce requirement —
+// per-method charges accumulate into the server's per-owner ledger when
+// the agent departs.
+func TestBillingLedger(t *testing.T) {
+	p := mustPlatform(t)
+	srv, err := p.StartServer("s1", "s1:7000", ServerConfig{Rules: openRules("counter")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := InstallResource(srv, pricedCounter(names.Resource("umn.edu", "counter"), "counter")); err != nil {
+		t.Fatal(err)
+	}
+	home, err := p.StartServer("home", "home:7000", ServerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner, _ := p.NewOwner("alice")
+	a, err := p.BuildAgent(AgentSpec{
+		Owner: owner, Name: "customer",
+		Source: `module c
+func main() {
+  var ctr = get_resource("ajanta:resource:umn.edu/counter")
+  invoke(ctr, "add", 5)   # 10
+  invoke(ctr, "add", 5)   # 10
+  report(invoke(ctr, "get"))  # 1
+}`,
+		Itinerary: agent.Sequence("main", srv.Name()),
+		Home:      home,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.LaunchAndWait(home, a, waitTime); err != nil {
+		t.Fatal(err)
+	}
+	if got := srv.Charges(owner.Name); got != 21 {
+		t.Fatalf("charges = %d, want 21", got)
+	}
+	// A second visit accumulates.
+	b, err := p.BuildAgent(AgentSpec{
+		Owner: owner, Name: "customer2",
+		Source: `module c
+func main() {
+  var ctr = get_resource("ajanta:resource:umn.edu/counter")
+  invoke(ctr, "get")
+}`,
+		Itinerary: agent.Sequence("main", srv.Name()),
+		Home:      home,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.LaunchAndWait(home, b, waitTime); err != nil {
+		t.Fatal(err)
+	}
+	if got := srv.Charges(owner.Name); got != 22 {
+		t.Fatalf("charges = %d, want 22", got)
+	}
+	// Other owners are not billed.
+	other, _ := p.NewOwner("bob")
+	if got := srv.Charges(other.Name); got != 0 {
+		t.Fatalf("bob charged %d", got)
+	}
+}
+
+// TestDeniedCallsAreStillCharged: the proxy charges on admission to the
+// method, so quota-exceeding attempts do not bill, but failing method
+// bodies do. (This test pins the billing semantics so they do not drift
+// silently.)
+func TestBillingSemanticsDeniedVsFailed(t *testing.T) {
+	p := mustPlatform(t)
+	srv, err := p.StartServer("s1", "s1:7000", ServerConfig{
+		Rules: []policy.Rule{{AnyPrincipal: true, Resource: "counter", Methods: []string{"get"}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := InstallResource(srv, pricedCounter(names.Resource("umn.edu", "counter"), "counter")); err != nil {
+		t.Fatal(err)
+	}
+	home, err := p.StartServer("home", "home:7000", ServerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner, _ := p.NewOwner("alice")
+	a, err := p.BuildAgent(AgentSpec{
+		Owner: owner, Name: "prober",
+		Source: `module pr
+func main() {
+  var ctr = get_resource("ajanta:resource:umn.edu/counter")
+  invoke(ctr, "get")   # allowed: billed 1
+  invoke(ctr, "add", 1)  # disabled: aborts the agent, not billed
+}`,
+		Itinerary: agent.Sequence("main", srv.Name()),
+		Home:      home,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.LaunchAndWait(home, a, waitTime); err != nil {
+		t.Fatal(err)
+	}
+	if got := srv.Charges(owner.Name); got != 1 {
+		t.Fatalf("charges = %d, want 1 (denied call must not bill)", got)
+	}
+}
+
+// TestSecurityManagerAuditTrail: a hosted visit leaves mediation events
+// in the reference monitor's audit log.
+func TestSecurityManagerAuditTrail(t *testing.T) {
+	p := mustPlatform(t)
+	srv, err := p.StartServer("s1", "s1:7000", ServerConfig{InstalledResourcePolicy: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	home, err := p.StartServer("home", "home:7000", ServerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner, _ := p.NewOwner("alice")
+	a, err := p.BuildAgent(AgentSpec{
+		Owner: owner, Name: "auditable",
+		Source: `module au
+func main() {
+  install_resource("ajanta:resource:umn.edu/thing", "svc", "thing")
+}`,
+		ExtraSources: []string{"module svc\nfunc ping() { return 1 }"},
+		Itinerary:    agent.Sequence("main", srv.Name()),
+		Home:         home,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.LaunchAndWait(home, a, waitTime); err != nil {
+		t.Fatal(err)
+	}
+	var sawAdmit, sawRegister bool
+	for _, d := range srv.SecurityManager().Audit() {
+		if d.Op == sandbox.OpDomainDBUpdate && d.Caller == domain.ServerID {
+			sawAdmit = true
+		}
+		if d.Op == sandbox.OpRegistryRegister && d.Caller != domain.ServerID && d.Allowed {
+			sawRegister = true
+		}
+	}
+	if !sawAdmit || !sawRegister {
+		t.Fatalf("audit missing events: admit=%v register=%v", sawAdmit, sawRegister)
+	}
+	allows, denies := srv.SecurityManager().Stats()
+	if allows == 0 {
+		t.Fatalf("stats: %d/%d", allows, denies)
+	}
+	_ = vm.Nil() // keep vm import for the shared test helpers' signature
+}

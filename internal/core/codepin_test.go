@@ -1,0 +1,135 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/agent"
+	"repro/internal/asl"
+	"repro/internal/cred"
+	"repro/internal/names"
+	"repro/internal/vm"
+)
+
+// TestCodePinningBlocksPatchedAgents: a malicious host patches the
+// agent's code en route; the next server's admission check catches the
+// mismatch against the owner-signed digest (§2 agent-code integrity).
+func TestCodePinningBlocksPatchedAgents(t *testing.T) {
+	p := mustPlatform(t)
+	home, err := p.StartServer("home", "home:7000", ServerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner, _ := p.NewOwner("alice")
+	a, err := p.BuildAgent(AgentSpec{
+		Owner: owner, Name: "pinned",
+		Source:    "module m\nfunc main() { report(1) }",
+		Itinerary: agent.Sequence("main", home.Name()),
+		Home:      home,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Credentials.CodeDigest) == 0 {
+		t.Fatal("BuildAgent did not pin the code")
+	}
+	// The "malicious host": swap in a patched module that reports 666.
+	evil, err := asl.Compile("module m\nfunc main() { report(666) }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Code = []vm.Module{*evil}
+	if err := home.LaunchLocal(a); err == nil {
+		t.Fatal("patched agent admitted")
+	}
+}
+
+func TestCodePinningSurvivesTour(t *testing.T) {
+	// The pinned digest must hold across genuine migrations — state
+	// changes, code does not.
+	p := mustPlatform(t)
+	s1, err := p.StartServer("s1", "s1:7000", ServerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := p.StartServer("s2", "s2:7000", ServerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	home, err := p.StartServer("home", "home:7000", ServerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner, _ := p.NewOwner("alice")
+	a, err := p.BuildAgent(AgentSpec{
+		Owner: owner, Name: "tourist",
+		Source: `module m
+var n = 0
+func visit() { n = n + 1 }`,
+		Itinerary: agent.Sequence("visit", s1.Name(), s2.Name()),
+		Home:      home,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := p.LaunchAndWait(home, a, waitTime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.State["n"].Equal(vm.I(2)) {
+		t.Fatalf("n = %v, log = %v", back.State["n"], back.Log)
+	}
+	digest, err := agent.BundleDigest(back.Code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(digest, back.Credentials.CodeDigest) {
+		t.Fatal("digest drifted over a clean tour")
+	}
+}
+
+// TestBundleDigestProperties: digest is deterministic and sensitive to
+// any code change.
+func TestBundleDigestProperties(t *testing.T) {
+	m1, err := asl.Compile("module a\nfunc f() { return 1 }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := asl.Compile("module a\nfunc f() { return 2 }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1a, err := agent.BundleDigest([]vm.Module{*m1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1b, _ := agent.BundleDigest([]vm.Module{*m1})
+	d2, _ := agent.BundleDigest([]vm.Module{*m2})
+	if !bytes.Equal(d1a, d1b) {
+		t.Fatal("digest not deterministic")
+	}
+	if bytes.Equal(d1a, d2) {
+		t.Fatal("digest insensitive to code change")
+	}
+}
+
+// TestIssueForCodeSignatureCoversDigest: flipping the digest after issue
+// invalidates the credentials.
+func TestIssueForCodeSignatureCoversDigest(t *testing.T) {
+	p := mustPlatform(t)
+	owner, _ := p.NewOwner("alice")
+	digest := bytes.Repeat([]byte{7}, 32)
+	c, err := cred.IssueForCode(owner, names.Agent(p.Authority, "x"), owner.Name,
+		cred.NewRightSet(cred.All), time.Hour, "home", digest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Verify(p.CA.Verifier(), time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	c.CodeDigest[0] ^= 0xFF
+	if err := c.Verify(p.CA.Verifier(), time.Now()); err == nil {
+		t.Fatal("digest tampering not detected")
+	}
+}

@@ -1,0 +1,185 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/agent"
+	"repro/internal/names"
+	"repro/internal/vm"
+)
+
+// TestColocatePrimitive: the §4 higher-level abstraction — an agent
+// migrates to a resource's location knowing only the resource's global
+// name, then binds to it locally.
+func TestColocatePrimitive(t *testing.T) {
+	p := mustPlatform(t)
+	// The resource lives on a server the agent never names.
+	hidden, err := p.StartServer("hidden", "hidden:7000", ServerConfig{Rules: openRules("counter")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := InstallResource(hidden, CounterResource(names.Resource("umn.edu", "counter"), "counter")); err != nil {
+		t.Fatal(err)
+	}
+	entry, err := p.StartServer("entrypoint", "entry:7000", ServerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	home, err := p.StartServer("home", "home:7000", ServerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner, _ := p.NewOwner("alice")
+	a, err := p.BuildAgent(AgentSpec{
+		Owner: owner,
+		Name:  "colocator",
+		Source: `module co
+func main() {
+  # We only know the resource's name, not where it lives.
+  colocate("ajanta:resource:umn.edu/counter", "work")
+  report("unreachable")
+}
+func work() {
+  var c = get_resource("ajanta:resource:umn.edu/counter")
+  invoke(c, "add", 9)
+  report(invoke(c, "get"))
+  report(server_name())
+}`,
+		Itinerary: agent.Sequence("main", entry.Name()),
+		Home:      home,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := p.LaunchAndWait(home, a, waitTime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Results) != 2 {
+		t.Fatalf("results = %v, log = %v", back.Results, back.Log)
+	}
+	if !back.Results[0].Equal(vm.I(9)) {
+		t.Fatalf("counter = %v", back.Results[0])
+	}
+	if !strings.Contains(back.Results[1].Str, "hidden") {
+		t.Fatalf("worked at %v, want hidden", back.Results[1])
+	}
+}
+
+// TestColocateUnknownResource: co-locating with an unbound name fails
+// visibly.
+func TestColocateUnknownResource(t *testing.T) {
+	p := mustPlatform(t)
+	srv, err := p.StartServer("s1", "s1:7000", ServerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	home, err := p.StartServer("home", "home:7000", ServerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner, _ := p.NewOwner("alice")
+	a, err := p.BuildAgent(AgentSpec{
+		Owner: owner,
+		Name:  "lost",
+		Source: `module lost
+func main() {
+  colocate("ajanta:resource:umn.edu/ghost", "work")
+}
+func work() { }`,
+		Itinerary: agent.Sequence("main", srv.Name()),
+		Home:      home,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := p.LaunchAndWait(home, a, waitTime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(strings.Join(back.Log, "\n"), "not bound") {
+		t.Fatalf("log = %v", back.Log)
+	}
+}
+
+// TestMailboxDiscoverableByName: make_mailbox publishes the mailbox in
+// the name service, so a peer can colocate with it from another server.
+func TestMailboxDiscoverableByName(t *testing.T) {
+	p := mustPlatform(t)
+	srv, err := p.StartServer("s1", "s1:7000", ServerConfig{Fuel: 200_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	elsewhere, err := p.StartServer("s2", "s2:7000", ServerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	home, err := p.StartServer("home", "home:7000", ServerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	alice, _ := p.NewOwner("alice")
+	bob, _ := p.NewOwner("bob")
+
+	receiver, err := p.BuildAgent(AgentSpec{
+		Owner: alice,
+		Name:  "rx",
+		Source: `module rx
+func main() {
+  make_mailbox("ajanta:resource:umn.edu/rx-mbox", "rx-mbox")
+  var msg = nil
+  while msg == nil { msg = recv() }
+  report(msg)
+}`,
+		Itinerary: agent.Sequence("main", srv.Name()),
+		Home:      home,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rxCh, err := p.Launch(home, receiver)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return srv.Registry().Len() == 1 })
+
+	// Bob's courier starts at a DIFFERENT server and finds the
+	// mailbox by name.
+	courier, err := p.BuildAgent(AgentSpec{
+		Owner: bob,
+		Name:  "courier",
+		Source: `module courier
+func main() {
+  colocate("ajanta:resource:umn.edu/rx-mbox", "deliver")
+}
+func deliver() {
+  var mb = get_resource("ajanta:resource:umn.edu/rx-mbox")
+  invoke(mb, "send", "found you")
+}`,
+		Itinerary: agent.Sequence("main", elsewhere.Name()),
+		Home:      home,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.LaunchAndWait(home, courier, waitTime); err != nil {
+		t.Fatal(err)
+	}
+	back := <-rxCh
+	if len(back.Results) != 1 || !back.Results[0].Equal(vm.S("found you")) {
+		t.Fatalf("results = %v, log = %v", back.Results, back.Log)
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(waitTime)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition never became true")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -1,0 +1,178 @@
+package core
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/agent"
+	"repro/internal/keys"
+	"repro/internal/names"
+	"repro/internal/policy"
+	"repro/internal/vm"
+)
+
+// freePort grabs an ephemeral TCP port and releases it for reuse.
+func freePort(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	_ = l.Close()
+	return addr
+}
+
+// TestMultiProcessDeployment emulates separate OS processes: two
+// platforms that share nothing but exported CA state and TCP, with an
+// agent touring servers in both trust domains (codifying the
+// ajanta-server -ca-out / -ca-in workflow).
+func TestMultiProcessDeployment(t *testing.T) {
+	// "Process" A: creates the CA, runs server alpha with a counter.
+	pA, err := NewTCPPlatform("example.org")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(pA.StopAll)
+	caData, err := pA.CA.Export()
+	if err != nil {
+		t.Fatal(err)
+	}
+	alphaAddr := freePort(t)
+	open := []policy.Rule{{AnyPrincipal: true, Resource: "counter", Methods: []string{"*"}}}
+	alpha, err := pA.StartServer("alpha", alphaAddr, ServerConfig{Rules: open})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := InstallResource(alpha, CounterResource(
+		names.Resource("example.org", "counter-alpha"), "counter")); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Process" B: imports the CA, runs server beta with a counter.
+	regB, err := keys.ImportRegistry(caData)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pB := NewTCPPlatformWithCA("example.org", regB)
+	t.Cleanup(pB.StopAll)
+	betaAddr := freePort(t)
+	beta, err := pB.StartServer("beta", betaAddr, ServerConfig{Rules: open})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := InstallResource(beta, CounterResource(
+		names.Resource("example.org", "counter-beta"), "counter")); err != nil {
+		t.Fatal(err)
+	}
+	// Each process knows the other only by peer configuration.
+	if err := pA.BindPeer("beta", betaAddr); err != nil {
+		t.Fatal(err)
+	}
+	if err := pB.BindPeer("alpha", alphaAddr); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Process" C: the launcher, with its own home server.
+	regC, err := keys.ImportRegistry(caData)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pC := NewTCPPlatformWithCA("example.org", regC)
+	t.Cleanup(pC.StopAll)
+	homeAddr := freePort(t)
+	home, err := pC.StartServer("launch-home", homeAddr, ServerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pC.BindPeer("alpha", alphaAddr); err != nil {
+		t.Fatal(err)
+	}
+	if err := pC.BindPeer("beta", betaAddr); err != nil {
+		t.Fatal(err)
+	}
+	owner, err := pC.NewOwner("traveller")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := pC.BuildAgent(AgentSpec{
+		Owner: owner,
+		Name:  "cross-process",
+		Source: `module x
+var total = 0
+func visit() {
+  var parts = split(server_name(), "/")
+  var short = parts[len(parts) - 1]
+  var c = get_resource("ajanta:resource:example.org/counter-" + short)
+  invoke(c, "add", 21)
+  total = total + invoke(c, "get")
+}`,
+		Itinerary: agent.Sequence("visit",
+			names.Server("example.org", "alpha"),
+			names.Server("example.org", "beta")),
+		Home: home,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := pC.LaunchAndWait(home, a, 20*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.State["total"].Equal(vm.I(42)) {
+		t.Fatalf("total = %v, log = %v", back.State["total"], back.Log)
+	}
+	if back.Hops != 2 { // home->alpha, alpha->beta (homecoming not counted)
+		t.Fatalf("hops = %d", back.Hops)
+	}
+	// Both trust domains hosted the agent.
+	if alpha.Arrivals() != 1 || beta.Arrivals() != 1 {
+		t.Fatalf("arrivals: alpha=%d beta=%d", alpha.Arrivals(), beta.Arrivals())
+	}
+}
+
+// TestCrossProcessTrustRequiresSharedCA: a platform with a DIFFERENT CA
+// cannot send agents into the deployment — the transfer handshake fails.
+func TestCrossProcessTrustRequiresSharedCA(t *testing.T) {
+	pA, err := NewTCPPlatform("example.org")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(pA.StopAll)
+	alphaAddr := freePort(t)
+	if _, err := pA.StartServer("alpha", alphaAddr, ServerConfig{}); err != nil {
+		t.Fatal(err)
+	}
+
+	rogue, err := NewTCPPlatform("example.org") // different CA!
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rogue.StopAll)
+	homeAddr := freePort(t)
+	home, err := rogue.StartServer("rogue-home", homeAddr, ServerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rogue.BindPeer("alpha", alphaAddr); err != nil {
+		t.Fatal(err)
+	}
+	owner, _ := rogue.NewOwner("mallory")
+	a, err := rogue.BuildAgent(AgentSpec{
+		Owner: owner, Name: "infiltrator",
+		Source:    "module i\nfunc visit() { report(1) }",
+		Itinerary: agent.Sequence("visit", names.Server("example.org", "alpha")),
+		Home:      home,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := rogue.LaunchAndWait(home, a, 20*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Results) != 0 {
+		t.Fatalf("infiltrator ran: %v", back.Results)
+	}
+}

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"sync"
+
+	"repro/internal/domain"
+	"repro/internal/names"
+	"repro/internal/registry"
+	"repro/internal/resource"
+	"repro/internal/server"
+	"repro/internal/vm"
+)
+
+// InstallResource registers a server-owned resource (done by the
+// service provider before agents arrive — Fig. 6 step 1) and publishes
+// its location in the name service.
+func InstallResource(s *server.Server, def *resource.Def) error {
+	return s.InstallResource(registry.Entry{
+		Name:           def.ResourceName(),
+		Resource:       def,
+		AP:             def,
+		OwnerDomain:    domain.ServerID,
+		OwnerPrincipal: def.ResourceOwner(),
+	})
+}
+
+// QuoteResource builds a price-quote service: quote(item) returns the
+// item's price, items() lists the catalogue. It is the workload of the
+// shopping example and several experiments.
+func QuoteResource(rn names.Name, path string, prices map[string]int64) *resource.Def {
+	return &resource.Def{
+		ResourceImpl: resource.ResourceImpl{
+			Name:  rn,
+			Owner: names.Principal(rn.Authority, "merchant"),
+			Desc:  "price quote service",
+		},
+		Path: path,
+		Methods: map[string]resource.Method{
+			"quote": func(args []vm.Value) (vm.Value, error) {
+				if len(args) != 1 || args[0].Kind != vm.KindStr {
+					return vm.Nil(), server.ErrBadArg
+				}
+				price, ok := prices[args[0].Str]
+				if !ok {
+					return vm.Nil(), nil
+				}
+				return vm.I(price), nil
+			},
+			"items": func(args []vm.Value) (vm.Value, error) {
+				out := make([]vm.Value, 0, len(prices))
+				for item := range prices {
+					out = append(out, vm.S(item))
+				}
+				return vm.L(out...), nil
+			},
+		},
+	}
+}
+
+// CounterResource builds a shared counter with get/add/reset methods —
+// the minimal stateful resource used by tests and the quickstart.
+func CounterResource(rn names.Name, path string) *resource.Def {
+	var (
+		mu  sync.Mutex
+		val int64
+	)
+	return &resource.Def{
+		ResourceImpl: resource.ResourceImpl{
+			Name:  rn,
+			Owner: names.Principal(rn.Authority, "admin"),
+			Desc:  "shared counter",
+		},
+		Path: path,
+		Methods: map[string]resource.Method{
+			"get": func(args []vm.Value) (vm.Value, error) {
+				mu.Lock()
+				defer mu.Unlock()
+				return vm.I(val), nil
+			},
+			"add": func(args []vm.Value) (vm.Value, error) {
+				if len(args) != 1 || args[0].Kind != vm.KindInt {
+					return vm.Nil(), server.ErrBadArg
+				}
+				mu.Lock()
+				defer mu.Unlock()
+				val += args[0].Int
+				return vm.I(val), nil
+			},
+			"reset": func(args []vm.Value) (vm.Value, error) {
+				mu.Lock()
+				defer mu.Unlock()
+				val = 0
+				return vm.Nil(), nil
+			},
+		},
+	}
+}
+
+// RecordStoreResource builds a dataset resource for the communication
+// experiment (C3): count() reports the record count, fetch(i) returns
+// record i, and scan(threshold) returns the indices of all records
+// whose score exceeds the threshold (server-side filtering, what a
+// mobile agent or REV program exploits).
+func RecordStoreResource(rn names.Name, path string, scores []int64, payload string) *resource.Def {
+	return &resource.Def{
+		ResourceImpl: resource.ResourceImpl{
+			Name:  rn,
+			Owner: names.Principal(rn.Authority, "dba"),
+			Desc:  "record store",
+		},
+		Path: path,
+		Methods: map[string]resource.Method{
+			"count": func(args []vm.Value) (vm.Value, error) {
+				return vm.I(int64(len(scores))), nil
+			},
+			"fetch": func(args []vm.Value) (vm.Value, error) {
+				if len(args) != 1 || args[0].Kind != vm.KindInt {
+					return vm.Nil(), server.ErrBadArg
+				}
+				i := args[0].Int
+				if i < 0 || i >= int64(len(scores)) {
+					return vm.Nil(), server.ErrBadArg
+				}
+				return vm.M(map[string]vm.Value{
+					"score":   vm.I(scores[i]),
+					"payload": vm.S(payload),
+				}), nil
+			},
+			"scan": func(args []vm.Value) (vm.Value, error) {
+				if len(args) != 1 || args[0].Kind != vm.KindInt {
+					return vm.Nil(), server.ErrBadArg
+				}
+				var hits []vm.Value
+				for i, sc := range scores {
+					if sc > args[0].Int {
+						hits = append(hits, vm.I(int64(i)))
+					}
+				}
+				return vm.L(hits...), nil
+			},
+		},
+	}
+}

@@ -1,0 +1,11 @@
+package core
+
+import (
+	"repro/internal/loader"
+	"repro/internal/vm"
+)
+
+// newTrustedSet wraps loader.NewTrustedSet for variadic module slices.
+func newTrustedSet(mods []*vm.Module) (*loader.TrustedSet, error) {
+	return loader.NewTrustedSet(mods...)
+}

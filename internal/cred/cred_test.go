@@ -1,0 +1,216 @@
+package cred
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/keys"
+	"repro/internal/names"
+)
+
+type fixture struct {
+	reg     *keys.Registry
+	v       keys.Verifier
+	owner   keys.Identity
+	server1 keys.Identity
+	server2 keys.Identity
+}
+
+func newFixture(t *testing.T) *fixture {
+	t.Helper()
+	reg, err := keys.NewRegistry(names.Principal("umn.edu", "ca"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(n names.Name) keys.Identity {
+		id, err := keys.NewIdentity(reg, n, time.Hour)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return id
+	}
+	return &fixture{
+		reg:     reg,
+		v:       reg.Verifier(),
+		owner:   mk(names.Principal("umn.edu", "tripathi")),
+		server1: mk(names.Server("acme.com", "s1")),
+		server2: mk(names.Server("bbb.org", "s2")),
+	}
+}
+
+func issue(t *testing.T, f *fixture, rights RightSet) Credentials {
+	t.Helper()
+	c, err := Issue(f.owner, names.Agent("umn.edu", "shopper-1"),
+		names.Principal("umn.edu", "launcher-app"), rights, time.Hour, "home:7000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestIssueAndVerify(t *testing.T) {
+	f := newFixture(t)
+	c := issue(t, f, NewRightSet("db/quotes.get", "buf.*"))
+	if err := c.Verify(f.v, time.Now()); err != nil {
+		t.Fatalf("fresh credentials rejected: %v", err)
+	}
+	if !c.Permits("buf.put") || c.Permits("db/quotes.put") {
+		t.Fatal("rights arithmetic wrong")
+	}
+}
+
+func TestVerifyRejectsExpired(t *testing.T) {
+	f := newFixture(t)
+	c := issue(t, f, NewRightSet(All))
+	if err := c.Verify(f.v, time.Now().Add(2*time.Hour)); !errors.Is(err, ErrCredExpired) {
+		// Certificate expiry may trip first; either rejection is correct,
+		// but we want *a* rejection.
+		if err == nil {
+			t.Fatal("expired credentials accepted")
+		}
+	}
+}
+
+func TestVerifyRejectsTamperedRights(t *testing.T) {
+	f := newFixture(t)
+	c := issue(t, f, NewRightSet("buf.get"))
+	c.Rights = NewRightSet("buf.*") // malicious host widens rights
+	if err := c.Verify(f.v, time.Now()); err == nil {
+		t.Fatal("tampered rights accepted")
+	}
+}
+
+func TestVerifyRejectsTamperedIdentity(t *testing.T) {
+	f := newFixture(t)
+	c := issue(t, f, NewRightSet(All))
+	c.AgentName = names.Agent("evil.org", "impostor")
+	if err := c.Verify(f.v, time.Now()); err == nil {
+		t.Fatal("tampered agent name accepted")
+	}
+}
+
+func TestVerifyRejectsOwnerSwap(t *testing.T) {
+	f := newFixture(t)
+	c := issue(t, f, NewRightSet(All))
+	// Mallory substitutes her own (validly certified!) identity as owner.
+	mallory, err := keys.NewIdentity(f.reg, names.Principal("evil.org", "mallory"), time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Owner = mallory.Name
+	c.OwnerCert = mallory.Cert
+	if err := c.Verify(f.v, time.Now()); err == nil {
+		t.Fatal("owner substitution accepted")
+	}
+}
+
+func TestVerifyRejectsRevokedOwner(t *testing.T) {
+	f := newFixture(t)
+	c := issue(t, f, NewRightSet(All))
+	f.reg.Revoke(f.owner.Name)
+	if err := c.Verify(f.v, time.Now()); err == nil {
+		t.Fatal("credentials of revoked owner accepted")
+	}
+}
+
+func TestDelegateNarrows(t *testing.T) {
+	f := newFixture(t)
+	c := issue(t, f, NewRightSet("buf.*", "db.get"))
+	if err := c.Delegate(f.server1, NewRightSet("buf.get"), time.Time{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Verify(f.v, time.Now()); err != nil {
+		t.Fatalf("delegated credentials rejected: %v", err)
+	}
+	if c.Permits("buf.put") || c.Permits("db.get") {
+		t.Fatal("delegation did not narrow rights")
+	}
+	if !c.Permits("buf.get") {
+		t.Fatal("delegation lost the retained right")
+	}
+}
+
+func TestDelegateRejectsEscalation(t *testing.T) {
+	f := newFixture(t)
+	c := issue(t, f, NewRightSet("buf.get"))
+	if err := c.Delegate(f.server1, NewRightSet("buf.*"), time.Time{}); !errors.Is(err, ErrRightsEscalation) {
+		t.Fatalf("got %v, want ErrRightsEscalation", err)
+	}
+}
+
+func TestVerifyRejectsForgedEscalationLink(t *testing.T) {
+	f := newFixture(t)
+	c := issue(t, f, NewRightSet("buf.get"))
+	// A malicious server appends a widening link signed by itself,
+	// bypassing Delegate's local check.
+	d := Delegation{
+		Delegator: f.server1.Name,
+		Cert:      f.server1.Cert,
+		Rights:    NewRightSet(All),
+	}
+	c.Delegations = append(c.Delegations, d)
+	c.Delegations[0].Signature = f.server1.Keys.Sign(c.delegationTBS(0))
+	if err := c.Verify(f.v, time.Now()); !errors.Is(err, ErrRightsEscalation) {
+		t.Fatalf("got %v, want ErrRightsEscalation", err)
+	}
+}
+
+func TestVerifyRejectsDroppedLink(t *testing.T) {
+	f := newFixture(t)
+	c := issue(t, f, NewRightSet("buf.*", "db.*"))
+	if err := c.Delegate(f.server1, NewRightSet("buf.get"), time.Time{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Delegate(f.server2, NewRightSet("buf.get"), time.Time{}); err != nil {
+		t.Fatal(err)
+	}
+	// The agent (or a colluding host) removes server1's restriction
+	// to recover rights. The chained signatures must catch this.
+	c.Delegations = c.Delegations[1:]
+	if err := c.Verify(f.v, time.Now()); err == nil {
+		t.Fatal("dropped delegation link accepted")
+	}
+}
+
+func TestVerifyRejectsReorderedLinks(t *testing.T) {
+	f := newFixture(t)
+	c := issue(t, f, NewRightSet("buf.*"))
+	_ = c.Delegate(f.server1, NewRightSet("buf.get", "buf.len"), time.Time{})
+	_ = c.Delegate(f.server2, NewRightSet("buf.get"), time.Time{})
+	c.Delegations[0], c.Delegations[1] = c.Delegations[1], c.Delegations[0]
+	if err := c.Verify(f.v, time.Now()); err == nil {
+		t.Fatal("reordered delegation chain accepted")
+	}
+}
+
+func TestDelegationExpiryShortens(t *testing.T) {
+	f := newFixture(t)
+	c := issue(t, f, NewRightSet("buf.get"))
+	soon := time.Now().Add(time.Minute)
+	if err := c.Delegate(f.server1, NewRightSet("buf.get"), soon); err != nil {
+		t.Fatal(err)
+	}
+	if !c.EffectiveExpiry().Equal(soon) {
+		t.Fatalf("effective expiry = %v, want %v", c.EffectiveExpiry(), soon)
+	}
+	if err := c.Verify(f.v, time.Now().Add(2*time.Minute)); err == nil {
+		t.Fatal("credentials accepted past delegation expiry")
+	}
+	if err := c.Verify(f.v, time.Now()); err != nil {
+		t.Fatalf("credentials rejected before expiry: %v", err)
+	}
+}
+
+func TestMultiHopDelegationChain(t *testing.T) {
+	f := newFixture(t)
+	c := issue(t, f, NewRightSet("a.*", "b.*", "c.*"))
+	_ = c.Delegate(f.server1, NewRightSet("a.*", "b.*"), time.Time{})
+	_ = c.Delegate(f.server2, NewRightSet("a.x"), time.Time{})
+	if err := c.Verify(f.v, time.Now()); err != nil {
+		t.Fatalf("3-hop chain rejected: %v", err)
+	}
+	if !c.Permits("a.x") || c.Permits("a.y") || c.Permits("b.x") {
+		t.Fatal("multi-hop narrowing incorrect")
+	}
+}

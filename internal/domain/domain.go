@@ -1,0 +1,306 @@
+// Package domain implements protection domains and the per-server
+// domain database (§5.3). In Ajanta the Java security manager
+// distinguishes domains by thread group; Go has no thread groups, so a
+// domain is identified by an unforgeable ID token minted by the server
+// and carried in the execution environment of each activity. Agent code
+// running in the VM can never see or fabricate an ID — it only flows
+// through trusted host-call plumbing — which gives the same property as
+// thread-group-based identification: the monitor always knows which
+// domain the calling activity belongs to.
+package domain
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cred"
+	"repro/internal/names"
+)
+
+// ID identifies a protection domain within one server. IDs are never
+// reused during a server's lifetime. The zero ID is invalid; ServerID
+// (1) is the server's own domain.
+type ID uint64
+
+// NoDomain is the invalid zero domain.
+const NoDomain ID = 0
+
+// ServerID is the server's own protection domain, under which all
+// trusted server activities execute.
+const ServerID ID = 1
+
+// String renders the ID for logs.
+func (id ID) String() string {
+	switch id {
+	case NoDomain:
+		return "domain(none)"
+	case ServerID:
+		return "domain(server)"
+	default:
+		return fmt.Sprintf("domain(%d)", uint64(id))
+	}
+}
+
+// Status describes an agent's execution state, reported to owner status
+// queries (§4: the domain database "responds to status queries from
+// their owners").
+type Status string
+
+const (
+	StatusRunning    Status = "running"
+	StatusSuspended  Status = "suspended"
+	StatusDeparted   Status = "departed"
+	StatusTerminated Status = "terminated"
+	StatusFailed     Status = "failed"
+	StatusKilled     Status = "killed"
+)
+
+// Record is one agent's entry in the domain database: "for each agent,
+// it stores several items of information including its thread-group
+// [here: domain ID], owner, creator, and home-site address. It also
+// includes access authorization for various server resources, usage
+// limits and current usage."
+type Record struct {
+	Domain    ID
+	AgentName names.Name
+	Owner     names.Name
+	Creator   names.Name
+	HomeSite  string
+	Arrived   time.Time
+	Status    Status
+	// Credentials as verified on arrival; grants are derived from
+	// these plus server policy.
+	Credentials *cred.Credentials
+	// Bindings lists the resources this agent currently holds proxies
+	// for, with usage counters ("information about the binding
+	// objects is also maintained here", §5.3).
+	Bindings map[string]*Binding
+}
+
+// Binding records one live resource grant.
+type Binding struct {
+	ResourcePath string
+	GrantedAt    time.Time
+	Invocations  uint64
+	Charge       uint64
+	// Revoker lets the server revoke the proxy through the database
+	// without holding a typed reference.
+	Revoker func()
+}
+
+// Database is the server's domain database. Mutations require the
+// caller to present the server's own domain ID: "this database can be
+// updated only by a thread executing in the server's protection domain"
+// (§5.3).
+type Database struct {
+	next atomic.Uint64
+
+	mu      sync.RWMutex
+	byID    map[ID]*Record
+	byAgent map[names.Name]ID
+}
+
+// ErrNotServerDomain is returned when a non-server domain attempts a
+// database mutation.
+var ErrNotServerDomain = errors.New("domain: database mutation requires server domain")
+
+// ErrNoSuchDomain is returned for lookups of unknown domains.
+var ErrNoSuchDomain = errors.New("domain: no such domain")
+
+// NewDatabase creates an empty database. Domain IDs start after
+// ServerID.
+func NewDatabase() *Database {
+	db := &Database{
+		byID:    make(map[ID]*Record),
+		byAgent: make(map[names.Name]ID),
+	}
+	db.next.Store(uint64(ServerID))
+	return db
+}
+
+// Admit creates a new protection domain for an arriving agent and
+// records it. Only the server domain may admit.
+func (db *Database) Admit(caller ID, c *cred.Credentials) (ID, error) {
+	if caller != ServerID {
+		return NoDomain, ErrNotServerDomain
+	}
+	id := ID(db.next.Add(1))
+	rec := &Record{
+		Domain:      id,
+		AgentName:   c.AgentName,
+		Owner:       c.Owner,
+		Creator:     c.Creator,
+		HomeSite:    c.HomeSite,
+		Arrived:     time.Now(),
+		Status:      StatusRunning,
+		Credentials: c,
+		Bindings:    make(map[string]*Binding),
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.byID[id] = rec
+	db.byAgent[c.AgentName] = id
+	return id, nil
+}
+
+// Lookup returns a copy of the record for a domain. The copy shares the
+// credentials pointer (immutable by convention after verification) but
+// not the bindings map.
+func (db *Database) Lookup(id ID) (Record, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	rec, ok := db.byID[id]
+	if !ok {
+		return Record{}, fmt.Errorf("%w: %s", ErrNoSuchDomain, id)
+	}
+	cp := *rec
+	cp.Bindings = make(map[string]*Binding, len(rec.Bindings))
+	for k, v := range rec.Bindings {
+		b := *v
+		cp.Bindings[k] = &b
+	}
+	return cp, nil
+}
+
+// DomainOf resolves an agent name to its domain.
+func (db *Database) DomainOf(agent names.Name) (ID, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	id, ok := db.byAgent[agent]
+	return id, ok
+}
+
+// CredentialsOf returns the verified credentials for a domain; this is
+// the query getProxy makes ("obtains the requesting agent's credentials
+// ... by querying the server's domain database", §5.5). Reads are open
+// to any domain; only mutations are restricted.
+func (db *Database) CredentialsOf(id ID) (*cred.Credentials, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	rec, ok := db.byID[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoSuchDomain, id)
+	}
+	return rec.Credentials, nil
+}
+
+// SetStatus updates an agent's status (server domain only).
+func (db *Database) SetStatus(caller, id ID, s Status) error {
+	if caller != ServerID {
+		return ErrNotServerDomain
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	rec, ok := db.byID[id]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoSuchDomain, id)
+	}
+	rec.Status = s
+	return nil
+}
+
+// StatusOf reports an agent's current status by name.
+func (db *Database) StatusOf(agent names.Name) (Status, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	id, ok := db.byAgent[agent]
+	if !ok {
+		return "", false
+	}
+	return db.byID[id].Status, true
+}
+
+// AddBinding records a live resource grant (server domain only).
+func (db *Database) AddBinding(caller, id ID, b *Binding) error {
+	if caller != ServerID {
+		return ErrNotServerDomain
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	rec, ok := db.byID[id]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoSuchDomain, id)
+	}
+	rec.Bindings[b.ResourcePath] = b
+	return nil
+}
+
+// RecordUse bumps usage counters on a binding. Called from proxy
+// accounting hooks, which run under the server's authority.
+func (db *Database) RecordUse(caller, id ID, resourcePath string, charge uint64) error {
+	if caller != ServerID {
+		return ErrNotServerDomain
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	rec, ok := db.byID[id]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoSuchDomain, id)
+	}
+	b, ok := rec.Bindings[resourcePath]
+	if !ok {
+		return fmt.Errorf("domain: no binding for %s in %s", resourcePath, id)
+	}
+	b.Invocations++
+	b.Charge += charge
+	return nil
+}
+
+// Remove deletes a domain record (after departure or termination).
+func (db *Database) Remove(caller, id ID) error {
+	if caller != ServerID {
+		return ErrNotServerDomain
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	rec, ok := db.byID[id]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoSuchDomain, id)
+	}
+	delete(db.byAgent, rec.AgentName)
+	delete(db.byID, id)
+	return nil
+}
+
+// RevokeAll invokes the revoker of every live binding of a domain, used
+// when an agent is killed or departs.
+func (db *Database) RevokeAll(caller, id ID) error {
+	if caller != ServerID {
+		return ErrNotServerDomain
+	}
+	db.mu.Lock()
+	revokers := []func(){}
+	if rec, ok := db.byID[id]; ok {
+		for _, b := range rec.Bindings {
+			if b.Revoker != nil {
+				revokers = append(revokers, b.Revoker)
+			}
+		}
+	}
+	db.mu.Unlock()
+	for _, f := range revokers {
+		f()
+	}
+	return nil
+}
+
+// Agents lists all registered agent names (for status tools).
+func (db *Database) Agents() []names.Name {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]names.Name, 0, len(db.byAgent))
+	for n := range db.byAgent {
+		out = append(out, n)
+	}
+	return out
+}
+
+// Count reports the number of live domains.
+func (db *Database) Count() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return len(db.byID)
+}

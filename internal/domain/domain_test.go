@@ -1,0 +1,189 @@
+package domain
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/cred"
+	"repro/internal/keys"
+	"repro/internal/names"
+)
+
+func testCreds(t *testing.T, agent string) *cred.Credentials {
+	t.Helper()
+	reg, err := keys.NewRegistry(names.Principal("umn.edu", "ca"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner, err := keys.NewIdentity(reg, names.Principal("umn.edu", "alice"), time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := cred.Issue(owner, names.Agent("umn.edu", agent),
+		names.Principal("umn.edu", "app"), cred.NewRightSet(cred.All), time.Hour, "home")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &c
+}
+
+func TestAdmitAssignsFreshDomains(t *testing.T) {
+	db := NewDatabase()
+	id1, err := db.Admit(ServerID, testCreds(t, "a1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	id2, err := db.Admit(ServerID, testCreds(t, "a2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id1 == id2 || id1 == ServerID || id2 == ServerID || id1 == NoDomain {
+		t.Fatalf("ids: %v %v", id1, id2)
+	}
+	if db.Count() != 2 {
+		t.Fatalf("Count = %d", db.Count())
+	}
+}
+
+func TestAdmitRequiresServerDomain(t *testing.T) {
+	db := NewDatabase()
+	id, _ := db.Admit(ServerID, testCreds(t, "a1"))
+	if _, err := db.Admit(id, testCreds(t, "a2")); !errors.Is(err, ErrNotServerDomain) {
+		t.Fatalf("agent domain admitted another agent: %v", err)
+	}
+}
+
+func TestLookupAndDomainOf(t *testing.T) {
+	db := NewDatabase()
+	c := testCreds(t, "a1")
+	id, _ := db.Admit(ServerID, c)
+	rec, err := db.Lookup(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.AgentName != c.AgentName || rec.Owner != c.Owner || rec.Status != StatusRunning {
+		t.Fatalf("record = %+v", rec)
+	}
+	got, ok := db.DomainOf(c.AgentName)
+	if !ok || got != id {
+		t.Fatalf("DomainOf = %v, %v", got, ok)
+	}
+	if _, err := db.Lookup(ID(999)); !errors.Is(err, ErrNoSuchDomain) {
+		t.Fatal("lookup of unknown domain succeeded")
+	}
+}
+
+func TestLookupReturnsCopy(t *testing.T) {
+	db := NewDatabase()
+	id, _ := db.Admit(ServerID, testCreds(t, "a1"))
+	_ = db.AddBinding(ServerID, id, &Binding{ResourcePath: "buf"})
+	rec, _ := db.Lookup(id)
+	rec.Bindings["buf"].Invocations = 999 // mutate the copy
+	rec2, _ := db.Lookup(id)
+	if rec2.Bindings["buf"].Invocations != 0 {
+		t.Fatal("Lookup copy shares binding structs with the database")
+	}
+}
+
+func TestCredentialsOf(t *testing.T) {
+	db := NewDatabase()
+	c := testCreds(t, "a1")
+	id, _ := db.Admit(ServerID, c)
+	got, err := db.CredentialsOf(id)
+	if err != nil || got.AgentName != c.AgentName {
+		t.Fatalf("CredentialsOf = %+v, %v", got, err)
+	}
+	if _, err := db.CredentialsOf(ID(77)); err == nil {
+		t.Fatal("CredentialsOf unknown domain succeeded")
+	}
+}
+
+func TestStatusTransitions(t *testing.T) {
+	db := NewDatabase()
+	c := testCreds(t, "a1")
+	id, _ := db.Admit(ServerID, c)
+	if err := db.SetStatus(id, id, StatusKilled); !errors.Is(err, ErrNotServerDomain) {
+		t.Fatal("agent set its own status")
+	}
+	if err := db.SetStatus(ServerID, id, StatusDeparted); err != nil {
+		t.Fatal(err)
+	}
+	st, ok := db.StatusOf(c.AgentName)
+	if !ok || st != StatusDeparted {
+		t.Fatalf("StatusOf = %v, %v", st, ok)
+	}
+}
+
+func TestBindingUsageAccounting(t *testing.T) {
+	db := NewDatabase()
+	id, _ := db.Admit(ServerID, testCreds(t, "a1"))
+	if err := db.AddBinding(id, id, &Binding{ResourcePath: "buf"}); !errors.Is(err, ErrNotServerDomain) {
+		t.Fatal("agent added its own binding")
+	}
+	_ = db.AddBinding(ServerID, id, &Binding{ResourcePath: "buf"})
+	for i := 0; i < 3; i++ {
+		if err := db.RecordUse(ServerID, id, "buf", 7); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rec, _ := db.Lookup(id)
+	b := rec.Bindings["buf"]
+	if b.Invocations != 3 || b.Charge != 21 {
+		t.Fatalf("binding = %+v", b)
+	}
+	if err := db.RecordUse(ServerID, id, "nope", 1); err == nil {
+		t.Fatal("RecordUse on missing binding succeeded")
+	}
+}
+
+func TestRemove(t *testing.T) {
+	db := NewDatabase()
+	c := testCreds(t, "a1")
+	id, _ := db.Admit(ServerID, c)
+	if err := db.Remove(id, id); !errors.Is(err, ErrNotServerDomain) {
+		t.Fatal("agent removed itself")
+	}
+	if err := db.Remove(ServerID, id); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := db.DomainOf(c.AgentName); ok {
+		t.Fatal("agent still resolvable after Remove")
+	}
+	if db.Count() != 0 {
+		t.Fatalf("Count = %d", db.Count())
+	}
+}
+
+func TestRevokeAll(t *testing.T) {
+	db := NewDatabase()
+	id, _ := db.Admit(ServerID, testCreds(t, "a1"))
+	revoked := 0
+	_ = db.AddBinding(ServerID, id, &Binding{ResourcePath: "r1", Revoker: func() { revoked++ }})
+	_ = db.AddBinding(ServerID, id, &Binding{ResourcePath: "r2", Revoker: func() { revoked++ }})
+	_ = db.AddBinding(ServerID, id, &Binding{ResourcePath: "r3"}) // nil revoker tolerated
+	if err := db.RevokeAll(ServerID, id); err != nil {
+		t.Fatal(err)
+	}
+	if revoked != 2 {
+		t.Fatalf("revoked = %d, want 2", revoked)
+	}
+}
+
+func TestAgentsList(t *testing.T) {
+	db := NewDatabase()
+	_, _ = db.Admit(ServerID, testCreds(t, "a1"))
+	_, _ = db.Admit(ServerID, testCreds(t, "a2"))
+	if got := len(db.Agents()); got != 2 {
+		t.Fatalf("Agents() len = %d", got)
+	}
+}
+
+func TestIDString(t *testing.T) {
+	if NoDomain.String() != "domain(none)" || ServerID.String() != "domain(server)" {
+		t.Fatal("special-case strings wrong")
+	}
+	if ID(42).String() != "domain(42)" {
+		t.Fatalf("got %q", ID(42).String())
+	}
+}

@@ -1,0 +1,218 @@
+package keys
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/names"
+)
+
+func newTestRegistry(t *testing.T) *Registry {
+	t.Helper()
+	r, err := NewRegistry(names.Principal("umn.edu", "ca"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestSignVerify(t *testing.T) {
+	kp := MustGenerate()
+	msg := []byte("protected resource access")
+	sig := kp.Sign(msg)
+	if !Verify(kp.Public, msg, sig) {
+		t.Fatal("valid signature rejected")
+	}
+	if Verify(kp.Public, []byte("tampered"), sig) {
+		t.Fatal("signature over different message accepted")
+	}
+	other := MustGenerate()
+	if Verify(other.Public, msg, sig) {
+		t.Fatal("signature accepted under wrong key")
+	}
+}
+
+func TestVerifyRejectsBadKeySize(t *testing.T) {
+	kp := MustGenerate()
+	msg := []byte("m")
+	if Verify(kp.Public[:10], msg, kp.Sign(msg)) {
+		t.Fatal("truncated key accepted")
+	}
+}
+
+func TestIssueAndCheck(t *testing.T) {
+	r := newTestRegistry(t)
+	kp := MustGenerate()
+	subj := names.Principal("umn.edu", "karnik")
+	cert, err := r.Issue(subj, kp.Public, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Verifier().Check(cert, time.Now()); err != nil {
+		t.Fatalf("fresh certificate rejected: %v", err)
+	}
+}
+
+func TestCheckExpired(t *testing.T) {
+	r := newTestRegistry(t)
+	kp := MustGenerate()
+	cert, err := r.Issue(names.Principal("umn.edu", "u"), kp.Public, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Verifier().Check(cert, time.Now().Add(2*time.Hour)); err == nil {
+		t.Fatal("expired certificate accepted")
+	}
+}
+
+func TestCheckNotYetValid(t *testing.T) {
+	r := newTestRegistry(t)
+	kp := MustGenerate()
+	cert, _ := r.Issue(names.Principal("umn.edu", "u"), kp.Public, time.Hour)
+	if err := r.Verifier().Check(cert, time.Now().Add(-time.Hour)); err == nil {
+		t.Fatal("not-yet-valid certificate accepted")
+	}
+}
+
+func TestCheckTamperedSubject(t *testing.T) {
+	r := newTestRegistry(t)
+	kp := MustGenerate()
+	cert, _ := r.Issue(names.Principal("umn.edu", "alice"), kp.Public, time.Hour)
+	cert.Subject = names.Principal("umn.edu", "mallory") // impersonation attempt
+	if err := r.Verifier().Check(cert, time.Now()); err == nil {
+		t.Fatal("tampered certificate accepted")
+	}
+}
+
+func TestCheckTamperedKey(t *testing.T) {
+	r := newTestRegistry(t)
+	kp := MustGenerate()
+	cert, _ := r.Issue(names.Principal("umn.edu", "alice"), kp.Public, time.Hour)
+	cert.PublicKey = MustGenerate().Public // key substitution attack
+	if err := r.Verifier().Check(cert, time.Now()); err == nil {
+		t.Fatal("key-substituted certificate accepted")
+	}
+}
+
+func TestCheckWrongCA(t *testing.T) {
+	r1 := newTestRegistry(t)
+	r2, _ := NewRegistry(names.Principal("evil.org", "ca"))
+	kp := MustGenerate()
+	cert, _ := r2.Issue(names.Principal("evil.org", "mallory"), kp.Public, time.Hour)
+	if err := r1.Verifier().Check(cert, time.Now()); err == nil {
+		t.Fatal("certificate from untrusted CA accepted")
+	}
+}
+
+func TestCheckForgedIssuerName(t *testing.T) {
+	r1 := newTestRegistry(t)
+	r2, _ := NewRegistry(r1.CAName()) // same name, different key
+	kp := MustGenerate()
+	cert, _ := r2.Issue(names.Principal("x", "y"), kp.Public, time.Hour)
+	if err := r1.Verifier().Check(cert, time.Now()); err == nil {
+		t.Fatal("certificate signed by impostor CA accepted")
+	}
+}
+
+func TestRevoke(t *testing.T) {
+	r := newTestRegistry(t)
+	id, err := NewIdentity(r, names.Principal("umn.edu", "u"), time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := r.Verifier()
+	if err := v.Check(id.Cert, time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	r.Revoke(id.Name)
+	if err := v.Check(id.Cert, time.Now()); err == nil {
+		t.Fatal("revoked certificate accepted")
+	}
+	// Re-issuing clears the revocation.
+	cert2, err := r.Issue(id.Name, id.Keys.Public, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Check(cert2, time.Now()); err != nil {
+		t.Fatalf("re-issued certificate rejected: %v", err)
+	}
+}
+
+func TestLookup(t *testing.T) {
+	r := newTestRegistry(t)
+	subj := names.Principal("umn.edu", "u")
+	if _, ok := r.Lookup(subj); ok {
+		t.Fatal("lookup before issue succeeded")
+	}
+	id, _ := NewIdentity(r, subj, time.Hour)
+	got, ok := r.Lookup(subj)
+	if !ok || !got.NotAfter.Equal(id.Cert.NotAfter) {
+		t.Fatalf("lookup = %+v, %v", got, ok)
+	}
+}
+
+func TestIssueRejectsBadInputs(t *testing.T) {
+	r := newTestRegistry(t)
+	kp := MustGenerate()
+	if _, err := r.Issue(names.Name{}, kp.Public, time.Hour); err == nil {
+		t.Fatal("issue with zero name accepted")
+	}
+	if _, err := r.Issue(names.Principal("a", "b"), kp.Public[:5], time.Hour); err == nil {
+		t.Fatal("issue with truncated key accepted")
+	}
+}
+
+func TestExportImportSharesTrust(t *testing.T) {
+	// Process A creates the CA and certifies a server; process B
+	// imports the CA and certifies its own server. Each side's
+	// verifier must accept the other's certificates.
+	regA := newTestRegistry(t)
+	data, err := regA.Export()
+	if err != nil {
+		t.Fatal(err)
+	}
+	regB, err := ImportRegistry(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regB.CAName() != regA.CAName() {
+		t.Fatalf("CA name changed: %v", regB.CAName())
+	}
+	idA, err := NewIdentity(regA, names.Server("umn.edu", "proc-a"), time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idB, err := NewIdentity(regB, names.Server("umn.edu", "proc-b"), time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := regB.Verifier().Check(idA.Cert, time.Now()); err != nil {
+		t.Fatalf("B rejects A's cert: %v", err)
+	}
+	if err := regA.Verifier().Check(idB.Cert, time.Now()); err != nil {
+		t.Fatalf("A rejects B's cert: %v", err)
+	}
+}
+
+func TestImportRejectsGarbage(t *testing.T) {
+	if _, err := ImportRegistry([]byte("junk")); err == nil {
+		t.Fatal("garbage imported")
+	}
+}
+
+// Property: any bit flip in the signature invalidates it.
+func TestQuickSignatureBitFlips(t *testing.T) {
+	kp := MustGenerate()
+	msg := []byte("the quick brown agent jumps over the lazy server")
+	sig := kp.Sign(msg)
+	f := func(pos uint16, bit uint8) bool {
+		mut := make([]byte, len(sig))
+		copy(mut, sig)
+		mut[int(pos)%len(mut)] ^= 1 << (bit % 8)
+		return !Verify(kp.Public, msg, mut)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,169 @@
+package loader
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/asl"
+	"repro/internal/vm"
+)
+
+func compile(t *testing.T, src string) *vm.Module {
+	t.Helper()
+	m, err := asl.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestTrustedSetInstallAndGet(t *testing.T) {
+	m := compile(t, "module stdlib\nfunc check() { return \"trusted\" }")
+	ts, err := NewTrustedSet(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := ts.Get("stdlib")
+	if !ok || got != m {
+		t.Fatal("Get failed")
+	}
+	if len(ts.Names()) != 1 {
+		t.Fatalf("Names = %v", ts.Names())
+	}
+}
+
+func TestTrustedSetRejectsDuplicatesAndInvalid(t *testing.T) {
+	m := compile(t, "module stdlib\nfunc f() { return 1 }")
+	ts, err := NewTrustedSet(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ts.InstallTrusted(m); err == nil {
+		t.Fatal("duplicate trusted module accepted")
+	}
+	bad := &vm.Module{Name: "bad", Fns: []vm.Func{{Name: "f", Code: []vm.Instr{{Op: vm.OpAdd}}}}}
+	if err := ts.InstallTrusted(bad); !errors.Is(err, vm.ErrVerify) {
+		t.Fatalf("invalid trusted module accepted: %v", err)
+	}
+}
+
+// TestC8_ImpostorModule reproduces the paper's impostor-class scenario:
+// an agent ships a module named "stdlib" whose check() lies; the trusted
+// module must win resolution (experiment C8 in DESIGN.md).
+func TestC8_ImpostorModule(t *testing.T) {
+	trusted := compile(t, `module stdlib
+func check() { return "trusted" }`)
+	impostor := compile(t, `module stdlib
+func check() { return "impostor" }`)
+	app := compile(t, `module app
+func main() { return stdlib:check() }`)
+
+	ts, err := NewTrustedSet(trusted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ns, err := NewNamespace(ts, []vm.Module{*impostor, *app}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := vm.NewEnv()
+	env.Resolver = ns
+	v, err := vm.Run(env, app, "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Equal(vm.S("trusted")) {
+		t.Fatalf("impostor module won resolution: got %v", v)
+	}
+}
+
+func TestStrictRejectsShadowing(t *testing.T) {
+	trusted := compile(t, "module stdlib\nfunc f() { return 1 }")
+	impostor := compile(t, "module stdlib\nfunc f() { return 2 }")
+	ts, _ := NewTrustedSet(trusted)
+	if _, err := NewNamespace(ts, []vm.Module{*impostor}, true); !errors.Is(err, ErrShadowedTrusted) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestNamespaceRejectsUnverifiableBundle(t *testing.T) {
+	ts, _ := NewTrustedSet()
+	bad := vm.Module{Name: "bad", Fns: []vm.Func{{Name: "f", Code: []vm.Instr{{Op: vm.OpAdd}}}}}
+	if _, err := NewNamespace(ts, []vm.Module{bad}, false); !errors.Is(err, vm.ErrVerify) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+// TestC8_NamespaceIsolation: two agents with same-named modules resolve
+// to their own code; neither sees the other's.
+func TestC8_NamespaceIsolation(t *testing.T) {
+	ts, _ := NewTrustedSet()
+	modA := compile(t, "module util\nfunc who() { return \"A\" }")
+	modB := compile(t, "module util\nfunc who() { return \"B\" }")
+	app := compile(t, "module app\nfunc main() { return util:who() }")
+
+	nsA, err := NewNamespace(ts, []vm.Module{*modA, *app}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nsB, err := NewNamespace(ts, []vm.Module{*modB, *app}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runIn := func(ns *Namespace) vm.Value {
+		env := vm.NewEnv()
+		env.Resolver = ns
+		appMod, err := ns.Module("app")
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, err := vm.Run(env, appMod, "main")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	if v := runIn(nsA); !v.Equal(vm.S("A")) {
+		t.Fatalf("agent A resolved %v", v)
+	}
+	if v := runIn(nsB); !v.Equal(vm.S("B")) {
+		t.Fatalf("agent B resolved %v", v)
+	}
+}
+
+func TestResolveBareNameSearchesOwnOnly(t *testing.T) {
+	trusted := compile(t, "module priv\nfunc secret() { return 42 }")
+	own := compile(t, "module mine\nfunc helper() { return 7 }")
+	ts, _ := NewTrustedSet(trusted)
+	ns, _ := NewNamespace(ts, []vm.Module{*own}, false)
+
+	if _, _, err := ns.ResolveFunc("helper"); err != nil {
+		t.Fatalf("own bare resolution failed: %v", err)
+	}
+	// Bare names never reach trusted modules — trusted code is only
+	// callable with an explicit module qualifier.
+	if _, _, err := ns.ResolveFunc("secret"); !errors.Is(err, ErrUnknownFunction) {
+		t.Fatalf("bare name resolved into trusted set: %v", err)
+	}
+	if _, _, err := ns.ResolveFunc("priv:secret"); err != nil {
+		t.Fatalf("qualified trusted resolution failed: %v", err)
+	}
+}
+
+func TestResolveErrors(t *testing.T) {
+	ts, _ := NewTrustedSet()
+	own := compile(t, "module mine\nfunc f() { return 1 }")
+	ns, _ := NewNamespace(ts, []vm.Module{*own}, false)
+	if _, _, err := ns.ResolveFunc("ghost:f"); !errors.Is(err, ErrUnknownModule) {
+		t.Fatalf("got %v", err)
+	}
+	if _, _, err := ns.ResolveFunc("mine:ghost"); !errors.Is(err, ErrUnknownFunction) {
+		t.Fatalf("got %v", err)
+	}
+	if _, err := ns.Module("nope"); !errors.Is(err, ErrUnknownModule) {
+		t.Fatalf("got %v", err)
+	}
+	if got := len(ns.OwnModules()); got != 1 {
+		t.Fatalf("OwnModules = %d", got)
+	}
+}

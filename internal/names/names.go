@@ -1,0 +1,152 @@
+// Package names implements the global, location-independent naming scheme
+// used by Ajanta for agents, agent servers, resources, and principals
+// (paper §4: "All agents, agent servers, and resources are assigned
+// global, location-independent names").
+//
+// A name has the textual form
+//
+//	ajanta:<kind>:<authority>/<path>
+//
+// where <kind> identifies the category of entity, <authority> is the
+// naming authority (typically the registering organisation or home
+// server), and <path> is a slash-separated identifier unique within the
+// authority. Names are pure identifiers: binding a name to a network
+// location is the job of the NameService.
+package names
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Kind is the category of a named entity.
+type Kind string
+
+// The entity categories used throughout the system. Principals (§2 of the
+// paper) include users, hosts, servers and groups; agents and resources
+// get their own kinds because the access-control machinery dispatches on
+// them.
+const (
+	KindAgent     Kind = "agent"
+	KindServer    Kind = "server"
+	KindResource  Kind = "resource"
+	KindPrincipal Kind = "principal"
+	KindGroup     Kind = "group"
+)
+
+// validKinds enumerates every Kind accepted by Parse and Valid.
+var validKinds = map[Kind]bool{
+	KindAgent:     true,
+	KindServer:    true,
+	KindResource:  true,
+	KindPrincipal: true,
+	KindGroup:     true,
+}
+
+// Scheme is the URI scheme prefix of every textual name.
+const Scheme = "ajanta"
+
+// Errors returned by Parse and Valid.
+var (
+	ErrBadScheme    = errors.New("names: missing or wrong scheme (want \"ajanta:\")")
+	ErrBadKind      = errors.New("names: unknown kind")
+	ErrBadAuthority = errors.New("names: empty or malformed authority")
+	ErrBadPath      = errors.New("names: empty or malformed path")
+)
+
+// Name is a global, location-independent identifier. The zero Name is
+// invalid; use New or Parse.
+type Name struct {
+	Kind      Kind
+	Authority string
+	Path      string
+}
+
+// New constructs a Name and validates it.
+func New(kind Kind, authority, path string) (Name, error) {
+	n := Name{Kind: kind, Authority: authority, Path: path}
+	if err := n.Valid(); err != nil {
+		return Name{}, err
+	}
+	return n, nil
+}
+
+// MustNew is New for statically known-good names; it panics on error.
+func MustNew(kind Kind, authority, path string) Name {
+	n, err := New(kind, authority, path)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// Valid reports whether the name is well formed.
+func (n Name) Valid() error {
+	if !validKinds[n.Kind] {
+		return fmt.Errorf("%w: %q", ErrBadKind, n.Kind)
+	}
+	if !validComponent(n.Authority) {
+		return fmt.Errorf("%w: %q", ErrBadAuthority, n.Authority)
+	}
+	if n.Path == "" || strings.HasPrefix(n.Path, "/") || strings.HasSuffix(n.Path, "/") {
+		return fmt.Errorf("%w: %q", ErrBadPath, n.Path)
+	}
+	for _, seg := range strings.Split(n.Path, "/") {
+		if !validComponent(seg) {
+			return fmt.Errorf("%w: segment %q", ErrBadPath, seg)
+		}
+	}
+	return nil
+}
+
+// validComponent accepts non-empty strings of letters, digits, '.', '-'
+// and '_'. Colons and slashes are structural and therefore excluded.
+func validComponent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+		case r == '.', r == '-', r == '_':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the canonical textual form.
+func (n Name) String() string {
+	return Scheme + ":" + string(n.Kind) + ":" + n.Authority + "/" + n.Path
+}
+
+// IsZero reports whether the name is the zero value.
+func (n Name) IsZero() bool { return n == Name{} }
+
+// Parse parses the canonical textual form produced by String.
+func Parse(s string) (Name, error) {
+	rest, ok := strings.CutPrefix(s, Scheme+":")
+	if !ok {
+		return Name{}, fmt.Errorf("%w: %q", ErrBadScheme, s)
+	}
+	kindStr, rest, ok := strings.Cut(rest, ":")
+	if !ok {
+		return Name{}, fmt.Errorf("%w: %q", ErrBadKind, s)
+	}
+	authority, path, ok := strings.Cut(rest, "/")
+	if !ok {
+		return Name{}, fmt.Errorf("%w: %q", ErrBadPath, s)
+	}
+	return New(Kind(kindStr), authority, path)
+}
+
+// Agent, Server, Resource, Principal and Group are convenience
+// constructors that panic on malformed input; they are intended for
+// configuration and tests where the inputs are literals.
+func Agent(authority, path string) Name     { return MustNew(KindAgent, authority, path) }
+func Server(authority, path string) Name    { return MustNew(KindServer, authority, path) }
+func Resource(authority, path string) Name  { return MustNew(KindResource, authority, path) }
+func Principal(authority, path string) Name { return MustNew(KindPrincipal, authority, path) }
+func Group(authority, path string) Name     { return MustNew(KindGroup, authority, path) }

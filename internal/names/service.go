@@ -1,0 +1,83 @@
+package names
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Location is the current network binding of a named entity: the address
+// of the agent server that hosts it. The paper keeps names
+// location-independent precisely so this binding can change as agents
+// migrate.
+type Location struct {
+	// Address is a dialable endpoint ("host:port" for TCP, or a
+	// netsim endpoint identifier in simulation).
+	Address string
+	// ServerName is the agent server currently responsible for the
+	// entity, when known.
+	ServerName Name
+}
+
+// ErrNotBound is returned by Lookup for unregistered names.
+var ErrNotBound = errors.New("names: name not bound")
+
+// Service is the name service: a thread-safe registry mapping global
+// names to current locations. In a deployment this would be a replicated
+// directory; here it is an in-process substrate shared by the platform.
+type Service struct {
+	mu       sync.RWMutex
+	bindings map[Name]Location
+}
+
+// NewService returns an empty name service.
+func NewService() *Service {
+	return &Service{bindings: make(map[Name]Location)}
+}
+
+// Bind registers or replaces the location of a name.
+func (s *Service) Bind(n Name, loc Location) error {
+	if err := n.Valid(); err != nil {
+		return fmt.Errorf("names: bind: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.bindings[n] = loc
+	return nil
+}
+
+// Unbind removes a binding; unbinding an absent name is a no-op.
+func (s *Service) Unbind(n Name) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.bindings, n)
+}
+
+// Lookup resolves a name to its current location.
+func (s *Service) Lookup(n Name) (Location, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	loc, ok := s.bindings[n]
+	if !ok {
+		return Location{}, fmt.Errorf("%w: %s", ErrNotBound, n)
+	}
+	return loc, nil
+}
+
+// Snapshot returns a copy of all current bindings, for status queries.
+func (s *Service) Snapshot() map[Name]Location {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make(map[Name]Location, len(s.bindings))
+	for k, v := range s.bindings {
+		out[k] = v
+	}
+	return out
+}
+
+// Len reports the number of bound names.
+func (s *Service) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.bindings)
+}

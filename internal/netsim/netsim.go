@@ -1,0 +1,299 @@
+// Package netsim provides the simulated network substrate. The paper's
+// threat model assumes an open network where an adversary "can
+// arbitrarily intercept and modify network-level messages, or even
+// delete them altogether and insert forged ones" (§2). We cannot deploy
+// on that network, so this package supplies:
+//
+//   - an in-memory implementation of net.Conn / net.Listener with a
+//     dial-by-address Network, so the full transfer protocol runs
+//     unmodified over either TCP or the simulator;
+//   - programmable taps that let tests play the adversary (tamper,
+//     drop, replay, eavesdrop) on the byte stream;
+//   - byte counters and an analytic latency/bandwidth Model used by the
+//     communication experiments (C3), so modeled completion times are
+//     deterministic instead of sleep-based.
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Tap observes and may rewrite traffic. It is called once per Write
+// with the written bytes; the returned slice is what the peer receives.
+// Returning nil drops the message. from/to are network addresses.
+type Tap func(from, to string, data []byte) []byte
+
+// Network is an in-memory address space of listeners.
+type Network struct {
+	mu        sync.Mutex
+	listeners map[string]*Listener
+	tap       Tap
+	bytes     atomic.Uint64
+	messages  atomic.Uint64
+}
+
+// NewNetwork returns an empty network.
+func NewNetwork() *Network {
+	return &Network{listeners: make(map[string]*Listener)}
+}
+
+// SetTap installs the adversary hook (nil removes it).
+func (n *Network) SetTap(t Tap) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.tap = t
+}
+
+// BytesSent reports total bytes written across all connections.
+func (n *Network) BytesSent() uint64 { return n.bytes.Load() }
+
+// Messages reports total Write calls across all connections.
+func (n *Network) Messages() uint64 { return n.messages.Load() }
+
+// ResetCounters zeroes the traffic counters.
+func (n *Network) ResetCounters() {
+	n.bytes.Store(0)
+	n.messages.Store(0)
+}
+
+// Listen binds a listener to addr.
+func (n *Network) Listen(addr string) (*Listener, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, dup := n.listeners[addr]; dup {
+		return nil, fmt.Errorf("netsim: address %q in use", addr)
+	}
+	l := &Listener{net: n, addr: addr, backlog: make(chan *Conn, 16)}
+	n.listeners[addr] = l
+	return l, nil
+}
+
+// Dial connects to the listener at addr.
+func (n *Network) Dial(addr string) (net.Conn, error) {
+	n.mu.Lock()
+	l, ok := n.listeners[addr]
+	n.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("netsim: connection refused: %q", addr)
+	}
+	clientEnd, serverEnd := n.pair("dialer", addr)
+	select {
+	case l.backlog <- serverEnd:
+		return clientEnd, nil
+	case <-l.closed():
+		return nil, fmt.Errorf("netsim: listener %q closed", addr)
+	}
+}
+
+// pair builds two connected endpoints.
+func (n *Network) pair(addrA, addrB string) (*Conn, *Conn) {
+	ab := make(chan []byte, 64)
+	ba := make(chan []byte, 64)
+	doneA := make(chan struct{})
+	doneB := make(chan struct{})
+	a := &Conn{net: n, local: addrA, remote: addrB, out: ab, in: ba, localDone: doneA, remoteDone: doneB}
+	b := &Conn{net: n, local: addrB, remote: addrA, out: ba, in: ab, localDone: doneB, remoteDone: doneA}
+	return a, b
+}
+
+// Listener implements net.Listener.
+type Listener struct {
+	net     *Network
+	addr    string
+	backlog chan *Conn
+
+	closeMu   sync.Mutex
+	closeChan chan struct{}
+}
+
+func (l *Listener) closed() chan struct{} {
+	l.closeMu.Lock()
+	defer l.closeMu.Unlock()
+	if l.closeChan == nil {
+		l.closeChan = make(chan struct{})
+	}
+	return l.closeChan
+}
+
+// Accept implements net.Listener.
+func (l *Listener) Accept() (net.Conn, error) {
+	select {
+	case c := <-l.backlog:
+		return c, nil
+	case <-l.closed():
+		return nil, errors.New("netsim: listener closed")
+	}
+}
+
+// Close implements net.Listener.
+func (l *Listener) Close() error {
+	l.net.mu.Lock()
+	delete(l.net.listeners, l.addr)
+	l.net.mu.Unlock()
+	ch := l.closed()
+	select {
+	case <-ch:
+	default:
+		close(ch)
+	}
+	return nil
+}
+
+// Addr implements net.Listener.
+func (l *Listener) Addr() net.Addr { return simAddr(l.addr) }
+
+type simAddr string
+
+func (a simAddr) Network() string { return "sim" }
+func (a simAddr) String() string  { return string(a) }
+
+// Conn implements net.Conn over channels. Each Write is one message;
+// Read consumes messages with buffering, so stream semantics hold.
+type Conn struct {
+	net    *Network
+	local  string
+	remote string
+	out    chan []byte
+	in     chan []byte
+
+	localDone  chan struct{}
+	remoteDone chan struct{}
+	closeOnce  sync.Once
+
+	readBuf  []byte
+	deadline atomic.Value // time.Time
+}
+
+// Write implements net.Conn; the network tap sees every write.
+func (c *Conn) Write(p []byte) (int, error) {
+	select {
+	case <-c.localDone:
+		return 0, io.ErrClosedPipe
+	default:
+	}
+	c.net.bytes.Add(uint64(len(p)))
+	c.net.messages.Add(1)
+	data := append([]byte(nil), p...)
+	c.net.mu.Lock()
+	tap := c.net.tap
+	c.net.mu.Unlock()
+	if tap != nil {
+		data = tap(c.local, c.remote, data)
+		if data == nil {
+			return len(p), nil // dropped by the adversary
+		}
+	}
+	select {
+	case c.out <- data:
+		return len(p), nil
+	case <-c.localDone:
+		return 0, io.ErrClosedPipe
+	case <-c.remoteDone:
+		return 0, io.ErrClosedPipe
+	}
+}
+
+// Read implements net.Conn.
+func (c *Conn) Read(p []byte) (int, error) {
+	if len(c.readBuf) > 0 {
+		n := copy(p, c.readBuf)
+		c.readBuf = c.readBuf[n:]
+		return n, nil
+	}
+	var timeout <-chan time.Time
+	if d, ok := c.deadline.Load().(time.Time); ok && !d.IsZero() {
+		until := time.Until(d)
+		if until <= 0 {
+			return 0, errTimeout{}
+		}
+		t := time.NewTimer(until)
+		defer t.Stop()
+		timeout = t.C
+	}
+	select {
+	case data, ok := <-c.in:
+		if !ok {
+			return 0, io.EOF
+		}
+		n := copy(p, data)
+		c.readBuf = data[n:]
+		return n, nil
+	case <-c.remoteDone:
+		// Drain anything already queued before reporting EOF.
+		select {
+		case data := <-c.in:
+			n := copy(p, data)
+			c.readBuf = data[n:]
+			return n, nil
+		default:
+			return 0, io.EOF
+		}
+	case <-c.localDone:
+		return 0, io.ErrClosedPipe
+	case <-timeout:
+		return 0, errTimeout{}
+	}
+}
+
+// Close implements net.Conn.
+func (c *Conn) Close() error {
+	c.closeOnce.Do(func() { close(c.localDone) })
+	return nil
+}
+
+// LocalAddr implements net.Conn.
+func (c *Conn) LocalAddr() net.Addr { return simAddr(c.local) }
+
+// RemoteAddr implements net.Conn.
+func (c *Conn) RemoteAddr() net.Addr { return simAddr(c.remote) }
+
+// SetDeadline implements net.Conn (read side only; writes never block
+// long in the simulator).
+func (c *Conn) SetDeadline(t time.Time) error {
+	c.deadline.Store(t)
+	return nil
+}
+
+// SetReadDeadline implements net.Conn.
+func (c *Conn) SetReadDeadline(t time.Time) error { return c.SetDeadline(t) }
+
+// SetWriteDeadline implements net.Conn (no-op).
+func (c *Conn) SetWriteDeadline(time.Time) error { return nil }
+
+type errTimeout struct{}
+
+func (errTimeout) Error() string   { return "netsim: i/o timeout" }
+func (errTimeout) Timeout() bool   { return true }
+func (errTimeout) Temporary() bool { return true }
+
+// Model is the analytic link model used by the communication
+// experiments: a message of n bytes takes Latency + n/Bandwidth to
+// deliver. It accumulates modeled time without sleeping, which keeps
+// experiment C3 deterministic and fast.
+type Model struct {
+	// Latency is the one-way message latency.
+	Latency time.Duration
+	// Bandwidth in bytes per second.
+	Bandwidth float64
+}
+
+// TransferTime returns the modeled one-way delivery time for n bytes.
+func (m Model) TransferTime(n uint64) time.Duration {
+	t := m.Latency
+	if m.Bandwidth > 0 {
+		t += time.Duration(float64(n) / m.Bandwidth * float64(time.Second))
+	}
+	return t
+}
+
+// RoundTrip returns the modeled time for a request of reqBytes and a
+// response of respBytes.
+func (m Model) RoundTrip(reqBytes, respBytes uint64) time.Duration {
+	return m.TransferTime(reqBytes) + m.TransferTime(respBytes)
+}

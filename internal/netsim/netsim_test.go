@@ -1,0 +1,225 @@
+package netsim
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestDialListenEcho(t *testing.T) {
+	n := NewNetwork()
+	l, err := n.Listen("srv:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		buf := make([]byte, 64)
+		k, _ := c.Read(buf)
+		_, _ = c.Write(bytes.ToUpper(buf[:k]))
+		_ = c.Close()
+	}()
+	c, err := n.Dial("srv:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 64)
+	k, err := c.Read(buf)
+	if err != nil || string(buf[:k]) != "HELLO" {
+		t.Fatalf("%q %v", buf[:k], err)
+	}
+}
+
+func TestDialRefusedAndDuplicateListen(t *testing.T) {
+	n := NewNetwork()
+	if _, err := n.Dial("nowhere"); err == nil {
+		t.Fatal("dial to unbound address succeeded")
+	}
+	_, err := n.Listen("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Listen("a"); err == nil {
+		t.Fatal("duplicate listen succeeded")
+	}
+}
+
+func TestListenerClose(t *testing.T) {
+	n := NewNetwork()
+	l, _ := n.Listen("a")
+	done := make(chan error, 1)
+	go func() {
+		_, err := l.Accept()
+		done <- err
+	}()
+	_ = l.Close()
+	if err := <-done; err == nil {
+		t.Fatal("Accept returned nil after Close")
+	}
+	if _, err := n.Dial("a"); err == nil {
+		t.Fatal("dial succeeded after listener close")
+	}
+	// Address is reusable after close.
+	if _, err := n.Listen("a"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPartialReadsBuffer(t *testing.T) {
+	n := NewNetwork()
+	l, _ := n.Listen("a")
+	go func() {
+		c, _ := l.Accept()
+		_, _ = c.Write([]byte("abcdefgh"))
+	}()
+	c, _ := n.Dial("a")
+	small := make([]byte, 3)
+	var got []byte
+	for len(got) < 8 {
+		k, err := c.Read(small)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, small[:k]...)
+	}
+	if string(got) != "abcdefgh" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestEOFOnPeerClose(t *testing.T) {
+	n := NewNetwork()
+	l, _ := n.Listen("a")
+	go func() {
+		c, _ := l.Accept()
+		_, _ = c.Write([]byte("bye"))
+		_ = c.Close()
+	}()
+	c, _ := n.Dial("a")
+	data, err := io.ReadAll(c)
+	if err != nil || string(data) != "bye" {
+		t.Fatalf("%q %v", data, err)
+	}
+}
+
+func TestWriteAfterCloseFails(t *testing.T) {
+	n := NewNetwork()
+	l, _ := n.Listen("a")
+	go func() { _, _ = l.Accept() }()
+	c, _ := n.Dial("a")
+	_ = c.Close()
+	if _, err := c.Write([]byte("x")); err == nil {
+		t.Fatal("write after close succeeded")
+	}
+}
+
+func TestReadDeadline(t *testing.T) {
+	n := NewNetwork()
+	l, _ := n.Listen("a")
+	go func() { _, _ = l.Accept() }()
+	c, _ := n.Dial("a")
+	_ = c.SetReadDeadline(time.Now().Add(10 * time.Millisecond))
+	_, err := c.Read(make([]byte, 8))
+	nerr, ok := err.(net.Error)
+	if !ok || !nerr.Timeout() {
+		t.Fatalf("got %v, want timeout", err)
+	}
+}
+
+func TestTapTamper(t *testing.T) {
+	n := NewNetwork()
+	n.SetTap(func(from, to string, data []byte) []byte {
+		data[0] ^= 0xff // adversary flips a bit
+		return data
+	})
+	l, _ := n.Listen("a")
+	go func() {
+		c, _ := l.Accept()
+		_, _ = c.Write([]byte("secret"))
+	}()
+	c, _ := n.Dial("a")
+	buf := make([]byte, 16)
+	k, _ := c.Read(buf)
+	if string(buf[:k]) == "secret" {
+		t.Fatal("tamper tap had no effect")
+	}
+}
+
+func TestTapDrop(t *testing.T) {
+	n := NewNetwork()
+	var dropped atomic.Int32
+	n.SetTap(func(from, to string, data []byte) []byte {
+		dropped.Add(1)
+		return nil // adversary deletes the message
+	})
+	l, _ := n.Listen("a")
+	go func() {
+		c, _ := l.Accept()
+		_, _ = c.Write([]byte("gone"))
+	}()
+	c, _ := n.Dial("a")
+	_ = c.SetReadDeadline(time.Now().Add(20 * time.Millisecond))
+	if _, err := c.Read(make([]byte, 8)); err == nil {
+		t.Fatal("read returned data that was dropped")
+	}
+	if dropped.Load() == 0 {
+		t.Fatal("tap not invoked")
+	}
+}
+
+func TestByteCounters(t *testing.T) {
+	n := NewNetwork()
+	l, _ := n.Listen("a")
+	go func() {
+		c, _ := l.Accept()
+		buf := make([]byte, 16)
+		_, _ = c.Read(buf)
+	}()
+	c, _ := n.Dial("a")
+	_, _ = c.Write([]byte("12345"))
+	if n.BytesSent() != 5 || n.Messages() != 1 {
+		t.Fatalf("counters: %d bytes, %d msgs", n.BytesSent(), n.Messages())
+	}
+	n.ResetCounters()
+	if n.BytesSent() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestModelArithmetic(t *testing.T) {
+	m := Model{Latency: 10 * time.Millisecond, Bandwidth: 1000} // 1000 B/s
+	if got := m.TransferTime(500); got != 510*time.Millisecond {
+		t.Fatalf("TransferTime = %v", got)
+	}
+	if got := m.RoundTrip(500, 1000); got != 510*time.Millisecond+1010*time.Millisecond {
+		t.Fatalf("RoundTrip = %v", got)
+	}
+	// Zero bandwidth = latency only.
+	m2 := Model{Latency: time.Millisecond}
+	if got := m2.TransferTime(1 << 30); got != time.Millisecond {
+		t.Fatalf("TransferTime = %v", got)
+	}
+}
+
+func TestAddrs(t *testing.T) {
+	n := NewNetwork()
+	l, _ := n.Listen("srv:9")
+	if l.Addr().String() != "srv:9" || l.Addr().Network() != "sim" {
+		t.Fatal("listener addr wrong")
+	}
+	go func() { _, _ = l.Accept() }()
+	c, _ := n.Dial("srv:9")
+	if c.RemoteAddr().String() != "srv:9" {
+		t.Fatalf("remote = %v", c.RemoteAddr())
+	}
+}

@@ -1,0 +1,20 @@
+package policy
+
+import (
+	"os"
+	"testing"
+)
+
+func TestExamplePolicyFileParses(t *testing.T) {
+	text, err := os.ReadFile("../../examples/policies/market.policy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rules, err := ParseRules(string(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 4 {
+		t.Fatalf("rules = %d", len(rules))
+	}
+}

@@ -1,0 +1,131 @@
+package policy
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/names"
+)
+
+// ParseRules reads the textual policy format used by server
+// configuration files (ajanta-server -policy). One rule per line:
+//
+//	allow|deny <subject> <resource> <methods> [quota=N] [charge=N] [ttl=DUR]
+//
+// where <subject> is "*", "principal:<authority>/<path>" or
+// "group:<authority>/<path>"; <resource> is a resource path or "*";
+// <methods> is a comma-separated list or "*". '#' starts a comment.
+//
+// Examples:
+//
+//	# everyone may read the catalogue, 100 calls per binding
+//	allow * catalogue quote,items quota=100
+//	# faculty get everything on the corpus, proxies live one hour
+//	allow group:umn.edu/faculty corpus * ttl=1h
+//	# nobody resets the counter
+//	deny * counter reset
+func ParseRules(text string) ([]Rule, error) {
+	var rules []Rule
+	for lineNo, raw := range strings.Split(text, "\n") {
+		line := raw
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		rule, err := parseRuleLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("policy: line %d: %w", lineNo+1, err)
+		}
+		rules = append(rules, rule)
+	}
+	return rules, nil
+}
+
+func parseRuleLine(line string) (Rule, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Rule{}, fmt.Errorf("want at least 'verb subject resource methods', got %q", line)
+	}
+	var r Rule
+	switch fields[0] {
+	case "allow":
+	case "deny":
+		r.Deny = true
+	default:
+		return Rule{}, fmt.Errorf("unknown verb %q (want allow or deny)", fields[0])
+	}
+
+	switch subj := fields[1]; {
+	case subj == "*":
+		r.AnyPrincipal = true
+	case strings.HasPrefix(subj, "principal:"):
+		n, err := parseSubjectName(names.KindPrincipal, strings.TrimPrefix(subj, "principal:"))
+		if err != nil {
+			return Rule{}, err
+		}
+		r.Principal = n
+	case strings.HasPrefix(subj, "group:"):
+		n, err := parseSubjectName(names.KindGroup, strings.TrimPrefix(subj, "group:"))
+		if err != nil {
+			return Rule{}, err
+		}
+		r.Principal = n
+	default:
+		return Rule{}, fmt.Errorf("bad subject %q (want *, principal:..., or group:...)", subj)
+	}
+
+	r.Resource = fields[2]
+	if fields[3] == "*" {
+		r.Methods = []string{"*"}
+	} else {
+		r.Methods = strings.Split(fields[3], ",")
+	}
+
+	for _, opt := range fields[4:] {
+		key, val, ok := strings.Cut(opt, "=")
+		if !ok {
+			return Rule{}, fmt.Errorf("bad option %q (want key=value)", opt)
+		}
+		switch key {
+		case "quota":
+			n, err := strconv.ParseUint(val, 10, 64)
+			if err != nil {
+				return Rule{}, fmt.Errorf("bad quota %q", val)
+			}
+			r.Quota.MaxInvocations = n
+		case "charge":
+			n, err := strconv.ParseUint(val, 10, 64)
+			if err != nil {
+				return Rule{}, fmt.Errorf("bad charge %q", val)
+			}
+			r.Quota.MaxCharge = n
+		case "ttl":
+			d, err := time.ParseDuration(val)
+			if err != nil || d <= 0 {
+				return Rule{}, fmt.Errorf("bad ttl %q", val)
+			}
+			r.TTL = d
+		default:
+			return Rule{}, fmt.Errorf("unknown option %q", key)
+		}
+		if r.Deny {
+			return Rule{}, fmt.Errorf("options are meaningless on deny rules")
+		}
+	}
+	return r, nil
+}
+
+// parseSubjectName parses "<authority>/<path...>" into a Name of the
+// given kind.
+func parseSubjectName(kind names.Kind, s string) (names.Name, error) {
+	authority, path, ok := strings.Cut(s, "/")
+	if !ok {
+		return names.Name{}, fmt.Errorf("bad subject name %q (want authority/path)", s)
+	}
+	return names.New(kind, authority, path)
+}

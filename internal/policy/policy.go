@@ -1,0 +1,248 @@
+// Package policy implements server-side security policies (§5.2: "The
+// rights assigned usually depend on the agent's identity ... and are
+// determined by consulting a security policy"). The design follows the
+// paper's server-oriented view of policy enforcement: each server owns
+// its policy; there is no central authority.
+//
+// A policy is an ordered list of rules. Each rule matches on the
+// requesting agent's owner (directly or through group membership), on
+// the resource being requested, and yields a grant or a denial. The
+// effective grant for a request is the union of all matching allow
+// rules, minus all matching deny rules, intersected with the rights the
+// agent's credentials actually delegate to it (owner-imposed
+// restrictions are enforced *in addition to* resource policies, §5.1).
+package policy
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/cred"
+	"repro/internal/names"
+)
+
+// Quota bounds resource usage for one binding (Telescript-style permits,
+// which the paper cites approvingly).
+type Quota struct {
+	// MaxInvocations caps the number of proxy method calls; 0 means
+	// unlimited.
+	MaxInvocations uint64
+	// MaxCharge caps the accumulated accounting charge; 0 = unlimited.
+	MaxCharge uint64
+}
+
+// Grant is the outcome of a policy decision: which methods of the
+// resource the agent may invoke, under what quota, until when.
+type Grant struct {
+	// Methods maps method name -> allowed. Only listed methods are
+	// enabled on the proxy; everything else is disabled.
+	Methods map[string]bool
+	Quota   Quota
+	// Expiry is the proxy expiration time; zero means the credential
+	// expiry governs alone.
+	Expiry time.Time
+}
+
+// Empty reports whether the grant enables no methods at all.
+func (g Grant) Empty() bool { return len(g.Methods) == 0 }
+
+// MethodList returns the enabled methods in sorted order.
+func (g Grant) MethodList() []string {
+	out := make([]string, 0, len(g.Methods))
+	for m, ok := range g.Methods {
+		if ok {
+			out = append(out, m)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Rule is one policy clause.
+type Rule struct {
+	// Principal matches the agent's owner: an exact principal name,
+	// a group name (expanded via the engine's group table), or the
+	// wildcard "*". The empty Name matches nothing.
+	Principal names.Name
+	// AnyPrincipal, when true, matches every owner (wildcard).
+	AnyPrincipal bool
+	// Resource matches the resource path within this server; "*"
+	// matches all resources.
+	Resource string
+	// Methods are granted (or denied) by this rule; "*" = all the
+	// resource's methods.
+	Methods []string
+	// Deny inverts the rule: matching methods are stripped from the
+	// grant even if another rule allowed them. Deny rules dominate.
+	Deny bool
+	// Quota applies when this (allow) rule contributes to the grant;
+	// the strictest matching quota wins.
+	Quota Quota
+	// TTL bounds proxy lifetime when this rule contributes; the
+	// shortest matching TTL wins. Zero = no bound from this rule.
+	TTL time.Duration
+}
+
+// Engine evaluates rules. It is safe for concurrent use.
+type Engine struct {
+	mu     sync.RWMutex
+	rules  []Rule
+	groups map[names.Name][]names.Name // group -> members
+}
+
+// NewEngine returns an engine with no rules (default deny).
+func NewEngine() *Engine {
+	return &Engine{groups: make(map[names.Name][]names.Name)}
+}
+
+// AddRule appends a rule. Policies "can be dynamically modified by
+// their owners" (§5.1), hence the mutator rather than a frozen config.
+func (e *Engine) AddRule(r Rule) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.rules = append(e.rules, r)
+}
+
+// SetRules replaces the whole rule list.
+func (e *Engine) SetRules(rs []Rule) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.rules = append([]Rule(nil), rs...)
+}
+
+// DefineGroup sets the membership of a group ("a set of principals may
+// be aggregated together in a group to represent a common role", §2).
+func (e *Engine) DefineGroup(group names.Name, members ...names.Name) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.groups[group] = append([]names.Name(nil), members...)
+}
+
+// memberOf reports whether p is in group (non-recursive; the paper's
+// groups are flat roles).
+func (e *Engine) memberOf(p, group names.Name) bool {
+	for _, m := range e.groups[group] {
+		if m == p {
+			return true
+		}
+	}
+	return false
+}
+
+// matches reports whether rule r applies to owner and resourcePath.
+func (e *Engine) matches(r Rule, owner names.Name, resourcePath string) bool {
+	if r.Resource != "*" && r.Resource != resourcePath {
+		return false
+	}
+	if r.AnyPrincipal {
+		return true
+	}
+	if r.Principal.IsZero() {
+		return false
+	}
+	if r.Principal == owner {
+		return true
+	}
+	return r.Principal.Kind == names.KindGroup && e.memberOf(owner, r.Principal)
+}
+
+// Decide computes the grant for an agent (identified by its verified
+// credentials) requesting the resource at resourcePath whose full method
+// set is allMethods. The result is restricted by the delegated rights in
+// the credentials: a right "path.m" (or a wildcard implying it) must be
+// present for method m to survive.
+func (e *Engine) Decide(c *cred.Credentials, resourcePath string, allMethods []string) Grant {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+
+	allowed := make(map[string]bool)
+	denied := make(map[string]bool)
+	var quota Quota
+	var ttl time.Duration
+
+	expand := func(ms []string) []string {
+		for _, m := range ms {
+			if m == "*" {
+				return allMethods
+			}
+		}
+		return ms
+	}
+
+	for _, r := range e.rules {
+		if !e.matches(r, c.Owner, resourcePath) {
+			continue
+		}
+		for _, m := range expand(r.Methods) {
+			if r.Deny {
+				denied[m] = true
+			} else {
+				allowed[m] = true
+			}
+		}
+		if !r.Deny {
+			quota = strictest(quota, r.Quota)
+			if r.TTL > 0 && (ttl == 0 || r.TTL < ttl) {
+				ttl = r.TTL
+			}
+		}
+	}
+
+	g := Grant{Methods: make(map[string]bool)}
+	for m := range allowed {
+		if denied[m] {
+			continue
+		}
+		// Owner-imposed restriction: the agent's delegated rights
+		// must also permit this method (§5.1 third bullet).
+		if !c.Permits(cred.Right(resourcePath + "." + m)) {
+			continue
+		}
+		g.Methods[m] = true
+	}
+	g.Quota = quota
+	if ttl > 0 {
+		g.Expiry = time.Now().Add(ttl)
+	}
+	return g
+}
+
+// strictest combines two quotas, taking the tighter bound per field
+// (0 = unbounded).
+func strictest(a, b Quota) Quota {
+	pick := func(x, y uint64) uint64 {
+		switch {
+		case x == 0:
+			return y
+		case y == 0:
+			return x
+		case x < y:
+			return x
+		default:
+			return y
+		}
+	}
+	return Quota{
+		MaxInvocations: pick(a.MaxInvocations, b.MaxInvocations),
+		MaxCharge:      pick(a.MaxCharge, b.MaxCharge),
+	}
+}
+
+// String renders the rule for logs.
+func (r Rule) String() string {
+	who := "nobody"
+	switch {
+	case r.AnyPrincipal:
+		who = "*"
+	case !r.Principal.IsZero():
+		who = r.Principal.String()
+	}
+	verb := "allow"
+	if r.Deny {
+		verb = "deny"
+	}
+	return fmt.Sprintf("%s %s on %s methods [%s]", verb, who, r.Resource, strings.Join(r.Methods, " "))
+}

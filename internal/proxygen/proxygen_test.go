@@ -1,0 +1,97 @@
+package proxygen
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestProxygenMatchesFigure5: regenerating the Buffer proxy from the
+// Buffer interface reproduces the checked-in generated file exactly
+// (experiment F5 — the paper's "simple lexical processing tool").
+func TestProxygenMatchesFigure5(t *testing.T) {
+	src, err := os.ReadFile("../resource/buffer/buffer.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile("../resource/buffer/buffer_proxy.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Generate(src, "Buffer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Fatalf("generated proxy differs from checked-in buffer_proxy.go\n--- generated ---\n%s", got)
+	}
+}
+
+func TestGenerateUnknownInterface(t *testing.T) {
+	src := []byte("package p\ntype X struct{}")
+	if _, err := Generate(src, "Buffer"); err == nil {
+		t.Fatal("unknown interface accepted")
+	}
+	if _, err := Generate(src, "X"); err == nil {
+		t.Fatal("non-interface type accepted")
+	}
+}
+
+func TestGenerateRejectsUnsupportedSignatures(t *testing.T) {
+	src := []byte(`package p
+type Bad interface {
+	NoError() int
+}`)
+	if _, err := Generate(src, "Bad"); err == nil {
+		t.Fatal("method without error result accepted")
+	}
+	src2 := []byte(`package p
+type Bad2 interface {
+	Three() (int, int, error)
+}`)
+	if _, err := Generate(src2, "Bad2"); err == nil {
+		t.Fatal("three-result method accepted")
+	}
+}
+
+func TestGenerateRejectsForeignEmbeds(t *testing.T) {
+	src := []byte(`package p
+import "io"
+type Weird interface {
+	io.Reader
+	Get() (int, error)
+}`)
+	if _, err := Generate(src, "Weird"); err == nil {
+		t.Fatal("foreign embedded interface accepted")
+	}
+}
+
+func TestGenerateSynthesizesParamNames(t *testing.T) {
+	src := []byte(`package p
+type Store interface {
+	Lookup(string, int) (string, error)
+	Delete(key string) error
+}`)
+	out, err := Generate(src, "Store")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(out)
+	for _, want := range []string{
+		"func (p *StoreProxy) Lookup(a0 string, a1 int) (string, error) {",
+		"return p.ref.Lookup(a0, a1)",
+		"func (p *StoreProxy) Delete(key string) error {",
+		"return p.ref.Delete(key)",
+		`p.isEnabled("Lookup")`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q\n%s", want, text)
+		}
+	}
+}
+
+func TestGenerateParseError(t *testing.T) {
+	if _, err := Generate([]byte("not go"), "X"); err == nil {
+		t.Fatal("garbage source accepted")
+	}
+}

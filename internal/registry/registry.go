@@ -1,0 +1,132 @@
+// Package registry implements the agent server's resource registry
+// (Fig. 1, Fig. 6 step 1): the table through which resources are made
+// available to agents and looked up by global name. "Each entry also
+// contains ownership information, which is used to prevent any
+// unauthorized modifications to the registry entries" (§5.5).
+package registry
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/domain"
+	"repro/internal/names"
+	"repro/internal/resource"
+)
+
+// Errors.
+var (
+	ErrNotFound  = errors.New("registry: resource not found")
+	ErrDuplicate = errors.New("registry: resource already registered")
+	ErrNotOwner  = errors.New("registry: caller does not own this entry")
+)
+
+// Entry is one registered resource: the resource object (through its
+// AccessProtocol), plus ownership information.
+type Entry struct {
+	Name names.Name
+	// Resource answers generic queries; AP creates proxies. A Def
+	// satisfies both.
+	Resource resource.Resource
+	AP       resource.AccessProtocol
+	// OwnerDomain is the protection domain that registered the entry
+	// and may modify or remove it. Resources installed at server
+	// start belong to the server domain; resources installed by
+	// agents (§5.5 "dynamic extension of server capabilities") belong
+	// to the installing agent's domain — and survive its departure.
+	OwnerDomain domain.ID
+	// OwnerPrincipal is the registering principal, kept for audit.
+	OwnerPrincipal names.Name
+}
+
+// Registry is a thread-safe name → Entry table.
+type Registry struct {
+	mu      sync.RWMutex
+	entries map[names.Name]*Entry
+}
+
+// New returns an empty registry.
+func New() *Registry {
+	return &Registry{entries: make(map[names.Name]*Entry)}
+}
+
+// Register adds an entry (Fig. 6 step 1: "resource registers itself").
+func (r *Registry) Register(e Entry) error {
+	if err := e.Name.Valid(); err != nil {
+		return fmt.Errorf("registry: %w", err)
+	}
+	if e.Resource == nil || e.AP == nil {
+		return errors.New("registry: entry needs Resource and AccessProtocol")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.entries[e.Name]; dup {
+		return fmt.Errorf("%w: %s", ErrDuplicate, e.Name)
+	}
+	cp := e
+	r.entries[e.Name] = &cp
+	return nil
+}
+
+// Lookup finds an entry by name (Fig. 6 step 3).
+func (r *Registry) Lookup(n names.Name) (Entry, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	e, ok := r.entries[n]
+	if !ok {
+		return Entry{}, fmt.Errorf("%w: %s", ErrNotFound, n)
+	}
+	return *e, nil
+}
+
+// Unregister removes an entry. Only the owning domain (or the server)
+// may do so — the ownership check of §5.5.
+func (r *Registry) Unregister(caller domain.ID, n names.Name) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.entries[n]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, n)
+	}
+	if caller != domain.ServerID && caller != e.OwnerDomain {
+		return fmt.Errorf("%w: %s owned by %s", ErrNotOwner, n, e.OwnerDomain)
+	}
+	delete(r.entries, n)
+	return nil
+}
+
+// Replace swaps an entry's resource and access protocol, subject to the
+// same ownership check.
+func (r *Registry) Replace(caller domain.ID, n names.Name, res resource.Resource, ap resource.AccessProtocol) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.entries[n]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, n)
+	}
+	if caller != domain.ServerID && caller != e.OwnerDomain {
+		return fmt.Errorf("%w: %s owned by %s", ErrNotOwner, n, e.OwnerDomain)
+	}
+	e.Resource = res
+	e.AP = ap
+	return nil
+}
+
+// List returns all registered names.
+func (r *Registry) List() []names.Name {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]names.Name, 0, len(r.entries))
+	for n := range r.entries {
+		out = append(out, n)
+	}
+	return out
+}
+
+// Len reports the number of entries.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.entries)
+}

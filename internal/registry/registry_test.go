@@ -1,0 +1,119 @@
+package registry
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/domain"
+	"repro/internal/names"
+	"repro/internal/resource"
+	"repro/internal/vm"
+)
+
+func testDef(path string) *resource.Def {
+	return &resource.Def{
+		ResourceImpl: resource.ResourceImpl{
+			Name:  names.Resource("acme.com", path),
+			Owner: names.Principal("acme.com", "admin"),
+		},
+		Path:    path,
+		Methods: map[string]resource.Method{"ping": func([]vm.Value) (vm.Value, error) { return vm.S("pong"), nil }},
+	}
+}
+
+func entry(path string, owner domain.ID) Entry {
+	d := testDef(path)
+	return Entry{Name: d.Name, Resource: d, AP: d, OwnerDomain: owner,
+		OwnerPrincipal: names.Principal("acme.com", "admin")}
+}
+
+func TestRegisterLookup(t *testing.T) {
+	r := New()
+	e := entry("db", domain.ServerID)
+	if err := r.Register(e); err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.Lookup(e.Name)
+	if err != nil || got.Resource.Description() != e.Resource.Description() {
+		t.Fatalf("%+v %v", got, err)
+	}
+	if r.Len() != 1 || len(r.List()) != 1 {
+		t.Fatal("Len/List wrong")
+	}
+}
+
+func TestRegisterRejectsBadEntries(t *testing.T) {
+	r := New()
+	if err := r.Register(Entry{}); err == nil {
+		t.Fatal("zero entry accepted")
+	}
+	d := testDef("x")
+	if err := r.Register(Entry{Name: d.Name}); err == nil {
+		t.Fatal("entry without resource accepted")
+	}
+}
+
+func TestRegisterDuplicate(t *testing.T) {
+	r := New()
+	e := entry("db", domain.ServerID)
+	_ = r.Register(e)
+	if err := r.Register(e); !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestLookupMissing(t *testing.T) {
+	r := New()
+	if _, err := r.Lookup(names.Resource("a", "b")); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestUnregisterOwnershipCheck(t *testing.T) {
+	r := New()
+	agentDom := domain.ID(5)
+	e := entry("db", agentDom)
+	_ = r.Register(e)
+	// A different agent cannot remove it.
+	if err := r.Unregister(domain.ID(9), e.Name); !errors.Is(err, ErrNotOwner) {
+		t.Fatalf("got %v", err)
+	}
+	// The owner can.
+	if err := r.Unregister(agentDom, e.Name); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Lookup(e.Name); !errors.Is(err, ErrNotFound) {
+		t.Fatal("still present after unregister")
+	}
+}
+
+func TestServerOverridesOwnership(t *testing.T) {
+	r := New()
+	e := entry("db", domain.ID(5))
+	_ = r.Register(e)
+	if err := r.Unregister(domain.ServerID, e.Name); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReplaceOwnershipCheck(t *testing.T) {
+	r := New()
+	agentDom := domain.ID(5)
+	e := entry("db", agentDom)
+	_ = r.Register(e)
+	d2 := testDef("db")
+	d2.Desc = "v2"
+	if err := r.Replace(domain.ID(9), e.Name, d2, d2); !errors.Is(err, ErrNotOwner) {
+		t.Fatalf("got %v", err)
+	}
+	if err := r.Replace(agentDom, e.Name, d2, d2); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := r.Lookup(e.Name)
+	if got.Resource.Description() != "v2" {
+		t.Fatal("replace did not take effect")
+	}
+	if err := r.Replace(agentDom, names.Resource("a", "nope"), d2, d2); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("got %v", err)
+	}
+}

@@ -1,0 +1,116 @@
+// Package buffer is the paper's running example, reproduced literally:
+// the bounded-buffer resource of Figures 4 and 5. It demonstrates the
+// statically-typed track of the proxy scheme — a Go interface (Buffer),
+// its implementation (BufferImpl), and a proxy class (BufferProxy) of
+// the exact shape the paper's "simple lexical processing tool"
+// generates; cmd/proxygen regenerates buffer_proxy.go from this file
+// and the two must match (experiment F5).
+package buffer
+
+import (
+	"errors"
+	"sync"
+
+	"repro/internal/policy"
+	"repro/internal/resource"
+	"repro/internal/vm"
+)
+
+// BufItem is the buffer element type (the paper's BufItem).
+type BufItem = vm.Value
+
+// Buffer is the application-defined bounded buffer interface (Fig. 4).
+// It extends the generic Resource interface, mirroring
+// "public interface Buffer extends Resource".
+type Buffer interface {
+	resource.Resource
+	Get() (BufItem, error)
+	Put(item BufItem) error
+	Len() (int, error)
+}
+
+// Buffer errors.
+var (
+	ErrEmpty = errors.New("buffer: empty")
+	ErrFull  = errors.New("buffer: full")
+)
+
+// BufferImpl implements Buffer and AccessProtocol (Fig. 4's
+// "public class BufferImpl extends ResourceImpl implements Buffer,
+// AccessProtocol"). Methods are synchronized as in the paper.
+type BufferImpl struct {
+	resource.ResourceImpl
+	// Path is the policy path used for authorization decisions.
+	Path string
+
+	mu    sync.Mutex
+	items []BufItem
+	cap   int
+}
+
+// NewBufferImpl creates a bounded buffer with the given capacity.
+func NewBufferImpl(ri resource.ResourceImpl, path string, capacity int) *BufferImpl {
+	return &BufferImpl{ResourceImpl: ri, Path: path, cap: capacity}
+}
+
+// Get removes and returns the oldest item.
+func (b *BufferImpl) Get() (BufItem, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if len(b.items) == 0 {
+		return vm.Nil(), ErrEmpty
+	}
+	item := b.items[0]
+	b.items = b.items[1:]
+	return item, nil
+}
+
+// Put appends an item.
+func (b *BufferImpl) Put(item BufItem) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if len(b.items) >= b.cap {
+		return ErrFull
+	}
+	b.items = append(b.items, item)
+	return nil
+}
+
+// Len reports the number of buffered items.
+func (b *BufferImpl) Len() (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.items), nil
+}
+
+// AccessProtocol is the typed counterpart of Fig. 7 for this resource
+// family: GetProxy returns the proxy typed as the resource interface,
+// the Go rendering of "returns a proxy object (typecasted to
+// Resource)".
+type AccessProtocol interface {
+	GetProxy(req resource.Request) (Buffer, error)
+}
+
+// GetProxy implements AccessProtocol: it consults the policy engine
+// with the requesting agent's credentials and returns a BufferProxy
+// with the permitted methods enabled.
+func (b *BufferImpl) GetProxy(req resource.Request) (Buffer, error) {
+	if req.Creds == nil || req.Policy == nil {
+		return nil, resource.ErrNoAccess
+	}
+	grant := req.Policy.Decide(req.Creds, b.Path, []string{"Get", "Put", "Len"})
+	if grant.Empty() {
+		return nil, resource.ErrNoAccess
+	}
+	return NewBufferProxy(b, grant.Methods), nil
+}
+
+// Grant builds an enabled-set directly, for tests and tools that bypass
+// the policy engine.
+func Grant(methods ...string) policy.Grant {
+	g := policy.Grant{Methods: make(map[string]bool, len(methods))}
+	for _, m := range methods {
+		g.Methods[m] = true
+	}
+	return g
+}

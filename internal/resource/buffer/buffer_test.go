@@ -1,0 +1,172 @@
+package buffer
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/cred"
+	"repro/internal/domain"
+	"repro/internal/keys"
+	"repro/internal/names"
+	"repro/internal/policy"
+	"repro/internal/resource"
+	"repro/internal/vm"
+)
+
+func newBuf(capacity int) *BufferImpl {
+	return NewBufferImpl(resource.ResourceImpl{
+		Name:  names.Resource("acme.com", "buf"),
+		Owner: names.Principal("acme.com", "admin"),
+		Desc:  "bounded buffer",
+	}, "buf", capacity)
+}
+
+func testCreds(t *testing.T, rights cred.RightSet) *cred.Credentials {
+	t.Helper()
+	reg, err := keys.NewRegistry(names.Principal("umn.edu", "ca"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner, err := keys.NewIdentity(reg, names.Principal("umn.edu", "alice"), time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := cred.Issue(owner, names.Agent("umn.edu", "a1"),
+		names.Principal("umn.edu", "app"), rights, time.Hour, "home")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &c
+}
+
+func TestBoundedBufferFIFO(t *testing.T) {
+	b := newBuf(3)
+	for i := int64(1); i <= 3; i++ {
+		if err := b.Put(vm.I(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.Put(vm.I(4)); !errors.Is(err, ErrFull) {
+		t.Fatalf("got %v", err)
+	}
+	if n, _ := b.Len(); n != 3 {
+		t.Fatalf("len = %d", n)
+	}
+	for i := int64(1); i <= 3; i++ {
+		v, err := b.Get()
+		if err != nil || !v.Equal(vm.I(i)) {
+			t.Fatalf("get = %v, %v", v, err)
+		}
+	}
+	if _, err := b.Get(); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestBoundedBufferConcurrent(t *testing.T) {
+	b := newBuf(1000)
+	done := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 250; i++ {
+				if err := b.Put(vm.I(int64(i))); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	for g := 0; g < 4; g++ {
+		<-done
+	}
+	if n, _ := b.Len(); n != 1000 {
+		t.Fatalf("len = %d", n)
+	}
+}
+
+// TestFigure2TypeStructure: the compile-time relationships of Fig. 2.
+func TestFigure2TypeStructure(t *testing.T) {
+	var _ resource.Resource = (*BufferImpl)(nil) // BufferImpl is a Resource
+	var _ Buffer = (*BufferImpl)(nil)            // BufferImpl implements Buffer
+	var _ AccessProtocol = (*BufferImpl)(nil)    // ... and AccessProtocol
+	var _ Buffer = (*BufferProxy)(nil)           // BufferProxy implements Buffer
+	var _ resource.Resource = (*BufferProxy)(nil)
+	// The proxy's resource reference is unexported: holders of a
+	// BufferProxy cannot reach the BufferImpl (Java encapsulation in
+	// the paper; package-level encapsulation here).
+}
+
+func TestProxyScreensDisabledMethods(t *testing.T) {
+	b := newBuf(2)
+	p := NewBufferProxy(b, Grant("Put", "Len").Methods)
+	if err := p.Put(vm.S("x")); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := p.Len(); err != nil || n != 1 {
+		t.Fatalf("%d %v", n, err)
+	}
+	if _, err := p.Get(); !errors.Is(err, resource.ErrMethodDisabled) {
+		t.Fatalf("got %v", err)
+	}
+	// The underlying buffer still holds the item: the proxy refused
+	// before forwarding.
+	if n, _ := b.Len(); n != 1 {
+		t.Fatalf("buffer len = %d", n)
+	}
+}
+
+func TestProxyGenericQueriesAlwaysPass(t *testing.T) {
+	b := newBuf(1)
+	p := NewBufferProxy(b, nil) // nothing enabled
+	if p.ResourceName() != b.ResourceName() || p.Description() != "bounded buffer" {
+		t.Fatal("generic queries blocked")
+	}
+	if _, err := p.Get(); !errors.Is(err, resource.ErrMethodDisabled) {
+		t.Fatal("disabled method allowed")
+	}
+}
+
+func TestGetProxyPolicyDriven(t *testing.T) {
+	b := newBuf(4)
+	eng := policy.NewEngine()
+	eng.AddRule(policy.Rule{AnyPrincipal: true, Resource: "buf", Methods: []string{"Put", "Len"}})
+	creds := testCreds(t, cred.NewRightSet(cred.All))
+	proxy, err := b.GetProxy(resource.Request{Caller: domain.ID(2), Creds: creds, Policy: eng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := proxy.Put(vm.I(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := proxy.Get(); !errors.Is(err, resource.ErrMethodDisabled) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestGetProxyHonoursDelegatedRights(t *testing.T) {
+	b := newBuf(4)
+	eng := policy.NewEngine()
+	eng.AddRule(policy.Rule{AnyPrincipal: true, Resource: "buf", Methods: []string{"*"}})
+	creds := testCreds(t, cred.NewRightSet("buf.Get")) // owner delegated Get only
+	proxy, err := b.GetProxy(resource.Request{Caller: domain.ID(2), Creds: creds, Policy: eng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := proxy.Put(vm.I(1)); !errors.Is(err, resource.ErrMethodDisabled) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestGetProxyDeniedEntirely(t *testing.T) {
+	b := newBuf(4)
+	eng := policy.NewEngine() // default deny
+	creds := testCreds(t, cred.NewRightSet(cred.All))
+	if _, err := b.GetProxy(resource.Request{Caller: domain.ID(2), Creds: creds, Policy: eng}); !errors.Is(err, resource.ErrNoAccess) {
+		t.Fatalf("got %v", err)
+	}
+	if _, err := b.GetProxy(resource.Request{}); !errors.Is(err, resource.ErrNoAccess) {
+		t.Fatal("empty request accepted")
+	}
+}

@@ -1,0 +1,262 @@
+package resource
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/domain"
+	"repro/internal/names"
+	"repro/internal/policy"
+	"repro/internal/vm"
+)
+
+// Proxy errors, each corresponding to a protection property of §5.5.
+var (
+	// ErrRevoked — "a resource manager can invalidate any of its
+	// currently active proxies at any time it wishes".
+	ErrRevoked = errors.New("resource: proxy revoked")
+	// ErrProxyExpired — "it is also possible to add an expiration time
+	// to each proxy object".
+	ErrProxyExpired = errors.New("resource: proxy expired")
+	// ErrNotHolder — the identity-based capability check: "we can
+	// limit its propagation ... by checking whether the invoker of
+	// the proxy belongs to the protection domain to which it was
+	// originally granted."
+	ErrNotHolder = errors.New("resource: proxy held by foreign protection domain")
+	// ErrMethodDisabled — Fig. 5's isEnabled throwing a security
+	// exception.
+	ErrMethodDisabled = errors.New("resource: method disabled on this proxy")
+	// ErrUnknownMethod — the method does not exist on the resource.
+	ErrUnknownMethod = errors.New("resource: unknown method")
+	// ErrQuota — Telescript-style usage permits exhausted.
+	ErrQuota = errors.New("resource: usage quota exhausted")
+	// ErrNotController — caller may not invoke privileged control
+	// methods ("the proxy would include access control information
+	// about the protection domains that are permitted to execute this
+	// privileged method").
+	ErrNotController = errors.New("resource: caller may not control this proxy")
+)
+
+// Account is a snapshot of a proxy's accounting state (§5.5: "one can
+// embed usage-metering and accounting mechanisms in a proxy").
+type Account struct {
+	Invocations uint64
+	Charge      uint64
+	Elapsed     time.Duration
+	PerMethod   map[string]uint64 // invocation counts per method
+}
+
+// Proxy is the per-agent protected interface to one resource: the
+// runtime form of Figure 5's generated proxy class. It holds the only
+// reference to the underlying resource methods; agents hold only the
+// proxy.
+type Proxy struct {
+	def       *Def
+	bound     domain.ID // the protection domain the proxy was granted to
+	mu        sync.Mutex
+	enabled   map[string]bool
+	expiry    time.Time
+	revoked   bool
+	quota     policy.Quota
+	inv       uint64
+	charge    uint64
+	elapsed   time.Duration
+	perMethod map[string]uint64
+}
+
+func newProxy(d *Def, caller domain.ID, grant policy.Grant, expiry time.Time) *Proxy {
+	enabled := make(map[string]bool, len(grant.Methods))
+	for m, ok := range grant.Methods {
+		if ok {
+			enabled[m] = true
+		}
+	}
+	return &Proxy{
+		def:       d,
+		bound:     caller,
+		enabled:   enabled,
+		expiry:    expiry,
+		quota:     grant.Quota,
+		perMethod: make(map[string]uint64),
+	}
+}
+
+// Identity passthrough: the proxy implements Resource so generic code
+// can query it like the resource itself (Fig. 2: BufferProxy implements
+// Buffer, which extends Resource).
+func (p *Proxy) ResourceName() names.Name  { return p.def.ResourceName() }
+func (p *Proxy) ResourceOwner() names.Name { return p.def.ResourceOwner() }
+func (p *Proxy) Description() string       { return p.def.Description() }
+
+// Path returns the resource's policy path.
+func (p *Proxy) Path() string { return p.def.Path }
+
+// MethodNames lists the resource's full method set (enabled or not).
+func (p *Proxy) MethodNames() []string { return p.def.MethodNames() }
+
+// BoundTo returns the protection domain the proxy was granted to.
+func (p *Proxy) BoundTo() domain.ID { return p.bound }
+
+// IsEnabled reports whether a method is currently enabled (Fig. 5's
+// isEnabled check, exposed for tests and tools).
+func (p *Proxy) IsEnabled(method string) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.enabled[method]
+}
+
+// Invoke calls a resource method through the proxy's screen: revocation,
+// expiry, identity-based capability, enable-set and quota checks happen
+// under the lock; the underlying method runs outside it.
+func (p *Proxy) Invoke(caller domain.ID, method string, args []vm.Value) (vm.Value, error) {
+	cost := p.def.Costs[method]
+	if cost == 0 {
+		cost = DefaultCost
+	}
+
+	p.mu.Lock()
+	if err := p.screen(caller, method, cost); err != nil {
+		p.mu.Unlock()
+		return vm.Nil(), err
+	}
+	// Charge before the call: a failing method still consumed the
+	// resource's attention.
+	p.inv++
+	p.charge += cost
+	p.perMethod[method]++
+	meterElapsed := p.def.MeterElapsed
+	fn := p.def.Methods[method]
+	p.mu.Unlock()
+
+	var start time.Time
+	if meterElapsed {
+		start = time.Now()
+	}
+	v, err := fn(args)
+	if meterElapsed {
+		d := time.Since(start)
+		p.mu.Lock()
+		p.elapsed += d
+		p.mu.Unlock()
+	}
+	if err == nil && p.def.OnUse != nil {
+		p.def.OnUse(caller, method, cost)
+	}
+	return v, err
+}
+
+// screen performs all access checks; the caller holds p.mu.
+func (p *Proxy) screen(caller domain.ID, method string, cost uint64) error {
+	if p.revoked {
+		return ErrRevoked
+	}
+	if !p.expiry.IsZero() && time.Now().After(p.expiry) {
+		return ErrProxyExpired
+	}
+	if caller != p.bound {
+		return fmt.Errorf("%w: bound to %s, invoked from %s", ErrNotHolder, p.bound, caller)
+	}
+	if _, exists := p.def.Methods[method]; !exists {
+		return fmt.Errorf("%w: %q on %s", ErrUnknownMethod, method, p.def.Path)
+	}
+	if !p.enabled[method] {
+		return fmt.Errorf("%w: %q on %s", ErrMethodDisabled, method, p.def.Path)
+	}
+	if q := p.quota.MaxInvocations; q != 0 && p.inv >= q {
+		return fmt.Errorf("%w: %d invocations", ErrQuota, q)
+	}
+	if q := p.quota.MaxCharge; q != 0 && p.charge+cost > q {
+		return fmt.Errorf("%w: charge limit %d", ErrQuota, q)
+	}
+	return nil
+}
+
+// AccountSnapshot returns the current accounting state.
+func (p *Proxy) AccountSnapshot() Account {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	per := make(map[string]uint64, len(p.perMethod))
+	for k, v := range p.perMethod {
+		per[k] = v
+	}
+	return Account{Invocations: p.inv, Charge: p.charge, Elapsed: p.elapsed, PerMethod: per}
+}
+
+// --- Privileged control methods (§5.5) ---------------------------------
+//
+// "A resource manager can invalidate any of its currently active proxies
+// at any time it wishes, or it can selectively revoke or add permissions
+// for specific methods of a given proxy, by invoking a privileged method
+// of the proxy object."
+
+// mayControl reports whether caller may invoke control methods: the
+// server domain always may; otherwise the caller must be listed in the
+// resource's Controllers.
+func (p *Proxy) mayControl(caller domain.ID) error {
+	if caller == domain.ServerID {
+		return nil
+	}
+	for _, c := range p.def.Controllers {
+		if c == caller {
+			return nil
+		}
+	}
+	return fmt.Errorf("%w: %s", ErrNotController, caller)
+}
+
+// Revoke invalidates the proxy entirely.
+func (p *Proxy) Revoke(caller domain.ID) error {
+	if err := p.mayControl(caller); err != nil {
+		return err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.revoked = true
+	return nil
+}
+
+// DisableMethod selectively revokes one method.
+func (p *Proxy) DisableMethod(caller domain.ID, method string) error {
+	if err := p.mayControl(caller); err != nil {
+		return err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	delete(p.enabled, method)
+	return nil
+}
+
+// EnableMethod selectively adds a permission. The method must exist on
+// the resource.
+func (p *Proxy) EnableMethod(caller domain.ID, method string) error {
+	if err := p.mayControl(caller); err != nil {
+		return err
+	}
+	if _, ok := p.def.Methods[method]; !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownMethod, method)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.enabled[method] = true
+	return nil
+}
+
+// SetExpiry adjusts the proxy's expiration time.
+func (p *Proxy) SetExpiry(caller domain.ID, t time.Time) error {
+	if err := p.mayControl(caller); err != nil {
+		return err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.expiry = t
+	return nil
+}
+
+// Revoked reports whether the proxy has been invalidated.
+func (p *Proxy) Revoked() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.revoked
+}

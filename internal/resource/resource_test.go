@@ -1,0 +1,445 @@
+package resource
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cred"
+	"repro/internal/domain"
+	"repro/internal/keys"
+	"repro/internal/names"
+	"repro/internal/policy"
+	"repro/internal/vm"
+)
+
+const (
+	agentDom = domain.ID(2)
+	otherDom = domain.ID(3)
+	ownerDom = domain.ID(4) // resource owner's own agent domain
+)
+
+// fixture builds a counter resource with get/add/reset methods, an
+// open policy unless rules are supplied, and credentials for one agent.
+type fixture struct {
+	def   *Def
+	eng   *policy.Engine
+	creds *cred.Credentials
+	val   int64
+	mu    sync.Mutex
+	used  []string
+}
+
+func newFixture(t *testing.T, rights cred.RightSet, rules ...policy.Rule) *fixture {
+	t.Helper()
+	f := &fixture{eng: policy.NewEngine()}
+	if len(rules) == 0 {
+		rules = []policy.Rule{{AnyPrincipal: true, Resource: "counter", Methods: []string{"*"}}}
+	}
+	f.eng.SetRules(rules)
+
+	f.def = &Def{
+		ResourceImpl: ResourceImpl{
+			Name:  names.Resource("acme.com", "counter"),
+			Owner: names.Principal("acme.com", "admin"),
+			Desc:  "test counter",
+		},
+		Path: "counter",
+		Methods: map[string]Method{
+			"get": func(args []vm.Value) (vm.Value, error) {
+				f.mu.Lock()
+				defer f.mu.Unlock()
+				return vm.I(f.val), nil
+			},
+			"add": func(args []vm.Value) (vm.Value, error) {
+				f.mu.Lock()
+				defer f.mu.Unlock()
+				f.val += args[0].Int
+				return vm.I(f.val), nil
+			},
+			"reset": func(args []vm.Value) (vm.Value, error) {
+				f.mu.Lock()
+				defer f.mu.Unlock()
+				f.val = 0
+				return vm.Nil(), nil
+			},
+		},
+		Costs:       map[string]uint64{"add": 5},
+		Controllers: []domain.ID{ownerDom},
+		OnUse: func(caller domain.ID, method string, charge uint64) {
+			f.mu.Lock()
+			defer f.mu.Unlock()
+			f.used = append(f.used, method)
+		},
+	}
+
+	reg, err := keys.NewRegistry(names.Principal("umn.edu", "ca"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner, err := keys.NewIdentity(reg, names.Principal("umn.edu", "alice"), time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := cred.Issue(owner, names.Agent("umn.edu", "a1"),
+		names.Principal("umn.edu", "app"), rights, time.Hour, "home")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.creds = &c
+	return f
+}
+
+func (f *fixture) proxy(t *testing.T) *Proxy {
+	t.Helper()
+	p, err := f.def.GetProxy(Request{Caller: agentDom, Creds: f.creds, Policy: f.eng, Now: time.Now()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestGetProxyAndInvoke(t *testing.T) {
+	f := newFixture(t, cred.NewRightSet(cred.All))
+	p := f.proxy(t)
+	if v, err := p.Invoke(agentDom, "add", []vm.Value{vm.I(7)}); err != nil || !v.Equal(vm.I(7)) {
+		t.Fatalf("%v %v", v, err)
+	}
+	if v, err := p.Invoke(agentDom, "get", nil); err != nil || !v.Equal(vm.I(7)) {
+		t.Fatalf("%v %v", v, err)
+	}
+	if p.ResourceName() != f.def.Name || p.Path() != "counter" {
+		t.Fatal("identity passthrough broken")
+	}
+}
+
+func TestGetProxyDeniedByPolicy(t *testing.T) {
+	f := newFixture(t, cred.NewRightSet(cred.All),
+		policy.Rule{Principal: names.Principal("umn.edu", "bob"), Resource: "counter", Methods: []string{"*"}})
+	_, err := f.def.GetProxy(Request{Caller: agentDom, Creds: f.creds, Policy: f.eng})
+	if !errors.Is(err, ErrNoAccess) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestGetProxyRequiresCredsAndPolicy(t *testing.T) {
+	f := newFixture(t, cred.NewRightSet(cred.All))
+	if _, err := f.def.GetProxy(Request{Caller: agentDom, Policy: f.eng}); !errors.Is(err, ErrNoAccess) {
+		t.Fatal("no creds accepted")
+	}
+	if _, err := f.def.GetProxy(Request{Caller: agentDom, Creds: f.creds}); !errors.Is(err, ErrNoAccess) {
+		t.Fatal("no policy accepted")
+	}
+}
+
+func TestDisabledMethodScreened(t *testing.T) {
+	// Policy grants only get; add must raise the security exception.
+	f := newFixture(t, cred.NewRightSet(cred.All),
+		policy.Rule{AnyPrincipal: true, Resource: "counter", Methods: []string{"get"}})
+	p := f.proxy(t)
+	if _, err := p.Invoke(agentDom, "add", []vm.Value{vm.I(1)}); !errors.Is(err, ErrMethodDisabled) {
+		t.Fatalf("got %v", err)
+	}
+	if !p.IsEnabled("get") || p.IsEnabled("add") {
+		t.Fatal("enable set wrong")
+	}
+}
+
+func TestOwnerRestrictionScreened(t *testing.T) {
+	// Open policy, but the owner delegated only counter.get.
+	f := newFixture(t, cred.NewRightSet("counter.get"))
+	p := f.proxy(t)
+	if _, err := p.Invoke(agentDom, "get", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Invoke(agentDom, "add", []vm.Value{vm.I(1)}); !errors.Is(err, ErrMethodDisabled) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestUnknownMethod(t *testing.T) {
+	f := newFixture(t, cred.NewRightSet(cred.All))
+	p := f.proxy(t)
+	if _, err := p.Invoke(agentDom, "format_disk", nil); !errors.Is(err, ErrUnknownMethod) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+// TestC5_ProxyConfinement: a proxy leaked to another agent's domain is
+// useless — the identity-based capability check rejects the invocation.
+func TestC5_ProxyConfinement(t *testing.T) {
+	f := newFixture(t, cred.NewRightSet(cred.All))
+	p := f.proxy(t)
+	if _, err := p.Invoke(otherDom, "get", nil); !errors.Is(err, ErrNotHolder) {
+		t.Fatalf("got %v", err)
+	}
+	if p.BoundTo() != agentDom {
+		t.Fatal("bound domain wrong")
+	}
+	// The rightful holder still works afterwards.
+	if _, err := p.Invoke(agentDom, "get", nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestC6 family: expiry and selective revocation.
+
+func TestC6_ProxyExpiry(t *testing.T) {
+	f := newFixture(t, cred.NewRightSet(cred.All))
+	p := f.proxy(t)
+	if err := p.SetExpiry(domain.ServerID, time.Now().Add(-time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Invoke(agentDom, "get", nil); !errors.Is(err, ErrProxyExpired) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestC6_RevokeAll(t *testing.T) {
+	f := newFixture(t, cred.NewRightSet(cred.All))
+	p := f.proxy(t)
+	if _, err := p.Invoke(agentDom, "get", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Revoke(domain.ServerID); err != nil {
+		t.Fatal(err)
+	}
+	if !p.Revoked() {
+		t.Fatal("not marked revoked")
+	}
+	if _, err := p.Invoke(agentDom, "get", nil); !errors.Is(err, ErrRevoked) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestC6_SelectiveRevokeAndAdd(t *testing.T) {
+	f := newFixture(t, cred.NewRightSet(cred.All),
+		policy.Rule{AnyPrincipal: true, Resource: "counter", Methods: []string{"get"}})
+	p := f.proxy(t)
+	// Resource owner (a controller) adds a permission at runtime.
+	if err := p.EnableMethod(ownerDom, "add"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Invoke(agentDom, "add", []vm.Value{vm.I(2)}); err != nil {
+		t.Fatal(err)
+	}
+	// ... and selectively revokes it again.
+	if err := p.DisableMethod(ownerDom, "add"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Invoke(agentDom, "add", []vm.Value{vm.I(2)}); !errors.Is(err, ErrMethodDisabled) {
+		t.Fatalf("got %v", err)
+	}
+	// get was never touched.
+	if _, err := p.Invoke(agentDom, "get", nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestControlACL(t *testing.T) {
+	f := newFixture(t, cred.NewRightSet(cred.All))
+	p := f.proxy(t)
+	// The agent holding the proxy is NOT a controller.
+	if err := p.Revoke(agentDom); !errors.Is(err, ErrNotController) {
+		t.Fatalf("holder revoked its own proxy: %v", err)
+	}
+	if err := p.EnableMethod(agentDom, "reset"); !errors.Is(err, ErrNotController) {
+		t.Fatal("holder enabled a method")
+	}
+	if err := p.DisableMethod(otherDom, "get"); !errors.Is(err, ErrNotController) {
+		t.Fatal("stranger disabled a method")
+	}
+	if err := p.SetExpiry(otherDom, time.Now()); !errors.Is(err, ErrNotController) {
+		t.Fatal("stranger set expiry")
+	}
+	// Listed controller and server both may.
+	if err := p.DisableMethod(ownerDom, "reset"); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Revoke(domain.ServerID); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEnableUnknownMethodRejected(t *testing.T) {
+	f := newFixture(t, cred.NewRightSet(cred.All))
+	p := f.proxy(t)
+	if err := p.EnableMethod(domain.ServerID, "bogus"); !errors.Is(err, ErrUnknownMethod) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestAccountingExact(t *testing.T) {
+	f := newFixture(t, cred.NewRightSet(cred.All))
+	p := f.proxy(t)
+	for i := 0; i < 3; i++ {
+		if _, err := p.Invoke(agentDom, "add", []vm.Value{vm.I(1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := p.Invoke(agentDom, "get", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a := p.AccountSnapshot()
+	if a.Invocations != 5 {
+		t.Fatalf("invocations = %d", a.Invocations)
+	}
+	// add costs 5 each, get costs DefaultCost(1) each: 3*5 + 2*1 = 17.
+	if a.Charge != 17 {
+		t.Fatalf("charge = %d", a.Charge)
+	}
+	if a.PerMethod["add"] != 3 || a.PerMethod["get"] != 2 {
+		t.Fatalf("per-method = %v", a.PerMethod)
+	}
+	// OnUse hook observed every successful call.
+	if len(f.used) != 5 {
+		t.Fatalf("OnUse calls = %d", len(f.used))
+	}
+}
+
+func TestElapsedMetering(t *testing.T) {
+	f := newFixture(t, cred.NewRightSet(cred.All))
+	f.def.MeterElapsed = true
+	f.def.Methods["sleepy"] = func([]vm.Value) (vm.Value, error) {
+		time.Sleep(5 * time.Millisecond)
+		return vm.Nil(), nil
+	}
+	p := f.proxy(t)
+	if _, err := p.Invoke(agentDom, "sleepy", nil); err != nil {
+		t.Fatal(err)
+	}
+	if a := p.AccountSnapshot(); a.Elapsed < 4*time.Millisecond {
+		t.Fatalf("elapsed = %v", a.Elapsed)
+	}
+}
+
+func TestQuotaInvocations(t *testing.T) {
+	f := newFixture(t, cred.NewRightSet(cred.All),
+		policy.Rule{AnyPrincipal: true, Resource: "counter", Methods: []string{"*"},
+			Quota: policy.Quota{MaxInvocations: 2}})
+	p := f.proxy(t)
+	for i := 0; i < 2; i++ {
+		if _, err := p.Invoke(agentDom, "get", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := p.Invoke(agentDom, "get", nil); !errors.Is(err, ErrQuota) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestQuotaCharge(t *testing.T) {
+	f := newFixture(t, cred.NewRightSet(cred.All),
+		policy.Rule{AnyPrincipal: true, Resource: "counter", Methods: []string{"*"},
+			Quota: policy.Quota{MaxCharge: 11}})
+	p := f.proxy(t)
+	// add costs 5: two calls = 10 ≤ 11, third would reach 15 > 11.
+	for i := 0; i < 2; i++ {
+		if _, err := p.Invoke(agentDom, "add", []vm.Value{vm.I(1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := p.Invoke(agentDom, "add", []vm.Value{vm.I(1)}); !errors.Is(err, ErrQuota) {
+		t.Fatalf("got %v", err)
+	}
+	// A cheap call still fits under the remaining charge budget.
+	if _, err := p.Invoke(agentDom, "get", nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProxyExpiryBoundByCredentials(t *testing.T) {
+	// Credentials that expire sooner than any policy TTL govern the
+	// proxy's lifetime.
+	f := newFixture(t, cred.NewRightSet(cred.All))
+	f.creds.Expiry = time.Now().Add(-time.Second) // already expired
+	p := f.proxy(t)
+	if _, err := p.Invoke(agentDom, "get", nil); !errors.Is(err, ErrProxyExpired) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestSeparateProxiesPerAgent(t *testing.T) {
+	// "A separate proxy is created for each agent" — state (quota,
+	// accounting, revocation) must not be shared.
+	f := newFixture(t, cred.NewRightSet(cred.All))
+	p1 := f.proxy(t)
+	p2, err := f.def.GetProxy(Request{Caller: otherDom, Creds: f.creds, Policy: f.eng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p1.Invoke(agentDom, "get", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := p1.Revoke(domain.ServerID); err != nil {
+		t.Fatal(err)
+	}
+	// p2 is unaffected by p1's revocation or accounting.
+	if _, err := p2.Invoke(otherDom, "get", nil); err != nil {
+		t.Fatal(err)
+	}
+	if a := p2.AccountSnapshot(); a.Invocations != 1 {
+		t.Fatalf("p2 invocations = %d", a.Invocations)
+	}
+}
+
+func TestConcurrentRevokeDuringInvocations(t *testing.T) {
+	// Revocation racing live invocations must never panic, and once
+	// Revoke returns, no new invocation may succeed.
+	f := newFixture(t, cred.NewRightSet(cred.All))
+	p := f.proxy(t)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					_, _ = p.Invoke(agentDom, "get", nil)
+				}
+			}
+		}()
+	}
+	time.Sleep(2 * time.Millisecond)
+	if err := p.Revoke(domain.ServerID); err != nil {
+		t.Fatal(err)
+	}
+	// After Revoke returns, every new call must fail.
+	if _, err := p.Invoke(agentDom, "get", nil); !errors.Is(err, ErrRevoked) {
+		t.Fatalf("got %v", err)
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestConcurrentInvocations(t *testing.T) {
+	f := newFixture(t, cred.NewRightSet(cred.All))
+	p := f.proxy(t)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				if _, err := p.Invoke(agentDom, "add", []vm.Value{vm.I(1)}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if v, _ := p.Invoke(agentDom, "get", nil); !v.Equal(vm.I(800)) {
+		t.Fatalf("counter = %v", v)
+	}
+	if a := p.AccountSnapshot(); a.Invocations != 801 {
+		t.Fatalf("invocations = %d", a.Invocations)
+	}
+}

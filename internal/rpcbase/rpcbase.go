@@ -1,0 +1,336 @@
+// Package rpcbase implements the communication-paradigm comparators
+// for experiment C3. The paper's introduction (citing Harrison et al.
+// and Stamos & Gifford's Remote Evaluation) claims mobile agents
+// "reduce communication between the client and the server" by "moving
+// processing functions close to where the information is stored", with
+// REV as the midpoint. This package implements all three paradigms over
+// the same record-filtering workload:
+//
+//   - RPC: the client pulls every record from each server and filters
+//     locally ("data is transmitted between the client and server in
+//     both directions").
+//   - REV: the client ships a filter *program* (ASL source) to each
+//     server; the server compiles, verifies and runs it in a sandboxed
+//     VM and returns only the matches ("code is sent from the client to
+//     the server, and data is returned").
+//   - Agent: the tour implemented by the full platform (an ASL agent
+//     visiting record-store resources), measured separately in the
+//     bench harness; this package provides its analytic cost model.
+//
+// Live servers run over any net dialer (netsim in the benches) so
+// bytes-on-wire are measured, not assumed; analytic Cost functions
+// extrapolate the sweep tables.
+package rpcbase
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"repro/internal/asl"
+	"repro/internal/netsim"
+	"repro/internal/vm"
+)
+
+// Record is one stored datum: a score used for filtering and an opaque
+// payload that dominates transfer size.
+type Record struct {
+	ID      int
+	Score   int64
+	Payload []byte
+}
+
+// Store is one server's dataset.
+type Store struct {
+	Records []Record
+}
+
+// NewStore builds a deterministic dataset: n records of payloadSize
+// bytes whose scores cycle 0..99, so a threshold t yields selectivity
+// (100-t)/100 exactly.
+func NewStore(n, payloadSize int) *Store {
+	st := &Store{Records: make([]Record, n)}
+	payload := bytes.Repeat([]byte{0xAB}, payloadSize)
+	for i := range st.Records {
+		st.Records[i] = Record{ID: i, Score: int64(i % 100), Payload: payload}
+	}
+	return st
+}
+
+// Matching returns the records with Score > threshold.
+func (s *Store) Matching(threshold int64) []Record {
+	var out []Record
+	for _, r := range s.Records {
+		if r.Score > threshold {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// --- wire protocol -------------------------------------------------------
+
+// request/response are the RPC wire messages. Op "fetch_all" returns
+// every record; op "rev" carries ASL source to run server-side.
+type request struct {
+	Op        string
+	Threshold int64
+	Source    string // REV program, for op "rev"
+}
+
+type response struct {
+	Records []Record
+	Err     string
+}
+
+func writeMsg(w io.Writer, v any) error {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return err
+	}
+	var lenBuf [4]byte
+	binary.BigEndian.PutUint32(lenBuf[:], uint32(buf.Len()))
+	if _, err := w.Write(lenBuf[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(buf.Bytes())
+	return err
+}
+
+func readMsg(r io.Reader, v any) error {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return err
+	}
+	data := make([]byte, binary.BigEndian.Uint32(lenBuf[:]))
+	if _, err := io.ReadFull(r, data); err != nil {
+		return err
+	}
+	return gob.NewDecoder(bytes.NewReader(data)).Decode(v)
+}
+
+// revFuel bounds REV program execution — visiting code is untrusted
+// here exactly as in the agent system.
+const revFuel = 50_000_000
+
+// Server serves the record store over a listener until the listener
+// closes. It answers both RPC and REV requests.
+type Server struct {
+	Store *Store
+}
+
+// Serve accepts connections until the listener fails.
+func (s *Server) Serve(l net.Listener) {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer conn.Close()
+	for {
+		var req request
+		if err := readMsg(conn, &req); err != nil {
+			return
+		}
+		resp := s.handle(req)
+		if err := writeMsg(conn, resp); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) handle(req request) response {
+	switch req.Op {
+	case "fetch_all":
+		return response{Records: s.Store.Records}
+	case "rev":
+		recs, err := s.runREV(req.Source, req.Threshold)
+		if err != nil {
+			return response{Err: err.Error()}
+		}
+		return response{Records: recs}
+	default:
+		return response{Err: fmt.Sprintf("unknown op %q", req.Op)}
+	}
+}
+
+// runREV compiles and verifies the client's program, then runs its
+// filter function once per record in a sandboxed VM. The program
+// receives (score) and returns a truthy value to keep the record —
+// genuine remote evaluation of untrusted code.
+func (s *Server) runREV(source string, threshold int64) ([]Record, error) {
+	mod, err := asl.Compile(source)
+	if err != nil {
+		return nil, fmt.Errorf("rev: %w", err)
+	}
+	_, f := mod.Fn("filter")
+	if f == nil || f.NParams != 2 {
+		return nil, errors.New("rev: program must define filter(score, threshold)")
+	}
+	env := vm.NewEnv()
+	env.Meter = vm.NewMeter(revFuel)
+	vm.InstallBuiltins(env)
+	var out []Record
+	for _, r := range s.Store.Records {
+		v, err := vm.Run(env, mod, "filter", vm.I(r.Score), vm.I(threshold))
+		if err != nil {
+			return nil, fmt.Errorf("rev: %w", err)
+		}
+		if v.Truthy() {
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}
+
+// --- clients --------------------------------------------------------------
+
+// Dialer abstracts the transport (netsim.Network.Dial or net.Dial).
+type Dialer func(addr string) (net.Conn, error)
+
+// RPCClient pulls all records from every server and filters locally.
+// Returns the matching records from all servers.
+func RPCClient(dial Dialer, addrs []string, threshold int64) ([]Record, error) {
+	var out []Record
+	for _, addr := range addrs {
+		conn, err := dial(addr)
+		if err != nil {
+			return nil, err
+		}
+		err = func() error {
+			defer conn.Close()
+			if err := writeMsg(conn, request{Op: "fetch_all"}); err != nil {
+				return err
+			}
+			var resp response
+			if err := readMsg(conn, &resp); err != nil {
+				return err
+			}
+			if resp.Err != "" {
+				return errors.New(resp.Err)
+			}
+			for _, r := range resp.Records {
+				if r.Score > threshold {
+					out = append(out, r)
+				}
+			}
+			return nil
+		}()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// REVFilterSource is the program REVClient ships; its size is the
+// "code" term in the REV cost equation.
+const REVFilterSource = `module revfilter
+func filter(score, threshold) {
+  return score > threshold
+}`
+
+// REVClient sends the filter program to every server and collects the
+// matches.
+func REVClient(dial Dialer, addrs []string, threshold int64) ([]Record, error) {
+	var out []Record
+	for _, addr := range addrs {
+		conn, err := dial(addr)
+		if err != nil {
+			return nil, err
+		}
+		err = func() error {
+			defer conn.Close()
+			if err := writeMsg(conn, request{Op: "rev", Threshold: threshold, Source: REVFilterSource}); err != nil {
+				return err
+			}
+			var resp response
+			if err := readMsg(conn, &resp); err != nil {
+				return err
+			}
+			if resp.Err != "" {
+				return errors.New(resp.Err)
+			}
+			out = append(out, resp.Records...)
+			return nil
+		}()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// --- analytic cost models --------------------------------------------------
+
+// Workload parameterizes the C3 sweep.
+type Workload struct {
+	Servers     int
+	Records     int     // per server
+	RecSize     int     // payload bytes per record
+	Selectivity float64 // fraction of records matching
+	// CodeSize approximates the REV program / agent code+state size
+	// on the wire.
+	CodeSize int
+	// HeaderSize approximates per-message framing overhead.
+	HeaderSize int
+}
+
+// Cost is a paradigm's modeled totals.
+type Cost struct {
+	Paradigm string
+	Bytes    uint64
+	Time     time.Duration
+}
+
+// matchBytes is the wire size of the matching records at one server.
+func (w Workload) matchBytes() uint64 {
+	return uint64(w.Selectivity * float64(w.Records) * float64(w.RecSize))
+}
+
+// RPCCost: per server, a small request and a response carrying all N
+// records.
+func RPCCost(w Workload, m netsim.Model) Cost {
+	perServer := uint64(w.HeaderSize) + uint64(w.Records*w.RecSize) + uint64(w.HeaderSize)
+	var t time.Duration
+	for i := 0; i < w.Servers; i++ {
+		t += m.RoundTrip(uint64(w.HeaderSize), uint64(w.Records*w.RecSize)+uint64(w.HeaderSize))
+	}
+	return Cost{Paradigm: "rpc", Bytes: perServer * uint64(w.Servers), Time: t}
+}
+
+// REVCost: per server, the program travels out and the matches travel
+// back.
+func REVCost(w Workload, m netsim.Model) Cost {
+	perServer := uint64(w.HeaderSize+w.CodeSize) + w.matchBytes() + uint64(w.HeaderSize)
+	var t time.Duration
+	for i := 0; i < w.Servers; i++ {
+		t += m.RoundTrip(uint64(w.HeaderSize+w.CodeSize), w.matchBytes()+uint64(w.HeaderSize))
+	}
+	return Cost{Paradigm: "rev", Bytes: perServer * uint64(w.Servers), Time: t}
+}
+
+// AgentCost: the agent hops server to server carrying its code plus the
+// results accumulated so far, then returns home — M+1 one-way legs with
+// a linearly growing payload, and no client round trips at all (the
+// asynchrony advantage: the client is free after launch).
+func AgentCost(w Workload, m netsim.Model) Cost {
+	var total uint64
+	var t time.Duration
+	for leg := 0; leg <= w.Servers; leg++ {
+		legBytes := uint64(w.CodeSize+w.HeaderSize) + uint64(leg)*w.matchBytes()
+		total += legBytes
+		t += m.TransferTime(legBytes)
+	}
+	return Cost{Paradigm: "agent", Bytes: total, Time: t}
+}

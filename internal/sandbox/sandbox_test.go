@@ -1,0 +1,133 @@
+package sandbox
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/domain"
+)
+
+const (
+	agentA = domain.ID(2)
+	agentB = domain.ID(3)
+)
+
+func TestServerAllowedEverywhere(t *testing.T) {
+	m := New(16)
+	ops := []Op{OpSpawnActivity, OpDomainDBUpdate, OpRegistryRegister,
+		OpRegistryModify, OpAgentDispatch, OpAgentControl, OpNetConnect,
+		OpProxyControl, OpInstallSecurityManager}
+	for _, op := range ops {
+		if err := m.Check(domain.ServerID, op, Target{Domain: agentA}); err != nil {
+			t.Errorf("server denied %s: %v", op, err)
+		}
+	}
+}
+
+func TestAgentSpawnOnlyOwnDomain(t *testing.T) {
+	m := New(0)
+	if err := m.Check(agentA, OpSpawnActivity, Target{Domain: agentA}); err != nil {
+		t.Fatalf("spawn in own domain denied: %v", err)
+	}
+	if err := m.Check(agentA, OpSpawnActivity, Target{Domain: agentB}); !errors.Is(err, ErrDenied) {
+		t.Fatal("spawn into foreign domain allowed")
+	}
+	if err := m.Check(agentA, OpSpawnActivity, Target{Domain: domain.ServerID}); !errors.Is(err, ErrDenied) {
+		t.Fatal("spawn into server domain allowed")
+	}
+}
+
+func TestAgentDeniedServerOnlyOps(t *testing.T) {
+	m := New(0)
+	for _, op := range []Op{OpDomainDBUpdate, OpAgentDispatch, OpNetConnect, OpInstallSecurityManager} {
+		if err := m.Check(agentA, op, Target{}); !errors.Is(err, ErrDenied) {
+			t.Errorf("agent allowed %s", op)
+		}
+	}
+}
+
+func TestAgentControlOwnDomainOnly(t *testing.T) {
+	m := New(0)
+	if err := m.Check(agentA, OpAgentControl, Target{Domain: agentA}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Check(agentA, OpAgentControl, Target{Domain: agentB}); !errors.Is(err, ErrDenied) {
+		t.Fatal("agent controlled a foreign agent")
+	}
+}
+
+func TestNoDomainAlwaysDenied(t *testing.T) {
+	m := New(0)
+	if err := m.Check(domain.NoDomain, OpRegistryRegister, Target{}); !errors.Is(err, ErrDenied) {
+		t.Fatal("domainless caller allowed")
+	}
+}
+
+func TestUnknownOpDenied(t *testing.T) {
+	m := New(0)
+	if err := m.Check(domain.ServerID, Op("filesystem.format"), Target{}); !errors.Is(err, ErrDenied) {
+		t.Fatal("unknown op allowed")
+	}
+}
+
+func TestHookTightens(t *testing.T) {
+	m := New(0)
+	err := m.SetHook(OpRegistryRegister, func(caller domain.ID, tg Target) error {
+		if tg.Name == "forbidden" {
+			return fmt.Errorf("%w: name forbidden", ErrDenied)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Check(agentA, OpRegistryRegister, Target{Name: "ok"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Check(agentA, OpRegistryRegister, Target{Name: "forbidden"}); !errors.Is(err, ErrDenied) {
+		t.Fatal("hook did not tighten")
+	}
+}
+
+func TestHookCannotLoosen(t *testing.T) {
+	m := New(0)
+	// A hook that always allows cannot save an operation the builtin
+	// policy denies, because hooks only run after the builtin allows.
+	_ = m.SetHook(OpNetConnect, func(domain.ID, Target) error { return nil })
+	if err := m.Check(agentA, OpNetConnect, Target{}); !errors.Is(err, ErrDenied) {
+		t.Fatal("hook loosened builtin denial")
+	}
+}
+
+func TestSealBlocksHooks(t *testing.T) {
+	m := New(0)
+	m.Seal()
+	if err := m.SetHook(OpProxyControl, func(domain.ID, Target) error { return nil }); err == nil {
+		t.Fatal("SetHook succeeded after Seal")
+	}
+}
+
+func TestAuditRing(t *testing.T) {
+	m := New(3)
+	for i := 0; i < 5; i++ {
+		_ = m.Check(domain.ServerID, OpRegistryRegister, Target{Name: fmt.Sprintf("r%d", i)})
+	}
+	log := m.Audit()
+	if len(log) != 3 {
+		t.Fatalf("audit len = %d, want 3", len(log))
+	}
+	if log[0].Target.Name != "r2" || log[2].Target.Name != "r4" {
+		t.Fatalf("ring order wrong: %v %v", log[0].Target.Name, log[2].Target.Name)
+	}
+}
+
+func TestStats(t *testing.T) {
+	m := New(0)
+	_ = m.Check(domain.ServerID, OpNetConnect, Target{}) // allow
+	_ = m.Check(agentA, OpNetConnect, Target{})          // deny
+	allows, denies := m.Stats()
+	if allows != 1 || denies != 1 {
+		t.Fatalf("stats = %d, %d", allows, denies)
+	}
+}

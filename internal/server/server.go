@@ -1,0 +1,653 @@
+// Package server implements the Ajanta agent server (Fig. 1): the
+// user-level process that hosts visiting agents. It assembles every
+// substrate — the agent environment (host-call interface), the domain
+// database, the resource registry, the security manager, per-agent
+// namespaces, the transfer protocol — into the structure of the paper's
+// Figure 1, and implements the six-step dynamic resource binding
+// protocol of Figure 6.
+package server
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/agent"
+	"repro/internal/cred"
+	"repro/internal/domain"
+	"repro/internal/keys"
+	"repro/internal/loader"
+	"repro/internal/names"
+	"repro/internal/policy"
+	"repro/internal/registry"
+	"repro/internal/resource"
+	"repro/internal/sandbox"
+	"repro/internal/transfer"
+	"repro/internal/vm"
+)
+
+// Config assembles a server.
+type Config struct {
+	// Identity is the server's certified identity; Verifier checks
+	// peers and agent credentials against the platform CA.
+	Identity keys.Identity
+	Verifier keys.Verifier
+	// Address is the server's dialable endpoint; it is bound in the
+	// name service on Start.
+	Address string
+	// NameService resolves server names to locations.
+	NameService *names.Service
+	// Policy is the server's security policy engine.
+	Policy *policy.Engine
+	// Trusted is the server's local module path (class-path
+	// analogue); may be nil for none.
+	Trusted *loader.TrustedSet
+	// Dial and Listen select the transport (netsim or TCP).
+	Dial   func(addr string) (net.Conn, error)
+	Listen func(addr string) (net.Listener, error)
+	// Fuel is the per-visit instruction budget (DoS containment);
+	// 0 applies vm.DefaultFuel.
+	Fuel uint64
+	// MaxAgents caps concurrently hosted agents; 0 = unlimited.
+	MaxAgents int
+	// StrictNamespaces rejects agent bundles that shadow trusted
+	// modules instead of silently ignoring the impostors.
+	StrictNamespaces bool
+	// InstalledResourcePolicy, when true, automatically grants all
+	// principals access to resources installed dynamically by agents
+	// (convenient for demos; production servers configure rules).
+	InstalledResourcePolicy bool
+	// DispatchRestriction, when non-empty, makes this server restrict
+	// every agent it forwards: a signed delegation link narrows the
+	// agent's effective rights to those both the agent and this set
+	// permit (§5.2: "a server may also need to forward an agent to
+	// another server (like a subcontract) ... restricting some of its
+	// existing [privileges]").
+	DispatchRestriction cred.RightSet
+}
+
+// Server is one agent server.
+type Server struct {
+	cfg      Config
+	reg      *registry.Registry
+	db       *domain.Database
+	secmgr   *sandbox.Manager
+	endpoint *transfer.Endpoint
+
+	listener net.Listener
+	wg       sync.WaitGroup
+	quit     chan struct{}
+	quitOnce sync.Once
+
+	mu       sync.Mutex
+	visits   map[names.Name]*visit
+	waiters  map[names.Name]chan *agent.Agent
+	statuses map[names.Name]domain.Status // last known, survives domain removal
+	ledger   map[names.Name]uint64        // owner -> accumulated charges
+	arrivals uint64
+}
+
+// visit is one hosted agent's execution context.
+type visit struct {
+	agent   *agent.Agent
+	dom     domain.ID
+	ns      *loader.Namespace
+	env     *vm.Env
+	meter   *vm.Meter
+	handles map[uint64]*resource.Proxy
+	nextH   uint64
+	// migrate is set by the go host call: destination + entry.
+	migrateDest  names.Name
+	migrateEntry string
+	mailbox      []vm.Value
+	mailMu       sync.Mutex
+}
+
+// errMigrate is the sentinel the go host call uses to unwind the VM.
+var errMigrate = errors.New("server: migration requested")
+
+// Server-level errors.
+var (
+	ErrCapacity    = errors.New("server: at capacity")
+	ErrNoSuchAgent = errors.New("server: no such agent")
+)
+
+// New builds a server from a config.
+func New(cfg Config) (*Server, error) {
+	if cfg.NameService == nil {
+		return nil, errors.New("server: config needs a NameService")
+	}
+	if cfg.Policy == nil {
+		cfg.Policy = policy.NewEngine()
+	}
+	if cfg.Trusted == nil {
+		ts, err := loader.NewTrustedSet()
+		if err != nil {
+			return nil, err
+		}
+		cfg.Trusted = ts
+	}
+	if cfg.Fuel == 0 {
+		cfg.Fuel = vm.DefaultFuel
+	}
+	s := &Server{
+		cfg:      cfg,
+		reg:      registry.New(),
+		db:       domain.NewDatabase(),
+		secmgr:   sandbox.New(256),
+		quit:     make(chan struct{}),
+		visits:   make(map[names.Name]*visit),
+		waiters:  make(map[names.Name]chan *agent.Agent),
+		statuses: make(map[names.Name]domain.Status),
+		ledger:   make(map[names.Name]uint64),
+	}
+	s.endpoint = &transfer.Endpoint{
+		Identity:         cfg.Identity,
+		Verifier:         cfg.Verifier,
+		HandshakeTimeout: 5 * time.Second,
+	}
+	return s, nil
+}
+
+// Name returns the server's global name.
+func (s *Server) Name() names.Name { return s.cfg.Identity.Name }
+
+// Address returns the server's endpoint address.
+func (s *Server) Address() string { return s.cfg.Address }
+
+// Registry exposes the resource registry (for installing server-side
+// resources before Start).
+func (s *Server) Registry() *registry.Registry { return s.reg }
+
+// InstallResource registers a server-owned resource and publishes its
+// location in the name service, enabling agents elsewhere to co-locate
+// with it by name (§4's "co-location with named objects").
+func (s *Server) InstallResource(e registry.Entry) error {
+	if err := s.reg.Register(e); err != nil {
+		return err
+	}
+	return s.cfg.NameService.Bind(e.Name, names.Location{
+		Address: s.cfg.Address, ServerName: s.Name(),
+	})
+}
+
+// DomainDB exposes the domain database (status queries, tests).
+func (s *Server) DomainDB() *domain.Database { return s.db }
+
+// SecurityManager exposes the reference monitor (audit inspection).
+func (s *Server) SecurityManager() *sandbox.Manager { return s.secmgr }
+
+// Policy exposes the policy engine.
+func (s *Server) Policy() *policy.Engine { return s.cfg.Policy }
+
+// Start binds the listener and begins accepting agent transfers.
+func (s *Server) Start() error {
+	if s.cfg.Listen == nil {
+		return errors.New("server: config needs Listen")
+	}
+	l, err := s.cfg.Listen(s.cfg.Address)
+	if err != nil {
+		return err
+	}
+	s.listener = l
+	if err := s.cfg.NameService.Bind(s.Name(), names.Location{
+		Address: s.cfg.Address, ServerName: s.Name(),
+	}); err != nil {
+		_ = l.Close()
+		return err
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return nil
+}
+
+// Stop shuts the server down and waits for hosted agents to finish
+// their current activity.
+func (s *Server) Stop() {
+	s.quitOnce.Do(func() { close(s.quit) })
+	if s.listener != nil {
+		_ = s.listener.Close()
+	}
+	s.cfg.NameService.Unbind(s.Name())
+	s.wg.Wait()
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.listener.Accept()
+		if err != nil {
+			select {
+			case <-s.quit:
+				return
+			default:
+				continue
+			}
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer conn.Close()
+			a, err := s.endpoint.ReceiveAgent(conn, s.admit)
+			if err != nil {
+				return
+			}
+			s.wg.Add(1)
+			go func() {
+				defer s.wg.Done()
+				s.host(a)
+			}()
+		}()
+	}
+}
+
+// admit is the arrival gate: credential verification ("mutual
+// authentication of the agent and server"), bundle verification, and
+// admission control. Rejections travel back to the sending server.
+func (s *Server) admit(a *agent.Agent, from names.Name) error {
+	if err := a.Credentials.Verify(s.cfg.Verifier, time.Now()); err != nil {
+		return fmt.Errorf("credentials: %w", err)
+	}
+	if a.Name != a.Credentials.AgentName {
+		return errors.New("agent name does not match credentials")
+	}
+	if err := vm.VerifyBundle(a.Code); err != nil {
+		return fmt.Errorf("code: %w", err)
+	}
+	// Code-integrity check (§2): when the owner pinned the bundle
+	// digest, a host that patched or swapped the agent's code en route
+	// is caught here.
+	if len(a.Credentials.CodeDigest) > 0 {
+		digest, err := agent.BundleDigest(a.Code)
+		if err != nil {
+			return err
+		}
+		if !bytes.Equal(digest, a.Credentials.CodeDigest) {
+			return errors.New("code does not match the owner-signed digest")
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cfg.MaxAgents > 0 && len(s.visits) >= s.cfg.MaxAgents {
+		return ErrCapacity
+	}
+	return nil
+}
+
+// LaunchLocal submits an agent directly to this server (the path used
+// by a local application, Fig. 1's "submitted to it either by a
+// user-level application or by another agent server via the network").
+func (s *Server) LaunchLocal(a *agent.Agent) error {
+	if err := s.admit(a, s.Name()); err != nil {
+		return err
+	}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		s.host(a)
+	}()
+	return nil
+}
+
+// Await registers interest in an agent's homecoming. The returned
+// channel receives the agent when it completes its itinerary and is
+// delivered at this server (its home site).
+func (s *Server) Await(agentName names.Name) <-chan *agent.Agent {
+	ch := make(chan *agent.Agent, 1)
+	s.mu.Lock()
+	s.waiters[agentName] = ch
+	s.mu.Unlock()
+	return ch
+}
+
+// AgentStatus reports a hosted (or previously hosted) agent's status:
+// the live domain database first, then the server's tombstone record.
+func (s *Server) AgentStatus(n names.Name) (domain.Status, bool) {
+	if st, ok := s.db.StatusOf(n); ok {
+		return st, true
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.statuses[n]
+	return st, ok
+}
+
+// setFinalStatus records an agent's terminal status.
+func (s *Server) setFinalStatus(n names.Name, st domain.Status) {
+	s.mu.Lock()
+	s.statuses[n] = st
+	s.mu.Unlock()
+}
+
+// Kill aborts a hosted agent on behalf of principal `by`: only the
+// agent's owner (or the server operator, represented by the server's
+// own principal) may control it. The abort takes effect at the agent's
+// next VM instruction; its bindings are revoked immediately.
+func (s *Server) Kill(by names.Name, agentName names.Name) error {
+	s.mu.Lock()
+	v, ok := s.visits[agentName]
+	s.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoSuchAgent, agentName)
+	}
+	if by != v.agent.Credentials.Owner && by != s.cfg.Identity.Name {
+		return fmt.Errorf("%w: %s is not the owner", sandbox.ErrDenied, by)
+	}
+	if err := s.secmgr.Check(domain.ServerID, sandbox.OpAgentControl,
+		sandbox.Target{Domain: v.dom, Name: agentName.String()}); err != nil {
+		return err
+	}
+	v.meter.Abort()
+	_ = s.db.RevokeAll(domain.ServerID, v.dom)
+	_ = s.db.SetStatus(domain.ServerID, v.dom, domain.StatusKilled)
+	return nil
+}
+
+// Charges reports the accumulated accounting charges billed to an
+// owner across all completed visits.
+func (s *Server) Charges(owner names.Name) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ledger[owner]
+}
+
+// Arrivals reports how many agents this server has hosted.
+func (s *Server) Arrivals() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.arrivals
+}
+
+// Describe returns the component inventory of Fig. 1, for the
+// -describe flag of cmd/ajanta-server and the F1 experiment.
+func (s *Server) Describe() string {
+	s.mu.Lock()
+	hosted := len(s.visits)
+	s.mu.Unlock()
+	allows, denies := s.secmgr.Stats()
+	return fmt.Sprintf(
+		"agent server %s @ %s\n"+
+			"  agent environment: go, get_resource, invoke, register_resource, make_mailbox, send/recv, report, log\n"+
+			"  resource registry: %d entries\n"+
+			"  domain database:   %d live domains (%d hosted agents)\n"+
+			"  security manager:  %d allowed / %d denied operations\n"+
+			"  agent transfer:    authenticated+encrypted (ed25519 / X25519 / AES-GCM)\n"+
+			"  trusted modules:   %v\n",
+		s.Name(), s.cfg.Address, s.reg.Len(), s.db.Count(), hosted,
+		allows, denies, s.cfg.Trusted.Names())
+}
+
+// host runs one agent visit end to end: domain creation, namespace
+// construction, entry execution, then migration / homecoming.
+func (s *Server) host(a *agent.Agent) {
+	s.mu.Lock()
+	s.arrivals++
+	s.mu.Unlock()
+
+	// Homecoming: itinerary finished and no pending detour — deliver
+	// to the waiting owner without creating an execution domain.
+	if a.PendingEntry == "" && a.Itinerary.Done() {
+		s.deliver(a)
+		return
+	}
+
+	// Domain creation (§5.3): mediated by the security manager, then
+	// recorded in the domain database.
+	if err := s.secmgr.Check(domain.ServerID, sandbox.OpDomainDBUpdate, sandbox.Target{Name: a.Name.String()}); err != nil {
+		return
+	}
+	dom, err := s.db.Admit(domain.ServerID, &a.Credentials)
+	if err != nil {
+		return
+	}
+	ns, err := loader.NewNamespace(s.cfg.Trusted, a.Code, s.cfg.StrictNamespaces)
+	if err != nil {
+		a.Log = append(a.Log, fmt.Sprintf("%s: namespace rejected: %v", s.Name(), err))
+		_ = s.db.Remove(domain.ServerID, dom)
+		s.failHome(a)
+		return
+	}
+
+	v := &visit{
+		agent:   a,
+		dom:     dom,
+		ns:      ns,
+		meter:   vm.NewMeter(s.cfg.Fuel),
+		handles: make(map[uint64]*resource.Proxy),
+	}
+	v.env = &vm.Env{
+		Globals:   a.State,
+		Host:      make(map[string]vm.HostFunc),
+		Resolver:  ns,
+		Meter:     v.meter,
+		MaxFrames: vm.DefaultMaxFrames,
+		Owner:     dom,
+	}
+	vm.InstallBuiltins(v.env)
+	s.installHostAPI(v)
+
+	s.mu.Lock()
+	s.visits[a.Name] = v
+	s.mu.Unlock()
+
+	// finish ends the visit: record the terminal status, settle the
+	// visit's accounting into the per-owner ledger ("mechanisms ...
+	// for metering of resource use and charging for such usage", §2),
+	// and tear down the protection domain. It must run before the
+	// agent is dispatched or delivered so observers never see a live
+	// domain for a departed agent — every terminal path below calls
+	// it exactly once.
+	var finished bool
+	finish := func(st domain.Status) {
+		if finished {
+			return
+		}
+		finished = true
+		_ = s.db.SetStatus(domain.ServerID, dom, st)
+		s.setFinalStatus(a.Name, st)
+		s.mu.Lock()
+		delete(s.visits, a.Name)
+		s.mu.Unlock()
+		if rec, err := s.db.Lookup(dom); err == nil {
+			var total uint64
+			for _, bind := range rec.Bindings {
+				total += bind.Charge
+			}
+			if total > 0 {
+				s.mu.Lock()
+				s.ledger[a.Credentials.Owner] += total
+				s.mu.Unlock()
+			}
+		}
+		_ = s.db.RevokeAll(domain.ServerID, dom)
+		_ = s.db.Remove(domain.ServerID, dom)
+	}
+	defer finish(domain.StatusTerminated) // backstop; normally a no-op
+
+	mainMod, err := v.ns.Module(a.MainModule)
+	if err != nil {
+		a.Log = append(a.Log, fmt.Sprintf("%s: %v", s.Name(), err))
+		finish(domain.StatusFailed)
+		s.failHome(a)
+		return
+	}
+
+	// First arrival anywhere: evaluate module-level initializers.
+	if !a.Initialized {
+		if _, err := vm.Run(v.env, mainMod, "__init__"); err != nil {
+			a.Log = append(a.Log, fmt.Sprintf("%s: init: %v", s.Name(), err))
+			finish(domain.StatusFailed)
+			s.failHome(a)
+			return
+		}
+		a.Initialized = true
+	}
+
+	// Select the entry to run: a pending detour entry (set by go) or
+	// the itinerary's current stop if it names this server.
+	entry := a.PendingEntry
+	a.PendingEntry = ""
+	advance := false
+	if entry == "" {
+		if stop, ok := a.Itinerary.Current(); ok {
+			for _, srv := range stop.Servers {
+				if srv == s.Name() {
+					entry = stop.Entry
+					advance = true
+					break
+				}
+			}
+		}
+	}
+	if entry != "" {
+		_, err = vm.Run(v.env, mainMod, entry)
+		switch {
+		case err == nil:
+			// fall through to itinerary handling
+		case errors.Is(err, errMigrate):
+			// A go() detour consumes the itinerary stop that was
+			// running: the agent has taken over its own routing.
+			if advance {
+				a.Itinerary.Advance()
+			}
+			a.Hops++
+			finish(domain.StatusDeparted)
+			s.dispatchTo(a, v.migrateDest, v.migrateEntry)
+			return
+		case errors.Is(err, vm.ErrAborted):
+			a.Log = append(a.Log, fmt.Sprintf("%s: %s: killed", s.Name(), entry))
+			finish(domain.StatusKilled)
+			s.failHome(a)
+			return
+		default:
+			a.Log = append(a.Log, fmt.Sprintf("%s: %s: %v", s.Name(), entry, err))
+			finish(domain.StatusFailed)
+			s.failHome(a)
+			return
+		}
+	}
+	if advance {
+		a.Itinerary.Advance()
+	}
+	if stop, ok := a.Itinerary.Current(); ok {
+		a.Hops++
+		finish(domain.StatusDeparted)
+		s.dispatchStop(a, stop)
+		return
+	}
+	finish(domain.StatusTerminated)
+	s.deliver(a)
+}
+
+// failHome marks the agent failed and sends it home so the owner sees
+// the log.
+func (s *Server) failHome(a *agent.Agent) {
+	a.Itinerary.Next = len(a.Itinerary.Stops) // abandon remaining stops
+	s.deliver(a)
+}
+
+// dispatchStop sends the agent to the first reachable alternative of a
+// stop.
+func (s *Server) dispatchStop(a *agent.Agent, stop agent.Stop) {
+	var lastErr error
+	for _, srv := range stop.Servers {
+		if srv == s.Name() {
+			// The next stop is this server — rare but legal; re-host.
+			s.wg.Add(1)
+			go func() {
+				defer s.wg.Done()
+				s.host(a)
+			}()
+			return
+		}
+		if err := s.sendTo(a, srv); err != nil {
+			lastErr = err
+			continue
+		}
+		return
+	}
+	a.Log = append(a.Log, fmt.Sprintf("%s: all alternatives unreachable: %v", s.Name(), lastErr))
+	s.failHome(a)
+}
+
+// dispatchTo handles a go()-requested migration.
+func (s *Server) dispatchTo(a *agent.Agent, dest names.Name, entry string) {
+	a.PendingEntry = entry
+	if dest == s.Name() {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.host(a)
+		}()
+		return
+	}
+	if err := s.sendTo(a, dest); err != nil {
+		a.Log = append(a.Log, fmt.Sprintf("%s: go %s: %v", s.Name(), dest, err))
+		a.PendingEntry = ""
+		s.failHome(a)
+	}
+}
+
+// sendTo transfers the agent to a named server via the transfer
+// protocol. Dispatch is a server-domain privilege.
+func (s *Server) sendTo(a *agent.Agent, dest names.Name) error {
+	if err := s.secmgr.Check(domain.ServerID, sandbox.OpAgentDispatch,
+		sandbox.Target{Name: dest.String()}); err != nil {
+		return err
+	}
+	if !s.cfg.DispatchRestriction.IsEmpty() {
+		narrowed := a.Credentials.EffectiveRights().Restrict(s.cfg.DispatchRestriction)
+		if err := a.Credentials.Delegate(s.cfg.Identity, narrowed, time.Time{}); err != nil {
+			return fmt.Errorf("server: dispatch delegation: %w", err)
+		}
+	}
+	loc, err := s.cfg.NameService.Lookup(dest)
+	if err != nil {
+		return err
+	}
+	return s.sendToAddr(a, loc.Address)
+}
+
+func (s *Server) sendToAddr(a *agent.Agent, addr string) error {
+	if s.cfg.Dial == nil {
+		return errors.New("server: config needs Dial")
+	}
+	conn, err := s.cfg.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	// Keep the name service pointing at the agent's current location.
+	_ = s.cfg.NameService.Bind(a.Name, names.Location{Address: addr})
+	return s.endpoint.SendAgent(conn, a)
+}
+
+// deliver completes an agent's journey: hand it to a local waiter, or
+// send it to its home site.
+func (s *Server) deliver(a *agent.Agent) {
+	if a.Credentials.HomeSite != "" && a.Credentials.HomeSite != s.cfg.Address {
+		if err := s.sendToAddr(a, a.Credentials.HomeSite); err != nil {
+			a.Log = append(a.Log, fmt.Sprintf("%s: homecoming failed: %v", s.Name(), err))
+		}
+		return
+	}
+	s.mu.Lock()
+	ch, ok := s.waiters[a.Name]
+	if ok {
+		delete(s.waiters, a.Name)
+	}
+	s.mu.Unlock()
+	if ok {
+		ch <- a
+	}
+}
+
+// nextHandle allocates a host handle for a proxy within a visit.
+func (v *visit) nextHandle(p *resource.Proxy) vm.Value {
+	v.nextH++
+	v.handles[v.nextH] = p
+	return vm.H(v.nextH)
+}

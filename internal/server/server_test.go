@@ -1,0 +1,422 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/agent"
+	"repro/internal/asl"
+	"repro/internal/cred"
+	"repro/internal/domain"
+	"repro/internal/keys"
+	"repro/internal/loader"
+	"repro/internal/names"
+	"repro/internal/netsim"
+	"repro/internal/policy"
+	"repro/internal/vm"
+)
+
+type fixture struct {
+	ca    *keys.Registry
+	nw    *netsim.Network
+	owner keys.Identity
+}
+
+func newFixture(t *testing.T) *fixture {
+	t.Helper()
+	ca, err := keys.NewRegistry(names.Principal("umn.edu", "ca"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner, err := keys.NewIdentity(ca, names.Principal("umn.edu", "alice"), time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &fixture{ca: ca, nw: netsim.NewNetwork(), owner: owner}
+}
+
+func (f *fixture) config(t *testing.T, short, addr string) Config {
+	t.Helper()
+	id, err := keys.NewIdentity(f.ca, names.Server("umn.edu", short), time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Config{
+		Identity:    id,
+		Verifier:    f.ca.Verifier(),
+		Address:     addr,
+		NameService: names.NewService(),
+		Policy:      policy.NewEngine(),
+		Dial:        f.nw.Dial,
+		Listen:      func(a string) (net.Listener, error) { return f.nw.Listen(a) },
+	}
+}
+
+func (f *fixture) agent(t *testing.T, name, src string, it agent.Itinerary, home string) *agent.Agent {
+	t.Helper()
+	c, err := cred.Issue(f.owner, names.Agent("umn.edu", name),
+		f.owner.Name, cred.NewRightSet(cred.All), time.Hour, home)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := asl.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := agent.New(c, mod.Name, []vm.Module{*mod}, it)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("config without NameService accepted")
+	}
+	f := newFixture(t)
+	cfg := f.config(t, "s1", "s1:7000")
+	cfg.Listen = nil
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(); err == nil {
+		t.Fatal("Start without Listen succeeded")
+	}
+}
+
+func TestStartBindsNameService(t *testing.T) {
+	f := newFixture(t)
+	cfg := f.config(t, "s1", "s1:7000")
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	loc, err := cfg.NameService.Lookup(s.Name())
+	if err != nil || loc.Address != "s1:7000" {
+		t.Fatalf("%+v %v", loc, err)
+	}
+	s.Stop()
+	if _, err := cfg.NameService.Lookup(s.Name()); err == nil {
+		t.Fatal("still bound after Stop")
+	}
+}
+
+func TestDescribeListsTrustedModules(t *testing.T) {
+	f := newFixture(t)
+	cfg := f.config(t, "s1", "s1:7000")
+	lib, err := asl.Compile("module mathlib\nfunc id(x) { return x }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, err := loader.NewTrustedSet(lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Trusted = ts
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(s.Describe(), "mathlib") {
+		t.Fatalf("Describe missing trusted module:\n%s", s.Describe())
+	}
+}
+
+func TestKillUnknownAgent(t *testing.T) {
+	f := newFixture(t)
+	s, err := New(f.config(t, "s1", "s1:7000"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Kill(f.owner.Name, names.Agent("umn.edu", "ghost")); !errors.Is(err, ErrNoSuchAgent) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestAdmitRejections(t *testing.T) {
+	f := newFixture(t)
+	s, err := New(f.config(t, "s1", "s1:7000"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := f.agent(t, "ok", "module m\nfunc main() { return 1 }", agent.Itinerary{}, "")
+	if err := s.admit(good, s.Name()); err != nil {
+		t.Fatal(err)
+	}
+	// Tampered rights.
+	tampered := f.agent(t, "bad1", "module m\nfunc main() { return 1 }", agent.Itinerary{}, "")
+	tampered.Credentials.Rights = cred.NewRightSet("anything.else")
+	if err := s.admit(tampered, s.Name()); err == nil {
+		t.Fatal("tampered credentials admitted")
+	}
+	// Name mismatch.
+	renamed := f.agent(t, "bad2", "module m\nfunc main() { return 1 }", agent.Itinerary{}, "")
+	renamed.Name = names.Agent("umn.edu", "else")
+	if err := s.admit(renamed, s.Name()); err == nil {
+		t.Fatal("name mismatch admitted")
+	}
+	// Corrupt bundle.
+	corrupt := f.agent(t, "bad3", "module m\nfunc main() { return 1 }", agent.Itinerary{}, "")
+	corrupt.Code[0].Fns[0].Code = []vm.Instr{{Op: vm.OpAdd}}
+	if err := s.admit(corrupt, s.Name()); err == nil {
+		t.Fatal("corrupt bundle admitted")
+	}
+	// Expired credentials.
+	expired := f.agent(t, "bad4", "module m\nfunc main() { return 1 }", agent.Itinerary{}, "")
+	expired.Credentials.Expiry = time.Now().Add(-time.Minute)
+	if err := s.admit(expired, s.Name()); err == nil {
+		t.Fatal("expired credentials admitted")
+	}
+}
+
+func TestMailboxCapacity(t *testing.T) {
+	f := newFixture(t)
+	s, err := New(f.config(t, "s1", "s1:7000"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := f.agent(t, "mb", "module m\nfunc main() { return 1 }", agent.Itinerary{}, "")
+	v := &visit{agent: a, dom: domain.ID(2)}
+	def := s.newMailbox(v, names.Resource("umn.edu", "mbox"), "mbox")
+	send := def.Methods["send"]
+	for i := 0; i < mailboxCapacity; i++ {
+		if _, err := send([]vm.Value{vm.I(int64(i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := send([]vm.Value{vm.S("overflow")}); err == nil {
+		t.Fatal("mailbox accepted message beyond capacity")
+	}
+	if n, _ := def.Methods["pending"](nil); !n.Equal(vm.I(mailboxCapacity)) {
+		t.Fatalf("pending = %v", n)
+	}
+	if _, err := send(nil); err == nil {
+		t.Fatal("send with no args accepted")
+	}
+}
+
+func TestVMResourceErrors(t *testing.T) {
+	f := newFixture(t)
+	s, err := New(f.config(t, "s1", "s1:7000"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := `module app
+func main() { return 1 }`
+	svc := `module svc
+var state = 0
+func bump(by) { state = state + by return state }`
+	a := f.agent(t, "inst", src, agent.Itinerary{}, "")
+	mod, err := asl.Compile(svc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Code = append(a.Code, *mod)
+	ns, err := loader.NewNamespace(mustTrusted(t), a.Code, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := &visit{agent: a, dom: domain.ID(2), ns: ns}
+
+	// Unknown module.
+	if _, err := s.newVMResource(v, names.Resource("umn.edu", "x"), "ghost", "x"); err == nil {
+		t.Fatal("unknown module accepted")
+	}
+	// Working resource with arity checking and persistent state.
+	def, err := s.newVMResource(v, names.Resource("umn.edu", "svc"), "svc", "svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := def.Methods["bump"]([]vm.Value{vm.I(1), vm.I(2)}); err == nil {
+		t.Fatal("arity mismatch accepted")
+	}
+	if out, err := def.Methods["bump"]([]vm.Value{vm.I(5)}); err != nil || !out.Equal(vm.I(5)) {
+		t.Fatalf("%v %v", out, err)
+	}
+	if out, _ := def.Methods["bump"]([]vm.Value{vm.I(2)}); !out.Equal(vm.I(7)) {
+		t.Fatalf("state not persistent: %v", out)
+	}
+	// __init__ never becomes a method.
+	if _, ok := def.Methods[asl.InitFunc]; ok {
+		t.Fatal("__init__ exposed as a method")
+	}
+	// A failing initializer rejects installation.
+	badInit, err := asl.Compile("module broken\nvar x = 1 / 0\nfunc f() { return 1 }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2 := f.agent(t, "inst2", src, agent.Itinerary{}, "")
+	a2.Code = append(a2.Code, *badInit)
+	ns2, err := loader.NewNamespace(mustTrusted(t), a2.Code, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2 := &visit{agent: a2, dom: domain.ID(3), ns: ns2}
+	if _, err := s.newVMResource(v2, names.Resource("umn.edu", "b"), "broken", "b"); err == nil {
+		t.Fatal("failing initializer accepted")
+	}
+}
+
+func TestVMResourceIsConfined(t *testing.T) {
+	// Installed code must not see server host calls — only builtins.
+	f := newFixture(t)
+	s, err := New(f.config(t, "s1", "s1:7000"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := `module sneaky
+func escape() { return go("ajanta:server:umn.edu/other", "main") }`
+	a := f.agent(t, "inst", "module app\nfunc main() { return 1 }", agent.Itinerary{}, "")
+	mod, err := asl.Compile(svc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Code = append(a.Code, *mod)
+	ns, err := loader.NewNamespace(mustTrusted(t), a.Code, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := &visit{agent: a, dom: domain.ID(2), ns: ns}
+	def, err := s.newVMResource(v, names.Resource("umn.edu", "sneaky"), "sneaky", "sneaky")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := def.Methods["escape"](nil); err == nil {
+		t.Fatal("installed resource reached the server API")
+	}
+}
+
+func TestVMResourceRunawayMetered(t *testing.T) {
+	f := newFixture(t)
+	s, err := New(f.config(t, "s1", "s1:7000"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := "module spin\nfunc loop() { while true { } }"
+	a := f.agent(t, "inst", "module app\nfunc main() { return 1 }", agent.Itinerary{}, "")
+	mod, err := asl.Compile(svc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Code = append(a.Code, *mod)
+	ns, err := loader.NewNamespace(mustTrusted(t), a.Code, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := &visit{agent: a, dom: domain.ID(2), ns: ns}
+	def, err := s.newVMResource(v, names.Resource("umn.edu", "spin"), "spin", "spin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := def.Methods["loop"](nil); !errors.Is(err, vm.ErrFuelExhausted) {
+		t.Fatalf("runaway installed method not stopped: %v", err)
+	}
+}
+
+func TestDispatchStopAllAlternativesFail(t *testing.T) {
+	f := newFixture(t)
+	cfg := f.config(t, "s1", "s1:7000")
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Stop()
+
+	it := agent.Itinerary{Stops: []agent.Stop{
+		{Servers: []names.Name{s.Name()}, Entry: "main"},
+		{Servers: []names.Name{
+			names.Server("umn.edu", "ghost1"),
+			names.Server("umn.edu", "ghost2"),
+		}, Entry: "main"},
+	}}
+	a := f.agent(t, "stranded", "module m\nfunc main() { report(1) }", it, cfg.Address)
+	ch := s.Await(a.Name)
+	if err := s.LaunchLocal(a); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case back := <-ch:
+		if !strings.Contains(strings.Join(back.Log, "\n"), "unreachable") {
+			t.Fatalf("log = %v", back.Log)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("stranded agent never came home")
+	}
+}
+
+func TestHomecomingToAwaitedWaiter(t *testing.T) {
+	f := newFixture(t)
+	cfg := f.config(t, "s1", "s1:7000")
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Stop()
+	a := f.agent(t, "homer", "module m\nfunc main() { report(7) }",
+		agent.Sequence("main", s.Name()), cfg.Address)
+	ch := s.Await(a.Name)
+	if err := s.LaunchLocal(a); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case back := <-ch:
+		if len(back.Results) != 1 || !back.Results[0].Equal(vm.I(7)) {
+			t.Fatalf("results = %v", back.Results)
+		}
+		if st, ok := s.AgentStatus(a.Name); !ok || st != domain.StatusTerminated {
+			t.Fatalf("status = %v %v", st, ok)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("no homecoming")
+	}
+}
+
+func TestArrivalsCounter(t *testing.T) {
+	f := newFixture(t)
+	cfg := f.config(t, "s1", "s1:7000")
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Stop()
+	for i := 0; i < 3; i++ {
+		a := f.agent(t, fmt.Sprintf("visitor%d", i),
+			"module m\nfunc main() { return 1 }",
+			agent.Sequence("main", s.Name()), cfg.Address)
+		ch := s.Await(a.Name)
+		if err := s.LaunchLocal(a); err != nil {
+			t.Fatal(err)
+		}
+		<-ch
+	}
+	if got := s.Arrivals(); got != 3 {
+		t.Fatalf("arrivals = %d", got)
+	}
+}
+
+func mustTrusted(t *testing.T) *loader.TrustedSet {
+	t.Helper()
+	ts, err := loader.NewTrustedSet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ts
+}

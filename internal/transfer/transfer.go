@@ -1,0 +1,395 @@
+// Package transfer implements the server-to-server agent transfer
+// protocol (§2, §4): "the primary function of this protocol is to
+// securely transfer an agent from one server to another."
+//
+// Security properties against the paper's open-network threat model:
+//
+//   - mutual authentication: both endpoints prove possession of the
+//     private key matching a CA-certified server certificate, over
+//     fresh nonces (no replayable handshakes);
+//   - confidentiality and integrity: an X25519 ephemeral key agreement
+//     bound to the authenticated transcript yields an AES-GCM session
+//     key; every frame is sealed;
+//   - replay protection: GCM nonces are per-direction counters, so a
+//     recorded frame re-injected later (or reordered) fails to
+//     authenticate.
+//
+// A plaintext mode exists solely as the baseline for experiment C7's
+// "cost of security" measurement.
+package transfer
+
+import (
+	"bytes"
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/ecdh"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"repro/internal/agent"
+	"repro/internal/keys"
+	"repro/internal/names"
+)
+
+// Errors.
+var (
+	ErrAuth      = errors.New("transfer: peer authentication failed")
+	ErrIntegrity = errors.New("transfer: frame integrity check failed")
+	ErrRejected  = errors.New("transfer: agent rejected by receiver")
+	ErrTooLarge  = errors.New("transfer: frame exceeds size limit")
+)
+
+// MaxFrame bounds a single frame (handshake message or sealed agent).
+const MaxFrame = 16 << 20
+
+// Endpoint is one side of the transfer protocol: a server identity plus
+// the CA verifier used to check peers.
+type Endpoint struct {
+	Identity keys.Identity
+	Verifier keys.Verifier
+	// Plaintext disables the cryptographic channel (benchmark
+	// baseline only).
+	Plaintext bool
+	// HandshakeTimeout bounds the handshake; zero means no deadline.
+	HandshakeTimeout time.Duration
+}
+
+// --- wire messages -----------------------------------------------------
+
+type helloMsg struct {
+	ServerName names.Name
+	Cert       keys.Certificate
+	Nonce      [32]byte
+	EphPub     []byte // X25519 public key; empty in plaintext mode
+}
+
+type authMsg struct {
+	Sig []byte // signature over the handshake transcript
+}
+
+type agentMsg struct {
+	Sender names.Name
+	Data   []byte // gob-encoded agent
+}
+
+type ackMsg struct {
+	Accepted bool
+	Reason   string
+}
+
+// writeFrame sends a length-prefixed gob-encoded message.
+func writeFrame(w io.Writer, v any) error {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return fmt.Errorf("transfer: encode: %w", err)
+	}
+	var lenBuf [4]byte
+	binary.BigEndian.PutUint32(lenBuf[:], uint32(buf.Len()))
+	if _, err := w.Write(lenBuf[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(buf.Bytes())
+	return err
+}
+
+// readFrame receives a length-prefixed gob-encoded message.
+func readFrame(r io.Reader, v any) error {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return err
+	}
+	n := binary.BigEndian.Uint32(lenBuf[:])
+	if n > MaxFrame {
+		return ErrTooLarge
+	}
+	data := make([]byte, n)
+	if _, err := io.ReadFull(r, data); err != nil {
+		return err
+	}
+	return gob.NewDecoder(bytes.NewReader(data)).Decode(v)
+}
+
+// session is an established secure (or plaintext) channel.
+type session struct {
+	conn    net.Conn
+	peer    names.Name
+	aead    cipher.AEAD // nil in plaintext mode
+	sendCtr uint64
+	recvCtr uint64
+	sendDir byte
+	recvDir byte
+}
+
+// transcriptHash binds the session key and signatures to every
+// handshake field, preventing mix-and-match attacks.
+func transcriptHash(a, b helloMsg) []byte {
+	h := sha256.New()
+	enc := func(m helloMsg) {
+		h.Write([]byte(m.ServerName.String()))
+		h.Write(m.Cert.PublicKey)
+		h.Write(m.Nonce[:])
+		h.Write(m.EphPub)
+	}
+	enc(a)
+	enc(b)
+	return h.Sum(nil)
+}
+
+// handshake runs the mutual-auth key agreement. initiator controls the
+// message order; both sides end with the same session key.
+func (e *Endpoint) handshake(conn net.Conn, initiator bool) (*session, error) {
+	if e.HandshakeTimeout > 0 {
+		_ = conn.SetDeadline(time.Now().Add(e.HandshakeTimeout))
+		defer conn.SetDeadline(time.Time{})
+	}
+	var ephKey *ecdh.PrivateKey
+	mine := helloMsg{ServerName: e.Identity.Name, Cert: e.Identity.Cert}
+	if _, err := rand.Read(mine.Nonce[:]); err != nil {
+		return nil, err
+	}
+	if !e.Plaintext {
+		var err error
+		ephKey, err = ecdh.X25519().GenerateKey(rand.Reader)
+		if err != nil {
+			return nil, err
+		}
+		mine.EphPub = ephKey.PublicKey().Bytes()
+	}
+
+	var theirs helloMsg
+	if initiator {
+		if err := writeFrame(conn, mine); err != nil {
+			return nil, err
+		}
+		if err := readFrame(conn, &theirs); err != nil {
+			return nil, err
+		}
+	} else {
+		if err := readFrame(conn, &theirs); err != nil {
+			return nil, err
+		}
+		if err := writeFrame(conn, mine); err != nil {
+			return nil, err
+		}
+	}
+
+	// Certificate checks: CA signature, validity, and that the peer
+	// is certified under the name it claims.
+	if err := e.Verifier.Check(theirs.Cert, time.Now()); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrAuth, err)
+	}
+	if theirs.Cert.Subject != theirs.ServerName {
+		return nil, fmt.Errorf("%w: hello name %s does not match cert subject %s",
+			ErrAuth, theirs.ServerName, theirs.Cert.Subject)
+	}
+
+	var ts []byte
+	if initiator {
+		ts = transcriptHash(mine, theirs)
+	} else {
+		ts = transcriptHash(theirs, mine)
+	}
+
+	// Exchange transcript signatures (initiator first), proving each
+	// side holds the certified private key *for this handshake*.
+	mySig := authMsg{Sig: e.Identity.Keys.Sign(ts)}
+	var theirSig authMsg
+	if initiator {
+		if err := writeFrame(conn, mySig); err != nil {
+			return nil, err
+		}
+		if err := readFrame(conn, &theirSig); err != nil {
+			return nil, err
+		}
+	} else {
+		if err := readFrame(conn, &theirSig); err != nil {
+			return nil, err
+		}
+		if err := writeFrame(conn, mySig); err != nil {
+			return nil, err
+		}
+	}
+	if !keys.Verify(theirs.Cert.PublicKey, ts, theirSig.Sig) {
+		return nil, fmt.Errorf("%w: bad transcript signature from %s", ErrAuth, theirs.ServerName)
+	}
+
+	s := &session{conn: conn, peer: theirs.ServerName}
+	if initiator {
+		s.sendDir, s.recvDir = 1, 2
+	} else {
+		s.sendDir, s.recvDir = 2, 1
+	}
+	if e.Plaintext {
+		return s, nil
+	}
+	if len(theirs.EphPub) == 0 {
+		return nil, fmt.Errorf("%w: peer offered no key agreement", ErrAuth)
+	}
+	peerPub, err := ecdh.X25519().NewPublicKey(theirs.EphPub)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrAuth, err)
+	}
+	shared, err := ephKey.ECDH(peerPub)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrAuth, err)
+	}
+	// Session key = H(shared || transcript): binds the key to the
+	// authenticated identities and nonces.
+	kh := sha256.New()
+	kh.Write(shared)
+	kh.Write(ts)
+	block, err := aes.NewCipher(kh.Sum(nil))
+	if err != nil {
+		return nil, err
+	}
+	s.aead, err = cipher.NewGCM(block)
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// nonce builds the 12-byte GCM nonce for direction dir and counter ctr.
+func nonce(dir byte, ctr uint64) []byte {
+	n := make([]byte, 12)
+	n[0] = dir
+	binary.BigEndian.PutUint64(n[4:], ctr)
+	return n
+}
+
+// send seals (or passes through) one payload.
+func (s *session) send(payload []byte) error {
+	if s.aead == nil {
+		var lenBuf [4]byte
+		binary.BigEndian.PutUint32(lenBuf[:], uint32(len(payload)))
+		if _, err := s.conn.Write(lenBuf[:]); err != nil {
+			return err
+		}
+		_, err := s.conn.Write(payload)
+		return err
+	}
+	sealed := s.aead.Seal(nil, nonce(s.sendDir, s.sendCtr), payload, nil)
+	s.sendCtr++
+	var lenBuf [4]byte
+	binary.BigEndian.PutUint32(lenBuf[:], uint32(len(sealed)))
+	if _, err := s.conn.Write(lenBuf[:]); err != nil {
+		return err
+	}
+	_, err := s.conn.Write(sealed)
+	return err
+}
+
+// recv reads and opens one payload. A tampered, replayed or reordered
+// frame fails authentication here.
+func (s *session) recv() ([]byte, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(s.conn, lenBuf[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(lenBuf[:])
+	if n > MaxFrame {
+		return nil, ErrTooLarge
+	}
+	data := make([]byte, n)
+	if _, err := io.ReadFull(s.conn, data); err != nil {
+		return nil, err
+	}
+	if s.aead == nil {
+		return data, nil
+	}
+	plain, err := s.aead.Open(nil, nonce(s.recvDir, s.recvCtr), data, nil)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrIntegrity, err)
+	}
+	s.recvCtr++
+	return plain, nil
+}
+
+// SendAgent transfers an agent over conn and waits for the receiver's
+// accept/reject decision. The agent's state is sanitized (host handles
+// stripped) before serialization.
+func (e *Endpoint) SendAgent(conn net.Conn, a *agent.Agent) error {
+	s, err := e.handshake(conn, true)
+	if err != nil {
+		return err
+	}
+	a.SanitizeForTransfer()
+	data, err := a.Encode()
+	if err != nil {
+		return err
+	}
+	var msg bytes.Buffer
+	if err := gob.NewEncoder(&msg).Encode(agentMsg{Sender: e.Identity.Name, Data: data}); err != nil {
+		return err
+	}
+	if err := s.send(msg.Bytes()); err != nil {
+		return err
+	}
+	ackData, err := s.recv()
+	if err != nil {
+		return err
+	}
+	var ack ackMsg
+	if err := gob.NewDecoder(bytes.NewReader(ackData)).Decode(&ack); err != nil {
+		return err
+	}
+	if !ack.Accepted {
+		return fmt.Errorf("%w: %s", ErrRejected, ack.Reason)
+	}
+	return nil
+}
+
+// ReceiveAgent accepts one agent transfer on conn. The accept callback
+// inspects the decoded agent (credential verification, bundle
+// verification, admission control) and returns an error to reject it;
+// the rejection reason travels back to the sender.
+func (e *Endpoint) ReceiveAgent(conn net.Conn, accept func(*agent.Agent, names.Name) error) (*agent.Agent, error) {
+	s, err := e.handshake(conn, false)
+	if err != nil {
+		return nil, err
+	}
+	msgData, err := s.recv()
+	if err != nil {
+		return nil, err
+	}
+	var msg agentMsg
+	if err := gob.NewDecoder(bytes.NewReader(msgData)).Decode(&msg); err != nil {
+		return nil, err
+	}
+	// The transport sender must be the authenticated peer: a server
+	// cannot forward agents while claiming another server sent them.
+	if msg.Sender != s.peer {
+		_ = s.sendAck(false, "sender identity mismatch")
+		return nil, fmt.Errorf("%w: message sender %s != channel peer %s", ErrAuth, msg.Sender, s.peer)
+	}
+	a, err := agent.Decode(msg.Data)
+	if err != nil {
+		_ = s.sendAck(false, "malformed agent")
+		return nil, err
+	}
+	if accept != nil {
+		if err := accept(a, s.peer); err != nil {
+			_ = s.sendAck(false, err.Error())
+			return nil, fmt.Errorf("%w: %v", ErrRejected, err)
+		}
+	}
+	if err := s.sendAck(true, ""); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+func (s *session) sendAck(ok bool, reason string) error {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(ackMsg{Accepted: ok, Reason: reason}); err != nil {
+		return err
+	}
+	return s.send(buf.Bytes())
+}

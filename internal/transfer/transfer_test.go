@@ -1,0 +1,389 @@
+package transfer
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/agent"
+	"repro/internal/asl"
+	"repro/internal/cred"
+	"repro/internal/keys"
+	"repro/internal/names"
+	"repro/internal/netsim"
+	"repro/internal/vm"
+)
+
+type world struct {
+	reg  *keys.Registry
+	net  *netsim.Network
+	a, b *Endpoint
+}
+
+func newWorld(t *testing.T) *world {
+	t.Helper()
+	reg, err := keys.NewRegistry(names.Principal("umn.edu", "ca"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(n names.Name) *Endpoint {
+		id, err := keys.NewIdentity(reg, n, time.Hour)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return &Endpoint{Identity: id, Verifier: reg.Verifier(), HandshakeTimeout: 2 * time.Second}
+	}
+	return &world{
+		reg: reg,
+		net: netsim.NewNetwork(),
+		a:   mk(names.Server("umn.edu", "s-a")),
+		b:   mk(names.Server("acme.com", "s-b")),
+	}
+}
+
+func testAgent(t *testing.T, reg *keys.Registry) *agent.Agent {
+	t.Helper()
+	owner, err := keys.NewIdentity(reg, names.Principal("umn.edu", "alice"), time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := cred.Issue(owner, names.Agent("umn.edu", "traveller"),
+		names.Principal("umn.edu", "app"), cred.NewRightSet(cred.All), time.Hour, "home")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := asl.Compile("module m\nvar visits = 0\nfunc main() { visits = visits + 1 return visits }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := agent.New(c, "m", []vm.Module{*mod}, agent.Itinerary{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.State["visits"] = vm.I(3)
+	return a
+}
+
+// exchange runs one transfer over the simulated network and returns the
+// received agent (or error) and the sender-side error.
+func (w *world) exchange(t *testing.T, a *agent.Agent, accept func(*agent.Agent, names.Name) error) (*agent.Agent, error, error) {
+	t.Helper()
+	l, err := w.net.Listen("b:7000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	var (
+		got     *agent.Agent
+		recvErr error
+		wg      sync.WaitGroup
+	)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		conn, err := l.Accept()
+		if err != nil {
+			recvErr = err
+			return
+		}
+		defer conn.Close()
+		got, recvErr = w.b.ReceiveAgent(conn, accept)
+	}()
+	conn, err := w.net.Dial("b:7000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sendErr := w.a.SendAgent(conn, a)
+	conn.Close()
+	wg.Wait()
+	return got, recvErr, sendErr
+}
+
+func TestTransferRoundTrip(t *testing.T) {
+	w := newWorld(t)
+	a := testAgent(t, w.reg)
+	got, recvErr, sendErr := w.exchange(t, a, nil)
+	if sendErr != nil || recvErr != nil {
+		t.Fatalf("send=%v recv=%v", sendErr, recvErr)
+	}
+	if got.Name != a.Name || !got.State["visits"].Equal(vm.I(3)) {
+		t.Fatalf("agent mangled: %+v", got)
+	}
+	if err := got.Credentials.Verify(w.reg.Verifier(), time.Now()); err != nil {
+		t.Fatalf("credentials broken after transfer: %v", err)
+	}
+}
+
+func TestTransferStripsHandles(t *testing.T) {
+	w := newWorld(t)
+	a := testAgent(t, w.reg)
+	a.State["proxy"] = vm.H(42)
+	got, recvErr, sendErr := w.exchange(t, a, nil)
+	if sendErr != nil || recvErr != nil {
+		t.Fatalf("send=%v recv=%v", sendErr, recvErr)
+	}
+	if got.State["proxy"].Kind != vm.KindNil {
+		t.Fatal("host handle crossed the wire")
+	}
+}
+
+func TestReceiverRejection(t *testing.T) {
+	w := newWorld(t)
+	a := testAgent(t, w.reg)
+	reject := func(*agent.Agent, names.Name) error { return errors.New("no capacity") }
+	got, recvErr, sendErr := w.exchange(t, a, reject)
+	if got != nil {
+		t.Fatal("rejected agent returned")
+	}
+	if !errors.Is(recvErr, ErrRejected) {
+		t.Fatalf("recv = %v", recvErr)
+	}
+	if !errors.Is(sendErr, ErrRejected) {
+		t.Fatalf("send = %v", sendErr)
+	}
+}
+
+func TestC7_EavesdropperSeesNoPlaintext(t *testing.T) {
+	w := newWorld(t)
+	a := testAgent(t, w.reg)
+	var captured []byte
+	w.net.SetTap(func(from, to string, data []byte) []byte {
+		captured = append(captured, data...)
+		return data
+	})
+	_, recvErr, sendErr := w.exchange(t, a, nil)
+	if sendErr != nil || recvErr != nil {
+		t.Fatalf("send=%v recv=%v", sendErr, recvErr)
+	}
+	// The agent's owner name appears in credentials; the sealed
+	// channel must not leak it. (Handshake certificates do carry the
+	// *server* names — that is public information.)
+	if containsSub(captured, []byte("traveller")) {
+		t.Fatal("agent identity visible on the wire")
+	}
+	if containsSub(captured, []byte("visits")) {
+		t.Fatal("agent state visible on the wire")
+	}
+}
+
+func TestC7_PlaintextModeLeaks(t *testing.T) {
+	// Sanity check of the baseline: without the secure channel the
+	// eavesdropper DOES see agent internals. This is the contrast
+	// case for the experiment above.
+	w := newWorld(t)
+	w.a.Plaintext = true
+	w.b.Plaintext = true
+	a := testAgent(t, w.reg)
+	var captured []byte
+	w.net.SetTap(func(from, to string, data []byte) []byte {
+		captured = append(captured, data...)
+		return data
+	})
+	_, recvErr, sendErr := w.exchange(t, a, nil)
+	if sendErr != nil || recvErr != nil {
+		t.Fatalf("send=%v recv=%v", sendErr, recvErr)
+	}
+	if !containsSub(captured, []byte("traveller")) {
+		t.Fatal("expected plaintext leak in baseline mode")
+	}
+}
+
+func TestC7_TamperDetected(t *testing.T) {
+	w := newWorld(t)
+	a := testAgent(t, w.reg)
+	frames := 0
+	w.net.SetTap(func(from, to string, data []byte) []byte {
+		frames++
+		if frames > 8 { // let the handshake through, corrupt the payload
+			data[len(data)/2] ^= 0x01
+		}
+		return data
+	})
+	_, recvErr, sendErr := w.exchange(t, a, nil)
+	if recvErr == nil && sendErr == nil {
+		t.Fatal("tampered transfer succeeded")
+	}
+	if recvErr != nil && !errors.Is(recvErr, ErrIntegrity) {
+		// Depending on which frame was hit the failure may surface as
+		// an integrity error or a read error after rejection; but it
+		// must never be silent success.
+		t.Logf("receiver error (acceptable): %v", recvErr)
+	}
+}
+
+func TestC7_ImpersonationRejected(t *testing.T) {
+	// A server whose certificate comes from an untrusted CA cannot
+	// complete the handshake.
+	w := newWorld(t)
+	rogueReg, err := keys.NewRegistry(names.Principal("evil.org", "ca"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rogueID, err := keys.NewIdentity(rogueReg, names.Server("acme.com", "s-b"), time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.a = &Endpoint{Identity: rogueID, Verifier: rogueReg.Verifier(), HandshakeTimeout: time.Second}
+	a := testAgent(t, w.reg)
+	_, recvErr, sendErr := w.exchange(t, a, nil)
+	if recvErr == nil {
+		t.Fatal("receiver accepted impostor")
+	}
+	if !errors.Is(recvErr, ErrAuth) {
+		t.Fatalf("recv = %v, want auth failure", recvErr)
+	}
+	_ = sendErr // sender fails too (its CA doesn't trust the honest side)
+}
+
+func TestC7_StolenNameRejected(t *testing.T) {
+	// The adversary presents a valid certificate for its OWN name but
+	// claims a different server name in the hello.
+	w := newWorld(t)
+	mallory, err := keys.NewIdentity(w.reg, names.Server("evil.org", "mallory"), time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mallory uses her real cert but labels herself as s-a.
+	w.a.Identity = keys.Identity{
+		Name: names.Server("umn.edu", "s-a"),
+		Keys: mallory.Keys,
+		Cert: mallory.Cert,
+	}
+	a := testAgent(t, w.reg)
+	_, recvErr, _ := w.exchange(t, a, nil)
+	if !errors.Is(recvErr, ErrAuth) {
+		t.Fatalf("recv = %v, want auth failure", recvErr)
+	}
+}
+
+func TestC7_ReplayRejected(t *testing.T) {
+	// The adversary records the (encrypted) agent frame and replays it
+	// inside the same session. The per-direction counter nonce makes
+	// the replay fail authentication.
+	w := newWorld(t)
+	a := testAgent(t, w.reg)
+
+	l, err := w.net.Listen("b:7000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	recvDone := make(chan error, 1)
+	go func() {
+		conn, err := l.Accept()
+		if err != nil {
+			recvDone <- err
+			return
+		}
+		defer conn.Close()
+		// Receive the real agent, then try to read ANOTHER message
+		// from the same session (the replayed frame).
+		s, err := w.b.handshake(conn, false)
+		if err != nil {
+			recvDone <- err
+			return
+		}
+		if _, err := s.recv(); err != nil { // legitimate frame
+			recvDone <- err
+			return
+		}
+		_ = s.sendAck(true, "")
+		_, err = s.recv() // replayed frame must fail here
+		recvDone <- err
+	}()
+
+	conn, err := w.net.Dial("b:7000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := w.a.handshake(conn, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.SanitizeForTransfer()
+	data, _ := a.Encode()
+	if err := s.send(data); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.recv(); err != nil { // ack
+		t.Fatal(err)
+	}
+	// Replay: re-send the identical sealed bytes by rewinding the
+	// counter, as a wire-level adversary would.
+	s.sendCtr = 0
+	if err := s.send(data); err != nil {
+		t.Fatal(err)
+	}
+	err = <-recvDone
+	if !errors.Is(err, ErrIntegrity) {
+		t.Fatalf("replayed frame accepted: %v", err)
+	}
+}
+
+func TestC7_DowngradeRejected(t *testing.T) {
+	// A man-in-the-middle (or misconfigured peer) tries to run the
+	// session without key agreement against a secure endpoint. The
+	// secure side must refuse rather than silently fall back to
+	// plaintext.
+	w := newWorld(t)
+	w.a.Plaintext = true // sender offers no key agreement
+	a := testAgent(t, w.reg)
+	_, recvErr, sendErr := w.exchange(t, a, nil)
+	if recvErr == nil && sendErr == nil {
+		t.Fatal("secure endpoint accepted a plaintext session")
+	}
+	if recvErr != nil && !errors.Is(recvErr, ErrAuth) {
+		t.Logf("receiver error (acceptable, must not be nil): %v", recvErr)
+	}
+}
+
+func TestTransferOverRealTCP(t *testing.T) {
+	w := newWorld(t)
+	a := testAgent(t, w.reg)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	recvDone := make(chan error, 1)
+	go func() {
+		conn, err := l.Accept()
+		if err != nil {
+			recvDone <- err
+			return
+		}
+		defer conn.Close()
+		_, err = w.b.ReceiveAgent(conn, nil)
+		recvDone <- err
+	}()
+	conn, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := w.a.SendAgent(conn, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-recvDone; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func containsSub(haystack, needle []byte) bool {
+	for i := 0; i+len(needle) <= len(haystack); i++ {
+		match := true
+		for j := range needle {
+			if haystack[i+j] != needle[j] {
+				match = false
+				break
+			}
+		}
+		if match {
+			return true
+		}
+	}
+	return false
+}

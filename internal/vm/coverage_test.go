@@ -1,0 +1,224 @@
+package vm
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestMeterAbort(t *testing.T) {
+	m := NewMeter(0)
+	if err := m.Charge(5); err != nil {
+		t.Fatal(err)
+	}
+	m.Abort()
+	if err := m.Charge(1); !errors.Is(err, ErrAborted) {
+		t.Fatalf("got %v", err)
+	}
+	if m.Used() != 5 {
+		t.Fatalf("used = %d", m.Used())
+	}
+	if m.Limit() != 0 {
+		t.Fatalf("limit = %d", m.Limit())
+	}
+	// Nil meters are inert everywhere.
+	var nilM *Meter
+	if err := nilM.Charge(10); err != nil {
+		t.Fatal(err)
+	}
+	nilM.Abort()
+	if nilM.Used() != 0 || nilM.Limit() != 0 {
+		t.Fatal("nil meter reported usage")
+	}
+	bounded := NewMeter(100)
+	if bounded.Limit() != 100 {
+		t.Fatalf("limit = %d", bounded.Limit())
+	}
+}
+
+func TestAbortStopsRunningProgram(t *testing.T) {
+	b := newMB("t").fn("main", 0, 0)
+	b.i(OpJump, 0) // infinite loop
+	env := NewEnv()
+	env.Meter = NewMeter(0)
+	done := make(chan error, 1)
+	go func() {
+		_, err := Run(env, b.m, "main")
+		done <- err
+	}()
+	env.Meter.Abort()
+	if err := <-done; !errors.Is(err, ErrAborted) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestModuleResolver(t *testing.T) {
+	m := newMB("lib").fn("f", 0, 0).i(OpPushNil).ret().m
+	r := ModuleResolver{M: m}
+	if _, f, err := r.ResolveFunc("f"); err != nil || f.Name != "f" {
+		t.Fatalf("%v %v", f, err)
+	}
+	if _, _, err := r.ResolveFunc("ghost"); !errors.Is(err, ErrNoFunction) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestValueConstructorsAndString(t *testing.T) {
+	if H(7).String() != "handle#7" || H(7).Kind != KindHandle {
+		t.Fatal("handle value wrong")
+	}
+	if M(nil).Map == nil {
+		t.Fatal("M(nil) returned nil map")
+	}
+	if Nil().String() != "nil" || B(false).String() != "false" || I(-3).String() != "-3" {
+		t.Fatal("scalar Strings wrong")
+	}
+	if S("a\"b").String() != `"a\"b"` {
+		t.Fatalf("string quoting: %s", S("a\"b").String())
+	}
+	if got := (Value{Kind: Kind(99)}).String(); got != "<kind(99)>" {
+		t.Fatalf("unknown kind String = %q", got)
+	}
+	if Kind(99).String() != "kind(99)" || KindHandle.String() != "handle" {
+		t.Fatal("Kind.String wrong")
+	}
+}
+
+func TestTruthyTable(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want bool
+	}{
+		{Nil(), false}, {B(false), false}, {B(true), true},
+		{I(0), true}, {S(""), true}, {L(), true}, {M(nil), true}, {H(0), true},
+	}
+	for _, c := range cases {
+		if c.v.Truthy() != c.want {
+			t.Errorf("Truthy(%s) = %v", c.v, !c.want)
+		}
+	}
+}
+
+func TestEqualCrossKindsAndHandles(t *testing.T) {
+	if I(1).Equal(S("1")) || Nil().Equal(B(false)) {
+		t.Fatal("cross-kind equality")
+	}
+	if !H(3).Equal(H(3)) || H(3).Equal(H(4)) {
+		t.Fatal("handle equality wrong")
+	}
+	if L(I(1)).Equal(L(I(1), I(2))) {
+		t.Fatal("length-mismatched lists equal")
+	}
+	if M(map[string]Value{"a": I(1)}).Equal(M(map[string]Value{"b": I(1)})) {
+		t.Fatal("different-keyed maps equal")
+	}
+}
+
+func TestSetIndexTraps(t *testing.T) {
+	// set-index on a string.
+	b := newMB("t").fn("main", 0, 0)
+	b.pushS("abc").pushI(0).pushS("x").i(OpSetIndex).ret()
+	if err := Verify(b.m); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(NewEnv(), b.m, "main"); !errors.Is(err, ErrTrap) {
+		t.Fatalf("got %v", err)
+	}
+	// list set-index with a string index.
+	b2 := newMB("t").fn("main", 0, 0)
+	b2.pushI(1).i(OpMakeList, 1).pushS("k").pushI(9).i(OpSetIndex).ret()
+	if _, err := Run(NewEnv(), b2.m, "main"); !errors.Is(err, ErrTrap) {
+		t.Fatalf("got %v", err)
+	}
+	// list set-index out of range.
+	b3 := newMB("t").fn("main", 0, 0)
+	b3.pushI(1).i(OpMakeList, 1).pushI(5).pushI(9).i(OpSetIndex).ret()
+	if _, err := Run(NewEnv(), b3.m, "main"); !errors.Is(err, ErrTrap) {
+		t.Fatalf("got %v", err)
+	}
+	// map set-index with an int key.
+	b4 := newMB("t").fn("main", 0, 0)
+	b4.i(OpMakeMap, 0).pushI(1).pushI(2).i(OpSetIndex).ret()
+	if _, err := Run(NewEnv(), b4.m, "main"); !errors.Is(err, ErrTrap) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestIndexMapMissingKeyIsNil(t *testing.T) {
+	b := newMB("t").fn("main", 0, 0)
+	b.i(OpMakeMap, 0).pushS("ghost").i(OpIndex).ret()
+	v := mustRun(t, b.m, "main")
+	if v.Kind != KindNil {
+		t.Fatalf("got %v", v)
+	}
+}
+
+func TestCompareAllOps(t *testing.T) {
+	ops := []struct {
+		op   Opcode
+		a, b int64
+		want bool
+	}{
+		{OpLt, 1, 2, true}, {OpLe, 2, 2, true}, {OpGt, 3, 2, true},
+		{OpGe, 2, 3, false}, {OpLt, 2, 1, false}, {OpGe, 2, 2, true},
+	}
+	for _, c := range ops {
+		b := newMB("t").fn("main", 0, 0)
+		b.pushI(c.a).pushI(c.b).i(c.op).ret()
+		if v := mustRun(t, b.m, "main"); !v.Equal(B(c.want)) {
+			t.Errorf("%d %s %d = %v", c.a, c.op, c.b, v)
+		}
+	}
+	// String comparison for the remaining operators.
+	b := newMB("t").fn("main", 0, 0)
+	b.pushS("b").pushS("a").i(OpGe).ret()
+	if v := mustRun(t, b.m, "main"); !v.Equal(B(true)) {
+		t.Fatalf("got %v", v)
+	}
+}
+
+func TestInstrString(t *testing.T) {
+	cases := map[string]Instr{
+		"add":          {Op: OpAdd},
+		"jmp 7":        {Op: OpJump, A: 7},
+		"call 1 2":     {Op: OpCall, A: 1, B: 2},
+		"hostcall 0 3": {Op: OpHostCall, A: 0, B: 3},
+		"pushint 4":    {Op: OpPushInt, A: 4},
+	}
+	for want, ins := range cases {
+		if got := ins.String(); got != want {
+			t.Errorf("String(%v) = %q, want %q", ins.Op, got, want)
+		}
+	}
+	if Opcode(250).String() != "op(250)" {
+		t.Fatal("unknown opcode String wrong")
+	}
+}
+
+func TestJumpIfTrue(t *testing.T) {
+	b := newMB("t").fn("main", 0, 0)
+	b.i(OpPushTrue)
+	jt := len(b.f.Code)
+	b.i(OpJumpIfTrue, 0)
+	b.pushI(1).ret()
+	b.f.Code[jt].A = int32(len(b.f.Code))
+	b.pushI(2).ret()
+	if v := mustRun(t, b.m, "main"); !v.Equal(I(2)) {
+		t.Fatalf("got %v", v)
+	}
+}
+
+func TestNopAndDupPop(t *testing.T) {
+	b := newMB("t").fn("main", 0, 0)
+	b.i(OpNop).pushI(5).i(OpDup).i(OpPop).ret()
+	if v := mustRun(t, b.m, "main"); !v.Equal(I(5)) {
+		t.Fatalf("got %v", v)
+	}
+}
+
+func TestHaltOpcode(t *testing.T) {
+	b := newMB("t").fn("main", 0, 0)
+	b.pushI(9).i(OpHalt)
+	if v := mustRun(t, b.m, "main"); !v.Equal(I(9)) {
+		t.Fatalf("got %v", v)
+	}
+}

@@ -1,0 +1,568 @@
+package vm
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+)
+
+// Interpreter limits. MaxFrames bounds recursion depth; both exist to
+// contain malicious or buggy agents (DoS protection, §2).
+const (
+	DefaultMaxFrames = 256
+	DefaultFuel      = 10_000_000
+)
+
+// Runtime errors.
+var (
+	ErrFuelExhausted = errors.New("vm: instruction quota exhausted")
+	ErrTrap          = errors.New("vm: trap")
+	ErrNoFunction    = errors.New("vm: no such function")
+	ErrStackOverflow = errors.New("vm: call stack overflow")
+)
+
+func trap(m *Module, f *Func, pc int, format string, args ...any) error {
+	return fmt.Errorf("%w: %s.%s@%d: %s", ErrTrap, m.Name, f.Name, pc, fmt.Sprintf(format, args...))
+}
+
+// Meter charges executed instructions against a budget. It is shared by
+// every frame of an execution (and may be shared across an agent's whole
+// visit). Thread-safe so a server can inspect usage concurrently and
+// abort a runaway activity from another goroutine.
+type Meter struct {
+	limit   uint64
+	used    atomic.Uint64
+	aborted atomic.Bool
+}
+
+// ErrAborted is returned once a meter has been aborted (e.g. the agent
+// was killed by its owner or the server).
+var ErrAborted = errors.New("vm: execution aborted")
+
+// Abort makes every subsequent Charge fail, stopping the activity at
+// its next instruction.
+func (mt *Meter) Abort() {
+	if mt != nil {
+		mt.aborted.Store(true)
+	}
+}
+
+// NewMeter returns a meter with the given instruction budget; limit 0
+// means unlimited.
+func NewMeter(limit uint64) *Meter { return &Meter{limit: limit} }
+
+// Charge consumes n instructions, failing once the budget is exceeded
+// or the meter has been aborted.
+func (mt *Meter) Charge(n uint64) error {
+	if mt == nil {
+		return nil
+	}
+	if mt.aborted.Load() {
+		return ErrAborted
+	}
+	if mt.limit == 0 {
+		mt.used.Add(n)
+		return nil
+	}
+	if mt.used.Add(n) > mt.limit {
+		return ErrFuelExhausted
+	}
+	return nil
+}
+
+// Used reports instructions consumed so far.
+func (mt *Meter) Used() uint64 {
+	if mt == nil {
+		return 0
+	}
+	return mt.used.Load()
+}
+
+// Limit reports the configured budget (0 = unlimited).
+func (mt *Meter) Limit() uint64 {
+	if mt == nil {
+		return 0
+	}
+	return mt.limit
+}
+
+// HostFunc is a host-provided primitive. Host functions are the *only*
+// way agent code affects anything outside its own state; servers install
+// them already wrapped in security-manager checks.
+type HostFunc func(args []Value) (Value, error)
+
+// Resolver resolves cross-module calls ("module:function" or a bare
+// function name). The loader package provides the namespace-separating
+// implementation; tests may use a single module via ModuleResolver.
+type Resolver interface {
+	ResolveFunc(name string) (*Module, *Func, error)
+}
+
+// ModuleResolver resolves names within one module only.
+type ModuleResolver struct{ M *Module }
+
+// ResolveFunc implements Resolver.
+func (r ModuleResolver) ResolveFunc(name string) (*Module, *Func, error) {
+	if _, f := r.M.Fn(name); f != nil {
+		return r.M, f, nil
+	}
+	return nil, nil, fmt.Errorf("%w: %q", ErrNoFunction, name)
+}
+
+// Env is the execution environment of one activity: the agent's global
+// state, the host-call table, the namespace resolver, and the meter.
+// The env also carries an opaque Owner tag that host functions may use
+// to identify the calling protection domain; agent code cannot read or
+// forge it.
+type Env struct {
+	Globals   map[string]Value
+	Host      map[string]HostFunc
+	Resolver  Resolver
+	Meter     *Meter
+	MaxFrames int
+	// Owner is an opaque host-side tag (the protection-domain ID in
+	// the server). It never appears as a Value.
+	Owner any
+}
+
+// NewEnv returns an environment with empty state and defaults.
+func NewEnv() *Env {
+	return &Env{
+		Globals:   make(map[string]Value),
+		Host:      make(map[string]HostFunc),
+		Resolver:  nil,
+		Meter:     NewMeter(DefaultFuel),
+		MaxFrames: DefaultMaxFrames,
+	}
+}
+
+type frame struct {
+	m      *Module
+	f      *Func
+	ip     int
+	locals []Value
+	stack  []Value
+}
+
+// Run executes function fname of module m with the given arguments and
+// returns its result. The module must already be verified — Run assumes
+// structural validity (bounds) established by Verify, but still guards
+// dynamic properties (types, division by zero, index range).
+func Run(env *Env, m *Module, fname string, args ...Value) (Value, error) {
+	_, f := m.Fn(fname)
+	if f == nil {
+		return Nil(), fmt.Errorf("%w: %s.%s", ErrNoFunction, m.Name, fname)
+	}
+	if len(args) != f.NParams {
+		return Nil(), fmt.Errorf("%w: %s.%s wants %d args, got %d", ErrTrap, m.Name, fname, f.NParams, len(args))
+	}
+	if env.MaxFrames == 0 {
+		env.MaxFrames = DefaultMaxFrames
+	}
+	frames := make([]*frame, 0, 8)
+	frames = append(frames, newFrame(m, f, args))
+
+	for {
+		fr := frames[len(frames)-1]
+		if err := env.Meter.Charge(1); err != nil {
+			return Nil(), err
+		}
+		ins := fr.f.Code[fr.ip]
+		fr.ip++
+		switch ins.Op {
+		case OpNop:
+		case OpPushInt:
+			fr.push(I(fr.m.Ints[ins.A]))
+		case OpPushStr:
+			fr.push(S(fr.m.Strs[ins.A]))
+		case OpPushTrue:
+			fr.push(B(true))
+		case OpPushFalse:
+			fr.push(B(false))
+		case OpPushNil:
+			fr.push(Nil())
+		case OpLoadLocal:
+			fr.push(fr.locals[ins.A])
+		case OpStoreLocal:
+			fr.locals[ins.A] = fr.pop()
+		case OpLoadGlobal:
+			fr.push(env.Globals[fr.m.Strs[ins.A]])
+		case OpStoreGlobal:
+			env.Globals[fr.m.Strs[ins.A]] = fr.pop()
+		case OpAdd, OpSub, OpMul, OpDiv, OpMod:
+			b, a := fr.pop(), fr.pop()
+			v, err := arith(fr, ins.Op, a, b)
+			if err != nil {
+				return Nil(), err
+			}
+			fr.push(v)
+		case OpNeg:
+			a := fr.pop()
+			if a.Kind != KindInt {
+				return Nil(), trap(fr.m, fr.f, fr.ip-1, "neg of %s", a.Kind)
+			}
+			fr.push(I(-a.Int))
+		case OpEq:
+			b, a := fr.pop(), fr.pop()
+			fr.push(B(a.Equal(b)))
+		case OpNe:
+			b, a := fr.pop(), fr.pop()
+			fr.push(B(!a.Equal(b)))
+		case OpLt, OpLe, OpGt, OpGe:
+			b, a := fr.pop(), fr.pop()
+			v, err := compare(fr, ins.Op, a, b)
+			if err != nil {
+				return Nil(), err
+			}
+			fr.push(v)
+		case OpNot:
+			fr.push(B(!fr.pop().Truthy()))
+		case OpJump:
+			fr.ip = int(ins.A)
+		case OpJumpIfFalse:
+			if !fr.pop().Truthy() {
+				fr.ip = int(ins.A)
+			}
+		case OpJumpIfTrue:
+			if fr.pop().Truthy() {
+				fr.ip = int(ins.A)
+			}
+		case OpCall:
+			callee := &fr.m.Fns[ins.A]
+			if len(frames) >= env.MaxFrames {
+				return Nil(), ErrStackOverflow
+			}
+			args := fr.popN(int(ins.B))
+			frames = append(frames, newFrame(fr.m, callee, args))
+		case OpCallNamed:
+			name := fr.m.Strs[ins.A]
+			if env.Resolver == nil {
+				return Nil(), trap(fr.m, fr.f, fr.ip-1, "no resolver for %q", name)
+			}
+			cm, cf, err := env.Resolver.ResolveFunc(name)
+			if err != nil {
+				return Nil(), trap(fr.m, fr.f, fr.ip-1, "resolve %q: %v", name, err)
+			}
+			if cf.NParams != int(ins.B) {
+				return Nil(), trap(fr.m, fr.f, fr.ip-1, "%q wants %d args, got %d", name, cf.NParams, ins.B)
+			}
+			if len(frames) >= env.MaxFrames {
+				return Nil(), ErrStackOverflow
+			}
+			args := fr.popN(int(ins.B))
+			frames = append(frames, newFrame(cm, cf, args))
+		case OpHostCall:
+			name := fr.m.Strs[ins.A]
+			hf := env.Host[name]
+			if hf == nil {
+				return Nil(), trap(fr.m, fr.f, fr.ip-1, "no host function %q", name)
+			}
+			args := fr.popN(int(ins.B))
+			v, err := hf(args)
+			if err != nil {
+				// Host errors abort execution and surface to the
+				// server (which distinguishes migration requests,
+				// security denials and plain failures).
+				return Nil(), err
+			}
+			fr.push(v)
+		case OpReturn:
+			v := fr.pop()
+			frames = frames[:len(frames)-1]
+			if len(frames) == 0 {
+				return v, nil
+			}
+			frames[len(frames)-1].push(v)
+		case OpPop:
+			fr.pop()
+		case OpDup:
+			v := fr.pop()
+			fr.push(v)
+			fr.push(v)
+		case OpMakeList:
+			elems := fr.popN(int(ins.A))
+			fr.push(L(elems...))
+		case OpIndex:
+			idx, agg := fr.pop(), fr.pop()
+			v, err := index(fr, agg, idx)
+			if err != nil {
+				return Nil(), err
+			}
+			fr.push(v)
+		case OpSetIndex:
+			val, idx, agg := fr.pop(), fr.pop(), fr.pop()
+			if err := setIndex(fr, agg, idx, val); err != nil {
+				return Nil(), err
+			}
+			fr.push(Nil())
+		case OpMakeMap:
+			kvs := fr.popN(2 * int(ins.A))
+			mm := make(map[string]Value, ins.A)
+			for i := 0; i < len(kvs); i += 2 {
+				if kvs[i].Kind != KindStr {
+					return Nil(), trap(fr.m, fr.f, fr.ip-1, "map key is %s, want str", kvs[i].Kind)
+				}
+				mm[kvs[i].Str] = kvs[i+1]
+			}
+			fr.push(M(mm))
+		case OpHalt:
+			return fr.pop(), nil
+		default:
+			return Nil(), trap(fr.m, fr.f, fr.ip-1, "unknown opcode %d", ins.Op)
+		}
+	}
+}
+
+func newFrame(m *Module, f *Func, args []Value) *frame {
+	locals := make([]Value, f.NLocals)
+	copy(locals, args)
+	return &frame{m: m, f: f, locals: locals, stack: make([]Value, 0, 16)}
+}
+
+func (fr *frame) push(v Value) { fr.stack = append(fr.stack, v) }
+
+func (fr *frame) pop() Value {
+	v := fr.stack[len(fr.stack)-1]
+	fr.stack = fr.stack[:len(fr.stack)-1]
+	return v
+}
+
+// popN pops n values and returns them in push order.
+func (fr *frame) popN(n int) []Value {
+	out := make([]Value, n)
+	copy(out, fr.stack[len(fr.stack)-n:])
+	fr.stack = fr.stack[:len(fr.stack)-n]
+	return out
+}
+
+func arith(fr *frame, op Opcode, a, b Value) (Value, error) {
+	// String concatenation rides on Add.
+	if op == OpAdd && a.Kind == KindStr && b.Kind == KindStr {
+		return S(a.Str + b.Str), nil
+	}
+	if a.Kind != KindInt || b.Kind != KindInt {
+		return Nil(), trap(fr.m, fr.f, fr.ip-1, "%s of %s and %s", op, a.Kind, b.Kind)
+	}
+	switch op {
+	case OpAdd:
+		return I(a.Int + b.Int), nil
+	case OpSub:
+		return I(a.Int - b.Int), nil
+	case OpMul:
+		return I(a.Int * b.Int), nil
+	case OpDiv:
+		if b.Int == 0 {
+			return Nil(), trap(fr.m, fr.f, fr.ip-1, "division by zero")
+		}
+		return I(a.Int / b.Int), nil
+	case OpMod:
+		if b.Int == 0 {
+			return Nil(), trap(fr.m, fr.f, fr.ip-1, "modulo by zero")
+		}
+		return I(a.Int % b.Int), nil
+	}
+	return Nil(), trap(fr.m, fr.f, fr.ip-1, "bad arith op")
+}
+
+func compare(fr *frame, op Opcode, a, b Value) (Value, error) {
+	var c int
+	switch {
+	case a.Kind == KindInt && b.Kind == KindInt:
+		switch {
+		case a.Int < b.Int:
+			c = -1
+		case a.Int > b.Int:
+			c = 1
+		}
+	case a.Kind == KindStr && b.Kind == KindStr:
+		switch {
+		case a.Str < b.Str:
+			c = -1
+		case a.Str > b.Str:
+			c = 1
+		}
+	default:
+		return Nil(), trap(fr.m, fr.f, fr.ip-1, "%s of %s and %s", op, a.Kind, b.Kind)
+	}
+	switch op {
+	case OpLt:
+		return B(c < 0), nil
+	case OpLe:
+		return B(c <= 0), nil
+	case OpGt:
+		return B(c > 0), nil
+	case OpGe:
+		return B(c >= 0), nil
+	}
+	return Nil(), trap(fr.m, fr.f, fr.ip-1, "bad compare op")
+}
+
+func index(fr *frame, agg, idx Value) (Value, error) {
+	switch agg.Kind {
+	case KindList:
+		if idx.Kind != KindInt {
+			return Nil(), trap(fr.m, fr.f, fr.ip-1, "list index is %s", idx.Kind)
+		}
+		if idx.Int < 0 || idx.Int >= int64(len(agg.List)) {
+			return Nil(), trap(fr.m, fr.f, fr.ip-1, "index %d out of range (len %d)", idx.Int, len(agg.List))
+		}
+		return agg.List[idx.Int], nil
+	case KindMap:
+		if idx.Kind != KindStr {
+			return Nil(), trap(fr.m, fr.f, fr.ip-1, "map key is %s", idx.Kind)
+		}
+		return agg.Map[idx.Str], nil
+	case KindStr:
+		if idx.Kind != KindInt {
+			return Nil(), trap(fr.m, fr.f, fr.ip-1, "string index is %s", idx.Kind)
+		}
+		if idx.Int < 0 || idx.Int >= int64(len(agg.Str)) {
+			return Nil(), trap(fr.m, fr.f, fr.ip-1, "index %d out of range (len %d)", idx.Int, len(agg.Str))
+		}
+		return S(string(agg.Str[idx.Int])), nil
+	default:
+		return Nil(), trap(fr.m, fr.f, fr.ip-1, "cannot index %s", agg.Kind)
+	}
+}
+
+func setIndex(fr *frame, agg, idx, val Value) error {
+	switch agg.Kind {
+	case KindList:
+		if idx.Kind != KindInt {
+			return trap(fr.m, fr.f, fr.ip-1, "list index is %s", idx.Kind)
+		}
+		if idx.Int < 0 || idx.Int >= int64(len(agg.List)) {
+			return trap(fr.m, fr.f, fr.ip-1, "index %d out of range (len %d)", idx.Int, len(agg.List))
+		}
+		agg.List[idx.Int] = val
+		return nil
+	case KindMap:
+		if idx.Kind != KindStr {
+			return trap(fr.m, fr.f, fr.ip-1, "map key is %s", idx.Kind)
+		}
+		agg.Map[idx.Str] = val
+		return nil
+	default:
+		return trap(fr.m, fr.f, fr.ip-1, "cannot set-index %s", agg.Kind)
+	}
+}
+
+// InstallBuiltins adds the pure builtins every environment gets: len,
+// append, str, contains, keys. They have no side effects and therefore
+// need no security mediation.
+func InstallBuiltins(env *Env) {
+	env.Host["len"] = func(args []Value) (Value, error) {
+		if len(args) != 1 {
+			return Nil(), fmt.Errorf("%w: len wants 1 arg", ErrTrap)
+		}
+		switch a := args[0]; a.Kind {
+		case KindStr:
+			return I(int64(len(a.Str))), nil
+		case KindList:
+			return I(int64(len(a.List))), nil
+		case KindMap:
+			return I(int64(len(a.Map))), nil
+		default:
+			return Nil(), fmt.Errorf("%w: len of %s", ErrTrap, a.Kind)
+		}
+	}
+	env.Host["append"] = func(args []Value) (Value, error) {
+		if len(args) < 1 || args[0].Kind != KindList {
+			return Nil(), fmt.Errorf("%w: append wants (list, items...)", ErrTrap)
+		}
+		out := make([]Value, 0, len(args[0].List)+len(args)-1)
+		out = append(out, args[0].List...)
+		out = append(out, args[1:]...)
+		return L(out...), nil
+	}
+	env.Host["str"] = func(args []Value) (Value, error) {
+		if len(args) != 1 {
+			return Nil(), fmt.Errorf("%w: str wants 1 arg", ErrTrap)
+		}
+		return S(args[0].Text()), nil
+	}
+	env.Host["contains"] = func(args []Value) (Value, error) {
+		if len(args) != 2 {
+			return Nil(), fmt.Errorf("%w: contains wants 2 args", ErrTrap)
+		}
+		switch a := args[0]; a.Kind {
+		case KindList:
+			for _, e := range a.List {
+				if e.Equal(args[1]) {
+					return B(true), nil
+				}
+			}
+			return B(false), nil
+		case KindMap:
+			if args[1].Kind != KindStr {
+				return Nil(), fmt.Errorf("%w: contains on map wants str key", ErrTrap)
+			}
+			_, ok := a.Map[args[1].Str]
+			return B(ok), nil
+		default:
+			return Nil(), fmt.Errorf("%w: contains on %s", ErrTrap, a.Kind)
+		}
+	}
+	env.Host["split"] = func(args []Value) (Value, error) {
+		if len(args) != 2 || args[0].Kind != KindStr || args[1].Kind != KindStr {
+			return Nil(), fmt.Errorf("%w: split wants (str, sep)", ErrTrap)
+		}
+		if args[1].Str == "" {
+			return Nil(), fmt.Errorf("%w: split with empty separator", ErrTrap)
+		}
+		parts := strings.Split(args[0].Str, args[1].Str)
+		out := make([]Value, len(parts))
+		for i, p := range parts {
+			out[i] = S(p)
+		}
+		return L(out...), nil
+	}
+	env.Host["join"] = func(args []Value) (Value, error) {
+		if len(args) != 2 || args[0].Kind != KindList || args[1].Kind != KindStr {
+			return Nil(), fmt.Errorf("%w: join wants (list, sep)", ErrTrap)
+		}
+		parts := make([]string, len(args[0].List))
+		for i, e := range args[0].List {
+			parts[i] = e.Text()
+		}
+		return S(strings.Join(parts, args[1].Str)), nil
+	}
+	env.Host["substr"] = func(args []Value) (Value, error) {
+		if len(args) != 3 || args[0].Kind != KindStr ||
+			args[1].Kind != KindInt || args[2].Kind != KindInt {
+			return Nil(), fmt.Errorf("%w: substr wants (str, start, end)", ErrTrap)
+		}
+		s, lo, hi := args[0].Str, args[1].Int, args[2].Int
+		if lo < 0 || hi < lo || hi > int64(len(s)) {
+			return Nil(), fmt.Errorf("%w: substr bounds [%d:%d] on len %d", ErrTrap, lo, hi, len(s))
+		}
+		return S(s[lo:hi]), nil
+	}
+	env.Host["find"] = func(args []Value) (Value, error) {
+		if len(args) != 2 || args[0].Kind != KindStr || args[1].Kind != KindStr {
+			return Nil(), fmt.Errorf("%w: find wants (str, substr)", ErrTrap)
+		}
+		return I(int64(strings.Index(args[0].Str, args[1].Str))), nil
+	}
+	env.Host["keys"] = func(args []Value) (Value, error) {
+		if len(args) != 1 || args[0].Kind != KindMap {
+			return Nil(), fmt.Errorf("%w: keys wants a map", ErrTrap)
+		}
+		ks := make([]string, 0, len(args[0].Map))
+		for k := range args[0].Map {
+			ks = append(ks, k)
+		}
+		// Deterministic order keeps agent programs reproducible.
+		for i := 1; i < len(ks); i++ {
+			for j := i; j > 0 && ks[j] < ks[j-1]; j-- {
+				ks[j], ks[j-1] = ks[j-1], ks[j]
+			}
+		}
+		out := make([]Value, len(ks))
+		for i, k := range ks {
+			out[i] = S(k)
+		}
+		return L(out...), nil
+	}
+}

@@ -1,0 +1,187 @@
+package vm
+
+import "fmt"
+
+// Opcode is a VM instruction opcode.
+type Opcode uint8
+
+// The instruction set. A and B are integer operands whose meaning
+// depends on the opcode (pool index, local slot, jump target, argument
+// count).
+const (
+	OpNop Opcode = iota
+	// Constants.
+	OpPushInt   // push Ints[A]
+	OpPushStr   // push Strs[A]
+	OpPushTrue  // push true
+	OpPushFalse // push false
+	OpPushNil   // push nil
+	// Locals and globals. Globals are the agent's mutable state and
+	// are addressed by name (Strs[A]) so they survive recompilation
+	// and migration.
+	OpLoadLocal   // push locals[A]
+	OpStoreLocal  // locals[A] = pop
+	OpLoadGlobal  // push globals[Strs[A]] (nil if unset)
+	OpStoreGlobal // globals[Strs[A]] = pop
+	// Arithmetic (ints).
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv
+	OpMod
+	OpNeg
+	// Comparison. Eq/Ne are structural; Lt..Ge require two ints or
+	// two strings.
+	OpEq
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpNot
+	// Control flow. Jump targets are absolute instruction indices.
+	OpJump        // ip = A
+	OpJumpIfFalse // if !pop.Truthy() { ip = A }
+	OpJumpIfTrue  // if pop.Truthy() { ip = A }
+	// Calls. OpCall targets function index A in the current module
+	// with B arguments. OpCallNamed resolves Strs[A] ("module:func"
+	// or "func") through the namespace resolver — this is the hook
+	// where class-loader-style shadowing applies. OpHostCall invokes
+	// the host function named Strs[A].
+	OpCall
+	OpCallNamed
+	OpHostCall
+	OpReturn // return pop
+	// Stack and aggregates.
+	OpPop
+	OpDup
+	OpMakeList // pop A elements (in push order), push list
+	OpIndex    // pop idx, pop agg, push agg[idx]
+	OpSetIndex // pop val, pop idx, pop agg, store (agg mutated), push nil
+	OpMakeMap  // pop 2A values (k1,v1,...), keys must be str, push map
+	OpHalt     // stop with pop as the routine's value
+	opMax      // sentinel; keep last
+)
+
+var opNames = [...]string{
+	OpNop: "nop", OpPushInt: "pushint", OpPushStr: "pushstr",
+	OpPushTrue: "pushtrue", OpPushFalse: "pushfalse", OpPushNil: "pushnil",
+	OpLoadLocal: "loadl", OpStoreLocal: "storel",
+	OpLoadGlobal: "loadg", OpStoreGlobal: "storeg",
+	OpAdd: "add", OpSub: "sub", OpMul: "mul", OpDiv: "div", OpMod: "mod", OpNeg: "neg",
+	OpEq: "eq", OpNe: "ne", OpLt: "lt", OpLe: "le", OpGt: "gt", OpGe: "ge", OpNot: "not",
+	OpJump: "jmp", OpJumpIfFalse: "jz", OpJumpIfTrue: "jnz",
+	OpCall: "call", OpCallNamed: "calln", OpHostCall: "hostcall",
+	OpReturn: "ret", OpPop: "pop", OpDup: "dup",
+	OpMakeList: "mklist", OpIndex: "index", OpSetIndex: "setindex",
+	OpMakeMap: "mkmap", OpHalt: "halt",
+}
+
+func (o Opcode) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Instr is one instruction. Fixed-width operands keep decoding trivial
+// and the verifier simple; compactness is not a goal of this substrate.
+type Instr struct {
+	Op   Opcode
+	A, B int32
+}
+
+func (i Instr) String() string {
+	switch i.Op {
+	case OpNop, OpPushTrue, OpPushFalse, OpPushNil, OpAdd, OpSub, OpMul,
+		OpDiv, OpMod, OpNeg, OpEq, OpNe, OpLt, OpLe, OpGt, OpGe, OpNot,
+		OpReturn, OpPop, OpDup, OpIndex, OpSetIndex, OpHalt:
+		return i.Op.String()
+	case OpCall, OpCallNamed, OpHostCall:
+		return fmt.Sprintf("%s %d %d", i.Op, i.A, i.B)
+	default:
+		return fmt.Sprintf("%s %d", i.Op, i.A)
+	}
+}
+
+// Func is one function of a module.
+type Func struct {
+	Name string
+	// NParams is the declared parameter count; parameters occupy the
+	// first NParams local slots.
+	NParams int
+	// NLocals is the total local slot count (params included).
+	NLocals int
+	Code    []Instr
+}
+
+// Module is a verifiable, serializable unit of agent code: the analogue
+// of a Java class file. Agents carry a bundle of modules.
+type Module struct {
+	Name string
+	Ints []int64
+	Strs []string
+	Fns  []Func
+}
+
+// Fn finds a function by name.
+func (m *Module) Fn(name string) (int, *Func) {
+	for i := range m.Fns {
+		if m.Fns[i].Name == name {
+			return i, &m.Fns[i]
+		}
+	}
+	return -1, nil
+}
+
+// InternInt returns the pool index of v, adding it if needed. Used by
+// the compiler and by tests that build modules directly.
+func (m *Module) InternInt(v int64) int32 {
+	for i, x := range m.Ints {
+		if x == v {
+			return int32(i)
+		}
+	}
+	m.Ints = append(m.Ints, v)
+	return int32(len(m.Ints) - 1)
+}
+
+// InternStr returns the pool index of s, adding it if needed.
+func (m *Module) InternStr(s string) int32 {
+	for i, x := range m.Strs {
+		if x == s {
+			return int32(i)
+		}
+	}
+	m.Strs = append(m.Strs, s)
+	return int32(len(m.Strs) - 1)
+}
+
+// Disassemble renders the module as text, for the aslc tool and debug
+// output.
+func (m *Module) Disassemble() string {
+	out := fmt.Sprintf("module %s\n", m.Name)
+	for fi := range m.Fns {
+		f := &m.Fns[fi]
+		out += fmt.Sprintf("func %s params=%d locals=%d\n", f.Name, f.NParams, f.NLocals)
+		for pc, ins := range f.Code {
+			note := ""
+			switch ins.Op {
+			case OpPushInt:
+				if int(ins.A) < len(m.Ints) {
+					note = fmt.Sprintf("  ; %d", m.Ints[ins.A])
+				}
+			case OpPushStr, OpLoadGlobal, OpStoreGlobal, OpCallNamed, OpHostCall:
+				if int(ins.A) < len(m.Strs) {
+					note = fmt.Sprintf("  ; %q", m.Strs[ins.A])
+				}
+			case OpCall:
+				if int(ins.A) < len(m.Fns) {
+					note = fmt.Sprintf("  ; %s", m.Fns[ins.A].Name)
+				}
+			}
+			out += fmt.Sprintf("  %4d  %s%s\n", pc, ins, note)
+		}
+	}
+	return out
+}

@@ -1,0 +1,133 @@
+package vm
+
+import (
+	"bytes"
+	"encoding/gob"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomValue builds an arbitrary Value of bounded depth — the shape of
+// agent state that must survive migration.
+func randomValue(r *rand.Rand, depth int) Value {
+	if depth <= 0 {
+		switch r.Intn(4) {
+		case 0:
+			return Nil()
+		case 1:
+			return B(r.Intn(2) == 0)
+		case 2:
+			return I(r.Int63n(1 << 40))
+		default:
+			return S(randomString(r))
+		}
+	}
+	switch r.Intn(6) {
+	case 0:
+		return Nil()
+	case 1:
+		return B(true)
+	case 2:
+		return I(-r.Int63n(1 << 30))
+	case 3:
+		return S(randomString(r))
+	case 4:
+		n := r.Intn(4)
+		elems := make([]Value, n)
+		for i := range elems {
+			elems[i] = randomValue(r, depth-1)
+		}
+		return L(elems...)
+	default:
+		n := r.Intn(4)
+		m := make(map[string]Value, n)
+		for i := 0; i < n; i++ {
+			m[randomString(r)] = randomValue(r, depth-1)
+		}
+		return M(m)
+	}
+}
+
+func randomString(r *rand.Rand) string {
+	const alpha = "abcdefghijklmnop \t\"\\日本"
+	n := r.Intn(8)
+	out := make([]rune, n)
+	runes := []rune(alpha)
+	for i := range out {
+		out[i] = runes[r.Intn(len(runes))]
+	}
+	return string(out)
+}
+
+// Property: agent-state values survive gob encoding bit-exactly.
+func TestQuickValueGobRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		v := randomValue(rand.New(rand.NewSource(seed)), 4)
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+			return false
+		}
+		var got Value
+		if err := gob.NewDecoder(bytes.NewReader(buf.Bytes())).Decode(&got); err != nil {
+			return false
+		}
+		return got.Equal(v) && v.Equal(got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Equal is reflexive and Clone produces an Equal value whose
+// mutation never affects the original.
+func TestQuickCloneIndependence(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		v := randomValue(r, 4)
+		if !v.Equal(v) {
+			return false
+		}
+		cl := v.Clone()
+		if !cl.Equal(v) {
+			return false
+		}
+		mutate(&cl, r)
+		// v must still equal a fresh clone of itself regardless of
+		// what happened to cl. Rebuild from the same seed to compare.
+		v2 := randomValue(rand.New(rand.NewSource(seed)), 4)
+		return v.Equal(v2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// mutate scribbles over any mutable part of a value.
+func mutate(v *Value, r *rand.Rand) {
+	switch v.Kind {
+	case KindList:
+		if len(v.List) > 0 {
+			v.List[r.Intn(len(v.List))] = S("mutated")
+		}
+	case KindMap:
+		v.Map["mutated"] = I(999)
+		for k := range v.Map {
+			v.Map[k] = Nil()
+			break
+		}
+	default:
+		*v = S("mutated")
+	}
+}
+
+// Property: String never panics and is non-empty for any value.
+func TestQuickStringTotal(t *testing.T) {
+	f := func(seed int64) bool {
+		v := randomValue(rand.New(rand.NewSource(seed)), 5)
+		return v.String() != "" && v.Text() != "" || v.Kind == KindStr
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

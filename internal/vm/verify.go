@@ -1,0 +1,217 @@
+package vm
+
+import (
+	"errors"
+	"fmt"
+)
+
+// MaxVerifiedStack bounds the statically computed operand-stack depth of
+// any function; deeper functions are rejected at verification time so
+// the interpreter can pre-allocate.
+const MaxVerifiedStack = 1024
+
+// ErrVerify wraps all verification failures.
+var ErrVerify = errors.New("vm: verification failed")
+
+func vErr(m *Module, f *Func, pc int, format string, args ...any) error {
+	loc := fmt.Sprintf("%s.%s@%d: ", m.Name, f.Name, pc)
+	return fmt.Errorf("%w: %s", ErrVerify, loc+fmt.Sprintf(format, args...))
+}
+
+// Verify statically checks a module: opcode validity, operand bounds,
+// jump-target validity, call-site arity against same-module callees,
+// stack discipline (no underflow, consistent depth at join points,
+// bounded maximum), and that no execution path falls off the end of a
+// function. This is the analogue of Java's byte-code verifier: it runs
+// on every module received from the network before the module may
+// execute (§3.2, component 1 of the Java security model).
+func Verify(m *Module) error {
+	if m.Name == "" {
+		return fmt.Errorf("%w: module has no name", ErrVerify)
+	}
+	seen := make(map[string]bool, len(m.Fns))
+	for fi := range m.Fns {
+		f := &m.Fns[fi]
+		if f.Name == "" {
+			return fmt.Errorf("%w: %s: function %d has no name", ErrVerify, m.Name, fi)
+		}
+		if seen[f.Name] {
+			return fmt.Errorf("%w: %s: duplicate function %q", ErrVerify, m.Name, f.Name)
+		}
+		seen[f.Name] = true
+		if f.NParams < 0 || f.NLocals < f.NParams {
+			return fmt.Errorf("%w: %s.%s: bad params/locals (%d/%d)", ErrVerify, m.Name, f.Name, f.NParams, f.NLocals)
+		}
+		if err := verifyFunc(m, f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// stackEffect returns (pops, pushes) for an instruction, or an error for
+// malformed operands that make the effect undefined.
+func stackEffect(m *Module, f *Func, pc int, ins Instr) (pops, pushes int, err error) {
+	switch ins.Op {
+	case OpNop:
+		return 0, 0, nil
+	case OpPushInt:
+		if int(ins.A) < 0 || int(ins.A) >= len(m.Ints) {
+			return 0, 0, vErr(m, f, pc, "int pool index %d out of range", ins.A)
+		}
+		return 0, 1, nil
+	case OpPushStr:
+		if int(ins.A) < 0 || int(ins.A) >= len(m.Strs) {
+			return 0, 0, vErr(m, f, pc, "str pool index %d out of range", ins.A)
+		}
+		return 0, 1, nil
+	case OpPushTrue, OpPushFalse, OpPushNil:
+		return 0, 1, nil
+	case OpLoadLocal:
+		if int(ins.A) < 0 || int(ins.A) >= f.NLocals {
+			return 0, 0, vErr(m, f, pc, "local %d out of range (%d locals)", ins.A, f.NLocals)
+		}
+		return 0, 1, nil
+	case OpStoreLocal:
+		if int(ins.A) < 0 || int(ins.A) >= f.NLocals {
+			return 0, 0, vErr(m, f, pc, "local %d out of range (%d locals)", ins.A, f.NLocals)
+		}
+		return 1, 0, nil
+	case OpLoadGlobal:
+		if int(ins.A) < 0 || int(ins.A) >= len(m.Strs) {
+			return 0, 0, vErr(m, f, pc, "global name index %d out of range", ins.A)
+		}
+		return 0, 1, nil
+	case OpStoreGlobal:
+		if int(ins.A) < 0 || int(ins.A) >= len(m.Strs) {
+			return 0, 0, vErr(m, f, pc, "global name index %d out of range", ins.A)
+		}
+		return 1, 0, nil
+	case OpAdd, OpSub, OpMul, OpDiv, OpMod, OpEq, OpNe, OpLt, OpLe, OpGt, OpGe:
+		return 2, 1, nil
+	case OpNeg, OpNot:
+		return 1, 1, nil
+	case OpJump:
+		return 0, 0, nil
+	case OpJumpIfFalse, OpJumpIfTrue:
+		return 1, 0, nil
+	case OpCall:
+		if int(ins.A) < 0 || int(ins.A) >= len(m.Fns) {
+			return 0, 0, vErr(m, f, pc, "call target %d out of range", ins.A)
+		}
+		callee := &m.Fns[ins.A]
+		if int(ins.B) != callee.NParams {
+			return 0, 0, vErr(m, f, pc, "call %s with %d args, want %d", callee.Name, ins.B, callee.NParams)
+		}
+		return int(ins.B), 1, nil
+	case OpCallNamed, OpHostCall:
+		if int(ins.A) < 0 || int(ins.A) >= len(m.Strs) {
+			return 0, 0, vErr(m, f, pc, "callee name index %d out of range", ins.A)
+		}
+		if ins.B < 0 {
+			return 0, 0, vErr(m, f, pc, "negative arg count")
+		}
+		return int(ins.B), 1, nil
+	case OpReturn, OpHalt:
+		return 1, 0, nil
+	case OpPop:
+		return 1, 0, nil
+	case OpDup:
+		return 1, 2, nil
+	case OpMakeList:
+		if ins.A < 0 {
+			return 0, 0, vErr(m, f, pc, "negative list size")
+		}
+		return int(ins.A), 1, nil
+	case OpIndex:
+		return 2, 1, nil
+	case OpSetIndex:
+		return 3, 1, nil
+	case OpMakeMap:
+		if ins.A < 0 {
+			return 0, 0, vErr(m, f, pc, "negative map size")
+		}
+		return 2 * int(ins.A), 1, nil
+	default:
+		return 0, 0, vErr(m, f, pc, "unknown opcode %d", ins.Op)
+	}
+}
+
+// verifyFunc runs a worklist dataflow over instruction indices tracking
+// the operand-stack depth, which must be unique per program point.
+func verifyFunc(m *Module, f *Func) error {
+	n := len(f.Code)
+	if n == 0 {
+		return vErr(m, f, 0, "empty body")
+	}
+	depth := make([]int, n) // -1 = unvisited
+	for i := range depth {
+		depth[i] = -1
+	}
+	depth[0] = 0
+	work := []int{0}
+	for len(work) > 0 {
+		pc := work[len(work)-1]
+		work = work[:len(work)-1]
+		d := depth[pc]
+		ins := f.Code[pc]
+		pops, pushes, err := stackEffect(m, f, pc, ins)
+		if err != nil {
+			return err
+		}
+		if d < pops {
+			return vErr(m, f, pc, "stack underflow: depth %d, %s pops %d", d, ins.Op, pops)
+		}
+		nd := d - pops + pushes
+		if nd > MaxVerifiedStack {
+			return vErr(m, f, pc, "stack depth %d exceeds limit %d", nd, MaxVerifiedStack)
+		}
+
+		// successors
+		var succs []int
+		switch ins.Op {
+		case OpReturn, OpHalt:
+			// terminal
+		case OpJump:
+			succs = []int{int(ins.A)}
+		case OpJumpIfFalse, OpJumpIfTrue:
+			succs = []int{int(ins.A), pc + 1}
+		default:
+			succs = []int{pc + 1}
+		}
+		for _, s := range succs {
+			if s < 0 || s >= n {
+				if ins.Op == OpJump || ins.Op == OpJumpIfFalse || ins.Op == OpJumpIfTrue {
+					return vErr(m, f, pc, "jump target %d out of range [0,%d)", s, n)
+				}
+				return vErr(m, f, pc, "execution falls off end of function")
+			}
+			switch depth[s] {
+			case -1:
+				depth[s] = nd
+				work = append(work, s)
+			case nd:
+				// consistent join; nothing to do
+			default:
+				return vErr(m, f, pc, "inconsistent stack depth at %d: %d vs %d", s, depth[s], nd)
+			}
+		}
+	}
+	return nil
+}
+
+// VerifyBundle verifies every module of an agent's code bundle and
+// checks for duplicate module names within the bundle.
+func VerifyBundle(mods []Module) error {
+	seen := make(map[string]bool, len(mods))
+	for i := range mods {
+		if seen[mods[i].Name] {
+			return fmt.Errorf("%w: duplicate module %q in bundle", ErrVerify, mods[i].Name)
+		}
+		seen[mods[i].Name] = true
+		if err := Verify(&mods[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,199 @@
+package vm
+
+import (
+	"errors"
+	"testing"
+)
+
+func expectVerifyErr(t *testing.T, m *Module, why string) {
+	t.Helper()
+	if err := Verify(m); !errors.Is(err, ErrVerify) {
+		t.Fatalf("%s: got %v, want verification failure", why, err)
+	}
+}
+
+func TestVerifyAcceptsGood(t *testing.T) {
+	b := newMB("ok").fn("main", 1, 2)
+	b.i(OpLoadLocal, 0).pushI(1).i(OpAdd).i(OpStoreLocal, 1)
+	b.i(OpLoadLocal, 1).ret()
+	if err := Verify(b.m); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifyRejectsEmptyModuleName(t *testing.T) {
+	m := newMB("").fn("main", 0, 0).i(OpPushNil).ret().m
+	expectVerifyErr(t, m, "empty module name")
+}
+
+func TestVerifyRejectsUnnamedFunc(t *testing.T) {
+	m := newMB("t").fn("", 0, 0).i(OpPushNil).ret().m
+	expectVerifyErr(t, m, "unnamed func")
+}
+
+func TestVerifyRejectsDuplicateFuncs(t *testing.T) {
+	b := newMB("t").fn("f", 0, 0).i(OpPushNil).ret()
+	b.fn("f", 0, 0).i(OpPushNil).ret()
+	expectVerifyErr(t, b.m, "duplicate funcs")
+}
+
+func TestVerifyRejectsEmptyBody(t *testing.T) {
+	m := newMB("t").fn("main", 0, 0).m
+	expectVerifyErr(t, m, "empty body")
+}
+
+func TestVerifyRejectsUnknownOpcode(t *testing.T) {
+	m := newMB("t").fn("main", 0, 0).i(Opcode(200)).ret().m
+	expectVerifyErr(t, m, "unknown opcode")
+}
+
+func TestVerifyRejectsStackUnderflow(t *testing.T) {
+	m := newMB("t").fn("main", 0, 0).i(OpAdd).ret().m
+	expectVerifyErr(t, m, "underflow")
+}
+
+func TestVerifyRejectsFallOffEnd(t *testing.T) {
+	m := newMB("t").fn("main", 0, 0).i(OpPushNil).m
+	expectVerifyErr(t, m, "fall off end")
+}
+
+func TestVerifyRejectsBadJumpTarget(t *testing.T) {
+	m := newMB("t").fn("main", 0, 0).i(OpJump, 99).m
+	expectVerifyErr(t, m, "jump out of range")
+	m2 := newMB("t").fn("main", 0, 0).i(OpJump, -1).m
+	expectVerifyErr(t, m2, "negative jump")
+}
+
+func TestVerifyRejectsInconsistentJoinDepth(t *testing.T) {
+	// Two paths reach instruction 4 with different stack depths:
+	//   0 pushtrue  1 jz 3  2 pushnil  3 pushnil  4 ret
+	// depth at 3 via fallthrough = 1, via jump = 0 → at 4: 2 vs 1.
+	b := newMB("t").fn("main", 0, 0)
+	b.i(OpPushTrue)
+	b.i(OpJumpIfFalse, 3)
+	b.i(OpPushNil)
+	b.i(OpPushNil)
+	b.ret()
+	expectVerifyErr(t, b.m, "inconsistent join")
+}
+
+func TestVerifyRejectsBadPoolIndices(t *testing.T) {
+	m := newMB("t").fn("main", 0, 0).i(OpPushInt, 5).ret().m
+	expectVerifyErr(t, m, "int pool")
+	m2 := newMB("t").fn("main", 0, 0).i(OpPushStr, 5).ret().m
+	expectVerifyErr(t, m2, "str pool")
+	m3 := newMB("t").fn("main", 0, 0).i(OpLoadGlobal, 9).ret().m
+	expectVerifyErr(t, m3, "global name pool")
+}
+
+func TestVerifyRejectsBadLocals(t *testing.T) {
+	m := newMB("t").fn("main", 0, 1).i(OpLoadLocal, 3).ret().m
+	expectVerifyErr(t, m, "local out of range")
+	m2 := newMB("t").fn("main", 2, 1).i(OpPushNil).ret().m
+	expectVerifyErr(t, m2, "locals < params")
+}
+
+func TestVerifyRejectsBadCalls(t *testing.T) {
+	m := newMB("t").fn("main", 0, 0).i(OpCall, 7, 0).ret().m
+	expectVerifyErr(t, m, "call target out of range")
+
+	b := newMB("t")
+	b.fn("two", 2, 2).i(OpPushNil).ret()
+	b.fn("main", 0, 0).i(OpPushNil).i(OpCall, 0, 1).ret()
+	expectVerifyErr(t, b.m, "call arity mismatch")
+
+	b2 := newMB("t").fn("main", 0, 0)
+	b2.i(OpCallNamed, 9, 0).ret()
+	expectVerifyErr(t, b2.m, "named callee index")
+
+	b3 := newMB("t").fn("main", 0, 0)
+	b3.i(OpHostCall, b3.m.InternStr("h"), -1).ret()
+	expectVerifyErr(t, b3.m, "negative hostcall args")
+}
+
+func TestVerifyRejectsBadAggregates(t *testing.T) {
+	m := newMB("t").fn("main", 0, 0).i(OpMakeList, -2).ret().m
+	expectVerifyErr(t, m, "negative list")
+	m2 := newMB("t").fn("main", 0, 0).i(OpMakeMap, -1).ret().m
+	expectVerifyErr(t, m2, "negative map")
+	// MakeList consuming more than available.
+	m3 := newMB("t").fn("main", 0, 0).i(OpPushNil).i(OpMakeList, 3).ret().m
+	expectVerifyErr(t, m3, "list underflow")
+}
+
+func TestVerifyRejectsOverdeepStack(t *testing.T) {
+	b := newMB("t").fn("main", 0, 0)
+	for i := 0; i <= MaxVerifiedStack; i++ {
+		b.i(OpPushNil)
+	}
+	b.ret()
+	expectVerifyErr(t, b.m, "overdeep stack")
+}
+
+func TestVerifyAcceptsLoopWithConsistentDepth(t *testing.T) {
+	b := newMB("t").fn("main", 0, 1)
+	b.pushI(0).i(OpStoreLocal, 0)
+	loop := int32(len(b.f.Code))
+	b.i(OpLoadLocal, 0).pushI(10).i(OpLt)
+	jz := len(b.f.Code)
+	b.i(OpJumpIfFalse, 0)
+	b.i(OpLoadLocal, 0).pushI(1).i(OpAdd).i(OpStoreLocal, 0)
+	b.i(OpJump, loop)
+	b.f.Code[jz].A = int32(len(b.f.Code))
+	b.i(OpLoadLocal, 0).ret()
+	if err := Verify(b.m); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifyBundleDuplicates(t *testing.T) {
+	m1 := *newMB("dup").fn("main", 0, 0).i(OpPushNil).ret().m
+	m2 := *newMB("dup").fn("other", 0, 0).i(OpPushNil).ret().m
+	if err := VerifyBundle([]Module{m1, m2}); !errors.Is(err, ErrVerify) {
+		t.Fatalf("got %v", err)
+	}
+	m2.Name = "other"
+	if err := VerifyBundle([]Module{m1, m2}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a random mutation of a verified module either still verifies
+// or is rejected — Verify must never panic, and a verified module must
+// never make Run panic (errors are fine). This is the fuzz-ish guarantee
+// the server relies on when executing hostile bundles.
+func TestVerifyAndRunNeverPanic(t *testing.T) {
+	base := func() *mb {
+		b := newMB("t").fn("main", 0, 2)
+		b.pushI(3).i(OpStoreLocal, 0)
+		b.i(OpLoadLocal, 0).pushI(4).i(OpAdd).i(OpStoreLocal, 1)
+		b.i(OpLoadLocal, 1).ret()
+		return b
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("panic: %v", r)
+		}
+	}()
+	for seed := 0; seed < 3000; seed++ {
+		b := base()
+		code := b.f.Code
+		idx := seed % len(code)
+		field := (seed / len(code)) % 3
+		delta := int32(seed%7) - 3
+		switch field {
+		case 0:
+			code[idx].Op = Opcode(uint8(code[idx].Op) + uint8(delta))
+		case 1:
+			code[idx].A += delta
+		case 2:
+			code[idx].B += delta
+		}
+		if err := Verify(b.m); err != nil {
+			continue // rejected, fine
+		}
+		env := NewEnv()
+		env.Meter = NewMeter(100_000)
+		_, _ = Run(env, b.m, "main") // must not panic
+	}
+}

@@ -1,0 +1,407 @@
+package vm
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// mb is a tiny module builder for tests.
+type mb struct {
+	m *Module
+	f *Func
+}
+
+func newMB(name string) *mb {
+	return &mb{m: &Module{Name: name}}
+}
+
+func (b *mb) fn(name string, params, locals int) *mb {
+	b.m.Fns = append(b.m.Fns, Func{Name: name, NParams: params, NLocals: locals})
+	b.f = &b.m.Fns[len(b.m.Fns)-1]
+	return b
+}
+
+func (b *mb) i(op Opcode, operands ...int32) *mb {
+	ins := Instr{Op: op}
+	if len(operands) > 0 {
+		ins.A = operands[0]
+	}
+	if len(operands) > 1 {
+		ins.B = operands[1]
+	}
+	b.f.Code = append(b.f.Code, ins)
+	return b
+}
+
+func (b *mb) pushI(v int64) *mb  { return b.i(OpPushInt, b.m.InternInt(v)) }
+func (b *mb) pushS(s string) *mb { return b.i(OpPushStr, b.m.InternStr(s)) }
+func (b *mb) ret() *mb           { return b.i(OpReturn) }
+
+func mustRun(t *testing.T, m *Module, fn string, args ...Value) Value {
+	t.Helper()
+	if err := Verify(m); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	env := NewEnv()
+	InstallBuiltins(env)
+	env.Resolver = ModuleResolver{M: m}
+	v, err := Run(env, m, fn, args...)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return v
+}
+
+func TestArithmetic(t *testing.T) {
+	// main() { return (2+3)*4 - 10/2 % 3 }  -> 20 - (5%3)=20-2=18
+	b := newMB("t").fn("main", 0, 0).
+		pushI(2).pushI(3).i(OpAdd).pushI(4).i(OpMul).
+		pushI(10).pushI(2).i(OpDiv).pushI(3).i(OpMod).
+		i(OpSub).ret()
+	if v := mustRun(t, b.m, "main"); !v.Equal(I(18)) {
+		t.Fatalf("got %v", v)
+	}
+}
+
+func TestStringConcatAndCompare(t *testing.T) {
+	b := newMB("t").fn("main", 0, 0).
+		pushS("mobile ").pushS("agent").i(OpAdd).ret()
+	if v := mustRun(t, b.m, "main"); !v.Equal(S("mobile agent")) {
+		t.Fatalf("got %v", v)
+	}
+	b2 := newMB("t").fn("main", 0, 0).
+		pushS("abc").pushS("abd").i(OpLt).ret()
+	if v := mustRun(t, b2.m, "main"); !v.Equal(B(true)) {
+		t.Fatalf("got %v", v)
+	}
+}
+
+func TestLocalsAndLoop(t *testing.T) {
+	// sum 1..n iteratively
+	b := newMB("t").fn("main", 1, 3)
+	// locals: 0=n, 1=i, 2=acc
+	b.pushI(1).i(OpStoreLocal, 1)
+	b.pushI(0).i(OpStoreLocal, 2)
+	loop := int32(len(b.f.Code))
+	b.i(OpLoadLocal, 1).i(OpLoadLocal, 0).i(OpLe)
+	jzAt := len(b.f.Code)
+	b.i(OpJumpIfFalse, 0) // patch later
+	b.i(OpLoadLocal, 2).i(OpLoadLocal, 1).i(OpAdd).i(OpStoreLocal, 2)
+	b.i(OpLoadLocal, 1).pushI(1).i(OpAdd).i(OpStoreLocal, 1)
+	b.i(OpJump, loop)
+	end := int32(len(b.f.Code))
+	b.f.Code[jzAt].A = end
+	b.i(OpLoadLocal, 2).ret()
+	if v := mustRun(t, b.m, "main", I(100)); !v.Equal(I(5050)) {
+		t.Fatalf("got %v", v)
+	}
+}
+
+func TestGlobalsPersistAcrossCalls(t *testing.T) {
+	b := newMB("t").fn("bump", 0, 0).
+		i(OpLoadGlobal, 0).pushI(1).i(OpAdd).i(OpStoreGlobal, 0).
+		i(OpLoadGlobal, 0).ret()
+	b.m.Strs = append([]string{"counter"}, b.m.Strs...)
+	// fix pool indices: InternStr used by pushI only touched Ints; but
+	// pushS was not used here, so index 0 is "counter" as intended.
+	if err := Verify(b.m); err != nil {
+		t.Fatal(err)
+	}
+	env := NewEnv()
+	env.Globals["counter"] = I(10)
+	if v, err := Run(env, b.m, "bump"); err != nil || !v.Equal(I(11)) {
+		t.Fatalf("%v %v", v, err)
+	}
+	if v, err := Run(env, b.m, "bump"); err != nil || !v.Equal(I(12)) {
+		t.Fatalf("%v %v", v, err)
+	}
+	if !env.Globals["counter"].Equal(I(12)) {
+		t.Fatal("global not persisted")
+	}
+}
+
+func TestCallAndRecursion(t *testing.T) {
+	// fact(n) = n<=1 ? 1 : n*fact(n-1)
+	b := newMB("t")
+	b.fn("fact", 1, 1)
+	b.i(OpLoadLocal, 0).pushI(1).i(OpLe)
+	jz := len(b.f.Code)
+	b.i(OpJumpIfFalse, 0)
+	b.pushI(1).ret()
+	b.f.Code[jz].A = int32(len(b.f.Code))
+	b.i(OpLoadLocal, 0).i(OpLoadLocal, 0).pushI(1).i(OpSub).i(OpCall, 0, 1).i(OpMul).ret()
+	b.fn("main", 0, 0).pushI(10).i(OpCall, 0, 1).ret()
+	if v := mustRun(t, b.m, "main"); !v.Equal(I(3628800)) {
+		t.Fatalf("got %v", v)
+	}
+}
+
+func TestCallNamedViaResolver(t *testing.T) {
+	lib := newMB("lib").fn("double", 1, 1).
+		i(OpLoadLocal, 0).pushI(2).i(OpMul).ret().m
+	main := newMB("app").fn("main", 0, 0)
+	main.pushI(21)
+	main.i(OpCallNamed, main.m.InternStr("lib:double"), 1)
+	main.ret()
+	if err := Verify(lib); err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(main.m); err != nil {
+		t.Fatal(err)
+	}
+	env := NewEnv()
+	env.Resolver = resolverFunc(func(name string) (*Module, *Func, error) {
+		if name == "lib:double" {
+			_, f := lib.Fn("double")
+			return lib, f, nil
+		}
+		return nil, nil, ErrNoFunction
+	})
+	v, err := Run(env, main.m, "main")
+	if err != nil || !v.Equal(I(42)) {
+		t.Fatalf("%v %v", v, err)
+	}
+}
+
+type resolverFunc func(string) (*Module, *Func, error)
+
+func (f resolverFunc) ResolveFunc(n string) (*Module, *Func, error) { return f(n) }
+
+func TestHostCall(t *testing.T) {
+	b := newMB("t").fn("main", 0, 0)
+	b.pushI(5).pushI(7)
+	b.i(OpHostCall, b.m.InternStr("hostadd"), 2)
+	b.ret()
+	if err := Verify(b.m); err != nil {
+		t.Fatal(err)
+	}
+	env := NewEnv()
+	env.Host["hostadd"] = func(args []Value) (Value, error) {
+		return I(args[0].Int + args[1].Int), nil
+	}
+	v, err := Run(env, b.m, "main")
+	if err != nil || !v.Equal(I(12)) {
+		t.Fatalf("%v %v", v, err)
+	}
+}
+
+func TestHostCallMissing(t *testing.T) {
+	b := newMB("t").fn("main", 0, 0)
+	b.i(OpHostCall, b.m.InternStr("no_such"), 0).ret()
+	env := NewEnv()
+	if _, err := Run(env, b.m, "main"); !errors.Is(err, ErrTrap) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestHostErrorPropagates(t *testing.T) {
+	sentinel := errors.New("sentinel")
+	b := newMB("t").fn("main", 0, 0)
+	b.i(OpHostCall, b.m.InternStr("boom"), 0).ret()
+	env := NewEnv()
+	env.Host["boom"] = func([]Value) (Value, error) { return Nil(), sentinel }
+	if _, err := Run(env, b.m, "main"); !errors.Is(err, sentinel) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestListsAndMaps(t *testing.T) {
+	b := newMB("t").fn("main", 0, 1)
+	// l = [10, 20, 30]; l[1] = 99; return l[1] + l[2]
+	b.pushI(10).pushI(20).pushI(30).i(OpMakeList, 3).i(OpStoreLocal, 0)
+	b.i(OpLoadLocal, 0).pushI(1).pushI(99).i(OpSetIndex).i(OpPop)
+	b.i(OpLoadLocal, 0).pushI(1).i(OpIndex)
+	b.i(OpLoadLocal, 0).pushI(2).i(OpIndex)
+	b.i(OpAdd).ret()
+	if v := mustRun(t, b.m, "main"); !v.Equal(I(129)) {
+		t.Fatalf("got %v", v)
+	}
+
+	b2 := newMB("t").fn("main", 0, 1)
+	b2.pushS("price").pushI(42).i(OpMakeMap, 1).i(OpStoreLocal, 0)
+	b2.i(OpLoadLocal, 0).pushS("price").i(OpIndex).ret()
+	if v := mustRun(t, b2.m, "main"); !v.Equal(I(42)) {
+		t.Fatalf("got %v", v)
+	}
+}
+
+func TestStringIndex(t *testing.T) {
+	b := newMB("t").fn("main", 0, 0)
+	b.pushS("agent").pushI(2).i(OpIndex).ret()
+	if v := mustRun(t, b.m, "main"); !v.Equal(S("e")) {
+		t.Fatalf("got %v", v)
+	}
+}
+
+func TestTraps(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func() *Module
+	}{
+		{"div by zero", func() *Module {
+			return newMB("t").fn("main", 0, 0).pushI(1).pushI(0).i(OpDiv).ret().m
+		}},
+		{"mod by zero", func() *Module {
+			return newMB("t").fn("main", 0, 0).pushI(1).pushI(0).i(OpMod).ret().m
+		}},
+		{"add int str", func() *Module {
+			return newMB("t").fn("main", 0, 0).pushI(1).pushS("x").i(OpAdd).ret().m
+		}},
+		{"index out of range", func() *Module {
+			return newMB("t").fn("main", 0, 0).pushI(1).i(OpMakeList, 1).pushI(5).i(OpIndex).ret().m
+		}},
+		{"index nil", func() *Module {
+			return newMB("t").fn("main", 0, 0).i(OpPushNil).pushI(0).i(OpIndex).ret().m
+		}},
+		{"compare mixed", func() *Module {
+			return newMB("t").fn("main", 0, 0).pushI(1).pushS("a").i(OpLt).ret().m
+		}},
+		{"neg of str", func() *Module {
+			return newMB("t").fn("main", 0, 0).pushS("a").i(OpNeg).ret().m
+		}},
+	}
+	for _, c := range cases {
+		m := c.build()
+		if err := Verify(m); err != nil {
+			t.Fatalf("%s: verify: %v", c.name, err)
+		}
+		if _, err := Run(NewEnv(), m, "main"); !errors.Is(err, ErrTrap) {
+			t.Errorf("%s: got %v, want trap", c.name, err)
+		}
+	}
+}
+
+func TestFuelExhaustion(t *testing.T) {
+	// Infinite loop must be stopped by the meter (DoS protection).
+	b := newMB("t").fn("main", 0, 0)
+	b.i(OpJump, 0)
+	if err := Verify(b.m); err == nil {
+		// jump-to-self never returns — verifier allows it (no fall-off)
+	} else {
+		t.Fatalf("verify: %v", err)
+	}
+	env := NewEnv()
+	env.Meter = NewMeter(10_000)
+	_, err := Run(env, b.m, "main")
+	if !errors.Is(err, ErrFuelExhausted) {
+		t.Fatalf("got %v, want fuel exhaustion", err)
+	}
+	if env.Meter.Used() < 10_000 {
+		t.Fatalf("used = %d", env.Meter.Used())
+	}
+}
+
+func TestStackOverflowGuard(t *testing.T) {
+	// f() { return f() } — unbounded recursion hits MaxFrames.
+	b := newMB("t").fn("f", 0, 0).i(OpCall, 0, 0).ret()
+	if err := Verify(b.m); err != nil {
+		t.Fatal(err)
+	}
+	env := NewEnv()
+	env.MaxFrames = 32
+	if _, err := Run(env, b.m, "f"); !errors.Is(err, ErrStackOverflow) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestRunUnknownFunction(t *testing.T) {
+	m := newMB("t").fn("main", 0, 0).i(OpPushNil).ret().m
+	if _, err := Run(NewEnv(), m, "nope"); !errors.Is(err, ErrNoFunction) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestRunArgCountMismatch(t *testing.T) {
+	m := newMB("t").fn("main", 2, 2).i(OpPushNil).ret().m
+	if _, err := Run(NewEnv(), m, "main", I(1)); err == nil {
+		t.Fatal("arg mismatch accepted")
+	}
+}
+
+func TestBuiltins(t *testing.T) {
+	env := NewEnv()
+	InstallBuiltins(env)
+	call := func(name string, args ...Value) (Value, error) {
+		return env.Host[name](args)
+	}
+	if v, _ := call("len", S("abc")); !v.Equal(I(3)) {
+		t.Fatal("len str")
+	}
+	if v, _ := call("len", L(I(1), I(2))); !v.Equal(I(2)) {
+		t.Fatal("len list")
+	}
+	if v, _ := call("append", L(I(1)), I(2), I(3)); !v.Equal(L(I(1), I(2), I(3))) {
+		t.Fatal("append")
+	}
+	if v, _ := call("str", I(42)); !v.Equal(S("42")) {
+		t.Fatal("str")
+	}
+	if v, _ := call("contains", L(S("a"), S("b")), S("b")); !v.Equal(B(true)) {
+		t.Fatal("contains")
+	}
+	if v, _ := call("keys", M(map[string]Value{"b": I(1), "a": I(2)})); !v.Equal(L(S("a"), S("b"))) {
+		t.Fatalf("keys: %v", v)
+	}
+	for _, bad := range []string{"len", "append", "str", "contains", "keys",
+		"split", "join", "substr", "find"} {
+		if _, err := call(bad); err == nil {
+			t.Errorf("%s with no args accepted", bad)
+		}
+	}
+}
+
+func TestStringBuiltins(t *testing.T) {
+	env := NewEnv()
+	InstallBuiltins(env)
+	call := func(name string, args ...Value) (Value, error) {
+		return env.Host[name](args)
+	}
+	if v, err := call("split", S("a/b/c"), S("/")); err != nil || !v.Equal(L(S("a"), S("b"), S("c"))) {
+		t.Fatalf("split: %v %v", v, err)
+	}
+	if v, _ := call("split", S("abc"), S(",")); !v.Equal(L(S("abc"))) {
+		t.Fatal("split without separator hit")
+	}
+	if _, err := call("split", S("abc"), S("")); err == nil {
+		t.Fatal("split with empty separator accepted")
+	}
+	if v, err := call("join", L(S("x"), I(2), S("y")), S("-")); err != nil || !v.Equal(S("x-2-y")) {
+		t.Fatalf("join: %v %v", v, err)
+	}
+	if v, err := call("substr", S("mobile"), I(1), I(4)); err != nil || !v.Equal(S("obi")) {
+		t.Fatalf("substr: %v %v", v, err)
+	}
+	for _, bad := range [][2]int64{{-1, 2}, {3, 2}, {0, 99}} {
+		if _, err := call("substr", S("mobile"), I(bad[0]), I(bad[1])); err == nil {
+			t.Errorf("substr bounds %v accepted", bad)
+		}
+	}
+	if v, err := call("find", S("resource"), S("our")); err != nil || !v.Equal(I(3)) {
+		t.Fatalf("find: %v %v", v, err)
+	}
+	if v, _ := call("find", S("resource"), S("zzz")); !v.Equal(I(-1)) {
+		t.Fatal("find missing should be -1")
+	}
+}
+
+func TestValueStringAndClone(t *testing.T) {
+	v := M(map[string]Value{"k": L(I(1), S("x"), B(true), Nil())})
+	if got := v.String(); got != `{"k": [1, "x", true, nil]}` {
+		t.Fatalf("String = %s", got)
+	}
+	cl := v.Clone()
+	cl.Map["k"].List[0] = I(99)
+	if v.Map["k"].List[0].Equal(I(99)) {
+		t.Fatal("clone shares list storage")
+	}
+}
+
+func TestDisassembleMentionsNames(t *testing.T) {
+	b := newMB("t").fn("main", 0, 0)
+	b.pushI(7).i(OpHostCall, b.m.InternStr("log"), 1).ret()
+	d := b.m.Disassemble()
+	if !strings.Contains(d, "hostcall") || !strings.Contains(d, `"log"`) {
+		t.Fatalf("disassembly: %s", d)
+	}
+}
