@@ -57,6 +57,7 @@ import (
 	"repro/internal/names"
 	"repro/internal/policy"
 	"repro/internal/resource"
+	"repro/internal/retry"
 	"repro/internal/server"
 	"repro/internal/vm"
 )
@@ -108,6 +109,10 @@ type (
 	ProxyRequest = resource.Request
 	// ProxyAccount is a snapshot of a proxy's usage accounting.
 	ProxyAccount = resource.Account
+	// RetryPolicy tunes dispatch retry/backoff (ServerConfig.Retry).
+	RetryPolicy = retry.Policy
+	// ServerStats is a snapshot of a server's fault-tolerance counters.
+	ServerStats = server.Stats
 )
 
 // ServerDomain is the server's own protection domain ID.

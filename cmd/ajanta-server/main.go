@@ -196,7 +196,7 @@ func visit() {
   log("quote: " + str(price))
   if price != nil && price < best {
     best = price
-    where = srv
+    where = short
   }
 }`, authority),
 		Itinerary: ajanta.Tour("visit", tour...),

@@ -63,6 +63,11 @@ func (it *Itinerary) Advance() { it.Next++ }
 // Done reports whether all stops have been visited.
 func (it *Itinerary) Done() bool { return it.Next >= len(it.Stops) }
 
+// Abandon discards the remaining stops: the agent heads straight home.
+// Servers call this when a visit fails or every alternative of a stop
+// is exhausted.
+func (it *Itinerary) Abandon() { it.Next = len(it.Stops) }
+
 // Remaining counts unvisited stops.
 func (it *Itinerary) Remaining() int {
 	if it.Done() {
@@ -167,6 +172,12 @@ func BundleDigest(code []vm.Module) ([]byte, error) {
 	}
 	sum := sha256.Sum256(buf.Bytes())
 	return sum[:], nil
+}
+
+// Logf appends a formatted line to the agent's log, which travels home
+// with it — the owner's only view of what happened on the tour.
+func (a *Agent) Logf(format string, args ...any) {
+	a.Log = append(a.Log, fmt.Sprintf(format, args...))
 }
 
 // SanitizeForTransfer strips host-bound values from the state: handles

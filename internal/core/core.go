@@ -19,6 +19,7 @@ import (
 	"repro/internal/names"
 	"repro/internal/netsim"
 	"repro/internal/policy"
+	"repro/internal/retry"
 	"repro/internal/server"
 	"repro/internal/vm"
 )
@@ -106,6 +107,11 @@ type ServerConfig struct {
 	// DispatchRestriction makes this server narrow the rights of
 	// every agent it forwards (§5.2's subcontract delegation).
 	DispatchRestriction cred.RightSet
+	// Retry tunes dispatch fault tolerance (zero fields = defaults).
+	Retry retry.Policy
+	// RedeliverEvery is the dead-letter redelivery period
+	// (0 = server.DefaultRedeliverEvery).
+	RedeliverEvery time.Duration
 }
 
 // StartServer creates, configures and starts an agent server.
@@ -128,12 +134,17 @@ func (p *Platform) StartServer(shortName, addr string, sc ServerConfig) (*server
 		StrictNamespaces:        sc.StrictNamespaces,
 		InstalledResourcePolicy: sc.InstalledResourcePolicy,
 		DispatchRestriction:     sc.DispatchRestriction,
+		Retry:                   sc.Retry,
+		RedeliverEvery:          sc.RedeliverEvery,
 	}
 	if p.useTCP {
 		cfg.Dial = func(a string) (net.Conn, error) { return net.Dial("tcp", a) }
 		cfg.Listen = func(a string) (net.Listener, error) { return net.Listen("tcp", a) }
 	} else {
-		cfg.Dial = p.Net.Dial
+		// Dial as this server's own address so per-link fault
+		// injection (drops, partitions) can target server pairs.
+		self := addr
+		cfg.Dial = func(a string) (net.Conn, error) { return p.Net.DialFrom(self, a) }
 		cfg.Listen = func(a string) (net.Listener, error) { return p.Net.Listen(a) }
 	}
 

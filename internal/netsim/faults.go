@@ -1,0 +1,189 @@
+// Fault injection: the programmable failure plane of the simulated
+// network. Tests and the chaos harness script failures — dial drops,
+// mid-stream connection resets, partitions — per link and from a seeded
+// RNG, so fault scenarios are reproducible. Server crash/restart needs
+// no special hook: closing a Listener frees its address (dials are
+// refused) and re-listening at the same address brings the "server
+// machine" back up.
+package netsim
+
+import (
+	"math/rand"
+	"sync"
+)
+
+// linkKey identifies an undirected link between two addresses.
+type linkKey struct{ a, b string }
+
+func link(a, b string) linkKey {
+	if a > b {
+		a, b = b, a
+	}
+	return linkKey{a, b}
+}
+
+// FaultCounters reports how many failures the fault plane injected.
+type FaultCounters struct {
+	DialDrops  uint64 // dials refused by drop probability / DropNextDials
+	Resets     uint64 // connections reset mid-stream
+	Partitions uint64 // operations refused because the link was partitioned
+}
+
+// faults is the per-network fault state. All fields are guarded by mu;
+// the RNG is shared across goroutines, so rolls are serialized.
+type faults struct {
+	mu          sync.Mutex
+	rng         *rand.Rand
+	dropProb    map[linkKey]float64
+	resetProb   map[linkKey]float64
+	dropNext    map[linkKey]int
+	partitioned map[linkKey]bool
+	counters    FaultCounters
+}
+
+func newFaults() *faults {
+	return &faults{
+		rng:         rand.New(rand.NewSource(1)),
+		dropProb:    make(map[linkKey]float64),
+		resetProb:   make(map[linkKey]float64),
+		dropNext:    make(map[linkKey]int),
+		partitioned: make(map[linkKey]bool),
+	}
+}
+
+// SeedFaults reseeds the fault RNG so a fault scenario replays
+// identically (modulo goroutine interleaving).
+func (n *Network) SeedFaults(seed int64) {
+	n.faults.mu.Lock()
+	defer n.faults.mu.Unlock()
+	n.faults.rng = rand.New(rand.NewSource(seed))
+}
+
+// SetDropProb makes each dial between a and b fail with probability p
+// (0 removes the fault). The failed dial looks like a refused
+// connection: the caller is expected to retry.
+func (n *Network) SetDropProb(a, b string, p float64) {
+	n.faults.mu.Lock()
+	defer n.faults.mu.Unlock()
+	if p <= 0 {
+		delete(n.faults.dropProb, link(a, b))
+		return
+	}
+	n.faults.dropProb[link(a, b)] = p
+}
+
+// DropNextDials deterministically fails the next k dials between a and
+// b, then lets traffic through — the reproducible "one transient
+// failure" primitive regression tests want.
+func (n *Network) DropNextDials(a, b string, k int) {
+	n.faults.mu.Lock()
+	defer n.faults.mu.Unlock()
+	n.faults.dropNext[link(a, b)] = k
+}
+
+// SetResetProb makes each Write on a connection between a and b reset
+// the connection with probability p: the writer gets a reset error and
+// both endpoints are torn down (the reader sees EOF).
+func (n *Network) SetResetProb(a, b string, p float64) {
+	n.faults.mu.Lock()
+	defer n.faults.mu.Unlock()
+	if p <= 0 {
+		delete(n.faults.resetProb, link(a, b))
+		return
+	}
+	n.faults.resetProb[link(a, b)] = p
+}
+
+// Partition cuts the link between a and b: dials are refused and writes
+// on established connections fail until Heal.
+func (n *Network) Partition(a, b string) {
+	n.faults.mu.Lock()
+	defer n.faults.mu.Unlock()
+	n.faults.partitioned[link(a, b)] = true
+}
+
+// Heal restores the link between a and b.
+func (n *Network) Heal(a, b string) {
+	n.faults.mu.Lock()
+	defer n.faults.mu.Unlock()
+	delete(n.faults.partitioned, link(a, b))
+}
+
+// HealAll removes every partition (drop/reset probabilities persist).
+func (n *Network) HealAll() {
+	n.faults.mu.Lock()
+	defer n.faults.mu.Unlock()
+	n.faults.partitioned = make(map[linkKey]bool)
+}
+
+// FaultCounters returns a snapshot of the injected-failure counters.
+func (n *Network) FaultCounters() FaultCounters {
+	n.faults.mu.Lock()
+	defer n.faults.mu.Unlock()
+	return n.faults.counters
+}
+
+// dialFault decides whether a dial from -> to fails, and why.
+func (f *faults) dialFault(from, to string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	k := link(from, to)
+	if f.partitioned[k] {
+		f.counters.Partitions++
+		return errPartitioned{from: from, to: to}
+	}
+	if n := f.dropNext[k]; n > 0 {
+		f.dropNext[k] = n - 1
+		f.counters.DialDrops++
+		return errInjectedDrop{from: from, to: to}
+	}
+	if p := f.dropProb[k]; p > 0 && f.rng.Float64() < p {
+		f.counters.DialDrops++
+		return errInjectedDrop{from: from, to: to}
+	}
+	return nil
+}
+
+// writeFault decides whether a Write on an established from -> to
+// connection fails; reset=true means the connection must be torn down.
+func (f *faults) writeFault(from, to string) (err error, reset bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	k := link(from, to)
+	if f.partitioned[k] {
+		f.counters.Partitions++
+		return errPartitioned{from: from, to: to}, false
+	}
+	if p := f.resetProb[k]; p > 0 && f.rng.Float64() < p {
+		f.counters.Resets++
+		return errReset{from: from, to: to}, true
+	}
+	return nil, false
+}
+
+// Injected-failure errors. All satisfy net.Error with Timeout()=false
+// and are transient from a retry policy's point of view.
+
+type errInjectedDrop struct{ from, to string }
+
+func (e errInjectedDrop) Error() string {
+	return "netsim: connection refused (injected drop): " + e.from + " -> " + e.to
+}
+func (errInjectedDrop) Timeout() bool   { return false }
+func (errInjectedDrop) Temporary() bool { return true }
+
+type errPartitioned struct{ from, to string }
+
+func (e errPartitioned) Error() string {
+	return "netsim: network partitioned: " + e.from + " -> " + e.to
+}
+func (errPartitioned) Timeout() bool   { return false }
+func (errPartitioned) Temporary() bool { return true }
+
+type errReset struct{ from, to string }
+
+func (e errReset) Error() string {
+	return "netsim: connection reset: " + e.from + " -> " + e.to
+}
+func (errReset) Timeout() bool   { return false }
+func (errReset) Temporary() bool { return true }

@@ -9,6 +9,12 @@
 //     unmodified over either TCP or the simulator;
 //   - programmable taps that let tests play the adversary (tamper,
 //     drop, replay, eavesdrop) on the byte stream;
+//   - a programmable fault plane (faults.go): per-link dial-drop
+//     probability, mid-stream connection resets, partitions
+//     (Partition/Heal), and seeded randomness, so fault-tolerance
+//     machinery is tested against deterministic failures; server
+//     crashes are modeled by closing a Listener and re-listening at
+//     the same address;
 //   - byte counters and an analytic latency/bandwidth Model used by the
 //     communication experiments (C3), so modeled completion times are
 //     deterministic instead of sleep-based.
@@ -36,11 +42,12 @@ type Network struct {
 	tap       Tap
 	bytes     atomic.Uint64
 	messages  atomic.Uint64
+	faults    *faults
 }
 
 // NewNetwork returns an empty network.
 func NewNetwork() *Network {
-	return &Network{listeners: make(map[string]*Listener)}
+	return &Network{listeners: make(map[string]*Listener), faults: newFaults()}
 }
 
 // SetTap installs the adversary hook (nil removes it).
@@ -74,15 +81,26 @@ func (n *Network) Listen(addr string) (*Listener, error) {
 	return l, nil
 }
 
-// Dial connects to the listener at addr.
+// Dial connects to the listener at addr from an anonymous endpoint.
+// Fault injection keyed on the dialing side needs DialFrom.
 func (n *Network) Dial(addr string) (net.Conn, error) {
+	return n.DialFrom("dialer", addr)
+}
+
+// DialFrom connects to the listener at addr, identifying the dialing
+// endpoint as from — the link (from, addr) selects which injected
+// faults (drops, partitions, resets) apply to the connection.
+func (n *Network) DialFrom(from, addr string) (net.Conn, error) {
+	if err := n.faults.dialFault(from, addr); err != nil {
+		return nil, err
+	}
 	n.mu.Lock()
 	l, ok := n.listeners[addr]
 	n.mu.Unlock()
 	if !ok {
 		return nil, fmt.Errorf("netsim: connection refused: %q", addr)
 	}
-	clientEnd, serverEnd := n.pair("dialer", addr)
+	clientEnd, serverEnd := n.pair(from, addr)
 	select {
 	case l.backlog <- serverEnd:
 		return clientEnd, nil
@@ -91,14 +109,21 @@ func (n *Network) Dial(addr string) (net.Conn, error) {
 	}
 }
 
-// pair builds two connected endpoints.
+// pair builds two connected endpoints. The done channels carry a shared
+// sync.Once each so either side (or a fault-injected reset) can close
+// them without double-close panics.
 func (n *Network) pair(addrA, addrB string) (*Conn, *Conn) {
 	ab := make(chan []byte, 64)
 	ba := make(chan []byte, 64)
 	doneA := make(chan struct{})
 	doneB := make(chan struct{})
-	a := &Conn{net: n, local: addrA, remote: addrB, out: ab, in: ba, localDone: doneA, remoteDone: doneB}
-	b := &Conn{net: n, local: addrB, remote: addrA, out: ba, in: ab, localDone: doneB, remoteDone: doneA}
+	onceA := new(sync.Once)
+	onceB := new(sync.Once)
+	reset := new(atomic.Bool)
+	a := &Conn{net: n, local: addrA, remote: addrB, out: ab, in: ba, reset: reset,
+		localDone: doneA, localOnce: onceA, remoteDone: doneB, remoteOnce: onceB}
+	b := &Conn{net: n, local: addrB, remote: addrA, out: ba, in: ab, reset: reset,
+		localDone: doneB, localOnce: onceB, remoteDone: doneA, remoteOnce: onceA}
 	return a, b
 }
 
@@ -162,20 +187,38 @@ type Conn struct {
 	out    chan []byte
 	in     chan []byte
 
+	// Each done channel is shared with the peer Conn together with
+	// its Once, so close (either side) and fault-injected resets
+	// (both sides at once) never double-close.
 	localDone  chan struct{}
+	localOnce  *sync.Once
 	remoteDone chan struct{}
-	closeOnce  sync.Once
+	remoteOnce *sync.Once
+	// reset is shared by both ends; once set, every operation on
+	// either end reports a connection reset (not a clean close).
+	reset *atomic.Bool
 
-	readBuf  []byte
-	deadline atomic.Value // time.Time
+	readBuf       []byte
+	deadline      atomic.Value // time.Time, read side
+	writeDeadline atomic.Value // time.Time
 }
 
-// Write implements net.Conn; the network tap sees every write.
+// Write implements net.Conn; the network tap sees every write, and the
+// fault plane may fail it (partition) or reset the connection.
 func (c *Conn) Write(p []byte) (int, error) {
+	if c.reset.Load() {
+		return 0, errReset{from: c.local, to: c.remote}
+	}
 	select {
 	case <-c.localDone:
 		return 0, io.ErrClosedPipe
 	default:
+	}
+	if err, reset := c.net.faults.writeFault(c.local, c.remote); err != nil {
+		if reset {
+			c.teardown()
+		}
+		return 0, err
 	}
 	c.net.bytes.Add(uint64(len(p)))
 	c.net.messages.Add(1)
@@ -189,6 +232,16 @@ func (c *Conn) Write(p []byte) (int, error) {
 			return len(p), nil // dropped by the adversary
 		}
 	}
+	var timeout <-chan time.Time
+	if d, ok := c.writeDeadline.Load().(time.Time); ok && !d.IsZero() {
+		until := time.Until(d)
+		if until <= 0 {
+			return 0, errTimeout{}
+		}
+		t := time.NewTimer(until)
+		defer t.Stop()
+		timeout = t.C
+	}
 	select {
 	case c.out <- data:
 		return len(p), nil
@@ -196,11 +249,23 @@ func (c *Conn) Write(p []byte) (int, error) {
 		return 0, io.ErrClosedPipe
 	case <-c.remoteDone:
 		return 0, io.ErrClosedPipe
+	case <-timeout:
+		return 0, errTimeout{}
 	}
+}
+
+// teardown kills both ends of the connection (fault-injected reset).
+func (c *Conn) teardown() {
+	c.reset.Store(true)
+	c.localOnce.Do(func() { close(c.localDone) })
+	c.remoteOnce.Do(func() { close(c.remoteDone) })
 }
 
 // Read implements net.Conn.
 func (c *Conn) Read(p []byte) (int, error) {
+	if c.reset.Load() {
+		return 0, errReset{from: c.remote, to: c.local}
+	}
 	if len(c.readBuf) > 0 {
 		n := copy(p, c.readBuf)
 		c.readBuf = c.readBuf[n:]
@@ -243,7 +308,7 @@ func (c *Conn) Read(p []byte) (int, error) {
 
 // Close implements net.Conn.
 func (c *Conn) Close() error {
-	c.closeOnce.Do(func() { close(c.localDone) })
+	c.localOnce.Do(func() { close(c.localDone) })
 	return nil
 }
 
@@ -253,18 +318,26 @@ func (c *Conn) LocalAddr() net.Addr { return simAddr(c.local) }
 // RemoteAddr implements net.Conn.
 func (c *Conn) RemoteAddr() net.Addr { return simAddr(c.remote) }
 
-// SetDeadline implements net.Conn (read side only; writes never block
-// long in the simulator).
+// SetDeadline implements net.Conn (both directions).
 func (c *Conn) SetDeadline(t time.Time) error {
 	c.deadline.Store(t)
+	c.writeDeadline.Store(t)
 	return nil
 }
 
 // SetReadDeadline implements net.Conn.
-func (c *Conn) SetReadDeadline(t time.Time) error { return c.SetDeadline(t) }
+func (c *Conn) SetReadDeadline(t time.Time) error {
+	c.deadline.Store(t)
+	return nil
+}
 
-// SetWriteDeadline implements net.Conn (no-op).
-func (c *Conn) SetWriteDeadline(time.Time) error { return nil }
+// SetWriteDeadline implements net.Conn: a Write blocked on a full
+// channel (peer not draining) fails with a timeout once the deadline
+// passes.
+func (c *Conn) SetWriteDeadline(t time.Time) error {
+	c.writeDeadline.Store(t)
+	return nil
+}
 
 type errTimeout struct{}
 

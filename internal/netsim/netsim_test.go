@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"io"
 	"net"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -193,6 +194,179 @@ func TestByteCounters(t *testing.T) {
 	n.ResetCounters()
 	if n.BytesSent() != 0 {
 		t.Fatal("reset failed")
+	}
+}
+
+func TestWriteDeadline(t *testing.T) {
+	n := NewNetwork()
+	l, _ := n.Listen("a")
+	go func() { _, _ = l.Accept() }() // peer never reads
+	c, _ := n.Dial("a")
+	// Fill the channel buffer so the next write blocks.
+	for i := 0; i < 64; i++ {
+		if _, err := c.Write([]byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_ = c.SetWriteDeadline(time.Now().Add(10 * time.Millisecond))
+	_, err := c.Write([]byte("blocked"))
+	nerr, ok := err.(net.Error)
+	if !ok || !nerr.Timeout() {
+		t.Fatalf("got %v, want timeout", err)
+	}
+}
+
+func TestDropNextDials(t *testing.T) {
+	n := NewNetwork()
+	l, _ := n.Listen("srv")
+	go func() {
+		for {
+			if _, err := l.Accept(); err != nil {
+				return
+			}
+		}
+	}()
+	n.DropNextDials("cli", "srv", 2)
+	for i := 0; i < 2; i++ {
+		if _, err := n.DialFrom("cli", "srv"); err == nil {
+			t.Fatalf("dial %d survived injected drop", i)
+		}
+	}
+	if _, err := n.DialFrom("cli", "srv"); err != nil {
+		t.Fatalf("dial after drops exhausted: %v", err)
+	}
+	// Other links are unaffected.
+	n.DropNextDials("cli", "srv", 1)
+	if _, err := n.DialFrom("other", "srv"); err != nil {
+		t.Fatalf("unrelated link dropped: %v", err)
+	}
+	if got := n.FaultCounters().DialDrops; got != 2 {
+		t.Fatalf("DialDrops = %d", got)
+	}
+}
+
+func TestDropProbSeeded(t *testing.T) {
+	n := NewNetwork()
+	l, _ := n.Listen("srv")
+	go func() {
+		for {
+			if _, err := l.Accept(); err != nil {
+				return
+			}
+		}
+	}()
+	n.SeedFaults(7)
+	n.SetDropProb("cli", "srv", 1.0)
+	if _, err := n.DialFrom("cli", "srv"); err == nil {
+		t.Fatal("p=1.0 dial succeeded")
+	}
+	n.SetDropProb("cli", "srv", 0)
+	if _, err := n.DialFrom("cli", "srv"); err != nil {
+		t.Fatalf("p=0 dial failed: %v", err)
+	}
+}
+
+func TestPartitionAndHeal(t *testing.T) {
+	n := NewNetwork()
+	l, _ := n.Listen("srv")
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			buf := make([]byte, 8)
+			k, _ := c.Read(buf)
+			_, _ = c.Write(buf[:k])
+		}
+	}()
+	// Established connection first, then partition: writes fail too.
+	c, err := n.DialFrom("cli", "srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Partition("cli", "srv")
+	if _, err := n.DialFrom("cli", "srv"); err == nil {
+		t.Fatal("dial crossed partition")
+	}
+	if _, err := c.Write([]byte("hi")); err == nil {
+		t.Fatal("write crossed partition")
+	}
+	// Partition is symmetric.
+	if _, err := n.DialFrom("srv", "cli"); err == nil {
+		t.Fatal("reverse dial crossed partition")
+	}
+	n.Heal("cli", "srv")
+	c2, err := n.DialFrom("cli", "srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c2.Write([]byte("hi")); err != nil {
+		t.Fatalf("write after heal: %v", err)
+	}
+	if n.FaultCounters().Partitions == 0 {
+		t.Fatal("partition refusals not counted")
+	}
+}
+
+func TestConnectionResetMidStream(t *testing.T) {
+	n := NewNetwork()
+	l, _ := n.Listen("srv")
+	peerErr := make(chan error, 1)
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			peerErr <- err
+			return
+		}
+		_, err = io.ReadAll(c)
+		peerErr <- err
+	}()
+	c, err := n.DialFrom("cli", "srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Write([]byte("before")); err != nil {
+		t.Fatal(err)
+	}
+	n.SetResetProb("cli", "srv", 1.0)
+	if _, err := c.Write([]byte("mid")); err == nil {
+		t.Fatal("write survived reset")
+	}
+	// The connection is dead: further writes fail even with the fault
+	// removed, and the peer's read stream errors out (a reset, not a
+	// clean EOF).
+	n.SetResetProb("cli", "srv", 0)
+	if _, err := c.Write([]byte("after")); err == nil {
+		t.Fatal("write on reset connection succeeded")
+	}
+	if err := <-peerErr; err == nil || !strings.Contains(err.Error(), "reset") {
+		t.Fatalf("peer read after reset: %v", err)
+	}
+	if got := n.FaultCounters().Resets; got != 1 {
+		t.Fatalf("Resets = %d", got)
+	}
+}
+
+func TestCrashRestartRelisten(t *testing.T) {
+	// The crash/restart model: closing a listener refuses dials;
+	// re-listening at the same address restores service.
+	n := NewNetwork()
+	l, err := n.Listen("srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = l.Close()
+	if _, err := n.DialFrom("cli", "srv"); err == nil {
+		t.Fatal("dial to crashed server succeeded")
+	}
+	l2, err := n.Listen("srv")
+	if err != nil {
+		t.Fatalf("re-listen: %v", err)
+	}
+	go func() { _, _ = l2.Accept() }()
+	if _, err := n.DialFrom("cli", "srv"); err != nil {
+		t.Fatalf("dial after restart: %v", err)
 	}
 }
 

@@ -1,0 +1,241 @@
+// Package retry provides the bounded-retry policy used everywhere a
+// network operation can fail transiently. Mobile-agent platforms treat
+// retry-with-backoff as table stakes for fault-tolerant itineraries
+// (the paper's alternatives give the "try the next one" pattern; this
+// package gives "try the same one again first"): a transient dial
+// failure — a crashed-and-restarting server, a dropped connection, a
+// healing partition — should cost a short backoff, not a whole
+// itinerary leg.
+//
+// Errors are classified transient (worth retrying) or permanent (fail
+// now). By default every error is transient unless wrapped with
+// Permanent; callers install a Classify hook to pin down their own
+// protocol-level permanent errors (rejection by the receiver, failed
+// authentication, an unbound name).
+package retry
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Default policy values, applied by (Policy).withDefaults for any field
+// left zero.
+const (
+	DefaultMaxAttempts = 4
+	DefaultBaseDelay   = 25 * time.Millisecond
+	DefaultMaxDelay    = 2 * time.Second
+	DefaultMultiplier  = 2.0
+	DefaultJitter      = 0.2
+	DefaultPerAttempt  = 5 * time.Second
+)
+
+// ErrCanceled is returned when the cancel channel closes while Do is
+// backing off between attempts.
+var ErrCanceled = errors.New("retry: canceled")
+
+// Policy is a reusable retry configuration. The zero value is valid and
+// means "the defaults above". Policies are plain values: copy freely.
+type Policy struct {
+	// MaxAttempts is the total number of tries (first attempt
+	// included). 0 applies DefaultMaxAttempts; negative means exactly
+	// one attempt (no retries).
+	MaxAttempts int
+	// BaseDelay is the backoff before the second attempt; each further
+	// backoff multiplies by Multiplier up to MaxDelay.
+	BaseDelay  time.Duration
+	MaxDelay   time.Duration
+	Multiplier float64
+	// Jitter is the fractional randomization of each backoff: a delay
+	// d becomes d * (1 ± Jitter*u) for uniform u in [0,1). Negative
+	// disables jitter; 0 applies DefaultJitter.
+	Jitter float64
+	// PerAttempt is the deadline budget for one attempt. Do does not
+	// enforce it (it cannot interrupt an opaque operation); callers
+	// apply it to the underlying connection (conn.SetDeadline). 0
+	// applies DefaultPerAttempt.
+	PerAttempt time.Duration
+	// Total bounds the whole Do call: once this much time has elapsed
+	// no further attempt starts. 0 means no total deadline.
+	Total time.Duration
+	// Classify reports whether an error is transient (retryable).
+	// nil applies the default: transient unless wrapped by Permanent.
+	Classify func(error) bool
+	// Sleep and Rand are test seams: the backoff sleeper (default
+	// time.Sleep honoring cancel) and the jitter source (default a
+	// shared seeded source). Rand must return values in [0,1).
+	Sleep func(time.Duration)
+	Rand  func() float64
+	// Now is the clock used for the Total deadline (default time.Now).
+	Now func() time.Time
+	// OnRetry, when set, observes each backoff: the attempt that just
+	// failed (1-based), its error, and the upcoming delay. Used by the
+	// server to count retries and log attempts.
+	OnRetry func(attempt int, err error, delay time.Duration)
+}
+
+// permanentError marks an error as not worth retrying.
+type permanentError struct{ err error }
+
+func (p *permanentError) Error() string { return p.err.Error() }
+func (p *permanentError) Unwrap() error { return p.err }
+
+// Permanent wraps err so the default classifier treats it as permanent.
+// Wrapping nil returns nil.
+func Permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &permanentError{err: err}
+}
+
+// IsPermanent reports whether err (or anything it wraps) was marked
+// with Permanent.
+func IsPermanent(err error) bool {
+	var p *permanentError
+	return errors.As(err, &p)
+}
+
+// defaultRand is the shared jitter source; guarded because policies may
+// be used from many dispatch goroutines at once.
+var (
+	defaultRandMu sync.Mutex
+	defaultRand   = rand.New(rand.NewSource(1))
+)
+
+func sharedFloat() float64 {
+	defaultRandMu.Lock()
+	defer defaultRandMu.Unlock()
+	return defaultRand.Float64()
+}
+
+// withDefaults resolves zero fields.
+func (p Policy) withDefaults() Policy {
+	if p.MaxAttempts == 0 {
+		p.MaxAttempts = DefaultMaxAttempts
+	}
+	if p.MaxAttempts < 0 {
+		p.MaxAttempts = 1
+	}
+	if p.BaseDelay == 0 {
+		p.BaseDelay = DefaultBaseDelay
+	}
+	if p.MaxDelay == 0 {
+		p.MaxDelay = DefaultMaxDelay
+	}
+	if p.Multiplier == 0 {
+		p.Multiplier = DefaultMultiplier
+	}
+	if p.Jitter == 0 {
+		p.Jitter = DefaultJitter
+	}
+	if p.Jitter < 0 {
+		p.Jitter = 0
+	}
+	if p.PerAttempt == 0 {
+		p.PerAttempt = DefaultPerAttempt
+	}
+	if p.Classify == nil {
+		p.Classify = func(err error) bool { return !IsPermanent(err) }
+	}
+	if p.Rand == nil {
+		p.Rand = sharedFloat
+	}
+	if p.Now == nil {
+		p.Now = time.Now
+	}
+	return p
+}
+
+// Delay returns the backoff after the given 1-based failed attempt,
+// jittered. Exposed for tests and for callers that schedule their own
+// sleeps (the server's dead-letter redelivery loop).
+func (p Policy) Delay(attempt int) time.Duration {
+	q := p.withDefaults()
+	return q.delay(attempt)
+}
+
+func (p Policy) delay(attempt int) time.Duration {
+	d := float64(p.BaseDelay)
+	for i := 1; i < attempt; i++ {
+		d *= p.Multiplier
+		if d >= float64(p.MaxDelay) {
+			d = float64(p.MaxDelay)
+			break
+		}
+	}
+	if d > float64(p.MaxDelay) {
+		d = float64(p.MaxDelay)
+	}
+	if p.Jitter > 0 {
+		u := p.Rand() // [0,1)
+		d *= 1 + p.Jitter*(2*u-1)
+	}
+	if d < 0 {
+		d = 0
+	}
+	return time.Duration(d)
+}
+
+// Do runs op until it succeeds, returns a permanent error, or the
+// attempt/total budget is exhausted. The returned error is the last
+// attempt's error.
+func (p Policy) Do(op func() error) error {
+	_, err := p.DoWithCancel(nil, op)
+	return err
+}
+
+// DoWithCancel is Do with a cancellation channel (typically a server's
+// quit channel): when it closes during a backoff, the loop stops with
+// ErrCanceled. It also reports how many attempts ran, for callers that
+// keep retry counters.
+func (p Policy) DoWithCancel(cancel <-chan struct{}, op func() error) (attempts int, err error) {
+	q := p.withDefaults()
+	var deadline time.Time
+	if q.Total > 0 {
+		deadline = q.Now().Add(q.Total)
+	}
+	for attempts = 1; ; attempts++ {
+		err = op()
+		if err == nil || !q.Classify(err) {
+			return attempts, err
+		}
+		if attempts >= q.MaxAttempts {
+			return attempts, err
+		}
+		d := q.delay(attempts)
+		if !deadline.IsZero() && q.Now().Add(d).After(deadline) {
+			return attempts, err
+		}
+		if q.OnRetry != nil {
+			q.OnRetry(attempts, err, d)
+		}
+		if q.Sleep != nil {
+			q.Sleep(d)
+		} else if canceled := sleepOrCancel(d, cancel); canceled {
+			return attempts, ErrCanceled
+		}
+		select {
+		case <-cancel:
+			return attempts, ErrCanceled
+		default:
+		}
+	}
+}
+
+func sleepOrCancel(d time.Duration, cancel <-chan struct{}) bool {
+	if cancel == nil {
+		time.Sleep(d)
+		return false
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return false
+	case <-cancel:
+		return true
+	}
+}

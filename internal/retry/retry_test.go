@@ -1,0 +1,175 @@
+package retry
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// noSleep makes tests instant and records requested backoffs.
+func noSleep(delays *[]time.Duration) func(time.Duration) {
+	return func(d time.Duration) { *delays = append(*delays, d) }
+}
+
+func TestTransientSucceedsAfterRetries(t *testing.T) {
+	var delays []time.Duration
+	p := Policy{MaxAttempts: 5, Sleep: noSleep(&delays), Jitter: -1}
+	calls := 0
+	err := p.Do(func() error {
+		calls++
+		if calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("err=%v calls=%d", err, calls)
+	}
+	if len(delays) != 2 {
+		t.Fatalf("delays=%v", delays)
+	}
+}
+
+func TestPermanentStopsImmediately(t *testing.T) {
+	var delays []time.Duration
+	p := Policy{MaxAttempts: 5, Sleep: noSleep(&delays)}
+	calls := 0
+	base := errors.New("rejected")
+	err := p.Do(func() error {
+		calls++
+		return Permanent(base)
+	})
+	if calls != 1 {
+		t.Fatalf("permanent error retried: %d calls", calls)
+	}
+	if !errors.Is(err, base) || !IsPermanent(err) {
+		t.Fatalf("err=%v", err)
+	}
+	if len(delays) != 0 {
+		t.Fatalf("slept on a permanent error: %v", delays)
+	}
+}
+
+func TestAttemptBudgetExhausted(t *testing.T) {
+	var delays []time.Duration
+	p := Policy{MaxAttempts: 3, Sleep: noSleep(&delays)}
+	calls := 0
+	fail := errors.New("still down")
+	attempts, err := p.DoWithCancel(nil, func() error { calls++; return fail })
+	if calls != 3 || attempts != 3 {
+		t.Fatalf("calls=%d attempts=%d", calls, attempts)
+	}
+	if !errors.Is(err, fail) {
+		t.Fatalf("err=%v", err)
+	}
+}
+
+func TestExponentialBackoffCapped(t *testing.T) {
+	p := Policy{
+		BaseDelay:  10 * time.Millisecond,
+		MaxDelay:   50 * time.Millisecond,
+		Multiplier: 2,
+		Jitter:     -1, // deterministic
+	}
+	want := []time.Duration{
+		10 * time.Millisecond, // after attempt 1
+		20 * time.Millisecond,
+		40 * time.Millisecond,
+		50 * time.Millisecond, // capped
+		50 * time.Millisecond,
+	}
+	for i, w := range want {
+		if got := p.Delay(i + 1); got != w {
+			t.Fatalf("Delay(%d) = %v, want %v", i+1, got, w)
+		}
+	}
+}
+
+func TestJitterBounded(t *testing.T) {
+	p := Policy{BaseDelay: 100 * time.Millisecond, Jitter: 0.5,
+		Rand: func() float64 { return 0 }} // u=0 -> d*(1-0.5)
+	if got := p.Delay(1); got != 50*time.Millisecond {
+		t.Fatalf("low jitter = %v", got)
+	}
+	p.Rand = func() float64 { return 0.999999 }
+	got := p.Delay(1)
+	if got < 140*time.Millisecond || got > 150*time.Millisecond {
+		t.Fatalf("high jitter = %v", got)
+	}
+}
+
+func TestTotalDeadlineStopsRetrying(t *testing.T) {
+	now := time.Unix(0, 0)
+	p := Policy{
+		MaxAttempts: 100,
+		BaseDelay:   time.Second,
+		Multiplier:  1,
+		Jitter:      -1,
+		Total:       2500 * time.Millisecond,
+		Now:         func() time.Time { return now },
+		Sleep:       func(d time.Duration) { now = now.Add(d) },
+	}
+	calls := 0
+	attempts, err := p.DoWithCancel(nil, func() error { calls++; return errors.New("down") })
+	// t=0 attempt1, sleep 1s; t=1 attempt2, sleep 1s; t=2 attempt3;
+	// next would finish at t=3 > 2.5 -> stop.
+	if calls != 3 || attempts != 3 || err == nil {
+		t.Fatalf("calls=%d attempts=%d err=%v", calls, attempts, err)
+	}
+}
+
+func TestCancelDuringBackoff(t *testing.T) {
+	cancel := make(chan struct{})
+	close(cancel)
+	p := Policy{MaxAttempts: 10, BaseDelay: time.Hour}
+	calls := 0
+	_, err := p.DoWithCancel(cancel, func() error { calls++; return errors.New("down") })
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err=%v", err)
+	}
+	if calls != 1 {
+		t.Fatalf("calls=%d", calls)
+	}
+}
+
+func TestNegativeMaxAttemptsMeansOneTry(t *testing.T) {
+	calls := 0
+	p := Policy{MaxAttempts: -1}
+	_ = p.Do(func() error { calls++; return errors.New("down") })
+	if calls != 1 {
+		t.Fatalf("calls=%d", calls)
+	}
+}
+
+func TestCustomClassifier(t *testing.T) {
+	special := errors.New("special")
+	p := Policy{
+		MaxAttempts: 5,
+		Sleep:       func(time.Duration) {},
+		Classify:    func(err error) bool { return !errors.Is(err, special) },
+	}
+	calls := 0
+	_ = p.Do(func() error { calls++; return special })
+	if calls != 1 {
+		t.Fatalf("classifier ignored: %d calls", calls)
+	}
+}
+
+func TestOnRetryObserves(t *testing.T) {
+	var seen []int
+	p := Policy{MaxAttempts: 3, Sleep: func(time.Duration) {},
+		OnRetry: func(attempt int, err error, d time.Duration) { seen = append(seen, attempt) }}
+	_ = p.Do(func() error { return errors.New("down") })
+	if len(seen) != 2 || seen[0] != 1 || seen[1] != 2 {
+		t.Fatalf("seen=%v", seen)
+	}
+}
+
+func TestPermanentNil(t *testing.T) {
+	if Permanent(nil) != nil {
+		t.Fatal("Permanent(nil) != nil")
+	}
+	if IsPermanent(errors.New("x")) {
+		t.Fatal("unwrapped error reported permanent")
+	}
+}

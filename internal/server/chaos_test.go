@@ -1,0 +1,176 @@
+package server
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/agent"
+	"repro/internal/names"
+	"repro/internal/retry"
+)
+
+// TestChaosNoLostAgents is the no-lost-agents invariant check: N agents
+// tour multi-hop itineraries (each stop with two alternatives) while a
+// seeded fault script injects dial drops, mid-stream connection resets,
+// a network partition, and a server crash/restart. Every launched agent
+// must eventually reach a terminal state at its home server — done with
+// results, or failed with a log — and none may vanish.
+//
+// All faults are survivable by construction (drop probability < 1, the
+// partition heals, the crashed server restarts), so retries, itinerary
+// alternatives, and dead-letter redelivery must absorb everything.
+func TestChaosNoLostAgents(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos test skipped in -short mode")
+	}
+	const (
+		nAgents = 24
+		seed    = 42
+	)
+	f := newFixture(t)
+	ns := names.NewService()
+	pol := retry.Policy{
+		MaxAttempts: 4,
+		BaseDelay:   2 * time.Millisecond,
+		MaxDelay:    20 * time.Millisecond,
+	}
+	mk := func(short, addr string) *Server {
+		cfg := f.config(t, short, addr)
+		cfg.NameService = ns
+		cfg.Retry = pol
+		cfg.RedeliverEvery = 25 * time.Millisecond
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Start(); err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	home := mk("home", "home:7000")
+	defer home.Stop()
+	s2 := mk("w2", "w2:7000")
+	defer s2.Stop()
+	s3 := mk("w3", "w3:7000")
+	defer s3.Stop()
+	s4 := mk("w4", "w4:7000")
+	defer s4.Stop()
+
+	// Seeded background noise on every link that carries traffic:
+	// dials drop with p=0.25, and two links reset established
+	// connections mid-stream with p=0.05.
+	f.nw.SeedFaults(seed)
+	addrs := []string{"home:7000", "w2:7000", "w3:7000", "w4:7000"}
+	for i, a := range addrs {
+		for _, b := range addrs[i+1:] {
+			f.nw.SetDropProb(a, b, 0.25)
+		}
+	}
+	f.nw.SetResetProb("home:7000", "w2:7000", 0.05)
+	f.nw.SetResetProb("w2:7000", "w3:7000", 0.05)
+
+	// Launch the fleet: three-stop tours, every stop with a fallback
+	// alternative, rotated per agent so load spreads.
+	workers := []names.Name{s2.Name(), s3.Name(), s4.Name()}
+	type launched struct {
+		name names.Name
+		ch   <-chan *agent.Agent
+	}
+	fleet := make([]launched, 0, nAgents)
+	for i := 0; i < nAgents; i++ {
+		var stops []agent.Stop
+		for hop := 0; hop < 3; hop++ {
+			first := workers[(i+hop)%len(workers)]
+			second := workers[(i+hop+1)%len(workers)]
+			stops = append(stops, agent.Stop{
+				Servers: []names.Name{first, second}, Entry: "main",
+			})
+		}
+		a := f.agent(t, fmt.Sprintf("chaos%02d", i),
+			"module m\nfunc main() { report(1) }",
+			agent.Itinerary{Stops: stops}, "home:7000")
+		ch := home.Await(a.Name)
+		if err := home.LaunchLocal(a); err != nil {
+			t.Fatal(err)
+		}
+		fleet = append(fleet, launched{name: a.Name, ch: ch})
+	}
+
+	// The fault script: a partition that heals, and a crash/restart,
+	// overlapping the fleet's tours.
+	scriptDone := make(chan struct{})
+	go func() {
+		defer close(scriptDone)
+		time.Sleep(30 * time.Millisecond)
+		f.nw.Partition("home:7000", "w3:7000")
+		time.Sleep(100 * time.Millisecond)
+		f.nw.Heal("home:7000", "w3:7000")
+		s4.Crash()
+		time.Sleep(100 * time.Millisecond)
+		if err := s4.Restart(); err != nil {
+			t.Errorf("restart: %v", err)
+		}
+	}()
+
+	// The invariant: every agent reaches a terminal state at home.
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	returned := make(map[names.Name]*agent.Agent, nAgents)
+	for _, l := range fleet {
+		wg.Add(1)
+		go func(l launched) {
+			defer wg.Done()
+			select {
+			case back := <-l.ch:
+				mu.Lock()
+				returned[l.name] = back
+				mu.Unlock()
+			case <-time.After(90 * time.Second):
+			}
+		}(l)
+	}
+	wg.Wait()
+	<-scriptDone
+
+	var lost []string
+	done, failed := 0, 0
+	for _, l := range fleet {
+		back, ok := returned[l.name]
+		if !ok {
+			lost = append(lost, l.name.String())
+			continue
+		}
+		if len(back.Results) == 3 {
+			done++
+		} else if len(back.Log) > 0 {
+			failed++ // terminal at home with a log naming the failure
+		} else {
+			t.Errorf("%s came home with neither full results nor a log: %+v",
+				l.name, back.Results)
+		}
+	}
+	if len(lost) > 0 {
+		for _, s := range []*Server{home, s2, s3, s4} {
+			t.Logf("%s stats: %+v parked: %v", s.Name(), s.Stats(), s.ParkedAgents())
+		}
+		t.Fatalf("%d/%d agents lost: %s", len(lost), nAgents, strings.Join(lost, ", "))
+	}
+	total := home.Stats()
+	for _, s := range []*Server{s2, s3, s4} {
+		st := s.Stats()
+		total.Retries += st.Retries
+		total.Parked += st.Parked
+		total.Redelivered += st.Redelivered
+	}
+	t.Logf("chaos: %d done, %d failed-with-log, %d retries, %d parked, %d redelivered, faults=%+v",
+		done, failed, total.Retries, total.Parked, total.Redelivered, f.nw.FaultCounters())
+	// With p=0.25 dial drops on every link the run must have exercised
+	// the retry machinery; a zero here means the faults never landed.
+	if total.Retries == 0 {
+		t.Error("chaos run exercised no retries — fault injection inert")
+	}
+}

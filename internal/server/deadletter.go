@@ -1,0 +1,150 @@
+// Dead-letter store: the server's "no agent is ever lost" backstop.
+// An agent whose homecoming transfer fails (home site crashed,
+// partitioned, mid-handshake reset) is parked here instead of being
+// dropped, and a background loop periodically re-attempts delivery
+// until the destination comes back. Together with the held-agents map
+// (homecomings that arrive before anyone calls Await) this closes the
+// two loss paths the single-attempt dispatch design had.
+package server
+
+import (
+	"sync/atomic"
+	"time"
+
+	"repro/internal/agent"
+	"repro/internal/names"
+)
+
+// DefaultRedeliverEvery is the dead-letter redelivery period applied
+// when Config.RedeliverEvery is zero.
+const DefaultRedeliverEvery = 500 * time.Millisecond
+
+// parcel is one parked agent: the serialized-ready agent plus where it
+// still needs to go.
+type parcel struct {
+	agent    *agent.Agent
+	addr     string // destination (the agent's home site)
+	attempts int    // delivery attempts so far (initial + redeliveries)
+}
+
+// Stats is the server's fault-tolerance and traffic counter snapshot,
+// exposed for operators and the chaos harness.
+type Stats struct {
+	// Arrivals counts agents this server has hosted.
+	Arrivals uint64
+	// Dispatches counts successful outbound agent transfers.
+	Dispatches uint64
+	// Retries counts transient per-attempt dispatch retries (the
+	// backoff loop firing, across all destinations).
+	Retries uint64
+	// DispatchFailures counts stops whose every alternative was
+	// exhausted (the agent then failed home).
+	DispatchFailures uint64
+	// Parked counts agents ever parked in the dead-letter store;
+	// ParkedNow is the current store size.
+	Parked    uint64
+	ParkedNow int
+	// Redelivered counts parked agents later delivered successfully.
+	Redelivered uint64
+	// Delivered counts agents handed to a local waiter; HeldNow is
+	// the number of homecomings waiting for a future Await call.
+	Delivered uint64
+	HeldNow   int
+}
+
+// counters aggregates the atomic tallies behind Stats.
+type counters struct {
+	dispatches       atomic.Uint64
+	retries          atomic.Uint64
+	dispatchFailures atomic.Uint64
+	parked           atomic.Uint64
+	redelivered      atomic.Uint64
+	delivered        atomic.Uint64
+}
+
+// Stats returns a snapshot of the server's counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	arrivals := s.arrivals
+	parkedNow := len(s.parked)
+	heldNow := len(s.held)
+	s.mu.Unlock()
+	return Stats{
+		Arrivals:         arrivals,
+		Dispatches:       s.stats.dispatches.Load(),
+		Retries:          s.stats.retries.Load(),
+		DispatchFailures: s.stats.dispatchFailures.Load(),
+		Parked:           s.stats.parked.Load(),
+		ParkedNow:        parkedNow,
+		Redelivered:      s.stats.redelivered.Load(),
+		Delivered:        s.stats.delivered.Load(),
+		HeldNow:          heldNow,
+	}
+}
+
+// park stores an undeliverable agent in the dead-letter store. The
+// redelivery loop owns it from here; a duplicate park (an at-least-once
+// transfer race) keeps the newer copy.
+func (s *Server) park(a *agent.Agent, addr string) {
+	s.mu.Lock()
+	s.parked[a.Name] = &parcel{agent: a, addr: addr, attempts: 1}
+	s.mu.Unlock()
+	s.stats.parked.Add(1)
+}
+
+// ParkedAgents lists the names currently in the dead-letter store, so
+// operators (and tests) can see exactly which agents are waiting out a
+// failure rather than lost.
+func (s *Server) ParkedAgents() []names.Name {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]names.Name, 0, len(s.parked))
+	for n := range s.parked {
+		out = append(out, n)
+	}
+	return out
+}
+
+// redeliverLoop periodically retries every parked agent until the
+// server stops. Attempts run outside the lock; an agent parked again
+// mid-attempt (it cannot be: the loop owns parked entries once taken)
+// simply re-enters the store.
+func (s *Server) redeliverLoop(every time.Duration) {
+	defer s.wg.Done()
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.quit:
+			return
+		case <-t.C:
+			s.redeliverOnce()
+		}
+	}
+}
+
+// redeliverOnce attempts one delivery per parked agent.
+func (s *Server) redeliverOnce() {
+	s.mu.Lock()
+	batch := make([]*parcel, 0, len(s.parked))
+	for _, p := range s.parked {
+		batch = append(batch, p)
+	}
+	s.mu.Unlock()
+	for _, p := range batch {
+		select {
+		case <-s.quit:
+			return
+		default:
+		}
+		p.attempts++
+		if err := s.sendToAddr(p.agent, p.addr); err != nil {
+			continue // still unreachable; next tick
+		}
+		s.mu.Lock()
+		delete(s.parked, p.agent.Name)
+		s.mu.Unlock()
+		s.stats.redelivered.Add(1)
+		s.stats.dispatches.Add(1)
+	}
+}

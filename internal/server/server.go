@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"strings"
 	"sync"
 	"time"
 
@@ -24,6 +25,7 @@ import (
 	"repro/internal/policy"
 	"repro/internal/registry"
 	"repro/internal/resource"
+	"repro/internal/retry"
 	"repro/internal/sandbox"
 	"repro/internal/transfer"
 	"repro/internal/vm"
@@ -67,6 +69,16 @@ type Config struct {
 	// another server (like a subcontract) ... restricting some of its
 	// existing [privileges]").
 	DispatchRestriction cred.RightSet
+	// Retry tunes the dispatch fault-tolerance policy: every network
+	// send (itinerary stop, go() detour, homecoming) retries transient
+	// failures with exponential backoff under this policy. Zero fields
+	// take the retry package defaults; the error classifier defaults
+	// to the transfer-aware one (rejection, authentication failure and
+	// unbound names are permanent, everything else transient).
+	Retry retry.Policy
+	// RedeliverEvery is the dead-letter redelivery period; 0 applies
+	// DefaultRedeliverEvery.
+	RedeliverEvery time.Duration
 }
 
 // Server is one agent server.
@@ -82,9 +94,14 @@ type Server struct {
 	quit     chan struct{}
 	quitOnce sync.Once
 
+	retry retry.Policy // resolved dispatch policy
+	stats counters
+
 	mu       sync.Mutex
 	visits   map[names.Name]*visit
 	waiters  map[names.Name]chan *agent.Agent
+	held     map[names.Name]*agent.Agent // homecomings awaiting an Await call
+	parked   map[names.Name]*parcel      // dead-letter store (deadletter.go)
 	statuses map[names.Name]domain.Status // last known, survives domain removal
 	ledger   map[names.Name]uint64        // owner -> accumulated charges
 	arrivals uint64
@@ -141,15 +158,53 @@ func New(cfg Config) (*Server, error) {
 		quit:     make(chan struct{}),
 		visits:   make(map[names.Name]*visit),
 		waiters:  make(map[names.Name]chan *agent.Agent),
+		held:     make(map[names.Name]*agent.Agent),
+		parked:   make(map[names.Name]*parcel),
 		statuses: make(map[names.Name]domain.Status),
 		ledger:   make(map[names.Name]uint64),
+	}
+	// Resolve the dispatch retry policy: transfer-aware classification
+	// unless the config overrides it, and a hook that counts every
+	// backoff fired for Stats.
+	s.retry = cfg.Retry
+	if s.retry.Classify == nil {
+		s.retry.Classify = transientTransferErr
+	}
+	userHook := s.retry.OnRetry
+	s.retry.OnRetry = func(attempt int, err error, d time.Duration) {
+		s.stats.retries.Add(1)
+		if userHook != nil {
+			userHook(attempt, err, d)
+		}
 	}
 	s.endpoint = &transfer.Endpoint{
 		Identity:         cfg.Identity,
 		Verifier:         cfg.Verifier,
 		HandshakeTimeout: 5 * time.Second,
+		TransferTimeout:  s.retry.PerAttempt, // 0 -> no overall deadline
+	}
+	if s.endpoint.TransferTimeout == 0 {
+		s.endpoint.TransferTimeout = retry.DefaultPerAttempt
 	}
 	return s, nil
+}
+
+// transientTransferErr is the default dispatch error classifier: a
+// receiver that rejected the agent, failed authentication, a name with
+// no binding, or an explicitly permanent error will not improve with
+// retrying; anything else (refused dial, reset, timeout, partition) is
+// assumed transient.
+func transientTransferErr(err error) bool {
+	switch {
+	case err == nil:
+		return false
+	case retry.IsPermanent(err),
+		errors.Is(err, transfer.ErrRejected),
+		errors.Is(err, transfer.ErrAuth),
+		errors.Is(err, names.ErrNotBound):
+		return false
+	}
+	return true
 }
 
 // Name returns the server's global name.
@@ -183,7 +238,8 @@ func (s *Server) SecurityManager() *sandbox.Manager { return s.secmgr }
 // Policy exposes the policy engine.
 func (s *Server) Policy() *policy.Engine { return s.cfg.Policy }
 
-// Start binds the listener and begins accepting agent transfers.
+// Start binds the listener and begins accepting agent transfers, and
+// starts the dead-letter redelivery loop.
 func (s *Server) Start() error {
 	if s.cfg.Listen == nil {
 		return errors.New("server: config needs Listen")
@@ -192,7 +248,9 @@ func (s *Server) Start() error {
 	if err != nil {
 		return err
 	}
+	s.mu.Lock()
 	s.listener = l
+	s.mu.Unlock()
 	if err := s.cfg.NameService.Bind(s.Name(), names.Location{
 		Address: s.cfg.Address, ServerName: s.Name(),
 	}); err != nil {
@@ -200,32 +258,89 @@ func (s *Server) Start() error {
 		return err
 	}
 	s.wg.Add(1)
-	go s.acceptLoop()
+	go s.acceptLoop(l)
+	every := s.cfg.RedeliverEvery
+	if every <= 0 {
+		every = DefaultRedeliverEvery
+	}
+	s.wg.Add(1)
+	go s.redeliverLoop(every)
 	return nil
 }
 
 // Stop shuts the server down and waits for hosted agents to finish
-// their current activity.
+// their current activity. Agents still parked in the dead-letter store
+// remain queryable via ParkedAgents (they are not lost, just stranded
+// until the operator restarts or drains the server).
 func (s *Server) Stop() {
 	s.quitOnce.Do(func() { close(s.quit) })
-	if s.listener != nil {
-		_ = s.listener.Close()
+	s.mu.Lock()
+	l := s.listener
+	s.listener = nil
+	s.mu.Unlock()
+	if l != nil {
+		_ = l.Close()
 	}
 	s.cfg.NameService.Unbind(s.Name())
 	s.wg.Wait()
 }
 
-func (s *Server) acceptLoop() {
+// Crash simulates a machine failure for fault-injection tests: the
+// listener drops, so new transfers are refused, but — unlike Stop —
+// the name-service binding stays (a crashed machine does not
+// deregister itself) and nothing else is torn down. Restart brings
+// the server back at the same address; senders are expected to ride
+// out the gap with retries and dead-letter redelivery.
+func (s *Server) Crash() {
+	s.mu.Lock()
+	l := s.listener
+	s.listener = nil
+	s.mu.Unlock()
+	if l != nil {
+		_ = l.Close()
+	}
+}
+
+// Restart re-binds the listener after a Crash. A no-op if the server
+// is already accepting.
+func (s *Server) Restart() error {
+	s.mu.Lock()
+	if s.listener != nil {
+		s.mu.Unlock()
+		return nil
+	}
+	s.mu.Unlock()
+	l, err := s.cfg.Listen(s.cfg.Address)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.listener = l
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.acceptLoop(l)
+	return nil
+}
+
+// acceptLoop serves one listener incarnation; Crash/Restart cycle the
+// loop with the listener they close and rebind.
+func (s *Server) acceptLoop(l net.Listener) {
 	defer s.wg.Done()
 	for {
-		conn, err := s.listener.Accept()
+		conn, err := l.Accept()
 		if err != nil {
 			select {
 			case <-s.quit:
 				return
 			default:
-				continue
 			}
+			s.mu.Lock()
+			alive := s.listener == l
+			s.mu.Unlock()
+			if !alive {
+				return // crashed or stopped; Restart spawns a new loop
+			}
+			continue
 		}
 		s.wg.Add(1)
 		go func() {
@@ -294,10 +409,19 @@ func (s *Server) LaunchLocal(a *agent.Agent) error {
 
 // Await registers interest in an agent's homecoming. The returned
 // channel receives the agent when it completes its itinerary and is
-// delivered at this server (its home site).
+// delivered at this server (its home site). An agent that already came
+// home before anyone awaited it is handed over immediately from the
+// held map — homecomings are never dropped for want of a waiter.
 func (s *Server) Await(agentName names.Name) <-chan *agent.Agent {
 	ch := make(chan *agent.Agent, 1)
 	s.mu.Lock()
+	if a, ok := s.held[agentName]; ok {
+		delete(s.held, agentName)
+		s.mu.Unlock()
+		ch <- a
+		s.stats.delivered.Add(1)
+		return ch
+	}
 	s.waiters[agentName] = ch
 	s.mu.Unlock()
 	return ch
@@ -368,6 +492,7 @@ func (s *Server) Describe() string {
 	hosted := len(s.visits)
 	s.mu.Unlock()
 	allows, denies := s.secmgr.Stats()
+	st := s.Stats()
 	return fmt.Sprintf(
 		"agent server %s @ %s\n"+
 			"  agent environment: go, get_resource, invoke, register_resource, make_mailbox, send/recv, report, log\n"+
@@ -375,9 +500,12 @@ func (s *Server) Describe() string {
 			"  domain database:   %d live domains (%d hosted agents)\n"+
 			"  security manager:  %d allowed / %d denied operations\n"+
 			"  agent transfer:    authenticated+encrypted (ed25519 / X25519 / AES-GCM)\n"+
+			"  fault tolerance:   %d dispatches, %d retries, %d parked (%d now), %d redelivered\n"+
 			"  trusted modules:   %v\n",
 		s.Name(), s.cfg.Address, s.reg.Len(), s.db.Count(), hosted,
-		allows, denies, s.cfg.Trusted.Names())
+		allows, denies,
+		st.Dispatches, st.Retries, st.Parked, st.ParkedNow, st.Redelivered,
+		s.cfg.Trusted.Names())
 }
 
 // host runs one agent visit end to end: domain creation, namespace
@@ -542,17 +670,30 @@ func (s *Server) host(a *agent.Agent) {
 	s.deliver(a)
 }
 
-// failHome marks the agent failed and sends it home so the owner sees
-// the log.
+// failHome abandons the agent's remaining itinerary and sends it home
+// so the owner sees the log. Any pending go() entry is cleared: a
+// failed (possibly parked-then-redelivered) agent must never resume a
+// stale entry function on arrival.
 func (s *Server) failHome(a *agent.Agent) {
-	a.Itinerary.Next = len(a.Itinerary.Stops) // abandon remaining stops
+	a.PendingEntry = ""
+	a.Itinerary.Abandon()
+	// The tombstone left by the visit said "departed"; the departure
+	// failed, so correct it (without masking killed/failed records).
+	s.mu.Lock()
+	if st, ok := s.statuses[a.Name]; !ok || st == domain.StatusDeparted {
+		s.statuses[a.Name] = domain.StatusFailed
+	}
+	s.mu.Unlock()
 	s.deliver(a)
 }
 
 // dispatchStop sends the agent to the first reachable alternative of a
-// stop.
+// stop. Each alternative gets the full transient-retry treatment
+// before the next one is tried (the paper's "try the next one"
+// pattern, §4); only when every alternative is exhausted does the
+// agent fail home, with a log entry naming each attempt.
 func (s *Server) dispatchStop(a *agent.Agent, stop agent.Stop) {
-	var lastErr error
+	var attempts []string
 	for _, srv := range stop.Servers {
 		if srv == s.Name() {
 			// The next stop is this server — rare but legal; re-host.
@@ -563,13 +704,14 @@ func (s *Server) dispatchStop(a *agent.Agent, stop agent.Stop) {
 			}()
 			return
 		}
-		if err := s.sendTo(a, srv); err != nil {
-			lastErr = err
-			continue
+		err := s.sendTo(a, srv)
+		if err == nil {
+			return
 		}
-		return
+		attempts = append(attempts, fmt.Sprintf("%s: %v", srv, err))
 	}
-	a.Log = append(a.Log, fmt.Sprintf("%s: all alternatives unreachable: %v", s.Name(), lastErr))
+	s.stats.dispatchFailures.Add(1)
+	a.Logf("%s: all alternatives unreachable: %s", s.Name(), strings.Join(attempts, "; "))
 	s.failHome(a)
 }
 
@@ -585,30 +727,39 @@ func (s *Server) dispatchTo(a *agent.Agent, dest names.Name, entry string) {
 		return
 	}
 	if err := s.sendTo(a, dest); err != nil {
-		a.Log = append(a.Log, fmt.Sprintf("%s: go %s: %v", s.Name(), dest, err))
-		a.PendingEntry = ""
-		s.failHome(a)
+		a.Logf("%s: go %s: %v", s.Name(), dest, err)
+		s.stats.dispatchFailures.Add(1)
+		s.failHome(a) // clears PendingEntry
 	}
 }
 
 // sendTo transfers the agent to a named server via the transfer
-// protocol. Dispatch is a server-domain privilege.
+// protocol, retrying transient failures under the server's policy.
+// Dispatch is a server-domain privilege.
 func (s *Server) sendTo(a *agent.Agent, dest names.Name) error {
 	if err := s.secmgr.Check(domain.ServerID, sandbox.OpAgentDispatch,
 		sandbox.Target{Name: dest.String()}); err != nil {
-		return err
+		return retry.Permanent(err)
 	}
+	// Narrowing delegation happens once per send, not once per
+	// attempt: each Delegate call appends a signed link.
 	if !s.cfg.DispatchRestriction.IsEmpty() {
 		narrowed := a.Credentials.EffectiveRights().Restrict(s.cfg.DispatchRestriction)
 		if err := a.Credentials.Delegate(s.cfg.Identity, narrowed, time.Time{}); err != nil {
-			return fmt.Errorf("server: dispatch delegation: %w", err)
+			return retry.Permanent(fmt.Errorf("server: dispatch delegation: %w", err))
 		}
 	}
 	loc, err := s.cfg.NameService.Lookup(dest)
 	if err != nil {
-		return err
+		return err // ErrNotBound classifies as permanent
 	}
-	return s.sendToAddr(a, loc.Address)
+	_, err = s.retry.DoWithCancel(s.quit, func() error {
+		return s.sendToAddr(a, loc.Address)
+	})
+	if err == nil {
+		s.stats.dispatches.Add(1)
+	}
+	return err
 }
 
 func (s *Server) sendToAddr(a *agent.Agent, addr string) error {
@@ -626,22 +777,40 @@ func (s *Server) sendToAddr(a *agent.Agent, addr string) error {
 }
 
 // deliver completes an agent's journey: hand it to a local waiter, or
-// send it to its home site.
+// send it to its home site. A homecoming that fails even after retries
+// parks the agent in the dead-letter store for periodic redelivery —
+// a completed agent is never dropped because its home was unreachable.
 func (s *Server) deliver(a *agent.Agent) {
 	if a.Credentials.HomeSite != "" && a.Credentials.HomeSite != s.cfg.Address {
-		if err := s.sendToAddr(a, a.Credentials.HomeSite); err != nil {
-			a.Log = append(a.Log, fmt.Sprintf("%s: homecoming failed: %v", s.Name(), err))
+		home := a.Credentials.HomeSite
+		_, err := s.retry.DoWithCancel(s.quit, func() error {
+			return s.sendToAddr(a, home)
+		})
+		if err != nil {
+			a.Logf("%s: homecoming failed: %v (parked for redelivery)", s.Name(), err)
+			s.park(a, home)
+			return
 		}
+		s.stats.dispatches.Add(1)
 		return
 	}
+	s.deliverLocal(a)
+}
+
+// deliverLocal hands a homecoming agent to its waiter, or holds it for
+// a future Await call.
+func (s *Server) deliverLocal(a *agent.Agent) {
 	s.mu.Lock()
 	ch, ok := s.waiters[a.Name]
 	if ok {
 		delete(s.waiters, a.Name)
+	} else {
+		s.held[a.Name] = a
 	}
 	s.mu.Unlock()
 	if ok {
 		ch <- a
+		s.stats.delivered.Add(1)
 	}
 }
 

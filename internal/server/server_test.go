@@ -17,6 +17,7 @@ import (
 	"repro/internal/names"
 	"repro/internal/netsim"
 	"repro/internal/policy"
+	"repro/internal/retry"
 	"repro/internal/vm"
 )
 
@@ -51,9 +52,34 @@ func (f *fixture) config(t *testing.T, short, addr string) Config {
 		Address:     addr,
 		NameService: names.NewService(),
 		Policy:      policy.NewEngine(),
-		Dial:        f.nw.Dial,
+		Dial:        func(a string) (net.Conn, error) { return f.nw.DialFrom(addr, a) },
 		Listen:      func(a string) (net.Listener, error) { return f.nw.Listen(a) },
 	}
+}
+
+// fastRetry keeps failure-path tests quick: two attempts, millisecond
+// backoff, no jitter.
+func fastRetry() retry.Policy {
+	return retry.Policy{MaxAttempts: 2, BaseDelay: time.Millisecond,
+		MaxDelay: 5 * time.Millisecond, Jitter: -1}
+}
+
+// startServer builds and starts a server sharing the fixture network
+// and the given name service (so multi-server tests can dispatch).
+func (f *fixture) startServer(t *testing.T, short, addr string, ns *names.Service) *Server {
+	t.Helper()
+	cfg := f.config(t, short, addr)
+	cfg.NameService = ns
+	cfg.Retry = fastRetry()
+	cfg.RedeliverEvery = 20 * time.Millisecond
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	return s
 }
 
 func (f *fixture) agent(t *testing.T, name, src string, it agent.Itinerary, home string) *agent.Agent {
@@ -409,6 +435,257 @@ func TestArrivalsCounter(t *testing.T) {
 	}
 	if got := s.Arrivals(); got != 3 {
 		t.Fatalf("arrivals = %d", got)
+	}
+}
+
+// --- fault-tolerance regression tests ---------------------------------
+
+// A homecoming that arrives before anyone calls Await must be held, not
+// dropped (the original deliver() lost such agents on the floor).
+func TestHomecomingHeldWithoutWaiter(t *testing.T) {
+	f := newFixture(t)
+	cfg := f.config(t, "s1", "s1:7000")
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Stop()
+	a := f.agent(t, "early", "module m\nfunc main() { report(42) }",
+		agent.Sequence("main", s.Name()), cfg.Address)
+	// Launch WITHOUT a prior Await: the agent completes and comes home
+	// with nobody listening.
+	if err := s.LaunchLocal(a); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Stats().HeldNow == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("homecoming never held")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// A late Await still receives the agent.
+	select {
+	case back := <-s.Await(a.Name):
+		if len(back.Results) != 1 || !back.Results[0].Equal(vm.I(42)) {
+			t.Fatalf("results = %v", back.Results)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("late Await did not receive the held agent")
+	}
+	if s.Stats().HeldNow != 0 {
+		t.Fatal("held map not drained")
+	}
+}
+
+// A failed homecoming transfer must park the agent in the dead-letter
+// store and redeliver it when the home site comes back — not lose it.
+func TestHomecomingFailureParksAndRedelivers(t *testing.T) {
+	f := newFixture(t)
+	ns := names.NewService()
+	home := f.startServer(t, "home", "home:7000", ns)
+	defer home.Stop()
+	remote := f.startServer(t, "remote", "remote:7000", ns)
+	defer remote.Stop()
+
+	home.Crash() // home is down when the agent finishes
+
+	a := f.agent(t, "parked", "module m\nfunc main() { report(9) }",
+		agent.Sequence("main", remote.Name()), "home:7000")
+	if err := remote.LaunchLocal(a); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for remote.Stats().ParkedNow == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("agent never parked; stats=%+v", remote.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got := remote.ParkedAgents(); len(got) != 1 || got[0] != a.Name {
+		t.Fatalf("ParkedAgents = %v", got)
+	}
+
+	ch := home.Await(a.Name)
+	if err := home.Restart(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case back := <-ch:
+		if len(back.Results) != 1 || !back.Results[0].Equal(vm.I(9)) {
+			t.Fatalf("results = %v", back.Results)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("parked agent never redelivered after restart")
+	}
+	// The redeliver loop records the success after the receiver has
+	// already handed the agent to the waiter, so poll briefly.
+	deadline = time.Now().Add(5 * time.Second)
+	for {
+		st := remote.Stats()
+		if st.Redelivered == 1 && st.ParkedNow == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("stats after redelivery: %+v", st)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// A transient single dial failure must not fail the agent home: the
+// retry policy absorbs it and the dispatch succeeds.
+func TestTransientDialFailureRetrySucceeds(t *testing.T) {
+	f := newFixture(t)
+	ns := names.NewService()
+	s1 := f.startServer(t, "s1", "s1:7000", ns)
+	defer s1.Stop()
+	s2 := f.startServer(t, "s2", "s2:7000", ns)
+	defer s2.Stop()
+
+	f.nw.DropNextDials("s1:7000", "s2:7000", 1)
+
+	it := agent.Itinerary{Stops: []agent.Stop{
+		{Servers: []names.Name{s1.Name()}, Entry: "main"},
+		{Servers: []names.Name{s2.Name()}, Entry: "main"},
+	}}
+	a := f.agent(t, "bouncy", "module m\nfunc main() { report(1) }", it, "s1:7000")
+	ch := s1.Await(a.Name)
+	if err := s1.LaunchLocal(a); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case back := <-ch:
+		if len(back.Results) != 2 {
+			t.Fatalf("agent did not run both stops: %v (log %v)", back.Results, back.Log)
+		}
+		if strings.Contains(strings.Join(back.Log, "\n"), "unreachable") {
+			t.Fatalf("transient failure failed the agent home: %v", back.Log)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("agent never came home")
+	}
+	if s1.Stats().Retries == 0 {
+		t.Fatal("retry counter not incremented")
+	}
+}
+
+// First alternative crashed (still bound in the name service, dial
+// refused) => retries exhaust, second alternative succeeds.
+func TestAlternativeSucceedsAfterCrash(t *testing.T) {
+	f := newFixture(t)
+	ns := names.NewService()
+	s1 := f.startServer(t, "s1", "s1:7000", ns)
+	defer s1.Stop()
+	s2 := f.startServer(t, "s2", "s2:7000", ns)
+	defer s2.Stop()
+	s3 := f.startServer(t, "s3", "s3:7000", ns)
+	defer s3.Stop()
+
+	s2.Crash() // name binding persists; dials are refused
+
+	it := agent.Itinerary{Stops: []agent.Stop{
+		{Servers: []names.Name{s1.Name()}, Entry: "main"},
+		{Servers: []names.Name{s2.Name(), s3.Name()}, Entry: "main"},
+	}}
+	a := f.agent(t, "alt", "module m\nfunc main() { report(1) }", it, "s1:7000")
+	ch := s1.Await(a.Name)
+	if err := s1.LaunchLocal(a); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case back := <-ch:
+		if len(back.Results) != 2 {
+			t.Fatalf("second alternative not reached: %v (log %v)", back.Results, back.Log)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("agent never came home")
+	}
+	if s3.Arrivals() == 0 {
+		t.Fatal("s3 never hosted the agent")
+	}
+}
+
+// Every alternative down => the agent fails home and its log names each
+// attempted server.
+func TestAllAlternativesDownLogsEachAttempt(t *testing.T) {
+	f := newFixture(t)
+	ns := names.NewService()
+	s1 := f.startServer(t, "s1", "s1:7000", ns)
+	defer s1.Stop()
+	s2 := f.startServer(t, "s2", "s2:7000", ns)
+	defer s2.Stop()
+	s3 := f.startServer(t, "s3", "s3:7000", ns)
+	defer s3.Stop()
+	s2.Crash()
+	s3.Crash()
+
+	it := agent.Itinerary{Stops: []agent.Stop{
+		{Servers: []names.Name{s1.Name()}, Entry: "main"},
+		{Servers: []names.Name{s2.Name(), s3.Name()}, Entry: "main"},
+	}}
+	a := f.agent(t, "doomed", "module m\nfunc main() { report(1) }", it, "s1:7000")
+	ch := s1.Await(a.Name)
+	if err := s1.LaunchLocal(a); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case back := <-ch:
+		logs := strings.Join(back.Log, "\n")
+		if !strings.Contains(logs, "unreachable") {
+			t.Fatalf("log = %v", back.Log)
+		}
+		for _, srv := range []*Server{s2, s3} {
+			if !strings.Contains(logs, srv.Name().String()) {
+				t.Fatalf("log does not name attempt on %s: %v", srv.Name(), back.Log)
+			}
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("agent never failed home")
+	}
+	if s1.Stats().DispatchFailures == 0 {
+		t.Fatal("dispatch failure not counted")
+	}
+}
+
+// A failed go() detour must clear PendingEntry before the agent heads
+// home, so a parked-then-redelivered agent never resumes a stale entry.
+func TestPendingEntryClearedOnFailedDetour(t *testing.T) {
+	f := newFixture(t)
+	cfg := f.config(t, "s1", "s1:7000")
+	cfg.Retry = fastRetry()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Stop()
+	src := `module m
+func main() { go("ajanta:server:umn.edu/ghost", "resume") }
+func resume() { report("must never run") }`
+	a := f.agent(t, "detour", src, agent.Sequence("main", s.Name()), cfg.Address)
+	ch := s.Await(a.Name)
+	if err := s.LaunchLocal(a); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case back := <-ch:
+		if back.PendingEntry != "" {
+			t.Fatalf("stale PendingEntry %q survived the failure", back.PendingEntry)
+		}
+		if len(back.Results) != 0 {
+			t.Fatalf("stale entry ran: %v", back.Results)
+		}
+		if !strings.Contains(strings.Join(back.Log, "\n"), "go ") {
+			t.Fatalf("log = %v", back.Log)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("agent never came home")
 	}
 }
 

@@ -103,7 +103,7 @@ func TestHandshakeTimeout(t *testing.T) {
 	}
 	defer conn.Close()
 	start := time.Now()
-	if _, err := ep.handshake(conn, true); err == nil {
+	if _, err := ep.handshake(conn, true, time.Time{}); err == nil {
 		t.Fatal("handshake with mute peer succeeded")
 	}
 	if time.Since(start) > 5*time.Second {

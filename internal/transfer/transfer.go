@@ -59,6 +59,12 @@ type Endpoint struct {
 	Plaintext bool
 	// HandshakeTimeout bounds the handshake; zero means no deadline.
 	HandshakeTimeout time.Duration
+	// TransferTimeout bounds one whole SendAgent / ReceiveAgent
+	// exchange (handshake, agent payload, ack); zero means no overall
+	// deadline. A stalled peer or a connection that silently stops
+	// draining then fails with a timeout instead of wedging the
+	// dispatching goroutine forever.
+	TransferTimeout time.Duration
 }
 
 // --- wire messages -----------------------------------------------------
@@ -143,11 +149,17 @@ func transcriptHash(a, b helloMsg) []byte {
 }
 
 // handshake runs the mutual-auth key agreement. initiator controls the
-// message order; both sides end with the same session key.
-func (e *Endpoint) handshake(conn net.Conn, initiator bool) (*session, error) {
+// message order; both sides end with the same session key. A non-zero
+// outer deadline (the transfer-wide one) is restored on exit so the
+// handshake's own tighter deadline does not cancel it.
+func (e *Endpoint) handshake(conn net.Conn, initiator bool, outer time.Time) (*session, error) {
 	if e.HandshakeTimeout > 0 {
-		_ = conn.SetDeadline(time.Now().Add(e.HandshakeTimeout))
-		defer conn.SetDeadline(time.Time{})
+		d := time.Now().Add(e.HandshakeTimeout)
+		if !outer.IsZero() && outer.Before(d) {
+			d = outer
+		}
+		_ = conn.SetDeadline(d)
+		defer conn.SetDeadline(outer)
 	}
 	var ephKey *ecdh.PrivateKey
 	mine := helloMsg{ServerName: e.Identity.Name, Cert: e.Identity.Cert}
@@ -256,6 +268,17 @@ func (e *Endpoint) handshake(conn net.Conn, initiator bool) (*session, error) {
 	return s, nil
 }
 
+// transferDeadline applies TransferTimeout to conn and returns the
+// resulting absolute deadline (zero when the timeout is unset).
+func (e *Endpoint) transferDeadline(conn net.Conn) time.Time {
+	if e.TransferTimeout <= 0 {
+		return time.Time{}
+	}
+	d := time.Now().Add(e.TransferTimeout)
+	_ = conn.SetDeadline(d)
+	return d
+}
+
 // nonce builds the 12-byte GCM nonce for direction dir and counter ctr.
 func nonce(dir byte, ctr uint64) []byte {
 	n := make([]byte, 12)
@@ -316,7 +339,7 @@ func (s *session) recv() ([]byte, error) {
 // accept/reject decision. The agent's state is sanitized (host handles
 // stripped) before serialization.
 func (e *Endpoint) SendAgent(conn net.Conn, a *agent.Agent) error {
-	s, err := e.handshake(conn, true)
+	s, err := e.handshake(conn, true, e.transferDeadline(conn))
 	if err != nil {
 		return err
 	}
@@ -351,7 +374,7 @@ func (e *Endpoint) SendAgent(conn net.Conn, a *agent.Agent) error {
 // verification, admission control) and returns an error to reject it;
 // the rejection reason travels back to the sender.
 func (e *Endpoint) ReceiveAgent(conn net.Conn, accept func(*agent.Agent, names.Name) error) (*agent.Agent, error) {
-	s, err := e.handshake(conn, false)
+	s, err := e.handshake(conn, false, e.transferDeadline(conn))
 	if err != nil {
 		return nil, err
 	}

@@ -281,7 +281,7 @@ func TestC7_ReplayRejected(t *testing.T) {
 		defer conn.Close()
 		// Receive the real agent, then try to read ANOTHER message
 		// from the same session (the replayed frame).
-		s, err := w.b.handshake(conn, false)
+		s, err := w.b.handshake(conn, false, time.Time{})
 		if err != nil {
 			recvDone <- err
 			return
@@ -299,7 +299,7 @@ func TestC7_ReplayRejected(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s, err := w.a.handshake(conn, true)
+	s, err := w.a.handshake(conn, true, time.Time{})
 	if err != nil {
 		t.Fatal(err)
 	}
