@@ -60,6 +60,7 @@ import (
 	"repro/internal/retry"
 	"repro/internal/server"
 	"repro/internal/vm"
+	"repro/internal/vm/analysis"
 )
 
 // Core platform types.
@@ -113,6 +114,23 @@ type (
 	RetryPolicy = retry.Policy
 	// ServerStats is a snapshot of a server's fault-tolerance counters.
 	ServerStats = server.Stats
+	// AdmissionMode selects whether arriving agents' access manifests
+	// are enforced at admission (ServerConfig.Admission).
+	AdmissionMode = server.AdmissionMode
+	// AccessManifest is an agent bundle's statically computed
+	// capability surface (see docs/PROTOCOLS.md §3.1).
+	AccessManifest = analysis.Manifest
+)
+
+// Admission modes (ServerConfig.Admission).
+const (
+	// AdmissionOff hosts any agent whose credentials and code verify;
+	// access control happens only at resource binding time.
+	AdmissionOff = server.AdmissionOff
+	// AdmissionEnforce additionally requires, before any VM starts,
+	// that the agent's access manifest is analyzable, covered by its
+	// declaration, and admissible under this server's policy.
+	AdmissionEnforce = server.AdmissionEnforce
 )
 
 // ServerDomain is the server's own protection domain ID.

@@ -27,6 +27,7 @@ import (
 	"repro/internal/registry"
 	"repro/internal/resource"
 	"repro/internal/rpcbase"
+	"repro/internal/server"
 	"repro/internal/transfer"
 	"repro/internal/vm"
 )
@@ -59,10 +60,8 @@ func benchCounterDef() *resource.Def {
 		val int64
 	)
 	return &resource.Def{
-		ResourceImpl: resource.ResourceImpl{
-			Name:  names.Resource("umn.edu", "counter"),
-			Owner: names.Principal("umn.edu", "admin"),
-		},
+		ResourceImpl: resource.NewImpl(names.Resource("umn.edu", "counter"),
+			names.Principal("umn.edu", "admin"), ""),
 		Path: "counter",
 		Methods: map[string]resource.Method{
 			"get": func([]vm.Value) (vm.Value, error) {
@@ -665,6 +664,101 @@ func BenchmarkAblation_Encoding(b *testing.B) {
 				b.Fatal(err)
 			}
 			b.SetBytes(int64(len(data)))
+		}
+	})
+}
+
+// --- admission control: reject at the gate vs. run-then-deny -----------------
+
+// BenchmarkAdmission compares the two places an over-privileged agent
+// can be stopped. "reject-at-admission" statically analyzes the bundle
+// at arrival and turns the agent away before any VM starts; the cost is
+// one verification + analysis pass. "run-then-deny" (admission off, the
+// pre-manifest behaviour) hosts the agent, spins up its namespace,
+// domain and VM, executes it until get_resource hits the policy denial,
+// and ships the failed agent home — the expensive failure the manifest
+// check replaces.
+func BenchmarkAdmission(b *testing.B) {
+	const src = `module greedy
+func main() {
+  var c = get_resource("ajanta:resource:bench.org/vault")
+  report(invoke(c, "get", 0))
+}`
+	setup := func(b *testing.B, mode server.AdmissionMode) (*core.Platform, *server.Server, *server.Server, keys.Identity) {
+		b.Helper()
+		p, err := core.NewPlatform("bench.org")
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Default-deny policy: the vault is registered, nobody may
+		// touch it.
+		site, err := p.StartServer("site", "site:7000", core.ServerConfig{Admission: mode})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := core.InstallResource(site, core.CounterResource(
+			names.Resource("bench.org", "vault"), "vault")); err != nil {
+			b.Fatal(err)
+		}
+		home, err := p.StartServer("home", "home:7000", core.ServerConfig{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		owner, err := p.NewOwner("bench")
+		if err != nil {
+			b.Fatal(err)
+		}
+		return p, site, home, owner
+	}
+	build := func(b *testing.B, p *core.Platform, owner keys.Identity, home *server.Server, site *server.Server, i int) *agent.Agent {
+		b.Helper()
+		a, err := p.BuildAgent(core.AgentSpec{
+			Owner:     owner,
+			Name:      fmt.Sprintf("greedy-%d", i),
+			Source:    src,
+			Itinerary: agentTour("main", []names.Name{site.Name()}),
+			Home:      home,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return a
+	}
+
+	b.Run("reject-at-admission", func(b *testing.B) {
+		p, site, home, owner := setup(b, server.AdmissionEnforce)
+		defer p.StopAll()
+		agents := make([]*agent.Agent, b.N)
+		for i := range agents {
+			agents[i] = build(b, p, owner, home, site, i)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := site.LaunchLocal(agents[i]); err == nil {
+				b.Fatal("over-privileged agent admitted")
+			}
+		}
+		b.StopTimer()
+		if got := site.Stats().AdmissionRejects; got != uint64(b.N) {
+			b.Fatalf("admission rejects = %d, want %d", got, b.N)
+		}
+	})
+	b.Run("run-then-deny", func(b *testing.B) {
+		p, site, home, owner := setup(b, server.AdmissionOff)
+		defer p.StopAll()
+		agents := make([]*agent.Agent, b.N)
+		for i := range agents {
+			agents[i] = build(b, p, owner, home, site, i)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			back, err := p.LaunchAndWait(home, agents[i], 30*time.Second)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(back.Results) != 0 {
+				b.Fatal("denied agent reported results")
+			}
 		}
 	})
 }

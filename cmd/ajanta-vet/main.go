@@ -1,0 +1,74 @@
+// Command ajanta-vet runs the ASL static-analysis lint suite over any
+// number of agent sources — the batch front end to the same driver
+// `aslc -vet` uses for a single file.
+//
+// Usage:
+//
+//	ajanta-vet [-json] [-manifest] file.asl [file.asl ...]
+//	ajanta-vet -codes
+//
+// Every diagnostic of every file is reported as
+// file:line:col: CODE: message (or one JSON array with -json).
+// Exit status: 0 = clean, 1 = findings, 2 = usage or unreadable input.
+//
+// Codes: ASL000 compile error, ANA000 unanalyzable module, and the lint
+// findings ANA001 (unreachable code), ANA002 (dead store), ANA003
+// (get_resource result ignored), ANA004 (code after go()/colocate()).
+// Run with -codes for the authoritative list.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/vet"
+	"repro/internal/vm/analysis"
+)
+
+func main() {
+	asJSON := flag.Bool("json", false, "print diagnostics as JSON")
+	showManifest := flag.Bool("manifest", false, "print each clean module's access manifest")
+	listCodes := flag.Bool("codes", false, "list diagnostic codes and exit")
+	flag.Parse()
+
+	if *listCodes {
+		fmt.Printf("%s: %s\n", vet.CodeCompile, "compile error (lex/parse/semantic)")
+		fmt.Printf("%s: %s\n", vet.CodeAnalysis, "module failed bytecode verification or analysis")
+		codes := make([]string, 0, len(analysis.Codes))
+		for c := range analysis.Codes {
+			codes = append(codes, c)
+		}
+		sort.Strings(codes)
+		for _, c := range codes {
+			fmt.Printf("%s: %s\n", c, analysis.Codes[c])
+		}
+		return
+	}
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: ajanta-vet [-json] [-manifest] <file.asl> ...")
+		os.Exit(2)
+	}
+
+	var results []vet.Result
+	for _, file := range flag.Args() {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ajanta-vet:", err)
+			os.Exit(2)
+		}
+		results = append(results, vet.Source(file, string(src)))
+	}
+	n := vet.Print(os.Stdout, results, *asJSON)
+	if *showManifest && !*asJSON {
+		for _, r := range results {
+			if r.Manifest != nil {
+				fmt.Printf("%s: %s\n", r.File, r.Manifest)
+			}
+		}
+	}
+	if n > 0 {
+		os.Exit(1)
+	}
+}

@@ -5,7 +5,14 @@
 //
 //	aslc file.asl            # compile, verify, report
 //	aslc -d file.asl         # compile and print the disassembly
+//	aslc -vet file.asl       # compile + static analysis + lint suite
+//	aslc -json file.asl      # diagnostics as a JSON array
 //	aslc -run main file.asl  # compile and execute a function locally
+//
+// All diagnostics are reported, not just the first: compilation
+// recovers from errors and keeps going, and every finding is printed as
+// file:line:col: CODE: message. The exit status is 1 when any
+// diagnostic was produced (with -vet, lint findings count too).
 //
 // Local execution installs only the pure builtins (len/append/str/...)
 // plus a log host call that prints to stdout; server primitives such as
@@ -18,35 +25,55 @@ import (
 	"os"
 
 	"repro/internal/asl"
+	"repro/internal/vet"
 	"repro/internal/vm"
 )
 
 func main() {
 	dis := flag.Bool("d", false, "print disassembly")
+	doVet := flag.Bool("vet", false, "run the static-analysis lint suite (ANA001..ANA004)")
+	asJSON := flag.Bool("json", false, "print diagnostics as JSON")
 	run := flag.String("run", "", "execute the named function after compiling")
 	fuel := flag.Uint64("fuel", vm.DefaultFuel, "instruction budget for -run")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: aslc [-d] [-run func] <file.asl>")
+		fmt.Fprintln(os.Stderr, "usage: aslc [-d] [-vet] [-json] [-run func] <file.asl>")
 		os.Exit(2)
 	}
-	src, err := os.ReadFile(flag.Arg(0))
+	file := flag.Arg(0)
+	src, err := os.ReadFile(file)
 	if err != nil {
 		fatal(err)
 	}
+
+	res := vet.Source(file, string(src))
+	// Without -vet only the compile/analysis gate matters; lint
+	// findings are advisory and suppressed.
+	if !*doVet {
+		kept := res.Diagnostics[:0]
+		for _, d := range res.Diagnostics {
+			if d.Code == vet.CodeCompile || d.Code == vet.CodeAnalysis {
+				kept = append(kept, d)
+			}
+		}
+		res.Diagnostics = kept
+	}
+	if n := vet.Print(os.Stdout, []vet.Result{res}, *asJSON); n > 0 {
+		os.Exit(1)
+	}
+
 	mod, err := asl.Compile(string(src))
 	if err != nil {
-		fatal(err)
+		fatal(err) // unreachable: vet.Source saw the same source compile
 	}
 	if *dis {
 		fmt.Print(mod.Disassemble())
 	}
-	fns := 0
-	for range mod.Fns {
-		fns++
+	fmt.Fprintf(os.Stderr, "aslc: module %q: %d functions, verified OK\n", mod.Name, len(mod.Fns))
+	if res.Manifest != nil && !res.Manifest.Empty() {
+		fmt.Fprintf(os.Stderr, "aslc: %s\n", res.Manifest)
 	}
-	fmt.Fprintf(os.Stderr, "aslc: module %q: %d functions, verified OK\n", mod.Name, fns)
 
 	if *run == "" {
 		return

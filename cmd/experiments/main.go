@@ -71,10 +71,8 @@ func counterDef() *resource.Def {
 		val int64
 	)
 	return &resource.Def{
-		ResourceImpl: resource.ResourceImpl{
-			Name:  names.Resource("umn.edu", "counter"),
-			Owner: names.Principal("umn.edu", "admin"),
-		},
+		ResourceImpl: resource.NewImpl(names.Resource("umn.edu", "counter"),
+			names.Principal("umn.edu", "admin"), ""),
 		Path: "counter",
 		Methods: map[string]resource.Method{
 			"get": func([]vm.Value) (vm.Value, error) {

@@ -1,0 +1,51 @@
+// Command repolint runs this repository's own Go lint rules
+// (internal/lint) over a checkout — the platform-side counterpart of
+// ajanta-vet. CI runs it next to gofmt, go vet and staticcheck.
+//
+// Usage:
+//
+//	repolint [dir]       # default: current directory
+//	repolint -rules      # list active rules
+//
+// Exit status: 0 = clean, 1 = findings, 2 = usage/IO error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	listRules := flag.Bool("rules", false, "list active rules and exit")
+	flag.Parse()
+
+	if *listRules {
+		for _, r := range lint.Rules {
+			fmt.Printf("%s: %s\n", r.Name, r.Doc)
+		}
+		return
+	}
+	root := "."
+	switch flag.NArg() {
+	case 0:
+	case 1:
+		root = flag.Arg(0)
+	default:
+		fmt.Fprintln(os.Stderr, "usage: repolint [-rules] [dir]")
+		os.Exit(2)
+	}
+	findings, err := lint.CheckDir(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "repolint:", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		os.Exit(1)
+	}
+}

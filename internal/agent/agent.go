@@ -17,6 +17,7 @@ import (
 	"repro/internal/cred"
 	"repro/internal/names"
 	"repro/internal/vm"
+	"repro/internal/vm/analysis"
 )
 
 // Status of an agent as seen by its owner.
@@ -116,6 +117,14 @@ type Agent struct {
 	Results []vm.Value
 	// Log accumulates the agent's own log lines for its owner.
 	Log []string
+	// Manifest is the declared access manifest computed from the code
+	// bundle at build time (internal/vm/analysis): everything the code
+	// can possibly ask a host for. Servers running admission control
+	// re-verify it against a fresh analysis of Code — the declaration
+	// must cover the computed needs — and check it against local
+	// policy before any VM starts. Nil on agents built before the
+	// analyzer existed; admission then computes one on the spot.
+	Manifest *analysis.Manifest
 }
 
 // ErrNoCode is returned when constructing an agent without modules.

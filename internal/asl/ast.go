@@ -1,6 +1,21 @@
 package asl
 
-// The AST. Nodes carry the source line for error reporting.
+// The AST. Nodes carry their source position (line and column) for
+// error reporting and for threading positions into compiled bytecode.
+
+// pos is a source position. Embedded in every AST node; satisfies both
+// the stmt and expr position accessors.
+type pos struct {
+	line int
+	col  int
+}
+
+func (p pos) stmtLine() int { return p.line }
+func (p pos) exprLine() int { return p.line }
+func (p pos) at() pos       { return p }
+
+// at builds the position of a token.
+func at(t token) pos { return pos{t.line, t.col} }
 
 type file struct {
 	name    string // module name
@@ -9,13 +24,13 @@ type file struct {
 }
 
 type globalDecl struct {
-	line int
+	pos
 	name string
 	init expr
 }
 
 type funcDecl struct {
-	line   int
+	pos
 	name   string
 	params []string
 	body   []stmt
@@ -23,130 +38,114 @@ type funcDecl struct {
 
 // Statements.
 
-type stmt interface{ stmtLine() int }
+type stmt interface {
+	stmtLine() int
+	at() pos
+}
 
 type varStmt struct {
-	line int
+	pos
 	name string
 	init expr
 }
 
 type assignStmt struct {
-	line int
+	pos
 	name string
 	val  expr
 }
 
 type indexAssignStmt struct {
-	line     int
+	pos
 	agg, idx expr
 	val      expr
 }
 
 type ifStmt struct {
-	line int
+	pos
 	cond expr
 	then []stmt
 	els  []stmt // nil when absent
 }
 
 type whileStmt struct {
-	line int
+	pos
 	cond expr
 	body []stmt
 }
 
 type returnStmt struct {
-	line int
-	val  expr // nil = return nil
+	pos
+	val expr // nil = return nil
 }
 
-type breakStmt struct{ line int }
-type continueStmt struct{ line int }
+type breakStmt struct{ pos }
+type continueStmt struct{ pos }
 
 type exprStmt struct {
-	line int
-	e    expr
+	pos
+	e expr
 }
-
-func (s varStmt) stmtLine() int         { return s.line }
-func (s assignStmt) stmtLine() int      { return s.line }
-func (s indexAssignStmt) stmtLine() int { return s.line }
-func (s ifStmt) stmtLine() int          { return s.line }
-func (s whileStmt) stmtLine() int       { return s.line }
-func (s returnStmt) stmtLine() int      { return s.line }
-func (s breakStmt) stmtLine() int       { return s.line }
-func (s continueStmt) stmtLine() int    { return s.line }
-func (s exprStmt) stmtLine() int        { return s.line }
 
 // Expressions.
 
-type expr interface{ exprLine() int }
+type expr interface {
+	exprLine() int
+	at() pos
+}
 
 type intLit struct {
-	line int
-	val  int64
+	pos
+	val int64
 }
 
 type strLit struct {
-	line int
-	val  string
+	pos
+	val string
 }
 
 type boolLit struct {
-	line int
-	val  bool
+	pos
+	val bool
 }
 
-type nilLit struct{ line int }
+type nilLit struct{ pos }
 
 type nameRef struct {
-	line int
+	pos
 	name string
 }
 
 type listLit struct {
-	line  int
+	pos
 	elems []expr
 }
 
 type mapLit struct {
-	line int
+	pos
 	keys []expr
 	vals []expr
 }
 
 type indexExpr struct {
-	line     int
+	pos
 	agg, idx expr
 }
 
 type callExpr struct {
-	line int
+	pos
 	name string
 	args []expr
 }
 
 type unaryExpr struct {
-	line int
-	op   string // "-" or "!"
-	x    expr
+	pos
+	op string // "-" or "!"
+	x  expr
 }
 
 type binExpr struct {
-	line int
+	pos
 	op   string
 	l, r expr
 }
-
-func (e intLit) exprLine() int    { return e.line }
-func (e strLit) exprLine() int    { return e.line }
-func (e boolLit) exprLine() int   { return e.line }
-func (e nilLit) exprLine() int    { return e.line }
-func (e nameRef) exprLine() int   { return e.line }
-func (e listLit) exprLine() int   { return e.line }
-func (e mapLit) exprLine() int    { return e.line }
-func (e indexExpr) exprLine() int { return e.line }
-func (e callExpr) exprLine() int  { return e.line }
-func (e unaryExpr) exprLine() int { return e.line }
-func (e binExpr) exprLine() int   { return e.line }

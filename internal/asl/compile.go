@@ -12,6 +12,12 @@ import (
 const InitFunc = "__init__"
 
 // Compile compiles ASL source into a verified VM module.
+//
+// Semantic errors do not stop compilation: the compiler records each
+// diagnostic, emits stack-neutral recovery code, and keeps going, so a
+// single run reports every error in the module. One error comes back as
+// a bare *Error; several come back as an ErrorList (which unwraps to
+// the individual *Error values).
 func Compile(src string) (*vm.Module, error) {
 	f, err := parse(src)
 	if err != nil {
@@ -25,17 +31,19 @@ func Compile(src string) (*vm.Module, error) {
 	}
 	for _, g := range f.globals {
 		if c.globals[g.name] {
-			return nil, errf(g.line, "duplicate global %q", g.name)
+			c.errorf(g.pos, "duplicate global %q", g.name)
 		}
 		c.globals[g.name] = true
 	}
 	// Pre-register function indices so forward references compile.
 	for _, fn := range f.funcs {
 		if fn.name == InitFunc {
-			return nil, errf(fn.line, "%s is reserved", InitFunc)
+			c.errorf(fn.pos, "%s is reserved", InitFunc)
+			continue
 		}
 		if _, dup := c.funcIdx[fn.name]; dup {
-			return nil, errf(fn.line, "duplicate function %q", fn.name)
+			c.errorf(fn.pos, "duplicate function %q", fn.name)
+			continue
 		}
 		c.funcIdx[fn.name] = len(c.m.Fns)
 		c.arity[fn.name] = len(fn.params)
@@ -45,19 +53,18 @@ func Compile(src string) (*vm.Module, error) {
 	initIdx := len(c.m.Fns)
 	c.m.Fns = append(c.m.Fns, vm.Func{Name: InitFunc})
 
-	for i, fn := range f.funcs {
-		compiled, err := c.compileFunc(fn)
-		if err != nil {
-			return nil, err
+	for _, fn := range f.funcs {
+		idx, ok := c.funcIdx[fn.name]
+		if !ok || c.m.Fns[idx].Code != nil {
+			continue // duplicate or reserved; already reported
 		}
-		c.m.Fns[i] = compiled
+		c.m.Fns[idx] = c.compileFunc(fn)
 	}
-	initFn, err := c.compileInit(f.globals)
-	if err != nil {
+	c.m.Fns[initIdx] = c.compileInit(f.globals)
+
+	if err := c.err(); err != nil {
 		return nil, err
 	}
-	c.m.Fns[initIdx] = initFn
-
 	if err := vm.Verify(c.m); err != nil {
 		// A verifier rejection of compiler output is a compiler bug;
 		// surface it loudly rather than shipping a broken module.
@@ -71,52 +78,92 @@ type compiler struct {
 	globals map[string]bool
 	funcIdx map[string]int
 	arity   map[string]int
+	errs    ErrorList
+}
+
+// errorf records a diagnostic and lets compilation continue.
+func (c *compiler) errorf(p pos, format string, args ...any) {
+	c.errs = append(c.errs, &Error{Line: p.line, Col: p.col, Msg: fmt.Sprintf(format, args...)})
+}
+
+// err folds the accumulated diagnostics into one error value.
+func (c *compiler) err() error {
+	switch len(c.errs) {
+	case 0:
+		return nil
+	case 1:
+		return c.errs[0]
+	default:
+		return c.errs
+	}
 }
 
 // fnCompiler holds per-function state.
 type fnCompiler struct {
-	c      *compiler
-	code   []vm.Instr
-	locals map[string]int
-	nloc   int
+	c          *compiler
+	code       []vm.Instr
+	pcpos      []vm.Pos // source position per emitted instruction
+	cur        pos      // position of the construct being compiled
+	locals     map[string]int
+	localNames []string // slot-ordered, params first
+	nloc       int
 	// loop patch stacks for break/continue.
 	breaks    [][]int
 	contTargs []int
 }
 
-func (c *compiler) compileFunc(fn funcDecl) (vm.Func, error) {
-	fc := &fnCompiler{c: c, locals: make(map[string]int)}
+func (c *compiler) newFn() *fnCompiler {
+	return &fnCompiler{c: c, locals: make(map[string]int)}
+}
+
+// declLocal assigns the next slot to name, recording it in the
+// slot-ordered name table.
+func (fc *fnCompiler) declLocal(name string) int {
+	slot := fc.nloc
+	fc.nloc++
+	fc.locals[name] = slot
+	fc.localNames = append(fc.localNames, name)
+	return slot
+}
+
+func (c *compiler) compileFunc(fn funcDecl) vm.Func {
+	fc := c.newFn()
+	fc.cur = fn.pos
 	for _, p := range fn.params {
 		if _, dup := fc.locals[p]; dup {
-			return vm.Func{}, errf(fn.line, "duplicate parameter %q", p)
+			c.errorf(fn.pos, "duplicate parameter %q", p)
+			continue
 		}
-		fc.locals[p] = fc.nloc
-		fc.nloc++
+		fc.declLocal(p)
 	}
-	if err := fc.stmts(fn.body); err != nil {
-		return vm.Func{}, err
-	}
+	fc.stmts(fn.body)
 	// Implicit `return nil` at the end of every function.
 	fc.emit(vm.Instr{Op: vm.OpPushNil})
 	fc.emit(vm.Instr{Op: vm.OpReturn})
-	return vm.Func{Name: fn.name, NParams: len(fn.params), NLocals: fc.nloc, Code: fc.code}, nil
+	return vm.Func{
+		Name: fn.name, NParams: len(fn.params), NLocals: fc.nloc,
+		Code: fc.code, Pos: fc.pcpos, LocalNames: fc.localNames,
+	}
 }
 
-func (c *compiler) compileInit(globals []globalDecl) (vm.Func, error) {
-	fc := &fnCompiler{c: c, locals: make(map[string]int)}
+func (c *compiler) compileInit(globals []globalDecl) vm.Func {
+	fc := c.newFn()
 	for _, g := range globals {
-		if err := fc.expr(g.init); err != nil {
-			return vm.Func{}, err
-		}
+		fc.cur = g.pos
+		fc.expr(g.init)
 		fc.emit(vm.Instr{Op: vm.OpStoreGlobal, A: c.m.InternStr(g.name)})
 	}
 	fc.emit(vm.Instr{Op: vm.OpPushNil})
 	fc.emit(vm.Instr{Op: vm.OpReturn})
-	return vm.Func{Name: InitFunc, NLocals: fc.nloc, Code: fc.code}, nil
+	return vm.Func{
+		Name: InitFunc, NLocals: fc.nloc,
+		Code: fc.code, Pos: fc.pcpos, LocalNames: fc.localNames,
+	}
 }
 
 func (fc *fnCompiler) emit(i vm.Instr) int {
 	fc.code = append(fc.code, i)
+	fc.pcpos = append(fc.pcpos, vm.Pos{Line: int32(fc.cur.line), Col: int32(fc.cur.col)})
 	return len(fc.code) - 1
 }
 
@@ -126,85 +173,64 @@ func (fc *fnCompiler) patch(at int, target int) {
 
 func (fc *fnCompiler) here() int { return len(fc.code) }
 
-func (fc *fnCompiler) stmts(ss []stmt) error {
+func (fc *fnCompiler) stmts(ss []stmt) {
 	for _, s := range ss {
-		if err := fc.stmt(s); err != nil {
-			return err
-		}
+		fc.stmt(s)
 	}
-	return nil
 }
 
-func (fc *fnCompiler) stmt(s stmt) error {
+func (fc *fnCompiler) stmt(s stmt) {
+	fc.cur = s.at()
 	switch st := s.(type) {
 	case varStmt:
 		if _, dup := fc.locals[st.name]; dup {
-			return errf(st.line, "duplicate local %q", st.name)
+			fc.c.errorf(st.pos, "duplicate local %q", st.name)
+			// Recover: compile the initializer into the existing slot.
+			fc.expr(st.init)
+			fc.emit(vm.Instr{Op: vm.OpStoreLocal, A: int32(fc.locals[st.name])})
+			return
 		}
-		if err := fc.expr(st.init); err != nil {
-			return err
-		}
-		slot := fc.nloc
-		fc.nloc++
-		fc.locals[st.name] = slot
+		fc.expr(st.init)
+		slot := fc.declLocal(st.name)
 		fc.emit(vm.Instr{Op: vm.OpStoreLocal, A: int32(slot)})
-		return nil
 	case assignStmt:
-		if err := fc.expr(st.val); err != nil {
-			return err
-		}
+		fc.expr(st.val)
 		if slot, ok := fc.locals[st.name]; ok {
 			fc.emit(vm.Instr{Op: vm.OpStoreLocal, A: int32(slot)})
-			return nil
+			return
 		}
 		if fc.c.globals[st.name] {
 			fc.emit(vm.Instr{Op: vm.OpStoreGlobal, A: fc.c.m.InternStr(st.name)})
-			return nil
+			return
 		}
-		return errf(st.line, "assignment to undeclared variable %q", st.name)
+		fc.c.errorf(st.pos, "assignment to undeclared variable %q", st.name)
+		fc.emit(vm.Instr{Op: vm.OpPop}) // discard the value; keep the stack balanced
 	case indexAssignStmt:
-		if err := fc.expr(st.agg); err != nil {
-			return err
-		}
-		if err := fc.expr(st.idx); err != nil {
-			return err
-		}
-		if err := fc.expr(st.val); err != nil {
-			return err
-		}
+		fc.expr(st.agg)
+		fc.expr(st.idx)
+		fc.expr(st.val)
 		fc.emit(vm.Instr{Op: vm.OpSetIndex})
 		fc.emit(vm.Instr{Op: vm.OpPop})
-		return nil
 	case ifStmt:
-		if err := fc.expr(st.cond); err != nil {
-			return err
-		}
+		fc.expr(st.cond)
 		jz := fc.emit(vm.Instr{Op: vm.OpJumpIfFalse})
-		if err := fc.stmts(st.then); err != nil {
-			return err
-		}
+		fc.stmts(st.then)
 		if st.els == nil {
 			fc.patch(jz, fc.here())
-			return nil
+			return
 		}
 		jend := fc.emit(vm.Instr{Op: vm.OpJump})
 		fc.patch(jz, fc.here())
-		if err := fc.stmts(st.els); err != nil {
-			return err
-		}
+		fc.stmts(st.els)
 		fc.patch(jend, fc.here())
-		return nil
 	case whileStmt:
 		top := fc.here()
-		if err := fc.expr(st.cond); err != nil {
-			return err
-		}
+		fc.expr(st.cond)
 		jz := fc.emit(vm.Instr{Op: vm.OpJumpIfFalse})
 		fc.breaks = append(fc.breaks, nil)
 		fc.contTargs = append(fc.contTargs, top)
-		if err := fc.stmts(st.body); err != nil {
-			return err
-		}
+		fc.stmts(st.body)
+		fc.cur = st.at()
 		fc.emit(vm.Instr{Op: vm.OpJump, A: int32(top)})
 		end := fc.here()
 		fc.patch(jz, end)
@@ -213,36 +239,32 @@ func (fc *fnCompiler) stmt(s stmt) error {
 		}
 		fc.breaks = fc.breaks[:len(fc.breaks)-1]
 		fc.contTargs = fc.contTargs[:len(fc.contTargs)-1]
-		return nil
 	case returnStmt:
 		if st.val == nil {
 			fc.emit(vm.Instr{Op: vm.OpPushNil})
-		} else if err := fc.expr(st.val); err != nil {
-			return err
+		} else {
+			fc.expr(st.val)
 		}
+		fc.cur = st.at()
 		fc.emit(vm.Instr{Op: vm.OpReturn})
-		return nil
 	case breakStmt:
 		if len(fc.breaks) == 0 {
-			return errf(st.line, "break outside loop")
+			fc.c.errorf(st.pos, "break outside loop")
+			return
 		}
 		at := fc.emit(vm.Instr{Op: vm.OpJump})
 		fc.breaks[len(fc.breaks)-1] = append(fc.breaks[len(fc.breaks)-1], at)
-		return nil
 	case continueStmt:
 		if len(fc.contTargs) == 0 {
-			return errf(st.line, "continue outside loop")
+			fc.c.errorf(st.pos, "continue outside loop")
+			return
 		}
 		fc.emit(vm.Instr{Op: vm.OpJump, A: int32(fc.contTargs[len(fc.contTargs)-1])})
-		return nil
 	case exprStmt:
-		if err := fc.expr(st.e); err != nil {
-			return err
-		}
+		fc.expr(st.e)
 		fc.emit(vm.Instr{Op: vm.OpPop})
-		return nil
 	default:
-		return errf(s.stmtLine(), "unknown statement type %T", s)
+		fc.c.errorf(s.at(), "unknown statement type %T", s)
 	}
 }
 
@@ -251,7 +273,8 @@ var binOps = map[string]vm.Opcode{
 	"==": vm.OpEq, "!=": vm.OpNe, "<": vm.OpLt, "<=": vm.OpLe, ">": vm.OpGt, ">=": vm.OpGe,
 }
 
-func (fc *fnCompiler) expr(e expr) error {
+func (fc *fnCompiler) expr(e expr) {
+	fc.cur = e.at()
 	switch ex := e.(type) {
 	case intLit:
 		fc.emit(vm.Instr{Op: vm.OpPushInt, A: fc.c.m.InternInt(ex.val)})
@@ -271,59 +294,51 @@ func (fc *fnCompiler) expr(e expr) error {
 		} else if fc.c.globals[ex.name] {
 			fc.emit(vm.Instr{Op: vm.OpLoadGlobal, A: fc.c.m.InternStr(ex.name)})
 		} else {
-			return errf(ex.line, "undeclared variable %q", ex.name)
+			fc.c.errorf(ex.pos, "undeclared variable %q", ex.name)
+			fc.emit(vm.Instr{Op: vm.OpPushNil}) // recover with a placeholder value
 		}
 	case listLit:
 		for _, el := range ex.elems {
-			if err := fc.expr(el); err != nil {
-				return err
-			}
+			fc.expr(el)
 		}
+		fc.cur = ex.pos
 		fc.emit(vm.Instr{Op: vm.OpMakeList, A: int32(len(ex.elems))})
 	case mapLit:
 		for i := range ex.keys {
-			if err := fc.expr(ex.keys[i]); err != nil {
-				return err
-			}
-			if err := fc.expr(ex.vals[i]); err != nil {
-				return err
-			}
+			fc.expr(ex.keys[i])
+			fc.expr(ex.vals[i])
 		}
+		fc.cur = ex.pos
 		fc.emit(vm.Instr{Op: vm.OpMakeMap, A: int32(len(ex.keys))})
 	case indexExpr:
-		if err := fc.expr(ex.agg); err != nil {
-			return err
-		}
-		if err := fc.expr(ex.idx); err != nil {
-			return err
-		}
+		fc.expr(ex.agg)
+		fc.expr(ex.idx)
+		fc.cur = ex.pos
 		fc.emit(vm.Instr{Op: vm.OpIndex})
 	case unaryExpr:
-		if err := fc.expr(ex.x); err != nil {
-			return err
-		}
+		fc.expr(ex.x)
+		fc.cur = ex.pos
 		if ex.op == "-" {
 			fc.emit(vm.Instr{Op: vm.OpNeg})
 		} else {
 			fc.emit(vm.Instr{Op: vm.OpNot})
 		}
 	case binExpr:
-		return fc.binExpr(ex)
+		fc.binExpr(ex)
 	case callExpr:
-		return fc.callExpr(ex)
+		fc.callExpr(ex)
 	default:
-		return errf(e.exprLine(), "unknown expression type %T", e)
+		fc.c.errorf(e.at(), "unknown expression type %T", e)
+		fc.emit(vm.Instr{Op: vm.OpPushNil})
 	}
-	return nil
 }
 
-func (fc *fnCompiler) binExpr(ex binExpr) error {
+func (fc *fnCompiler) binExpr(ex binExpr) {
 	// Short-circuit logical operators keep the left value as the
 	// result when it decides the outcome (truthy semantics).
 	if ex.op == "&&" || ex.op == "||" {
-		if err := fc.expr(ex.l); err != nil {
-			return err
-		}
+		fc.expr(ex.l)
+		fc.cur = ex.pos
 		fc.emit(vm.Instr{Op: vm.OpDup})
 		var j int
 		if ex.op == "&&" {
@@ -332,49 +347,50 @@ func (fc *fnCompiler) binExpr(ex binExpr) error {
 			j = fc.emit(vm.Instr{Op: vm.OpJumpIfTrue})
 		}
 		fc.emit(vm.Instr{Op: vm.OpPop})
-		if err := fc.expr(ex.r); err != nil {
-			return err
-		}
+		fc.expr(ex.r)
 		fc.patch(j, fc.here())
-		return nil
+		return
 	}
-	if err := fc.expr(ex.l); err != nil {
-		return err
-	}
-	if err := fc.expr(ex.r); err != nil {
-		return err
-	}
+	fc.expr(ex.l)
+	fc.expr(ex.r)
+	fc.cur = ex.pos
 	op, ok := binOps[ex.op]
 	if !ok {
-		return errf(ex.line, "unknown operator %q", ex.op)
+		fc.c.errorf(ex.pos, "unknown operator %q", ex.op)
+		// Recover: collapse the two operands into one placeholder.
+		fc.emit(vm.Instr{Op: vm.OpPop})
+		return
 	}
 	fc.emit(vm.Instr{Op: op})
-	return nil
 }
 
 // callExpr resolves calls in this order: same-module function →
 // qualified "module:function" (namespace call) → host function. The
 // host-call fallback is what binds agent programs to the server API.
-func (fc *fnCompiler) callExpr(ex callExpr) error {
+func (fc *fnCompiler) callExpr(ex callExpr) {
 	for _, a := range ex.args {
-		if err := fc.expr(a); err != nil {
-			return err
-		}
+		fc.expr(a)
 	}
+	fc.cur = ex.pos
 	if idx, ok := fc.c.funcIdx[ex.name]; ok {
 		if want := fc.c.arity[ex.name]; want != len(ex.args) {
-			return errf(ex.line, "%s wants %d args, got %d", ex.name, want, len(ex.args))
+			fc.c.errorf(ex.pos, "%s wants %d args, got %d", ex.name, want, len(ex.args))
+			// Recover: discard the args and push a placeholder result.
+			for range ex.args {
+				fc.emit(vm.Instr{Op: vm.OpPop})
+			}
+			fc.emit(vm.Instr{Op: vm.OpPushNil})
+			return
 		}
 		fc.emit(vm.Instr{Op: vm.OpCall, A: int32(idx), B: int32(len(ex.args))})
-		return nil
+		return
 	}
 	nameIdx := fc.c.m.InternStr(ex.name)
 	for _, r := range ex.name {
 		if r == ':' {
 			fc.emit(vm.Instr{Op: vm.OpCallNamed, A: nameIdx, B: int32(len(ex.args))})
-			return nil
+			return
 		}
 	}
 	fc.emit(vm.Instr{Op: vm.OpHostCall, A: nameIdx, B: int32(len(ex.args))})
-	return nil
 }

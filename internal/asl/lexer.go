@@ -14,6 +14,7 @@
 package asl
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 	"unicode"
@@ -41,6 +42,7 @@ type token struct {
 	kind tokKind
 	text string
 	line int
+	col  int // 1-based byte column of the token's first character
 }
 
 func (t token) String() string {
@@ -50,16 +52,61 @@ func (t token) String() string {
 	return fmt.Sprintf("%q", t.text)
 }
 
-// Error is a source-position-annotated compilation error.
+// Error is a source-position-annotated compilation error. Col is
+// 1-based; 0 means the column is unknown.
 type Error struct {
 	Line int
+	Col  int
 	Msg  string
 }
 
-func (e *Error) Error() string { return fmt.Sprintf("asl: line %d: %s", e.Line, e.Msg) }
+func (e *Error) Error() string {
+	if e.Col > 0 {
+		return fmt.Sprintf("asl: line %d:%d: %s", e.Line, e.Col, e.Msg)
+	}
+	return fmt.Sprintf("asl: line %d: %s", e.Line, e.Msg)
+}
 
-func errf(line int, format string, args ...any) error {
-	return &Error{Line: line, Msg: fmt.Sprintf(format, args...)}
+// ErrorList aggregates every diagnostic of a compilation, so tools can
+// report them all instead of stopping at the first. It unwraps to the
+// individual *Error values (errors.As finds the first one).
+type ErrorList []*Error
+
+func (l ErrorList) Error() string {
+	if len(l) == 1 {
+		return l[0].Error()
+	}
+	return fmt.Sprintf("%s (and %d more errors)", l[0].Error(), len(l)-1)
+}
+
+// Unwrap exposes the individual errors to errors.Is/As.
+func (l ErrorList) Unwrap() []error {
+	out := make([]error, len(l))
+	for i, e := range l {
+		out[i] = e
+	}
+	return out
+}
+
+// AllErrors flattens err into its component *Error diagnostics. A
+// non-ASL error yields a single position-less entry.
+func AllErrors(err error) []*Error {
+	if err == nil {
+		return nil
+	}
+	var list ErrorList
+	if errors.As(err, &list) {
+		return list
+	}
+	var one *Error
+	if errors.As(err, &one) {
+		return []*Error{one}
+	}
+	return []*Error{{Msg: err.Error()}}
+}
+
+func errf(p pos, format string, args ...any) error {
+	return &Error{Line: p.line, Col: p.col, Msg: fmt.Sprintf(format, args...)}
 }
 
 // twoCharPunct lists multi-character operators, longest-match-first.
@@ -69,13 +116,17 @@ var twoCharPunct = []string{"==", "!=", "<=", ">=", "&&", "||"}
 func lex(src string) ([]token, error) {
 	var toks []token
 	line := 1
+	lineStart := 0 // index of the first byte of the current line
 	i := 0
+	// col reports the 1-based column of byte index idx on the current line.
+	col := func(idx int) int { return idx - lineStart + 1 }
 	for i < len(src) {
 		c := src[i]
 		switch {
 		case c == '\n':
 			line++
 			i++
+			lineStart = i
 		case c == ' ' || c == '\t' || c == '\r':
 			i++
 		case c == '#':
@@ -83,7 +134,7 @@ func lex(src string) ([]token, error) {
 				i++
 			}
 		case c == '"':
-			start := line
+			start := pos{line, col(i)}
 			var sb strings.Builder
 			i++
 			for {
@@ -113,7 +164,7 @@ func lex(src string) ([]token, error) {
 					case '\\':
 						sb.WriteByte('\\')
 					default:
-						return nil, errf(line, "bad escape \\%c", src[i])
+						return nil, errf(pos{line, col(i)}, "bad escape \\%c", src[i])
 					}
 					i++
 					continue
@@ -121,16 +172,16 @@ func lex(src string) ([]token, error) {
 				sb.WriteByte(ch)
 				i++
 			}
-			toks = append(toks, token{tokStr, sb.String(), start})
+			toks = append(toks, token{tokStr, sb.String(), start.line, start.col})
 		case c >= '0' && c <= '9':
 			start := i
 			for i < len(src) && src[i] >= '0' && src[i] <= '9' {
 				i++
 			}
 			if i < len(src) && (isIdentChar(src[i])) {
-				return nil, errf(line, "malformed number %q", src[start:i+1])
+				return nil, errf(pos{line, col(start)}, "malformed number %q", src[start:i+1])
 			}
-			toks = append(toks, token{tokInt, src[start:i], line})
+			toks = append(toks, token{tokInt, src[start:i], line, col(start)})
 		case isIdentStart(c):
 			start := i
 			for i < len(src) && isIdentChar(src[i]) {
@@ -151,12 +202,12 @@ func lex(src string) ([]token, error) {
 			if keywords[word] {
 				kind = tokKeyword
 			}
-			toks = append(toks, token{kind, word, line})
+			toks = append(toks, token{kind, word, line, col(start)})
 		default:
 			matched := false
 			for _, p := range twoCharPunct {
 				if strings.HasPrefix(src[i:], p) {
-					toks = append(toks, token{tokPunct, p, line})
+					toks = append(toks, token{tokPunct, p, line, col(i)})
 					i += len(p)
 					matched = true
 					break
@@ -166,17 +217,17 @@ func lex(src string) ([]token, error) {
 				continue
 			}
 			if strings.ContainsRune("+-*/%()[]{},=<>!:", rune(c)) {
-				toks = append(toks, token{tokPunct, string(c), line})
+				toks = append(toks, token{tokPunct, string(c), line, col(i)})
 				i++
 				continue
 			}
 			if unicode.IsPrint(rune(c)) {
-				return nil, errf(line, "unexpected character %q", c)
+				return nil, errf(pos{line, col(i)}, "unexpected character %q", c)
 			}
-			return nil, errf(line, "unexpected byte 0x%02x", c)
+			return nil, errf(pos{line, col(i)}, "unexpected byte 0x%02x", c)
 		}
 	}
-	toks = append(toks, token{tokEOF, "", line})
+	toks = append(toks, token{tokEOF, "", line, col(len(src))})
 	return toks, nil
 }
 

@@ -27,7 +27,7 @@ func (p *parser) expect(kind tokKind, text string) (token, error) {
 		p.pos++
 		return t, nil
 	}
-	return t, errf(t.line, "expected %q, found %s", text, t)
+	return t, errf(at(t), "expected %q, found %s", text, t)
 }
 
 func parse(src string) (*file, error) {
@@ -41,7 +41,7 @@ func parse(src string) (*file, error) {
 	}
 	nameTok := p.next()
 	if nameTok.kind != tokIdent {
-		return nil, errf(nameTok.line, "expected module name, found %s", nameTok)
+		return nil, errf(at(nameTok), "expected module name, found %s", nameTok)
 	}
 	f := &file{name: nameTok.text}
 	for p.cur().kind != tokEOF {
@@ -49,29 +49,29 @@ func parse(src string) (*file, error) {
 		switch {
 		case t.kind == tokKeyword && t.text == "var":
 			p.pos++
-			g, err := p.parseGlobal(t.line)
+			g, err := p.parseGlobal(at(t))
 			if err != nil {
 				return nil, err
 			}
 			f.globals = append(f.globals, g)
 		case t.kind == tokKeyword && t.text == "func":
 			p.pos++
-			fn, err := p.parseFunc(t.line)
+			fn, err := p.parseFunc(at(t))
 			if err != nil {
 				return nil, err
 			}
 			f.funcs = append(f.funcs, fn)
 		default:
-			return nil, errf(t.line, "expected top-level var or func, found %s", t)
+			return nil, errf(at(t), "expected top-level var or func, found %s", t)
 		}
 	}
 	return f, nil
 }
 
-func (p *parser) parseGlobal(line int) (globalDecl, error) {
+func (p *parser) parseGlobal(declPos pos) (globalDecl, error) {
 	nameTok := p.next()
 	if nameTok.kind != tokIdent {
-		return globalDecl{}, errf(nameTok.line, "expected variable name, found %s", nameTok)
+		return globalDecl{}, errf(at(nameTok), "expected variable name, found %s", nameTok)
 	}
 	if _, err := p.expect(tokPunct, "="); err != nil {
 		return globalDecl{}, err
@@ -80,13 +80,13 @@ func (p *parser) parseGlobal(line int) (globalDecl, error) {
 	if err != nil {
 		return globalDecl{}, err
 	}
-	return globalDecl{line: line, name: nameTok.text, init: e}, nil
+	return globalDecl{pos: declPos, name: nameTok.text, init: e}, nil
 }
 
-func (p *parser) parseFunc(line int) (funcDecl, error) {
+func (p *parser) parseFunc(declPos pos) (funcDecl, error) {
 	nameTok := p.next()
 	if nameTok.kind != tokIdent {
-		return funcDecl{}, errf(nameTok.line, "expected function name, found %s", nameTok)
+		return funcDecl{}, errf(at(nameTok), "expected function name, found %s", nameTok)
 	}
 	if _, err := p.expect(tokPunct, "("); err != nil {
 		return funcDecl{}, err
@@ -100,7 +100,7 @@ func (p *parser) parseFunc(line int) (funcDecl, error) {
 		}
 		pt := p.next()
 		if pt.kind != tokIdent {
-			return funcDecl{}, errf(pt.line, "expected parameter name, found %s", pt)
+			return funcDecl{}, errf(at(pt), "expected parameter name, found %s", pt)
 		}
 		params = append(params, pt.text)
 	}
@@ -108,7 +108,7 @@ func (p *parser) parseFunc(line int) (funcDecl, error) {
 	if err != nil {
 		return funcDecl{}, err
 	}
-	return funcDecl{line: line, name: nameTok.text, params: params, body: body}, nil
+	return funcDecl{pos: declPos, name: nameTok.text, params: params, body: body}, nil
 }
 
 func (p *parser) parseBlock() ([]stmt, error) {
@@ -118,7 +118,7 @@ func (p *parser) parseBlock() ([]stmt, error) {
 	var out []stmt
 	for !p.accept(tokPunct, "}") {
 		if p.cur().kind == tokEOF {
-			return nil, errf(p.cur().line, "unterminated block")
+			return nil, errf(at(p.cur()), "unterminated block")
 		}
 		s, err := p.parseStmt()
 		if err != nil {
@@ -135,14 +135,14 @@ func (p *parser) parseStmt() (stmt, error) {
 		switch t.text {
 		case "var":
 			p.pos++
-			g, err := p.parseGlobal(t.line) // same shape: name = expr
+			g, err := p.parseGlobal(at(t)) // same shape: name = expr
 			if err != nil {
 				return nil, err
 			}
-			return varStmt{line: g.line, name: g.name, init: g.init}, nil
+			return varStmt{pos: g.pos, name: g.name, init: g.init}, nil
 		case "if":
 			p.pos++
-			return p.parseIf(t.line)
+			return p.parseIf(at(t))
 		case "while":
 			p.pos++
 			cond, err := p.parseExpr()
@@ -153,24 +153,24 @@ func (p *parser) parseStmt() (stmt, error) {
 			if err != nil {
 				return nil, err
 			}
-			return whileStmt{line: t.line, cond: cond, body: body}, nil
+			return whileStmt{pos: at(t), cond: cond, body: body}, nil
 		case "return":
 			p.pos++
 			// `return` directly followed by `}` returns nil.
 			if p.cur().kind == tokPunct && p.cur().text == "}" {
-				return returnStmt{line: t.line}, nil
+				return returnStmt{pos: at(t)}, nil
 			}
 			e, err := p.parseExpr()
 			if err != nil {
 				return nil, err
 			}
-			return returnStmt{line: t.line, val: e}, nil
+			return returnStmt{pos: at(t), val: e}, nil
 		case "break":
 			p.pos++
-			return breakStmt{line: t.line}, nil
+			return breakStmt{pos: at(t)}, nil
 		case "continue":
 			p.pos++
-			return continueStmt{line: t.line}, nil
+			return continueStmt{pos: at(t)}, nil
 		}
 	}
 	// assignment or expression statement
@@ -185,17 +185,17 @@ func (p *parser) parseStmt() (stmt, error) {
 		}
 		switch lhs := e.(type) {
 		case nameRef:
-			return assignStmt{line: lhs.line, name: lhs.name, val: val}, nil
+			return assignStmt{pos: lhs.pos, name: lhs.name, val: val}, nil
 		case indexExpr:
-			return indexAssignStmt{line: lhs.line, agg: lhs.agg, idx: lhs.idx, val: val}, nil
+			return indexAssignStmt{pos: lhs.pos, agg: lhs.agg, idx: lhs.idx, val: val}, nil
 		default:
-			return nil, errf(t.line, "invalid assignment target")
+			return nil, errf(at(t), "invalid assignment target")
 		}
 	}
-	return exprStmt{line: t.line, e: e}, nil
+	return exprStmt{pos: at(t), e: e}, nil
 }
 
-func (p *parser) parseIf(line int) (stmt, error) {
+func (p *parser) parseIf(ifPos pos) (stmt, error) {
 	cond, err := p.parseExpr()
 	if err != nil {
 		return nil, err
@@ -208,7 +208,7 @@ func (p *parser) parseIf(line int) (stmt, error) {
 	if p.accept(tokKeyword, "else") {
 		if p.cur().kind == tokKeyword && p.cur().text == "if" {
 			elifTok := p.next()
-			nested, err := p.parseIf(elifTok.line)
+			nested, err := p.parseIf(at(elifTok))
 			if err != nil {
 				return nil, err
 			}
@@ -223,7 +223,7 @@ func (p *parser) parseIf(line int) (stmt, error) {
 			}
 		}
 	}
-	return ifStmt{line: line, cond: cond, then: then, els: els}, nil
+	return ifStmt{pos: ifPos, cond: cond, then: then, els: els}, nil
 }
 
 // Binary operator precedence, loosest first.
@@ -257,7 +257,7 @@ func (p *parser) parseBin(minPrec int) (expr, error) {
 		if err != nil {
 			return nil, err
 		}
-		lhs = binExpr{line: t.line, op: t.text, l: lhs, r: rhs}
+		lhs = binExpr{pos: at(t), op: t.text, l: lhs, r: rhs}
 	}
 }
 
@@ -269,7 +269,7 @@ func (p *parser) parseUnary() (expr, error) {
 		if err != nil {
 			return nil, err
 		}
-		return unaryExpr{line: t.line, op: t.text, x: x}, nil
+		return unaryExpr{pos: at(t), op: t.text, x: x}, nil
 	}
 	return p.parsePostfix()
 }
@@ -290,7 +290,7 @@ func (p *parser) parsePostfix() (expr, error) {
 			if _, err := p.expect(tokPunct, "]"); err != nil {
 				return nil, err
 			}
-			e = indexExpr{line: t.line, agg: e, idx: idx}
+			e = indexExpr{pos: at(t), agg: e, idx: idx}
 			continue
 		}
 		return e, nil
@@ -303,17 +303,17 @@ func (p *parser) parsePrimary() (expr, error) {
 	case t.kind == tokInt:
 		v, err := strconv.ParseInt(t.text, 10, 64)
 		if err != nil {
-			return nil, errf(t.line, "bad integer %q", t.text)
+			return nil, errf(at(t), "bad integer %q", t.text)
 		}
-		return intLit{line: t.line, val: v}, nil
+		return intLit{pos: at(t), val: v}, nil
 	case t.kind == tokStr:
-		return strLit{line: t.line, val: t.text}, nil
+		return strLit{pos: at(t), val: t.text}, nil
 	case t.kind == tokKeyword && t.text == "true":
-		return boolLit{line: t.line, val: true}, nil
+		return boolLit{pos: at(t), val: true}, nil
 	case t.kind == tokKeyword && t.text == "false":
-		return boolLit{line: t.line, val: false}, nil
+		return boolLit{pos: at(t), val: false}, nil
 	case t.kind == tokKeyword && t.text == "nil":
-		return nilLit{line: t.line}, nil
+		return nilLit{pos: at(t)}, nil
 	case t.kind == tokIdent:
 		if p.cur().kind == tokPunct && p.cur().text == "(" {
 			p.pos++
@@ -330,9 +330,9 @@ func (p *parser) parsePrimary() (expr, error) {
 				}
 				args = append(args, a)
 			}
-			return callExpr{line: t.line, name: t.text, args: args}, nil
+			return callExpr{pos: at(t), name: t.text, args: args}, nil
 		}
-		return nameRef{line: t.line, name: t.text}, nil
+		return nameRef{pos: at(t), name: t.text}, nil
 	case t.kind == tokPunct && t.text == "(":
 		e, err := p.parseExpr()
 		if err != nil {
@@ -356,7 +356,7 @@ func (p *parser) parsePrimary() (expr, error) {
 			}
 			elems = append(elems, e)
 		}
-		return listLit{line: t.line, elems: elems}, nil
+		return listLit{pos: at(t), elems: elems}, nil
 	case t.kind == tokPunct && t.text == "{":
 		var keys, vals []expr
 		for !p.accept(tokPunct, "}") {
@@ -379,8 +379,8 @@ func (p *parser) parsePrimary() (expr, error) {
 			keys = append(keys, k)
 			vals = append(vals, v)
 		}
-		return mapLit{line: t.line, keys: keys, vals: vals}, nil
+		return mapLit{pos: at(t), keys: keys, vals: vals}, nil
 	default:
-		return nil, errf(t.line, "unexpected %s", t)
+		return nil, errf(at(t), "unexpected %s", t)
 	}
 }

@@ -26,10 +26,8 @@ func counterDef() *resource.Def {
 		val int64
 	)
 	return &resource.Def{
-		ResourceImpl: resource.ResourceImpl{
-			Name:  names.Resource("acme.com", "counter"),
-			Owner: names.Principal("acme.com", "admin"),
-		},
+		ResourceImpl: resource.NewImpl(names.Resource("acme.com", "counter"),
+			names.Principal("acme.com", "admin"), ""),
 		Path: "counter",
 		Methods: map[string]resource.Method{
 			"get": func([]vm.Value) (vm.Value, error) {

@@ -1,0 +1,275 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/agent"
+	"repro/internal/names"
+	"repro/internal/server"
+	"repro/internal/vm"
+	"repro/internal/vm/analysis"
+)
+
+// greedySource asks for the counter resource and bumps it: the workload
+// of every admission test below. Whether it is over-privileged depends
+// solely on the hosting server's policy.
+const greedySource = `module greedy
+func main() {
+  log("started")
+  var c = get_resource("ajanta:resource:umn.edu/counter")
+  report(invoke(c, "add", 1))
+}`
+
+// TestAdmissionRejectsOverPrivileged: under AdmissionEnforce, an agent
+// whose manifest demands a resource the policy grants it nothing on is
+// rejected at the arrival gate — fail-closed, with zero VM instructions
+// executed (the agent's very first statement, log("started"), never
+// runs).
+func TestAdmissionRejectsOverPrivileged(t *testing.T) {
+	p := mustPlatform(t)
+	// Default-deny policy: no rules at all.
+	site, err := p.StartServer("site", "site:7000", ServerConfig{
+		Admission: server.AdmissionEnforce,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := InstallResource(site, CounterResource(names.Resource("umn.edu", "counter"), "counter")); err != nil {
+		t.Fatal(err)
+	}
+	owner, _ := p.NewOwner("mallory")
+	a, err := p.BuildAgent(AgentSpec{
+		Owner:     owner,
+		Name:      "greedy",
+		Source:    greedySource,
+		Itinerary: agent.Sequence("main", site.Name()),
+		Home:      site,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// BuildAgent attached the computed manifest; the demand is visible
+	// before anything runs.
+	if a.Manifest == nil || !contains(a.Manifest.Resources, "ajanta:resource:umn.edu/counter") {
+		t.Fatalf("built manifest = %v", a.Manifest)
+	}
+
+	err = site.LaunchLocal(a)
+	if !errors.Is(err, server.ErrAdmission) {
+		t.Fatalf("LaunchLocal = %v, want ErrAdmission", err)
+	}
+	// Zero instructions executed: the first statement's log line never
+	// appeared, no visit was hosted, and the rejection was counted.
+	if len(a.Log) != 0 || len(a.Results) != 0 {
+		t.Fatalf("rejected agent ran: log=%v results=%v", a.Log, a.Results)
+	}
+	st := site.Stats()
+	if st.Arrivals != 0 {
+		t.Fatalf("arrivals = %d, want 0", st.Arrivals)
+	}
+	if st.AdmissionRejects != 1 {
+		t.Fatalf("admission rejects = %d, want 1", st.AdmissionRejects)
+	}
+}
+
+// TestAdmissionAdmitsGranted: the same agent is admitted and completes
+// its visit when the policy grants its owner the resource — enforcement
+// rejects over-privilege, not privilege.
+func TestAdmissionAdmitsGranted(t *testing.T) {
+	p := mustPlatform(t)
+	site, err := p.StartServer("site", "site:7000", ServerConfig{
+		Admission: server.AdmissionEnforce,
+		Rules:     openRules("counter"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := InstallResource(site, CounterResource(names.Resource("umn.edu", "counter"), "counter")); err != nil {
+		t.Fatal(err)
+	}
+	home, err := p.StartServer("home", "home:7000", ServerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner, _ := p.NewOwner("alice")
+	a, err := p.BuildAgent(AgentSpec{
+		Owner:     owner,
+		Name:      "granted",
+		Source:    greedySource,
+		Itinerary: agent.Sequence("main", site.Name()),
+		Home:      home,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := p.LaunchAndWait(home, a, waitTime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Results) != 1 || !back.Results[0].Equal(vm.I(1)) {
+		t.Fatalf("results = %v, log = %v", back.Results, back.Log)
+	}
+	if got := site.Stats().AdmissionRejects; got != 0 {
+		t.Fatalf("admission rejects = %d, want 0", got)
+	}
+}
+
+// TestAdmissionRejectsUnderDeclaredManifest: a carried manifest that
+// does not cover the code's computed needs (an agent lying about what
+// it will ask for) is rejected even when the policy would have granted
+// the real needs.
+func TestAdmissionRejectsUnderDeclaredManifest(t *testing.T) {
+	p := mustPlatform(t)
+	site, err := p.StartServer("site", "site:7000", ServerConfig{
+		Admission: server.AdmissionEnforce,
+		Rules:     openRules("counter"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := InstallResource(site, CounterResource(names.Resource("umn.edu", "counter"), "counter")); err != nil {
+		t.Fatal(err)
+	}
+	owner, _ := p.NewOwner("alice")
+	a, err := p.BuildAgent(AgentSpec{
+		Owner:     owner,
+		Name:      "liar",
+		Source:    greedySource,
+		Itinerary: agent.Sequence("main", site.Name()),
+		Home:      site,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Manifest = &analysis.Manifest{} // declares: "I talk to no one"
+	err = site.LaunchLocal(a)
+	if !errors.Is(err, server.ErrAdmission) {
+		t.Fatalf("LaunchLocal = %v, want ErrAdmission", err)
+	}
+	if !strings.Contains(err.Error(), "cover") {
+		t.Fatalf("rejection reason = %v, want under-declaration", err)
+	}
+}
+
+// TestAdmissionWildcardNeedsWildcardRule: a get_resource target the
+// analyzer cannot resolve widens the manifest to "*"; enforcement then
+// demands an explicit wildcard-resource rule.
+func TestAdmissionWildcardNeedsWildcardRule(t *testing.T) {
+	// The resource name is built from a runtime value, so the manifest
+	// entry is "*".
+	const dynamicSource = `module dyn
+func main() {
+  var c = get_resource(server_name())
+}`
+	t.Run("no-wildcard-rule", func(t *testing.T) {
+		p := mustPlatform(t)
+		site, err := p.StartServer("site", "site:7000", ServerConfig{
+			Admission: server.AdmissionEnforce,
+			Rules:     openRules("counter"), // named grants only
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		owner, _ := p.NewOwner("alice")
+		a, err := p.BuildAgent(AgentSpec{
+			Owner:     owner,
+			Name:      "dyn",
+			Source:    dynamicSource,
+			Itinerary: agent.Sequence("main", site.Name()),
+			Home:      site,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Manifest == nil || !contains(a.Manifest.Resources, analysis.Wildcard) {
+			t.Fatalf("manifest = %v, want wildcard resource", a.Manifest)
+		}
+		if err := site.LaunchLocal(a); !errors.Is(err, server.ErrAdmission) {
+			t.Fatalf("LaunchLocal = %v, want ErrAdmission", err)
+		}
+	})
+	t.Run("wildcard-rule", func(t *testing.T) {
+		p := mustPlatform(t)
+		site, err := p.StartServer("site", "site:7000", ServerConfig{
+			Admission: server.AdmissionEnforce,
+			Rules:     openRules("*"),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		owner, _ := p.NewOwner("alice")
+		a, err := p.BuildAgent(AgentSpec{
+			Owner:     owner,
+			Name:      "dyn2",
+			Source:    dynamicSource,
+			Itinerary: agent.Sequence("main", site.Name()),
+			Home:      site,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := site.LaunchLocal(a); err != nil {
+			t.Fatalf("LaunchLocal = %v, want admitted", err)
+		}
+	})
+}
+
+// TestAdmissionRejectsOverNetwork: the admission check guards the
+// network arrival path too — an over-privileged agent dispatched from
+// its home server is turned away by the remote site (the rejection
+// travels back through the transfer ack) and comes home failed without
+// ever having run there.
+func TestAdmissionRejectsOverNetwork(t *testing.T) {
+	p := mustPlatform(t)
+	site, err := p.StartServer("site", "site:7000", ServerConfig{
+		Admission: server.AdmissionEnforce, // default deny
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := InstallResource(site, CounterResource(names.Resource("umn.edu", "counter"), "counter")); err != nil {
+		t.Fatal(err)
+	}
+	home, err := p.StartServer("home", "home:7000", ServerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner, _ := p.NewOwner("mallory")
+	a, err := p.BuildAgent(AgentSpec{
+		Owner:     owner,
+		Name:      "greedy-remote",
+		Source:    greedySource,
+		Itinerary: agent.Sequence("main", site.Name()),
+		Home:      home,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := p.LaunchAndWait(home, a, waitTime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Results) != 0 {
+		t.Fatalf("rejected agent reported results: %v", back.Results)
+	}
+	st := site.Stats()
+	if st.Arrivals != 0 {
+		t.Fatalf("site arrivals = %d, want 0", st.Arrivals)
+	}
+	if st.AdmissionRejects == 0 {
+		t.Fatal("site counted no admission rejects")
+	}
+}
+
+// contains reports list membership (test helper; the manifest's lists
+// are small and sorted).
+func contains(list []string, s string) bool {
+	for _, x := range list {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}

@@ -22,6 +22,7 @@ import (
 	"repro/internal/retry"
 	"repro/internal/server"
 	"repro/internal/vm"
+	"repro/internal/vm/analysis"
 )
 
 // DefaultTTL is the default credential lifetime for launched agents.
@@ -112,6 +113,9 @@ type ServerConfig struct {
 	// RedeliverEvery is the dead-letter redelivery period
 	// (0 = server.DefaultRedeliverEvery).
 	RedeliverEvery time.Duration
+	// Admission selects manifest-based admission control at the
+	// arrival gate (server.AdmissionOff / server.AdmissionEnforce).
+	Admission server.AdmissionMode
 }
 
 // StartServer creates, configures and starts an agent server.
@@ -136,6 +140,7 @@ func (p *Platform) StartServer(shortName, addr string, sc ServerConfig) (*server
 		DispatchRestriction:     sc.DispatchRestriction,
 		Retry:                   sc.Retry,
 		RedeliverEvery:          sc.RedeliverEvery,
+		Admission:               sc.Admission,
 	}
 	if p.useTCP {
 		cfg.Dial = func(a string) (net.Conn, error) { return net.Dial("tcp", a) }
@@ -265,7 +270,20 @@ func (p *Platform) BuildAgent(spec AgentSpec) (*agent.Agent, error) {
 	if err != nil {
 		return nil, err
 	}
-	return agent.New(creds, main.Name, bundle, spec.Itinerary)
+	a, err := agent.New(creds, main.Name, bundle, spec.Itinerary)
+	if err != nil {
+		return nil, err
+	}
+	// Attach the declared access manifest: the static analyzer's
+	// over-approximation of everything the bundle can ask a host for.
+	// Servers enforcing admission re-verify it against their own
+	// analysis before hosting the agent.
+	man, err := analysis.ComputeManifest(bundle)
+	if err != nil {
+		return nil, fmt.Errorf("core: manifest: %w", err)
+	}
+	a.Manifest = man
+	return a, nil
 }
 
 // Launch submits the agent at its home server and returns the channel

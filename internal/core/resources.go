@@ -29,11 +29,8 @@ func InstallResource(s *server.Server, def *resource.Def) error {
 // shopping example and several experiments.
 func QuoteResource(rn names.Name, path string, prices map[string]int64) *resource.Def {
 	return &resource.Def{
-		ResourceImpl: resource.ResourceImpl{
-			Name:  rn,
-			Owner: names.Principal(rn.Authority, "merchant"),
-			Desc:  "price quote service",
-		},
+		ResourceImpl: resource.NewImpl(rn,
+			names.Principal(rn.Authority, "merchant"), "price quote service"),
 		Path: path,
 		Methods: map[string]resource.Method{
 			"quote": func(args []vm.Value) (vm.Value, error) {
@@ -65,11 +62,8 @@ func CounterResource(rn names.Name, path string) *resource.Def {
 		val int64
 	)
 	return &resource.Def{
-		ResourceImpl: resource.ResourceImpl{
-			Name:  rn,
-			Owner: names.Principal(rn.Authority, "admin"),
-			Desc:  "shared counter",
-		},
+		ResourceImpl: resource.NewImpl(rn,
+			names.Principal(rn.Authority, "admin"), "shared counter"),
 		Path: path,
 		Methods: map[string]resource.Method{
 			"get": func(args []vm.Value) (vm.Value, error) {
@@ -103,11 +97,8 @@ func CounterResource(rn names.Name, path string) *resource.Def {
 // mobile agent or REV program exploits).
 func RecordStoreResource(rn names.Name, path string, scores []int64, payload string) *resource.Def {
 	return &resource.Def{
-		ResourceImpl: resource.ResourceImpl{
-			Name:  rn,
-			Owner: names.Principal(rn.Authority, "dba"),
-			Desc:  "record store",
-		},
+		ResourceImpl: resource.NewImpl(rn,
+			names.Principal(rn.Authority, "dba"), "record store"),
 		Path: path,
 		Methods: map[string]resource.Method{
 			"count": func(args []vm.Value) (vm.Value, error) {

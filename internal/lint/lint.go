@@ -1,0 +1,174 @@
+// Package lint is a small stdlib-only multichecker for this
+// repository's own Go source (the analogue, one level up, of the ASL
+// lint suite in internal/vm/analysis: the agents' code is vetted by
+// ajanta-vet, the platform's code by repolint). Rules are purely
+// syntactic — go/parser over every file, no type information — which
+// keeps the checker dependency-free and fast enough for CI.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// modulePath is the import-path root of this repository.
+const modulePath = "repro"
+
+// Finding is one rule violation.
+type Finding struct {
+	Pos  string // file:line:col, relative to the checked root
+	Rule string
+	Msg  string
+}
+
+func (f Finding) String() string { return fmt.Sprintf("%s: %s: %s", f.Pos, f.Rule, f.Msg) }
+
+// File is one parsed source file handed to every rule.
+type File struct {
+	Path    string // path relative to the checked root
+	PkgPath string // import path of the containing package
+	Fset    *token.FileSet
+	AST     *ast.File
+}
+
+// Rule is one check of the multichecker.
+type Rule struct {
+	Name  string
+	Doc   string
+	Check func(*File) []Finding
+}
+
+// Rules is the active rule set.
+var Rules = []Rule{resourceImplRule}
+
+// CheckDir parses every .go file under root (the repository checkout)
+// and applies all rules, returning findings sorted by position.
+func CheckDir(root string) ([]Finding, error) {
+	var findings []Finding
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name == "testdata" || strings.HasPrefix(name, ".") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		fset := token.NewFileSet()
+		astf, err := parser.ParseFile(fset, path, nil, parser.SkipObjectResolution)
+		if err != nil {
+			return fmt.Errorf("lint: %w", err)
+		}
+		f := &File{
+			Path:    rel,
+			PkgPath: pkgPath(rel),
+			Fset:    fset,
+			AST:     astf,
+		}
+		for _, r := range Rules {
+			for _, fd := range r.Check(f) {
+				findings = append(findings, fd)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(findings, func(i, j int) bool { return findings[i].Pos < findings[j].Pos })
+	return findings, nil
+}
+
+// pkgPath derives the import path of the package containing the file at
+// root-relative path rel.
+func pkgPath(rel string) string {
+	dir := filepath.ToSlash(filepath.Dir(rel))
+	if dir == "." {
+		return modulePath
+	}
+	return modulePath + "/" + dir
+}
+
+// importName returns the local name the file binds importPath to, or
+// ok=false when the file does not import it.
+func importName(f *ast.File, importPath string) (string, bool) {
+	for _, imp := range f.Imports {
+		p, err := strconv.Unquote(imp.Path.Value)
+		if err != nil || p != importPath {
+			continue
+		}
+		if imp.Name != nil {
+			return imp.Name.Name, true
+		}
+		return path.Base(p), true
+	}
+	return "", false
+}
+
+// --- rule: resourceimpl ------------------------------------------------
+
+// resourceImplAllowed are the package prefixes that may reference the
+// concrete resource.ResourceImpl type directly: the resource layer
+// itself (and its subpackages), the registry that stores entries, and
+// the server that builds system resources (mailboxes, VM-installed
+// resources). Everyone else goes through resource.NewImpl, so the
+// concrete layout can evolve without a tree-wide rewrite.
+var resourceImplAllowed = []string{
+	modulePath + "/internal/resource",
+	modulePath + "/internal/registry",
+	modulePath + "/internal/server",
+}
+
+var resourceImplRule = Rule{
+	Name: "resourceimpl",
+	Doc: "only internal/resource (and subpackages), internal/registry and internal/server may " +
+		"reference the concrete resource.ResourceImpl type; other packages use resource.NewImpl",
+	Check: func(f *File) []Finding {
+		for _, allowed := range resourceImplAllowed {
+			if f.PkgPath == allowed || strings.HasPrefix(f.PkgPath, allowed+"/") {
+				return nil
+			}
+		}
+		local, ok := importName(f.AST, modulePath+"/internal/resource")
+		if !ok || local == "_" {
+			return nil
+		}
+		var out []Finding
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "ResourceImpl" {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok || id.Name != local {
+				return true
+			}
+			pos := f.Fset.Position(sel.Pos())
+			out = append(out, Finding{
+				Pos:  fmt.Sprintf("%s:%d:%d", f.Path, pos.Line, pos.Column),
+				Rule: "resourceimpl",
+				Msg: fmt.Sprintf("package %s references the concrete resource.ResourceImpl type; use resource.NewImpl",
+					f.PkgPath),
+			})
+			return true
+		})
+		return out
+	},
+}

@@ -1,0 +1,102 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// write lays out a file under dir, creating parents.
+func write(t *testing.T, dir, rel, src string) {
+	t.Helper()
+	path := filepath.Join(dir, rel)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResourceImplRule(t *testing.T) {
+	dir := t.TempDir()
+	// A violating package: names the concrete type outside the
+	// allowlist.
+	write(t, dir, "internal/app/app.go", `package app
+
+import "repro/internal/resource"
+
+var bad = resource.ResourceImpl{}
+`)
+	// The resource package itself (and a subpackage) may.
+	write(t, dir, "internal/resource/ok.go", `package resource
+
+type ResourceImpl struct{}
+`)
+	write(t, dir, "internal/resource/buffer/ok.go", `package buffer
+
+import "repro/internal/resource"
+
+var ok = resource.ResourceImpl{}
+`)
+	// So may the server.
+	write(t, dir, "internal/server/ok.go", `package server
+
+import "repro/internal/resource"
+
+var ok = resource.ResourceImpl{}
+`)
+	// Renamed imports are still caught.
+	write(t, dir, "internal/other/other.go", `package other
+
+import res "repro/internal/resource"
+
+var bad = res.ResourceImpl{}
+`)
+	// Using the constructor is fine anywhere.
+	write(t, dir, "internal/fine/fine.go", `package fine
+
+import "repro/internal/resource"
+
+var ok = resource.NewImpl()
+`)
+
+	findings, err := CheckDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 2 {
+		t.Fatalf("findings = %v, want 2", findings)
+	}
+	for _, f := range findings {
+		if f.Rule != "resourceimpl" {
+			t.Errorf("rule = %q", f.Rule)
+		}
+	}
+	if !strings.HasPrefix(findings[0].Pos, filepath.Join("internal", "app", "app.go")+":") {
+		t.Errorf("finding[0] at %s", findings[0].Pos)
+	}
+	if !strings.HasPrefix(findings[1].Pos, filepath.Join("internal", "other", "other.go")+":") {
+		t.Errorf("finding[1] at %s", findings[1].Pos)
+	}
+}
+
+// TestRepositoryClean runs the multichecker over this repository
+// itself: the rules it enforces hold in the tree that ships them.
+func TestRepositoryClean(t *testing.T) {
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(root, "go.mod")); err != nil {
+		t.Skipf("repository root not found: %v", err)
+	}
+	findings, err := CheckDir(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}

@@ -210,6 +210,25 @@ func (e *Engine) Decide(c *cred.Credentials, resourcePath string, allMethods []s
 	return g
 }
 
+// AllowsWildcard reports whether this policy could grant the agent
+// identified by c access to a resource whose name is not known
+// statically. The admission check (internal/server) calls this for
+// access-manifest entries widened to "*": a get_resource target the
+// analyzer could not resolve is admissible only when some allow rule
+// with Resource "*" matches the agent's owner. Admission stays
+// fail-closed — the per-binding Decide check still governs the actual
+// access at run time.
+func (e *Engine) AllowsWildcard(c *cred.Credentials) bool {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	for _, r := range e.rules {
+		if !r.Deny && r.Resource == "*" && e.matches(r, c.Owner, "*") {
+			return true
+		}
+	}
+	return false
+}
+
 // strictest combines two quotas, taking the tighter bound per field
 // (0 = unbounded).
 func strictest(a, b Quota) Quota {

@@ -48,6 +48,16 @@ type ResourceImpl struct {
 	Desc  string
 }
 
+// NewImpl builds the identity core of a resource. Application packages
+// use this constructor instead of naming the ResourceImpl type
+// directly — the concrete layout stays private to the resource/registry
+// /server layers (enforced by the repolint resourceimpl rule), so it
+// can grow fields without touching every resource definition in the
+// tree.
+func NewImpl(name, owner names.Name, desc string) ResourceImpl {
+	return ResourceImpl{Name: name, Owner: owner, Desc: desc}
+}
+
 // ResourceName implements Resource.
 func (r *ResourceImpl) ResourceName() names.Name { return r.Name }
 

@@ -50,6 +50,10 @@ type Stats struct {
 	// the number of homecomings waiting for a future Await call.
 	Delivered uint64
 	HeldNow   int
+	// AdmissionRejects counts agents turned away by the manifest
+	// admission check (admission.go) — over-privileged bundles that
+	// never executed an instruction here.
+	AdmissionRejects uint64
 }
 
 // counters aggregates the atomic tallies behind Stats.
@@ -60,6 +64,7 @@ type counters struct {
 	parked           atomic.Uint64
 	redelivered      atomic.Uint64
 	delivered        atomic.Uint64
+	admissionRejects atomic.Uint64
 }
 
 // Stats returns a snapshot of the server's counters.
@@ -79,6 +84,7 @@ func (s *Server) Stats() Stats {
 		Redelivered:      s.stats.redelivered.Load(),
 		Delivered:        s.stats.delivered.Load(),
 		HeldNow:          heldNow,
+		AdmissionRejects: s.stats.admissionRejects.Load(),
 	}
 }
 

@@ -55,6 +55,12 @@ type Config struct {
 	Fuel uint64
 	// MaxAgents caps concurrently hosted agents; 0 = unlimited.
 	MaxAgents int
+	// Admission selects manifest-based admission control at the
+	// arrival gate (admission.go). AdmissionOff (zero value) preserves
+	// the binding-time-only checks; AdmissionEnforce statically
+	// analyzes every arriving bundle and rejects over-privileged
+	// agents before any VM starts.
+	Admission AdmissionMode
 	// StrictNamespaces rejects agent bundles that shadow trusted
 	// modules instead of silently ignoring the impostors.
 	StrictNamespaces bool
@@ -100,8 +106,8 @@ type Server struct {
 	mu       sync.Mutex
 	visits   map[names.Name]*visit
 	waiters  map[names.Name]chan *agent.Agent
-	held     map[names.Name]*agent.Agent // homecomings awaiting an Await call
-	parked   map[names.Name]*parcel      // dead-letter store (deadletter.go)
+	held     map[names.Name]*agent.Agent  // homecomings awaiting an Await call
+	parked   map[names.Name]*parcel       // dead-letter store (deadletter.go)
 	statuses map[names.Name]domain.Status // last known, survives domain removal
 	ledger   map[names.Name]uint64        // owner -> accumulated charges
 	arrivals uint64
@@ -382,6 +388,15 @@ func (s *Server) admit(a *agent.Agent, from names.Name) error {
 		}
 		if !bytes.Equal(digest, a.Credentials.CodeDigest) {
 			return errors.New("code does not match the owner-signed digest")
+		}
+	}
+	// Manifest admission control (admission.go): reject agents whose
+	// statically computed access needs exceed what this server's
+	// policy would ever grant them — before any VM starts.
+	if s.cfg.Admission == AdmissionEnforce {
+		if err := s.checkAdmission(a); err != nil {
+			s.stats.admissionRejects.Add(1)
+			return err
 		}
 	}
 	s.mu.Lock()

@@ -36,6 +36,7 @@ import (
 	"repro/internal/agent"
 	"repro/internal/keys"
 	"repro/internal/names"
+	"repro/internal/vm/analysis"
 )
 
 // Errors.
@@ -83,6 +84,11 @@ type authMsg struct {
 type agentMsg struct {
 	Sender names.Name
 	Data   []byte // gob-encoded agent
+	// Manifest surfaces the agent's declared access manifest in the
+	// envelope, so a receiver sees the claimed capability needs before
+	// (and independently of) decoding the full agent. It must agree
+	// with the manifest inside Data; a mismatch is rejected.
+	Manifest *analysis.Manifest
 }
 
 type ackMsg struct {
@@ -349,7 +355,11 @@ func (e *Endpoint) SendAgent(conn net.Conn, a *agent.Agent) error {
 		return err
 	}
 	var msg bytes.Buffer
-	if err := gob.NewEncoder(&msg).Encode(agentMsg{Sender: e.Identity.Name, Data: data}); err != nil {
+	if err := gob.NewEncoder(&msg).Encode(agentMsg{
+		Sender:   e.Identity.Name,
+		Data:     data,
+		Manifest: a.Manifest,
+	}); err != nil {
 		return err
 	}
 	if err := s.send(msg.Bytes()); err != nil {
@@ -397,6 +407,14 @@ func (e *Endpoint) ReceiveAgent(conn net.Conn, accept func(*agent.Agent, names.N
 		_ = s.sendAck(false, "malformed agent")
 		return nil, err
 	}
+	// The envelope manifest and the agent's in-body manifest must be
+	// the same declaration: a sender advertising narrower needs in the
+	// envelope than the agent actually claims (or vice versa) is
+	// rejected before admission even looks at the code.
+	if !manifestsAgree(msg.Manifest, a.Manifest) {
+		_ = s.sendAck(false, "manifest envelope mismatch")
+		return nil, fmt.Errorf("%w: envelope manifest does not match agent manifest", ErrRejected)
+	}
 	if accept != nil {
 		if err := accept(a, s.peer); err != nil {
 			_ = s.sendAck(false, err.Error())
@@ -407,6 +425,18 @@ func (e *Endpoint) ReceiveAgent(conn net.Conn, accept func(*agent.Agent, names.N
 		return nil, err
 	}
 	return a, nil
+}
+
+// manifestsAgree reports whether the envelope and in-agent manifests
+// are the same declaration (both absent, or mutually covering).
+func manifestsAgree(env, carried *analysis.Manifest) bool {
+	if env == nil && carried == nil {
+		return true
+	}
+	if env == nil || carried == nil {
+		return false
+	}
+	return env.Covers(carried) && carried.Covers(env)
 }
 
 func (s *session) sendAck(ok bool, reason string) error {

@@ -33,7 +33,16 @@ func newWorld(t *testing.T) *world {
 		if err != nil {
 			t.Fatal(err)
 		}
-		return &Endpoint{Identity: id, Verifier: reg.Verifier(), HandshakeTimeout: 2 * time.Second}
+		// TransferTimeout mirrors production configuration (server.New
+		// always sets one): a corrupted length prefix that inflates a
+		// frame's claimed size must surface as a timeout on both sides,
+		// not wedge reader and ack-waiter forever.
+		return &Endpoint{
+			Identity:         id,
+			Verifier:         reg.Verifier(),
+			HandshakeTimeout: 2 * time.Second,
+			TransferTimeout:  5 * time.Second,
+		}
 	}
 	return &world{
 		reg: reg,

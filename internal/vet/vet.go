@@ -1,0 +1,129 @@
+// Package vet is the shared driver behind `aslc -vet` and the
+// ajanta-vet command: it compiles ASL sources, runs the static-analysis
+// passes (internal/vm/analysis) and flattens everything — compile
+// errors, analysis failures, lint findings — into one position-sorted
+// diagnostic list with stable codes. Both tools print the same list;
+// only the framing (single file vs. many, text vs. JSON) differs.
+package vet
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/asl"
+	"repro/internal/vm/analysis"
+)
+
+// Diagnostic codes for the phases before lint. Lint findings carry
+// their own ANA001..ANA004 codes from the analysis package.
+const (
+	// CodeCompile marks a compile (lex/parse/semantic) error.
+	CodeCompile = "ASL000"
+	// CodeAnalysis marks a module the analyzer rejected outright
+	// (failed bytecode verification or abstract interpretation); such
+	// a module would also be rejected at every server's arrival gate.
+	CodeAnalysis = "ANA000"
+)
+
+// Diagnostic is one finding, addressed by source position when known.
+type Diagnostic struct {
+	File string `json:"file"`
+	Line int    `json:"line,omitempty"`
+	Col  int    `json:"col,omitempty"`
+	Code string `json:"code"`
+	Msg  string `json:"msg"`
+	// Module and Func locate lint findings in the compiled bundle.
+	Module string `json:"module,omitempty"`
+	Func   string `json:"func,omitempty"`
+}
+
+// String renders the conventional file:line:col: CODE: msg form,
+// dropping position parts that are unknown.
+func (d Diagnostic) String() string {
+	loc := d.File
+	if d.Line > 0 {
+		loc = fmt.Sprintf("%s:%d", loc, d.Line)
+		if d.Col > 0 {
+			loc = fmt.Sprintf("%s:%d", loc, d.Col)
+		}
+	}
+	return fmt.Sprintf("%s: %s: %s", loc, d.Code, d.Msg)
+}
+
+// Result is the outcome of vetting one source file.
+type Result struct {
+	File        string
+	Diagnostics []Diagnostic
+	// Manifest is the module's computed access manifest; nil when the
+	// source did not compile or analyze.
+	Manifest *analysis.Manifest
+}
+
+// Source vets one ASL source. Every diagnostic the toolchain can
+// produce for it is returned — compilation continues past the first
+// error, and lint runs whenever compilation succeeds.
+func Source(file, src string) Result {
+	res := Result{File: file}
+	mod, err := asl.Compile(src)
+	if err != nil {
+		for _, e := range asl.AllErrors(err) {
+			res.Diagnostics = append(res.Diagnostics, Diagnostic{
+				File: file, Line: e.Line, Col: e.Col,
+				Code: CodeCompile, Msg: e.Msg,
+			})
+		}
+		return res
+	}
+	ma, err := analysis.AnalyzeModule(mod)
+	if err != nil {
+		res.Diagnostics = append(res.Diagnostics, Diagnostic{
+			File: file, Code: CodeAnalysis, Msg: err.Error(),
+		})
+		return res
+	}
+	res.Manifest = ma.Manifest
+	for _, d := range analysis.Lint(ma) {
+		res.Diagnostics = append(res.Diagnostics, Diagnostic{
+			File: file, Line: int(d.Pos.Line), Col: int(d.Pos.Col),
+			Code: d.Code, Msg: d.Msg, Module: d.Module, Func: d.Func,
+		})
+	}
+	sortDiags(res.Diagnostics)
+	return res
+}
+
+// sortDiags orders by position, then code, for stable output.
+func sortDiags(ds []Diagnostic) {
+	sort.SliceStable(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Code < b.Code
+	})
+}
+
+// Print writes the results' diagnostics to w — one line per finding, or
+// one JSON array of all findings when asJSON is set — and returns the
+// total number printed. A nonzero return is the tools' exit-1 signal.
+func Print(w io.Writer, results []Result, asJSON bool) int {
+	all := []Diagnostic{}
+	for _, r := range results {
+		all = append(all, r.Diagnostics...)
+	}
+	if asJSON {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(all)
+		return len(all)
+	}
+	for _, d := range all {
+		fmt.Fprintln(w, d)
+	}
+	return len(all)
+}

@@ -1,0 +1,112 @@
+package vet
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestAllCompileErrorsReported: compilation recovers and the driver
+// reports every error with its position, not just the first.
+func TestAllCompileErrorsReported(t *testing.T) {
+	src := `module m
+func f() {
+  x = 1
+  var y = nosuch
+}`
+	res := Source("m.asl", src)
+	if len(res.Diagnostics) < 2 {
+		t.Fatalf("diagnostics = %v, want both errors", res.Diagnostics)
+	}
+	for _, d := range res.Diagnostics {
+		if d.Code != CodeCompile {
+			t.Errorf("code = %s, want %s", d.Code, CodeCompile)
+		}
+		if d.Line == 0 || d.Col == 0 {
+			t.Errorf("diagnostic lacks position: %v", d)
+		}
+		if !strings.HasPrefix(d.String(), "m.asl:") {
+			t.Errorf("String() = %q, want file:line:col prefix", d.String())
+		}
+	}
+	if res.Manifest != nil {
+		t.Error("manifest computed for failed compile")
+	}
+	// Positions are sorted.
+	for i := 1; i < len(res.Diagnostics); i++ {
+		if res.Diagnostics[i].Line < res.Diagnostics[i-1].Line {
+			t.Errorf("diagnostics out of order: %v", res.Diagnostics)
+		}
+	}
+}
+
+// TestCleanSourceHasManifest: a clean module vets silently and exposes
+// its computed access manifest.
+func TestCleanSourceHasManifest(t *testing.T) {
+	src := `module m
+func main() {
+  var h = get_resource("printer")
+  report(invoke(h, "enqueue", "doc"))
+}`
+	res := Source("m.asl", src)
+	if len(res.Diagnostics) != 0 {
+		t.Fatalf("diagnostics = %v, want none", res.Diagnostics)
+	}
+	if res.Manifest == nil {
+		t.Fatal("no manifest")
+	}
+	found := false
+	for _, r := range res.Manifest.Resources {
+		if r == "printer" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("manifest = %v, want resources=[printer]", res.Manifest)
+	}
+}
+
+// TestLintFindingsSurface: the ANA lint codes flow through the driver
+// with positions and module/function context.
+func TestLintFindingsSurface(t *testing.T) {
+	src := `module m
+func main() {
+  var unused = 1
+  get_resource("printer")
+}`
+	res := Source("m.asl", src)
+	codes := map[string]bool{}
+	for _, d := range res.Diagnostics {
+		codes[d.Code] = true
+		if d.Module != "m" || d.Func != "main" {
+			t.Errorf("context = %s.%s, want m.main", d.Module, d.Func)
+		}
+	}
+	if !codes["ANA002"] || !codes["ANA003"] {
+		t.Fatalf("diagnostics = %v, want ANA002 and ANA003", res.Diagnostics)
+	}
+}
+
+// TestPrintJSON: the JSON form is one array of all findings across
+// results, and the count matches the text form.
+func TestPrintJSON(t *testing.T) {
+	bad := Source("bad.asl", "module m\nfunc f() { x = 1 }")
+	clean := Source("ok.asl", "module n\nfunc g() { return 1 }")
+	var buf bytes.Buffer
+	n := Print(&buf, []Result{bad, clean}, true)
+	if n != len(bad.Diagnostics) {
+		t.Fatalf("printed %d, want %d", n, len(bad.Diagnostics))
+	}
+	var arr []Diagnostic
+	if err := json.Unmarshal(buf.Bytes(), &arr); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if len(arr) != n {
+		t.Fatalf("JSON has %d entries, want %d", len(arr), n)
+	}
+	var txt bytes.Buffer
+	if got := Print(&txt, []Result{bad, clean}, false); got != n {
+		t.Fatalf("text printed %d, want %d", got, n)
+	}
+}

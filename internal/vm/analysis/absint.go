@@ -1,0 +1,360 @@
+package analysis
+
+import (
+	"fmt"
+
+	"repro/internal/vm"
+)
+
+// Kind is the abstract value kind the interpreter tracks per stack and
+// local slot. It refines the verifier's depth-only model: the verifier
+// knows *how many* operands are live, this pass knows roughly *what*
+// they are.
+type Kind uint8
+
+const (
+	KAny Kind = iota // unknown / joined
+	KInt
+	KStr
+	KBool
+	KNil
+	KList
+	KMap
+	KHandle // resource handle from get_resource
+)
+
+var kindNames = [...]string{
+	KAny: "any", KInt: "int", KStr: "str", KBool: "bool",
+	KNil: "nil", KList: "list", KMap: "map", KHandle: "handle",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// AbsValue is one abstract operand: a kind, plus the exact string when
+// the value is a compile-time-constant string (the property the
+// capability-flow pass resolves resource and method names with).
+type AbsValue struct {
+	Kind    Kind
+	Str     string // valid when IsConst
+	IsConst bool
+}
+
+func anyVal() AbsValue           { return AbsValue{Kind: KAny} }
+func constStr(s string) AbsValue { return AbsValue{Kind: KStr, Str: s, IsConst: true} }
+
+// joinVal is the lattice join: kinds must agree or widen to KAny;
+// constant strings must agree or drop to non-constant.
+func joinVal(a, b AbsValue) AbsValue {
+	out := a
+	if a.Kind != b.Kind {
+		out.Kind = KAny
+	}
+	if !a.IsConst || !b.IsConst || a.Str != b.Str {
+		out.IsConst = false
+		out.Str = ""
+	}
+	return out
+}
+
+// HostCall is one host-call site the abstract interpreter reached (or,
+// for sites only reachable through dead-after-migration code, recorded
+// with nil Args so the manifest widens them).
+type HostCall struct {
+	PC   int
+	Name string
+	// Args holds the abstract argument values (arg 0 first); nil when
+	// the site was never visited by the abstract interpreter and its
+	// arguments are therefore unknown.
+	Args []AbsValue
+}
+
+// Arg returns the i'th abstract argument, widening to unknown when the
+// site carries no argument facts.
+func (h *HostCall) Arg(i int) AbsValue {
+	if i < 0 || i >= len(h.Args) {
+		return anyVal()
+	}
+	return h.Args[i]
+}
+
+// migrates reports whether the named host call unwinds the current
+// execution on success (the agent leaves this server; code after the
+// call never runs here). Mirrors the errMigrate host calls in
+// internal/server.
+func migrates(name string) bool { return name == "go" || name == "colocate" }
+
+// absState is the abstract machine state at one program point.
+type absState struct {
+	stack  []AbsValue
+	locals []AbsValue
+}
+
+func (s *absState) clone() *absState {
+	c := &absState{
+		stack:  append([]AbsValue(nil), s.stack...),
+		locals: append([]AbsValue(nil), s.locals...),
+	}
+	return c
+}
+
+// join merges o into s, reporting whether s changed. Stack depths are
+// guaranteed equal by the verifier.
+func (s *absState) join(o *absState) bool {
+	changed := false
+	for i := range s.stack {
+		j := joinVal(s.stack[i], o.stack[i])
+		if j != s.stack[i] {
+			s.stack[i] = j
+			changed = true
+		}
+	}
+	for i := range s.locals {
+		j := joinVal(s.locals[i], o.locals[i])
+		if j != s.locals[i] {
+			s.locals[i] = j
+			changed = true
+		}
+	}
+	return changed
+}
+
+// funcAbs is the abstract-interpretation result for one function.
+type funcAbs struct {
+	// visited marks instructions the abstract execution can reach;
+	// differs from CFG reachability exactly on code that only follows a
+	// migrating host call (go/colocate).
+	visited []bool
+	// calls are the visited host-call sites, in pc order.
+	calls []HostCall
+}
+
+// interpret runs the forward abstract interpretation of f. The module
+// must already be verified: stack depths are consistent, operands in
+// range. Violations of that invariant surface as errors (never panics).
+func interpret(m *vm.Module, f *vm.Func) (*funcAbs, error) {
+	n := len(f.Code)
+	res := &funcAbs{visited: make([]bool, n)}
+	if n == 0 {
+		return nil, fmt.Errorf("analysis: %s.%s: empty body", m.Name, f.Name)
+	}
+	in := make([]*absState, n)
+	entry := &absState{locals: make([]AbsValue, f.NLocals)}
+	for i := range entry.locals {
+		if i < f.NParams {
+			entry.locals[i] = anyVal()
+		} else {
+			entry.locals[i] = AbsValue{Kind: KNil} // zero-filled by the frame
+		}
+	}
+	in[0] = entry
+	work := []int{0}
+	callAt := make(map[int][]AbsValue)
+	for len(work) > 0 {
+		pc := work[len(work)-1]
+		work = work[:len(work)-1]
+		res.visited[pc] = true
+		st := in[pc].clone()
+		ins := f.Code[pc]
+
+		pop := func(k int) ([]AbsValue, error) {
+			if len(st.stack) < k {
+				return nil, fmt.Errorf("analysis: %s.%s@%d: stack underflow", m.Name, f.Name, pc)
+			}
+			popped := st.stack[len(st.stack)-k:]
+			st.stack = st.stack[:len(st.stack)-k]
+			return popped, nil
+		}
+		push := func(v AbsValue) { st.stack = append(st.stack, v) }
+
+		terminal := false
+		switch ins.Op {
+		case vm.OpNop:
+		case vm.OpPushInt:
+			push(AbsValue{Kind: KInt})
+		case vm.OpPushStr:
+			if int(ins.A) < 0 || int(ins.A) >= len(m.Strs) {
+				return nil, fmt.Errorf("analysis: %s.%s@%d: str index out of range", m.Name, f.Name, pc)
+			}
+			push(constStr(m.Strs[ins.A]))
+		case vm.OpPushTrue, vm.OpPushFalse:
+			push(AbsValue{Kind: KBool})
+		case vm.OpPushNil:
+			push(AbsValue{Kind: KNil})
+		case vm.OpLoadLocal:
+			if int(ins.A) < 0 || int(ins.A) >= len(st.locals) {
+				return nil, fmt.Errorf("analysis: %s.%s@%d: local out of range", m.Name, f.Name, pc)
+			}
+			push(st.locals[ins.A])
+		case vm.OpStoreLocal:
+			v, err := pop(1)
+			if err != nil {
+				return nil, err
+			}
+			if int(ins.A) < 0 || int(ins.A) >= len(st.locals) {
+				return nil, fmt.Errorf("analysis: %s.%s@%d: local out of range", m.Name, f.Name, pc)
+			}
+			st.locals[ins.A] = v[0]
+		case vm.OpLoadGlobal:
+			// Globals are the agent's mutable migrating state; nothing
+			// is known about them statically.
+			push(anyVal())
+		case vm.OpStoreGlobal:
+			if _, err := pop(1); err != nil {
+				return nil, err
+			}
+		case vm.OpAdd:
+			ab, err := pop(2)
+			if err != nil {
+				return nil, err
+			}
+			a, b := ab[0], ab[1]
+			switch {
+			case a.IsConst && b.IsConst:
+				// String concatenation rides on Add; fold constants so
+				// built-up names still resolve in the manifest.
+				push(constStr(a.Str + b.Str))
+			case a.Kind == KStr && b.Kind == KStr:
+				push(AbsValue{Kind: KStr})
+			case a.Kind == KInt && b.Kind == KInt:
+				push(AbsValue{Kind: KInt})
+			default:
+				push(anyVal())
+			}
+		case vm.OpSub, vm.OpMul, vm.OpDiv, vm.OpMod:
+			if _, err := pop(2); err != nil {
+				return nil, err
+			}
+			push(AbsValue{Kind: KInt})
+		case vm.OpNeg:
+			if _, err := pop(1); err != nil {
+				return nil, err
+			}
+			push(AbsValue{Kind: KInt})
+		case vm.OpEq, vm.OpNe, vm.OpLt, vm.OpLe, vm.OpGt, vm.OpGe:
+			if _, err := pop(2); err != nil {
+				return nil, err
+			}
+			push(AbsValue{Kind: KBool})
+		case vm.OpNot:
+			if _, err := pop(1); err != nil {
+				return nil, err
+			}
+			push(AbsValue{Kind: KBool})
+		case vm.OpJump:
+		case vm.OpJumpIfFalse, vm.OpJumpIfTrue:
+			if _, err := pop(1); err != nil {
+				return nil, err
+			}
+		case vm.OpCall, vm.OpCallNamed:
+			if _, err := pop(int(ins.B)); err != nil {
+				return nil, err
+			}
+			push(anyVal())
+		case vm.OpHostCall:
+			if int(ins.A) < 0 || int(ins.A) >= len(m.Strs) {
+				return nil, fmt.Errorf("analysis: %s.%s@%d: callee index out of range", m.Name, f.Name, pc)
+			}
+			name := m.Strs[ins.A]
+			args, err := pop(int(ins.B))
+			if err != nil {
+				return nil, err
+			}
+			// Record (joining with earlier visits of the same site).
+			if prev, ok := callAt[pc]; ok {
+				joined := make([]AbsValue, len(args))
+				for i := range args {
+					if i < len(prev) {
+						joined[i] = joinVal(prev[i], args[i])
+					} else {
+						joined[i] = args[i]
+					}
+				}
+				callAt[pc] = joined
+			} else {
+				callAt[pc] = append([]AbsValue(nil), args...)
+			}
+			if migrates(name) {
+				// Successful go/colocate unwinds the execution; a
+				// failed one aborts it. Either way the fall-through
+				// never executes on this server.
+				terminal = true
+			} else if name == "get_resource" {
+				push(AbsValue{Kind: KHandle})
+			} else {
+				push(anyVal())
+			}
+		case vm.OpReturn, vm.OpHalt:
+			if _, err := pop(1); err != nil {
+				return nil, err
+			}
+			terminal = true
+		case vm.OpPop:
+			if _, err := pop(1); err != nil {
+				return nil, err
+			}
+		case vm.OpDup:
+			v, err := pop(1)
+			if err != nil {
+				return nil, err
+			}
+			push(v[0])
+			push(v[0])
+		case vm.OpMakeList:
+			if _, err := pop(int(ins.A)); err != nil {
+				return nil, err
+			}
+			push(AbsValue{Kind: KList})
+		case vm.OpIndex:
+			if _, err := pop(2); err != nil {
+				return nil, err
+			}
+			push(anyVal())
+		case vm.OpSetIndex:
+			if _, err := pop(3); err != nil {
+				return nil, err
+			}
+			push(AbsValue{Kind: KNil})
+		case vm.OpMakeMap:
+			if _, err := pop(2 * int(ins.A)); err != nil {
+				return nil, err
+			}
+			push(AbsValue{Kind: KMap})
+		default:
+			return nil, fmt.Errorf("analysis: %s.%s@%d: unknown opcode %d", m.Name, f.Name, pc, ins.Op)
+		}
+
+		if terminal {
+			continue
+		}
+		for _, s := range succPCs(f, pc) {
+			if s < 0 || s >= n {
+				return nil, fmt.Errorf("analysis: %s.%s@%d: successor %d out of range", m.Name, f.Name, pc, s)
+			}
+			if in[s] == nil {
+				in[s] = st.clone()
+				work = append(work, s)
+			} else if len(in[s].stack) != len(st.stack) {
+				// The verifier guarantees consistent depths; treat a
+				// mismatch as a malformed module, not a panic.
+				return nil, fmt.Errorf("analysis: %s.%s@%d: inconsistent stack depth at %d", m.Name, f.Name, pc, s)
+			} else if in[s].join(st) || !res.visited[s] {
+				work = append(work, s)
+			}
+		}
+	}
+	for pc := 0; pc < n; pc++ {
+		ins := f.Code[pc]
+		// The verifier only checks instructions it can reach, so an
+		// unreachable host call may carry an out-of-range name index;
+		// such a site can never execute and is skipped.
+		if ins.Op == vm.OpHostCall && int(ins.A) >= 0 && int(ins.A) < len(m.Strs) {
+			res.calls = append(res.calls, HostCall{PC: pc, Name: m.Strs[ins.A], Args: callAt[pc]})
+		}
+	}
+	return res, nil
+}

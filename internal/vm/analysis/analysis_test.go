@@ -1,0 +1,508 @@
+package analysis_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/asl"
+	"repro/internal/vm"
+	"repro/internal/vm/analysis"
+)
+
+func compile(t *testing.T, src string) *vm.Module {
+	t.Helper()
+	m, err := asl.Compile(src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return m
+}
+
+func analyzeSrc(t *testing.T, src string) *analysis.ModuleAnalysis {
+	t.Helper()
+	ma, err := analysis.AnalyzeModule(compile(t, src))
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	return ma
+}
+
+// --- CFG construction -------------------------------------------------
+
+func TestCFGStraightLine(t *testing.T) {
+	m := &vm.Module{Name: "t", Ints: []int64{1}}
+	m.Fns = []vm.Func{{Name: "f", Code: []vm.Instr{
+		{Op: vm.OpPushInt, A: 0},
+		{Op: vm.OpReturn},
+	}}}
+	if err := vm.Verify(m); err != nil {
+		t.Fatal(err)
+	}
+	g := analysis.BuildCFG(&m.Fns[0])
+	if len(g.Blocks) != 1 {
+		t.Fatalf("want 1 block, got %d: %+v", len(g.Blocks), g.Blocks)
+	}
+	if g.Blocks[0].Start != 0 || g.Blocks[0].End != 2 || len(g.Blocks[0].Succs) != 0 {
+		t.Fatalf("bad block: %+v", g.Blocks[0])
+	}
+	if !g.Reachable[0] {
+		t.Fatal("entry block must be reachable")
+	}
+}
+
+func TestCFGDiamond(t *testing.T) {
+	// if-else: cond, jz else, then, jmp end, else, end(ret)
+	m := &vm.Module{Name: "t", Ints: []int64{1, 2}}
+	m.Fns = []vm.Func{{Name: "f", Code: []vm.Instr{
+		{Op: vm.OpPushTrue},          // 0: B0
+		{Op: vm.OpJumpIfFalse, A: 4}, // 1
+		{Op: vm.OpPushInt, A: 0},     // 2: B1 (then)
+		{Op: vm.OpJump, A: 5},        // 3
+		{Op: vm.OpPushInt, A: 1},     // 4: B2 (else)
+		{Op: vm.OpReturn},            // 5: B3 (join)
+	}}}
+	if err := vm.Verify(m); err != nil {
+		t.Fatal(err)
+	}
+	g := analysis.BuildCFG(&m.Fns[0])
+	if len(g.Blocks) != 4 {
+		t.Fatalf("want 4 blocks, got %d: %+v", len(g.Blocks), g.Blocks)
+	}
+	wantSuccs := [][]int{{2, 1}, {3}, {3}, {}}
+	for i, b := range g.Blocks {
+		if len(b.Succs) != len(wantSuccs[i]) {
+			t.Fatalf("block %d succs = %v, want %v", i, b.Succs, wantSuccs[i])
+		}
+		for j := range b.Succs {
+			if b.Succs[j] != wantSuccs[i][j] {
+				t.Fatalf("block %d succs = %v, want %v", i, b.Succs, wantSuccs[i])
+			}
+		}
+		if !g.Reachable[i] {
+			t.Fatalf("block %d should be reachable", i)
+		}
+	}
+}
+
+func TestCFGUnreachableBlock(t *testing.T) {
+	m := &vm.Module{Name: "t", Ints: []int64{7}}
+	m.Fns = []vm.Func{{Name: "f", Code: []vm.Instr{
+		{Op: vm.OpPushInt, A: 0}, // 0: B0
+		{Op: vm.OpReturn},        // 1
+		{Op: vm.OpPushInt, A: 0}, // 2: B1, dead
+		{Op: vm.OpReturn},        // 3
+	}}}
+	if err := vm.Verify(m); err != nil {
+		t.Fatal(err)
+	}
+	g := analysis.BuildCFG(&m.Fns[0])
+	if len(g.Blocks) != 2 {
+		t.Fatalf("want 2 blocks, got %d", len(g.Blocks))
+	}
+	if !g.Reachable[0] || g.Reachable[1] {
+		t.Fatalf("reachability = %v, want [true false]", g.Reachable)
+	}
+	if g.ReachablePC(2) {
+		t.Fatal("pc 2 must be unreachable")
+	}
+}
+
+// --- manifest computation --------------------------------------------
+
+func TestManifestTable(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want analysis.Manifest
+	}{
+		{
+			name: "conditional host call appears",
+			src: `module m
+func run(n) {
+	if n > 0 {
+		var r = get_resource("printer")
+		invoke(r, "print", "hi")
+	}
+}`,
+			want: analysis.Manifest{
+				HostCalls: []string{"get_resource", "invoke"},
+				Resources: []string{"printer"},
+				Methods:   []string{"print"},
+			},
+		},
+		{
+			name: "unreachable host call omitted",
+			src: `module m
+func run() {
+	return 1
+	log("dead")
+}`,
+			want: analysis.Manifest{},
+		},
+		{
+			name: "non-constant argument widens to star",
+			src: `module m
+func run(name) {
+	get_resource(name)
+}`,
+			want: analysis.Manifest{
+				HostCalls: []string{"get_resource"},
+				Resources: []string{"*"},
+			},
+		},
+		{
+			name: "constant concatenation folds",
+			src: `module m
+func run() {
+	get_resource("print" + "er")
+}`,
+			want: analysis.Manifest{
+				HostCalls: []string{"get_resource"},
+				Resources: []string{"printer"},
+			},
+		},
+		{
+			name: "go destination and entry recorded",
+			src: `module m
+func run() {
+	go("ajanta:server/east", "step")
+}
+func step() {
+	report(1)
+}`,
+			want: analysis.Manifest{
+				HostCalls:    []string{"go", "report"},
+				Destinations: []string{"ajanta:server/east"},
+			},
+		},
+		{
+			name: "call after migration still counted (widened)",
+			src: `module m
+func run() {
+	go("ajanta:server/east", "step")
+	get_resource("printer")
+}
+func step() {
+	report(1)
+}`,
+			want: analysis.Manifest{
+				HostCalls: []string{"get_resource", "go", "report"},
+				// The post-go site is never abstractly executed, so its
+				// argument widens rather than resolving to "printer".
+				Resources:    []string{"*"},
+				Destinations: []string{"ajanta:server/east"},
+			},
+		},
+		{
+			name: "colocate names the resource",
+			src: `module m
+func run() {
+	colocate("ajanta:resource/db", "step")
+}
+func step() {
+	log("here")
+}`,
+			want: analysis.Manifest{
+				HostCalls: []string{"colocate", "log"},
+				Resources: []string{"ajanta:resource/db"},
+			},
+		},
+		{
+			name: "constant through a local resolves",
+			src: `module m
+func run() {
+	var name = "printer"
+	var r = get_resource(name)
+	invoke(r, "print")
+}`,
+			want: analysis.Manifest{
+				HostCalls: []string{"get_resource", "invoke"},
+				Resources: []string{"printer"},
+				Methods:   []string{"print"},
+			},
+		},
+		{
+			name: "joined locals widen",
+			src: `module m
+func run(n) {
+	var name = "printer"
+	if n > 0 {
+		name = "scanner"
+	}
+	get_resource(name)
+}`,
+			want: analysis.Manifest{
+				HostCalls: []string{"get_resource"},
+				Resources: []string{"*"},
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ma := analyzeSrc(t, tc.src)
+			got := ma.Manifest
+			eq := func(label string, got, want []string) {
+				if strings.Join(got, ",") != strings.Join(want, ",") {
+					t.Errorf("%s = %v, want %v", label, got, want)
+				}
+			}
+			eq("HostCalls", got.HostCalls, tc.want.HostCalls)
+			eq("Resources", got.Resources, tc.want.Resources)
+			eq("Methods", got.Methods, tc.want.Methods)
+			eq("Destinations", got.Destinations, tc.want.Destinations)
+		})
+	}
+}
+
+func TestManifestCovers(t *testing.T) {
+	computed := &analysis.Manifest{
+		HostCalls: []string{"get_resource", "invoke"},
+		Resources: []string{"printer"},
+		Methods:   []string{"print"},
+	}
+	exact := &analysis.Manifest{
+		HostCalls: []string{"get_resource", "invoke"},
+		Resources: []string{"printer"},
+		Methods:   []string{"print"},
+	}
+	if !exact.Covers(computed) {
+		t.Error("identical manifest must cover itself")
+	}
+	wild := &analysis.Manifest{
+		HostCalls: []string{"*"},
+		Resources: []string{"*"},
+		Methods:   []string{"*"},
+	}
+	if !wild.Covers(computed) {
+		t.Error("wildcard manifest must cover anything")
+	}
+	narrow := &analysis.Manifest{
+		HostCalls: []string{"get_resource"},
+		Resources: []string{"printer"},
+		Methods:   []string{"print"},
+	}
+	if narrow.Covers(computed) {
+		t.Error("manifest missing a host call must not cover")
+	}
+	// A computed "*" is only covered by a declared "*".
+	widened := &analysis.Manifest{Resources: []string{"*"}}
+	named := &analysis.Manifest{Resources: []string{"printer", "scanner"}}
+	if named.Covers(widened) {
+		t.Error("named list must not cover a wildcard requirement")
+	}
+}
+
+// --- lint diagnostics -------------------------------------------------
+
+func codes(ds []analysis.Diagnostic) []string {
+	var out []string
+	for _, d := range ds {
+		out = append(out, d.Code)
+	}
+	return out
+}
+
+func hasCode(ds []analysis.Diagnostic, code string) bool {
+	for _, d := range ds {
+		if d.Code == code {
+			return true
+		}
+	}
+	return false
+}
+
+func TestLintUnreachable(t *testing.T) {
+	ma := analyzeSrc(t, `module m
+func run() {
+	return 1
+	log("dead")
+}`)
+	ds := analysis.Lint(ma)
+	if !hasCode(ds, analysis.CodeUnreachable) {
+		t.Fatalf("want ANA001, got %v", codes(ds))
+	}
+	for _, d := range ds {
+		if d.Code == analysis.CodeUnreachable && d.Pos.Line != 4 {
+			t.Errorf("ANA001 position = %d:%d, want line 4", d.Pos.Line, d.Pos.Col)
+		}
+	}
+}
+
+func TestLintCleanFunctionHasNoUnreachable(t *testing.T) {
+	// The implicit nil-return epilogue after an explicit return is
+	// compiler residue, not a user-facing diagnostic.
+	ds := analysis.Lint(analyzeSrc(t, `module m
+func run(n) {
+	if n > 0 {
+		return 1
+	}
+	return 2
+}`))
+	if len(ds) != 0 {
+		t.Fatalf("clean function produced diagnostics: %v", ds)
+	}
+}
+
+func TestLintDeadStore(t *testing.T) {
+	ma := analyzeSrc(t, `module m
+func run() {
+	var unused = 41
+	report(1)
+}`)
+	ds := analysis.Lint(ma)
+	if !hasCode(ds, analysis.CodeDeadStore) {
+		t.Fatalf("want ANA002, got %v", codes(ds))
+	}
+	found := false
+	for _, d := range ds {
+		if d.Code == analysis.CodeDeadStore && strings.Contains(d.Msg, `"unused"`) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("ANA002 should name the local: %v", ds)
+	}
+}
+
+func TestLintLoopCounterIsLive(t *testing.T) {
+	ds := analysis.Lint(analyzeSrc(t, `module m
+func run() {
+	var i = 0
+	while i < 3 {
+		i = i + 1
+	}
+	report(i)
+}`))
+	if hasCode(ds, analysis.CodeDeadStore) {
+		t.Fatalf("loop counter store wrongly flagged dead: %v", ds)
+	}
+}
+
+func TestLintIgnoredHandle(t *testing.T) {
+	ds := analysis.Lint(analyzeSrc(t, `module m
+func run() {
+	get_resource("printer")
+}`))
+	if !hasCode(ds, analysis.CodeIgnoredHandle) {
+		t.Fatalf("want ANA003, got %v", codes(ds))
+	}
+}
+
+func TestLintHandleUsedNotFlagged(t *testing.T) {
+	ds := analysis.Lint(analyzeSrc(t, `module m
+func run() {
+	var r = get_resource("printer")
+	invoke(r, "print")
+}`))
+	if hasCode(ds, analysis.CodeIgnoredHandle) {
+		t.Fatalf("used handle wrongly flagged: %v", ds)
+	}
+}
+
+func TestLintCodeAfterGo(t *testing.T) {
+	ma := analyzeSrc(t, `module m
+func run() {
+	go("ajanta:server/east", "step")
+	report("never happens")
+}
+func step() {
+	report(1)
+}`)
+	ds := analysis.Lint(ma)
+	if !hasCode(ds, analysis.CodeAfterMigrate) {
+		t.Fatalf("want ANA004, got %v", codes(ds))
+	}
+}
+
+func TestLintGoAtEndNotFlagged(t *testing.T) {
+	ds := analysis.Lint(analyzeSrc(t, `module m
+func run() {
+	go("ajanta:server/east", "step")
+}
+func step() {
+	report(1)
+}`))
+	if hasCode(ds, analysis.CodeAfterMigrate) {
+		t.Fatalf("trailing go wrongly flagged: %v", ds)
+	}
+}
+
+func TestLintConditionalGoJoinNotFlagged(t *testing.T) {
+	// The join code is reachable through the else path and must not be
+	// reported as dead-after-migration.
+	ds := analysis.Lint(analyzeSrc(t, `module m
+func run(n) {
+	if n > 0 {
+		go("ajanta:server/east", "step")
+	}
+	report("stayed")
+}
+func step() {
+	report(1)
+}`))
+	if hasCode(ds, analysis.CodeAfterMigrate) {
+		t.Fatalf("conditionally-reached join wrongly flagged: %v", ds)
+	}
+}
+
+// --- fail-closed analysis on hostile modules --------------------------
+
+func TestAnalyzeRejectsUnverifiable(t *testing.T) {
+	m := &vm.Module{Name: "evil"}
+	m.Fns = []vm.Func{{Name: "f", Code: []vm.Instr{
+		{Op: vm.OpPop}, // underflow
+		{Op: vm.OpReturn},
+	}}}
+	if _, err := analysis.AnalyzeModule(m); err == nil {
+		t.Fatal("analysis must reject an unverifiable module")
+	}
+	if _, err := analysis.ComputeManifest([]vm.Module{*m}); err == nil {
+		t.Fatal("manifest computation must reject an unverifiable bundle")
+	}
+}
+
+// moduleFromBytes deterministically builds a module from fuzz bytes:
+// instructions are decoded in 3-byte groups over small constant pools.
+func moduleFromBytes(data []byte) *vm.Module {
+	m := &vm.Module{
+		Name: "fuzz",
+		Ints: []int64{0, 1, 42},
+		Strs: []string{"go", "get_resource", "invoke", "log", "printer", "colocate"},
+	}
+	var code []vm.Instr
+	for i := 0; i+2 < len(data); i += 3 {
+		code = append(code, vm.Instr{
+			Op: vm.Opcode(data[i] % 40),
+			A:  int32(int8(data[i+1])),
+			B:  int32(data[i+2] % 8),
+		})
+	}
+	if len(code) == 0 {
+		code = []vm.Instr{{Op: vm.OpPushNil}, {Op: vm.OpReturn}}
+	}
+	m.Fns = []vm.Func{{Name: "f", NParams: 1, NLocals: 2, Code: code}}
+	return m
+}
+
+func FuzzAnalyze(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{5, 0, 0, 28, 0, 0})                              // pushnil, ret
+	f.Add([]byte{2, 4, 0, 26, 1, 1, 29, 0, 0, 5, 0, 0, 28, 0, 0}) // pushstr, hostcall, pop...
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m := moduleFromBytes(data)
+		verifyErr := vm.Verify(m)
+		ma, err := analysis.AnalyzeModule(m)
+		if verifyErr == nil && err != nil {
+			t.Fatalf("verified module failed analysis: %v", err)
+		}
+		if verifyErr != nil && err == nil {
+			t.Fatal("unverifiable module passed analysis (fail-closed violated)")
+		}
+		if err == nil {
+			analysis.Lint(ma) // must not panic
+			if !ma.Manifest.Covers(ma.Manifest) {
+				t.Fatal("manifest must cover itself")
+			}
+		}
+	})
+}

@@ -1,0 +1,96 @@
+package analysis
+
+import "repro/internal/vm"
+
+// FuncAnalysis bundles the per-function passes.
+type FuncAnalysis struct {
+	Fn  *vm.Func
+	CFG *CFG
+	// Visited marks instructions the abstract interpreter reached.
+	// Differs from CFG reachability exactly on code that only follows a
+	// migrating host call (go/colocate) — such code is CFG-reachable
+	// but never executes on this server.
+	Visited []bool
+	// HostCalls lists every host-call site of the function, in pc
+	// order, with abstract argument facts where the interpreter saw
+	// them (nil Args at unvisited sites).
+	HostCalls []HostCall
+}
+
+// ModuleAnalysis is the full analysis of one module.
+type ModuleAnalysis struct {
+	Module   *vm.Module
+	Funcs    []FuncAnalysis
+	Manifest *Manifest
+}
+
+// AnalyzeModule verifies m and runs every pass over it. Any function of
+// the module is a potential entry point (launch entries and go()
+// resume entries are chosen at run time), so the manifest is the union
+// over all functions' CFG-reachable host calls.
+//
+// Analysis is fail-closed: an unverifiable module yields an error, and
+// the admission path treats an error as a rejection.
+func AnalyzeModule(m *vm.Module) (*ModuleAnalysis, error) {
+	if err := vm.Verify(m); err != nil {
+		return nil, err
+	}
+	ma := &ModuleAnalysis{Module: m, Manifest: &Manifest{}}
+	for fi := range m.Fns {
+		f := &m.Fns[fi]
+		cfg := BuildCFG(f)
+		abs, err := interpret(m, f)
+		if err != nil {
+			return nil, err
+		}
+		fa := FuncAnalysis{Fn: f, CFG: cfg, Visited: abs.visited, HostCalls: abs.calls}
+		for i := range fa.HostCalls {
+			c := &fa.HostCalls[i]
+			if cfg.ReachablePC(c.PC) {
+				// Unvisited-but-reachable sites (dead-after-migration
+				// code) carry nil Args and widen to "*" — included,
+				// never silently dropped.
+				ma.Manifest.addCall(c)
+			}
+		}
+		ma.Funcs = append(ma.Funcs, fa)
+	}
+	return ma, nil
+}
+
+// AnalyzeBundle analyzes every module of an agent's code bundle and
+// unions their manifests.
+func AnalyzeBundle(mods []vm.Module) ([]*ModuleAnalysis, *Manifest, error) {
+	if err := vm.VerifyBundle(mods); err != nil {
+		return nil, nil, err
+	}
+	union := &Manifest{}
+	out := make([]*ModuleAnalysis, 0, len(mods))
+	for i := range mods {
+		ma, err := AnalyzeModule(&mods[i])
+		if err != nil {
+			return nil, nil, err
+		}
+		out = append(out, ma)
+		for _, s := range ma.Manifest.HostCalls {
+			union.HostCalls = insert(union.HostCalls, s)
+		}
+		for _, s := range ma.Manifest.Resources {
+			union.Resources = insert(union.Resources, s)
+		}
+		for _, s := range ma.Manifest.Methods {
+			union.Methods = insert(union.Methods, s)
+		}
+		for _, s := range ma.Manifest.Destinations {
+			union.Destinations = insert(union.Destinations, s)
+		}
+	}
+	return out, union, nil
+}
+
+// ComputeManifest is the convenience entry the server admission path
+// and agent builder use: verify + analyze + union.
+func ComputeManifest(mods []vm.Module) (*Manifest, error) {
+	_, man, err := AnalyzeBundle(mods)
+	return man, err
+}

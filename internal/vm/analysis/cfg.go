@@ -1,0 +1,134 @@
+// Package analysis is the multi-pass static analyzer over compiled VM
+// modules. It layers three passes on the bytecode the seed verifier
+// (vm.Verify) already checks instruction-by-instruction:
+//
+//  1. control-flow graphs — basic blocks, successor edges, reachability
+//     (cfg.go);
+//  2. a forward abstract interpretation over the operand stack tracking
+//     value *kinds* and constant strings, strengthening the verifier's
+//     depth-only stack model (absint.go);
+//  3. a capability-flow pass deriving each module's access manifest —
+//     every host call, resource name, invoked method and migration
+//     destination the code can possibly reach (manifest.go).
+//
+// The same facts feed the lint diagnostics (lint.go) surfaced by
+// `aslc -vet` and `ajanta-vet`, and the admission check in
+// internal/server that rejects an over-privileged agent before any VM
+// instruction executes.
+package analysis
+
+import "repro/internal/vm"
+
+// Block is one basic block: the half-open instruction range
+// [Start, End) with no internal control transfers.
+type Block struct {
+	Start, End int
+	// Succs are the indices (into CFG.Blocks) of successor blocks.
+	// Empty for blocks ending in return/halt (and for go/colocate-style
+	// terminators, which the absint pass handles — the CFG itself keeps
+	// the fall-through edge).
+	Succs []int
+}
+
+// CFG is the control-flow graph of one function.
+type CFG struct {
+	Fn *vm.Func
+	// Blocks in ascending Start order; Blocks[0] starts at pc 0.
+	Blocks []Block
+	// BlockOf maps each pc to the index of its containing block.
+	BlockOf []int
+	// Reachable marks blocks reachable from the entry block.
+	Reachable []bool
+}
+
+// succPCs returns the successor instruction indices of pc, mirroring
+// the verifier's successor relation. Out-of-range targets cannot occur
+// on verified code; callers must verify first.
+func succPCs(f *vm.Func, pc int) []int {
+	ins := f.Code[pc]
+	switch ins.Op {
+	case vm.OpReturn, vm.OpHalt:
+		return nil
+	case vm.OpJump:
+		return []int{int(ins.A)}
+	case vm.OpJumpIfFalse, vm.OpJumpIfTrue:
+		return []int{int(ins.A), pc + 1}
+	default:
+		return []int{pc + 1}
+	}
+}
+
+// BuildCFG partitions a verified function into basic blocks and
+// computes reachability from the entry. The function must have passed
+// vm.Verify (jump targets in range, no fall-off).
+func BuildCFG(f *vm.Func) *CFG {
+	n := len(f.Code)
+	// Leaders: entry, every jump target, every instruction after a
+	// control transfer.
+	leader := make([]bool, n)
+	if n > 0 {
+		leader[0] = true
+	}
+	for pc := 0; pc < n; pc++ {
+		switch f.Code[pc].Op {
+		case vm.OpJump, vm.OpJumpIfFalse, vm.OpJumpIfTrue:
+			t := int(f.Code[pc].A)
+			if t >= 0 && t < n {
+				leader[t] = true
+			}
+			if pc+1 < n {
+				leader[pc+1] = true
+			}
+		case vm.OpReturn, vm.OpHalt:
+			if pc+1 < n {
+				leader[pc+1] = true
+			}
+		}
+	}
+	g := &CFG{Fn: f, BlockOf: make([]int, n)}
+	for pc := 0; pc < n; pc++ {
+		if leader[pc] {
+			g.Blocks = append(g.Blocks, Block{Start: pc})
+		}
+		g.BlockOf[pc] = len(g.Blocks) - 1
+	}
+	for i := range g.Blocks {
+		if i+1 < len(g.Blocks) {
+			g.Blocks[i].End = g.Blocks[i+1].Start
+		} else {
+			g.Blocks[i].End = n
+		}
+		last := g.Blocks[i].End - 1
+		for _, s := range succPCs(f, last) {
+			if s >= 0 && s < n {
+				g.Blocks[i].Succs = append(g.Blocks[i].Succs, g.BlockOf[s])
+			}
+		}
+	}
+	// Reachability: DFS from the entry block.
+	g.Reachable = make([]bool, len(g.Blocks))
+	if len(g.Blocks) > 0 {
+		stack := []int{0}
+		g.Reachable[0] = true
+		for len(stack) > 0 {
+			b := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, s := range g.Blocks[b].Succs {
+				if !g.Reachable[s] {
+					g.Reachable[s] = true
+					stack = append(stack, s)
+				}
+			}
+		}
+	}
+	return g
+}
+
+// ReachablePC reports whether the instruction at pc is in a reachable
+// block.
+func (g *CFG) ReachablePC(pc int) bool {
+	if pc < 0 || pc >= len(g.BlockOf) {
+		return false
+	}
+	return g.Reachable[g.BlockOf[pc]]
+}

@@ -1,0 +1,210 @@
+package analysis
+
+import (
+	"fmt"
+
+	"repro/internal/vm"
+)
+
+// Diagnostic codes, stable across releases: tools and suppressions key
+// on these, never on message text.
+const (
+	CodeUnreachable   = "ANA001" // unreachable code
+	CodeDeadStore     = "ANA002" // dead store to a local
+	CodeIgnoredHandle = "ANA003" // get_resource result ignored
+	CodeAfterMigrate  = "ANA004" // code after go/colocate never executes
+)
+
+// Codes maps each diagnostic code to its one-line description (used by
+// docs and the vet tools' help output).
+var Codes = map[string]string{
+	CodeUnreachable:   "unreachable code (no control path from the function entry)",
+	CodeDeadStore:     "value stored to a local is never read",
+	CodeIgnoredHandle: "get_resource result discarded; the binding is unusable",
+	CodeAfterMigrate:  "code after go()/colocate() never executes on this server",
+}
+
+// Diagnostic is one lint finding, positioned in the original ASL source
+// when the module carries a position table.
+type Diagnostic struct {
+	Code   string
+	Module string
+	Func   string
+	PC     int
+	Pos    vm.Pos // zero when the module has no position table
+	Msg    string
+}
+
+func (d Diagnostic) String() string {
+	loc := fmt.Sprintf("%s.%s@%d", d.Module, d.Func, d.PC)
+	if d.Pos.Line > 0 {
+		loc = fmt.Sprintf("%d:%d: %s", d.Pos.Line, d.Pos.Col, loc)
+	}
+	return fmt.Sprintf("%s: %s: %s", loc, d.Code, d.Msg)
+}
+
+// synthetic ops are stack plumbing the compiler emits around real code
+// (implicit epilogues, statement-value pops, loop back-edges). A dead
+// region consisting solely of these is compiler residue, not user code,
+// and is not worth a diagnostic.
+func syntheticOnly(code []vm.Instr, start, end int) bool {
+	for pc := start; pc < end; pc++ {
+		switch code[pc].Op {
+		case vm.OpPop, vm.OpPushNil, vm.OpReturn, vm.OpJump:
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Lint derives the diagnostic suite from a module's analysis.
+func Lint(ma *ModuleAnalysis) []Diagnostic {
+	var out []Diagnostic
+	for i := range ma.Funcs {
+		fa := &ma.Funcs[i]
+		out = append(out, lintFunc(ma.Module, fa)...)
+	}
+	return out
+}
+
+func lintFunc(m *vm.Module, fa *FuncAnalysis) []Diagnostic {
+	f := fa.Fn
+	var out []Diagnostic
+	diag := func(pc int, code, format string, args ...any) {
+		out = append(out, Diagnostic{
+			Code: code, Module: m.Name, Func: f.Name, PC: pc,
+			Pos: f.PosAt(pc), Msg: fmt.Sprintf(format, args...),
+		})
+	}
+
+	// ANA001: CFG-unreachable regions. One diagnostic per contiguous
+	// region, anchored at its first instruction.
+	// ANA004: CFG-reachable regions the abstract interpreter never
+	// enters — exactly the code that only follows a migrating call.
+	n := len(f.Code)
+	for pc := 0; pc < n; {
+		if !fa.CFG.ReachablePC(pc) {
+			end := pc
+			for end < n && !fa.CFG.ReachablePC(end) {
+				end++
+			}
+			if !syntheticOnly(f.Code, pc, end) {
+				diag(pc, CodeUnreachable, "unreachable code (%d instructions)", end-pc)
+			}
+			pc = end
+			continue
+		}
+		if !fa.Visited[pc] {
+			end := pc
+			for end < n && fa.CFG.ReachablePC(end) && !fa.Visited[end] {
+				end++
+			}
+			if !syntheticOnly(f.Code, pc, end) {
+				diag(pc, CodeAfterMigrate,
+					"code after go()/colocate() never executes on this server (migration unwinds the visit)")
+			}
+			pc = end
+			continue
+		}
+		pc++
+	}
+
+	// ANA002: dead stores, via backward liveness over the CFG.
+	liveStores := liveness(f, fa.CFG)
+	for pc := 0; pc < n; pc++ {
+		if f.Code[pc].Op != vm.OpStoreLocal || !fa.Visited[pc] {
+			continue
+		}
+		if !liveStores[pc] {
+			slot := int(f.Code[pc].A)
+			diag(pc, CodeDeadStore, "value stored to %q is never read", f.LocalName(slot))
+		}
+	}
+
+	// ANA003: a get_resource whose handle is immediately discarded.
+	for i := range fa.HostCalls {
+		c := &fa.HostCalls[i]
+		if c.Name != "get_resource" || !fa.Visited[c.PC] {
+			continue
+		}
+		if c.PC+1 < n && f.Code[c.PC+1].Op == vm.OpPop {
+			diag(c.PC, CodeIgnoredHandle,
+				"get_resource result ignored; the proxy binding is dropped immediately")
+		}
+	}
+	return out
+}
+
+// liveness computes, per OpStoreLocal instruction, whether the stored
+// slot may be read before being overwritten (true = live = not a dead
+// store). Standard backward may-dataflow at basic-block granularity.
+func liveness(f *vm.Func, g *CFG) map[int]bool {
+	nb := len(g.Blocks)
+	use := make([][]bool, nb) // slot read before any write in block
+	def := make([][]bool, nb) // slot written in block
+	liveIn := make([][]bool, nb)
+	liveOut := make([][]bool, nb)
+	nl := f.NLocals
+	for b := 0; b < nb; b++ {
+		use[b] = make([]bool, nl)
+		def[b] = make([]bool, nl)
+		liveIn[b] = make([]bool, nl)
+		liveOut[b] = make([]bool, nl)
+		for pc := g.Blocks[b].Start; pc < g.Blocks[b].End; pc++ {
+			ins := f.Code[pc]
+			slot := int(ins.A)
+			if slot < 0 || slot >= nl {
+				continue
+			}
+			switch ins.Op {
+			case vm.OpLoadLocal:
+				if !def[b][slot] {
+					use[b][slot] = true
+				}
+			case vm.OpStoreLocal:
+				def[b][slot] = true
+			}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for b := nb - 1; b >= 0; b-- {
+			for _, s := range g.Blocks[b].Succs {
+				for sl := 0; sl < nl; sl++ {
+					if liveIn[s][sl] && !liveOut[b][sl] {
+						liveOut[b][sl] = true
+						changed = true
+					}
+				}
+			}
+			for sl := 0; sl < nl; sl++ {
+				in := use[b][sl] || (liveOut[b][sl] && !def[b][sl])
+				if in && !liveIn[b][sl] {
+					liveIn[b][sl] = true
+					changed = true
+				}
+			}
+		}
+	}
+	// Per-store verdict: walk each block backward tracking the live set.
+	out := make(map[int]bool)
+	for b := 0; b < nb; b++ {
+		live := append([]bool(nil), liveOut[b]...)
+		for pc := g.Blocks[b].End - 1; pc >= g.Blocks[b].Start; pc-- {
+			ins := f.Code[pc]
+			slot := int(ins.A)
+			if slot < 0 || slot >= nl {
+				continue
+			}
+			switch ins.Op {
+			case vm.OpStoreLocal:
+				out[pc] = live[slot]
+				live[slot] = false
+			case vm.OpLoadLocal:
+				live[slot] = true
+			}
+		}
+	}
+	return out
+}

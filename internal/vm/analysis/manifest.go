@@ -1,0 +1,120 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Wildcard marks a manifest entry whose exact value could not be
+// resolved statically: an unanalyzable call site widens to "*" rather
+// than being omitted, so the manifest always over-approximates what the
+// agent can do (soundness; the admission check stays fail-closed).
+const Wildcard = "*"
+
+// Manifest is a module bundle's access manifest: everything the code
+// can possibly ask the host for. It is computed over CFG-reachable
+// code only — a host call in an unreachable block cannot execute and
+// does not appear.
+type Manifest struct {
+	// HostCalls lists every reachable host-call name (go, get_resource,
+	// invoke, log, ...).
+	HostCalls []string
+	// Resources lists resource names passed to get_resource/colocate;
+	// "*" when an argument is not a compile-time constant.
+	Resources []string
+	// Methods lists method names passed to invoke; "*" when unknown.
+	Methods []string
+	// Destinations lists go() target server names; "*" when unknown.
+	Destinations []string
+}
+
+// set-style insertion keeping slices sorted and deduplicated.
+func insert(list []string, s string) []string {
+	i := sort.SearchStrings(list, s)
+	if i < len(list) && list[i] == s {
+		return list
+	}
+	list = append(list, "")
+	copy(list[i+1:], list[i:])
+	list[i] = s
+	return list
+}
+
+func contains(list []string, s string) bool {
+	i := sort.SearchStrings(list, s)
+	return i < len(list) && list[i] == s
+}
+
+// covers reports whether the declared list admits every entry of the
+// computed list. A declared "*" admits anything; a computed "*" is only
+// admitted by a declared "*".
+func covers(declared, computed []string) bool {
+	if contains(declared, Wildcard) {
+		return true
+	}
+	for _, c := range computed {
+		if !contains(declared, c) {
+			return false
+		}
+	}
+	return true
+}
+
+// Covers reports whether m (a declared/carried manifest) is at least as
+// broad as other (a freshly computed one) in every dimension. Admission
+// uses this to re-verify a carried manifest: carried must cover
+// computed, or the agent is lying about its needs.
+func (m *Manifest) Covers(other *Manifest) bool {
+	return covers(m.HostCalls, other.HostCalls) &&
+		covers(m.Resources, other.Resources) &&
+		covers(m.Methods, other.Methods) &&
+		covers(m.Destinations, other.Destinations)
+}
+
+// Empty reports a manifest with no entries at all (an agent that never
+// talks to the host).
+func (m *Manifest) Empty() bool {
+	return len(m.HostCalls) == 0 && len(m.Resources) == 0 &&
+		len(m.Methods) == 0 && len(m.Destinations) == 0
+}
+
+func (m *Manifest) String() string {
+	part := func(label string, list []string) string {
+		if len(list) == 0 {
+			return ""
+		}
+		return fmt.Sprintf(" %s=[%s]", label, strings.Join(list, " "))
+	}
+	return strings.TrimSpace("manifest" +
+		part("hostcalls", m.HostCalls) +
+		part("resources", m.Resources) +
+		part("methods", m.Methods) +
+		part("destinations", m.Destinations))
+}
+
+// argEntry resolves a host-call argument to a manifest entry: the
+// constant string when known, the wildcard otherwise.
+func argEntry(v AbsValue) string {
+	if v.IsConst {
+		return v.Str
+	}
+	return Wildcard
+}
+
+// addCall folds one reachable host-call site into the manifest.
+func (m *Manifest) addCall(c *HostCall) {
+	m.HostCalls = insert(m.HostCalls, c.Name)
+	switch c.Name {
+	case "get_resource":
+		m.Resources = insert(m.Resources, argEntry(c.Arg(0)))
+	case "colocate":
+		// colocate names a resource to migrate to; accessing it still
+		// takes a get_resource, but the name is a capability signal.
+		m.Resources = insert(m.Resources, argEntry(c.Arg(0)))
+	case "invoke":
+		m.Methods = insert(m.Methods, argEntry(c.Arg(1)))
+	case "go":
+		m.Destinations = insert(m.Destinations, argEntry(c.Arg(0)))
+	}
+}

@@ -1,0 +1,34 @@
+package vm
+
+import "testing"
+
+// FuzzVerify throws arbitrary instruction streams at the verifier:
+// whatever the bytes decode to, Verify must return (accept or reject),
+// never panic — it runs on every module received from the network.
+func FuzzVerify(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{byte(OpPushNil), 0, 0, byte(OpReturn), 0, 0})
+	f.Add([]byte{byte(OpJump), 200, 0})
+	f.Add([]byte{byte(OpPushInt), 9, 0, byte(OpHalt), 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m := &Module{
+			Name: "fuzz",
+			Ints: []int64{0, 1},
+			Strs: []string{"go", "get_resource", "log"},
+		}
+		var code []Instr
+		for i := 0; i+2 < len(data); i += 3 {
+			code = append(code, Instr{
+				Op: Opcode(data[i]),
+				A:  int32(int8(data[i+1])),
+				B:  int32(data[i+2] % 8),
+			})
+		}
+		if len(code) == 0 {
+			code = []Instr{{Op: OpPushNil}, {Op: OpReturn}}
+		}
+		m.Fns = []Func{{Name: "f", NParams: 1, NLocals: 2, Code: code}}
+		_ = Verify(m) // must not panic
+		_ = VerifyBundle([]Module{*m})
+	})
+}

@@ -104,6 +104,12 @@ func (i Instr) String() string {
 	}
 }
 
+// Pos is the source position an instruction was compiled from. Line
+// and Col are 1-based; zero values mean "unknown".
+type Pos struct {
+	Line, Col int32
+}
+
 // Func is one function of a module.
 type Func struct {
 	Name string
@@ -113,6 +119,31 @@ type Func struct {
 	// NLocals is the total local slot count (params included).
 	NLocals int
 	Code    []Instr
+	// Pos maps each instruction to its source position. Optional: only
+	// meaningful when len(Pos) == len(Code); hand-built and deserialized
+	// modules may omit it entirely.
+	Pos []Pos
+	// LocalNames names the local slots in order (parameters first).
+	// Optional debug metadata like Pos; may be shorter than NLocals.
+	LocalNames []string
+}
+
+// PosAt returns the source position of instruction pc, or a zero Pos
+// when the function carries no position table.
+func (f *Func) PosAt(pc int) Pos {
+	if len(f.Pos) == len(f.Code) && pc >= 0 && pc < len(f.Pos) {
+		return f.Pos[pc]
+	}
+	return Pos{}
+}
+
+// LocalName names slot i, falling back to a numeric placeholder when
+// the name table is absent.
+func (f *Func) LocalName(i int) string {
+	if i >= 0 && i < len(f.LocalNames) {
+		return f.LocalNames[i]
+	}
+	return fmt.Sprintf("local%d", i)
 }
 
 // Module is a verifiable, serializable unit of agent code: the analogue
