@@ -59,6 +59,7 @@ import (
 	"repro/internal/resource"
 	"repro/internal/retry"
 	"repro/internal/server"
+	"repro/internal/transfer"
 	"repro/internal/vm"
 	"repro/internal/vm/analysis"
 )
@@ -114,6 +115,12 @@ type (
 	RetryPolicy = retry.Policy
 	// ServerStats is a snapshot of a server's fault-tolerance counters.
 	ServerStats = server.Stats
+	// ChannelPoolConfig tunes the per-destination pool of persistent
+	// authenticated transfer channels (ServerConfig.ChannelPool).
+	ChannelPoolConfig = transfer.PoolConfig
+	// ChannelPoolStats is a snapshot of a server's outbound channel
+	// pool counters (Server.ChannelPoolStats).
+	ChannelPoolStats = transfer.PoolStats
 	// AdmissionMode selects whether arriving agents' access manifests
 	// are enforced at admission (ServerConfig.Admission).
 	AdmissionMode = server.AdmissionMode

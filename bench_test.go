@@ -560,6 +560,65 @@ func BenchmarkC7_TransferSecurity(b *testing.B) {
 	}
 }
 
+// BenchmarkC7_Pooled re-runs the secure-transfer benchmark over a warm
+// channel pool: the session is dialed and authenticated once, then every
+// transfer rides it, so steady state pays gob + AES-GCM only — no
+// per-transfer key exchange, certificate verification or signatures.
+// Compare with BenchmarkC7_TransferSecurity/secure, which dials and
+// handshakes per transfer (the v0 single-shot protocol).
+func BenchmarkC7_Pooled(b *testing.B) {
+	_, owner, reg := benchCreds(b)
+	for _, size := range []int{1 << 10, 64 << 10} {
+		b.Run(fmt.Sprintf("state=%dKiB", size>>10), func(b *testing.B) {
+			idA, err := keys.NewIdentity(reg, names.Server("umn.edu", fmt.Sprintf("pool-a%d", size)), time.Hour)
+			if err != nil {
+				b.Fatal(err)
+			}
+			idB, err := keys.NewIdentity(reg, names.Server("umn.edu", fmt.Sprintf("pool-b%d", size)), time.Hour)
+			if err != nil {
+				b.Fatal(err)
+			}
+			v := reg.Verifier()
+			sender := &transfer.Endpoint{Identity: idA, Verifier: v}
+			receiver := &transfer.Endpoint{Identity: idB, Verifier: v}
+			nw := netsim.NewNetwork()
+			l, err := nw.Listen("b:1")
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer l.Close()
+			go func() {
+				for {
+					conn, err := l.Accept()
+					if err != nil {
+						return
+					}
+					go func() {
+						defer conn.Close()
+						_ = receiver.ServeConn(conn, nil, func(*agent.Agent) {})
+					}()
+				}
+			}()
+			pool := transfer.NewPool(sender, transfer.PoolConfig{Dial: nw.Dial})
+			defer pool.Close()
+			a := benchTransferAgent(b, reg, owner, size)
+			// Warm the channel so the timed loop measures steady state.
+			if err := pool.Send("b:1", a); err != nil {
+				b.Fatal(err)
+			}
+			nw.ResetCounters()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := pool.Send("b:1", a); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(nw.BytesSent())/float64(b.N), "wire-bytes/op")
+		})
+	}
+}
+
 // --- VM throughput and metering ablation -------------------------------------
 
 func benchVMModule(b *testing.B) *vm.Module {

@@ -21,6 +21,7 @@ import (
 	"repro/internal/policy"
 	"repro/internal/retry"
 	"repro/internal/server"
+	"repro/internal/transfer"
 	"repro/internal/vm"
 	"repro/internal/vm/analysis"
 )
@@ -116,6 +117,9 @@ type ServerConfig struct {
 	// Admission selects manifest-based admission control at the
 	// arrival gate (server.AdmissionOff / server.AdmissionEnforce).
 	Admission server.AdmissionMode
+	// ChannelPool tunes the outbound persistent-channel pool (zero
+	// fields = pool defaults; Disabled = dial per transfer).
+	ChannelPool transfer.PoolConfig
 }
 
 // StartServer creates, configures and starts an agent server.
@@ -141,6 +145,7 @@ func (p *Platform) StartServer(shortName, addr string, sc ServerConfig) (*server
 		Retry:                   sc.Retry,
 		RedeliverEvery:          sc.RedeliverEvery,
 		Admission:               sc.Admission,
+		ChannelPool:             sc.ChannelPool,
 	}
 	if p.useTCP {
 		cfg.Dial = func(a string) (net.Conn, error) { return net.Dial("tcp", a) }

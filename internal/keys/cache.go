@@ -1,0 +1,100 @@
+package keys
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"sync"
+)
+
+// CheckCache memoizes *successful* CA signature verifications, bounded
+// LRU. A transfer endpoint sees the same few peer certificates over and
+// over (every handshake with a repeat peer re-presents its cert); the
+// ed25519 signature over the identical bytes does not need re-checking.
+// Only the signature step is cached — issuer identity, the validity
+// window and the revocation oracle are evaluated live on every Check,
+// so caching never extends trust in time or past a revocation. Failed
+// verifications are not cached: a negative result costs one ed25519
+// operation and poisoning the cache with attacker-chosen garbage keys
+// would only evict useful entries.
+type CheckCache struct {
+	mu  sync.Mutex
+	cap int
+	ll  *list.List // front = most recently used; values are [32]byte keys
+	m   map[[32]byte]*list.Element
+
+	hits   uint64
+	misses uint64
+}
+
+// CheckCacheStats reports cache effectiveness.
+type CheckCacheStats struct {
+	Hits    uint64
+	Misses  uint64
+	Entries int
+}
+
+// NewCheckCache builds a cache holding at most capacity verified
+// signatures (capacity <= 0 means 512).
+func NewCheckCache(capacity int) *CheckCache {
+	if capacity <= 0 {
+		capacity = 512
+	}
+	return &CheckCache{
+		cap: capacity,
+		ll:  list.New(),
+		m:   make(map[[32]byte]*list.Element),
+	}
+}
+
+// key binds the cached verdict to the exact CA key, signed bytes and
+// signature, so a cert re-issued under the same subject (new key, new
+// window) never matches a stale entry.
+func (c *CheckCache) key(caKey, tbs, sig []byte) [32]byte {
+	h := sha256.New()
+	h.Write(caKey)
+	h.Write(tbs)
+	h.Write(sig)
+	var k [32]byte
+	h.Sum(k[:0])
+	return k
+}
+
+// verified reports whether this exact (CA key, tbs, signature) triple
+// has already passed ed25519 verification.
+func (c *CheckCache) verified(caKey, tbs, sig []byte) bool {
+	k := c.key(caKey, tbs, sig)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[k]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		return true
+	}
+	c.misses++
+	return false
+}
+
+// add records a successful verification, evicting the least recently
+// used entry at capacity.
+func (c *CheckCache) add(caKey, tbs, sig []byte) {
+	k := c.key(caKey, tbs, sig)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[k]; ok {
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.m[k] = c.ll.PushFront(k)
+	if c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.m, oldest.Value.([32]byte))
+	}
+}
+
+// Stats returns hit/miss counters and current occupancy.
+func (c *CheckCache) Stats() CheckCacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CheckCacheStats{Hits: c.hits, Misses: c.misses, Entries: c.ll.Len()}
+}

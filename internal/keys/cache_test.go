@@ -1,0 +1,129 @@
+package keys
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/names"
+)
+
+func TestCheckCacheHits(t *testing.T) {
+	reg, err := NewRegistry(names.Principal("umn.edu", "ca"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := NewIdentity(reg, names.Server("umn.edu", "s"), time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := reg.Verifier()
+	for i := 0; i < 5; i++ {
+		if err := v.Check(id.Cert, time.Now()); err != nil {
+			t.Fatalf("check %d: %v", i, err)
+		}
+	}
+	st := v.Cache.Stats()
+	if st.Misses != 1 || st.Hits != 4 {
+		t.Fatalf("stats = %+v, want 1 miss + 4 hits", st)
+	}
+}
+
+func TestCheckCacheDoesNotMaskRevocation(t *testing.T) {
+	reg, err := NewRegistry(names.Principal("umn.edu", "ca"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := NewIdentity(reg, names.Server("umn.edu", "s"), time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := reg.Verifier()
+	if err := v.Check(id.Cert, time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	reg.Revoke(id.Name)
+	// The signature verdict is cached but revocation is checked live:
+	// a warm cache must not keep a revoked certificate alive.
+	if err := v.Check(id.Cert, time.Now()); !errors.Is(err, ErrRevoked) {
+		t.Fatalf("revoked cert passed with warm cache: %v", err)
+	}
+}
+
+func TestCheckCacheDoesNotMaskExpiry(t *testing.T) {
+	reg, err := NewRegistry(names.Principal("umn.edu", "ca"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := NewIdentity(reg, names.Server("umn.edu", "s"), time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := reg.Verifier()
+	if err := v.Check(id.Cert, time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Check(id.Cert, time.Now().Add(2*time.Hour)); !errors.Is(err, ErrExpired) {
+		t.Fatalf("expired cert passed with warm cache: %v", err)
+	}
+}
+
+func TestCheckCacheNegativeNotCached(t *testing.T) {
+	reg, err := NewRegistry(names.Principal("umn.edu", "ca"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := NewIdentity(reg, names.Server("umn.edu", "s"), time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := reg.Verifier()
+	bad := id.Cert
+	bad.Signature = append([]byte(nil), bad.Signature...)
+	bad.Signature[0] ^= 0x01
+	for i := 0; i < 3; i++ {
+		if err := v.Check(bad, time.Now()); !errors.Is(err, ErrBadSignature) {
+			t.Fatalf("tampered cert passed: %v", err)
+		}
+	}
+	if st := v.Cache.Stats(); st.Entries != 0 || st.Hits != 0 {
+		t.Fatalf("failed verification entered the cache: %+v", st)
+	}
+}
+
+func TestCheckCacheLRUEviction(t *testing.T) {
+	reg, err := NewRegistry(names.Principal("umn.edu", "ca"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := reg.Verifier()
+	v.Cache = NewCheckCache(2)
+	certs := make([]Certificate, 3)
+	for i, name := range []string{"s1", "s2", "s3"} {
+		id, err := NewIdentity(reg, names.Server("umn.edu", name), time.Hour)
+		if err != nil {
+			t.Fatal(err)
+		}
+		certs[i] = id.Cert
+		if err := v.Check(certs[i], time.Now()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := v.Cache.Stats(); st.Entries != 2 {
+		t.Fatalf("Entries = %d, want capacity 2", st.Entries)
+	}
+	// s1 is the least recently used and must have been evicted; s3 hits.
+	if err := v.Check(certs[2], time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	st := v.Cache.Stats()
+	if st.Hits != 1 {
+		t.Fatalf("Hits = %d, want 1", st.Hits)
+	}
+	if err := v.Check(certs[0], time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	if got := v.Cache.Stats(); got.Hits != 1 {
+		t.Fatalf("evicted entry hit the cache: %+v", got)
+	}
+}

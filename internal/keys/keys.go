@@ -177,9 +177,14 @@ type Verifier struct {
 	// IsRevoked may be nil when no revocation oracle is available
 	// (e.g. a disconnected server); expiry then bounds misuse.
 	IsRevoked func(names.Name) bool
+	// Cache, when non-nil, memoizes successful signature checks (the
+	// ed25519 step only — validity and revocation stay live). Repeat
+	// peers then skip the expensive verify in every handshake.
+	Cache *CheckCache
 }
 
-// Verifier returns a relying-party verifier wired to this registry.
+// Verifier returns a relying-party verifier wired to this registry,
+// with signature-check caching on (repeat peers are the common case).
 func (r *Registry) Verifier() Verifier {
 	return Verifier{
 		CAName: r.caName,
@@ -189,17 +194,25 @@ func (r *Registry) Verifier() Verifier {
 			defer r.mu.RUnlock()
 			return r.revoked[n]
 		},
+		Cache: NewCheckCache(0),
 	}
 }
 
 // Check verifies a certificate: issuer identity, signature, validity
-// window and revocation status.
+// window and revocation status. Only the signature verdict is ever
+// cached; the time-dependent checks run on every call.
 func (v Verifier) Check(c Certificate, at time.Time) error {
 	if c.Issuer != v.CAName {
 		return fmt.Errorf("%w: issuer %s", ErrUnknownCA, c.Issuer)
 	}
-	if !Verify(v.CAKey, c.tbs(), c.Signature) {
-		return fmt.Errorf("%w: cert for %s", ErrBadSignature, c.Subject)
+	tbs := c.tbs()
+	if v.Cache == nil || !v.Cache.verified(v.CAKey, tbs, c.Signature) {
+		if !Verify(v.CAKey, tbs, c.Signature) {
+			return fmt.Errorf("%w: cert for %s", ErrBadSignature, c.Subject)
+		}
+		if v.Cache != nil {
+			v.Cache.add(v.CAKey, tbs, c.Signature)
+		}
 	}
 	if at.Before(c.NotBefore) {
 		return fmt.Errorf("%w: cert for %s", ErrNotYetValid, c.Subject)

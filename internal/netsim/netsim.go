@@ -39,6 +39,7 @@ type Tap func(from, to string, data []byte) []byte
 type Network struct {
 	mu        sync.Mutex
 	listeners map[string]*Listener
+	conns     map[linkKey][]*Conn // live endpoints per link, lazily pruned
 	tap       Tap
 	bytes     atomic.Uint64
 	messages  atomic.Uint64
@@ -47,7 +48,11 @@ type Network struct {
 
 // NewNetwork returns an empty network.
 func NewNetwork() *Network {
-	return &Network{listeners: make(map[string]*Listener), faults: newFaults()}
+	return &Network{
+		listeners: make(map[string]*Listener),
+		conns:     make(map[linkKey][]*Conn),
+		faults:    newFaults(),
+	}
 }
 
 // SetTap installs the adversary hook (nil removes it).
@@ -124,7 +129,53 @@ func (n *Network) pair(addrA, addrB string) (*Conn, *Conn) {
 		localDone: doneA, localOnce: onceA, remoteDone: doneB, remoteOnce: onceB}
 	b := &Conn{net: n, local: addrB, remote: addrA, out: ba, in: ab, reset: reset,
 		localDone: doneB, localOnce: onceB, remoteDone: doneA, remoteOnce: onceA}
+	k := link(addrA, addrB)
+	n.mu.Lock()
+	kept := n.conns[k][:0]
+	for _, c := range n.conns[k] {
+		if !c.dead() {
+			kept = append(kept, c)
+		}
+	}
+	n.conns[k] = append(kept, a)
+	n.mu.Unlock()
 	return a, b
+}
+
+// dead reports whether either end of the connection has been closed or
+// torn down.
+func (c *Conn) dead() bool {
+	select {
+	case <-c.localDone:
+		return true
+	case <-c.remoteDone:
+		return true
+	default:
+		return false
+	}
+}
+
+// ResetConns tears down every established connection between a and b
+// (both directions) and reports how many were killed. Unlike Partition
+// it leaves the link healthy afterwards, modeling a transient event —
+// a NAT timeout, a middlebox reboot — that silently killed long-lived
+// connections: exactly the fate of a pooled channel parked idle too
+// long. Both endpoints observe a connection reset on their next I/O.
+func (n *Network) ResetConns(a, b string) int {
+	k := link(a, b)
+	n.mu.Lock()
+	conns := n.conns[k]
+	n.conns[k] = nil
+	n.mu.Unlock()
+	killed := 0
+	for _, c := range conns {
+		if c.dead() {
+			continue
+		}
+		c.teardown()
+		killed++
+	}
+	return killed
 }
 
 // Listener implements net.Listener.

@@ -397,3 +397,60 @@ func TestAddrs(t *testing.T) {
 		t.Fatalf("remote = %v", c.RemoteAddr())
 	}
 }
+
+func TestResetConns(t *testing.T) {
+	n := NewNetwork()
+	l, err := n.Listen("b:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	accepted := make(chan net.Conn, 2)
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			accepted <- c
+		}
+	}()
+	c1, err := n.DialFrom("a:1", "b:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1 := <-accepted
+	if _, err := c1.Write([]byte("warm")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 8)
+	if _, err := s1.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+	if killed := n.ResetConns("a:1", "b:1"); killed != 1 {
+		t.Fatalf("killed %d conns, want 1", killed)
+	}
+	// Both ends observe the reset on their next I/O.
+	if _, err := c1.Write([]byte("x")); err == nil {
+		t.Fatal("write on reset conn succeeded")
+	}
+	if _, err := s1.Read(buf); err == nil {
+		t.Fatal("read on reset conn succeeded")
+	}
+	// The link itself stays healthy: new dials work immediately.
+	c2, err := n.DialFrom("a:1", "b:1")
+	if err != nil {
+		t.Fatalf("dial after ResetConns: %v", err)
+	}
+	s2 := <-accepted
+	if _, err := c2.Write([]byte("fresh")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+	// Resetting again only counts live connections.
+	if killed := n.ResetConns("a:1", "b:1"); killed != 1 {
+		t.Fatalf("second reset killed %d, want 1", killed)
+	}
+}

@@ -85,6 +85,12 @@ type Config struct {
 	// RedeliverEvery is the dead-letter redelivery period; 0 applies
 	// DefaultRedeliverEvery.
 	RedeliverEvery time.Duration
+	// ChannelPool tunes the persistent-channel pool every outbound
+	// transfer goes through: sessions to repeat destinations are kept
+	// open and reused, paying the authentication handshake once per
+	// connection instead of once per agent. Zero fields take pool
+	// defaults; Disabled forces the dial-per-transfer behaviour.
+	ChannelPool transfer.PoolConfig
 }
 
 // Server is one agent server.
@@ -94,8 +100,10 @@ type Server struct {
 	db       *domain.Database
 	secmgr   *sandbox.Manager
 	endpoint *transfer.Endpoint
+	pool     *transfer.Pool
 
 	listener net.Listener
+	inbound  map[net.Conn]struct{} // live inbound transfer streams
 	wg       sync.WaitGroup
 	quit     chan struct{}
 	quitOnce sync.Once
@@ -162,6 +170,7 @@ func New(cfg Config) (*Server, error) {
 		db:       domain.NewDatabase(),
 		secmgr:   sandbox.New(256),
 		quit:     make(chan struct{}),
+		inbound:  make(map[net.Conn]struct{}),
 		visits:   make(map[names.Name]*visit),
 		waiters:  make(map[names.Name]chan *agent.Agent),
 		held:     make(map[names.Name]*agent.Agent),
@@ -192,6 +201,11 @@ func New(cfg Config) (*Server, error) {
 	if s.endpoint.TransferTimeout == 0 {
 		s.endpoint.TransferTimeout = retry.DefaultPerAttempt
 	}
+	if cfg.Dial != nil {
+		pc := cfg.ChannelPool
+		pc.Dial = cfg.Dial
+		s.pool = transfer.NewPool(s.endpoint, pc)
+	}
 	return s, nil
 }
 
@@ -207,6 +221,7 @@ func transientTransferErr(err error) bool {
 	case retry.IsPermanent(err),
 		errors.Is(err, transfer.ErrRejected),
 		errors.Is(err, transfer.ErrAuth),
+		errors.Is(err, transfer.ErrPoolClosed),
 		errors.Is(err, names.ErrNotBound):
 		return false
 	}
@@ -288,7 +303,30 @@ func (s *Server) Stop() {
 		_ = l.Close()
 	}
 	s.cfg.NameService.Unbind(s.Name())
+	// Kill inbound transfer streams: a peer's pooled sender would hold
+	// its channel open (and this server's serving goroutine with it)
+	// indefinitely. The peer sees a closed session and re-dials
+	// elsewhere — or parks the agent — under its own retry policy.
+	s.closeInbound()
 	s.wg.Wait()
+	// Only after hosted agents finished their final sends (retries are
+	// cancelled by quit) is the outbound pool drained.
+	if s.pool != nil {
+		s.pool.Close()
+	}
+}
+
+// closeInbound tears down every live inbound transfer stream.
+func (s *Server) closeInbound() {
+	s.mu.Lock()
+	conns := make([]net.Conn, 0, len(s.inbound))
+	for c := range s.inbound {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	for _, c := range conns {
+		_ = c.Close()
+	}
 }
 
 // Crash simulates a machine failure for fault-injection tests: the
@@ -304,6 +342,14 @@ func (s *Server) Crash() {
 	s.mu.Unlock()
 	if l != nil {
 		_ = l.Close()
+	}
+	// A machine failure severs established connections in both
+	// directions: inbound streams drop (peers' pooled sessions to this
+	// server die and must re-dial after Restart) and this server's own
+	// warm outbound channels do not survive into its afterlife.
+	s.closeInbound()
+	if s.pool != nil {
+		s.pool.Reset()
 	}
 }
 
@@ -348,19 +394,28 @@ func (s *Server) acceptLoop(l net.Listener) {
 			}
 			continue
 		}
+		s.mu.Lock()
+		s.inbound[conn] = struct{}{}
+		s.mu.Unlock()
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
-			defer conn.Close()
-			a, err := s.endpoint.ReceiveAgent(conn, s.admit)
-			if err != nil {
-				return
-			}
-			s.wg.Add(1)
-			go func() {
-				defer s.wg.Done()
-				s.host(a)
+			defer func() {
+				conn.Close()
+				s.mu.Lock()
+				delete(s.inbound, conn)
+				s.mu.Unlock()
 			}()
+			// One connection carries a stream of transfers (a pooled
+			// sender keeps it open); each accepted agent is hosted on
+			// its own goroutine so the channel is free for the next.
+			_ = s.endpoint.ServeConn(conn, s.admit, func(a *agent.Agent) {
+				s.wg.Add(1)
+				go func() {
+					defer s.wg.Done()
+					s.host(a)
+				}()
+			})
 		}()
 	}
 }
@@ -778,17 +833,26 @@ func (s *Server) sendTo(a *agent.Agent, dest names.Name) error {
 }
 
 func (s *Server) sendToAddr(a *agent.Agent, addr string) error {
-	if s.cfg.Dial == nil {
+	if s.pool == nil {
 		return errors.New("server: config needs Dial")
 	}
-	conn, err := s.cfg.Dial(addr)
-	if err != nil {
+	if err := s.pool.Send(addr, a); err != nil {
 		return err
 	}
-	defer conn.Close()
-	// Keep the name service pointing at the agent's current location.
+	// Re-bind only after the receiver's ack: a failed transfer must not
+	// leave the name service pointing at a server that never got the
+	// agent.
 	_ = s.cfg.NameService.Bind(a.Name, names.Location{Address: addr})
-	return s.endpoint.SendAgent(conn, a)
+	return nil
+}
+
+// ChannelPoolStats returns a snapshot of the outbound channel pool's
+// counters (dials, reuses, evictions, transparent redials, occupancy).
+func (s *Server) ChannelPoolStats() transfer.PoolStats {
+	if s.pool == nil {
+		return transfer.PoolStats{}
+	}
+	return s.pool.Stats()
 }
 
 // deliver completes an agent's journey: hand it to a local waiter, or

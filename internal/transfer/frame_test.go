@@ -70,7 +70,7 @@ func TestSessionRecvTooLarge(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := &session{conn: c}
+	s := newSession(c, names.Name{}, 0)
 	if _, err := s.recv(); !errors.Is(err, ErrTooLarge) {
 		t.Fatalf("got %v", err)
 	}
@@ -103,7 +103,7 @@ func TestHandshakeTimeout(t *testing.T) {
 	}
 	defer conn.Close()
 	start := time.Now()
-	if _, err := ep.handshake(conn, true, time.Time{}); err == nil {
+	if _, err := ep.handshake(conn, true, time.Time{}, 0); err == nil {
 		t.Fatal("handshake with mute peer succeeded")
 	}
 	if time.Since(start) > 5*time.Second {
@@ -124,7 +124,7 @@ func TestPlaintextSessionFrames(t *testing.T) {
 		if err != nil {
 			return
 		}
-		s := &session{conn: c}
+		s := newSession(c, names.Name{}, 0)
 		data, _ := s.recv()
 		done <- data
 	}()
@@ -132,7 +132,7 @@ func TestPlaintextSessionFrames(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := &session{conn: c}
+	s := newSession(c, names.Name{}, 0)
 	if err := s.send([]byte("clear")); err != nil {
 		t.Fatal(err)
 	}

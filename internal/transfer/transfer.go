@@ -16,6 +16,14 @@
 //
 // A plaintext mode exists solely as the baseline for experiment C7's
 // "cost of security" measurement.
+//
+// Sessions are versioned. A version-1 session (negotiated via a byte in
+// the hello; absent = version 0) stays open after a transfer and
+// carries a stream of agent/ack exchanges, which is what the channel
+// Pool builds on: the ed25519 + X25519 handshake is paid once per
+// connection instead of once per agent. Version-0 peers (older
+// binaries, or the single-shot SendAgent/ReceiveAgent API) interoperate
+// transparently — the session is simply not reused.
 package transfer
 
 import (
@@ -31,6 +39,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"sync"
 	"time"
 
 	"repro/internal/agent"
@@ -49,6 +58,14 @@ var (
 
 // MaxFrame bounds a single frame (handshake message or sealed agent).
 const MaxFrame = 16 << 20
+
+// SessionVersion is the highest session protocol version this build
+// speaks. Version 0 is the original single-shot protocol (one agent,
+// one ack, close); version 1 keeps the session open for a stream of
+// agent/ack exchanges with persistent per-direction gob codecs. The
+// negotiated version is min(initiator, responder), so either side can
+// force single-shot behaviour.
+const SessionVersion = 1
 
 // Endpoint is one side of the transfer protocol: a server identity plus
 // the CA verifier used to check peers.
@@ -75,6 +92,11 @@ type helloMsg struct {
 	Cert       keys.Certificate
 	Nonce      [32]byte
 	EphPub     []byte // X25519 public key; empty in plaintext mode
+	// Version is the sender's maximum session version. Gob omits zero
+	// values, so a hello from an older binary decodes as Version 0 —
+	// the single-shot protocol — and an old binary ignores the field
+	// entirely; both directions of the upgrade interoperate.
+	Version uint8
 }
 
 type authMsg struct {
@@ -96,18 +118,35 @@ type ackMsg struct {
 	Reason   string
 }
 
-// writeFrame sends a length-prefixed gob-encoded message.
+// framePool recycles the scratch buffers behind every frame encode and
+// decode: steady-state transfers on a warm session allocate no framing
+// memory.
+var framePool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// hdrPad reserves space for the 4-byte length prefix at the front of a
+// frame buffer; the real length is patched in before the single Write.
+var hdrPad [4]byte
+
+// gcmTagSize is AES-GCM's authentication-tag overhead; tagPad reserves
+// room for it in the frame buffer ahead of sealing in place.
+const gcmTagSize = 16
+
+var tagPad [gcmTagSize]byte
+
+// writeFrame sends a length-prefixed gob-encoded message (handshake
+// messages; session payloads go through writeMsg). Header and body go
+// out in one Write from a pooled buffer.
 func writeFrame(w io.Writer, v any) error {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+	buf := framePool.Get().(*bytes.Buffer)
+	defer framePool.Put(buf)
+	buf.Reset()
+	buf.Write(hdrPad[:])
+	if err := gob.NewEncoder(buf).Encode(v); err != nil {
 		return fmt.Errorf("transfer: encode: %w", err)
 	}
-	var lenBuf [4]byte
-	binary.BigEndian.PutUint32(lenBuf[:], uint32(buf.Len()))
-	if _, err := w.Write(lenBuf[:]); err != nil {
-		return err
-	}
-	_, err := w.Write(buf.Bytes())
+	b := buf.Bytes()
+	binary.BigEndian.PutUint32(b[:4], uint32(len(b)-4))
+	_, err := w.Write(b)
 	return err
 }
 
@@ -121,22 +160,79 @@ func readFrame(r io.Reader, v any) error {
 	if n > MaxFrame {
 		return ErrTooLarge
 	}
-	data := make([]byte, n)
+	buf := framePool.Get().(*bytes.Buffer)
+	defer framePool.Put(buf)
+	buf.Reset()
+	buf.Grow(int(n))
+	data := buf.Bytes()[:n]
 	if _, err := io.ReadFull(r, data); err != nil {
 		return err
 	}
+	// Gob copies everything it keeps, so the pooled backing array is
+	// safe to reuse after Decode returns.
 	return gob.NewDecoder(bytes.NewReader(data)).Decode(v)
+}
+
+// frameFeeder hands a session's persistent gob decoder the plaintext of
+// the current frame. Frames align with Encode calls on the peer, so one
+// Decode consumes exactly one frame; EOF between frames is never
+// surfaced because the next frame is fed before the next Decode.
+type frameFeeder struct{ data []byte }
+
+func (f *frameFeeder) Read(p []byte) (int, error) {
+	if len(f.data) == 0 {
+		return 0, io.EOF
+	}
+	n := copy(p, f.data)
+	f.data = f.data[n:]
+	return n, nil
 }
 
 // session is an established secure (or plaintext) channel.
 type session struct {
 	conn    net.Conn
 	peer    names.Name
+	version uint8       // negotiated session version
 	aead    cipher.AEAD // nil in plaintext mode
 	sendCtr uint64
 	recvCtr uint64
 	sendDir byte
 	recvDir byte
+	nbuf    [12]byte // GCM nonce scratch
+
+	// wbuf frames outgoing messages: [4-byte len][payload][tag room],
+	// sealed in place and written with one conn.Write. rbuf is the
+	// receive scratch, opened in place. For version >= 1 the gob
+	// codecs persist for the session's life, so type descriptors cross
+	// the wire once per session instead of once per message.
+	wbuf     *bytes.Buffer
+	rbuf     []byte
+	enc      *gob.Encoder
+	feed     *frameFeeder
+	dec      *gob.Decoder
+	released bool
+}
+
+func newSession(conn net.Conn, peer names.Name, version uint8) *session {
+	return &session{
+		conn:    conn,
+		peer:    peer,
+		version: version,
+		wbuf:    framePool.Get().(*bytes.Buffer),
+		feed:    &frameFeeder{},
+	}
+}
+
+// release returns the session's pooled buffers. Safe to call more than
+// once; the session must not be used afterwards.
+func (s *session) release() {
+	if s.released {
+		return
+	}
+	s.released = true
+	framePool.Put(s.wbuf)
+	s.wbuf = nil
+	s.rbuf = nil
 }
 
 // transcriptHash binds the session key and signatures to every
@@ -148,6 +244,13 @@ func transcriptHash(a, b helloMsg) []byte {
 		h.Write(m.Cert.PublicKey)
 		h.Write(m.Nonce[:])
 		h.Write(m.EphPub)
+		// The version byte is deliberately NOT part of the transcript:
+		// old binaries hash exactly these four fields, and including a
+		// new one would break their signature check against upgraded
+		// peers. A stripped version byte can only downgrade a session
+		// to single-shot (version 0) — every security property of the
+		// channel is identical across versions, so the worst a
+		// downgrade costs is handshake amortization.
 	}
 	enc(a)
 	enc(b)
@@ -155,10 +258,12 @@ func transcriptHash(a, b helloMsg) []byte {
 }
 
 // handshake runs the mutual-auth key agreement. initiator controls the
-// message order; both sides end with the same session key. A non-zero
-// outer deadline (the transfer-wide one) is restored on exit so the
-// handshake's own tighter deadline does not cancel it.
-func (e *Endpoint) handshake(conn net.Conn, initiator bool, outer time.Time) (*session, error) {
+// message order; both sides end with the same session key. maxVersion
+// caps the session version this side offers (the negotiated version is
+// the minimum of both offers). A non-zero outer deadline (the
+// transfer-wide one) is restored on exit so the handshake's own tighter
+// deadline does not cancel it.
+func (e *Endpoint) handshake(conn net.Conn, initiator bool, outer time.Time, maxVersion uint8) (*session, error) {
 	if e.HandshakeTimeout > 0 {
 		d := time.Now().Add(e.HandshakeTimeout)
 		if !outer.IsZero() && outer.Before(d) {
@@ -168,7 +273,7 @@ func (e *Endpoint) handshake(conn net.Conn, initiator bool, outer time.Time) (*s
 		defer conn.SetDeadline(outer)
 	}
 	var ephKey *ecdh.PrivateKey
-	mine := helloMsg{ServerName: e.Identity.Name, Cert: e.Identity.Cert}
+	mine := helloMsg{ServerName: e.Identity.Name, Cert: e.Identity.Cert, Version: maxVersion}
 	if _, err := rand.Read(mine.Nonce[:]); err != nil {
 		return nil, err
 	}
@@ -238,7 +343,11 @@ func (e *Endpoint) handshake(conn net.Conn, initiator bool, outer time.Time) (*s
 		return nil, fmt.Errorf("%w: bad transcript signature from %s", ErrAuth, theirs.ServerName)
 	}
 
-	s := &session{conn: conn, peer: theirs.ServerName}
+	version := maxVersion
+	if theirs.Version < version {
+		version = theirs.Version
+	}
+	s := newSession(conn, theirs.ServerName, version)
 	if initiator {
 		s.sendDir, s.recvDir = 1, 2
 	} else {
@@ -285,55 +394,101 @@ func (e *Endpoint) transferDeadline(conn net.Conn) time.Time {
 	return d
 }
 
-// nonce builds the 12-byte GCM nonce for direction dir and counter ctr.
-func nonce(dir byte, ctr uint64) []byte {
-	n := make([]byte, 12)
-	n[0] = dir
-	binary.BigEndian.PutUint64(n[4:], ctr)
-	return n
+// nonce fills the session's 12-byte GCM nonce scratch for direction dir
+// and counter ctr.
+func (s *session) nonce(dir byte, ctr uint64) []byte {
+	s.nbuf[0] = dir
+	binary.BigEndian.PutUint64(s.nbuf[4:], ctr)
+	return s.nbuf[:]
 }
 
-// send seals (or passes through) one payload.
-func (s *session) send(payload []byte) error {
-	if s.aead == nil {
-		var lenBuf [4]byte
-		binary.BigEndian.PutUint32(lenBuf[:], uint32(len(payload)))
-		if _, err := s.conn.Write(lenBuf[:]); err != nil {
-			return err
-		}
-		_, err := s.conn.Write(payload)
+// flushFrame seals wbuf's payload in place (the buffer already holds
+// the 4-byte header reserve followed by the plaintext), patches the
+// length prefix, and writes header + ciphertext with a single Write.
+func (s *session) flushFrame() error {
+	if s.aead != nil {
+		// Reserve the GCM tag room, then seal with dst = plaintext[:0]
+		// — the exact-overlap aliasing cipher.AEAD permits — so the
+		// ciphertext lands where the plaintext was, no copy.
+		s.wbuf.Write(tagPad[:])
+		b := s.wbuf.Bytes()
+		plain := b[4 : len(b)-gcmTagSize]
+		sealed := s.aead.Seal(plain[:0], s.nonce(s.sendDir, s.sendCtr), plain, nil)
+		s.sendCtr++
+		binary.BigEndian.PutUint32(b[:4], uint32(len(sealed)))
+		_, err := s.conn.Write(b[:4+len(sealed)])
 		return err
 	}
-	sealed := s.aead.Seal(nil, nonce(s.sendDir, s.sendCtr), payload, nil)
-	s.sendCtr++
-	var lenBuf [4]byte
-	binary.BigEndian.PutUint32(lenBuf[:], uint32(len(sealed)))
-	if _, err := s.conn.Write(lenBuf[:]); err != nil {
-		return err
-	}
-	_, err := s.conn.Write(sealed)
+	b := s.wbuf.Bytes()
+	binary.BigEndian.PutUint32(b[:4], uint32(len(b)-4))
+	_, err := s.conn.Write(b)
 	return err
 }
 
-// recv reads and opens one payload. A tampered, replayed or reordered
-// frame fails authentication here.
-func (s *session) recv() ([]byte, error) {
+// writeMsg gob-encodes v straight into the session's frame buffer and
+// sends it as one sealed frame: no intermediate encode buffer, no
+// separate seal allocation, one Write. On version >= 1 sessions the
+// encoder persists, so gob type descriptors are transmitted once per
+// session rather than once per message.
+func (s *session) writeMsg(v any) error {
+	s.wbuf.Reset()
+	s.wbuf.Write(hdrPad[:])
+	var err error
+	if s.version >= 1 {
+		if s.enc == nil {
+			s.enc = gob.NewEncoder(s.wbuf)
+		}
+		err = s.enc.Encode(v)
+	} else {
+		err = gob.NewEncoder(s.wbuf).Encode(v)
+	}
+	if err != nil {
+		return fmt.Errorf("transfer: encode: %w", err)
+	}
+	return s.flushFrame()
+}
+
+// send seals (or passes through) one raw payload. Kept for tests that
+// drive the frame layer directly; protocol messages use writeMsg.
+func (s *session) send(payload []byte) error {
+	s.wbuf.Reset()
+	s.wbuf.Write(hdrPad[:])
+	s.wbuf.Write(payload)
+	return s.flushFrame()
+}
+
+// readPayload reads one frame into the session's receive scratch and
+// opens it in place. The returned slice aliases s.rbuf and is valid
+// until the next read. idleWait clears the read deadline while waiting
+// for the frame header (a pooled session sits idle between transfers),
+// then applies exchange as the deadline for the frame body and, via
+// SetDeadline, the rest of the exchange.
+func (s *session) readPayload(idleWait bool, exchange time.Duration) ([]byte, error) {
 	var lenBuf [4]byte
+	if idleWait {
+		_ = s.conn.SetDeadline(time.Time{})
+	}
 	if _, err := io.ReadFull(s.conn, lenBuf[:]); err != nil {
 		return nil, err
+	}
+	if idleWait && exchange > 0 {
+		_ = s.conn.SetDeadline(time.Now().Add(exchange))
 	}
 	n := binary.BigEndian.Uint32(lenBuf[:])
 	if n > MaxFrame {
 		return nil, ErrTooLarge
 	}
-	data := make([]byte, n)
+	if cap(s.rbuf) < int(n) {
+		s.rbuf = make([]byte, n)
+	}
+	data := s.rbuf[:n]
 	if _, err := io.ReadFull(s.conn, data); err != nil {
 		return nil, err
 	}
 	if s.aead == nil {
 		return data, nil
 	}
-	plain, err := s.aead.Open(nil, nonce(s.recvDir, s.recvCtr), data, nil)
+	plain, err := s.aead.Open(data[:0], s.nonce(s.recvDir, s.recvCtr), data, nil)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrIntegrity, err)
 	}
@@ -341,36 +496,67 @@ func (s *session) recv() ([]byte, error) {
 	return plain, nil
 }
 
-// SendAgent transfers an agent over conn and waits for the receiver's
-// accept/reject decision. The agent's state is sanitized (host handles
-// stripped) before serialization.
-func (e *Endpoint) SendAgent(conn net.Conn, a *agent.Agent) error {
-	s, err := e.handshake(conn, true, e.transferDeadline(conn))
+// readMsg receives one frame and gob-decodes it into v. On version >= 1
+// sessions the decoder persists across messages, mirroring writeMsg's
+// persistent encoder.
+func (s *session) readMsg(v any, idleWait bool, exchange time.Duration) error {
+	plain, err := s.readPayload(idleWait, exchange)
 	if err != nil {
 		return err
 	}
+	if s.version >= 1 {
+		s.feed.data = plain
+		if s.dec == nil {
+			s.dec = gob.NewDecoder(s.feed)
+		}
+		return s.dec.Decode(v)
+	}
+	return gob.NewDecoder(bytes.NewReader(plain)).Decode(v)
+}
+
+// recv reads and opens one payload, returning a copy the caller may
+// keep. A tampered, replayed or reordered frame fails authentication
+// here.
+func (s *session) recv() ([]byte, error) {
+	plain, err := s.readPayload(false, 0)
+	if err != nil {
+		return nil, err
+	}
+	return append([]byte(nil), plain...), nil
+}
+
+// connect dials nothing — conn is already established — but runs the
+// initiator handshake offering session streaming. The returned session
+// is what the Pool checks in and out.
+func (e *Endpoint) connect(conn net.Conn) (*session, error) {
+	s, err := e.handshake(conn, true, e.transferDeadline(conn), SessionVersion)
+	if err != nil {
+		return nil, err
+	}
+	// The handshake ran under the transfer deadline; a pooled session
+	// must not inherit it into its idle lifetime.
+	_ = conn.SetDeadline(time.Time{})
+	return s, nil
+}
+
+// exchange runs one agent/ack exchange on an established session: the
+// agent is sanitized, serialized and framed directly (no intermediate
+// copy), and the receiver's verdict is awaited.
+func (e *Endpoint) exchange(s *session, a *agent.Agent) error {
 	a.SanitizeForTransfer()
 	data, err := a.Encode()
 	if err != nil {
 		return err
 	}
-	var msg bytes.Buffer
-	if err := gob.NewEncoder(&msg).Encode(agentMsg{
+	if err := s.writeMsg(agentMsg{
 		Sender:   e.Identity.Name,
 		Data:     data,
 		Manifest: a.Manifest,
 	}); err != nil {
 		return err
 	}
-	if err := s.send(msg.Bytes()); err != nil {
-		return err
-	}
-	ackData, err := s.recv()
-	if err != nil {
-		return err
-	}
 	var ack ackMsg
-	if err := gob.NewDecoder(bytes.NewReader(ackData)).Decode(&ack); err != nil {
+	if err := s.readMsg(&ack, false, 0); err != nil {
 		return err
 	}
 	if !ack.Accepted {
@@ -379,33 +565,54 @@ func (e *Endpoint) SendAgent(conn net.Conn, a *agent.Agent) error {
 	return nil
 }
 
-// ReceiveAgent accepts one agent transfer on conn. The accept callback
-// inspects the decoded agent (credential verification, bundle
-// verification, admission control) and returns an error to reject it;
-// the rejection reason travels back to the sender.
-func (e *Endpoint) ReceiveAgent(conn net.Conn, accept func(*agent.Agent, names.Name) error) (*agent.Agent, error) {
-	s, err := e.handshake(conn, false, e.transferDeadline(conn))
-	if err != nil {
-		return nil, err
+// sendOn runs one transfer on a (possibly reused) session under the
+// endpoint's per-exchange deadline; on success the deadline is cleared
+// so the session can idle in the pool.
+func (e *Endpoint) sendOn(s *session, a *agent.Agent) error {
+	if e.TransferTimeout > 0 {
+		_ = s.conn.SetDeadline(time.Now().Add(e.TransferTimeout))
 	}
-	msgData, err := s.recv()
-	if err != nil {
-		return nil, err
+	if err := e.exchange(s, a); err != nil {
+		return err
 	}
+	_ = s.conn.SetDeadline(time.Time{})
+	return nil
+}
+
+// SendAgent transfers an agent over conn and waits for the receiver's
+// accept/reject decision. The agent's state is sanitized (host handles
+// stripped) before serialization. This is the single-shot path — it
+// offers session version 0, exactly the pre-pooling wire protocol; the
+// Pool is the amortized path.
+func (e *Endpoint) SendAgent(conn net.Conn, a *agent.Agent) error {
+	s, err := e.handshake(conn, true, e.transferDeadline(conn), 0)
+	if err != nil {
+		return err
+	}
+	defer s.release()
+	return e.exchange(s, a)
+}
+
+// receiveOne accepts one agent exchange on an established session. The
+// returned agent is nil when the accept callback rejected it (the nack
+// has been sent; the session remains usable). fatal reports that the
+// session is no longer usable — an I/O error, a protocol violation, or
+// a peer that lied about its identity.
+func (e *Endpoint) receiveOne(s *session, idleWait bool, accept func(*agent.Agent, names.Name) error) (a *agent.Agent, fatal bool, err error) {
 	var msg agentMsg
-	if err := gob.NewDecoder(bytes.NewReader(msgData)).Decode(&msg); err != nil {
-		return nil, err
+	if err := s.readMsg(&msg, idleWait, e.TransferTimeout); err != nil {
+		return nil, true, err
 	}
 	// The transport sender must be the authenticated peer: a server
 	// cannot forward agents while claiming another server sent them.
 	if msg.Sender != s.peer {
 		_ = s.sendAck(false, "sender identity mismatch")
-		return nil, fmt.Errorf("%w: message sender %s != channel peer %s", ErrAuth, msg.Sender, s.peer)
+		return nil, true, fmt.Errorf("%w: message sender %s != channel peer %s", ErrAuth, msg.Sender, s.peer)
 	}
-	a, err := agent.Decode(msg.Data)
+	a, err = agent.Decode(msg.Data)
 	if err != nil {
 		_ = s.sendAck(false, "malformed agent")
-		return nil, err
+		return nil, true, err
 	}
 	// The envelope manifest and the agent's in-body manifest must be
 	// the same declaration: a sender advertising narrower needs in the
@@ -413,18 +620,74 @@ func (e *Endpoint) ReceiveAgent(conn net.Conn, accept func(*agent.Agent, names.N
 	// rejected before admission even looks at the code.
 	if !manifestsAgree(msg.Manifest, a.Manifest) {
 		_ = s.sendAck(false, "manifest envelope mismatch")
-		return nil, fmt.Errorf("%w: envelope manifest does not match agent manifest", ErrRejected)
+		return nil, true, fmt.Errorf("%w: envelope manifest does not match agent manifest", ErrRejected)
 	}
 	if accept != nil {
 		if err := accept(a, s.peer); err != nil {
-			_ = s.sendAck(false, err.Error())
-			return nil, fmt.Errorf("%w: %v", ErrRejected, err)
+			if ackErr := s.sendAck(false, err.Error()); ackErr != nil {
+				return nil, true, ackErr
+			}
+			// An application-level rejection does not poison the
+			// channel: the next agent on this session may be welcome.
+			return nil, false, fmt.Errorf("%w: %v", ErrRejected, err)
 		}
 	}
 	if err := s.sendAck(true, ""); err != nil {
+		return nil, true, err
+	}
+	return a, false, nil
+}
+
+// ReceiveAgent accepts one agent transfer on conn. The accept callback
+// inspects the decoded agent (credential verification, bundle
+// verification, admission control) and returns an error to reject it;
+// the rejection reason travels back to the sender. Like SendAgent this
+// is the single-shot path (session version 0); servers accept streams
+// with ServeConn.
+func (e *Endpoint) ReceiveAgent(conn net.Conn, accept func(*agent.Agent, names.Name) error) (*agent.Agent, error) {
+	s, err := e.handshake(conn, false, e.transferDeadline(conn), 0)
+	if err != nil {
+		return nil, err
+	}
+	defer s.release()
+	a, _, err := e.receiveOne(s, false, accept)
+	if err != nil {
 		return nil, err
 	}
 	return a, nil
+}
+
+// ServeConn accepts a stream of agent transfers on conn: one handshake,
+// then agent/ack exchanges until the peer closes the connection (or a
+// fatal protocol error). Each accepted agent is passed to handle before
+// the next exchange begins — handle should hand off quickly (the server
+// spawns a hosting goroutine). With a version-0 peer exactly one
+// exchange runs, preserving single-shot interop. The returned error is
+// nil for a cleanly closed session.
+func (e *Endpoint) ServeConn(conn net.Conn, accept func(*agent.Agent, names.Name) error, handle func(*agent.Agent)) error {
+	s, err := e.handshake(conn, false, time.Time{}, SessionVersion)
+	if err != nil {
+		return err
+	}
+	defer s.release()
+	_ = conn.SetDeadline(time.Time{})
+	for {
+		a, fatal, err := e.receiveOne(s, true, accept)
+		switch {
+		case err == nil:
+			if a != nil && handle != nil {
+				handle(a)
+			}
+		case fatal:
+			if errors.Is(err, io.EOF) {
+				return nil // peer closed between exchanges
+			}
+			return err
+		}
+		if s.version < 1 {
+			return nil
+		}
+	}
 }
 
 // manifestsAgree reports whether the envelope and in-agent manifests
@@ -440,9 +703,5 @@ func manifestsAgree(env, carried *analysis.Manifest) bool {
 }
 
 func (s *session) sendAck(ok bool, reason string) error {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(ackMsg{Accepted: ok, Reason: reason}); err != nil {
-		return err
-	}
-	return s.send(buf.Bytes())
+	return s.writeMsg(ackMsg{Accepted: ok, Reason: reason})
 }

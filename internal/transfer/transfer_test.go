@@ -205,7 +205,7 @@ func TestC7_TamperDetected(t *testing.T) {
 	frames := 0
 	w.net.SetTap(func(from, to string, data []byte) []byte {
 		frames++
-		if frames > 8 { // let the handshake through, corrupt the payload
+		if frames > 4 { // let the 4 handshake frames through, corrupt the payload
 			data[len(data)/2] ^= 0x01
 		}
 		return data
@@ -290,7 +290,7 @@ func TestC7_ReplayRejected(t *testing.T) {
 		defer conn.Close()
 		// Receive the real agent, then try to read ANOTHER message
 		// from the same session (the replayed frame).
-		s, err := w.b.handshake(conn, false, time.Time{})
+		s, err := w.b.handshake(conn, false, time.Time{}, 0)
 		if err != nil {
 			recvDone <- err
 			return
@@ -308,7 +308,7 @@ func TestC7_ReplayRejected(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s, err := w.a.handshake(conn, true, time.Time{})
+	s, err := w.a.handshake(conn, true, time.Time{}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
