@@ -11,6 +11,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -616,6 +617,108 @@ func BenchmarkC7_Pooled(b *testing.B) {
 			}
 			b.ReportMetric(float64(nw.BytesSent())/float64(b.N), "wire-bytes/op")
 		})
+	}
+}
+
+// --- C8: contended access ----------------------------------------------------
+
+// benchUncontendedDef is a counter whose methods use atomics, so the
+// resource itself never serializes callers: any contention measured in
+// C8 is contention in the *access-control path*, not in the resource.
+func benchUncontendedDef() *resource.Def {
+	var val int64
+	return &resource.Def{
+		ResourceImpl: resource.NewImpl(names.Resource("umn.edu", "counter"),
+			names.Principal("umn.edu", "admin"), ""),
+		Path: "counter",
+		Methods: map[string]resource.Method{
+			"get": func([]vm.Value) (vm.Value, error) {
+				return vm.I(atomic.LoadInt64(&val)), nil
+			},
+			"add": func(args []vm.Value) (vm.Value, error) {
+				return vm.I(atomic.AddInt64(&val, args[0].Int)), nil
+			},
+		},
+	}
+}
+
+// runContended splits b.N invocations across g goroutines, each calling
+// its own accessor (which may be shared between workers).
+func runContended(b *testing.B, g int, call func(worker int) error) {
+	b.Helper()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	per := b.N / g
+	for w := 0; w < g; w++ {
+		n := per
+		if w == 0 {
+			n += b.N % g
+		}
+		wg.Add(1)
+		go func(w, n int) {
+			defer wg.Done()
+			for i := 0; i < n; i++ {
+				if err := call(w); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}(w, n)
+	}
+	wg.Wait()
+}
+
+// BenchmarkC8_ContendedAccess measures the §5.5 "little overhead" claim
+// under concurrency: G goroutines hammering one shared proxy (worst
+// case: one agent's activities, or a leaked-to-threads proxy) and G
+// goroutines each owning their own proxy to the same resource (the
+// common case: many co-hosted agents). Before the copy-on-write
+// refactor every invocation serialized on a per-proxy mutex; the
+// numbers for that design are preserved by the mutex_baseline variant
+// (internal/baseline.MutexProxyDesign) and in EXPERIMENTS.md C8.
+func BenchmarkC8_ContendedAccess(b *testing.B) {
+	creds, _, _ := benchCreds(b)
+	eng := openPolicy("counter")
+	impls := []struct {
+		name string
+		bind func(caller domain.ID) (baseline.Accessor, error)
+	}{
+		{"cow", func(caller domain.ID) (baseline.Accessor, error) {
+			return benchUncontendedDef().GetProxy(resource.Request{Caller: caller, Creds: creds, Policy: eng})
+		}},
+		{"mutex_baseline", func(caller domain.ID) (baseline.Accessor, error) {
+			return baseline.NewMutexProxyDesign(benchUncontendedDef(), eng).Bind(caller, creds)
+		}},
+	}
+	for _, impl := range impls {
+		for _, g := range []int{1, 4, 16} {
+			b.Run(fmt.Sprintf("%s/one_proxy/goroutines=%d", impl.name, g), func(b *testing.B) {
+				acc, err := impl.bind(benchAgentDom)
+				if err != nil {
+					b.Fatal(err)
+				}
+				runContended(b, g, func(int) error {
+					_, err := acc.Invoke(benchAgentDom, "get", nil)
+					return err
+				})
+			})
+			b.Run(fmt.Sprintf("%s/proxy_per_goroutine/goroutines=%d", impl.name, g), func(b *testing.B) {
+				accs := make([]baseline.Accessor, g)
+				doms := make([]domain.ID, g)
+				for i := range accs {
+					doms[i] = domain.ID(100 + i)
+					var err error
+					if accs[i], err = impl.bind(doms[i]); err != nil {
+						b.Fatal(err)
+					}
+				}
+				runContended(b, g, func(w int) error {
+					_, err := accs[w].Invoke(doms[w], "get", nil)
+					return err
+				})
+			})
+		}
 	}
 }
 

@@ -10,9 +10,12 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"os"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -29,7 +32,8 @@ import (
 )
 
 func main() {
-	only := flag.String("only", "", "run a single experiment: c1, c2, c3, c4, c6, vm")
+	only := flag.String("only", "", "run a single experiment: c1, c2, c3, c4, c6, c8, vm")
+	jsonOut := flag.String("json", "", "write the C8 contended-access results to this JSON file (e.g. BENCH_access.json)")
 	flag.Parse()
 	run := func(name string, f func()) {
 		if *only == "" || *only == name {
@@ -41,6 +45,7 @@ func main() {
 	run("c3", tableC3)
 	run("c4", tableC4)
 	run("c6", tableC6)
+	run("c8", func() { tableC8(*jsonOut) })
 	run("vm", tableVM)
 }
 
@@ -298,6 +303,128 @@ func tableC6() {
 	fmt.Printf("  %-28s %10.1f ns\n", "grant + revoke one proxy", float64(r1.NsPerOp()))
 	fmt.Printf("  %-28s %10.1f ns\n", "post-revocation denial", float64(r2.NsPerOp()))
 	fmt.Println()
+}
+
+// --- C8 ---------------------------------------------------------------------
+
+// atomicCounterDef is the C8 resource: its method body is a single
+// atomic load, so the benchmark isolates access-control overhead rather
+// than contention inside the resource itself.
+func atomicCounterDef() *resource.Def {
+	var val atomic.Int64
+	return &resource.Def{
+		ResourceImpl: resource.NewImpl(names.Resource("umn.edu", "counter"),
+			names.Principal("umn.edu", "admin"), ""),
+		Path: "counter",
+		Methods: map[string]resource.Method{
+			"get": func([]vm.Value) (vm.Value, error) {
+				return vm.I(val.Load()), nil
+			},
+		},
+	}
+}
+
+// c8Result is one row of BENCH_access.json.
+type c8Result struct {
+	Impl        string  `json:"impl"` // cow | mutex_baseline
+	Mode        string  `json:"mode"` // one_proxy | proxy_per_goroutine
+	Goroutines  int     `json:"goroutines"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// tableC8 reproduces BenchmarkC8_ContendedAccess as an experiment
+// table: the copy-on-write proxy against the pre-refactor mutex design
+// (internal/baseline.MutexProxyDesign), with G goroutines hammering one
+// shared proxy and G goroutines each owning their own. When jsonPath is
+// non-empty, the rows are also written there as JSON (the CI bench job
+// uploads this file as the BENCH_access artifact).
+func tableC8(jsonPath string) {
+	creds, eng := fixtures()
+	impls := []struct {
+		name string
+		bind func(caller domain.ID) (baseline.Accessor, error)
+	}{
+		{"cow", func(caller domain.ID) (baseline.Accessor, error) {
+			return atomicCounterDef().GetProxy(resource.Request{Caller: caller, Creds: creds, Policy: eng})
+		}},
+		{"mutex_baseline", func(caller domain.ID) (baseline.Accessor, error) {
+			return baseline.NewMutexProxyDesign(atomicCounterDef(), eng).Bind(caller, creds)
+		}},
+	}
+
+	contended := func(g int, call func(worker int) error) testing.BenchmarkResult {
+		return testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			var wg sync.WaitGroup
+			per := b.N / g
+			for w := 0; w < g; w++ {
+				n := per
+				if w == 0 {
+					n += b.N % g
+				}
+				wg.Add(1)
+				go func(w, n int) {
+					defer wg.Done()
+					for i := 0; i < n; i++ {
+						if err := call(w); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}(w, n)
+			}
+			wg.Wait()
+		})
+	}
+
+	fmt.Println("C8: contended access — copy-on-write proxy vs pre-refactor mutex proxy")
+	fmt.Printf("  %-16s %-20s %4s %12s %10s\n", "impl", "mode", "G", "ns/call", "allocs/op")
+	var results []c8Result
+	record := func(impl, mode string, g int, r testing.BenchmarkResult) {
+		row := c8Result{Impl: impl, Mode: mode, Goroutines: g,
+			NsPerOp: float64(r.NsPerOp()), AllocsPerOp: r.AllocsPerOp()}
+		results = append(results, row)
+		fmt.Printf("  %-16s %-20s %4d %12.2f %10d\n", impl, mode, g, row.NsPerOp, row.AllocsPerOp)
+	}
+
+	for _, impl := range impls {
+		for _, g := range []int{1, 4, 16} {
+			acc, err := impl.bind(agentDom)
+			if err != nil {
+				panic(err)
+			}
+			record(impl.name, "one_proxy", g, contended(g, func(int) error {
+				_, err := acc.Invoke(agentDom, "get", nil)
+				return err
+			}))
+
+			accs := make([]baseline.Accessor, g)
+			doms := make([]domain.ID, g)
+			for i := range accs {
+				doms[i] = domain.ID(100 + i)
+				if accs[i], err = impl.bind(doms[i]); err != nil {
+					panic(err)
+				}
+			}
+			record(impl.name, "proxy_per_goroutine", g, contended(g, func(w int) error {
+				_, err := accs[w].Invoke(doms[w], "get", nil)
+				return err
+			}))
+		}
+	}
+	fmt.Println()
+
+	if jsonPath != "" {
+		blob, err := json.MarshalIndent(results, "", "  ")
+		if err != nil {
+			panic(err)
+		}
+		if err := os.WriteFile(jsonPath, append(blob, '\n'), 0o644); err != nil {
+			panic(err)
+		}
+		fmt.Printf("  wrote %s (%d rows)\n\n", jsonPath, len(results))
+	}
 }
 
 // --- VM ---------------------------------------------------------------------

@@ -1,0 +1,127 @@
+package baseline
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/cred"
+	"repro/internal/domain"
+	"repro/internal/policy"
+	"repro/internal/resource"
+	"repro/internal/vm"
+)
+
+// MutexProxyDesign preserves the pre-copy-on-write production proxy:
+// every invocation takes a per-proxy sync.Mutex to run the §5.5 screen
+// (revocation, expiry, holder, enable set, quota) and bump the
+// accounting counters. It exists so the C8 contended-access experiment
+// can compare the lock-free snapshot design in internal/resource
+// against the design it replaced, on the same method tables.
+type MutexProxyDesign struct {
+	Def    *resource.Def
+	Policy *policy.Engine
+}
+
+// NewMutexProxyDesign builds the design.
+func NewMutexProxyDesign(def *resource.Def, eng *policy.Engine) *MutexProxyDesign {
+	return &MutexProxyDesign{Def: def, Policy: eng}
+}
+
+// Name implements Design.
+func (d *MutexProxyDesign) Name() string { return "proxy_mutex" }
+
+// Bind implements Design: one policy decision, then a per-agent proxy
+// whose mutable control state sits behind a mutex.
+func (d *MutexProxyDesign) Bind(caller domain.ID, creds *cred.Credentials) (Accessor, error) {
+	grant := d.Policy.Decide(creds, d.Def.Path, d.Def.MethodNames())
+	if grant.Empty() {
+		return nil, resource.ErrNoAccess
+	}
+	enabled := make(map[string]bool, len(grant.Methods))
+	for m, ok := range grant.Methods {
+		if ok {
+			enabled[m] = true
+		}
+	}
+	expiry := creds.EffectiveExpiry()
+	if !grant.Expiry.IsZero() && grant.Expiry.Before(expiry) {
+		expiry = grant.Expiry
+	}
+	return &mutexProxy{
+		def:       d.Def,
+		bound:     caller,
+		enabled:   enabled,
+		expiry:    expiry,
+		quota:     grant.Quota,
+		perMethod: make(map[string]uint64),
+	}, nil
+}
+
+// mutexProxy is the old production proxy, field for field.
+type mutexProxy struct {
+	def       *resource.Def
+	bound     domain.ID
+	mu        sync.Mutex
+	enabled   map[string]bool
+	expiry    time.Time
+	revoked   bool
+	quota     policy.Quota
+	inv       uint64
+	charge    uint64
+	perMethod map[string]uint64
+}
+
+// Invoke runs the full screen and accounting under the proxy mutex,
+// exactly as the pre-refactor implementation did.
+func (p *mutexProxy) Invoke(caller domain.ID, method string, args []vm.Value) (vm.Value, error) {
+	cost := p.def.Costs[method]
+	if cost == 0 {
+		cost = resource.DefaultCost
+	}
+	p.mu.Lock()
+	if err := p.screen(caller, method, cost); err != nil {
+		p.mu.Unlock()
+		return vm.Nil(), err
+	}
+	p.inv++
+	p.charge += cost
+	p.perMethod[method]++
+	fn := p.def.Methods[method]
+	p.mu.Unlock()
+	return fn(args)
+}
+
+// screen performs all access checks; the caller holds p.mu.
+func (p *mutexProxy) screen(caller domain.ID, method string, cost uint64) error {
+	if p.revoked {
+		return resource.ErrRevoked
+	}
+	if !p.expiry.IsZero() && time.Now().After(p.expiry) {
+		return resource.ErrProxyExpired
+	}
+	if caller != p.bound {
+		return fmt.Errorf("%w: bound to %s, invoked from %s", resource.ErrNotHolder, p.bound, caller)
+	}
+	if _, exists := p.def.Methods[method]; !exists {
+		return fmt.Errorf("%w: %q", resource.ErrUnknownMethod, method)
+	}
+	if !p.enabled[method] {
+		return fmt.Errorf("%w: %q", resource.ErrMethodDisabled, method)
+	}
+	if q := p.quota.MaxInvocations; q != 0 && p.inv >= q {
+		return fmt.Errorf("%w: %d invocations", resource.ErrQuota, q)
+	}
+	if q := p.quota.MaxCharge; q != 0 && p.charge+cost > q {
+		return fmt.Errorf("%w: charge limit %d", resource.ErrQuota, q)
+	}
+	return nil
+}
+
+// Revoke invalidates the proxy (used by the stress tests to keep the
+// baseline honest about control-plane semantics).
+func (p *mutexProxy) Revoke() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.revoked = true
+}

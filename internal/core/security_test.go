@@ -81,7 +81,7 @@ func probe() {
 }
 
 // TestImpostorModuleLive: an agent ships a module shadowing the server's
-// trusted library; the trusted code wins at the hosting server (C8 on
+// trusted library; the trusted code wins at the hosting server (C11 on
 // the full platform).
 func TestImpostorModuleLive(t *testing.T) {
 	p := mustPlatform(t)

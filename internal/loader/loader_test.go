@@ -47,10 +47,10 @@ func TestTrustedSetRejectsDuplicatesAndInvalid(t *testing.T) {
 	}
 }
 
-// TestC8_ImpostorModule reproduces the paper's impostor-class scenario:
+// TestC11_ImpostorModule reproduces the paper's impostor-class scenario:
 // an agent ships a module named "stdlib" whose check() lies; the trusted
-// module must win resolution (experiment C8 in DESIGN.md).
-func TestC8_ImpostorModule(t *testing.T) {
+// module must win resolution (experiment C11 in DESIGN.md).
+func TestC11_ImpostorModule(t *testing.T) {
 	trusted := compile(t, `module stdlib
 func check() { return "trusted" }`)
 	impostor := compile(t, `module stdlib
@@ -94,9 +94,9 @@ func TestNamespaceRejectsUnverifiableBundle(t *testing.T) {
 	}
 }
 
-// TestC8_NamespaceIsolation: two agents with same-named modules resolve
+// TestC11_NamespaceIsolation: two agents with same-named modules resolve
 // to their own code; neither sees the other's.
-func TestC8_NamespaceIsolation(t *testing.T) {
+func TestC11_NamespaceIsolation(t *testing.T) {
 	ts, _ := NewTrustedSet()
 	modA := compile(t, "module util\nfunc who() { return \"A\" }")
 	modB := compile(t, "module util\nfunc who() { return \"B\" }")

@@ -1,0 +1,112 @@
+package policy
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Stamp identifies the configuration generation a cached decision was
+// computed under: the policy engine's epoch and the resource registry's
+// epoch. A cached grant is valid only while both still match — any rule
+// change, group change, or registry mutation (install/replace/remove)
+// bumps the corresponding epoch and silently invalidates every entry
+// stamped before it.
+type Stamp struct {
+	Policy   uint64
+	Registry uint64
+}
+
+// cacheKey identifies one (protection domain, resource) pair. Grants
+// depend only on the requesting agent's credentials and the resource, so
+// within one domain's visit the decision is stable while the stamp is.
+type cacheKey struct {
+	dom  uint64
+	path string
+}
+
+// cacheVal is one memoized decision.
+type cacheVal struct {
+	stamp Stamp
+	grant Grant
+}
+
+// DecisionCache memoizes policy decisions per (domain, resource) with
+// epoch-based invalidation. The paper's binding protocol (Fig. 6) runs a
+// full policy evaluation on every get_resource; agents that re-bind the
+// same resource repeatedly (or many agents of one domain binding the
+// same resource) pay that evaluation once per configuration generation
+// instead.
+//
+// Invalidation is by comparison, not by walk: mutators never touch the
+// cache, they only bump their epoch; a stale entry simply stops
+// matching and is overwritten on the next fill. Time-limited grants
+// (non-zero Expiry) are additionally re-derived once their expiry
+// passes, so a cached TTL grant cannot outlive the TTL that produced it.
+type DecisionCache struct {
+	m sync.Map // cacheKey -> *cacheVal
+	n atomic.Int64
+
+	// max bounds the entry count; at the cap, fills evict one arbitrary
+	// entry (sync.Map iteration order) rather than grow. Decisions are
+	// cheap to recompute, so crude eviction beats tracking recency.
+	max int64
+
+	hits, misses atomic.Uint64
+}
+
+// DefaultCacheSize bounds the cache when NewDecisionCache is given a
+// non-positive size.
+const DefaultCacheSize = 4096
+
+// NewDecisionCache returns a cache holding at most size entries.
+func NewDecisionCache(size int) *DecisionCache {
+	if size <= 0 {
+		size = DefaultCacheSize
+	}
+	return &DecisionCache{max: int64(size)}
+}
+
+// Get returns the cached grant for (dom, path) if one exists with the
+// given stamp and its expiry (if any) has not passed.
+func (c *DecisionCache) Get(dom uint64, path string, now Stamp) (Grant, bool) {
+	v, ok := c.m.Load(cacheKey{dom, path})
+	if !ok {
+		c.misses.Add(1)
+		return Grant{}, false
+	}
+	cv := v.(*cacheVal)
+	if cv.stamp != now {
+		c.misses.Add(1)
+		return Grant{}, false
+	}
+	if !cv.grant.Expiry.IsZero() && time.Now().After(cv.grant.Expiry) {
+		c.misses.Add(1)
+		return Grant{}, false
+	}
+	c.hits.Add(1)
+	return cv.grant, true
+}
+
+// Put stores a decision computed under stamp.
+func (c *DecisionCache) Put(dom uint64, path string, stamp Stamp, g Grant) {
+	k := cacheKey{dom, path}
+	if _, existed := c.m.Swap(k, &cacheVal{stamp: stamp, grant: g}); existed {
+		return
+	}
+	if c.n.Add(1) > c.max {
+		c.m.Range(func(rk, _ any) bool {
+			if rk != k {
+				c.m.Delete(rk)
+				c.n.Add(-1)
+				return false
+			}
+			return true
+		})
+	}
+}
+
+// Stats reports cache hits and misses since creation.
+func (c *DecisionCache) Stats() (hits, misses uint64) {
+	return c.hits.Load(), c.misses.Load()
+}

@@ -1,0 +1,120 @@
+package policy
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/names"
+)
+
+func grantOf(methods ...string) Grant {
+	g := Grant{Methods: make(map[string]bool)}
+	for _, m := range methods {
+		g.Methods[m] = true
+	}
+	return g
+}
+
+func TestDecisionCacheHitAndEpochInvalidation(t *testing.T) {
+	c := NewDecisionCache(16)
+	s1 := Stamp{Policy: 1, Registry: 1}
+
+	if _, ok := c.Get(7, "counter", s1); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put(7, "counter", s1, grantOf("get"))
+	g, ok := c.Get(7, "counter", s1)
+	if !ok || !g.Methods["get"] {
+		t.Fatalf("want cached grant, got %v %v", g, ok)
+	}
+
+	// Any epoch bump — policy or registry — invalidates.
+	if _, ok := c.Get(7, "counter", Stamp{Policy: 2, Registry: 1}); ok {
+		t.Fatal("stale policy epoch served")
+	}
+	if _, ok := c.Get(7, "counter", Stamp{Policy: 1, Registry: 2}); ok {
+		t.Fatal("stale registry epoch served")
+	}
+	// Different domain or resource: separate entries.
+	if _, ok := c.Get(8, "counter", s1); ok {
+		t.Fatal("cross-domain hit")
+	}
+	if _, ok := c.Get(7, "printer", s1); ok {
+		t.Fatal("cross-resource hit")
+	}
+
+	hits, misses := c.Stats()
+	if hits != 1 || misses != 5 {
+		t.Fatalf("stats = %d/%d, want 1/5", hits, misses)
+	}
+}
+
+func TestDecisionCacheExpiredGrantMisses(t *testing.T) {
+	c := NewDecisionCache(16)
+	s := Stamp{Policy: 1, Registry: 1}
+	g := grantOf("get")
+	g.Expiry = time.Now().Add(-time.Second)
+	c.Put(3, "counter", s, g)
+	if _, ok := c.Get(3, "counter", s); ok {
+		t.Fatal("expired grant served from cache")
+	}
+}
+
+func TestDecisionCacheBounded(t *testing.T) {
+	c := NewDecisionCache(8)
+	s := Stamp{Policy: 1, Registry: 1}
+	for i := 0; i < 100; i++ {
+		c.Put(uint64(i), "counter", s, grantOf("get"))
+	}
+	if n := c.n.Load(); n > 8 {
+		t.Fatalf("cache grew to %d entries, cap is 8", n)
+	}
+	// The most recent fill must have survived its own eviction pass.
+	if _, ok := c.Get(99, "counter", s); !ok {
+		t.Fatal("latest entry evicted by its own Put")
+	}
+}
+
+func TestStressDecisionCacheConcurrent(t *testing.T) {
+	c := NewDecisionCache(32)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				st := Stamp{Policy: uint64(i % 3), Registry: 1}
+				path := fmt.Sprintf("res%d", i%5)
+				if g, ok := c.Get(uint64(w), path, st); ok {
+					if !g.Methods["get"] {
+						t.Error("corrupt cached grant")
+						return
+					}
+				} else {
+					c.Put(uint64(w), path, st, grantOf("get"))
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestEngineEpochBumpsOnMutation(t *testing.T) {
+	e := NewEngine()
+	start := e.Epoch()
+	e.AddRule(Rule{AnyPrincipal: true, Resource: "*", Methods: []string{"*"}})
+	if e.Epoch() != start+1 {
+		t.Fatalf("AddRule: epoch %d, want %d", e.Epoch(), start+1)
+	}
+	e.DefineGroup(names.Group("umn.edu", "faculty"), names.Principal("umn.edu", "alice"))
+	if e.Epoch() != start+2 {
+		t.Fatalf("DefineGroup: epoch %d, want %d", e.Epoch(), start+2)
+	}
+	e.SetRules(nil)
+	if e.Epoch() != start+3 {
+		t.Fatalf("SetRules: epoch %d, want %d", e.Epoch(), start+3)
+	}
+}

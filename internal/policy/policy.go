@@ -18,6 +18,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cred"
@@ -86,45 +87,80 @@ type Rule struct {
 	TTL time.Duration
 }
 
-// Engine evaluates rules. It is safe for concurrent use.
-type Engine struct {
-	mu     sync.RWMutex
+// ruleSet is one immutable published generation of a policy: rules in
+// order plus the group table. Decisions read a whole generation
+// atomically, never a half-applied mutation.
+type ruleSet struct {
 	rules  []Rule
 	groups map[names.Name][]names.Name // group -> members
 }
 
+// Engine evaluates rules. It is safe for concurrent use: decisions are
+// lock-free reads of a copy-on-write snapshot; mutators (AddRule,
+// SetRules, DefineGroup) copy the current generation under a writer
+// mutex, publish the successor and bump the policy epoch.
+type Engine struct {
+	mu    sync.Mutex // serializes writers only
+	snap  atomic.Pointer[ruleSet]
+	epoch atomic.Uint64
+}
+
 // NewEngine returns an engine with no rules (default deny).
 func NewEngine() *Engine {
-	return &Engine{groups: make(map[names.Name][]names.Name)}
+	e := &Engine{}
+	e.snap.Store(&ruleSet{groups: make(map[names.Name][]names.Name)})
+	return e
+}
+
+// Epoch returns the policy's mutation epoch. It bumps on every rule or
+// group change; decisions cached under an older epoch are stale.
+func (e *Engine) Epoch() uint64 { return e.epoch.Load() }
+
+// publish installs a new generation; the caller holds e.mu.
+func (e *Engine) publish(rs *ruleSet) {
+	e.snap.Store(rs)
+	e.epoch.Add(1)
+}
+
+// mutate builds the successor generation from a copy of the current one.
+func (e *Engine) mutate(f func(rs *ruleSet)) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	cur := e.snap.Load()
+	rs := &ruleSet{
+		rules:  append([]Rule(nil), cur.rules...),
+		groups: make(map[names.Name][]names.Name, len(cur.groups)),
+	}
+	for g, ms := range cur.groups {
+		rs.groups[g] = ms
+	}
+	f(rs)
+	e.publish(rs)
 }
 
 // AddRule appends a rule. Policies "can be dynamically modified by
 // their owners" (§5.1), hence the mutator rather than a frozen config.
 func (e *Engine) AddRule(r Rule) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	e.rules = append(e.rules, r)
+	e.mutate(func(rs *ruleSet) { rs.rules = append(rs.rules, r) })
 }
 
 // SetRules replaces the whole rule list.
-func (e *Engine) SetRules(rs []Rule) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	e.rules = append([]Rule(nil), rs...)
+func (e *Engine) SetRules(rules []Rule) {
+	e.mutate(func(rs *ruleSet) { rs.rules = append([]Rule(nil), rules...) })
 }
 
 // DefineGroup sets the membership of a group ("a set of principals may
 // be aggregated together in a group to represent a common role", §2).
 func (e *Engine) DefineGroup(group names.Name, members ...names.Name) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	e.groups[group] = append([]names.Name(nil), members...)
+	e.mutate(func(rs *ruleSet) {
+		rs.groups[group] = append([]names.Name(nil), members...)
+	})
 }
 
 // memberOf reports whether p is in group (non-recursive; the paper's
 // groups are flat roles).
-func (e *Engine) memberOf(p, group names.Name) bool {
-	for _, m := range e.groups[group] {
+func (rs *ruleSet) memberOf(p, group names.Name) bool {
+	for _, m := range rs.groups[group] {
 		if m == p {
 			return true
 		}
@@ -133,7 +169,7 @@ func (e *Engine) memberOf(p, group names.Name) bool {
 }
 
 // matches reports whether rule r applies to owner and resourcePath.
-func (e *Engine) matches(r Rule, owner names.Name, resourcePath string) bool {
+func (rs *ruleSet) matches(r Rule, owner names.Name, resourcePath string) bool {
 	if r.Resource != "*" && r.Resource != resourcePath {
 		return false
 	}
@@ -146,7 +182,7 @@ func (e *Engine) matches(r Rule, owner names.Name, resourcePath string) bool {
 	if r.Principal == owner {
 		return true
 	}
-	return r.Principal.Kind == names.KindGroup && e.memberOf(owner, r.Principal)
+	return r.Principal.Kind == names.KindGroup && rs.memberOf(owner, r.Principal)
 }
 
 // Decide computes the grant for an agent (identified by its verified
@@ -155,8 +191,7 @@ func (e *Engine) matches(r Rule, owner names.Name, resourcePath string) bool {
 // the credentials: a right "path.m" (or a wildcard implying it) must be
 // present for method m to survive.
 func (e *Engine) Decide(c *cred.Credentials, resourcePath string, allMethods []string) Grant {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
+	rs := e.snap.Load()
 
 	allowed := make(map[string]bool)
 	denied := make(map[string]bool)
@@ -172,8 +207,8 @@ func (e *Engine) Decide(c *cred.Credentials, resourcePath string, allMethods []s
 		return ms
 	}
 
-	for _, r := range e.rules {
-		if !e.matches(r, c.Owner, resourcePath) {
+	for _, r := range rs.rules {
+		if !rs.matches(r, c.Owner, resourcePath) {
 			continue
 		}
 		for _, m := range expand(r.Methods) {
@@ -219,10 +254,9 @@ func (e *Engine) Decide(c *cred.Credentials, resourcePath string, allMethods []s
 // fail-closed — the per-binding Decide check still governs the actual
 // access at run time.
 func (e *Engine) AllowsWildcard(c *cred.Credentials) bool {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	for _, r := range e.rules {
-		if !r.Deny && r.Resource == "*" && e.matches(r, c.Owner, "*") {
+	rs := e.snap.Load()
+	for _, r := range rs.rules {
+		if !r.Deny && r.Resource == "*" && rs.matches(r, c.Owner, "*") {
 			return true
 		}
 	}

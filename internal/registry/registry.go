@@ -3,12 +3,20 @@
 // available to agents and looked up by global name. "Each entry also
 // contains ownership information, which is used to prevent any
 // unauthorized modifications to the registry entries" (§5.5).
+//
+// The registry is read-mostly — one lookup per resource binding,
+// mutations only when resources are installed, replaced or removed — so
+// the table is published as an immutable copy-on-write snapshot behind
+// an atomic pointer. Lookups never lock; each mutation copies the
+// table under a writer mutex, swaps the pointer and bumps the registry
+// epoch (used by the policy decision cache for invalidation).
 package registry
 
 import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/domain"
 	"repro/internal/names"
@@ -40,15 +48,46 @@ type Entry struct {
 	OwnerPrincipal names.Name
 }
 
-// Registry is a thread-safe name → Entry table.
+// table is one immutable published generation of the registry.
+type table map[names.Name]Entry
+
+// Registry is a name → Entry table with lock-free lookups.
 type Registry struct {
-	mu      sync.RWMutex
-	entries map[names.Name]*Entry
+	mu    sync.Mutex // serializes writers only
+	snap  atomic.Pointer[table]
+	epoch atomic.Uint64
 }
 
 // New returns an empty registry.
 func New() *Registry {
-	return &Registry{entries: make(map[names.Name]*Entry)}
+	r := &Registry{}
+	t := make(table)
+	r.snap.Store(&t)
+	return r
+}
+
+// Epoch returns the registry's mutation epoch. It bumps on every
+// Register, Unregister and Replace; cached decisions stamped with an
+// older epoch are stale.
+func (r *Registry) Epoch() uint64 { return r.epoch.Load() }
+
+// load returns the current immutable table; callers must not mutate it.
+func (r *Registry) load() table { return *r.snap.Load() }
+
+// publish installs a new table generation; the caller holds r.mu.
+func (r *Registry) publish(t table) {
+	r.snap.Store(&t)
+	r.epoch.Add(1)
+}
+
+// clone copies the current table for a mutation; the caller holds r.mu.
+func (r *Registry) clone() table {
+	cur := r.load()
+	t := make(table, len(cur)+1)
+	for n, e := range cur {
+		t[n] = e
+	}
+	return t
 }
 
 // Register adds an entry (Fig. 6 step 1: "resource registers itself").
@@ -61,23 +100,25 @@ func (r *Registry) Register(e Entry) error {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if _, dup := r.entries[e.Name]; dup {
+	if _, dup := r.load()[e.Name]; dup {
 		return fmt.Errorf("%w: %s", ErrDuplicate, e.Name)
 	}
-	cp := e
-	r.entries[e.Name] = &cp
+	t := r.clone()
+	t[e.Name] = e
+	r.publish(t)
 	return nil
 }
 
-// Lookup finds an entry by name (Fig. 6 step 3).
+// Lookup finds an entry by name (Fig. 6 step 3). The returned Entry is
+// a copy: mutating its ownership fields affects nothing — the table can
+// only be changed through Replace/Unregister, which enforce the §5.5
+// ownership check.
 func (r *Registry) Lookup(n names.Name) (Entry, error) {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	e, ok := r.entries[n]
+	e, ok := r.load()[n]
 	if !ok {
 		return Entry{}, fmt.Errorf("%w: %s", ErrNotFound, n)
 	}
-	return *e, nil
+	return e, nil
 }
 
 // Unregister removes an entry. Only the owning domain (or the server)
@@ -85,14 +126,16 @@ func (r *Registry) Lookup(n names.Name) (Entry, error) {
 func (r *Registry) Unregister(caller domain.ID, n names.Name) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	e, ok := r.entries[n]
+	e, ok := r.load()[n]
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrNotFound, n)
 	}
 	if caller != domain.ServerID && caller != e.OwnerDomain {
 		return fmt.Errorf("%w: %s owned by %s", ErrNotOwner, n, e.OwnerDomain)
 	}
-	delete(r.entries, n)
+	t := r.clone()
+	delete(t, n)
+	r.publish(t)
 	return nil
 }
 
@@ -101,7 +144,7 @@ func (r *Registry) Unregister(caller domain.ID, n names.Name) error {
 func (r *Registry) Replace(caller domain.ID, n names.Name, res resource.Resource, ap resource.AccessProtocol) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	e, ok := r.entries[n]
+	e, ok := r.load()[n]
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrNotFound, n)
 	}
@@ -110,15 +153,17 @@ func (r *Registry) Replace(caller domain.ID, n names.Name, res resource.Resource
 	}
 	e.Resource = res
 	e.AP = ap
+	t := r.clone()
+	t[n] = e
+	r.publish(t)
 	return nil
 }
 
 // List returns all registered names.
 func (r *Registry) List() []names.Name {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	out := make([]names.Name, 0, len(r.entries))
-	for n := range r.entries {
+	t := r.load()
+	out := make([]names.Name, 0, len(t))
+	for n := range t {
 		out = append(out, n)
 	}
 	return out
@@ -126,7 +171,5 @@ func (r *Registry) List() []names.Name {
 
 // Len reports the number of entries.
 func (r *Registry) Len() int {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	return len(r.entries)
+	return len(r.load())
 }

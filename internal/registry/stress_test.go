@@ -1,0 +1,158 @@
+package registry
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cred"
+	"repro/internal/domain"
+	"repro/internal/keys"
+	"repro/internal/names"
+	"repro/internal/policy"
+	"repro/internal/resource"
+)
+
+// TestStressRegisterRemoveDuringBinding churns the registry (Register /
+// Unregister / Replace) while binder goroutines run the lookup-then-
+// GetProxy half of the Fig. 6 protocol against it. Outcomes must be a
+// working proxy or a clean ErrNotFound — lookups read an immutable
+// snapshot, so a binder can never observe a half-mutated table. Run
+// with -race: this is the registry's copy-on-write correctness test.
+func TestStressRegisterRemoveDuringBinding(t *testing.T) {
+	r := New()
+
+	// Credentials + open policy so GetProxy succeeds when Lookup does.
+	ca, err := keys.NewRegistry(names.Principal("umn.edu", "ca"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner, err := keys.NewIdentity(ca, names.Principal("umn.edu", "alice"), time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	creds, err := cred.Issue(owner, names.Agent("umn.edu", "a1"),
+		names.Principal("umn.edu", "app"), cred.NewRightSet("*"), time.Hour, "home")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := policy.NewEngine()
+	eng.SetRules([]policy.Rule{{AnyPrincipal: true, Resource: "*", Methods: []string{"*"}}})
+
+	const resources = 4
+	paths := make([]string, resources)
+	for i := range paths {
+		paths[i] = fmt.Sprintf("res%d", i)
+	}
+
+	const binders = 6
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < binders; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			dom := domain.ID(100 + w)
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				name := names.Resource("acme.com", paths[i%resources])
+				e, err := r.Lookup(name)
+				if err != nil {
+					if !errors.Is(err, ErrNotFound) {
+						t.Errorf("lookup: %v", err)
+						return
+					}
+					continue
+				}
+				p, err := e.AP.GetProxy(resource.Request{Caller: dom, Creds: &creds, Policy: eng})
+				if err != nil {
+					t.Errorf("getproxy: %v", err)
+					return
+				}
+				if _, err := p.Invoke(dom, "ping", nil); err != nil {
+					t.Errorf("invoke: %v", err)
+					return
+				}
+			}
+		}()
+	}
+
+	// Mutator: register, replace, remove each resource in a loop.
+	for round := 0; round < 100; round++ {
+		for _, path := range paths {
+			e := entry(path, domain.ServerID)
+			if err := r.Register(e); err != nil && !errors.Is(err, ErrDuplicate) {
+				t.Fatal(err)
+			}
+		}
+		for _, path := range paths {
+			d := testDef(path)
+			if err := r.Replace(domain.ServerID, d.Name, d, d); err != nil && !errors.Is(err, ErrNotFound) {
+				t.Fatal(err)
+			}
+		}
+		for _, path := range paths {
+			n := names.Resource("acme.com", path)
+			if err := r.Unregister(domain.ServerID, n); err != nil && !errors.Is(err, ErrNotFound) {
+				t.Fatal(err)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	if r.Len() != 0 {
+		t.Fatalf("registry not empty after churn: %d entries", r.Len())
+	}
+	// Epoch counted every successful mutation.
+	if r.Epoch() < 100*uint64(resources)*2 {
+		t.Fatalf("epoch %d too low for the mutation count", r.Epoch())
+	}
+}
+
+// TestLookupReturnsCopy pins the ownership-safety fix: a caller that
+// mutates the Entry returned by Lookup must not affect the registry's
+// own record — entry modification goes through Replace/Unregister,
+// which enforce the §5.5 ownership check.
+func TestLookupReturnsCopy(t *testing.T) {
+	r := New()
+	e := entry("db", domain.ID(7))
+	if err := r.Register(e); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := r.Lookup(e.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A hostile caller rewrites the ownership fields of its copy.
+	got.OwnerDomain = domain.ID(99)
+	got.OwnerPrincipal = names.Principal("evil.org", "mallory")
+	got.Resource = nil
+	got.AP = nil
+
+	fresh, err := r.Lookup(e.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh.OwnerDomain != domain.ID(7) {
+		t.Fatalf("ownership mutated through Lookup copy: %v", fresh.OwnerDomain)
+	}
+	if fresh.OwnerPrincipal != e.OwnerPrincipal || fresh.Resource == nil || fresh.AP == nil {
+		t.Fatal("registry record mutated through Lookup copy")
+	}
+	// The real ownership check still governs: domain 99 may not remove.
+	if err := r.Unregister(domain.ID(99), e.Name); !errors.Is(err, ErrNotOwner) {
+		t.Fatalf("want ErrNotOwner, got %v", err)
+	}
+	if err := r.Unregister(domain.ID(7), e.Name); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/domain"
@@ -48,39 +49,107 @@ type Account struct {
 	PerMethod   map[string]uint64 // invocation counts per method
 }
 
+// methodCounter is one method's invocation tally, padded out to its own
+// cache line so concurrent callers of different methods never bounce a
+// shared line between cores (per-method accounting sharding).
+type methodCounter struct {
+	n atomic.Uint64
+	_ [56]byte
+}
+
+// methodEntry is the fast path's fused per-method record: the enable
+// check, the dispatch target, the accounting cost and the per-method
+// counter resolve in a single map lookup on an immutable snapshot.
+type methodEntry struct {
+	fn    Method
+	cost  uint64
+	count *methodCounter
+}
+
+// proxyState is the proxy's mutable control state, published as an
+// immutable snapshot behind an atomic pointer: invocations load one
+// snapshot and screen against it without locking; control operations
+// (Revoke, Disable/EnableMethod, SetExpiry) build a new snapshot and
+// swap it in. One snapshot per control mutation, zero per invocation.
+type proxyState struct {
+	// methods holds the currently *enabled* methods only; disabled or
+	// unknown methods miss here and are told apart via the Def.
+	methods map[string]*methodEntry
+	// expiry is the proxy deadline in Unix nanoseconds; 0 = none.
+	expiry int64
+	// revoked marks the proxy invalid. Once a snapshot with revoked
+	// set is published, no later invocation can pass the screen.
+	revoked bool
+	// epoch counts control-plane mutations (the revocation epoch):
+	// it bumps on every snapshot swap and never goes backwards.
+	epoch uint64
+}
+
 // Proxy is the per-agent protected interface to one resource: the
 // runtime form of Figure 5's generated proxy class. It holds the only
 // reference to the underlying resource methods; agents hold only the
 // proxy.
+//
+// The proxy is split into an immutable grant (def, bound domain, quota
+// bounds — fixed at GetProxy time) and the proxyState snapshot above.
+// The invocation path is lock-free: one atomic snapshot load, one map
+// lookup, atomic accounting. The control path pays for that: each
+// mutation copies the state under p.ctl and publishes a fresh snapshot.
 type Proxy struct {
-	def       *Def
-	bound     domain.ID // the protection domain the proxy was granted to
-	mu        sync.Mutex
-	enabled   map[string]bool
-	expiry    time.Time
-	revoked   bool
-	quota     policy.Quota
-	inv       uint64
-	charge    uint64
-	elapsed   time.Duration
-	perMethod map[string]uint64
+	def   *Def
+	bound domain.ID    // the protection domain the proxy was granted to
+	quota policy.Quota // immutable usage bounds from the grant
+
+	state atomic.Pointer[proxyState]
+	ctl   sync.Mutex // serializes control-plane snapshot swaps
+
+	// Accounting: atomic counters shared across snapshots, so control
+	// mutations never reset usage. counters covers the resource's full
+	// method set; snapshots reference these same counters.
+	inv      atomic.Uint64
+	charge   atomic.Uint64
+	elapsed  atomic.Int64 // nanoseconds
+	counters map[string]*methodCounter
 }
 
 func newProxy(d *Def, caller domain.ID, grant policy.Grant, expiry time.Time) *Proxy {
-	enabled := make(map[string]bool, len(grant.Methods))
+	startClock()
+	p := &Proxy{
+		def:      d,
+		bound:    caller,
+		quota:    grant.Quota,
+		counters: make(map[string]*methodCounter, len(d.Methods)),
+	}
+	for m := range d.Methods {
+		p.counters[m] = new(methodCounter)
+	}
+	st := &proxyState{methods: make(map[string]*methodEntry, len(grant.Methods))}
 	for m, ok := range grant.Methods {
 		if ok {
-			enabled[m] = true
+			if e := p.methodEntryFor(m); e != nil {
+				st.methods[m] = e
+			}
 		}
 	}
-	return &Proxy{
-		def:       d,
-		bound:     caller,
-		enabled:   enabled,
-		expiry:    expiry,
-		quota:     grant.Quota,
-		perMethod: make(map[string]uint64),
+	if !expiry.IsZero() {
+		st.expiry = expiry.UnixNano()
 	}
+	p.state.Store(st)
+	return p
+}
+
+// methodEntryFor builds the fused fast-path record for one method of
+// the resource; nil if the method does not exist.
+func (p *Proxy) methodEntryFor(m string) *methodEntry {
+	fn, ok := p.def.Methods[m]
+	if !ok {
+		return nil
+	}
+	cost := p.def.Costs[m]
+	if cost == 0 {
+		cost = DefaultCost
+	}
+	return &methodEntry{fn: fn, cost: cost, count: p.counters[m]}
 }
 
 // Identity passthrough: the proxy implements Resource so generic code
@@ -102,86 +171,100 @@ func (p *Proxy) BoundTo() domain.ID { return p.bound }
 // IsEnabled reports whether a method is currently enabled (Fig. 5's
 // isEnabled check, exposed for tests and tools).
 func (p *Proxy) IsEnabled(method string) bool {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.enabled[method]
+	return p.state.Load().methods[method] != nil
 }
 
-// Invoke calls a resource method through the proxy's screen: revocation,
-// expiry, identity-based capability, enable-set and quota checks happen
-// under the lock; the underlying method runs outside it.
+// Epoch returns the proxy's revocation epoch: the number of control
+// mutations (revocations, selective enables/disables, expiry changes)
+// applied so far. A caller that remembers an epoch can detect that the
+// grant changed underneath it without comparing individual fields.
+func (p *Proxy) Epoch() uint64 { return p.state.Load().epoch }
+
+// Invoke calls a resource method through the proxy's screen: the
+// revocation, expiry, identity-based capability and enable-set checks
+// read one immutable snapshot; quota and accounting use atomic
+// counters. No lock is taken anywhere on this path.
 func (p *Proxy) Invoke(caller domain.ID, method string, args []vm.Value) (vm.Value, error) {
-	cost := p.def.Costs[method]
-	if cost == 0 {
-		cost = DefaultCost
-	}
-
-	p.mu.Lock()
-	if err := p.screen(caller, method, cost); err != nil {
-		p.mu.Unlock()
-		return vm.Nil(), err
-	}
-	// Charge before the call: a failing method still consumed the
-	// resource's attention.
-	p.inv++
-	p.charge += cost
-	p.perMethod[method]++
-	meterElapsed := p.def.MeterElapsed
-	fn := p.def.Methods[method]
-	p.mu.Unlock()
-
-	var start time.Time
-	if meterElapsed {
-		start = time.Now()
-	}
-	v, err := fn(args)
-	if meterElapsed {
-		d := time.Since(start)
-		p.mu.Lock()
-		p.elapsed += d
-		p.mu.Unlock()
-	}
-	if err == nil && p.def.OnUse != nil {
-		p.def.OnUse(caller, method, cost)
-	}
+	v, _, err := p.InvokeMetered(caller, method, args)
 	return v, err
 }
 
-// screen performs all access checks; the caller holds p.mu.
-func (p *Proxy) screen(caller domain.ID, method string, cost uint64) error {
-	if p.revoked {
-		return ErrRevoked
+// InvokeMetered is Invoke plus the accounting charge the call incurred,
+// so callers that settle usage records (the agent environment's invoke
+// host call) don't need a full account snapshot around every call.
+func (p *Proxy) InvokeMetered(caller domain.ID, method string, args []vm.Value) (vm.Value, uint64, error) {
+	st := p.state.Load()
+	e, err := p.screen(st, caller, method)
+	if err != nil {
+		return vm.Nil(), 0, err
 	}
-	if !p.expiry.IsZero() && time.Now().After(p.expiry) {
-		return ErrProxyExpired
+	// Charge before the call: a failing method still consumed the
+	// resource's attention. Quota admission reserves first and rolls
+	// back on overrun, so the counters stay exact; a denied call
+	// leaves no trace.
+	if n := p.inv.Add(1); p.quota.MaxInvocations != 0 && n > p.quota.MaxInvocations {
+		p.inv.Add(^uint64(0))
+		return vm.Nil(), 0, fmt.Errorf("%w: %d invocations", ErrQuota, p.quota.MaxInvocations)
+	}
+	if c := p.charge.Add(e.cost); p.quota.MaxCharge != 0 && c > p.quota.MaxCharge {
+		p.charge.Add(^(e.cost - 1))
+		p.inv.Add(^uint64(0))
+		return vm.Nil(), 0, fmt.Errorf("%w: charge limit %d", ErrQuota, p.quota.MaxCharge)
+	}
+	e.count.n.Add(1)
+
+	var start time.Time
+	if p.def.MeterElapsed {
+		start = time.Now()
+	}
+	v, err := e.fn(args)
+	if p.def.MeterElapsed {
+		p.elapsed.Add(int64(time.Since(start)))
+	}
+	if err == nil && p.def.OnUse != nil {
+		p.def.OnUse(caller, method, e.cost)
+	}
+	return v, e.cost, err
+}
+
+// screen performs the snapshot-side access checks (revocation, expiry,
+// holder identity, enable set) and resolves the method entry. It takes
+// no locks; quota admission happens in InvokeMetered on the atomic
+// counters.
+func (p *Proxy) screen(st *proxyState, caller domain.ID, method string) (*methodEntry, error) {
+	if st.revoked {
+		return nil, ErrRevoked
+	}
+	if st.expiry != 0 && pastDeadline(st.expiry) {
+		return nil, ErrProxyExpired
 	}
 	if caller != p.bound {
-		return fmt.Errorf("%w: bound to %s, invoked from %s", ErrNotHolder, p.bound, caller)
+		return nil, fmt.Errorf("%w: bound to %s, invoked from %s", ErrNotHolder, p.bound, caller)
 	}
-	if _, exists := p.def.Methods[method]; !exists {
-		return fmt.Errorf("%w: %q on %s", ErrUnknownMethod, method, p.def.Path)
+	e := st.methods[method]
+	if e == nil {
+		if _, exists := p.def.Methods[method]; !exists {
+			return nil, fmt.Errorf("%w: %q on %s", ErrUnknownMethod, method, p.def.Path)
+		}
+		return nil, fmt.Errorf("%w: %q on %s", ErrMethodDisabled, method, p.def.Path)
 	}
-	if !p.enabled[method] {
-		return fmt.Errorf("%w: %q on %s", ErrMethodDisabled, method, p.def.Path)
-	}
-	if q := p.quota.MaxInvocations; q != 0 && p.inv >= q {
-		return fmt.Errorf("%w: %d invocations", ErrQuota, q)
-	}
-	if q := p.quota.MaxCharge; q != 0 && p.charge+cost > q {
-		return fmt.Errorf("%w: charge limit %d", ErrQuota, q)
-	}
-	return nil
+	return e, nil
 }
 
 // AccountSnapshot returns the current accounting state.
 func (p *Proxy) AccountSnapshot() Account {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	per := make(map[string]uint64, len(p.perMethod))
-	for k, v := range p.perMethod {
-		per[k] = v
+	per := make(map[string]uint64, len(p.counters))
+	for m, c := range p.counters {
+		if n := c.n.Load(); n > 0 {
+			per[m] = n
+		}
 	}
-	return Account{Invocations: p.inv, Charge: p.charge, Elapsed: p.elapsed, PerMethod: per}
+	return Account{
+		Invocations: p.inv.Load(),
+		Charge:      p.charge.Load(),
+		Elapsed:     time.Duration(p.elapsed.Load()),
+		PerMethod:   per,
+	}
 }
 
 // --- Privileged control methods (§5.5) ---------------------------------
@@ -190,6 +273,13 @@ func (p *Proxy) AccountSnapshot() Account {
 // at any time it wishes, or it can selectively revoke or add permissions
 // for specific methods of a given proxy, by invoking a privileged method
 // of the proxy object."
+//
+// Control operations pay the synchronization cost the invocation path
+// no longer does: each one copies the current snapshot under p.ctl,
+// applies its change, bumps the epoch and publishes the result. When
+// the atomic store returns, every subsequent Invoke observes the new
+// state — there is no window in which a post-Revoke invocation can pass
+// the screen.
 
 // mayControl reports whether caller may invoke control methods: the
 // server domain always may; otherwise the caller must be listed in the
@@ -206,14 +296,40 @@ func (p *Proxy) mayControl(caller domain.ID) error {
 	return fmt.Errorf("%w: %s", ErrNotController, caller)
 }
 
-// Revoke invalidates the proxy entirely.
+// mutate publishes a new control snapshot derived from the current one.
+// The callback may replace ns.methods but must treat the map it was
+// handed as shared and immutable.
+func (p *Proxy) mutate(f func(ns *proxyState)) {
+	p.ctl.Lock()
+	defer p.ctl.Unlock()
+	cur := p.state.Load()
+	ns := &proxyState{
+		methods: cur.methods,
+		expiry:  cur.expiry,
+		revoked: cur.revoked,
+		epoch:   cur.epoch + 1,
+	}
+	f(ns)
+	p.state.Store(ns)
+}
+
+// copyMethods clones an enable table for a mutation that edits it.
+func copyMethods(m map[string]*methodEntry) map[string]*methodEntry {
+	out := make(map[string]*methodEntry, len(m)+1)
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// Revoke invalidates the proxy entirely. When Revoke returns, no new
+// invocation can succeed; invocations that had already passed the
+// screen may still complete (see docs/PROTOCOLS.md §8).
 func (p *Proxy) Revoke(caller domain.ID) error {
 	if err := p.mayControl(caller); err != nil {
 		return err
 	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.revoked = true
+	p.mutate(func(ns *proxyState) { ns.revoked = true })
 	return nil
 }
 
@@ -222,9 +338,11 @@ func (p *Proxy) DisableMethod(caller domain.ID, method string) error {
 	if err := p.mayControl(caller); err != nil {
 		return err
 	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	delete(p.enabled, method)
+	p.mutate(func(ns *proxyState) {
+		ms := copyMethods(ns.methods)
+		delete(ms, method)
+		ns.methods = ms
+	})
 	return nil
 }
 
@@ -234,12 +352,15 @@ func (p *Proxy) EnableMethod(caller domain.ID, method string) error {
 	if err := p.mayControl(caller); err != nil {
 		return err
 	}
-	if _, ok := p.def.Methods[method]; !ok {
+	e := p.methodEntryFor(method)
+	if e == nil {
 		return fmt.Errorf("%w: %q", ErrUnknownMethod, method)
 	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.enabled[method] = true
+	p.mutate(func(ns *proxyState) {
+		ms := copyMethods(ns.methods)
+		ms[method] = e
+		ns.methods = ms
+	})
 	return nil
 }
 
@@ -248,15 +369,17 @@ func (p *Proxy) SetExpiry(caller domain.ID, t time.Time) error {
 	if err := p.mayControl(caller); err != nil {
 		return err
 	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.expiry = t
+	p.mutate(func(ns *proxyState) {
+		if t.IsZero() {
+			ns.expiry = 0
+		} else {
+			ns.expiry = t.UnixNano()
+		}
+	})
 	return nil
 }
 
 // Revoked reports whether the proxy has been invalidated.
 func (p *Proxy) Revoked() bool {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.revoked
+	return p.state.Load().revoked
 }

@@ -81,6 +81,13 @@ type Request struct {
 	Creds  *cred.Credentials
 	Policy *policy.Engine
 	Now    time.Time
+	// Cache, when set, memoizes the policy decision per
+	// (domain, resource path) under Stamp: a repeat binding with an
+	// unchanged policy/registry configuration skips the rule walk
+	// entirely. Stamp must carry the epochs of the configuration the
+	// caller read — a stale stamp is a cache miss, never a wrong grant.
+	Cache *policy.DecisionCache
+	Stamp policy.Stamp
 }
 
 // AccessProtocol is Figure 7: "the getProxy method returns a proxy
@@ -144,7 +151,16 @@ func (d *Def) GetProxy(req Request) (*Proxy, error) {
 	if req.Policy == nil {
 		return nil, fmt.Errorf("%w: no policy engine", ErrNoAccess)
 	}
-	grant := req.Policy.Decide(req.Creds, d.Path, d.MethodNames())
+	grant, cached := policy.Grant{}, false
+	if req.Cache != nil {
+		grant, cached = req.Cache.Get(uint64(req.Caller), d.Path, req.Stamp)
+	}
+	if !cached {
+		grant = req.Policy.Decide(req.Creds, d.Path, d.MethodNames())
+		if req.Cache != nil {
+			req.Cache.Put(uint64(req.Caller), d.Path, req.Stamp, grant)
+		}
+	}
 	if grant.Empty() {
 		return nil, fmt.Errorf("%w: %s for %s", ErrNoAccess, d.Path, req.Creds.AgentName)
 	}

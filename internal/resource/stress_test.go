@@ -1,0 +1,221 @@
+package resource
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/cred"
+	"repro/internal/vm"
+)
+
+// These tests exist for `go test -race -run Stress`: they hammer the
+// lock-free invocation path while the control plane mutates snapshots
+// underneath it, so the race detector sees every interleaving the
+// design claims to tolerate, and they assert the §5.5 revocation
+// guarantee — once Revoke has returned, no invocation may succeed.
+
+// stressProxy builds an open-policy counter proxy for the stress tests.
+func stressProxy(t *testing.T) (*fixture, *Proxy) {
+	t.Helper()
+	f := newFixture(t, cred.NewRightSet("*"))
+	return f, f.proxy(t)
+}
+
+// TestStressInvokeDuringRevoke races invokers against one revoker and
+// checks the hard cutoff: any invocation *started after* Revoke
+// returned must fail with ErrRevoked.
+func TestStressInvokeDuringRevoke(t *testing.T) {
+	f, p := stressProxy(t)
+	const workers = 8
+
+	var revoked atomic.Bool // set immediately after Revoke returns
+	var violations atomic.Int64
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// Sample the flag *before* the call: if revocation had
+				// already returned by then, success is a violation.
+				sawRevoked := revoked.Load()
+				_, err := p.Invoke(agentDom, "get", nil)
+				if sawRevoked && err == nil {
+					violations.Add(1)
+				}
+				if err != nil && !errors.Is(err, ErrRevoked) {
+					t.Errorf("unexpected error: %v", err)
+					return
+				}
+			}
+		}()
+	}
+
+	time.Sleep(2 * time.Millisecond) // let invokers spin
+	if err := p.Revoke(ownerDom); err != nil {
+		t.Fatal(err)
+	}
+	revoked.Store(true)
+	time.Sleep(2 * time.Millisecond) // invocations after the cutoff
+	close(stop)
+	wg.Wait()
+
+	if n := violations.Load(); n > 0 {
+		t.Fatalf("%d invocations succeeded after Revoke returned", n)
+	}
+	if _, err := p.Invoke(agentDom, "get", nil); !errors.Is(err, ErrRevoked) {
+		t.Fatalf("want ErrRevoked, got %v", err)
+	}
+	_ = f
+}
+
+// TestStressInvokeDuringDisableMethod flips one method on and off while
+// invokers hammer it; every outcome must be a clean success or
+// ErrMethodDisabled, never a torn state.
+func TestStressInvokeDuringDisableMethod(t *testing.T) {
+	_, p := stressProxy(t)
+	const workers = 4
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				_, err := p.Invoke(agentDom, "get", nil)
+				if err != nil && !errors.Is(err, ErrMethodDisabled) {
+					t.Errorf("unexpected error: %v", err)
+					return
+				}
+			}
+		}()
+	}
+
+	for i := 0; i < 200; i++ {
+		if err := p.DisableMethod(ownerDom, "get"); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.EnableMethod(ownerDom, "get"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	// The control churn must not have disturbed other methods.
+	if !p.IsEnabled("add") {
+		t.Fatal("unrelated method lost its enable bit")
+	}
+	if p.Epoch() < 400 {
+		t.Fatalf("epoch %d, want >= 400 control mutations", p.Epoch())
+	}
+}
+
+// TestStressInvokeDuringSetExpiry moves the deadline back and forth
+// (far future <-> already past) under invocation load; results must be
+// success or ErrProxyExpired only.
+func TestStressInvokeDuringSetExpiry(t *testing.T) {
+	_, p := stressProxy(t)
+	const workers = 4
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				_, err := p.Invoke(agentDom, "get", nil)
+				if err != nil && !errors.Is(err, ErrProxyExpired) {
+					t.Errorf("unexpected error: %v", err)
+					return
+				}
+			}
+		}()
+	}
+
+	past := time.Now().Add(-time.Hour)
+	future := time.Now().Add(time.Hour)
+	for i := 0; i < 200; i++ {
+		if err := p.SetExpiry(ownerDom, past); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.SetExpiry(ownerDom, future); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	// Deterministic endpoints: expired proxies reject, refreshed accept.
+	if err := p.SetExpiry(ownerDom, past); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Invoke(agentDom, "get", nil); !errors.Is(err, ErrProxyExpired) {
+		t.Fatalf("want ErrProxyExpired, got %v", err)
+	}
+	if err := p.SetExpiry(ownerDom, future); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Invoke(agentDom, "get", nil); err != nil {
+		t.Fatalf("refreshed proxy rejected: %v", err)
+	}
+}
+
+// TestStressAccountingExactUnderLoad checks that the atomic accounting
+// counters lose nothing under concurrent invocation: the per-method
+// shards, the invocation total and the charge total must all agree with
+// the number of successful calls.
+func TestStressAccountingExactUnderLoad(t *testing.T) {
+	_, p := stressProxy(t)
+	const workers = 8
+	const perWorker = 500
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				if _, err := p.Invoke(agentDom, "add", []vm.Value{vm.I(1)}); err != nil {
+					t.Errorf("invoke: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	acct := p.AccountSnapshot()
+	want := uint64(workers * perWorker)
+	if acct.Invocations != want {
+		t.Fatalf("invocations = %d, want %d", acct.Invocations, want)
+	}
+	if acct.PerMethod["add"] != want {
+		t.Fatalf("per-method = %d, want %d", acct.PerMethod["add"], want)
+	}
+	if acct.Charge != want*5 { // fixture prices add at 5
+		t.Fatalf("charge = %d, want %d", acct.Charge, want*5)
+	}
+}

@@ -1,0 +1,138 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/agent"
+	"repro/internal/domain"
+	"repro/internal/names"
+	"repro/internal/retry"
+	"repro/internal/sandbox"
+	"repro/internal/transfer"
+)
+
+// This file owns outbound agent movement: itinerary dispatch, go()
+// migrations, the retrying transfer sends underneath both, and final
+// delivery (homecoming) with dead-letter parking.
+
+// dispatchStop sends the agent to the first reachable alternative of a
+// stop. Each alternative gets the full transient-retry treatment
+// before the next one is tried (the paper's "try the next one"
+// pattern, §4); only when every alternative is exhausted does the
+// agent fail home, with a log entry naming each attempt.
+func (s *Server) dispatchStop(a *agent.Agent, stop agent.Stop) {
+	var attempts []string
+	for _, srv := range stop.Servers {
+		if srv == s.Name() {
+			// The next stop is this server — rare but legal; re-host.
+			s.wg.Add(1)
+			go func() {
+				defer s.wg.Done()
+				s.host(a)
+			}()
+			return
+		}
+		err := s.sendTo(a, srv)
+		if err == nil {
+			return
+		}
+		attempts = append(attempts, fmt.Sprintf("%s: %v", srv, err))
+	}
+	s.stats.dispatchFailures.Add(1)
+	a.Logf("%s: all alternatives unreachable: %s", s.Name(), strings.Join(attempts, "; "))
+	s.failHome(a)
+}
+
+// dispatchTo handles a go()-requested migration.
+func (s *Server) dispatchTo(a *agent.Agent, dest names.Name, entry string) {
+	a.PendingEntry = entry
+	if dest == s.Name() {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.host(a)
+		}()
+		return
+	}
+	if err := s.sendTo(a, dest); err != nil {
+		a.Logf("%s: go %s: %v", s.Name(), dest, err)
+		s.stats.dispatchFailures.Add(1)
+		s.failHome(a) // clears PendingEntry
+	}
+}
+
+// sendTo transfers the agent to a named server via the transfer
+// protocol, retrying transient failures under the server's policy.
+// Dispatch is a server-domain privilege.
+func (s *Server) sendTo(a *agent.Agent, dest names.Name) error {
+	if err := s.secmgr.Check(domain.ServerID, sandbox.OpAgentDispatch,
+		sandbox.Target{Name: dest.String()}); err != nil {
+		return retry.Permanent(err)
+	}
+	// Narrowing delegation happens once per send, not once per
+	// attempt: each Delegate call appends a signed link.
+	if !s.cfg.DispatchRestriction.IsEmpty() {
+		narrowed := a.Credentials.EffectiveRights().Restrict(s.cfg.DispatchRestriction)
+		if err := a.Credentials.Delegate(s.cfg.Identity, narrowed, time.Time{}); err != nil {
+			return retry.Permanent(fmt.Errorf("server: dispatch delegation: %w", err))
+		}
+	}
+	loc, err := s.cfg.NameService.Lookup(dest)
+	if err != nil {
+		return err // ErrNotBound classifies as permanent
+	}
+	_, err = s.retry.DoWithCancel(s.quit, func() error {
+		return s.sendToAddr(a, loc.Address)
+	})
+	if err == nil {
+		s.stats.dispatches.Add(1)
+	}
+	return err
+}
+
+func (s *Server) sendToAddr(a *agent.Agent, addr string) error {
+	if s.pool == nil {
+		return errors.New("server: config needs Dial")
+	}
+	if err := s.pool.Send(addr, a); err != nil {
+		return err
+	}
+	// Re-bind only after the receiver's ack: a failed transfer must not
+	// leave the name service pointing at a server that never got the
+	// agent.
+	_ = s.cfg.NameService.Bind(a.Name, names.Location{Address: addr})
+	return nil
+}
+
+// deliver completes an agent's journey: hand it to a local waiter, or
+// send it to its home site. A homecoming that fails even after retries
+// parks the agent in the dead-letter store for periodic redelivery —
+// a completed agent is never dropped because its home was unreachable.
+func (s *Server) deliver(a *agent.Agent) {
+	if a.Credentials.HomeSite != "" && a.Credentials.HomeSite != s.cfg.Address {
+		home := a.Credentials.HomeSite
+		_, err := s.retry.DoWithCancel(s.quit, func() error {
+			return s.sendToAddr(a, home)
+		})
+		if err != nil {
+			a.Logf("%s: homecoming failed: %v (parked for redelivery)", s.Name(), err)
+			s.park(a, home)
+			return
+		}
+		s.stats.dispatches.Add(1)
+		return
+	}
+	s.deliverLocal(a)
+}
+
+// ChannelPoolStats returns a snapshot of the outbound channel pool's
+// counters (dials, reuses, evictions, transparent redials, occupancy).
+func (s *Server) ChannelPoolStats() transfer.PoolStats {
+	if s.pool == nil {
+		return transfer.PoolStats{}
+	}
+	return s.pool.Stats()
+}

@@ -4,11 +4,8 @@ import (
 	"errors"
 	"fmt"
 
-	"repro/internal/domain"
 	"repro/internal/names"
-	"repro/internal/registry"
-	"repro/internal/resource"
-	"repro/internal/sandbox"
+	"repro/internal/policy"
 	"repro/internal/vm"
 )
 
@@ -200,38 +197,17 @@ func (s *Server) installHostAPI(v *visit) {
 		if err != nil {
 			return vm.Nil(), fmt.Errorf("%w: resource name: %v", ErrBadArg, err)
 		}
-		entry, err := s.reg.Lookup(rn) // step 3
+		proxy, err := s.bindResource(v, rn) // steps 3-4 (binding.go)
 		if err != nil {
 			return vm.Nil(), err
 		}
-		creds, err := s.db.CredentialsOf(v.dom) // getProxy's domain-database query
-		if err != nil {
-			return vm.Nil(), err
-		}
-		proxy, err := entry.AP.GetProxy(resource.Request{ // step 4 (upcall)
-			Caller: v.dom,
-			Creds:  creds,
-			Policy: s.cfg.Policy,
-		})
-		if err != nil {
-			return vm.Nil(), err
-		}
-		// Record the binding in the domain database (§5.3: "if the
-		// agent is currently granted access to any server resources,
-		// then information about the binding objects is also
-		// maintained here").
-		_ = s.db.AddBinding(domain.ServerID, v.dom, &domain.Binding{
-			ResourcePath: proxy.Path(),
-			Revoker:      func() { _ = proxy.Revoke(domain.ServerID) },
-		})
 		return v.nextHandle(proxy), nil // step 5
 	}
 
 	// invoke(handle, method, args...) is step 6: access the resource
-	// via the proxy; every protection check lives in the proxy. Each
-	// successful call's accounting charge flows into the domain
-	// database's usage record (and, at departure, into the server's
-	// per-owner ledger — the paper's electronic-commerce requirement).
+	// via the proxy; every protection check lives in the proxy. The
+	// shared invocation path (binding.go) settles the accounting charge
+	// into the domain database's usage record.
 	host["invoke"] = func(args []vm.Value) (vm.Value, error) {
 		if len(args) < 2 {
 			return vm.Nil(), fmt.Errorf("%w: invoke wants (handle, method, ...)", ErrBadArg)
@@ -247,13 +223,7 @@ func (s *Server) installHostAPI(v *visit) {
 		if !ok {
 			return vm.Nil(), ErrBadHandle
 		}
-		before := proxy.AccountSnapshot().Charge
-		out, err := proxy.Invoke(v.dom, method, args[2:])
-		if err == nil {
-			delta := proxy.AccountSnapshot().Charge - before
-			_ = s.db.RecordUse(domain.ServerID, v.dom, proxy.Path(), delta)
-		}
-		return out, err
+		return s.invokeProxy(v, proxy, method, args[2:])
 	}
 
 	// resource_methods(handle) lists the methods currently enabled on
@@ -306,27 +276,18 @@ func (s *Server) installHostAPI(v *visit) {
 		if err != nil {
 			return vm.Nil(), fmt.Errorf("%w: resource name: %v", ErrBadArg, err)
 		}
-		// Registration is a mediated operation (step 1 of Fig. 6,
-		// performed by an agent this time).
-		if err := s.secmgr.Check(v.dom, sandbox.OpRegistryRegister,
-			sandbox.Target{Domain: v.dom, Name: rn.String()}); err != nil {
-			return vm.Nil(), err
-		}
 		def, err := s.newVMResource(v, rn, modName, path)
 		if err != nil {
 			return vm.Nil(), err
 		}
-		if err := s.InstallResource(registry.Entry{
-			Name:           rn,
-			Resource:       def,
-			AP:             def,
-			OwnerDomain:    v.dom,
-			OwnerPrincipal: a.Credentials.Owner,
-		}); err != nil {
-			return vm.Nil(), err
-		}
+		var rules []policy.Rule
 		if s.cfg.InstalledResourcePolicy {
-			s.cfg.Policy.AddRule(policyRuleForInstalled(path))
+			rules = append(rules, policyRuleForInstalled(path))
+		}
+		// Registration is a mediated operation (step 1 of Fig. 6,
+		// performed by an agent this time); binding.go owns the path.
+		if err := s.installAgentResource(v, rn, def, rules...); err != nil {
+			return vm.Nil(), err
 		}
 		return vm.B(true), nil
 	}
@@ -353,23 +314,13 @@ func (s *Server) installHostAPI(v *visit) {
 		if err != nil {
 			return vm.Nil(), fmt.Errorf("%w: mailbox name: %v", ErrBadArg, err)
 		}
-		if err := s.secmgr.Check(v.dom, sandbox.OpRegistryRegister,
-			sandbox.Target{Domain: v.dom, Name: rn.String()}); err != nil {
-			return vm.Nil(), err
-		}
 		def := s.newMailbox(v, rn, path)
-		if err := s.InstallResource(registry.Entry{
-			Name:           rn,
-			Resource:       def,
-			AP:             def,
-			OwnerDomain:    v.dom,
-			OwnerPrincipal: a.Credentials.Owner,
-		}); err != nil {
+		// The owner gets full access; everyone else may only send.
+		if err := s.installAgentResource(v, rn, def,
+			policyOwnerRule(a.Credentials.Owner, path),
+			policySendRule(path)); err != nil {
 			return vm.Nil(), err
 		}
-		// The owner gets full access; everyone else may only send.
-		s.cfg.Policy.AddRule(policyOwnerRule(a.Credentials.Owner, path))
-		s.cfg.Policy.AddRule(policySendRule(path))
 		return vm.B(true), nil
 	}
 

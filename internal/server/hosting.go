@@ -1,0 +1,293 @@
+package server
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/agent"
+	"repro/internal/domain"
+	"repro/internal/loader"
+	"repro/internal/names"
+	"repro/internal/resource"
+	"repro/internal/sandbox"
+	"repro/internal/vm"
+)
+
+// This file owns agent hosting: the arrival gate (admit), local launch,
+// the visit state machine (host), homecoming delivery to waiters, and
+// the failure path home.
+
+// admit is the arrival gate: credential verification ("mutual
+// authentication of the agent and server"), bundle verification, and
+// admission control. Rejections travel back to the sending server.
+func (s *Server) admit(a *agent.Agent, from names.Name) error {
+	if err := a.Credentials.Verify(s.cfg.Verifier, time.Now()); err != nil {
+		return fmt.Errorf("credentials: %w", err)
+	}
+	if a.Name != a.Credentials.AgentName {
+		return errors.New("agent name does not match credentials")
+	}
+	if err := vm.VerifyBundle(a.Code); err != nil {
+		return fmt.Errorf("code: %w", err)
+	}
+	// Code-integrity check (§2): when the owner pinned the bundle
+	// digest, a host that patched or swapped the agent's code en route
+	// is caught here.
+	if len(a.Credentials.CodeDigest) > 0 {
+		digest, err := agent.BundleDigest(a.Code)
+		if err != nil {
+			return err
+		}
+		if !bytes.Equal(digest, a.Credentials.CodeDigest) {
+			return errors.New("code does not match the owner-signed digest")
+		}
+	}
+	// Manifest admission control (admission.go): reject agents whose
+	// statically computed access needs exceed what this server's
+	// policy would ever grant them — before any VM starts.
+	if s.cfg.Admission == AdmissionEnforce {
+		if err := s.checkAdmission(a); err != nil {
+			s.stats.admissionRejects.Add(1)
+			return err
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cfg.MaxAgents > 0 && len(s.visits) >= s.cfg.MaxAgents {
+		return ErrCapacity
+	}
+	return nil
+}
+
+// LaunchLocal submits an agent directly to this server (the path used
+// by a local application, Fig. 1's "submitted to it either by a
+// user-level application or by another agent server via the network").
+func (s *Server) LaunchLocal(a *agent.Agent) error {
+	if err := s.admit(a, s.Name()); err != nil {
+		return err
+	}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		s.host(a)
+	}()
+	return nil
+}
+
+// Await registers interest in an agent's homecoming. The returned
+// channel receives the agent when it completes its itinerary and is
+// delivered at this server (its home site). An agent that already came
+// home before anyone awaited it is handed over immediately from the
+// held map — homecomings are never dropped for want of a waiter.
+func (s *Server) Await(agentName names.Name) <-chan *agent.Agent {
+	ch := make(chan *agent.Agent, 1)
+	s.mu.Lock()
+	if a, ok := s.held[agentName]; ok {
+		delete(s.held, agentName)
+		s.mu.Unlock()
+		ch <- a
+		s.stats.delivered.Add(1)
+		return ch
+	}
+	s.waiters[agentName] = ch
+	s.mu.Unlock()
+	return ch
+}
+
+// host runs one agent visit end to end: domain creation, namespace
+// construction, entry execution, then migration / homecoming.
+func (s *Server) host(a *agent.Agent) {
+	s.mu.Lock()
+	s.arrivals++
+	s.mu.Unlock()
+
+	// Homecoming: itinerary finished and no pending detour — deliver
+	// to the waiting owner without creating an execution domain.
+	if a.PendingEntry == "" && a.Itinerary.Done() {
+		s.deliver(a)
+		return
+	}
+
+	// Domain creation (§5.3): mediated by the security manager, then
+	// recorded in the domain database.
+	if err := s.secmgr.Check(domain.ServerID, sandbox.OpDomainDBUpdate, sandbox.Target{Name: a.Name.String()}); err != nil {
+		return
+	}
+	dom, err := s.db.Admit(domain.ServerID, &a.Credentials)
+	if err != nil {
+		return
+	}
+	ns, err := loader.NewNamespace(s.cfg.Trusted, a.Code, s.cfg.StrictNamespaces)
+	if err != nil {
+		a.Log = append(a.Log, fmt.Sprintf("%s: namespace rejected: %v", s.Name(), err))
+		_ = s.db.Remove(domain.ServerID, dom)
+		s.failHome(a)
+		return
+	}
+
+	v := &visit{
+		agent:   a,
+		dom:     dom,
+		ns:      ns,
+		meter:   vm.NewMeter(s.cfg.Fuel),
+		handles: make(map[uint64]*resource.Proxy),
+	}
+	v.env = &vm.Env{
+		Globals:   a.State,
+		Host:      make(map[string]vm.HostFunc),
+		Resolver:  ns,
+		Meter:     v.meter,
+		MaxFrames: vm.DefaultMaxFrames,
+		Owner:     dom,
+	}
+	vm.InstallBuiltins(v.env)
+	s.installHostAPI(v)
+
+	s.mu.Lock()
+	s.visits[a.Name] = v
+	s.mu.Unlock()
+
+	// finish ends the visit: record the terminal status, settle the
+	// visit's accounting into the per-owner ledger ("mechanisms ...
+	// for metering of resource use and charging for such usage", §2),
+	// and tear down the protection domain. It must run before the
+	// agent is dispatched or delivered so observers never see a live
+	// domain for a departed agent — every terminal path below calls
+	// it exactly once.
+	var finished bool
+	finish := func(st domain.Status) {
+		if finished {
+			return
+		}
+		finished = true
+		_ = s.db.SetStatus(domain.ServerID, dom, st)
+		s.setFinalStatus(a.Name, st)
+		s.mu.Lock()
+		delete(s.visits, a.Name)
+		s.mu.Unlock()
+		if rec, err := s.db.Lookup(dom); err == nil {
+			var total uint64
+			for _, bind := range rec.Bindings {
+				total += bind.Charge
+			}
+			if total > 0 {
+				s.mu.Lock()
+				s.ledger[a.Credentials.Owner] += total
+				s.mu.Unlock()
+			}
+		}
+		_ = s.db.RevokeAll(domain.ServerID, dom)
+		_ = s.db.Remove(domain.ServerID, dom)
+	}
+	defer finish(domain.StatusTerminated) // backstop; normally a no-op
+
+	mainMod, err := v.ns.Module(a.MainModule)
+	if err != nil {
+		a.Log = append(a.Log, fmt.Sprintf("%s: %v", s.Name(), err))
+		finish(domain.StatusFailed)
+		s.failHome(a)
+		return
+	}
+
+	// First arrival anywhere: evaluate module-level initializers.
+	if !a.Initialized {
+		if _, err := vm.Run(v.env, mainMod, "__init__"); err != nil {
+			a.Log = append(a.Log, fmt.Sprintf("%s: init: %v", s.Name(), err))
+			finish(domain.StatusFailed)
+			s.failHome(a)
+			return
+		}
+		a.Initialized = true
+	}
+
+	// Select the entry to run: a pending detour entry (set by go) or
+	// the itinerary's current stop if it names this server.
+	entry := a.PendingEntry
+	a.PendingEntry = ""
+	advance := false
+	if entry == "" {
+		if stop, ok := a.Itinerary.Current(); ok {
+			for _, srv := range stop.Servers {
+				if srv == s.Name() {
+					entry = stop.Entry
+					advance = true
+					break
+				}
+			}
+		}
+	}
+	if entry != "" {
+		_, err = vm.Run(v.env, mainMod, entry)
+		switch {
+		case err == nil:
+			// fall through to itinerary handling
+		case errors.Is(err, errMigrate):
+			// A go() detour consumes the itinerary stop that was
+			// running: the agent has taken over its own routing.
+			if advance {
+				a.Itinerary.Advance()
+			}
+			a.Hops++
+			finish(domain.StatusDeparted)
+			s.dispatchTo(a, v.migrateDest, v.migrateEntry)
+			return
+		case errors.Is(err, vm.ErrAborted):
+			a.Log = append(a.Log, fmt.Sprintf("%s: %s: killed", s.Name(), entry))
+			finish(domain.StatusKilled)
+			s.failHome(a)
+			return
+		default:
+			a.Log = append(a.Log, fmt.Sprintf("%s: %s: %v", s.Name(), entry, err))
+			finish(domain.StatusFailed)
+			s.failHome(a)
+			return
+		}
+	}
+	if advance {
+		a.Itinerary.Advance()
+	}
+	if stop, ok := a.Itinerary.Current(); ok {
+		a.Hops++
+		finish(domain.StatusDeparted)
+		s.dispatchStop(a, stop)
+		return
+	}
+	finish(domain.StatusTerminated)
+	s.deliver(a)
+}
+
+// failHome abandons the agent's remaining itinerary and sends it home
+// so the owner sees the log. Any pending go() entry is cleared: a
+// failed (possibly parked-then-redelivered) agent must never resume a
+// stale entry function on arrival.
+func (s *Server) failHome(a *agent.Agent) {
+	a.PendingEntry = ""
+	a.Itinerary.Abandon()
+	// The tombstone left by the visit said "departed"; the departure
+	// failed, so correct it (without masking killed/failed records).
+	s.mu.Lock()
+	if st, ok := s.statuses[a.Name]; !ok || st == domain.StatusDeparted {
+		s.statuses[a.Name] = domain.StatusFailed
+	}
+	s.mu.Unlock()
+	s.deliver(a)
+}
+
+// deliverLocal hands a homecoming agent to its waiter, or holds it for
+// a future Await call.
+func (s *Server) deliverLocal(a *agent.Agent) {
+	s.mu.Lock()
+	ch, ok := s.waiters[a.Name]
+	if ok {
+		delete(s.waiters, a.Name)
+	} else {
+		s.held[a.Name] = a
+	}
+	s.mu.Unlock()
+	if ok {
+		ch <- a
+		s.stats.delivered.Add(1)
+	}
+}

@@ -1,0 +1,174 @@
+package server
+
+import (
+	"errors"
+	"net"
+
+	"repro/internal/agent"
+	"repro/internal/names"
+)
+
+// This file owns the server's process lifecycle: listener management
+// (Start/Stop), the crash/restart fault-injection pair, and the accept
+// loop feeding arriving transfers into hosting.
+
+// Start binds the listener and begins accepting agent transfers, and
+// starts the dead-letter redelivery loop.
+func (s *Server) Start() error {
+	if s.cfg.Listen == nil {
+		return errors.New("server: config needs Listen")
+	}
+	l, err := s.cfg.Listen(s.cfg.Address)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.listener = l
+	s.mu.Unlock()
+	if err := s.cfg.NameService.Bind(s.Name(), names.Location{
+		Address: s.cfg.Address, ServerName: s.Name(),
+	}); err != nil {
+		_ = l.Close()
+		return err
+	}
+	s.wg.Add(1)
+	go s.acceptLoop(l)
+	every := s.cfg.RedeliverEvery
+	if every <= 0 {
+		every = DefaultRedeliverEvery
+	}
+	s.wg.Add(1)
+	go s.redeliverLoop(every)
+	return nil
+}
+
+// Stop shuts the server down and waits for hosted agents to finish
+// their current activity. Agents still parked in the dead-letter store
+// remain queryable via ParkedAgents (they are not lost, just stranded
+// until the operator restarts or drains the server).
+func (s *Server) Stop() {
+	s.quitOnce.Do(func() { close(s.quit) })
+	s.mu.Lock()
+	l := s.listener
+	s.listener = nil
+	s.mu.Unlock()
+	if l != nil {
+		_ = l.Close()
+	}
+	s.cfg.NameService.Unbind(s.Name())
+	// Kill inbound transfer streams: a peer's pooled sender would hold
+	// its channel open (and this server's serving goroutine with it)
+	// indefinitely. The peer sees a closed session and re-dials
+	// elsewhere — or parks the agent — under its own retry policy.
+	s.closeInbound()
+	s.wg.Wait()
+	// Only after hosted agents finished their final sends (retries are
+	// cancelled by quit) is the outbound pool drained.
+	if s.pool != nil {
+		s.pool.Close()
+	}
+}
+
+// closeInbound tears down every live inbound transfer stream.
+func (s *Server) closeInbound() {
+	s.mu.Lock()
+	conns := make([]net.Conn, 0, len(s.inbound))
+	for c := range s.inbound {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	for _, c := range conns {
+		_ = c.Close()
+	}
+}
+
+// Crash simulates a machine failure for fault-injection tests: the
+// listener drops, so new transfers are refused, but — unlike Stop —
+// the name-service binding stays (a crashed machine does not
+// deregister itself) and nothing else is torn down. Restart brings
+// the server back at the same address; senders are expected to ride
+// out the gap with retries and dead-letter redelivery.
+func (s *Server) Crash() {
+	s.mu.Lock()
+	l := s.listener
+	s.listener = nil
+	s.mu.Unlock()
+	if l != nil {
+		_ = l.Close()
+	}
+	// A machine failure severs established connections in both
+	// directions: inbound streams drop (peers' pooled sessions to this
+	// server die and must re-dial after Restart) and this server's own
+	// warm outbound channels do not survive into its afterlife.
+	s.closeInbound()
+	if s.pool != nil {
+		s.pool.Reset()
+	}
+}
+
+// Restart re-binds the listener after a Crash. A no-op if the server
+// is already accepting.
+func (s *Server) Restart() error {
+	s.mu.Lock()
+	if s.listener != nil {
+		s.mu.Unlock()
+		return nil
+	}
+	s.mu.Unlock()
+	l, err := s.cfg.Listen(s.cfg.Address)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.listener = l
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.acceptLoop(l)
+	return nil
+}
+
+// acceptLoop serves one listener incarnation; Crash/Restart cycle the
+// loop with the listener they close and rebind.
+func (s *Server) acceptLoop(l net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			select {
+			case <-s.quit:
+				return
+			default:
+			}
+			s.mu.Lock()
+			alive := s.listener == l
+			s.mu.Unlock()
+			if !alive {
+				return // crashed or stopped; Restart spawns a new loop
+			}
+			continue
+		}
+		s.mu.Lock()
+		s.inbound[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer func() {
+				conn.Close()
+				s.mu.Lock()
+				delete(s.inbound, conn)
+				s.mu.Unlock()
+			}()
+			// One connection carries a stream of transfers (a pooled
+			// sender keeps it open); each accepted agent is hosted on
+			// its own goroutine so the channel is free for the next.
+			_ = s.endpoint.ServeConn(conn, s.admit, func(a *agent.Agent) {
+				s.wg.Add(1)
+				go func() {
+					defer s.wg.Done()
+					s.host(a)
+				}()
+			})
+		}()
+	}
+}

@@ -5,14 +5,21 @@
 // namespaces, the transfer protocol — into the structure of the paper's
 // Figure 1, and implements the six-step dynamic resource binding
 // protocol of Figure 6.
+//
+// The package is split by concern:
+//
+//	server.go    — configuration, construction, accessors, queries
+//	lifecycle.go — Start/Stop, Crash/Restart, the accept loop
+//	hosting.go   — admission gate, the visit state machine, homecoming
+//	dispatch.go  — itinerary dispatch, retrying sends, delivery
+//	binding.go   — the shared resource-access path (Fig. 6 steps 2–6)
+//	hostcalls.go — the agent environment's host-call surface
 package server
 
 import (
-	"bytes"
 	"errors"
 	"fmt"
 	"net"
-	"strings"
 	"sync"
 	"time"
 
@@ -91,6 +98,10 @@ type Config struct {
 	// connection instead of once per agent. Zero fields take pool
 	// defaults; Disabled forces the dial-per-transfer behaviour.
 	ChannelPool transfer.PoolConfig
+	// DecisionCacheSize bounds the policy decision cache consulted on
+	// every resource binding (binding.go); 0 applies
+	// policy.DefaultCacheSize.
+	DecisionCacheSize int
 }
 
 // Server is one agent server.
@@ -101,6 +112,9 @@ type Server struct {
 	secmgr   *sandbox.Manager
 	endpoint *transfer.Endpoint
 	pool     *transfer.Pool
+	// cache memoizes policy decisions per (domain, resource), stamped
+	// with the policy+registry epochs they were computed under.
+	cache *policy.DecisionCache
 
 	listener net.Listener
 	inbound  map[net.Conn]struct{} // live inbound transfer streams
@@ -169,6 +183,7 @@ func New(cfg Config) (*Server, error) {
 		reg:      registry.New(),
 		db:       domain.NewDatabase(),
 		secmgr:   sandbox.New(256),
+		cache:    policy.NewDecisionCache(cfg.DecisionCacheSize),
 		quit:     make(chan struct{}),
 		inbound:  make(map[net.Conn]struct{}),
 		visits:   make(map[names.Name]*visit),
@@ -259,242 +274,10 @@ func (s *Server) SecurityManager() *sandbox.Manager { return s.secmgr }
 // Policy exposes the policy engine.
 func (s *Server) Policy() *policy.Engine { return s.cfg.Policy }
 
-// Start binds the listener and begins accepting agent transfers, and
-// starts the dead-letter redelivery loop.
-func (s *Server) Start() error {
-	if s.cfg.Listen == nil {
-		return errors.New("server: config needs Listen")
-	}
-	l, err := s.cfg.Listen(s.cfg.Address)
-	if err != nil {
-		return err
-	}
-	s.mu.Lock()
-	s.listener = l
-	s.mu.Unlock()
-	if err := s.cfg.NameService.Bind(s.Name(), names.Location{
-		Address: s.cfg.Address, ServerName: s.Name(),
-	}); err != nil {
-		_ = l.Close()
-		return err
-	}
-	s.wg.Add(1)
-	go s.acceptLoop(l)
-	every := s.cfg.RedeliverEvery
-	if every <= 0 {
-		every = DefaultRedeliverEvery
-	}
-	s.wg.Add(1)
-	go s.redeliverLoop(every)
-	return nil
-}
-
-// Stop shuts the server down and waits for hosted agents to finish
-// their current activity. Agents still parked in the dead-letter store
-// remain queryable via ParkedAgents (they are not lost, just stranded
-// until the operator restarts or drains the server).
-func (s *Server) Stop() {
-	s.quitOnce.Do(func() { close(s.quit) })
-	s.mu.Lock()
-	l := s.listener
-	s.listener = nil
-	s.mu.Unlock()
-	if l != nil {
-		_ = l.Close()
-	}
-	s.cfg.NameService.Unbind(s.Name())
-	// Kill inbound transfer streams: a peer's pooled sender would hold
-	// its channel open (and this server's serving goroutine with it)
-	// indefinitely. The peer sees a closed session and re-dials
-	// elsewhere — or parks the agent — under its own retry policy.
-	s.closeInbound()
-	s.wg.Wait()
-	// Only after hosted agents finished their final sends (retries are
-	// cancelled by quit) is the outbound pool drained.
-	if s.pool != nil {
-		s.pool.Close()
-	}
-}
-
-// closeInbound tears down every live inbound transfer stream.
-func (s *Server) closeInbound() {
-	s.mu.Lock()
-	conns := make([]net.Conn, 0, len(s.inbound))
-	for c := range s.inbound {
-		conns = append(conns, c)
-	}
-	s.mu.Unlock()
-	for _, c := range conns {
-		_ = c.Close()
-	}
-}
-
-// Crash simulates a machine failure for fault-injection tests: the
-// listener drops, so new transfers are refused, but — unlike Stop —
-// the name-service binding stays (a crashed machine does not
-// deregister itself) and nothing else is torn down. Restart brings
-// the server back at the same address; senders are expected to ride
-// out the gap with retries and dead-letter redelivery.
-func (s *Server) Crash() {
-	s.mu.Lock()
-	l := s.listener
-	s.listener = nil
-	s.mu.Unlock()
-	if l != nil {
-		_ = l.Close()
-	}
-	// A machine failure severs established connections in both
-	// directions: inbound streams drop (peers' pooled sessions to this
-	// server die and must re-dial after Restart) and this server's own
-	// warm outbound channels do not survive into its afterlife.
-	s.closeInbound()
-	if s.pool != nil {
-		s.pool.Reset()
-	}
-}
-
-// Restart re-binds the listener after a Crash. A no-op if the server
-// is already accepting.
-func (s *Server) Restart() error {
-	s.mu.Lock()
-	if s.listener != nil {
-		s.mu.Unlock()
-		return nil
-	}
-	s.mu.Unlock()
-	l, err := s.cfg.Listen(s.cfg.Address)
-	if err != nil {
-		return err
-	}
-	s.mu.Lock()
-	s.listener = l
-	s.mu.Unlock()
-	s.wg.Add(1)
-	go s.acceptLoop(l)
-	return nil
-}
-
-// acceptLoop serves one listener incarnation; Crash/Restart cycle the
-// loop with the listener they close and rebind.
-func (s *Server) acceptLoop(l net.Listener) {
-	defer s.wg.Done()
-	for {
-		conn, err := l.Accept()
-		if err != nil {
-			select {
-			case <-s.quit:
-				return
-			default:
-			}
-			s.mu.Lock()
-			alive := s.listener == l
-			s.mu.Unlock()
-			if !alive {
-				return // crashed or stopped; Restart spawns a new loop
-			}
-			continue
-		}
-		s.mu.Lock()
-		s.inbound[conn] = struct{}{}
-		s.mu.Unlock()
-		s.wg.Add(1)
-		go func() {
-			defer s.wg.Done()
-			defer func() {
-				conn.Close()
-				s.mu.Lock()
-				delete(s.inbound, conn)
-				s.mu.Unlock()
-			}()
-			// One connection carries a stream of transfers (a pooled
-			// sender keeps it open); each accepted agent is hosted on
-			// its own goroutine so the channel is free for the next.
-			_ = s.endpoint.ServeConn(conn, s.admit, func(a *agent.Agent) {
-				s.wg.Add(1)
-				go func() {
-					defer s.wg.Done()
-					s.host(a)
-				}()
-			})
-		}()
-	}
-}
-
-// admit is the arrival gate: credential verification ("mutual
-// authentication of the agent and server"), bundle verification, and
-// admission control. Rejections travel back to the sending server.
-func (s *Server) admit(a *agent.Agent, from names.Name) error {
-	if err := a.Credentials.Verify(s.cfg.Verifier, time.Now()); err != nil {
-		return fmt.Errorf("credentials: %w", err)
-	}
-	if a.Name != a.Credentials.AgentName {
-		return errors.New("agent name does not match credentials")
-	}
-	if err := vm.VerifyBundle(a.Code); err != nil {
-		return fmt.Errorf("code: %w", err)
-	}
-	// Code-integrity check (§2): when the owner pinned the bundle
-	// digest, a host that patched or swapped the agent's code en route
-	// is caught here.
-	if len(a.Credentials.CodeDigest) > 0 {
-		digest, err := agent.BundleDigest(a.Code)
-		if err != nil {
-			return err
-		}
-		if !bytes.Equal(digest, a.Credentials.CodeDigest) {
-			return errors.New("code does not match the owner-signed digest")
-		}
-	}
-	// Manifest admission control (admission.go): reject agents whose
-	// statically computed access needs exceed what this server's
-	// policy would ever grant them — before any VM starts.
-	if s.cfg.Admission == AdmissionEnforce {
-		if err := s.checkAdmission(a); err != nil {
-			s.stats.admissionRejects.Add(1)
-			return err
-		}
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.cfg.MaxAgents > 0 && len(s.visits) >= s.cfg.MaxAgents {
-		return ErrCapacity
-	}
-	return nil
-}
-
-// LaunchLocal submits an agent directly to this server (the path used
-// by a local application, Fig. 1's "submitted to it either by a
-// user-level application or by another agent server via the network").
-func (s *Server) LaunchLocal(a *agent.Agent) error {
-	if err := s.admit(a, s.Name()); err != nil {
-		return err
-	}
-	s.wg.Add(1)
-	go func() {
-		defer s.wg.Done()
-		s.host(a)
-	}()
-	return nil
-}
-
-// Await registers interest in an agent's homecoming. The returned
-// channel receives the agent when it completes its itinerary and is
-// delivered at this server (its home site). An agent that already came
-// home before anyone awaited it is handed over immediately from the
-// held map — homecomings are never dropped for want of a waiter.
-func (s *Server) Await(agentName names.Name) <-chan *agent.Agent {
-	ch := make(chan *agent.Agent, 1)
-	s.mu.Lock()
-	if a, ok := s.held[agentName]; ok {
-		delete(s.held, agentName)
-		s.mu.Unlock()
-		ch <- a
-		s.stats.delivered.Add(1)
-		return ch
-	}
-	s.waiters[agentName] = ch
-	s.mu.Unlock()
-	return ch
+// DecisionCacheStats reports the policy decision cache's hit/miss
+// counters (observability for the binding fast path).
+func (s *Server) DecisionCacheStats() (hits, misses uint64) {
+	return s.cache.Stats()
 }
 
 // AgentStatus reports a hosted (or previously hosted) agent's status:
@@ -576,321 +359,6 @@ func (s *Server) Describe() string {
 		allows, denies,
 		st.Dispatches, st.Retries, st.Parked, st.ParkedNow, st.Redelivered,
 		s.cfg.Trusted.Names())
-}
-
-// host runs one agent visit end to end: domain creation, namespace
-// construction, entry execution, then migration / homecoming.
-func (s *Server) host(a *agent.Agent) {
-	s.mu.Lock()
-	s.arrivals++
-	s.mu.Unlock()
-
-	// Homecoming: itinerary finished and no pending detour — deliver
-	// to the waiting owner without creating an execution domain.
-	if a.PendingEntry == "" && a.Itinerary.Done() {
-		s.deliver(a)
-		return
-	}
-
-	// Domain creation (§5.3): mediated by the security manager, then
-	// recorded in the domain database.
-	if err := s.secmgr.Check(domain.ServerID, sandbox.OpDomainDBUpdate, sandbox.Target{Name: a.Name.String()}); err != nil {
-		return
-	}
-	dom, err := s.db.Admit(domain.ServerID, &a.Credentials)
-	if err != nil {
-		return
-	}
-	ns, err := loader.NewNamespace(s.cfg.Trusted, a.Code, s.cfg.StrictNamespaces)
-	if err != nil {
-		a.Log = append(a.Log, fmt.Sprintf("%s: namespace rejected: %v", s.Name(), err))
-		_ = s.db.Remove(domain.ServerID, dom)
-		s.failHome(a)
-		return
-	}
-
-	v := &visit{
-		agent:   a,
-		dom:     dom,
-		ns:      ns,
-		meter:   vm.NewMeter(s.cfg.Fuel),
-		handles: make(map[uint64]*resource.Proxy),
-	}
-	v.env = &vm.Env{
-		Globals:   a.State,
-		Host:      make(map[string]vm.HostFunc),
-		Resolver:  ns,
-		Meter:     v.meter,
-		MaxFrames: vm.DefaultMaxFrames,
-		Owner:     dom,
-	}
-	vm.InstallBuiltins(v.env)
-	s.installHostAPI(v)
-
-	s.mu.Lock()
-	s.visits[a.Name] = v
-	s.mu.Unlock()
-
-	// finish ends the visit: record the terminal status, settle the
-	// visit's accounting into the per-owner ledger ("mechanisms ...
-	// for metering of resource use and charging for such usage", §2),
-	// and tear down the protection domain. It must run before the
-	// agent is dispatched or delivered so observers never see a live
-	// domain for a departed agent — every terminal path below calls
-	// it exactly once.
-	var finished bool
-	finish := func(st domain.Status) {
-		if finished {
-			return
-		}
-		finished = true
-		_ = s.db.SetStatus(domain.ServerID, dom, st)
-		s.setFinalStatus(a.Name, st)
-		s.mu.Lock()
-		delete(s.visits, a.Name)
-		s.mu.Unlock()
-		if rec, err := s.db.Lookup(dom); err == nil {
-			var total uint64
-			for _, bind := range rec.Bindings {
-				total += bind.Charge
-			}
-			if total > 0 {
-				s.mu.Lock()
-				s.ledger[a.Credentials.Owner] += total
-				s.mu.Unlock()
-			}
-		}
-		_ = s.db.RevokeAll(domain.ServerID, dom)
-		_ = s.db.Remove(domain.ServerID, dom)
-	}
-	defer finish(domain.StatusTerminated) // backstop; normally a no-op
-
-	mainMod, err := v.ns.Module(a.MainModule)
-	if err != nil {
-		a.Log = append(a.Log, fmt.Sprintf("%s: %v", s.Name(), err))
-		finish(domain.StatusFailed)
-		s.failHome(a)
-		return
-	}
-
-	// First arrival anywhere: evaluate module-level initializers.
-	if !a.Initialized {
-		if _, err := vm.Run(v.env, mainMod, "__init__"); err != nil {
-			a.Log = append(a.Log, fmt.Sprintf("%s: init: %v", s.Name(), err))
-			finish(domain.StatusFailed)
-			s.failHome(a)
-			return
-		}
-		a.Initialized = true
-	}
-
-	// Select the entry to run: a pending detour entry (set by go) or
-	// the itinerary's current stop if it names this server.
-	entry := a.PendingEntry
-	a.PendingEntry = ""
-	advance := false
-	if entry == "" {
-		if stop, ok := a.Itinerary.Current(); ok {
-			for _, srv := range stop.Servers {
-				if srv == s.Name() {
-					entry = stop.Entry
-					advance = true
-					break
-				}
-			}
-		}
-	}
-	if entry != "" {
-		_, err = vm.Run(v.env, mainMod, entry)
-		switch {
-		case err == nil:
-			// fall through to itinerary handling
-		case errors.Is(err, errMigrate):
-			// A go() detour consumes the itinerary stop that was
-			// running: the agent has taken over its own routing.
-			if advance {
-				a.Itinerary.Advance()
-			}
-			a.Hops++
-			finish(domain.StatusDeparted)
-			s.dispatchTo(a, v.migrateDest, v.migrateEntry)
-			return
-		case errors.Is(err, vm.ErrAborted):
-			a.Log = append(a.Log, fmt.Sprintf("%s: %s: killed", s.Name(), entry))
-			finish(domain.StatusKilled)
-			s.failHome(a)
-			return
-		default:
-			a.Log = append(a.Log, fmt.Sprintf("%s: %s: %v", s.Name(), entry, err))
-			finish(domain.StatusFailed)
-			s.failHome(a)
-			return
-		}
-	}
-	if advance {
-		a.Itinerary.Advance()
-	}
-	if stop, ok := a.Itinerary.Current(); ok {
-		a.Hops++
-		finish(domain.StatusDeparted)
-		s.dispatchStop(a, stop)
-		return
-	}
-	finish(domain.StatusTerminated)
-	s.deliver(a)
-}
-
-// failHome abandons the agent's remaining itinerary and sends it home
-// so the owner sees the log. Any pending go() entry is cleared: a
-// failed (possibly parked-then-redelivered) agent must never resume a
-// stale entry function on arrival.
-func (s *Server) failHome(a *agent.Agent) {
-	a.PendingEntry = ""
-	a.Itinerary.Abandon()
-	// The tombstone left by the visit said "departed"; the departure
-	// failed, so correct it (without masking killed/failed records).
-	s.mu.Lock()
-	if st, ok := s.statuses[a.Name]; !ok || st == domain.StatusDeparted {
-		s.statuses[a.Name] = domain.StatusFailed
-	}
-	s.mu.Unlock()
-	s.deliver(a)
-}
-
-// dispatchStop sends the agent to the first reachable alternative of a
-// stop. Each alternative gets the full transient-retry treatment
-// before the next one is tried (the paper's "try the next one"
-// pattern, §4); only when every alternative is exhausted does the
-// agent fail home, with a log entry naming each attempt.
-func (s *Server) dispatchStop(a *agent.Agent, stop agent.Stop) {
-	var attempts []string
-	for _, srv := range stop.Servers {
-		if srv == s.Name() {
-			// The next stop is this server — rare but legal; re-host.
-			s.wg.Add(1)
-			go func() {
-				defer s.wg.Done()
-				s.host(a)
-			}()
-			return
-		}
-		err := s.sendTo(a, srv)
-		if err == nil {
-			return
-		}
-		attempts = append(attempts, fmt.Sprintf("%s: %v", srv, err))
-	}
-	s.stats.dispatchFailures.Add(1)
-	a.Logf("%s: all alternatives unreachable: %s", s.Name(), strings.Join(attempts, "; "))
-	s.failHome(a)
-}
-
-// dispatchTo handles a go()-requested migration.
-func (s *Server) dispatchTo(a *agent.Agent, dest names.Name, entry string) {
-	a.PendingEntry = entry
-	if dest == s.Name() {
-		s.wg.Add(1)
-		go func() {
-			defer s.wg.Done()
-			s.host(a)
-		}()
-		return
-	}
-	if err := s.sendTo(a, dest); err != nil {
-		a.Logf("%s: go %s: %v", s.Name(), dest, err)
-		s.stats.dispatchFailures.Add(1)
-		s.failHome(a) // clears PendingEntry
-	}
-}
-
-// sendTo transfers the agent to a named server via the transfer
-// protocol, retrying transient failures under the server's policy.
-// Dispatch is a server-domain privilege.
-func (s *Server) sendTo(a *agent.Agent, dest names.Name) error {
-	if err := s.secmgr.Check(domain.ServerID, sandbox.OpAgentDispatch,
-		sandbox.Target{Name: dest.String()}); err != nil {
-		return retry.Permanent(err)
-	}
-	// Narrowing delegation happens once per send, not once per
-	// attempt: each Delegate call appends a signed link.
-	if !s.cfg.DispatchRestriction.IsEmpty() {
-		narrowed := a.Credentials.EffectiveRights().Restrict(s.cfg.DispatchRestriction)
-		if err := a.Credentials.Delegate(s.cfg.Identity, narrowed, time.Time{}); err != nil {
-			return retry.Permanent(fmt.Errorf("server: dispatch delegation: %w", err))
-		}
-	}
-	loc, err := s.cfg.NameService.Lookup(dest)
-	if err != nil {
-		return err // ErrNotBound classifies as permanent
-	}
-	_, err = s.retry.DoWithCancel(s.quit, func() error {
-		return s.sendToAddr(a, loc.Address)
-	})
-	if err == nil {
-		s.stats.dispatches.Add(1)
-	}
-	return err
-}
-
-func (s *Server) sendToAddr(a *agent.Agent, addr string) error {
-	if s.pool == nil {
-		return errors.New("server: config needs Dial")
-	}
-	if err := s.pool.Send(addr, a); err != nil {
-		return err
-	}
-	// Re-bind only after the receiver's ack: a failed transfer must not
-	// leave the name service pointing at a server that never got the
-	// agent.
-	_ = s.cfg.NameService.Bind(a.Name, names.Location{Address: addr})
-	return nil
-}
-
-// ChannelPoolStats returns a snapshot of the outbound channel pool's
-// counters (dials, reuses, evictions, transparent redials, occupancy).
-func (s *Server) ChannelPoolStats() transfer.PoolStats {
-	if s.pool == nil {
-		return transfer.PoolStats{}
-	}
-	return s.pool.Stats()
-}
-
-// deliver completes an agent's journey: hand it to a local waiter, or
-// send it to its home site. A homecoming that fails even after retries
-// parks the agent in the dead-letter store for periodic redelivery —
-// a completed agent is never dropped because its home was unreachable.
-func (s *Server) deliver(a *agent.Agent) {
-	if a.Credentials.HomeSite != "" && a.Credentials.HomeSite != s.cfg.Address {
-		home := a.Credentials.HomeSite
-		_, err := s.retry.DoWithCancel(s.quit, func() error {
-			return s.sendToAddr(a, home)
-		})
-		if err != nil {
-			a.Logf("%s: homecoming failed: %v (parked for redelivery)", s.Name(), err)
-			s.park(a, home)
-			return
-		}
-		s.stats.dispatches.Add(1)
-		return
-	}
-	s.deliverLocal(a)
-}
-
-// deliverLocal hands a homecoming agent to its waiter, or holds it for
-// a future Await call.
-func (s *Server) deliverLocal(a *agent.Agent) {
-	s.mu.Lock()
-	ch, ok := s.waiters[a.Name]
-	if ok {
-		delete(s.waiters, a.Name)
-	} else {
-		s.held[a.Name] = a
-	}
-	s.mu.Unlock()
-	if ok {
-		ch <- a
-		s.stats.delivered.Add(1)
-	}
 }
 
 // nextHandle allocates a host handle for a proxy within a visit.
