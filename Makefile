@@ -1,0 +1,32 @@
+# Developer entry points. CI (.github/workflows/ci.yml) runs the same
+# commands; keep the two in sync.
+
+# The benchmark set the CI bench-gate guards against regression. C1
+# (access designs), C4 (accounting), C7 (transfer security + pooling)
+# and C8 (contended access) cover every hot path this repo optimizes.
+GATE_BENCH := BenchmarkC1_|BenchmarkC4_|BenchmarkC7_|BenchmarkC8_
+BENCH_FLAGS := -run '^$$' -benchtime 0.5s -count 3
+
+.PHONY: test race bench-gate-run bench-baseline bench-gate
+
+test:
+	go build ./... && go test ./...
+
+race:
+	go test -race ./...
+
+# bench-gate-run produces one gate-comparable measurement file.
+bench-gate-run:
+	go test $(BENCH_FLAGS) -bench '$(GATE_BENCH)' . | tee bench_new.txt
+
+# bench-baseline regenerates the committed baseline. Run it on the same
+# class of machine the gate compares on (the CI runner for CI gating;
+# your workstation for local comparisons) and commit the result.
+bench-baseline:
+	mkdir -p bench
+	go test $(BENCH_FLAGS) -bench '$(GATE_BENCH)' . | tee bench/baseline.txt
+
+# bench-gate compares a fresh run against the committed baseline and
+# fails on a >15% geomean regression — the same check CI runs.
+bench-gate: bench-gate-run
+	go run ./cmd/benchgate -old bench/baseline.txt -new bench_new.txt

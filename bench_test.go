@@ -722,6 +722,86 @@ func BenchmarkC8_ContendedAccess(b *testing.B) {
 	}
 }
 
+// --- C12: visit throughput through the domain database -----------------------
+
+// visitDB is the subset of the domain database a hosted visit exercises:
+// admission, binding registration, usage accounting, teardown. Both the
+// real sharded database and the preserved pre-shard baseline
+// (baseline.CoarseDomainDB) satisfy it.
+type visitDB interface {
+	Admit(caller domain.ID, c *cred.Credentials) (domain.ID, error)
+	AddBinding(caller, id domain.ID, b *domain.Binding) error
+	RecordUse(caller, id domain.ID, resourcePath string, charge uint64) error
+	FlushUsage(caller, id domain.ID, batch []domain.Usage) (uint64, error)
+	Remove(caller, id domain.ID) error
+}
+
+// BenchmarkC12_VisitThroughput measures whole-visit throughput against
+// the domain database: one op is Admit → AddBinding → visitCalls
+// metered invocations → usage settlement → Remove, run by G concurrent
+// visits (G co-hosted agents arriving, working and departing).
+//
+// sharded_batched is the production design: the database is sharded by
+// domain ID and each invocation's accounting is a visit-local atomic
+// append, flushed into the database once at departure. coarse_perinvoke
+// preserves the pre-shard design — one RWMutex over the whole table,
+// one locked RecordUse per invocation — so the pair quantifies what the
+// refactor bought. Run with -cpu 1,2,4,8 for the scaling curve
+// (EXPERIMENTS.md C12).
+func BenchmarkC12_VisitThroughput(b *testing.B) {
+	const visitCalls = 64
+	creds, _, _ := benchCreds(b)
+	impls := []struct {
+		name    string
+		mk      func() visitDB
+		batched bool
+	}{
+		{"sharded_batched", func() visitDB { return domain.NewDatabase() }, true},
+		{"coarse_perinvoke", func() visitDB { return baseline.NewCoarseDomainDB() }, false},
+	}
+	for _, impl := range impls {
+		for _, g := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("%s/goroutines=%d", impl.name, g), func(b *testing.B) {
+				db := impl.mk()
+				visit := func() error {
+					dom, err := db.Admit(domain.ServerID, creds)
+					if err != nil {
+						return err
+					}
+					if err := db.AddBinding(domain.ServerID, dom, &domain.Binding{ResourcePath: "counter"}); err != nil {
+						return err
+					}
+					if impl.batched {
+						// Visit-local accounting, one database write at
+						// departure — mirrors (*visit).usageBatch + FlushUsage.
+						var inv, charge atomic.Uint64
+						for k := 0; k < visitCalls; k++ {
+							inv.Add(1)
+							charge.Add(1)
+						}
+						if _, err := db.FlushUsage(domain.ServerID, dom, []domain.Usage{{
+							ResourcePath: "counter",
+							Invocations:  inv.Load(),
+							Charge:       charge.Load(),
+						}}); err != nil {
+							return err
+						}
+					} else {
+						// Pre-shard accounting: the database lock per call.
+						for k := 0; k < visitCalls; k++ {
+							if err := db.RecordUse(domain.ServerID, dom, "counter", 1); err != nil {
+								return err
+							}
+						}
+					}
+					return db.Remove(domain.ServerID, dom)
+				}
+				runContended(b, g, func(int) error { return visit() })
+			})
+		}
+	}
+}
+
 // --- VM throughput and metering ablation -------------------------------------
 
 func benchVMModule(b *testing.B) *vm.Module {

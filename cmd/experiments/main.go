@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -32,8 +33,8 @@ import (
 )
 
 func main() {
-	only := flag.String("only", "", "run a single experiment: c1, c2, c3, c4, c6, c8, vm")
-	jsonOut := flag.String("json", "", "write the C8 contended-access results to this JSON file (e.g. BENCH_access.json)")
+	only := flag.String("only", "", "run a single experiment: c1, c2, c3, c4, c6, c8, c12, vm")
+	jsonOut := flag.String("json", "", "write the selected experiment's results to this JSON file (c8 → BENCH_access.json rows; -only c12 → BENCH_scaling.json rows)")
 	flag.Parse()
 	run := func(name string, f func()) {
 		if *only == "" || *only == name {
@@ -46,6 +47,16 @@ func main() {
 	run("c4", tableC4)
 	run("c6", tableC6)
 	run("c8", func() { tableC8(*jsonOut) })
+	run("c12", func() {
+		// The JSON path is shared with c8; only claim it when c12 was
+		// selected explicitly, so an unfiltered run keeps today's
+		// BENCH_access semantics.
+		path := ""
+		if *only == "c12" {
+			path = *jsonOut
+		}
+		tableC12(path)
+	})
 	run("vm", tableVM)
 }
 
@@ -413,6 +424,133 @@ func tableC8(jsonPath string) {
 			}))
 		}
 	}
+	fmt.Println()
+
+	if jsonPath != "" {
+		blob, err := json.MarshalIndent(results, "", "  ")
+		if err != nil {
+			panic(err)
+		}
+		if err := os.WriteFile(jsonPath, append(blob, '\n'), 0o644); err != nil {
+			panic(err)
+		}
+		fmt.Printf("  wrote %s (%d rows)\n\n", jsonPath, len(results))
+	}
+}
+
+// --- C12 --------------------------------------------------------------------
+
+// c12Result is one row of BENCH_scaling.json: whole-visit cost through
+// the domain database at a given parallelism, on a given number of
+// CPUs.
+type c12Result struct {
+	Impl       string  `json:"impl"` // sharded_batched | coarse_perinvoke
+	CPUs       int     `json:"cpus"`
+	Goroutines int     `json:"goroutines"`
+	NsPerVisit float64 `json:"ns_per_visit"`
+}
+
+// visitDB is the domain-database subset one hosted visit exercises.
+type visitDB interface {
+	Admit(caller domain.ID, c *cred.Credentials) (domain.ID, error)
+	AddBinding(caller, id domain.ID, b *domain.Binding) error
+	RecordUse(caller, id domain.ID, resourcePath string, charge uint64) error
+	FlushUsage(caller, id domain.ID, batch []domain.Usage) (uint64, error)
+	Remove(caller, id domain.ID) error
+}
+
+// tableC12 is the multicore scaling experiment behind the domain-DB
+// sharding refactor: one op is a whole visit (Admit → AddBinding → 64
+// metered invocations → settlement → Remove). sharded_batched is the
+// production design (internal/domain: per-shard locks, visit-local
+// usage flushed once at departure); coarse_perinvoke preserves the
+// pre-shard design (internal/baseline.CoarseDomainDB: one RWMutex, one
+// locked RecordUse per invocation). GOMAXPROCS is swept like the
+// benchmark's -cpu 1,2,4,8 flag.
+func tableC12(jsonPath string) {
+	const visitCalls = 64
+	creds, _ := fixtures()
+	impls := []struct {
+		name    string
+		mk      func() visitDB
+		batched bool
+	}{
+		{"sharded_batched", func() visitDB { return domain.NewDatabase() }, true},
+		{"coarse_perinvoke", func() visitDB { return baseline.NewCoarseDomainDB() }, false},
+	}
+
+	visit := func(db visitDB, batched bool) error {
+		dom, err := db.Admit(domain.ServerID, creds)
+		if err != nil {
+			return err
+		}
+		if err := db.AddBinding(domain.ServerID, dom, &domain.Binding{ResourcePath: "counter"}); err != nil {
+			return err
+		}
+		if batched {
+			var inv, charge atomic.Uint64
+			for k := 0; k < visitCalls; k++ {
+				inv.Add(1)
+				charge.Add(1)
+			}
+			if _, err := db.FlushUsage(domain.ServerID, dom, []domain.Usage{{
+				ResourcePath: "counter", Invocations: inv.Load(), Charge: charge.Load(),
+			}}); err != nil {
+				return err
+			}
+		} else {
+			for k := 0; k < visitCalls; k++ {
+				if err := db.RecordUse(domain.ServerID, dom, "counter", 1); err != nil {
+					return err
+				}
+			}
+		}
+		return db.Remove(domain.ServerID, dom)
+	}
+
+	contended := func(g int, call func() error) testing.BenchmarkResult {
+		return testing.Benchmark(func(b *testing.B) {
+			var wg sync.WaitGroup
+			per := b.N / g
+			for w := 0; w < g; w++ {
+				n := per
+				if w == 0 {
+					n += b.N % g
+				}
+				wg.Add(1)
+				go func(n int) {
+					defer wg.Done()
+					for i := 0; i < n; i++ {
+						if err := call(); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}(n)
+			}
+			wg.Wait()
+		})
+	}
+
+	fmt.Println("C12: visit throughput through the domain database (64 calls/visit)")
+	fmt.Printf("  %-18s %5s %4s %14s\n", "impl", "cpus", "G", "ns/visit")
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	var results []c12Result
+	for _, cpus := range []int{1, 2, 4, 8} {
+		runtime.GOMAXPROCS(cpus)
+		for _, impl := range impls {
+			for _, g := range []int{1, 8} {
+				db := impl.mk()
+				r := contended(g, func() error { return visit(db, impl.batched) })
+				row := c12Result{Impl: impl.name, CPUs: cpus, Goroutines: g,
+					NsPerVisit: float64(r.NsPerOp())}
+				results = append(results, row)
+				fmt.Printf("  %-18s %5d %4d %14.1f\n", row.Impl, row.CPUs, row.Goroutines, row.NsPerVisit)
+			}
+		}
+	}
+	runtime.GOMAXPROCS(prev)
 	fmt.Println()
 
 	if jsonPath != "" {

@@ -1,0 +1,145 @@
+package baseline
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/cred"
+	"repro/internal/domain"
+	"repro/internal/names"
+)
+
+// CoarseDomainDB preserves the pre-shard domain database design: one
+// RWMutex over a single map of records, with usage recorded into the
+// database on every invocation. It exists as the benchmark baseline for
+// experiment C12 — the visit-throughput comparison that motivated
+// sharding the real database (internal/domain) and batching usage into
+// the visit. Functionally it matches the subset of domain.Database the
+// hosting path exercises per visit: Admit, AddBinding, RecordUse /
+// FlushUsage, Remove.
+type CoarseDomainDB struct {
+	mu      sync.RWMutex
+	next    uint64
+	byID    map[domain.ID]*domain.Record
+	byAgent map[names.Name]domain.ID
+}
+
+// NewCoarseDomainDB creates an empty coarse-locked database.
+func NewCoarseDomainDB() *CoarseDomainDB {
+	return &CoarseDomainDB{
+		next:    uint64(domain.ServerID),
+		byID:    make(map[domain.ID]*domain.Record),
+		byAgent: make(map[names.Name]domain.ID),
+	}
+}
+
+// Admit mirrors domain.Database.Admit under the single lock.
+func (db *CoarseDomainDB) Admit(caller domain.ID, c *cred.Credentials) (domain.ID, error) {
+	if caller != domain.ServerID {
+		return domain.NoDomain, domain.ErrNotServerDomain
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.next++
+	id := domain.ID(db.next)
+	db.byID[id] = &domain.Record{
+		Domain:      id,
+		AgentName:   c.AgentName,
+		Owner:       c.Owner,
+		Creator:     c.Creator,
+		HomeSite:    c.HomeSite,
+		Arrived:     time.Now(),
+		Status:      domain.StatusRunning,
+		Credentials: c,
+		Bindings:    make(map[string]*domain.Binding),
+	}
+	db.byAgent[c.AgentName] = id
+	return id, nil
+}
+
+// AddBinding mirrors domain.Database.AddBinding.
+func (db *CoarseDomainDB) AddBinding(caller, id domain.ID, b *domain.Binding) error {
+	if caller != domain.ServerID {
+		return domain.ErrNotServerDomain
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	rec, ok := db.byID[id]
+	if !ok {
+		return fmt.Errorf("%w: %s", domain.ErrNoSuchDomain, id)
+	}
+	rec.Bindings[b.ResourcePath] = b
+	return nil
+}
+
+// RecordUse is the pre-shard per-invocation accounting write: every
+// metered call takes the one database lock. This is the cost C12's
+// baseline column carries and the sharded+batched design removes.
+func (db *CoarseDomainDB) RecordUse(caller, id domain.ID, resourcePath string, charge uint64) error {
+	if caller != domain.ServerID {
+		return domain.ErrNotServerDomain
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	rec, ok := db.byID[id]
+	if !ok {
+		return fmt.Errorf("%w: %s", domain.ErrNoSuchDomain, id)
+	}
+	b, ok := rec.Bindings[resourcePath]
+	if !ok {
+		return fmt.Errorf("baseline: no binding for %s in %s", resourcePath, id)
+	}
+	b.Invocations++
+	b.Charge += charge
+	return nil
+}
+
+// FlushUsage matches the sharded database's signature so both designs
+// satisfy one benchmark interface; under the coarse design a departure
+// settles the already-recorded rows, so only the charge total is
+// computed.
+func (db *CoarseDomainDB) FlushUsage(caller, id domain.ID, batch []domain.Usage) (uint64, error) {
+	if caller != domain.ServerID {
+		return 0, domain.ErrNotServerDomain
+	}
+	var total uint64
+	db.mu.RLock()
+	rec, ok := db.byID[id]
+	if ok {
+		for _, b := range rec.Bindings {
+			total += b.Charge
+		}
+	}
+	db.mu.RUnlock()
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", domain.ErrNoSuchDomain, id)
+	}
+	_ = batch
+	return total, nil
+}
+
+// Remove mirrors domain.Database.Remove.
+func (db *CoarseDomainDB) Remove(caller, id domain.ID) error {
+	if caller != domain.ServerID {
+		return domain.ErrNotServerDomain
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	rec, ok := db.byID[id]
+	if !ok {
+		return fmt.Errorf("%w: %s", domain.ErrNoSuchDomain, id)
+	}
+	delete(db.byID, id)
+	if cur, ok := db.byAgent[rec.AgentName]; ok && cur == id {
+		delete(db.byAgent, rec.AgentName)
+	}
+	return nil
+}
+
+// Count reports live domains.
+func (db *CoarseDomainDB) Count() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return len(db.byID)
+}

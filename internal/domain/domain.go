@@ -7,6 +7,14 @@
 // through trusted host-call plumbing — which gives the same property as
 // thread-group-based identification: the monitor always knows which
 // domain the calling activity belongs to.
+//
+// The database is sharded by domain ID: IDs are dense monotonic
+// uint64s, so id mod a power-of-two shard count spreads concurrent
+// visits evenly across independent mutexes, and two co-hosted agents
+// never contend on the same lock unless they land in the same shard.
+// The agent-name index lives under its own lock — it is consulted by
+// status tooling (DomainOf, StatusOf, Agents), never on the
+// bind/invoke path. See docs/PROTOCOLS.md §8.5.
 package domain
 
 import (
@@ -91,15 +99,44 @@ type Binding struct {
 	Revoker func()
 }
 
+// Usage is one binding's accumulated usage, accounted locally by a
+// visit while it runs and flushed into the database in a single batch
+// at departure (FlushUsage) — so the per-invocation hot path never
+// takes a database lock.
+type Usage struct {
+	ResourcePath string
+	Invocations  uint64
+	Charge       uint64
+}
+
+// shardBits selects the shard count. 32 shards keeps the per-shard
+// footprint trivial while making same-shard collisions between
+// co-hosted visits rare at realistic concurrency.
+const shardBits = 5
+
+// NumShards is the power-of-two shard count of the database.
+const NumShards = 1 << shardBits
+
+// shard is one independently locked slice of the domain table.
+type shard struct {
+	mu   sync.RWMutex
+	byID map[ID]*Record
+}
+
 // Database is the server's domain database. Mutations require the
 // caller to present the server's own domain ID: "this database can be
 // updated only by a thread executing in the server's protection domain"
 // (§5.3).
 type Database struct {
-	next atomic.Uint64
+	next  atomic.Uint64
+	count atomic.Int64
 
-	mu      sync.RWMutex
-	byID    map[ID]*Record
+	shards [NumShards]shard
+
+	// The name index is off the hot path: only status tooling resolves
+	// agents by name. It is never held together with a shard lock —
+	// Admit/Remove take them strictly one after the other (§8.5).
+	nameMu  sync.RWMutex
 	byAgent map[names.Name]ID
 }
 
@@ -113,12 +150,18 @@ var ErrNoSuchDomain = errors.New("domain: no such domain")
 // NewDatabase creates an empty database. Domain IDs start after
 // ServerID.
 func NewDatabase() *Database {
-	db := &Database{
-		byID:    make(map[ID]*Record),
-		byAgent: make(map[names.Name]ID),
+	db := &Database{byAgent: make(map[names.Name]ID)}
+	for i := range db.shards {
+		db.shards[i].byID = make(map[ID]*Record)
 	}
 	db.next.Store(uint64(ServerID))
 	return db
+}
+
+// shardOf maps an ID to its shard. IDs are dense and monotonic, so the
+// low bits distribute consecutive admissions round-robin.
+func (db *Database) shardOf(id ID) *shard {
+	return &db.shards[uint64(id)&(NumShards-1)]
 }
 
 // Admit creates a new protection domain for an arriving agent and
@@ -139,10 +182,14 @@ func (db *Database) Admit(caller ID, c *cred.Credentials) (ID, error) {
 		Credentials: c,
 		Bindings:    make(map[string]*Binding),
 	}
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	db.byID[id] = rec
+	sh := db.shardOf(id)
+	sh.mu.Lock()
+	sh.byID[id] = rec
+	sh.mu.Unlock()
+	db.nameMu.Lock()
 	db.byAgent[c.AgentName] = id
+	db.nameMu.Unlock()
+	db.count.Add(1)
 	return id, nil
 }
 
@@ -150,9 +197,10 @@ func (db *Database) Admit(caller ID, c *cred.Credentials) (ID, error) {
 // credentials pointer (immutable by convention after verification) but
 // not the bindings map.
 func (db *Database) Lookup(id ID) (Record, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	rec, ok := db.byID[id]
+	sh := db.shardOf(id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	rec, ok := sh.byID[id]
 	if !ok {
 		return Record{}, fmt.Errorf("%w: %s", ErrNoSuchDomain, id)
 	}
@@ -167,8 +215,8 @@ func (db *Database) Lookup(id ID) (Record, error) {
 
 // DomainOf resolves an agent name to its domain.
 func (db *Database) DomainOf(agent names.Name) (ID, bool) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
+	db.nameMu.RLock()
+	defer db.nameMu.RUnlock()
 	id, ok := db.byAgent[agent]
 	return id, ok
 }
@@ -176,11 +224,14 @@ func (db *Database) DomainOf(agent names.Name) (ID, bool) {
 // CredentialsOf returns the verified credentials for a domain; this is
 // the query getProxy makes ("obtains the requesting agent's credentials
 // ... by querying the server's domain database", §5.5). Reads are open
-// to any domain; only mutations are restricted.
+// to any domain; only mutations are restricted. A caller racing the
+// domain's teardown either gets the credentials (the record was still
+// live at the lock) or ErrNoSuchDomain — never a torn record.
 func (db *Database) CredentialsOf(id ID) (*cred.Credentials, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	rec, ok := db.byID[id]
+	sh := db.shardOf(id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	rec, ok := sh.byID[id]
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrNoSuchDomain, id)
 	}
@@ -192,9 +243,10 @@ func (db *Database) SetStatus(caller, id ID, s Status) error {
 	if caller != ServerID {
 		return ErrNotServerDomain
 	}
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	rec, ok := db.byID[id]
+	sh := db.shardOf(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	rec, ok := sh.byID[id]
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrNoSuchDomain, id)
 	}
@@ -202,15 +254,25 @@ func (db *Database) SetStatus(caller, id ID, s Status) error {
 	return nil
 }
 
-// StatusOf reports an agent's current status by name.
+// StatusOf reports an agent's current status by name. The name index
+// and the record live under different locks, so a teardown can race the
+// two lookups; a record gone by the second simply reports "unknown",
+// exactly as if the query had arrived after the removal.
 func (db *Database) StatusOf(agent names.Name) (Status, bool) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
+	db.nameMu.RLock()
 	id, ok := db.byAgent[agent]
+	db.nameMu.RUnlock()
 	if !ok {
 		return "", false
 	}
-	return db.byID[id].Status, true
+	sh := db.shardOf(id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	rec, ok := sh.byID[id]
+	if !ok {
+		return "", false
+	}
+	return rec.Status, true
 }
 
 // AddBinding records a live resource grant (server domain only).
@@ -218,9 +280,10 @@ func (db *Database) AddBinding(caller, id ID, b *Binding) error {
 	if caller != ServerID {
 		return ErrNotServerDomain
 	}
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	rec, ok := db.byID[id]
+	sh := db.shardOf(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	rec, ok := sh.byID[id]
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrNoSuchDomain, id)
 	}
@@ -228,15 +291,18 @@ func (db *Database) AddBinding(caller, id ID, b *Binding) error {
 	return nil
 }
 
-// RecordUse bumps usage counters on a binding. Called from proxy
-// accounting hooks, which run under the server's authority.
+// RecordUse bumps usage counters on a binding immediately. The hosting
+// path no longer calls this per invocation — visits account locally and
+// FlushUsage the batch at departure — but it remains for callers that
+// need synchronous accounting (tests, tooling, the pre-shard baseline).
 func (db *Database) RecordUse(caller, id ID, resourcePath string, charge uint64) error {
 	if caller != ServerID {
 		return ErrNotServerDomain
 	}
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	rec, ok := db.byID[id]
+	sh := db.shardOf(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	rec, ok := sh.byID[id]
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrNoSuchDomain, id)
 	}
@@ -249,19 +315,62 @@ func (db *Database) RecordUse(caller, id ID, resourcePath string, charge uint64)
 	return nil
 }
 
+// FlushUsage settles a visit's locally accumulated usage records into
+// the domain's bindings in one shard-lock acquisition, and returns the
+// total charge applied (the amount the server bills to the owner's
+// ledger). Batches for unknown bindings are still charged — accounting
+// must survive a binding record lost to a teardown race — they are just
+// not attributed to a per-binding row.
+func (db *Database) FlushUsage(caller, id ID, batch []Usage) (uint64, error) {
+	if caller != ServerID {
+		return 0, ErrNotServerDomain
+	}
+	var total uint64
+	for i := range batch {
+		total += batch[i].Charge
+	}
+	if len(batch) == 0 {
+		return 0, nil
+	}
+	sh := db.shardOf(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	rec, ok := sh.byID[id]
+	if !ok {
+		return total, fmt.Errorf("%w: %s", ErrNoSuchDomain, id)
+	}
+	for i := range batch {
+		if b, ok := rec.Bindings[batch[i].ResourcePath]; ok {
+			b.Invocations += batch[i].Invocations
+			b.Charge += batch[i].Charge
+		}
+	}
+	return total, nil
+}
+
 // Remove deletes a domain record (after departure or termination).
 func (db *Database) Remove(caller, id ID) error {
 	if caller != ServerID {
 		return ErrNotServerDomain
 	}
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	rec, ok := db.byID[id]
+	sh := db.shardOf(id)
+	sh.mu.Lock()
+	rec, ok := sh.byID[id]
 	if !ok {
+		sh.mu.Unlock()
 		return fmt.Errorf("%w: %s", ErrNoSuchDomain, id)
 	}
-	delete(db.byAgent, rec.AgentName)
-	delete(db.byID, id)
+	delete(sh.byID, id)
+	sh.mu.Unlock()
+	db.nameMu.Lock()
+	// Another admission may have reused the agent name (a re-hosted
+	// agent gets a fresh domain); only drop the index entry if it still
+	// points at the domain being removed.
+	if cur, ok := db.byAgent[rec.AgentName]; ok && cur == id {
+		delete(db.byAgent, rec.AgentName)
+	}
+	db.nameMu.Unlock()
+	db.count.Add(-1)
 	return nil
 }
 
@@ -271,16 +380,17 @@ func (db *Database) RevokeAll(caller, id ID) error {
 	if caller != ServerID {
 		return ErrNotServerDomain
 	}
-	db.mu.Lock()
+	sh := db.shardOf(id)
+	sh.mu.Lock()
 	revokers := []func(){}
-	if rec, ok := db.byID[id]; ok {
+	if rec, ok := sh.byID[id]; ok {
 		for _, b := range rec.Bindings {
 			if b.Revoker != nil {
 				revokers = append(revokers, b.Revoker)
 			}
 		}
 	}
-	db.mu.Unlock()
+	sh.mu.Unlock()
 	for _, f := range revokers {
 		f()
 	}
@@ -289,8 +399,8 @@ func (db *Database) RevokeAll(caller, id ID) error {
 
 // Agents lists all registered agent names (for status tools).
 func (db *Database) Agents() []names.Name {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
+	db.nameMu.RLock()
+	defer db.nameMu.RUnlock()
 	out := make([]names.Name, 0, len(db.byAgent))
 	for n := range db.byAgent {
 		out = append(out, n)
@@ -300,7 +410,17 @@ func (db *Database) Agents() []names.Name {
 
 // Count reports the number of live domains.
 func (db *Database) Count() int {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return len(db.byID)
+	return int(db.count.Load())
+}
+
+// ShardSizes reports the number of live records per shard (distribution
+// diagnostics and tests).
+func (db *Database) ShardSizes() [NumShards]int {
+	var out [NumShards]int
+	for i := range db.shards {
+		db.shards[i].mu.RLock()
+		out[i] = len(db.shards[i].byID)
+		db.shards[i].mu.RUnlock()
+	}
+	return out
 }

@@ -179,6 +179,124 @@ func TestAgentsList(t *testing.T) {
 	}
 }
 
+func TestFlushUsage(t *testing.T) {
+	db := NewDatabase()
+	id, _ := db.Admit(ServerID, testCreds(t, "a1"))
+	_ = db.AddBinding(ServerID, id, &Binding{ResourcePath: "buf"})
+
+	if _, err := db.FlushUsage(id, id, nil); !errors.Is(err, ErrNotServerDomain) {
+		t.Fatal("agent flushed its own usage")
+	}
+	if total, err := db.FlushUsage(ServerID, id, nil); total != 0 || err != nil {
+		t.Fatalf("empty batch: total=%d err=%v", total, err)
+	}
+	total, err := db.FlushUsage(ServerID, id, []Usage{
+		{ResourcePath: "buf", Invocations: 5, Charge: 50},
+		{ResourcePath: "gone", Invocations: 2, Charge: 7}, // no such binding
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The whole batch is charged — including rows whose binding record is
+	// gone — but only known bindings get per-binding attribution.
+	if total != 57 {
+		t.Fatalf("total = %d, want 57", total)
+	}
+	rec, _ := db.Lookup(id)
+	if b := rec.Bindings["buf"]; b.Invocations != 5 || b.Charge != 50 {
+		t.Fatalf("binding = %+v", b)
+	}
+}
+
+// A visit's departure can race its domain's removal (crash teardown,
+// dead-letter parking): the flush must still return the full charge so
+// the owner is billed, even though there is no record to attribute it
+// to.
+func TestFlushUsageAfterTeardown(t *testing.T) {
+	db := NewDatabase()
+	id, _ := db.Admit(ServerID, testCreds(t, "a1"))
+	_ = db.Remove(ServerID, id)
+	total, err := db.FlushUsage(ServerID, id, []Usage{{ResourcePath: "buf", Invocations: 3, Charge: 30}})
+	if !errors.Is(err, ErrNoSuchDomain) {
+		t.Fatalf("err = %v, want ErrNoSuchDomain", err)
+	}
+	if total != 30 {
+		t.Fatalf("total = %d, want 30 (accounting must survive teardown)", total)
+	}
+}
+
+// CredentialsOf racing the domain's removal must yield either the
+// credentials or ErrNoSuchDomain — never a torn read. Run under -race.
+func TestCredentialsOfRacesTeardown(t *testing.T) {
+	db := NewDatabase()
+	const rounds = 200
+	for i := 0; i < rounds; i++ {
+		c := testCreds(t, "racer")
+		id, err := db.Admit(ServerID, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			for j := 0; j < 10; j++ {
+				got, err := db.CredentialsOf(id)
+				if err == nil && got.AgentName != c.AgentName {
+					t.Error("CredentialsOf returned foreign credentials")
+					return
+				}
+				if err != nil && !errors.Is(err, ErrNoSuchDomain) {
+					t.Errorf("CredentialsOf: %v", err)
+					return
+				}
+			}
+		}()
+		_ = db.RevokeAll(ServerID, id)
+		_ = db.Remove(ServerID, id)
+		<-done
+	}
+}
+
+// Re-admission can reuse an agent name before the old domain's Remove
+// runs; the name index must keep pointing at the live domain.
+func TestRemoveKeepsReusedNameIndex(t *testing.T) {
+	db := NewDatabase()
+	c := testCreds(t, "a1")
+	old, _ := db.Admit(ServerID, c)
+	fresh, _ := db.Admit(ServerID, c) // same agent name, new domain
+	if err := db.Remove(ServerID, old); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := db.DomainOf(c.AgentName)
+	if !ok || got != fresh {
+		t.Fatalf("DomainOf after stale Remove = %v, %v; want %v", got, ok, fresh)
+	}
+}
+
+// Dense monotonic IDs must spread evenly over the power-of-two shards:
+// after 10k admissions every shard holds count/NumShards records give or
+// take one.
+func TestShardDistribution(t *testing.T) {
+	db := NewDatabase()
+	const n = 10_000
+	c := testCreds(t, "bulk")
+	for i := 0; i < n; i++ {
+		if _, err := db.Admit(ServerID, c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sizes := db.ShardSizes()
+	lo, hi := n/NumShards, n/NumShards+1
+	for i, sz := range sizes {
+		if sz < lo || sz > hi {
+			t.Fatalf("shard %d holds %d records, want %d..%d", i, sz, lo, hi)
+		}
+	}
+	if db.Count() != n {
+		t.Fatalf("Count = %d", db.Count())
+	}
+}
+
 func TestIDString(t *testing.T) {
 	if NoDomain.String() != "domain(none)" || ServerID.String() != "domain(server)" {
 		t.Fatal("special-case strings wrong")

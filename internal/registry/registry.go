@@ -48,47 +48,79 @@ type Entry struct {
 	OwnerPrincipal names.Name
 }
 
-// table is one immutable published generation of the registry.
-type table map[names.Name]Entry
+// table is one immutable published generation of the registry. The
+// mutation epoch travels inside the snapshot, so a reader that pins one
+// table always sees the epoch that table was published under — entries
+// and epoch can never be observed from different generations.
+type table struct {
+	m     map[names.Name]Entry
+	epoch uint64
+}
 
 // Registry is a name → Entry table with lock-free lookups.
 type Registry struct {
-	mu    sync.Mutex // serializes writers only
-	snap  atomic.Pointer[table]
-	epoch atomic.Uint64
+	mu   sync.Mutex // serializes writers only
+	snap atomic.Pointer[table]
 }
 
 // New returns an empty registry.
 func New() *Registry {
 	r := &Registry{}
-	t := make(table)
-	r.snap.Store(&t)
+	r.snap.Store(&table{m: make(map[names.Name]Entry)})
 	return r
 }
 
 // Epoch returns the registry's mutation epoch. It bumps on every
 // Register, Unregister and Replace; cached decisions stamped with an
 // older epoch are stale.
-func (r *Registry) Epoch() uint64 { return r.epoch.Load() }
+func (r *Registry) Epoch() uint64 { return r.snap.Load().epoch }
 
 // load returns the current immutable table; callers must not mutate it.
-func (r *Registry) load() table { return *r.snap.Load() }
+func (r *Registry) load() *table { return r.snap.Load() }
 
 // publish installs a new table generation; the caller holds r.mu.
-func (r *Registry) publish(t table) {
-	r.snap.Store(&t)
-	r.epoch.Add(1)
+func (r *Registry) publish(m map[names.Name]Entry) {
+	r.snap.Store(&table{m: m, epoch: r.load().epoch + 1})
 }
 
 // clone copies the current table for a mutation; the caller holds r.mu.
-func (r *Registry) clone() table {
-	cur := r.load()
-	t := make(table, len(cur)+1)
+func (r *Registry) clone() map[names.Name]Entry {
+	cur := r.load().m
+	m := make(map[names.Name]Entry, len(cur)+1)
 	for n, e := range cur {
-		t[n] = e
+		m[n] = e
 	}
-	return t
+	return m
 }
+
+// Snapshot is one pinned generation of the registry: any number of
+// lookups against it observe a single consistent table and its epoch.
+// The admission gate pins one snapshot per manifest check instead of
+// paying an atomic load per manifest entry; the binding path pins one
+// so the decision-cache stamp and the entry come from the same
+// generation.
+type Snapshot struct {
+	t *table
+}
+
+// Snapshot pins the current generation.
+func (r *Registry) Snapshot() Snapshot { return Snapshot{t: r.snap.Load()} }
+
+// Epoch reports the pinned generation's mutation epoch.
+func (s Snapshot) Epoch() uint64 { return s.t.epoch }
+
+// Lookup finds an entry in the pinned generation; same contract as
+// Registry.Lookup.
+func (s Snapshot) Lookup(n names.Name) (Entry, error) {
+	e, ok := s.t.m[n]
+	if !ok {
+		return Entry{}, fmt.Errorf("%w: %s", ErrNotFound, n)
+	}
+	return e, nil
+}
+
+// Len reports the number of entries in the pinned generation.
+func (s Snapshot) Len() int { return len(s.t.m) }
 
 // Register adds an entry (Fig. 6 step 1: "resource registers itself").
 func (r *Registry) Register(e Entry) error {
@@ -100,7 +132,7 @@ func (r *Registry) Register(e Entry) error {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if _, dup := r.load()[e.Name]; dup {
+	if _, dup := r.load().m[e.Name]; dup {
 		return fmt.Errorf("%w: %s", ErrDuplicate, e.Name)
 	}
 	t := r.clone()
@@ -114,7 +146,7 @@ func (r *Registry) Register(e Entry) error {
 // only be changed through Replace/Unregister, which enforce the §5.5
 // ownership check.
 func (r *Registry) Lookup(n names.Name) (Entry, error) {
-	e, ok := r.load()[n]
+	e, ok := r.load().m[n]
 	if !ok {
 		return Entry{}, fmt.Errorf("%w: %s", ErrNotFound, n)
 	}
@@ -126,7 +158,7 @@ func (r *Registry) Lookup(n names.Name) (Entry, error) {
 func (r *Registry) Unregister(caller domain.ID, n names.Name) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	e, ok := r.load()[n]
+	e, ok := r.load().m[n]
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrNotFound, n)
 	}
@@ -144,7 +176,7 @@ func (r *Registry) Unregister(caller domain.ID, n names.Name) error {
 func (r *Registry) Replace(caller domain.ID, n names.Name, res resource.Resource, ap resource.AccessProtocol) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	e, ok := r.load()[n]
+	e, ok := r.load().m[n]
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrNotFound, n)
 	}
@@ -161,7 +193,7 @@ func (r *Registry) Replace(caller domain.ID, n names.Name, res resource.Resource
 
 // List returns all registered names.
 func (r *Registry) List() []names.Name {
-	t := r.load()
+	t := r.load().m
 	out := make([]names.Name, 0, len(t))
 	for n := range t {
 		out = append(out, n)
@@ -171,5 +203,5 @@ func (r *Registry) List() []names.Name {
 
 // Len reports the number of entries.
 func (r *Registry) Len() int {
-	return len(r.load())
+	return len(r.load().m)
 }

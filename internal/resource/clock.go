@@ -37,7 +37,10 @@ const clockTick = time.Millisecond
 
 // startClock launches the coarse-clock daemon once per process. The
 // goroutine is deliberately never stopped: it is one timer for the
-// process lifetime, shared by every proxy of every server.
+// process lifetime, shared by every proxy of every server — and, since
+// the coarse-clock consolidation, by every retry backoff and transfer
+// deadline as well (CoarseSleep / CoarseTime below), so the process
+// runs ONE ticker instead of allocating a time.Timer per attempt.
 func startClock() {
 	clockOnce.Do(func() {
 		coarseNow.Store(time.Now().UnixNano())
@@ -46,9 +49,83 @@ func startClock() {
 			defer t.Stop() // unreachable; keeps vet happy about the ticker
 			for now := range t.C {
 				coarseNow.Store(now.UnixNano())
+				fireSleepers(now.UnixNano())
 			}
 		}()
 	})
+}
+
+// CoarseTime returns the shared coarse clock's reading as a time.Time.
+// It is at most clockTick (+ any daemon starvation lag) behind the
+// precise clock — callers computing multi-second network deadlines
+// (transfer handshakes, per-attempt budgets) use it to avoid a precise
+// clock read per attempt.
+func CoarseTime() time.Time {
+	startClock()
+	return time.Unix(0, coarseNow.Load())
+}
+
+// sleeper is one CoarseSleep waiter: the daemon closes done at the
+// first tick at or past the deadline.
+type sleeper struct {
+	deadline int64
+	done     chan struct{}
+}
+
+var (
+	sleepersMu sync.Mutex
+	sleepers   []*sleeper
+)
+
+// fireSleepers wakes every expired waiter; runs on the clock daemon.
+func fireSleepers(now int64) {
+	sleepersMu.Lock()
+	live := sleepers[:0]
+	for _, w := range sleepers {
+		if now >= w.deadline {
+			close(w.done)
+		} else {
+			live = append(live, w)
+		}
+	}
+	// Drop the tail so fired waiters are not retained by the backing
+	// array.
+	for i := len(live); i < len(sleepers); i++ {
+		sleepers[i] = nil
+	}
+	sleepers = live
+	sleepersMu.Unlock()
+}
+
+// CoarseSleep blocks for approximately d — resolution clockTick, so ±1ms
+// in the steady state — waking on the shared clock ticker instead of
+// allocating a dedicated time.Timer. It returns true immediately if
+// cancel closes first. Intended for waits that are long relative to the
+// tick and tolerant of millisecond skew: retry backoffs, redelivery
+// pauses. Sub-tick durations still wait for the next tick (never a busy
+// spin); zero and negative durations return at once.
+func CoarseSleep(d time.Duration, cancel <-chan struct{}) (canceled bool) {
+	if d <= 0 {
+		select {
+		case <-cancel:
+			return true
+		default:
+			return false
+		}
+	}
+	startClock()
+	w := &sleeper{deadline: coarseNow.Load() + int64(d), done: make(chan struct{})}
+	sleepersMu.Lock()
+	sleepers = append(sleepers, w)
+	sleepersMu.Unlock()
+	select {
+	case <-w.done:
+		return false
+	case <-cancel:
+		// The daemon will fire and forget the stale entry at its
+		// deadline; nothing to unregister eagerly.
+		return true
+	}
 }
 
 // pastDeadline reports whether the deadline (Unix nanos) has passed,

@@ -19,6 +19,8 @@ import (
 	"math/rand"
 	"sync"
 	"time"
+
+	"repro/internal/resource"
 )
 
 // Default policy values, applied by (Policy).withDefaults for any field
@@ -225,17 +227,11 @@ func (p Policy) DoWithCancel(cancel <-chan struct{}, op func() error) (attempts 
 	}
 }
 
+// sleepOrCancel waits out one backoff on the process-wide coarse clock
+// (internal/resource/clock.go) instead of allocating a time.Timer per
+// attempt: every retrying dispatcher in the process shares one ticker.
+// Backoffs start at tens of milliseconds, so the clock's millisecond
+// resolution is noise.
 func sleepOrCancel(d time.Duration, cancel <-chan struct{}) bool {
-	if cancel == nil {
-		time.Sleep(d)
-		return false
-	}
-	t := time.NewTimer(d)
-	defer t.Stop()
-	select {
-	case <-t.C:
-		return false
-	case <-cancel:
-		return true
-	}
+	return resource.CoarseSleep(d, cancel)
 }

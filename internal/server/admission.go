@@ -43,6 +43,12 @@ var ErrAdmission = errors.New("admission denied")
 // agent travels with a declaration — after re-verifying that it covers
 // a freshly computed manifest, so an agent cannot under-declare its
 // needs — and the computed one otherwise.
+//
+// The whole check runs against one pinned registry snapshot: a large
+// manifest pays a single atomic table load instead of one per entry,
+// and every entry is judged against the same registry generation — a
+// concurrent install/unregister cannot make the verdict incoherent
+// mid-manifest.
 func (s *Server) checkAdmission(a *agent.Agent) error {
 	computed, err := analysis.ComputeManifest(a.Code)
 	if err != nil {
@@ -58,6 +64,7 @@ func (s *Server) checkAdmission(a *agent.Agent) error {
 		}
 		effective = a.Manifest
 	}
+	snap := s.reg.Snapshot()
 	for _, res := range effective.Resources {
 		if res == analysis.Wildcard {
 			// The analyzer could not resolve some get_resource/colocate
@@ -76,7 +83,7 @@ func (s *Server) checkAdmission(a *agent.Agent) error {
 			// admission concern.
 			continue
 		}
-		entry, err := s.reg.Lookup(rn)
+		entry, err := snap.Lookup(rn)
 		if err != nil {
 			// Not registered here: either a resource of a later stop
 			// (another server's policy decides) or a name that will

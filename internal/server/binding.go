@@ -23,8 +23,12 @@ import (
 // record. The policy decision is memoized in the server's decision
 // cache, stamped with the policy and registry epochs read at bind time —
 // any later rule or registry change silently invalidates the entry.
-func (s *Server) bindResource(v *visit, rn names.Name) (*resource.Proxy, error) {
-	entry, err := s.reg.Lookup(rn) // step 3
+func (s *Server) bindResource(v *visit, rn names.Name) (*boundResource, error) {
+	// One registry snapshot pins both the entry and the epoch the
+	// decision stamp uses, so the cached grant can never be filed under
+	// an epoch newer than the table it was computed from.
+	snap := s.reg.Snapshot()
+	entry, err := snap.Lookup(rn) // step 3
 	if err != nil {
 		return nil, err
 	}
@@ -32,10 +36,10 @@ func (s *Server) bindResource(v *visit, rn names.Name) (*resource.Proxy, error) 
 	if err != nil {
 		return nil, err
 	}
-	// Read both epochs before the decision: a mutation racing the bind
-	// at worst produces a stamp that immediately misses, never a cached
-	// grant from a newer configuration filed under an older stamp.
-	stamp := policy.Stamp{Policy: s.cfg.Policy.Epoch(), Registry: s.reg.Epoch()}
+	// Read the policy epoch before the decision: a mutation racing the
+	// bind at worst produces a stamp that immediately misses, never a
+	// cached grant from a newer configuration under an older stamp.
+	stamp := policy.Stamp{Policy: s.cfg.Policy.Epoch(), Registry: snap.Epoch()}
 	proxy, err := entry.AP.GetProxy(resource.Request{ // step 4 (upcall)
 		Caller: v.dom,
 		Creds:  creds,
@@ -53,19 +57,20 @@ func (s *Server) bindResource(v *visit, rn names.Name) (*resource.Proxy, error) 
 		ResourcePath: proxy.Path(),
 		Revoker:      func() { _ = proxy.Revoke(domain.ServerID) },
 	})
-	return proxy, nil
+	return &boundResource{proxy: proxy, usage: v.usageFor(proxy.Path())}, nil
 }
 
 // invokeProxy is step 6: access the resource through the proxy, which
 // holds every protection check, then settle the accounting charge into
-// the domain database's usage record (and, at departure, the per-owner
-// ledger — the paper's electronic-commerce requirement). The metered
-// invoke returns the charge directly, so settlement costs no extra
-// account snapshots on the hot path.
-func (s *Server) invokeProxy(v *visit, p *resource.Proxy, method string, args []vm.Value) (vm.Value, error) {
-	out, charge, err := p.InvokeMetered(v.dom, method, args)
+// the visit's local usage record — two uncontended atomic adds, no
+// domain-database lock. The batch is flushed into the database (and,
+// via the per-owner ledger, the paper's electronic-commerce
+// requirement) once, when the visit finishes.
+func (s *Server) invokeProxy(v *visit, br *boundResource, method string, args []vm.Value) (vm.Value, error) {
+	out, charge, err := br.proxy.InvokeMetered(v.dom, method, args)
 	if err == nil {
-		_ = s.db.RecordUse(domain.ServerID, v.dom, p.Path(), charge)
+		br.usage.invocations.Add(1)
+		br.usage.charge.Add(charge)
 	}
 	return out, err
 }

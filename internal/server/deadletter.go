@@ -58,6 +58,7 @@ type Stats struct {
 
 // counters aggregates the atomic tallies behind Stats.
 type counters struct {
+	arrivals         atomic.Uint64
 	dispatches       atomic.Uint64
 	retries          atomic.Uint64
 	dispatchFailures atomic.Uint64
@@ -69,13 +70,12 @@ type counters struct {
 
 // Stats returns a snapshot of the server's counters.
 func (s *Server) Stats() Stats {
-	s.mu.Lock()
-	arrivals := s.arrivals
+	s.parkMu.Lock()
 	parkedNow := len(s.parked)
 	heldNow := len(s.held)
-	s.mu.Unlock()
+	s.parkMu.Unlock()
 	return Stats{
-		Arrivals:         arrivals,
+		Arrivals:         s.stats.arrivals.Load(),
 		Dispatches:       s.stats.dispatches.Load(),
 		Retries:          s.stats.retries.Load(),
 		DispatchFailures: s.stats.dispatchFailures.Load(),
@@ -92,9 +92,9 @@ func (s *Server) Stats() Stats {
 // redelivery loop owns it from here; a duplicate park (an at-least-once
 // transfer race) keeps the newer copy.
 func (s *Server) park(a *agent.Agent, addr string) {
-	s.mu.Lock()
+	s.parkMu.Lock()
 	s.parked[a.Name] = &parcel{agent: a, addr: addr, attempts: 1}
-	s.mu.Unlock()
+	s.parkMu.Unlock()
 	s.stats.parked.Add(1)
 }
 
@@ -102,8 +102,8 @@ func (s *Server) park(a *agent.Agent, addr string) {
 // operators (and tests) can see exactly which agents are waiting out a
 // failure rather than lost.
 func (s *Server) ParkedAgents() []names.Name {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.parkMu.Lock()
+	defer s.parkMu.Unlock()
 	out := make([]names.Name, 0, len(s.parked))
 	for n := range s.parked {
 		out = append(out, n)
@@ -131,12 +131,12 @@ func (s *Server) redeliverLoop(every time.Duration) {
 
 // redeliverOnce attempts one delivery per parked agent.
 func (s *Server) redeliverOnce() {
-	s.mu.Lock()
+	s.parkMu.Lock()
 	batch := make([]*parcel, 0, len(s.parked))
 	for _, p := range s.parked {
 		batch = append(batch, p)
 	}
-	s.mu.Unlock()
+	s.parkMu.Unlock()
 	for _, p := range batch {
 		select {
 		case <-s.quit:
@@ -147,9 +147,9 @@ func (s *Server) redeliverOnce() {
 		if err := s.sendToAddr(p.agent, p.addr); err != nil {
 			continue // still unreachable; next tick
 		}
-		s.mu.Lock()
+		s.parkMu.Lock()
 		delete(s.parked, p.agent.Name)
-		s.mu.Unlock()
+		s.parkMu.Unlock()
 		s.stats.redelivered.Add(1)
 		s.stats.dispatches.Add(1)
 	}

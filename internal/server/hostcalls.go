@@ -197,11 +197,11 @@ func (s *Server) installHostAPI(v *visit) {
 		if err != nil {
 			return vm.Nil(), fmt.Errorf("%w: resource name: %v", ErrBadArg, err)
 		}
-		proxy, err := s.bindResource(v, rn) // steps 3-4 (binding.go)
+		br, err := s.bindResource(v, rn) // steps 3-4 (binding.go)
 		if err != nil {
 			return vm.Nil(), err
 		}
-		return v.nextHandle(proxy), nil // step 5
+		return v.nextHandle(br), nil // step 5
 	}
 
 	// invoke(handle, method, args...) is step 6: access the resource
@@ -219,11 +219,11 @@ func (s *Server) installHostAPI(v *visit) {
 		if err != nil {
 			return vm.Nil(), err
 		}
-		proxy, ok := v.handles[args[0].Handle]
+		br, ok := v.handles[args[0].Handle]
 		if !ok {
 			return vm.Nil(), ErrBadHandle
 		}
-		return s.invokeProxy(v, proxy, method, args[2:])
+		return s.invokeProxy(v, br, method, args[2:])
 	}
 
 	// resource_methods(handle) lists the methods currently enabled on
@@ -235,10 +235,11 @@ func (s *Server) installHostAPI(v *visit) {
 		if args[0].Kind != vm.KindHandle {
 			return vm.Nil(), fmt.Errorf("%w: resource_methods wants a handle", ErrBadArg)
 		}
-		proxy, ok := v.handles[args[0].Handle]
+		br, ok := v.handles[args[0].Handle]
 		if !ok {
 			return vm.Nil(), ErrBadHandle
 		}
+		proxy := br.proxy
 		var out []vm.Value
 		for _, m := range proxy.MethodNames() {
 			if proxy.IsEnabled(m) {

@@ -10,7 +10,6 @@ import (
 	"repro/internal/domain"
 	"repro/internal/loader"
 	"repro/internal/names"
-	"repro/internal/resource"
 	"repro/internal/sandbox"
 	"repro/internal/vm"
 )
@@ -53,8 +52,8 @@ func (s *Server) admit(a *agent.Agent, from names.Name) error {
 			return err
 		}
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.visitMu.Lock()
+	defer s.visitMu.Unlock()
 	if s.cfg.MaxAgents > 0 && len(s.visits) >= s.cfg.MaxAgents {
 		return ErrCapacity
 	}
@@ -81,27 +80,32 @@ func (s *Server) LaunchLocal(a *agent.Agent) error {
 // delivered at this server (its home site). An agent that already came
 // home before anyone awaited it is handed over immediately from the
 // held map — homecomings are never dropped for want of a waiter.
+//
+// The held check and the waiter registration must be one atomic step
+// against deliverLocal's mirror-image check, so this is one of the two
+// places that nest visitMu → parkMu (the documented lock order, §8.5).
 func (s *Server) Await(agentName names.Name) <-chan *agent.Agent {
 	ch := make(chan *agent.Agent, 1)
-	s.mu.Lock()
+	s.visitMu.Lock()
+	s.parkMu.Lock()
 	if a, ok := s.held[agentName]; ok {
 		delete(s.held, agentName)
-		s.mu.Unlock()
+		s.parkMu.Unlock()
+		s.visitMu.Unlock()
 		ch <- a
 		s.stats.delivered.Add(1)
 		return ch
 	}
 	s.waiters[agentName] = ch
-	s.mu.Unlock()
+	s.parkMu.Unlock()
+	s.visitMu.Unlock()
 	return ch
 }
 
 // host runs one agent visit end to end: domain creation, namespace
 // construction, entry execution, then migration / homecoming.
 func (s *Server) host(a *agent.Agent) {
-	s.mu.Lock()
-	s.arrivals++
-	s.mu.Unlock()
+	s.stats.arrivals.Add(1)
 
 	// Homecoming: itinerary finished and no pending detour — deliver
 	// to the waiting owner without creating an execution domain.
@@ -132,7 +136,8 @@ func (s *Server) host(a *agent.Agent) {
 		dom:     dom,
 		ns:      ns,
 		meter:   vm.NewMeter(s.cfg.Fuel),
-		handles: make(map[uint64]*resource.Proxy),
+		handles: make(map[uint64]*boundResource),
+		usage:   make(map[string]*visitUsage),
 	}
 	v.env = &vm.Env{
 		Globals:   a.State,
@@ -145,17 +150,20 @@ func (s *Server) host(a *agent.Agent) {
 	vm.InstallBuiltins(v.env)
 	s.installHostAPI(v)
 
-	s.mu.Lock()
+	s.visitMu.Lock()
 	s.visits[a.Name] = v
-	s.mu.Unlock()
+	s.visitMu.Unlock()
 
-	// finish ends the visit: record the terminal status, settle the
-	// visit's accounting into the per-owner ledger ("mechanisms ...
-	// for metering of resource use and charging for such usage", §2),
-	// and tear down the protection domain. It must run before the
-	// agent is dispatched or delivered so observers never see a live
-	// domain for a departed agent — every terminal path below calls
-	// it exactly once.
+	// finish ends the visit: record the terminal status, flush the
+	// visit's locally batched usage into the domain database and settle
+	// it into the per-owner ledger ("mechanisms ... for metering of
+	// resource use and charging for such usage", §2), and tear down the
+	// protection domain. It must run before the agent is dispatched or
+	// delivered so observers never see a live domain for a departed
+	// agent — every terminal path below (departure, homecoming, VM
+	// failure, kill) calls it exactly once, so no accounting is lost
+	// even when the agent afterwards fails home or is parked in the
+	// dead-letter store.
 	var finished bool
 	finish := func(st domain.Status) {
 		if finished {
@@ -164,19 +172,13 @@ func (s *Server) host(a *agent.Agent) {
 		finished = true
 		_ = s.db.SetStatus(domain.ServerID, dom, st)
 		s.setFinalStatus(a.Name, st)
-		s.mu.Lock()
+		s.visitMu.Lock()
 		delete(s.visits, a.Name)
-		s.mu.Unlock()
-		if rec, err := s.db.Lookup(dom); err == nil {
-			var total uint64
-			for _, bind := range rec.Bindings {
-				total += bind.Charge
-			}
-			if total > 0 {
-				s.mu.Lock()
-				s.ledger[a.Credentials.Owner] += total
-				s.mu.Unlock()
-			}
+		s.visitMu.Unlock()
+		if total, _ := s.db.FlushUsage(domain.ServerID, dom, v.usageBatch()); total > 0 {
+			s.finalMu.Lock()
+			s.ledger[a.Credentials.Owner] += total
+			s.finalMu.Unlock()
 		}
 		_ = s.db.RevokeAll(domain.ServerID, dom)
 		_ = s.db.Remove(domain.ServerID, dom)
@@ -267,25 +269,29 @@ func (s *Server) failHome(a *agent.Agent) {
 	a.Itinerary.Abandon()
 	// The tombstone left by the visit said "departed"; the departure
 	// failed, so correct it (without masking killed/failed records).
-	s.mu.Lock()
+	s.finalMu.Lock()
 	if st, ok := s.statuses[a.Name]; !ok || st == domain.StatusDeparted {
 		s.statuses[a.Name] = domain.StatusFailed
 	}
-	s.mu.Unlock()
+	s.finalMu.Unlock()
 	s.deliver(a)
 }
 
 // deliverLocal hands a homecoming agent to its waiter, or holds it for
-// a future Await call.
+// a future Await call. The waiter check and the held insertion are one
+// atomic step against Await — the second of the two visitMu → parkMu
+// nestings (§8.5).
 func (s *Server) deliverLocal(a *agent.Agent) {
-	s.mu.Lock()
+	s.visitMu.Lock()
+	s.parkMu.Lock()
 	ch, ok := s.waiters[a.Name]
 	if ok {
 		delete(s.waiters, a.Name)
 	} else {
 		s.held[a.Name] = a
 	}
-	s.mu.Unlock()
+	s.parkMu.Unlock()
+	s.visitMu.Unlock()
 	if ok {
 		ch <- a
 		s.stats.delivered.Add(1)

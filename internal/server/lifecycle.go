@@ -22,9 +22,9 @@ func (s *Server) Start() error {
 	if err != nil {
 		return err
 	}
-	s.mu.Lock()
+	s.netMu.Lock()
 	s.listener = l
-	s.mu.Unlock()
+	s.netMu.Unlock()
 	if err := s.cfg.NameService.Bind(s.Name(), names.Location{
 		Address: s.cfg.Address, ServerName: s.Name(),
 	}); err != nil {
@@ -48,10 +48,10 @@ func (s *Server) Start() error {
 // until the operator restarts or drains the server).
 func (s *Server) Stop() {
 	s.quitOnce.Do(func() { close(s.quit) })
-	s.mu.Lock()
+	s.netMu.Lock()
 	l := s.listener
 	s.listener = nil
-	s.mu.Unlock()
+	s.netMu.Unlock()
 	if l != nil {
 		_ = l.Close()
 	}
@@ -71,12 +71,12 @@ func (s *Server) Stop() {
 
 // closeInbound tears down every live inbound transfer stream.
 func (s *Server) closeInbound() {
-	s.mu.Lock()
+	s.netMu.Lock()
 	conns := make([]net.Conn, 0, len(s.inbound))
 	for c := range s.inbound {
 		conns = append(conns, c)
 	}
-	s.mu.Unlock()
+	s.netMu.Unlock()
 	for _, c := range conns {
 		_ = c.Close()
 	}
@@ -89,10 +89,10 @@ func (s *Server) closeInbound() {
 // the server back at the same address; senders are expected to ride
 // out the gap with retries and dead-letter redelivery.
 func (s *Server) Crash() {
-	s.mu.Lock()
+	s.netMu.Lock()
 	l := s.listener
 	s.listener = nil
-	s.mu.Unlock()
+	s.netMu.Unlock()
 	if l != nil {
 		_ = l.Close()
 	}
@@ -109,19 +109,19 @@ func (s *Server) Crash() {
 // Restart re-binds the listener after a Crash. A no-op if the server
 // is already accepting.
 func (s *Server) Restart() error {
-	s.mu.Lock()
+	s.netMu.Lock()
 	if s.listener != nil {
-		s.mu.Unlock()
+		s.netMu.Unlock()
 		return nil
 	}
-	s.mu.Unlock()
+	s.netMu.Unlock()
 	l, err := s.cfg.Listen(s.cfg.Address)
 	if err != nil {
 		return err
 	}
-	s.mu.Lock()
+	s.netMu.Lock()
 	s.listener = l
-	s.mu.Unlock()
+	s.netMu.Unlock()
 	s.wg.Add(1)
 	go s.acceptLoop(l)
 	return nil
@@ -139,25 +139,25 @@ func (s *Server) acceptLoop(l net.Listener) {
 				return
 			default:
 			}
-			s.mu.Lock()
+			s.netMu.Lock()
 			alive := s.listener == l
-			s.mu.Unlock()
+			s.netMu.Unlock()
 			if !alive {
 				return // crashed or stopped; Restart spawns a new loop
 			}
 			continue
 		}
-		s.mu.Lock()
+		s.netMu.Lock()
 		s.inbound[conn] = struct{}{}
-		s.mu.Unlock()
+		s.netMu.Unlock()
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
 			defer func() {
 				conn.Close()
-				s.mu.Lock()
+				s.netMu.Lock()
 				delete(s.inbound, conn)
-				s.mu.Unlock()
+				s.netMu.Unlock()
 			}()
 			// One connection carries a stream of transfers (a pooled
 			// sender keeps it open); each accepted agent is hosted on

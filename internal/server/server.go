@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/agent"
@@ -116,8 +117,12 @@ type Server struct {
 	// with the policy+registry epochs they were computed under.
 	cache *policy.DecisionCache
 
+	// netMu guards the listener state (lifecycle.go): the live
+	// listener incarnation and the inbound transfer streams.
+	netMu    sync.Mutex
 	listener net.Listener
 	inbound  map[net.Conn]struct{} // live inbound transfer streams
+
 	wg       sync.WaitGroup
 	quit     chan struct{}
 	quitOnce sync.Once
@@ -125,14 +130,30 @@ type Server struct {
 	retry retry.Policy // resolved dispatch policy
 	stats counters
 
-	mu       sync.Mutex
-	visits   map[names.Name]*visit
-	waiters  map[names.Name]chan *agent.Agent
-	held     map[names.Name]*agent.Agent  // homecomings awaiting an Await call
-	parked   map[names.Name]*parcel       // dead-letter store (deadletter.go)
+	// The server's mutable maps are guarded by four small locks split
+	// along the package's file boundaries, instead of the single
+	// coarse mutex the hosting path used to take several times per
+	// visit. Lock-ordering rule (docs/PROTOCOLS.md §8.5): the only
+	// pair ever nested is visitMu → parkMu (Await and deliverLocal
+	// must check-and-set waiters and held atomically); every other
+	// acquisition is singular. Never take visitMu while holding any of
+	// the others.
+
+	// visitMu guards the hosting state machine (hosting.go).
+	visitMu sync.Mutex
+	visits  map[names.Name]*visit
+	waiters map[names.Name]chan *agent.Agent
+
+	// parkMu guards the delivery backstops (dispatch.go, deadletter.go).
+	parkMu sync.Mutex
+	held   map[names.Name]*agent.Agent // homecomings awaiting an Await call
+	parked map[names.Name]*parcel      // dead-letter store (deadletter.go)
+
+	// finalMu guards the post-visit ledgers (lifecycle accounting).
+	finalMu  sync.Mutex
 	statuses map[names.Name]domain.Status // last known, survives domain removal
 	ledger   map[names.Name]uint64        // owner -> accumulated charges
-	arrivals uint64
+
 }
 
 // visit is one hosted agent's execution context.
@@ -142,13 +163,62 @@ type visit struct {
 	ns      *loader.Namespace
 	env     *vm.Env
 	meter   *vm.Meter
-	handles map[uint64]*resource.Proxy
+	handles map[uint64]*boundResource
 	nextH   uint64
+	// usage accumulates this visit's per-binding accounting locally —
+	// atomic bumps with no database lock — and is flushed into the
+	// domain DB in one batch when the visit finishes (any terminal
+	// path: departure, homecoming, failure, kill; a later dead-letter
+	// parking changes nothing, the flush already happened).
+	usage map[string]*visitUsage
 	// migrate is set by the go host call: destination + entry.
 	migrateDest  names.Name
 	migrateEntry string
 	mailbox      []vm.Value
 	mailMu       sync.Mutex
+}
+
+// boundResource is one live resource handle: the proxy plus the
+// visit-local usage accumulator invocations settle into.
+type boundResource struct {
+	proxy *resource.Proxy
+	usage *visitUsage
+}
+
+// visitUsage is one binding's local usage tally. Counters are atomic so
+// accounting stays exact even if an activity's invocations ever overlap
+// the visit's teardown; the common case is uncontended.
+type visitUsage struct {
+	path        string
+	invocations atomic.Uint64
+	charge      atomic.Uint64
+}
+
+// usageFor returns the visit's accumulator for a resource path,
+// creating it on first bind. Called only on the visit's own activity.
+func (v *visit) usageFor(path string) *visitUsage {
+	if u, ok := v.usage[path]; ok {
+		return u
+	}
+	u := &visitUsage{path: path}
+	v.usage[path] = u
+	return u
+}
+
+// usageBatch snapshots the visit's accumulated usage for FlushUsage.
+func (v *visit) usageBatch() []domain.Usage {
+	if len(v.usage) == 0 {
+		return nil
+	}
+	out := make([]domain.Usage, 0, len(v.usage))
+	for _, u := range v.usage {
+		out = append(out, domain.Usage{
+			ResourcePath: u.path,
+			Invocations:  u.invocations.Load(),
+			Charge:       u.charge.Load(),
+		})
+	}
+	return out
 }
 
 // errMigrate is the sentinel the go host call uses to unwind the VM.
@@ -286,17 +356,17 @@ func (s *Server) AgentStatus(n names.Name) (domain.Status, bool) {
 	if st, ok := s.db.StatusOf(n); ok {
 		return st, true
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.finalMu.Lock()
+	defer s.finalMu.Unlock()
 	st, ok := s.statuses[n]
 	return st, ok
 }
 
 // setFinalStatus records an agent's terminal status.
 func (s *Server) setFinalStatus(n names.Name, st domain.Status) {
-	s.mu.Lock()
+	s.finalMu.Lock()
 	s.statuses[n] = st
-	s.mu.Unlock()
+	s.finalMu.Unlock()
 }
 
 // Kill aborts a hosted agent on behalf of principal `by`: only the
@@ -304,9 +374,9 @@ func (s *Server) setFinalStatus(n names.Name, st domain.Status) {
 // own principal) may control it. The abort takes effect at the agent's
 // next VM instruction; its bindings are revoked immediately.
 func (s *Server) Kill(by names.Name, agentName names.Name) error {
-	s.mu.Lock()
+	s.visitMu.Lock()
 	v, ok := s.visits[agentName]
-	s.mu.Unlock()
+	s.visitMu.Unlock()
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrNoSuchAgent, agentName)
 	}
@@ -326,24 +396,22 @@ func (s *Server) Kill(by names.Name, agentName names.Name) error {
 // Charges reports the accumulated accounting charges billed to an
 // owner across all completed visits.
 func (s *Server) Charges(owner names.Name) uint64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.finalMu.Lock()
+	defer s.finalMu.Unlock()
 	return s.ledger[owner]
 }
 
 // Arrivals reports how many agents this server has hosted.
 func (s *Server) Arrivals() uint64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.arrivals
+	return s.stats.arrivals.Load()
 }
 
 // Describe returns the component inventory of Fig. 1, for the
 // -describe flag of cmd/ajanta-server and the F1 experiment.
 func (s *Server) Describe() string {
-	s.mu.Lock()
+	s.visitMu.Lock()
 	hosted := len(s.visits)
-	s.mu.Unlock()
+	s.visitMu.Unlock()
 	allows, denies := s.secmgr.Stats()
 	st := s.Stats()
 	return fmt.Sprintf(
@@ -361,9 +429,10 @@ func (s *Server) Describe() string {
 		s.cfg.Trusted.Names())
 }
 
-// nextHandle allocates a host handle for a proxy within a visit.
-func (v *visit) nextHandle(p *resource.Proxy) vm.Value {
+// nextHandle allocates a host handle for a bound resource within a
+// visit.
+func (v *visit) nextHandle(br *boundResource) vm.Value {
 	v.nextH++
-	v.handles[v.nextH] = p
+	v.handles[v.nextH] = br
 	return vm.H(v.nextH)
 }

@@ -1,0 +1,226 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/agent"
+	"repro/internal/domain"
+	"repro/internal/names"
+	"repro/internal/policy"
+	"repro/internal/registry"
+	"repro/internal/resource"
+	"repro/internal/retry"
+	"repro/internal/vm"
+)
+
+// TestStressVisitLifecycleLocks exercises the decomposed server locks
+// (visitMu / parkMu / finalMu / netMu — docs/PROTOCOLS.md §8.5) and the
+// sharded domain database under the full concurrent lifecycle mix:
+// agents arriving, binding and invoking a priced resource, departing
+// and coming home, while other goroutines kill visits mid-flight, probe
+// every status surface, and crash/restart the worker so dispatches fall
+// into the dead-letter store and get redelivered. Run under -race (the
+// CI test job runs `go test -race -run Stress ./internal/...`).
+//
+// Invariants: every launched agent reaches home (no lost agents across
+// the lock split), and the owner's ledger equals the charge the
+// successfully returning agents actually incurred — the batched
+// FlushUsage path must not drop or double-bill under kills and crashes.
+func TestStressVisitLifecycleLocks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test skipped in -short mode")
+	}
+	const (
+		launchers       = 4
+		agentsPerWorker = 12
+		invokesPerVisit = 500
+		getCost         = 3
+	)
+	f := newFixture(t)
+	ns := names.NewService()
+	mk := func(short, addr string, rules ...policy.Rule) *Server {
+		cfg := f.config(t, short, addr)
+		cfg.NameService = ns
+		cfg.Retry = retry.Policy{
+			MaxAttempts: 4,
+			BaseDelay:   2 * time.Millisecond,
+			MaxDelay:    20 * time.Millisecond,
+		}
+		cfg.RedeliverEvery = 25 * time.Millisecond
+		for _, r := range rules {
+			cfg.Policy.AddRule(r)
+		}
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Start(); err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	home := mk("home", "home:7000")
+	defer home.Stop()
+	worker := mk("w1", "w1:7000",
+		policy.Rule{AnyPrincipal: true, Resource: "counter", Methods: []string{"*"}})
+	defer worker.Stop()
+
+	var val atomic.Int64
+	def := &resource.Def{
+		ResourceImpl: resource.NewImpl(names.Resource("umn.edu", "counter"),
+			names.Principal("umn.edu", "admin"), ""),
+		Path: "counter",
+		Methods: map[string]resource.Method{
+			"get": func([]vm.Value) (vm.Value, error) { return vm.I(val.Load()), nil },
+		},
+		Costs: map[string]uint64{"get": getCost},
+	}
+	if err := worker.InstallResource(registry.Entry{
+		Name: def.Name, Resource: def, AP: def, OwnerDomain: domain.ServerID,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	src := fmt.Sprintf(`module m
+func main() {
+  var c = get_resource("ajanta:resource:umn.edu/counter")
+  var k = 0
+  while k < %d {
+    invoke(c, "get")
+    k = k + 1
+  }
+  report(1)
+}`, invokesPerVisit)
+
+	tour := agent.Itinerary{Stops: []agent.Stop{
+		{Servers: []names.Name{worker.Name()}, Entry: "main"},
+	}}
+
+	// Chaos alongside the fleet: probers hammer every read surface
+	// (each takes a different lock of the split), a killer aborts
+	// running visits, and the worker crash/restarts once mid-run so
+	// some dispatches park in the dead-letter store and redeliver.
+	stop := make(chan struct{})
+	var chaos sync.WaitGroup
+	chaos.Add(1)
+	go func() { // prober: finalMu (status tombstones, ledger), visitMu, parkMu
+		defer chaos.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for i := 0; i < launchers*agentsPerWorker; i++ {
+				n := names.Agent("umn.edu", fmt.Sprintf("stress-%d", i))
+				_, _ = home.AgentStatus(n)
+				_, _ = worker.AgentStatus(n)
+			}
+			_ = home.Charges(f.owner.Name)
+			_ = worker.Stats()
+			_ = worker.ParkedAgents()
+			_ = home.Describe()
+			_ = worker.Arrivals()
+		}
+	}()
+	var kills atomic.Uint64
+	chaos.Add(1)
+	go func() { // killer: visitMu + domain shard locks against live visits
+		defer chaos.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for i := 0; i < launchers*agentsPerWorker; i++ {
+				n := names.Agent("umn.edu", fmt.Sprintf("stress-%d", i))
+				if err := worker.Kill(f.owner.Name, n); err == nil {
+					kills.Add(1)
+				}
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	crashed := make(chan struct{})
+	chaos.Add(1)
+	go func() { // netMu: one crash/restart while the fleet is in flight
+		defer chaos.Done()
+		defer close(crashed)
+		time.Sleep(20 * time.Millisecond)
+		worker.Crash()
+		time.Sleep(50 * time.Millisecond)
+		if err := worker.Restart(); err != nil {
+			t.Errorf("restart: %v", err)
+		}
+	}()
+
+	// The fleet: launchers concurrently submit, then await, their
+	// agents. Names are globally unique so killer/prober can target
+	// them by index.
+	type outcome struct {
+		name names.Name
+		back *agent.Agent
+	}
+	results := make(chan outcome, launchers*agentsPerWorker)
+	var fleet sync.WaitGroup
+	for l := 0; l < launchers; l++ {
+		fleet.Add(1)
+		go func(l int) {
+			defer fleet.Done()
+			for i := 0; i < agentsPerWorker; i++ {
+				name := fmt.Sprintf("stress-%d", l*agentsPerWorker+i)
+				a := f.agent(t, name, src, tour, "home:7000")
+				ch := home.Await(a.Name)
+				if err := home.LaunchLocal(a); err != nil {
+					t.Errorf("launch %s: %v", name, err)
+					results <- outcome{name: a.Name}
+					continue
+				}
+				select {
+				case back := <-ch:
+					results <- outcome{name: a.Name, back: back}
+				case <-time.After(60 * time.Second):
+					results <- outcome{name: a.Name}
+				}
+			}
+		}(l)
+	}
+	fleet.Wait()
+	close(stop)
+	chaos.Wait()
+	close(results)
+
+	var lost, completed, disrupted int
+	for out := range results {
+		switch {
+		case out.back == nil:
+			lost++
+			t.Errorf("agent %s lost (no homecoming)", out.name)
+		case len(out.back.Results) == 1:
+			completed++
+		default:
+			disrupted++ // killed or failed mid-visit; still came home
+		}
+	}
+	t.Logf("stress: %d completed, %d disrupted, %d lost, %d kills, worker stats %+v",
+		completed, disrupted, lost, kills.Load(), worker.Stats())
+	if completed == 0 {
+		t.Error("no agent completed a full visit — the mix never exercised the happy path")
+	}
+
+	// Ledger integrity: completed agents ran exactly invokesPerVisit
+	// successful calls each; disrupted agents ran between 0 and
+	// invokesPerVisit. Every flushed charge lands on the worker's
+	// ledger for the owner.
+	charges := worker.Charges(f.owner.Name)
+	minWant := uint64(completed * invokesPerVisit * getCost)
+	maxWant := uint64((completed + disrupted) * invokesPerVisit * getCost)
+	if charges < minWant || charges > maxWant {
+		t.Errorf("ledger = %d, want within [%d, %d]", charges, minWant, maxWant)
+	}
+}

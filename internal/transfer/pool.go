@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/agent"
+	"repro/internal/resource"
 )
 
 // ErrPoolClosed is returned by Pool.Send after Close; it is permanent —
@@ -140,8 +141,10 @@ func (p *Pool) checkout(addr string, skipIdle bool) (s *session, reused bool, ge
 			return nil, false, 0, ErrPoolClosed
 		}
 		// Evict expired idles first: they count against the cap and
-		// would otherwise hold a slot a live session could use.
-		now := time.Now()
+		// would otherwise hold a slot a live session could use. Idle
+		// stamps and timeouts are seconds-scale, so the shared coarse
+		// clock is accurate enough.
+		now := resource.CoarseTime()
 		kept := pp.idle[:0]
 		for _, ps := range pp.idle {
 			if now.Sub(ps.idledAt) > p.cfg.IdleTimeout {
@@ -210,7 +213,7 @@ func (p *Pool) checkin(addr string, s *session, gen uint64) {
 		s.release()
 		return
 	}
-	pp.idle = append(pp.idle, &pooledSession{s: s, idledAt: time.Now(), reused: true})
+	pp.idle = append(pp.idle, &pooledSession{s: s, idledAt: resource.CoarseTime(), reused: true})
 	pp.mu.Unlock()
 	pp.cond.Broadcast()
 }
@@ -376,7 +379,7 @@ func (p *Pool) reapLoop() {
 			peers = append(peers, pp)
 		}
 		p.mu.Unlock()
-		now := time.Now()
+		now := resource.CoarseTime()
 		for _, pp := range peers {
 			var dead []*pooledSession
 			pp.mu.Lock()

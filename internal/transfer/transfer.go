@@ -45,6 +45,7 @@ import (
 	"repro/internal/agent"
 	"repro/internal/keys"
 	"repro/internal/names"
+	"repro/internal/resource"
 	"repro/internal/vm/analysis"
 )
 
@@ -265,7 +266,10 @@ func transcriptHash(a, b helloMsg) []byte {
 // deadline does not cancel it.
 func (e *Endpoint) handshake(conn net.Conn, initiator bool, outer time.Time, maxVersion uint8) (*session, error) {
 	if e.HandshakeTimeout > 0 {
-		d := time.Now().Add(e.HandshakeTimeout)
+		// Timeouts here are seconds-scale; the shared coarse clock
+		// (internal/resource/clock.go) is millisecond-accurate, which is
+		// plenty, and avoids a precise clock read per attempt.
+		d := resource.CoarseTime().Add(e.HandshakeTimeout)
 		if !outer.IsZero() && outer.Before(d) {
 			d = outer
 		}
@@ -384,12 +388,13 @@ func (e *Endpoint) handshake(conn net.Conn, initiator bool, outer time.Time, max
 }
 
 // transferDeadline applies TransferTimeout to conn and returns the
-// resulting absolute deadline (zero when the timeout is unset).
+// resulting absolute deadline (zero when the timeout is unset). Like
+// every transfer deadline it is computed on the shared coarse clock.
 func (e *Endpoint) transferDeadline(conn net.Conn) time.Time {
 	if e.TransferTimeout <= 0 {
 		return time.Time{}
 	}
-	d := time.Now().Add(e.TransferTimeout)
+	d := resource.CoarseTime().Add(e.TransferTimeout)
 	_ = conn.SetDeadline(d)
 	return d
 }
@@ -472,7 +477,7 @@ func (s *session) readPayload(idleWait bool, exchange time.Duration) ([]byte, er
 		return nil, err
 	}
 	if idleWait && exchange > 0 {
-		_ = s.conn.SetDeadline(time.Now().Add(exchange))
+		_ = s.conn.SetDeadline(resource.CoarseTime().Add(exchange))
 	}
 	n := binary.BigEndian.Uint32(lenBuf[:])
 	if n > MaxFrame {
@@ -570,7 +575,7 @@ func (e *Endpoint) exchange(s *session, a *agent.Agent) error {
 // so the session can idle in the pool.
 func (e *Endpoint) sendOn(s *session, a *agent.Agent) error {
 	if e.TransferTimeout > 0 {
-		_ = s.conn.SetDeadline(time.Now().Add(e.TransferTimeout))
+		_ = s.conn.SetDeadline(resource.CoarseTime().Add(e.TransferTimeout))
 	}
 	if err := e.exchange(s, a); err != nil {
 		return err
