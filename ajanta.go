@@ -49,6 +49,7 @@ package ajanta
 import (
 	"time"
 
+	"repro/internal/admission"
 	"repro/internal/agent"
 	"repro/internal/core"
 	"repro/internal/cred"
@@ -88,6 +89,16 @@ type (
 	Rule = policy.Rule
 	// Quota bounds resource usage per binding.
 	Quota = policy.Quota
+	// Tier is one admission tier: per-principal rate limit,
+	// concurrent-visit cap and fuel quota applied at the arrival gate
+	// (docs/PROTOCOLS.md §3.3).
+	Tier = policy.Tier
+	// TierAssignment maps a principal (or group, or everyone) to a
+	// tier by name.
+	TierAssignment = policy.TierAssignment
+	// PolicyDocument is a parsed policy file: rules plus admission
+	// tier configuration (ParsePolicy).
+	PolicyDocument = policy.Document
 	// RightSet is a set of delegated rights carried in credentials.
 	RightSet = cred.RightSet
 	// Right is one "resource.method" permission.
@@ -150,7 +161,24 @@ func NewPolicyEngine() *PolicyEngine { return policy.NewEngine() }
 // internal/policy.ParseRules):
 //
 //	allow|deny <subject> <resource> <methods> [quota=N] [charge=N] [ttl=DUR]
+//
+// It rejects files containing tier configuration; use ParsePolicy for
+// the full format.
 func ParseRules(text string) ([]Rule, error) { return policy.ParseRules(text) }
+
+// ParsePolicy reads the full textual policy format — rules plus
+// admission tiers and assignments (docs/PROTOCOLS.md §5):
+//
+//	allow|deny <subject> <resource> <methods> [quota=N] [charge=N] [ttl=DUR]
+//	tier <name> [rate=R] [burst=N] [concurrent=N] [fuel=N]
+//	assign <subject> <tier-name>
+func ParsePolicy(text string) (*PolicyDocument, error) { return policy.ParsePolicy(text) }
+
+// ErrShed marks an arrival refused by the admission gate because the
+// owner's tier is over its rate or concurrency limit. Sheds are
+// transient to the dispatch retry machinery and carry a retry-after
+// hint (docs/PROTOCOLS.md §3.3).
+var ErrShed = admission.ErrShed
 
 // NewCA creates a certification-authority registry for standalone
 // (non-Platform) embedding.

@@ -15,6 +15,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/admission"
 	"repro/internal/agent"
 	"repro/internal/asl"
 	"repro/internal/baseline"
@@ -1002,5 +1003,77 @@ func main() {
 				b.Fatal("denied agent reported results")
 			}
 		}
+	})
+}
+
+// BenchmarkC13_AdmissionStorm measures the tier admission gate under a
+// 16-goroutine arrival storm (experiment C13, EXPERIMENTS.md): the
+// untiered fast path (one snapshot load, no bucket), the tiered
+// under-limit path (bucket op that conforms), and an over-limit storm
+// where most arrivals shed. The shed/op metric is the observed shed
+// rate; ns/op is the admit decision latency under contention.
+func BenchmarkC13_AdmissionStorm(b *testing.B) {
+	owner := names.Principal("bench.org", "storm")
+	mkGate := func(tiers ...policy.Tier) *admission.Gate {
+		eng := policy.NewEngine()
+		var assigns []policy.TierAssignment
+		if len(tiers) > 0 {
+			assigns = []policy.TierAssignment{{AnyPrincipal: true, Tier: tiers[0].Name}}
+		}
+		eng.SetTierConfig(tiers, assigns)
+		return admission.NewGate(eng, nil)
+	}
+	// storm fans b.N admits over 16 goroutines spread across nKeys
+	// principal buckets and returns the shed count.
+	storm := func(b *testing.B, g *admission.Gate, nKeys int) uint64 {
+		const workers = 16
+		var shed atomic.Uint64
+		var wg sync.WaitGroup
+		per := b.N / workers
+		for w := 0; w < workers; w++ {
+			n := per
+			if w == 0 {
+				n += b.N % workers
+			}
+			var key cred.Digest
+			key[0] = byte(w % nKeys)
+			wg.Add(1)
+			go func(key cred.Digest, n int) {
+				defer wg.Done()
+				for i := 0; i < n; i++ {
+					tk, err := g.Admit(owner, key)
+					if err != nil {
+						shed.Add(1)
+						continue
+					}
+					tk.Release()
+				}
+			}(key, n)
+		}
+		wg.Wait()
+		return shed.Load()
+	}
+	b.Run("untiered-fast-path", func(b *testing.B) {
+		g := mkGate()
+		b.ReportAllocs()
+		b.ResetTimer()
+		sheds := storm(b, g, 16)
+		b.ReportMetric(float64(sheds)/float64(b.N), "shed/op")
+	})
+	b.Run("tiered-under-limit", func(b *testing.B) {
+		g := mkGate(policy.Tier{Name: "fast", Rate: 1e12, Burst: 1e9, MaxConcurrent: 64})
+		b.ReportAllocs()
+		b.ResetTimer()
+		sheds := storm(b, g, 16)
+		b.ReportMetric(float64(sheds)/float64(b.N), "shed/op")
+	})
+	b.Run("storm-mostly-shed", func(b *testing.B) {
+		// One shared bucket, 1k/s: past the initial burst nearly every
+		// arrival sheds — the decision must stay O(one bucket op).
+		g := mkGate(policy.Tier{Name: "slow", Rate: 1000, Burst: 16})
+		b.ReportAllocs()
+		b.ResetTimer()
+		sheds := storm(b, g, 1)
+		b.ReportMetric(float64(sheds)/float64(b.N), "shed/op")
 	})
 }

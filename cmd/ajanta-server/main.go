@@ -123,11 +123,13 @@ func runServer(authority, name, addr, caOut, caIn, peers, policyFile string, cou
 		if err != nil {
 			fatal(err)
 		}
-		rules, err := ajanta.ParseRules(string(text))
+		doc, err := ajanta.ParsePolicy(string(text))
 		if err != nil {
 			fatal(err)
 		}
-		cfg.Rules = rules
+		cfg.Rules = doc.Rules
+		cfg.Tiers = doc.Tiers
+		cfg.TierAssignments = doc.Assignments
 	}
 	if counter {
 		cfg.Rules = append(cfg.Rules,

@@ -1,0 +1,127 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/admission"
+	"repro/internal/cred"
+	"repro/internal/names"
+	"repro/internal/policy"
+)
+
+// c13Result is one row of BENCH_admission.json: the admission gate's
+// decision latency distribution and shed rate for one storm scenario.
+type c13Result struct {
+	Scenario   string  `json:"scenario"` // untiered | tiered_under_limit | storm
+	Goroutines int     `json:"goroutines"`
+	Ops        int     `json:"ops"`
+	ShedRate   float64 `json:"shed_rate"`
+	P50Ns      float64 `json:"p50_ns"`
+	P99Ns      float64 `json:"p99_ns"`
+	NsPerOp    float64 `json:"ns_per_op"`
+}
+
+// tableC13 measures the admission gate under arrival storms
+// (experiment C13): 16 goroutines hammer Admit for each scenario and
+// every decision is individually timed, giving the p50/p99 admit
+// latency and the observed shed rate. When jsonPath is non-empty the
+// rows are written there (the CI bench job uploads this file as the
+// BENCH_admission artifact).
+func tableC13(jsonPath string) {
+	const (
+		workers   = 16
+		perWorker = 20000
+	)
+	owner := names.Principal("umn.edu", "storm")
+
+	scenarios := []struct {
+		name  string
+		tiers []policy.Tier
+		nKeys int // distinct principal buckets across the workers
+	}{
+		{"untiered", nil, workers},
+		{"tiered_under_limit",
+			[]policy.Tier{{Name: "fast", Rate: 1e12, Burst: 1e9, MaxConcurrent: 64}}, workers},
+		{"storm",
+			[]policy.Tier{{Name: "slow", Rate: 1000, Burst: 16}}, 1},
+	}
+
+	fmt.Println("C13: admission storm — gate decision latency and shed rate (16 goroutines)")
+	fmt.Printf("  %-20s %10s %10s %12s %12s\n", "scenario", "ops", "shed", "p50 ns", "p99 ns")
+	var results []c13Result
+	for _, sc := range scenarios {
+		eng := policy.NewEngine()
+		if len(sc.tiers) > 0 {
+			eng.SetTierConfig(sc.tiers,
+				[]policy.TierAssignment{{AnyPrincipal: true, Tier: sc.tiers[0].Name}})
+		}
+		gate := admission.NewGate(eng, nil)
+
+		lat := make([][]time.Duration, workers)
+		sheds := make([]int, workers)
+		var wg sync.WaitGroup
+		start := time.Now()
+		for w := 0; w < workers; w++ {
+			lat[w] = make([]time.Duration, perWorker)
+			var key cred.Digest
+			key[0] = byte(w % sc.nKeys)
+			wg.Add(1)
+			go func(w int, key cred.Digest) {
+				defer wg.Done()
+				for i := 0; i < perWorker; i++ {
+					t0 := time.Now()
+					tk, err := gate.Admit(owner, key)
+					lat[w][i] = time.Since(t0)
+					if err != nil {
+						sheds[w]++
+						continue
+					}
+					tk.Release()
+				}
+			}(w, key)
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+
+		all := make([]time.Duration, 0, workers*perWorker)
+		shed := 0
+		for w := 0; w < workers; w++ {
+			all = append(all, lat[w]...)
+			shed += sheds[w]
+		}
+		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+		pct := func(p float64) float64 {
+			i := int(p * float64(len(all)-1))
+			return float64(all[i].Nanoseconds())
+		}
+		row := c13Result{
+			Scenario:   sc.name,
+			Goroutines: workers,
+			Ops:        len(all),
+			ShedRate:   float64(shed) / float64(len(all)),
+			P50Ns:      pct(0.50),
+			P99Ns:      pct(0.99),
+			NsPerOp:    float64(elapsed.Nanoseconds()) / float64(len(all)),
+		}
+		results = append(results, row)
+		fmt.Printf("  %-20s %10d %9.1f%% %12.0f %12.0f\n",
+			row.Scenario, row.Ops, row.ShedRate*100, row.P50Ns, row.P99Ns)
+	}
+	fmt.Println()
+
+	if jsonPath != "" {
+		blob, err := json.MarshalIndent(results, "", "  ")
+		if err != nil {
+			panic(err)
+		}
+		if err := os.WriteFile(jsonPath, append(blob, '\n'), 0o644); err != nil {
+			panic(err)
+		}
+		fmt.Printf("  wrote %s (%d rows)\n\n", jsonPath, len(results))
+	}
+}

@@ -33,8 +33,8 @@ import (
 )
 
 func main() {
-	only := flag.String("only", "", "run a single experiment: c1, c2, c3, c4, c6, c8, c12, vm")
-	jsonOut := flag.String("json", "", "write the selected experiment's results to this JSON file (c8 → BENCH_access.json rows; -only c12 → BENCH_scaling.json rows)")
+	only := flag.String("only", "", "run a single experiment: c1, c2, c3, c4, c6, c8, c12, c13, vm")
+	jsonOut := flag.String("json", "", "write the selected experiment's results to this JSON file (c8 → BENCH_access.json rows; -only c12 → BENCH_scaling.json rows; -only c13 → BENCH_admission.json rows)")
 	flag.Parse()
 	run := func(name string, f func()) {
 		if *only == "" || *only == name {
@@ -56,6 +56,15 @@ func main() {
 			path = *jsonOut
 		}
 		tableC12(path)
+	})
+	run("c13", func() {
+		// Same shared-path convention as c12: only claim -json when c13
+		// was selected explicitly.
+		path := ""
+		if *only == "c13" {
+			path = *jsonOut
+		}
+		tableC13(path)
 	})
 	run("vm", tableVM)
 }

@@ -1,0 +1,266 @@
+// Package admission is the server's overload throttle: policy-driven
+// ingress control applied at the arrival gate, before an agent's bundle
+// is analyzed or a VM starts. The paper's access-control model admits
+// every agent and then checks each access; at scale the gate itself
+// must be the throttle point, or a burst of agents from one principal
+// starves everyone and overload turns into lost agents.
+//
+// The Gate enforces the admission tiers carried by the policy engine
+// (policy.Tier): a per-principal sustained rate with a burst allowance,
+// a per-principal concurrent-visit cap, and an optional per-visit fuel
+// quota. Limits are keyed by cred.Digest — the (owner, effective
+// rights) digest — so all agents of one owner with the same delegated
+// rights share one bucket, and a delegation that narrows rights starts
+// a fresh one.
+//
+// Design constraints, in order:
+//
+//   - The admit path takes no locks. Tier resolution is a lock-free
+//     read of the policy engine's copy-on-write snapshot; the bucket
+//     map is a sharded sync.Map (Load is lock-free for present keys);
+//     the rate decision is one CAS on the bucket's atomic state; the
+//     concurrency decision is one atomic add. A tier hot-reload
+//     publishes a new snapshot and bumps the epoch — in-flight
+//     admissions never block, the next admission sees the new limits.
+//
+//   - Shedding is cheap and actionable. An over-limit arrival costs
+//     O(one atomic read + one bucket op) and produces a *ShedError
+//     carrying a retry-after hint, which travels back over the transfer
+//     protocol, is classified transient by internal/retry, and lands in
+//     the sender's backoff/dead-letter machinery — shed agents back off
+//     and retry rather than vanish.
+//
+// The rate limiter is GCRA (the ATM Generic Cell Rate Algorithm, the
+// lock-free formulation of a token bucket): each bucket stores a single
+// theoretical-arrival-time (TAT) in an atomic int64 of unix
+// nanoseconds. For a tier with rate R and burst B, the emission
+// interval is T = 1s/R and the burst tolerance τ = (B-1)·T; an arrival
+// at time `now` conforms iff TAT - now ≤ τ, and on conformance the
+// bucket advances TAT ← max(TAT, now) + T with one CAS. A shed arrival
+// writes nothing and its retry-after hint is exactly when it would next
+// conform: (TAT - τ) - now.
+package admission
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cred"
+	"repro/internal/names"
+	"repro/internal/policy"
+)
+
+// ErrShed marks a load-shedding rejection: the receiving server is
+// over the arriving principal's tier limits right now. It is transient
+// by contract — the default retry classifier retries it, unlike
+// transfer.ErrRejected — and usually wrapped in a *ShedError carrying
+// the retry-after hint.
+var ErrShed = errors.New("admission: shed (over tier limit, retry later)")
+
+// ShedError is the typed shed response. It wraps ErrShed (errors.Is
+// matches) and exposes the receiver's retry-after hint through
+// RetryAfterHint, which internal/retry honours when scheduling the
+// backoff.
+type ShedError struct {
+	// Tier names the tier whose limit fired (empty when the sender
+	// reconstructed the error from the wire and the receiver did not
+	// say).
+	Tier string
+	// Cause is "rate" or "concurrency" on the receiver; free text when
+	// reconstructed from the wire.
+	Cause string
+	// RetryAfter is the receiver's hint for when the next attempt can
+	// conform; zero means no hint.
+	RetryAfter time.Duration
+}
+
+// Error implements error.
+func (e *ShedError) Error() string {
+	msg := ErrShed.Error()
+	if e.Tier != "" || e.Cause != "" {
+		msg = fmt.Sprintf("admission: shed (tier %q over %s limit)", e.Tier, e.Cause)
+	}
+	if e.RetryAfter > 0 {
+		msg = fmt.Sprintf("%s: retry after %v", msg, e.RetryAfter)
+	}
+	return msg
+}
+
+// Unwrap lets errors.Is(err, ErrShed) match.
+func (e *ShedError) Unwrap() error { return ErrShed }
+
+// RetryAfterHint implements the hint interface internal/retry probes
+// with errors.As: the backoff before the next attempt is at least this.
+func (e *ShedError) RetryAfterHint() time.Duration { return e.RetryAfter }
+
+// Ticket is an admitted arrival's receipt. It carries the per-visit
+// quota the tier imposes and, for tiers with a concurrency cap, the
+// obligation to Release when the visit reaches a terminal state.
+// Release is idempotent. A nil *Ticket is valid and releases nothing
+// (untiered arrivals).
+type Ticket struct {
+	// Tier is the name of the tier that admitted the agent.
+	Tier string
+	// Fuel, when non-zero, caps the visit's instruction budget below
+	// the server default.
+	Fuel uint64
+
+	slot     *bucket
+	released atomic.Bool
+}
+
+// Release returns the arrival's concurrency slot. Safe to call more
+// than once and on nil.
+func (t *Ticket) Release() {
+	if t == nil || t.slot == nil {
+		return
+	}
+	if t.released.CompareAndSwap(false, true) {
+		t.slot.inflight.Add(-1)
+	}
+}
+
+// bucket is one principal key's admission state: the GCRA TAT and the
+// concurrent-visit gauge. Buckets are created on a key's first arrival
+// and reused for its lifetime; tier parameters are NOT stored here —
+// they are read from the policy snapshot per arrival, so a tier reload
+// needs no bucket rebuild.
+type bucket struct {
+	tat      atomic.Int64 // GCRA theoretical arrival time, unix nanos
+	inflight atomic.Int64 // concurrent admitted visits
+}
+
+// take runs one GCRA conformance decision at time now (unix nanos) for
+// emission interval t and tolerance tau (both nanos). On conformance it
+// advances the TAT with a CAS and returns ok; on shed it returns the
+// wait until the arrival would conform.
+func (b *bucket) take(now, t, tau int64) (retryAfter time.Duration, ok bool) {
+	for {
+		tat := b.tat.Load()
+		if tat-now > tau {
+			return time.Duration(tat - tau - now), false
+		}
+		next := tat
+		if now > next {
+			next = now
+		}
+		if b.tat.CompareAndSwap(tat, next+t) {
+			return 0, true
+		}
+	}
+}
+
+// shardCount is the bucket-map shard fan-out. Shards only reduce
+// sync.Map write contention when many new keys arrive at once; reads
+// are lock-free regardless.
+const shardCount = 32
+
+// Stats is a snapshot of the gate's lifetime counters.
+type Stats struct {
+	// Admitted counts arrivals that passed the gate (tiered or not).
+	Admitted uint64
+	// ShedRate counts arrivals shed by a tier's rate limit.
+	ShedRate uint64
+	// ShedConcurrency counts arrivals shed by a tier's concurrent-visit
+	// cap.
+	ShedConcurrency uint64
+}
+
+// Shed is the total arrivals shed for any cause.
+func (s Stats) Shed() uint64 { return s.ShedRate + s.ShedConcurrency }
+
+// Gate applies the policy engine's admission tiers at a server's
+// arrival gate. One Gate per server; safe for concurrent use with zero
+// locks on the admit path.
+type Gate struct {
+	pol    *policy.Engine
+	now    func() time.Time     // test seam; defaults to time.Now
+	shards [shardCount]sync.Map // cred.Digest -> *bucket
+
+	admitted atomic.Uint64
+	shedRate atomic.Uint64
+	shedConc atomic.Uint64
+}
+
+// NewGate builds a gate over the policy engine's tier configuration.
+// now is the clock used for rate decisions; nil means time.Now.
+// (Rate windows can be sub-millisecond at high tiers, so the gate does
+// not use the coarse clock.)
+func NewGate(pol *policy.Engine, now func() time.Time) *Gate {
+	if now == nil {
+		now = time.Now
+	}
+	return &Gate{pol: pol, now: now}
+}
+
+// bucketFor returns the bucket for a key, creating it on first arrival.
+// The Load fast path is lock-free; LoadOrStore allocates only on a
+// key's first arrival ever.
+func (g *Gate) bucketFor(key cred.Digest) *bucket {
+	shard := &g.shards[int(key[0])%shardCount]
+	if v, ok := shard.Load(key); ok {
+		return v.(*bucket)
+	}
+	v, _ := shard.LoadOrStore(key, &bucket{})
+	return v.(*bucket)
+}
+
+// Admit runs the tier admission decision for an arriving agent's owner
+// and credentials digest. Untiered owners are admitted with a nil
+// ticket and no bucket state. Tiered owners pay one atomic add
+// (concurrency cap) and one CAS (rate); over-limit arrivals get a
+// *ShedError with a retry-after hint. The returned ticket must be
+// Released when the visit terminates (nil-safe).
+func (g *Gate) Admit(owner names.Name, key cred.Digest) (*Ticket, error) {
+	tier, ok := g.pol.TierFor(owner)
+	if !ok {
+		g.admitted.Add(1)
+		return nil, nil
+	}
+	tk := &Ticket{Tier: tier.Name, Fuel: tier.Fuel}
+	var b *bucket
+	if tier.MaxConcurrent > 0 || tier.Rate > 0 {
+		b = g.bucketFor(key)
+	}
+	if tier.MaxConcurrent > 0 {
+		if n := b.inflight.Add(1); n > int64(tier.MaxConcurrent) {
+			b.inflight.Add(-1)
+			g.shedConc.Add(1)
+			// No natural completion time is known for a full house;
+			// suggest a modest pause rather than an immediate re-slam.
+			return nil, &ShedError{Tier: tier.Name, Cause: "concurrency", RetryAfter: concurrencyRetryAfter}
+		}
+		tk.slot = b
+	}
+	if tier.Rate > 0 {
+		t := int64(float64(time.Second) / tier.Rate)
+		burst := tier.Burst
+		if burst < 1 {
+			burst = 1
+		}
+		tau := int64(float64(t) * (burst - 1))
+		if retryAfter, ok := b.take(g.now().UnixNano(), t, tau); !ok {
+			tk.Release() // give back the concurrency slot, if any
+			g.shedRate.Add(1)
+			return nil, &ShedError{Tier: tier.Name, Cause: "rate", RetryAfter: retryAfter}
+		}
+	}
+	g.admitted.Add(1)
+	return tk, nil
+}
+
+// concurrencyRetryAfter is the hint attached to concurrency-cap sheds,
+// where the gate cannot compute when a slot frees up.
+const concurrencyRetryAfter = 50 * time.Millisecond
+
+// Stats returns the gate's counters.
+func (g *Gate) Stats() Stats {
+	return Stats{
+		Admitted:        g.admitted.Load(),
+		ShedRate:        g.shedRate.Load(),
+		ShedConcurrency: g.shedConc.Load(),
+	}
+}

@@ -1,0 +1,283 @@
+package admission
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/cred"
+	"repro/internal/names"
+	"repro/internal/policy"
+)
+
+func dig(b byte) cred.Digest {
+	var d cred.Digest
+	d[0] = b
+	return d
+}
+
+var (
+	alice = names.Principal("umn.edu", "alice")
+	bob   = names.Principal("umn.edu", "bob")
+)
+
+// fakeClock is a settable test clock.
+type fakeClock struct{ ns atomic.Int64 }
+
+func (c *fakeClock) now() time.Time          { return time.Unix(0, c.ns.Load()) }
+func (c *fakeClock) advance(d time.Duration) { c.ns.Add(int64(d)) }
+
+func tieredEngine(t policy.Tier, assigns ...policy.TierAssignment) *policy.Engine {
+	e := policy.NewEngine()
+	e.SetTierConfig([]policy.Tier{t}, assigns)
+	return e
+}
+
+func TestUntieredOwnerAdmitsFreely(t *testing.T) {
+	g := NewGate(policy.NewEngine(), nil)
+	for i := 0; i < 100; i++ {
+		tk, err := g.Admit(alice, dig(1))
+		if err != nil {
+			t.Fatalf("untiered admit %d: %v", i, err)
+		}
+		if tk != nil {
+			t.Fatal("untiered admit returned a ticket")
+		}
+	}
+	if st := g.Stats(); st.Admitted != 100 || st.Shed() != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestRateLimitBurstThenShed(t *testing.T) {
+	clk := &fakeClock{}
+	clk.advance(time.Hour) // away from zero
+	e := tieredEngine(
+		policy.Tier{Name: "bronze", Rate: 10, Burst: 4},
+		policy.TierAssignment{AnyPrincipal: true, Tier: "bronze"},
+	)
+	g := NewGate(e, clk.now)
+
+	// Burst allowance: exactly Burst back-to-back admissions from idle.
+	for i := 0; i < 4; i++ {
+		if _, err := g.Admit(alice, dig(1)); err != nil {
+			t.Fatalf("burst admit %d shed: %v", i, err)
+		}
+	}
+	_, err := g.Admit(alice, dig(1))
+	if err == nil {
+		t.Fatal("burst+1 admitted")
+	}
+	if !errors.Is(err, ErrShed) {
+		t.Fatalf("shed error does not match ErrShed: %v", err)
+	}
+	var shed *ShedError
+	if !errors.As(err, &shed) {
+		t.Fatalf("shed error is not a *ShedError: %v", err)
+	}
+	// GCRA: the first post-burst conformance is one emission interval
+	// (1s/10 = 100ms) away.
+	if want := 100 * time.Millisecond; shed.RetryAfter != want {
+		t.Fatalf("retry-after hint = %v, want %v", shed.RetryAfter, want)
+	}
+	if shed.Cause != "rate" || shed.Tier != "bronze" {
+		t.Fatalf("shed = %+v", shed)
+	}
+
+	// Waiting out the hint makes the next arrival conform.
+	clk.advance(shed.RetryAfter)
+	if _, err := g.Admit(alice, dig(1)); err != nil {
+		t.Fatalf("post-hint admit shed: %v", err)
+	}
+
+	// A different principal key has its own bucket.
+	if _, err := g.Admit(bob, dig(2)); err != nil {
+		t.Fatalf("independent key shed: %v", err)
+	}
+}
+
+func TestConcurrencyCapAndRelease(t *testing.T) {
+	e := tieredEngine(
+		policy.Tier{Name: "visitors", MaxConcurrent: 2},
+		policy.TierAssignment{AnyPrincipal: true, Tier: "visitors"},
+	)
+	g := NewGate(e, nil)
+
+	t1, err := g.Admit(alice, dig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := g.Admit(alice, dig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = g.Admit(alice, dig(1))
+	var shed *ShedError
+	if !errors.As(err, &shed) || shed.Cause != "concurrency" {
+		t.Fatalf("third concurrent visit: got %v, want concurrency shed", err)
+	}
+	if shed.RetryAfter <= 0 {
+		t.Fatal("concurrency shed carries no retry-after hint")
+	}
+
+	// Release is idempotent and frees exactly one slot.
+	t1.Release()
+	t1.Release()
+	if _, err := g.Admit(alice, dig(1)); err != nil {
+		t.Fatalf("admit after one release: %v", err)
+	}
+	if _, err := g.Admit(alice, dig(1)); err == nil {
+		t.Fatal("double release freed two slots")
+	}
+	t2.Release()
+
+	// A nil ticket releases nothing and does not panic.
+	var nilTicket *Ticket
+	nilTicket.Release()
+}
+
+func TestTierFuelRidesTicket(t *testing.T) {
+	e := tieredEngine(
+		policy.Tier{Name: "cheap", Fuel: 1234, MaxConcurrent: 8},
+		policy.TierAssignment{Principal: alice, Tier: "cheap"},
+	)
+	g := NewGate(e, nil)
+	tk, err := g.Admit(alice, dig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tk == nil || tk.Fuel != 1234 || tk.Tier != "cheap" {
+		t.Fatalf("ticket = %+v", tk)
+	}
+	tk.Release()
+	// bob has no assignment: untiered.
+	if tk, err := g.Admit(bob, dig(2)); err != nil || tk != nil {
+		t.Fatalf("unassigned owner: %v %v", tk, err)
+	}
+}
+
+func TestGroupAssignment(t *testing.T) {
+	faculty := names.Group("umn.edu", "faculty")
+	e := policy.NewEngine()
+	e.DefineGroup(faculty, alice)
+	e.SetTierConfig(
+		[]policy.Tier{{Name: "gold", MaxConcurrent: 1}},
+		[]policy.TierAssignment{{Principal: faculty, Tier: "gold"}},
+	)
+	g := NewGate(e, nil)
+	tk, err := g.Admit(alice, dig(1))
+	if err != nil || tk == nil || tk.Tier != "gold" {
+		t.Fatalf("group member: %v %v", tk, err)
+	}
+	tk.Release()
+	if tk, err := g.Admit(bob, dig(2)); err != nil || tk != nil {
+		t.Fatalf("non-member: %v %v", tk, err)
+	}
+}
+
+// TestTierHotReloadEpoch asserts the tentpole's epoch-propagation
+// property: a tier change published through the COW policy engine takes
+// effect on the next admission, bumps the policy epoch, and never
+// blocks or wedges admissions issued concurrently with the reload.
+func TestTierHotReloadEpoch(t *testing.T) {
+	clk := &fakeClock{}
+	clk.advance(time.Hour)
+	e := tieredEngine(
+		policy.Tier{Name: "t", Rate: 1, Burst: 1},
+		policy.TierAssignment{AnyPrincipal: true, Tier: "t"},
+	)
+	g := NewGate(e, clk.now)
+
+	if _, err := g.Admit(alice, dig(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Admit(alice, dig(1)); err == nil {
+		t.Fatal("rate=1 admitted twice at one instant")
+	}
+
+	before := e.Epoch()
+	// Hot reload: widen the tier. No gate surgery, no bucket rebuild —
+	// the next admission reads the new snapshot. (The old bucket's TAT
+	// is one emission interval of the OLD rate ahead; advance past it so
+	// the new burst window opens cleanly.)
+	e.SetTierConfig(
+		[]policy.Tier{{Name: "t", Rate: 1000, Burst: 100}},
+		[]policy.TierAssignment{{AnyPrincipal: true, Tier: "t"}},
+	)
+	if e.Epoch() != before+1 {
+		t.Fatalf("tier reload did not bump the policy epoch: %d -> %d", before, e.Epoch())
+	}
+	clk.advance(time.Second)
+	for i := 0; i < 50; i++ {
+		if _, err := g.Admit(alice, dig(1)); err != nil {
+			t.Fatalf("post-reload admit %d shed: %v", i, err)
+		}
+	}
+}
+
+// TestStressAdmitDuringHotReload hammers Admit from many goroutines
+// while another goroutine hot-reloads the tier configuration the whole
+// time. Run under -race this is the satellite's required stress test:
+// the admit path and the COW reload share no locks, so the race
+// detector is the arbiter of their interleavings.
+func TestStressAdmitDuringHotReload(t *testing.T) {
+	e := tieredEngine(
+		policy.Tier{Name: "t", Rate: 1e6, Burst: 1e6, MaxConcurrent: 1 << 30},
+		policy.TierAssignment{AnyPrincipal: true, Tier: "t"},
+	)
+	g := NewGate(e, nil)
+
+	stop := make(chan struct{})
+	var reloads sync.WaitGroup
+	reloads.Add(1)
+	go func() {
+		defer reloads.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			// Alternate tier shapes, including dropping the assignment
+			// entirely (untiered window) and a zero-limit tier.
+			switch i % 3 {
+			case 0:
+				e.SetTierConfig(
+					[]policy.Tier{{Name: "t", Rate: 1e6, Burst: 1e6, MaxConcurrent: 1 << 30}},
+					[]policy.TierAssignment{{AnyPrincipal: true, Tier: "t"}},
+				)
+			case 1:
+				e.SetTierConfig([]policy.Tier{{Name: "t", MaxConcurrent: 4}},
+					[]policy.TierAssignment{{AnyPrincipal: true, Tier: "t"}})
+			case 2:
+				e.SetTierConfig(nil, nil)
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				tk, err := g.Admit(alice, dig(byte(w)))
+				if err != nil {
+					var shed *ShedError
+					if !errors.As(err, &shed) {
+						t.Errorf("non-shed admission error: %v", err)
+						return
+					}
+					continue
+				}
+				tk.Release()
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	reloads.Wait()
+}

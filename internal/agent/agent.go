@@ -125,6 +125,24 @@ type Agent struct {
 	// policy before any VM starts. Nil on agents built before the
 	// analyzer existed; admission then computes one on the spot.
 	Manifest *analysis.Manifest
+
+	// hostState carries server-side per-arrival state (the admission
+	// ticket) from the arrival gate to the hosting loop, which run on
+	// different call paths but share this pointer. Unexported, so gob
+	// never serializes it: host-side state must not travel.
+	hostState any
+}
+
+// SetHostState attaches server-side arrival state; TakeHostState
+// removes and returns it. Both are called on a single goroutine's
+// admit→host path, never concurrently.
+func (a *Agent) SetHostState(v any) { a.hostState = v }
+
+// TakeHostState returns the attached state and clears it.
+func (a *Agent) TakeHostState() any {
+	v := a.hostState
+	a.hostState = nil
+	return v
 }
 
 // ErrNoCode is returned when constructing an agent without modules.

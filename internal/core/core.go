@@ -98,6 +98,11 @@ type ServerConfig struct {
 	MaxAgents int
 	// Rules seed the server's security policy.
 	Rules []policy.Rule
+	// Tiers and TierAssignments seed the admission-tier configuration
+	// (per-principal rate limiting, concurrent-visit caps and fuel
+	// quotas at the arrival gate — PROTOCOLS.md §3.3).
+	Tiers           []policy.Tier
+	TierAssignments []policy.TierAssignment
 	// TrustedSources are ASL sources compiled into the server's
 	// trusted module set (the local class path).
 	TrustedSources []string
@@ -130,6 +135,9 @@ func (p *Platform) StartServer(shortName, addr string, sc ServerConfig) (*server
 	}
 	eng := policy.NewEngine()
 	eng.SetRules(sc.Rules)
+	if len(sc.Tiers) > 0 || len(sc.TierAssignments) > 0 {
+		eng.SetTierConfig(sc.Tiers, sc.TierAssignments)
+	}
 
 	cfg := server.Config{
 		Identity:                id,

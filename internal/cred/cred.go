@@ -3,6 +3,7 @@ package cred
 import (
 	"bytes"
 	"crypto/ed25519"
+	"crypto/sha256"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -231,4 +232,28 @@ func (c *Credentials) Verify(v keys.Verifier, at time.Time) error {
 // Verify first; Permits is pure policy arithmetic.
 func (c *Credentials) Permits(r Right) bool {
 	return c.EffectiveRights().Permits(r)
+}
+
+// Digest identifies a credential chain by what a policy decision (or an
+// admission tier) actually depends on: the owner principal and the
+// effective (post-delegation) right set. Two agents of the same owner
+// carrying the same delegated rights share a digest; a delegation link
+// that narrows the rights changes it.
+type Digest [sha256.Size]byte
+
+// IsZero reports whether the digest is unset.
+func (d Digest) IsZero() bool { return d == Digest{} }
+
+// Digest returns the credential-semantics digest: SHA-256 over the
+// owner name and the effective right set (length-prefixed fields, so
+// adjacent values cannot collide). It is stable across hops — servers
+// that merely forward the agent leave it unchanged — and changes
+// exactly when a delegation link narrows the rights. Both the policy
+// decision cache and the admission rate limiter key on it: the grant
+// and the tier depend on nothing else about the chain.
+func (c *Credentials) Digest() Digest {
+	var b bytes.Buffer
+	writeField(&b, []byte(c.Owner.String()))
+	writeField(&b, []byte(c.EffectiveRights().String()))
+	return sha256.Sum256(b.Bytes())
 }

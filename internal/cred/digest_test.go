@@ -1,0 +1,85 @@
+package cred
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/names"
+)
+
+// The digest keys the policy decision cache and the admission rate
+// limiter, so its stability properties are load-bearing: stable across
+// hops, shared across agents of one owner with the same rights, changed
+// by any delegation that narrows the rights.
+
+func TestDigestStableAcrossHops(t *testing.T) {
+	f := newFixture(t)
+	c := issue(t, f, NewRightSet("db/quotes.get", "buf.*"))
+	d1 := c.Digest()
+	if d1.IsZero() {
+		t.Fatal("digest of issued credentials is zero")
+	}
+	// Forwarding without delegation (the common hop) leaves the chain —
+	// and therefore the digest — untouched.
+	if d2 := c.Digest(); d2 != d1 {
+		t.Fatal("digest not deterministic")
+	}
+}
+
+func TestDigestSharedAcrossAgentsOfOneOwner(t *testing.T) {
+	f := newFixture(t)
+	rights := NewRightSet("db/quotes.get")
+	a, err := Issue(f.owner, names.Agent("umn.edu", "shopper-1"),
+		names.Principal("umn.edu", "app"), rights, time.Hour, "home:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Issue(f.owner, names.Agent("umn.edu", "shopper-2"),
+		names.Principal("umn.edu", "app"), rights, time.Hour, "home:2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Digest() != b.Digest() {
+		t.Fatal("two agents of one owner with identical rights must share a digest")
+	}
+}
+
+func TestDigestChangesOnDelegation(t *testing.T) {
+	f := newFixture(t)
+	c := issue(t, f, NewRightSet("db/quotes.get", "buf.*"))
+	before := c.Digest()
+	if err := c.Delegate(f.server1, NewRightSet("db/quotes.get"), time.Time{}); err != nil {
+		t.Fatal(err)
+	}
+	after := c.Digest()
+	if after == before {
+		t.Fatal("narrowing delegation must change the digest")
+	}
+	// A second delegation to the *same* right set keeps the digest: the
+	// decision inputs (owner, effective rights) are unchanged.
+	if err := c.Delegate(f.server2, NewRightSet("db/quotes.get"), time.Time{}); err != nil {
+		t.Fatal(err)
+	}
+	if c.Digest() != after {
+		t.Fatal("delegation preserving the effective rights must preserve the digest")
+	}
+}
+
+func TestDigestDiffersAcrossOwners(t *testing.T) {
+	f := newFixture(t)
+	rights := NewRightSet("db/quotes.get")
+	a, err := Issue(f.owner, names.Agent("umn.edu", "shopper-1"),
+		names.Principal("umn.edu", "app"), rights, time.Hour, "home:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := f.server1 // any second principal identity
+	b, err := Issue(other, names.Agent("acme.com", "shopper-9"),
+		names.Principal("acme.com", "app"), rights, time.Hour, "home:3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Digest() == b.Digest() {
+		t.Fatal("different owners with equal rights must not collide")
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/cred"
 )
 
 // Stamp identifies the configuration generation a cached decision was
@@ -17,11 +19,14 @@ type Stamp struct {
 	Registry uint64
 }
 
-// cacheKey identifies one (protection domain, resource) pair. Grants
-// depend only on the requesting agent's credentials and the resource, so
-// within one domain's visit the decision is stable while the stamp is.
+// cacheKey identifies one (credential semantics, resource) pair. A
+// grant depends on exactly the owner principal, the effective
+// (post-delegation) rights and the resource — which is precisely what
+// cred.Digest hashes — so keying on the digest instead of the hosting
+// protection domain lets repeat visits of the same agent, and sibling
+// agents of the same owner, hit decisions cached by earlier visits.
 type cacheKey struct {
-	dom  uint64
+	key  cred.Digest
 	path string
 }
 
@@ -31,12 +36,12 @@ type cacheVal struct {
 	grant Grant
 }
 
-// DecisionCache memoizes policy decisions per (domain, resource) with
-// epoch-based invalidation. The paper's binding protocol (Fig. 6) runs a
-// full policy evaluation on every get_resource; agents that re-bind the
-// same resource repeatedly (or many agents of one domain binding the
-// same resource) pay that evaluation once per configuration generation
-// instead.
+// DecisionCache memoizes policy decisions per (credentials digest,
+// resource) with epoch-based invalidation. The paper's binding protocol
+// (Fig. 6) runs a full policy evaluation on every get_resource; agents
+// that re-bind the same resource repeatedly — and repeat or sibling
+// visits under the same owner and rights, which share a digest — pay
+// that evaluation once per configuration generation instead.
 //
 // Invalidation is by comparison, not by walk: mutators never touch the
 // cache, they only bump their epoch; a stale entry simply stops
@@ -67,10 +72,10 @@ func NewDecisionCache(size int) *DecisionCache {
 	return &DecisionCache{max: int64(size)}
 }
 
-// Get returns the cached grant for (dom, path) if one exists with the
+// Get returns the cached grant for (key, path) if one exists with the
 // given stamp and its expiry (if any) has not passed.
-func (c *DecisionCache) Get(dom uint64, path string, now Stamp) (Grant, bool) {
-	v, ok := c.m.Load(cacheKey{dom, path})
+func (c *DecisionCache) Get(key cred.Digest, path string, now Stamp) (Grant, bool) {
+	v, ok := c.m.Load(cacheKey{key, path})
 	if !ok {
 		c.misses.Add(1)
 		return Grant{}, false
@@ -89,8 +94,8 @@ func (c *DecisionCache) Get(dom uint64, path string, now Stamp) (Grant, bool) {
 }
 
 // Put stores a decision computed under stamp.
-func (c *DecisionCache) Put(dom uint64, path string, stamp Stamp, g Grant) {
-	k := cacheKey{dom, path}
+func (c *DecisionCache) Put(key cred.Digest, path string, stamp Stamp, g Grant) {
+	k := cacheKey{key, path}
 	if _, existed := c.m.Swap(k, &cacheVal{stamp: stamp, grant: g}); existed {
 		return
 	}

@@ -6,8 +6,16 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/cred"
 	"repro/internal/names"
 )
+
+// dig builds a distinct credentials digest for tests.
+func dig(b byte) cred.Digest {
+	var d cred.Digest
+	d[0] = b
+	return d
+}
 
 func grantOf(methods ...string) Grant {
 	g := Grant{Methods: make(map[string]bool)}
@@ -21,27 +29,27 @@ func TestDecisionCacheHitAndEpochInvalidation(t *testing.T) {
 	c := NewDecisionCache(16)
 	s1 := Stamp{Policy: 1, Registry: 1}
 
-	if _, ok := c.Get(7, "counter", s1); ok {
+	if _, ok := c.Get(dig(7), "counter", s1); ok {
 		t.Fatal("hit on empty cache")
 	}
-	c.Put(7, "counter", s1, grantOf("get"))
-	g, ok := c.Get(7, "counter", s1)
+	c.Put(dig(7), "counter", s1, grantOf("get"))
+	g, ok := c.Get(dig(7), "counter", s1)
 	if !ok || !g.Methods["get"] {
 		t.Fatalf("want cached grant, got %v %v", g, ok)
 	}
 
 	// Any epoch bump — policy or registry — invalidates.
-	if _, ok := c.Get(7, "counter", Stamp{Policy: 2, Registry: 1}); ok {
+	if _, ok := c.Get(dig(7), "counter", Stamp{Policy: 2, Registry: 1}); ok {
 		t.Fatal("stale policy epoch served")
 	}
-	if _, ok := c.Get(7, "counter", Stamp{Policy: 1, Registry: 2}); ok {
+	if _, ok := c.Get(dig(7), "counter", Stamp{Policy: 1, Registry: 2}); ok {
 		t.Fatal("stale registry epoch served")
 	}
-	// Different domain or resource: separate entries.
-	if _, ok := c.Get(8, "counter", s1); ok {
-		t.Fatal("cross-domain hit")
+	// Different digest or resource: separate entries.
+	if _, ok := c.Get(dig(8), "counter", s1); ok {
+		t.Fatal("cross-digest hit")
 	}
-	if _, ok := c.Get(7, "printer", s1); ok {
+	if _, ok := c.Get(dig(7), "printer", s1); ok {
 		t.Fatal("cross-resource hit")
 	}
 
@@ -56,8 +64,8 @@ func TestDecisionCacheExpiredGrantMisses(t *testing.T) {
 	s := Stamp{Policy: 1, Registry: 1}
 	g := grantOf("get")
 	g.Expiry = time.Now().Add(-time.Second)
-	c.Put(3, "counter", s, g)
-	if _, ok := c.Get(3, "counter", s); ok {
+	c.Put(dig(3), "counter", s, g)
+	if _, ok := c.Get(dig(3), "counter", s); ok {
 		t.Fatal("expired grant served from cache")
 	}
 }
@@ -66,13 +74,13 @@ func TestDecisionCacheBounded(t *testing.T) {
 	c := NewDecisionCache(8)
 	s := Stamp{Policy: 1, Registry: 1}
 	for i := 0; i < 100; i++ {
-		c.Put(uint64(i), "counter", s, grantOf("get"))
+		c.Put(dig(byte(i)), "counter", s, grantOf("get"))
 	}
 	if n := c.n.Load(); n > 8 {
 		t.Fatalf("cache grew to %d entries, cap is 8", n)
 	}
 	// The most recent fill must have survived its own eviction pass.
-	if _, ok := c.Get(99, "counter", s); !ok {
+	if _, ok := c.Get(dig(99), "counter", s); !ok {
 		t.Fatal("latest entry evicted by its own Put")
 	}
 }
@@ -88,13 +96,13 @@ func TestStressDecisionCacheConcurrent(t *testing.T) {
 			for i := 0; i < 500; i++ {
 				st := Stamp{Policy: uint64(i % 3), Registry: 1}
 				path := fmt.Sprintf("res%d", i%5)
-				if g, ok := c.Get(uint64(w), path, st); ok {
+				if g, ok := c.Get(dig(byte(w)), path, st); ok {
 					if !g.Methods["get"] {
 						t.Error("corrupt cached grant")
 						return
 					}
 				} else {
-					c.Put(uint64(w), path, st, grantOf("get"))
+					c.Put(dig(byte(w)), path, st, grantOf("get"))
 				}
 			}
 		}()

@@ -10,11 +10,25 @@ func TestExamplePolicyFileParses(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rules, err := ParseRules(string(text))
+	doc, err := ParsePolicy(string(text))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rules) != 4 {
-		t.Fatalf("rules = %d", len(rules))
+	if len(doc.Rules) != 4 {
+		t.Fatalf("rules = %d", len(doc.Rules))
+	}
+	if len(doc.Tiers) != 2 || len(doc.Assignments) != 2 {
+		t.Fatalf("tiers = %d assignments = %d, want 2/2", len(doc.Tiers), len(doc.Assignments))
+	}
+	// The file now carries tier configuration, so the rules-only parser
+	// must refuse it rather than silently dropping admission config.
+	if _, err := ParseRules(string(text)); err == nil {
+		t.Fatal("ParseRules accepted a tier-bearing policy file")
+	}
+	// Loading the document must install both halves on the engine.
+	eng := NewEngine()
+	eng.LoadDocument(doc)
+	if tier, ok := eng.TierFor(doc.Assignments[1].Principal); !ok || tier.Name != "visitor" {
+		t.Fatalf("TierFor after LoadDocument = %+v, %v", tier, ok)
 	}
 }

@@ -9,6 +9,14 @@ import (
 	"repro/internal/names"
 )
 
+// Document is a parsed policy file: access rules plus the admission
+// tier configuration. Apply it to an engine with Engine.LoadDocument.
+type Document struct {
+	Rules       []Rule
+	Tiers       []Tier
+	Assignments []TierAssignment
+}
+
 // ParseRules reads the textual policy format used by server
 // configuration files (ajanta-server -policy). One rule per line:
 //
@@ -26,8 +34,35 @@ import (
 //	allow group:umn.edu/faculty corpus * ttl=1h
 //	# nobody resets the counter
 //	deny * counter reset
+//
+// ParseRules accepts only allow/deny lines; files that also carry
+// admission tiers (tier / assign lines, PROTOCOLS.md §3.3) go through
+// ParsePolicy.
 func ParseRules(text string) ([]Rule, error) {
-	var rules []Rule
+	doc, err := ParsePolicy(text)
+	if err != nil {
+		return nil, err
+	}
+	if len(doc.Tiers) > 0 || len(doc.Assignments) > 0 {
+		return nil, fmt.Errorf("policy: file contains tier configuration; use ParsePolicy")
+	}
+	return doc.Rules, nil
+}
+
+// ParsePolicy reads a full policy file: allow/deny rules plus the
+// admission tier configuration. Two additional line forms:
+//
+//	tier <name> [rate=R] [burst=N] [concurrent=N] [fuel=N]
+//	assign <subject> <tier>
+//
+// where rate is admissions/second (float), burst the back-to-back
+// allowance, concurrent the per-principal visit cap and fuel a per-visit
+// instruction budget cap; <subject> follows the rule-subject syntax.
+// Assignments are first-match-wins in file order and must reference a
+// tier defined in the same file.
+func ParsePolicy(text string) (*Document, error) {
+	var doc Document
+	tiers := make(map[string]bool)
 	for lineNo, raw := range strings.Split(text, "\n") {
 		line := raw
 		if i := strings.IndexByte(line, '#'); i >= 0 {
@@ -37,13 +72,121 @@ func ParseRules(text string) ([]Rule, error) {
 		if line == "" {
 			continue
 		}
-		rule, err := parseRuleLine(line)
+		var err error
+		switch strings.Fields(line)[0] {
+		case "tier":
+			var t Tier
+			t, err = parseTierLine(line)
+			if err == nil {
+				if tiers[t.Name] {
+					err = fmt.Errorf("duplicate tier %q", t.Name)
+				} else {
+					tiers[t.Name] = true
+					doc.Tiers = append(doc.Tiers, t)
+				}
+			}
+		case "assign":
+			var a TierAssignment
+			a, err = parseAssignLine(line)
+			if err == nil && !tiers[a.Tier] {
+				err = fmt.Errorf("assignment references undefined tier %q", a.Tier)
+			}
+			if err == nil {
+				doc.Assignments = append(doc.Assignments, a)
+			}
+		default:
+			var rule Rule
+			rule, err = parseRuleLine(line)
+			if err == nil {
+				doc.Rules = append(doc.Rules, rule)
+			}
+		}
 		if err != nil {
 			return nil, fmt.Errorf("policy: line %d: %w", lineNo+1, err)
 		}
-		rules = append(rules, rule)
 	}
-	return rules, nil
+	return &doc, nil
+}
+
+// LoadDocument applies a parsed policy file to the engine: rules and
+// tier configuration, each replacing what was there.
+func (e *Engine) LoadDocument(doc *Document) {
+	e.SetRules(doc.Rules)
+	e.SetTierConfig(doc.Tiers, doc.Assignments)
+}
+
+func parseTierLine(line string) (Tier, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return Tier{}, fmt.Errorf("want 'tier name [options]', got %q", line)
+	}
+	t := Tier{Name: fields[1]}
+	if strings.Contains(t.Name, "=") {
+		return Tier{}, fmt.Errorf("tier name missing in %q", line)
+	}
+	for _, opt := range fields[2:] {
+		key, val, ok := strings.Cut(opt, "=")
+		if !ok {
+			return Tier{}, fmt.Errorf("bad option %q (want key=value)", opt)
+		}
+		switch key {
+		case "rate":
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil || f < 0 {
+				return Tier{}, fmt.Errorf("bad rate %q", val)
+			}
+			t.Rate = f
+		case "burst":
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil || f < 0 {
+				return Tier{}, fmt.Errorf("bad burst %q", val)
+			}
+			t.Burst = f
+		case "concurrent":
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 0 {
+				return Tier{}, fmt.Errorf("bad concurrent %q", val)
+			}
+			t.MaxConcurrent = n
+		case "fuel":
+			n, err := strconv.ParseUint(val, 10, 64)
+			if err != nil {
+				return Tier{}, fmt.Errorf("bad fuel %q", val)
+			}
+			t.Fuel = n
+		default:
+			return Tier{}, fmt.Errorf("unknown tier option %q", key)
+		}
+	}
+	return t, nil
+}
+
+func parseAssignLine(line string) (TierAssignment, error) {
+	fields := strings.Fields(line)
+	if len(fields) != 3 {
+		return TierAssignment{}, fmt.Errorf("want 'assign subject tier', got %q", line)
+	}
+	var a TierAssignment
+	switch subj := fields[1]; {
+	case subj == "*":
+		a.AnyPrincipal = true
+	case strings.HasPrefix(subj, "principal:"):
+		n, err := parseSubjectName(names.KindPrincipal, strings.TrimPrefix(subj, "principal:"))
+		if err != nil {
+			return TierAssignment{}, err
+		}
+		a.Principal = n
+	case strings.HasPrefix(subj, "group:"):
+		n, err := parseSubjectName(names.KindGroup, strings.TrimPrefix(subj, "group:"))
+		if err != nil {
+			return TierAssignment{}, err
+		}
+		a.Principal = n
+	default:
+		return TierAssignment{}, fmt.Errorf("bad subject %q (want *, principal:..., or group:...)", subj)
+	}
+	a.Tier = fields[2]
+	return a, nil
 }
 
 func parseRuleLine(line string) (Rule, error) {

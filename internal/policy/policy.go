@@ -87,12 +87,51 @@ type Rule struct {
 	TTL time.Duration
 }
 
+// Tier is one admission class: the ingress limits a server applies to
+// agents of the principals assigned to it (internal/admission enforces
+// them at the arrival gate). Tiers ride in the same copy-on-write
+// generations as rules, so a tier change propagates epoch-style — the
+// admit path reads the current snapshot lock-free and in-flight
+// admissions never block on a reload.
+type Tier struct {
+	// Name identifies the tier in policy files and shed responses.
+	Name string
+	// Rate is the sustained admission rate (agents/second) allowed per
+	// principal key; 0 means unlimited.
+	Rate float64
+	// Burst is how many admissions may arrive back-to-back before the
+	// rate bites; 0 means a burst of max(1, Rate).
+	Burst float64
+	// MaxConcurrent caps simultaneously hosted visits per principal
+	// key; 0 means unlimited.
+	MaxConcurrent int
+	// Fuel, when non-zero, caps the per-visit instruction budget below
+	// the server default — a resource quota for low tiers.
+	Fuel uint64
+}
+
+// TierAssignment maps a subject to a tier by name. Assignments are
+// ordered; the first match wins, so specific principals can be listed
+// before a wildcard catch-all.
+type TierAssignment struct {
+	// Principal matches the agent's owner directly or via group
+	// membership (KindGroup names expand through the group table).
+	Principal names.Name
+	// AnyPrincipal, when true, matches every owner.
+	AnyPrincipal bool
+	// Tier names the assigned tier.
+	Tier string
+}
+
 // ruleSet is one immutable published generation of a policy: rules in
-// order plus the group table. Decisions read a whole generation
-// atomically, never a half-applied mutation.
+// order, the group table, and the admission-tier configuration.
+// Decisions read a whole generation atomically, never a half-applied
+// mutation.
 type ruleSet struct {
-	rules  []Rule
-	groups map[names.Name][]names.Name // group -> members
+	rules   []Rule
+	groups  map[names.Name][]names.Name // group -> members
+	tiers   map[string]Tier             // tier name -> definition
+	assigns []TierAssignment            // ordered; first match wins
 }
 
 // Engine evaluates rules. It is safe for concurrent use: decisions are
@@ -108,7 +147,10 @@ type Engine struct {
 // NewEngine returns an engine with no rules (default deny).
 func NewEngine() *Engine {
 	e := &Engine{}
-	e.snap.Store(&ruleSet{groups: make(map[names.Name][]names.Name)})
+	e.snap.Store(&ruleSet{
+		groups: make(map[names.Name][]names.Name),
+		tiers:  make(map[string]Tier),
+	})
 	return e
 }
 
@@ -128,11 +170,16 @@ func (e *Engine) mutate(f func(rs *ruleSet)) {
 	defer e.mu.Unlock()
 	cur := e.snap.Load()
 	rs := &ruleSet{
-		rules:  append([]Rule(nil), cur.rules...),
-		groups: make(map[names.Name][]names.Name, len(cur.groups)),
+		rules:   append([]Rule(nil), cur.rules...),
+		groups:  make(map[names.Name][]names.Name, len(cur.groups)),
+		tiers:   make(map[string]Tier, len(cur.tiers)),
+		assigns: append([]TierAssignment(nil), cur.assigns...),
 	}
 	for g, ms := range cur.groups {
 		rs.groups[g] = ms
+	}
+	for n, t := range cur.tiers {
+		rs.tiers[n] = t
 	}
 	f(rs)
 	e.publish(rs)
@@ -155,6 +202,55 @@ func (e *Engine) DefineGroup(group names.Name, members ...names.Name) {
 	e.mutate(func(rs *ruleSet) {
 		rs.groups[group] = append([]names.Name(nil), members...)
 	})
+}
+
+// DefineTier installs (or replaces) a tier definition.
+func (e *Engine) DefineTier(t Tier) {
+	e.mutate(func(rs *ruleSet) { rs.tiers[t.Name] = t })
+}
+
+// AssignTier appends a tier assignment (first match wins, so order
+// specific subjects before wildcards).
+func (e *Engine) AssignTier(a TierAssignment) {
+	e.mutate(func(rs *ruleSet) { rs.assigns = append(rs.assigns, a) })
+}
+
+// SetTierConfig replaces the whole tier configuration — definitions and
+// assignments — in one published generation, so a hot reload can never
+// expose a half-old half-new admission policy.
+func (e *Engine) SetTierConfig(tiers []Tier, assigns []TierAssignment) {
+	e.mutate(func(rs *ruleSet) {
+		rs.tiers = make(map[string]Tier, len(tiers))
+		for _, t := range tiers {
+			rs.tiers[t.Name] = t
+		}
+		rs.assigns = append([]TierAssignment(nil), assigns...)
+	})
+}
+
+// TierFor resolves the admission tier for an owner principal: the first
+// matching assignment whose tier is defined. Like Decide, it is a
+// lock-free read of the current snapshot — the admission gate calls it
+// per arrival — and a concurrent tier reload is seen either entirely or
+// not at all. ok is false when no assignment matches (untiered owners
+// are admitted without limits).
+func (e *Engine) TierFor(owner names.Name) (Tier, bool) {
+	rs := e.snap.Load()
+	for _, a := range rs.assigns {
+		if !a.AnyPrincipal {
+			if a.Principal.IsZero() {
+				continue
+			}
+			if a.Principal != owner &&
+				!(a.Principal.Kind == names.KindGroup && rs.memberOf(owner, a.Principal)) {
+				continue
+			}
+		}
+		if t, ok := rs.tiers[a.Tier]; ok {
+			return t, true
+		}
+	}
+	return Tier{}, false
 }
 
 // memberOf reports whether p is in group (non-recursive; the paper's

@@ -82,12 +82,17 @@ type Request struct {
 	Policy *policy.Engine
 	Now    time.Time
 	// Cache, when set, memoizes the policy decision per
-	// (domain, resource path) under Stamp: a repeat binding with an
-	// unchanged policy/registry configuration skips the rule walk
-	// entirely. Stamp must carry the epochs of the configuration the
-	// caller read — a stale stamp is a cache miss, never a wrong grant.
+	// (credentials digest, resource path) under Stamp: a repeat binding
+	// with an unchanged policy/registry configuration skips the rule
+	// walk entirely. Stamp must carry the epochs of the configuration
+	// the caller read — a stale stamp is a cache miss, never a wrong
+	// grant.
 	Cache *policy.DecisionCache
 	Stamp policy.Stamp
+	// CredKey is Creds.Digest(), when the caller has it precomputed
+	// (the server computes it once per visit); zero means GetProxy
+	// derives it on the spot.
+	CredKey cred.Digest
 }
 
 // AccessProtocol is Figure 7: "the getProxy method returns a proxy
@@ -152,13 +157,17 @@ func (d *Def) GetProxy(req Request) (*Proxy, error) {
 		return nil, fmt.Errorf("%w: no policy engine", ErrNoAccess)
 	}
 	grant, cached := policy.Grant{}, false
+	key := req.CredKey
 	if req.Cache != nil {
-		grant, cached = req.Cache.Get(uint64(req.Caller), d.Path, req.Stamp)
+		if key.IsZero() {
+			key = req.Creds.Digest()
+		}
+		grant, cached = req.Cache.Get(key, d.Path, req.Stamp)
 	}
 	if !cached {
 		grant = req.Policy.Decide(req.Creds, d.Path, d.MethodNames())
 		if req.Cache != nil {
-			req.Cache.Put(uint64(req.Caller), d.Path, req.Stamp, grant)
+			req.Cache.Put(key, d.Path, req.Stamp, grant)
 		}
 	}
 	if grant.Empty() {

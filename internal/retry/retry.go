@@ -100,6 +100,22 @@ func IsPermanent(err error) bool {
 	return errors.As(err, &p)
 }
 
+// RetryAfterHint returns the receiver-supplied minimum wait carried by
+// err (or anything it wraps), or zero. Errors advertise a hint by
+// implementing `RetryAfterHint() time.Duration` — the admission layer's
+// *ShedError does — and DoWithCancel stretches the computed backoff up
+// to the hint: the receiver said when it can next conform, so retrying
+// sooner only burns an attempt.
+func RetryAfterHint(err error) time.Duration {
+	var h interface{ RetryAfterHint() time.Duration }
+	if errors.As(err, &h) {
+		if d := h.RetryAfterHint(); d > 0 {
+			return d
+		}
+	}
+	return 0
+}
+
 // defaultRand is the shared jitter source; guarded because policies may
 // be used from many dispatch goroutines at once.
 var (
@@ -208,6 +224,12 @@ func (p Policy) DoWithCancel(cancel <-chan struct{}, op func() error) (attempts 
 			return attempts, err
 		}
 		d := q.delay(attempts)
+		// A receiver-supplied retry-after hint (load shedding) floors
+		// the backoff: the receiver knows when the next attempt can
+		// conform, and it may exceed MaxDelay deliberately.
+		if h := RetryAfterHint(err); h > d {
+			d = h
+		}
 		if !deadline.IsZero() && q.Now().Add(d).After(deadline) {
 			return attempts, err
 		}

@@ -1,0 +1,117 @@
+package retry
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/admission"
+)
+
+// Shed-path classification (PROTOCOLS.md §3.3): a load-shedding
+// rejection must be retried — unlike transfer.ErrRejected it reports a
+// transient condition at the receiver — and its retry-after hint must
+// floor the backoff.
+
+func TestShedClassification(t *testing.T) {
+	defaultClassify := Policy{}.withDefaults().Classify
+	cases := []struct {
+		name      string
+		err       error
+		transient bool
+		hint      time.Duration
+	}{
+		{
+			name:      "shed with retry-after hint",
+			err:       &admission.ShedError{Tier: "bronze", Cause: "rate", RetryAfter: 80 * time.Millisecond},
+			transient: true,
+			hint:      80 * time.Millisecond,
+		},
+		{
+			name:      "shed without hint",
+			err:       &admission.ShedError{Tier: "bronze", Cause: "concurrency"},
+			transient: true,
+			hint:      0,
+		},
+		{
+			name:      "bare ErrShed sentinel",
+			err:       admission.ErrShed,
+			transient: true,
+			hint:      0,
+		},
+		{
+			name:      "wrapped shed keeps hint and class",
+			err:       fmt.Errorf("dispatch: %w", &admission.ShedError{RetryAfter: time.Second}),
+			transient: true,
+			hint:      time.Second,
+		},
+		{
+			name:      "permanent-marked error stays permanent",
+			err:       Permanent(errors.New("rejected")),
+			transient: false,
+			hint:      0,
+		},
+		{
+			name:      "plain error is transient with no hint",
+			err:       errors.New("connection reset"),
+			transient: true,
+			hint:      0,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := defaultClassify(tc.err); got != tc.transient {
+				t.Fatalf("default classifier: transient=%v, want %v", got, tc.transient)
+			}
+			if got := RetryAfterHint(tc.err); got != tc.hint {
+				t.Fatalf("hint = %v, want %v", got, tc.hint)
+			}
+		})
+	}
+}
+
+func TestShedHintFloorsBackoff(t *testing.T) {
+	var slept []time.Duration
+	p := Policy{
+		MaxAttempts: 3,
+		BaseDelay:   time.Millisecond,
+		MaxDelay:    2 * time.Millisecond,
+		Jitter:      -1,
+		Sleep:       func(d time.Duration) { slept = append(slept, d) },
+	}
+	calls := 0
+	_, err := p.DoWithCancel(nil, func() error {
+		calls++
+		return &admission.ShedError{RetryAfter: 250 * time.Millisecond}
+	})
+	if !errors.Is(err, admission.ErrShed) {
+		t.Fatalf("final error = %v", err)
+	}
+	if calls != 3 {
+		t.Fatalf("attempts = %d, want 3", calls)
+	}
+	for i, d := range slept {
+		// The hint (250ms) exceeds MaxDelay (2ms): it must win anyway —
+		// the receiver said when the next attempt can conform.
+		if d != 250*time.Millisecond {
+			t.Fatalf("backoff %d = %v, want the 250ms hint", i, d)
+		}
+	}
+}
+
+func TestBackoffWinsOverSmallerHint(t *testing.T) {
+	var slept []time.Duration
+	p := Policy{
+		MaxAttempts: 2,
+		BaseDelay:   100 * time.Millisecond,
+		Jitter:      -1,
+		Sleep:       func(d time.Duration) { slept = append(slept, d) },
+	}
+	_, _ = p.DoWithCancel(nil, func() error {
+		return &admission.ShedError{RetryAfter: time.Millisecond}
+	})
+	if len(slept) != 1 || slept[0] != 100*time.Millisecond {
+		t.Fatalf("slept = %v, want the 100ms computed backoff", slept)
+	}
+}

@@ -41,11 +41,12 @@ func (s *Server) bindResource(v *visit, rn names.Name) (*boundResource, error) {
 	// cached grant from a newer configuration under an older stamp.
 	stamp := policy.Stamp{Policy: s.cfg.Policy.Epoch(), Registry: snap.Epoch()}
 	proxy, err := entry.AP.GetProxy(resource.Request{ // step 4 (upcall)
-		Caller: v.dom,
-		Creds:  creds,
-		Policy: s.cfg.Policy,
-		Cache:  s.cache,
-		Stamp:  stamp,
+		Caller:  v.dom,
+		Creds:   creds,
+		Policy:  s.cfg.Policy,
+		Cache:   s.cache,
+		Stamp:   stamp,
+		CredKey: v.credKey, // digest computed once per visit, not per bind
 	})
 	if err != nil {
 		return nil, err

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/agent"
 	"repro/internal/names"
+	"repro/internal/resource"
 )
 
 // DefaultRedeliverEvery is the dead-letter redelivery period applied
@@ -54,6 +55,13 @@ type Stats struct {
 	// admission check (admission.go) — over-privileged bundles that
 	// never executed an instruction here.
 	AdmissionRejects uint64
+	// ShedRateLimit / ShedConcurrency count arrivals shed by the tier
+	// admission gate (internal/admission): over the owner's token-bucket
+	// rate, or over the tier's concurrent-visit cap. Sheds are
+	// transient — the sender retries after the hinted delay — so these
+	// count deferrals, not losses.
+	ShedRateLimit   uint64
+	ShedConcurrency uint64
 }
 
 // counters aggregates the atomic tallies behind Stats.
@@ -74,6 +82,7 @@ func (s *Server) Stats() Stats {
 	parkedNow := len(s.parked)
 	heldNow := len(s.held)
 	s.parkMu.Unlock()
+	gate := s.gate.Stats()
 	return Stats{
 		Arrivals:         s.stats.arrivals.Load(),
 		Dispatches:       s.stats.dispatches.Load(),
@@ -85,6 +94,8 @@ func (s *Server) Stats() Stats {
 		Delivered:        s.stats.delivered.Load(),
 		HeldNow:          heldNow,
 		AdmissionRejects: s.stats.admissionRejects.Load(),
+		ShedRateLimit:    gate.ShedRate,
+		ShedConcurrency:  gate.ShedConcurrency,
 	}
 }
 
@@ -117,15 +128,15 @@ func (s *Server) ParkedAgents() []names.Name {
 // simply re-enters the store.
 func (s *Server) redeliverLoop(every time.Duration) {
 	defer s.wg.Done()
-	t := time.NewTicker(every)
-	defer t.Stop()
 	for {
-		select {
-		case <-s.quit:
+		// The shared coarse clock replaces a per-server ticker: one
+		// timer goroutine process-wide instead of one per loop, at the
+		// cost of ~1ms scheduling granularity — far below the
+		// redelivery period.
+		if canceled := resource.CoarseSleep(every, s.quit); canceled {
 			return
-		case <-t.C:
-			s.redeliverOnce()
 		}
+		s.redeliverOnce()
 	}
 }
 

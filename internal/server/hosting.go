@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/admission"
 	"repro/internal/agent"
 	"repro/internal/domain"
 	"repro/internal/loader"
@@ -19,8 +20,9 @@ import (
 // the failure path home.
 
 // admit is the arrival gate: credential verification ("mutual
-// authentication of the agent and server"), bundle verification, and
-// admission control. Rejections travel back to the sending server.
+// authentication of the agent and server"), tier admission (load
+// shedding), bundle verification, and admission control. Rejections
+// travel back to the sending server.
 func (s *Server) admit(a *agent.Agent, from names.Name) error {
 	if err := a.Credentials.Verify(s.cfg.Verifier, time.Now()); err != nil {
 		return fmt.Errorf("credentials: %w", err)
@@ -28,6 +30,25 @@ func (s *Server) admit(a *agent.Agent, from names.Name) error {
 	if a.Name != a.Credentials.AgentName {
 		return errors.New("agent name does not match credentials")
 	}
+	// Tier admission (admission.Gate, PROTOCOLS.md §3.3) runs after the
+	// owner's identity is verified — an unverified owner name must not
+	// pick whose bucket to drain — and before the expensive bundle and
+	// manifest work, so an overload is shed at the cheapest point. The
+	// shed error carries a retry-after hint back to the sender, whose
+	// retry/dead-letter machinery classifies it transient.
+	ticket, err := s.gate.Admit(a.Credentials.Owner, a.Credentials.Digest())
+	if err != nil {
+		return err
+	}
+	// Any rejection below must hand back the concurrency slot the
+	// ticket may hold; only a fully admitted agent carries it into the
+	// visit (released when the visit terminates).
+	admitted := false
+	defer func() {
+		if !admitted {
+			ticket.Release()
+		}
+	}()
 	if err := vm.VerifyBundle(a.Code); err != nil {
 		return fmt.Errorf("code: %w", err)
 	}
@@ -57,6 +78,8 @@ func (s *Server) admit(a *agent.Agent, from names.Name) error {
 	if s.cfg.MaxAgents > 0 && len(s.visits) >= s.cfg.MaxAgents {
 		return ErrCapacity
 	}
+	admitted = true
+	a.SetHostState(ticket)
 	return nil
 }
 
@@ -107,9 +130,18 @@ func (s *Server) Await(agentName names.Name) <-chan *agent.Agent {
 func (s *Server) host(a *agent.Agent) {
 	s.stats.arrivals.Add(1)
 
+	// The admission ticket (if any) rode in from the arrival gate. Its
+	// concurrency slot is held for the duration of the visit and handed
+	// back on every terminal path; Release is idempotent and nil-safe,
+	// so the defer is a pure backstop for early returns. Re-hosting
+	// paths that bypass admit (self-dispatch) simply find no ticket.
+	ticket, _ := a.TakeHostState().(*admission.Ticket)
+	defer ticket.Release()
+
 	// Homecoming: itinerary finished and no pending detour — deliver
 	// to the waiting owner without creating an execution domain.
 	if a.PendingEntry == "" && a.Itinerary.Done() {
+		ticket.Release()
 		s.deliver(a)
 		return
 	}
@@ -131,11 +163,18 @@ func (s *Server) host(a *agent.Agent) {
 		return
 	}
 
+	// A tier may cap the fuel a visit burns below the server default —
+	// quota enforcement for low-trust principals (ISSUE 6 tentpole).
+	fuel := s.cfg.Fuel
+	if ticket != nil && ticket.Fuel > 0 && ticket.Fuel < fuel {
+		fuel = ticket.Fuel
+	}
 	v := &visit{
 		agent:   a,
 		dom:     dom,
 		ns:      ns,
-		meter:   vm.NewMeter(s.cfg.Fuel),
+		meter:   vm.NewMeter(fuel),
+		credKey: a.Credentials.Digest(),
 		handles: make(map[uint64]*boundResource),
 		usage:   make(map[string]*visitUsage),
 	}
@@ -170,6 +209,7 @@ func (s *Server) host(a *agent.Agent) {
 			return
 		}
 		finished = true
+		ticket.Release()
 		_ = s.db.SetStatus(domain.ServerID, dom, st)
 		s.setFinalStatus(a.Name, st)
 		s.visitMu.Lock()

@@ -24,6 +24,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/admission"
 	"repro/internal/agent"
 	"repro/internal/cred"
 	"repro/internal/domain"
@@ -113,9 +114,14 @@ type Server struct {
 	secmgr   *sandbox.Manager
 	endpoint *transfer.Endpoint
 	pool     *transfer.Pool
-	// cache memoizes policy decisions per (domain, resource), stamped
-	// with the policy+registry epochs they were computed under.
+	// cache memoizes policy decisions per (credentials digest,
+	// resource), stamped with the policy+registry epochs they were
+	// computed under.
 	cache *policy.DecisionCache
+	// gate applies the policy's admission tiers (per-principal rate
+	// limits and concurrency quotas) at the arrival gate, shedding
+	// over-limit agents back to their sender with a retry-after hint.
+	gate *admission.Gate
 
 	// netMu guards the listener state (lifecycle.go): the live
 	// listener incarnation and the inbound transfer streams.
@@ -158,8 +164,12 @@ type Server struct {
 
 // visit is one hosted agent's execution context.
 type visit struct {
-	agent   *agent.Agent
-	dom     domain.ID
+	agent *agent.Agent
+	dom   domain.ID
+	// credKey is the agent's credentials digest, computed once per
+	// visit and used as the decision-cache key on every resource
+	// binding (and by the admission gate before the visit existed).
+	credKey cred.Digest
 	ns      *loader.Namespace
 	env     *vm.Env
 	meter   *vm.Meter
@@ -263,6 +273,7 @@ func New(cfg Config) (*Server, error) {
 		statuses: make(map[names.Name]domain.Status),
 		ledger:   make(map[names.Name]uint64),
 	}
+	s.gate = admission.NewGate(cfg.Policy, nil)
 	// Resolve the dispatch retry policy: transfer-aware classification
 	// unless the config overrides it, and a hook that counts every
 	// backoff fired for Stats.
@@ -298,7 +309,9 @@ func New(cfg Config) (*Server, error) {
 // receiver that rejected the agent, failed authentication, a name with
 // no binding, or an explicitly permanent error will not improve with
 // retrying; anything else (refused dial, reset, timeout, partition) is
-// assumed transient.
+// assumed transient. A load-shed (admission.ErrShed) deliberately falls
+// in the transient bucket — the receiver said "later", not "never" —
+// and its retry-after hint floors the backoff (internal/retry).
 func transientTransferErr(err error) bool {
 	switch {
 	case err == nil:

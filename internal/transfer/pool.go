@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/admission"
 	"repro/internal/agent"
 	"repro/internal/resource"
 )
@@ -94,6 +95,7 @@ type Pool struct {
 
 	reapDone chan struct{}
 	reapStop chan struct{}
+	stopReap sync.Once // guards close(reapStop) across concurrent Closes
 }
 
 // NewPool builds a channel pool over ep. Close it when the owning
@@ -237,9 +239,11 @@ func (p *Pool) discard(addr string, s *session) {
 // that fails on a *reused* session is transparently retried once on a
 // freshly dialed one — the stale channel was the pool's guess, not the
 // network's verdict, so its death must not consume a caller retry
-// attempt. Rejections (ErrRejected) are the receiver speaking over a
-// healthy channel: the session goes back to the pool and the rejection
-// is returned as-is.
+// attempt. Rejections (ErrRejected) and load sheds (admission.ErrShed)
+// are the receiver speaking over a healthy channel: the session goes
+// back to the pool and the verdict is returned as-is — a shed agent's
+// retries in particular must not burn the warm channel they will soon
+// travel over.
 func (p *Pool) Send(addr string, a *agent.Agent) error {
 	if p.cfg.Disabled {
 		if p.isClosed() {
@@ -261,7 +265,7 @@ func (p *Pool) Send(addr string, a *agent.Agent) error {
 	case err == nil:
 		p.checkin(addr, s, gen)
 		return nil
-	case errors.Is(err, ErrRejected):
+	case errors.Is(err, ErrRejected), errors.Is(err, admission.ErrShed):
 		p.checkin(addr, s, gen)
 		return err
 	}
@@ -281,7 +285,7 @@ func (p *Pool) Send(addr string, a *agent.Agent) error {
 	case err2 == nil:
 		p.checkin(addr, s, gen)
 		return nil
-	case errors.Is(err2, ErrRejected):
+	case errors.Is(err2, ErrRejected), errors.Is(err2, admission.ErrShed):
 		p.checkin(addr, s, gen)
 		return err2
 	}
@@ -315,18 +319,21 @@ func (p *Pool) Reset() {
 }
 
 // Close drains the pool: idle sessions are closed now, checked-out ones
-// at checkin, and all future Sends fail with ErrPoolClosed.
+// at checkin, and all future Sends fail with ErrPoolClosed. The reap
+// goroutine has exited by the time Close returns — for every caller,
+// including concurrent ones — so no sweep can race the final Reset or
+// touch pool state after the owner has torn it down.
 func (p *Pool) Close() {
 	p.mu.Lock()
-	if p.closed {
-		p.mu.Unlock()
-		return
-	}
+	already := p.closed
 	p.closed = true
 	p.mu.Unlock()
 	if !p.cfg.Disabled {
-		close(p.reapStop)
+		p.stopReap.Do(func() { close(p.reapStop) })
 		<-p.reapDone
+	}
+	if already {
+		return
 	}
 	p.Reset()
 }
@@ -365,13 +372,13 @@ func (p *Pool) Stats() PoolStats {
 // checkout.
 func (p *Pool) reapLoop() {
 	defer close(p.reapDone)
-	tick := time.NewTicker(p.cfg.IdleTimeout / 2)
-	defer tick.Stop()
+	// Sweep on the process-wide coarse clock instead of a per-pool
+	// time.Ticker: the half-idle-timeout period is seconds-scale, so the
+	// shared millisecond wheel is exact enough, and a process full of
+	// servers runs one ticker instead of one per pool.
 	for {
-		select {
-		case <-p.reapStop:
+		if canceled := resource.CoarseSleep(p.cfg.IdleTimeout/2, p.reapStop); canceled {
 			return
-		case <-tick.C:
 		}
 		p.mu.Lock()
 		peers := make([]*peerPool, 0, len(p.peers))

@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/admission"
 	"repro/internal/agent"
 	"repro/internal/names"
 )
@@ -250,6 +251,80 @@ func TestPoolClose(t *testing.T) {
 		t.Fatalf("send after Close = %v, want ErrPoolClosed", err)
 	}
 	p.Close() // idempotent
+}
+
+func TestPoolCloseWaitsForReaper(t *testing.T) {
+	// Close must not return while the reap goroutine is still running:
+	// a caller that tears down the netsim (or process) right after
+	// Close would otherwise race the sweep. This fails if Close stops
+	// waiting on reapDone.
+	w := newWorld(t)
+	p := newTestPool(w, PoolConfig{IdleTimeout: 2 * time.Millisecond})
+	p.Close()
+	select {
+	case <-p.reapDone:
+		// reaper already exited — the ordering Close promises.
+	default:
+		t.Fatal("Close returned while the reap goroutine was still running")
+	}
+}
+
+func TestPoolConcurrentCloseWaitsForReaper(t *testing.T) {
+	// Every concurrent Close — not just the first — must observe the
+	// reaper's exit before returning. The pre-fix code let the loser of
+	// the closed-flag race return immediately.
+	w := newWorld(t)
+	p := newTestPool(w, PoolConfig{IdleTimeout: 2 * time.Millisecond})
+	const closers = 8
+	var wg sync.WaitGroup
+	fail := make(chan struct{}, closers)
+	for i := 0; i < closers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p.Close()
+			select {
+			case <-p.reapDone:
+			default:
+				fail <- struct{}{}
+			}
+		}()
+	}
+	wg.Wait()
+	if len(fail) > 0 {
+		t.Fatalf("%d Close call(s) returned before the reap goroutine exited", len(fail))
+	}
+}
+
+func TestPoolShedKeepsSession(t *testing.T) {
+	// A load-shed, like an ordinary rejection, travels over a healthy
+	// channel: the session must be checked back in, not discarded, so
+	// the retry a moment later reuses the warm channel.
+	w := newWorld(t)
+	var n atomic.Int64
+	accept := func(*agent.Agent, names.Name) error {
+		if n.Add(1) == 2 {
+			return &admission.ShedError{Cause: "rate", RetryAfter: 5 * time.Millisecond}
+		}
+		return nil
+	}
+	_, stop := servePool(t, w, "b:7000", accept)
+	defer stop()
+	p := newTestPool(w, PoolConfig{})
+	defer p.Close()
+	a := testAgent(t, w.reg)
+	if err := p.Send("b:7000", a); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Send("b:7000", a); !errors.Is(err, admission.ErrShed) {
+		t.Fatalf("got %v, want ErrShed", err)
+	}
+	if err := p.Send("b:7000", a); err != nil {
+		t.Fatalf("session poisoned by shed: %v", err)
+	}
+	if st := p.Stats(); st.Dials != 1 {
+		t.Fatalf("Dials = %d, want 1 (shed cost the warm session)", st.Dials)
+	}
 }
 
 func TestPoolReset(t *testing.T) {

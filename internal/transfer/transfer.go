@@ -42,6 +42,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/admission"
 	"repro/internal/agent"
 	"repro/internal/keys"
 	"repro/internal/names"
@@ -117,6 +118,13 @@ type agentMsg struct {
 type ackMsg struct {
 	Accepted bool
 	Reason   string
+	// Shed marks a load-shedding rejection (admission tier over limit):
+	// transient by contract, unlike an ordinary nack, and carrying an
+	// optional retry-after hint in milliseconds. Gob omits zero values,
+	// so acks from (and to) older binaries interoperate: a plain nack
+	// decodes with Shed false, and an old sender ignores both fields.
+	Shed             bool
+	RetryAfterMillis int64
 }
 
 // framePool recycles the scratch buffers behind every frame encode and
@@ -565,6 +573,15 @@ func (e *Endpoint) exchange(s *session, a *agent.Agent) error {
 		return err
 	}
 	if !ack.Accepted {
+		if ack.Shed {
+			// Reconstruct the typed shed error sender-side: it matches
+			// admission.ErrShed (transient to the retry classifier, NOT
+			// ErrRejected) and carries the receiver's retry-after hint.
+			return &admission.ShedError{
+				Cause:      ack.Reason,
+				RetryAfter: time.Duration(ack.RetryAfterMillis) * time.Millisecond,
+			}
+		}
 		return fmt.Errorf("%w: %s", ErrRejected, ack.Reason)
 	}
 	return nil
@@ -629,6 +646,20 @@ func (e *Endpoint) receiveOne(s *session, idleWait bool, accept func(*agent.Agen
 	}
 	if accept != nil {
 		if err := accept(a, s.peer); err != nil {
+			// A load-shed travels as its own ack shape (not a plain
+			// nack): the sender reconstructs a transient ShedError with
+			// the retry-after hint instead of a permanent ErrRejected.
+			var shed *admission.ShedError
+			if errors.As(err, &shed) {
+				if ackErr := s.writeMsg(ackMsg{
+					Reason:           shed.Cause,
+					Shed:             true,
+					RetryAfterMillis: shed.RetryAfter.Milliseconds(),
+				}); ackErr != nil {
+					return nil, true, ackErr
+				}
+				return nil, false, err
+			}
 			if ackErr := s.sendAck(false, err.Error()); ackErr != nil {
 				return nil, true, ackErr
 			}

@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/admission"
 	"repro/internal/agent"
 	"repro/internal/asl"
 	"repro/internal/cred"
@@ -151,6 +152,106 @@ func TestReceiverRejection(t *testing.T) {
 	}
 	if !errors.Is(sendErr, ErrRejected) {
 		t.Fatalf("send = %v", sendErr)
+	}
+}
+
+func TestShedAckRoundTrip(t *testing.T) {
+	// A load-shedding rejection must cross the wire as its own ack
+	// shape and be reconstructed sender-side as a typed ShedError:
+	// matching admission.ErrShed (transient), NOT ErrRejected
+	// (permanent), with the receiver's retry-after hint intact.
+	w := newWorld(t)
+	a := testAgent(t, w.reg)
+	shed := func(*agent.Agent, names.Name) error {
+		return &admission.ShedError{Tier: "bulk", Cause: "rate", RetryAfter: 120 * time.Millisecond}
+	}
+	got, recvErr, sendErr := w.exchange(t, a, shed)
+	if got != nil {
+		t.Fatal("shed agent returned")
+	}
+	if !errors.Is(recvErr, admission.ErrShed) {
+		t.Fatalf("recv = %v, want ErrShed", recvErr)
+	}
+	if !errors.Is(sendErr, admission.ErrShed) {
+		t.Fatalf("send = %v, want ErrShed", sendErr)
+	}
+	if errors.Is(sendErr, ErrRejected) {
+		t.Fatal("shed must not look like a permanent rejection to the sender")
+	}
+	var se *admission.ShedError
+	if !errors.As(sendErr, &se) {
+		t.Fatalf("send = %T, want *admission.ShedError", sendErr)
+	}
+	if se.RetryAfter != 120*time.Millisecond {
+		t.Fatalf("retry-after hint = %v, want 120ms", se.RetryAfter)
+	}
+	if se.Cause != "rate" {
+		t.Fatalf("cause = %q, want rate", se.Cause)
+	}
+}
+
+func TestShedKeepsSessionUsable(t *testing.T) {
+	// A shed is an application-level deferral, not a protocol failure:
+	// the same session must carry a subsequent transfer once the
+	// receiver has room. Drive two transfers over one session by hand.
+	w := newWorld(t)
+	a := testAgent(t, w.reg)
+	l, err := w.net.Listen("b:7000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	shedFirst := true
+	accept := func(*agent.Agent, names.Name) error {
+		if shedFirst {
+			shedFirst = false
+			return &admission.ShedError{Cause: "concurrency", RetryAfter: 10 * time.Millisecond}
+		}
+		return nil
+	}
+	recvDone := make(chan error, 2)
+	go func() {
+		conn, err := l.Accept()
+		if err != nil {
+			recvDone <- err
+			return
+		}
+		defer conn.Close()
+		s, err := w.b.handshake(conn, false, time.Time{}, 0)
+		if err != nil {
+			recvDone <- err
+			return
+		}
+		for i := 0; i < 2; i++ {
+			_, fatal, err := w.b.receiveOne(s, false, accept)
+			if err != nil && fatal {
+				recvDone <- err
+				return
+			}
+			recvDone <- err
+		}
+	}()
+
+	conn, err := w.net.Dial("b:7000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := w.a.handshake(conn, true, time.Time{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.a.sendOn(s, a); !errors.Is(err, admission.ErrShed) {
+		t.Fatalf("first transfer: %v, want ErrShed", err)
+	}
+	if err := <-recvDone; !errors.Is(err, admission.ErrShed) {
+		t.Fatalf("receiver first: %v, want ErrShed", err)
+	}
+	if err := w.a.sendOn(s, a); err != nil {
+		t.Fatalf("second transfer on same session: %v", err)
+	}
+	if err := <-recvDone; err != nil {
+		t.Fatalf("receiver second: %v", err)
 	}
 }
 
