@@ -7,13 +7,31 @@
 GATE_BENCH := BenchmarkC1_|BenchmarkC4_|BenchmarkC7_|BenchmarkC8_
 BENCH_FLAGS := -run '^$$' -benchtime 0.5s -count 3
 
-.PHONY: test race bench-gate-run bench-baseline bench-gate
+.PHONY: test race lint bench-gate-run bench-baseline bench-gate
 
 test:
 	go build ./... && go test ./...
 
 race:
 	go test -race ./...
+
+# lint runs the full static gate: formatting, go vet, staticcheck when
+# the binary is installed (it is optional — the repo's own analyzers do
+# the heavy lifting), and the in-tree type-aware analyzer suite
+# (cmd/repolint; see docs/ANALYZERS.md). Fails on any unsuppressed
+# finding.
+lint:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed:"; echo "$$unformatted"; exit 1; \
+	fi
+	go vet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (optional)"; \
+	fi
+	go run ./cmd/repolint .
 
 # bench-gate-run produces one gate-comparable measurement file.
 bench-gate-run:

@@ -1,30 +1,41 @@
-// Command repolint runs this repository's own Go lint rules
+// Command repolint runs this repository's own analyzer suite
 // (internal/lint) over a checkout — the platform-side counterpart of
-// ajanta-vet. CI runs it next to gofmt, go vet and staticcheck.
+// ajanta-vet. Since the type-aware rebuild the suite carries five
+// analyzers (resourceimpl, lockorder, cowsnapshot, coarseclock,
+// errclass); see docs/ANALYZERS.md for what each enforces and for the
+// //lint:allow suppression grammar. CI runs it next to gofmt, go vet
+// and staticcheck.
 //
 // Usage:
 //
-//	repolint [dir]       # default: current directory
-//	repolint -rules      # list active rules
+//	repolint [dir]              # default: current directory
+//	repolint -rules             # list active analyzers
+//	repolint -json out.json .   # also write findings as JSON
+//	repolint -github .          # also emit GitHub ::error annotations
 //
-// Exit status: 0 = clean, 1 = findings, 2 = usage/IO error.
+// Exit status: 0 = clean, 1 = unsuppressed findings, 2 = usage or
+// operational error (type-check failure, toolchain missing).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"repro/internal/lint"
 )
 
 func main() {
-	listRules := flag.Bool("rules", false, "list active rules and exit")
+	listRules := flag.Bool("rules", false, "list active analyzers and exit")
+	jsonPath := flag.String("json", "", "write findings as a JSON array to this file ('-' for stdout)")
+	github := flag.Bool("github", false, "emit GitHub Actions ::error annotations alongside findings")
 	flag.Parse()
 
 	if *listRules {
-		for _, r := range lint.Rules {
-			fmt.Printf("%s: %s\n", r.Name, r.Doc)
+		for _, a := range lint.Analyzers {
+			fmt.Printf("%s: %s\n", a.Name, a.Doc)
 		}
 		return
 	}
@@ -34,18 +45,57 @@ func main() {
 	case 1:
 		root = flag.Arg(0)
 	default:
-		fmt.Fprintln(os.Stderr, "usage: repolint [-rules] [dir]")
+		fmt.Fprintln(os.Stderr, "usage: repolint [-rules] [-json file] [-github] [dir]")
 		os.Exit(2)
 	}
-	findings, err := lint.CheckDir(root)
+	absRoot, err := filepath.Abs(root)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "repolint:", err)
 		os.Exit(2)
 	}
+	findings, err := lint.CheckDir(absRoot)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "repolint:", err)
+		os.Exit(2)
+	}
+	// Findings print with paths relative to the checked root where
+	// possible, so output (and GitHub annotations) are portable across
+	// checkouts.
+	for i := range findings {
+		if rel, err := filepath.Rel(absRoot, findings[i].File); err == nil && filepath.IsLocal(rel) {
+			findings[i].File = rel
+		}
+	}
 	for _, f := range findings {
 		fmt.Println(f)
+		if *github {
+			fmt.Printf("::error file=%s,line=%d,col=%d,title=repolint %s::%s\n",
+				f.File, f.Line, f.Col, f.Rule, f.Msg)
+		}
+	}
+	if *jsonPath != "" {
+		if err := writeJSON(*jsonPath, findings); err != nil {
+			fmt.Fprintln(os.Stderr, "repolint:", err)
+			os.Exit(2)
+		}
 	}
 	if len(findings) > 0 {
 		os.Exit(1)
 	}
+}
+
+func writeJSON(path string, findings []lint.Finding) error {
+	if findings == nil {
+		findings = []lint.Finding{} // encode as [], not null
+	}
+	data, err := json.MarshalIndent(findings, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
 }

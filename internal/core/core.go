@@ -19,6 +19,7 @@ import (
 	"repro/internal/names"
 	"repro/internal/netsim"
 	"repro/internal/policy"
+	"repro/internal/resource"
 	"repro/internal/retry"
 	"repro/internal/server"
 	"repro/internal/transfer"
@@ -316,10 +317,38 @@ func (p *Platform) LaunchAndWait(home *server.Server, a *agent.Agent, timeout ti
 	if err != nil {
 		return nil, err
 	}
-	select {
-	case back := <-ch:
-		return back, nil
-	case <-time.After(timeout):
+	back, ok := awaitWithTimeout(ch, timeout)
+	if !ok {
 		return nil, fmt.Errorf("core: agent %s did not return within %v", a.Name, timeout)
+	}
+	return back, nil
+}
+
+// awaitWithTimeout waits for a homecoming on ch for at most timeout,
+// riding the shared coarse clock (resource.CoarseSleep) instead of
+// allocating a time.Timer per launch — the same consolidation the
+// retry backoffs and transfer deadlines use (docs/PROTOCOLS.md §8.2).
+// Resolution is the coarse tick (~1ms), which is noise against any
+// realistic journey timeout. ok is false when the timeout fired first.
+func awaitWithTimeout(ch <-chan *agent.Agent, timeout time.Duration) (back *agent.Agent, ok bool) {
+	// Fast path: already home.
+	select {
+	case back = <-ch:
+		return back, true
+	default:
+	}
+	arrived := make(chan struct{})
+	defer close(arrived) // cancels the sleeper's wait promptly
+	timedOut := make(chan struct{})
+	go func() {
+		if canceled := resource.CoarseSleep(timeout, arrived); !canceled {
+			close(timedOut)
+		}
+	}()
+	select {
+	case back = <-ch:
+		return back, true
+	case <-timedOut:
+		return nil, false
 	}
 }

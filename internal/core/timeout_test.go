@@ -1,0 +1,58 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/agent"
+	"repro/internal/names"
+)
+
+// TestAwaitWithTimeoutExpires verifies the coarse-clock wait still
+// enforces the deadline: with nothing ever sent on the channel the call
+// must return ok=false, and within a few ticks of the requested
+// timeout, not hang.
+func TestAwaitWithTimeoutExpires(t *testing.T) {
+	ch := make(chan *agent.Agent)
+	start := time.Now()
+	back, ok := awaitWithTimeout(ch, 20*time.Millisecond)
+	if ok {
+		t.Fatalf("expected timeout, got agent %v", back)
+	}
+	if back != nil {
+		t.Fatalf("timed-out wait returned non-nil agent %v", back)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("timeout took %v, far beyond the 20ms deadline", elapsed)
+	}
+}
+
+// TestAwaitWithTimeoutDelivers verifies a homecoming during the wait
+// wins over the deadline.
+func TestAwaitWithTimeoutDelivers(t *testing.T) {
+	ch := make(chan *agent.Agent, 1)
+	want := &agent.Agent{Name: names.Agent("umn.edu", "homebound")}
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		ch <- want
+	}()
+	back, ok := awaitWithTimeout(ch, 5*time.Second)
+	if !ok {
+		t.Fatal("expected delivery before the 5s deadline, got timeout")
+	}
+	if back != want {
+		t.Fatalf("got agent %v, want %v", back, want)
+	}
+}
+
+// TestAwaitWithTimeoutFastPath verifies an agent already buffered on the
+// channel is returned without consulting the clock at all.
+func TestAwaitWithTimeoutFastPath(t *testing.T) {
+	ch := make(chan *agent.Agent, 1)
+	want := &agent.Agent{Name: names.Agent("umn.edu", "early")}
+	ch <- want
+	back, ok := awaitWithTimeout(ch, 0)
+	if !ok || back != want {
+		t.Fatalf("fast path: got (%v, %v), want (%v, true)", back, ok, want)
+	}
+}

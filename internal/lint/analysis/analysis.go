@@ -1,0 +1,70 @@
+// Package analysis is a deliberately small, stdlib-only re-statement
+// of the golang.org/x/tools/go/analysis driver contract: an Analyzer
+// is a named check, a Pass hands it one type-checked package, and
+// diagnostics flow back through Pass.Report. The repository vets its
+// agents' bytecode with internal/vm/analysis; this package is the same
+// idea one level up, applied to the platform's own Go source — and it
+// exists in-tree because the checker must build with no module
+// downloads (the x/tools API shape is kept so a future swap to the
+// real framework is mechanical).
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in findings, -rules listings and
+	// //lint:allow suppressions. Lower-case, no spaces.
+	Name string
+	// Doc is the one-paragraph description shown by repolint -rules.
+	Doc string
+	// Run applies the analyzer to one package. It reports problems via
+	// pass.Report and returns an error only for operational failures
+	// (findings are not errors).
+	Run func(*Pass) error
+}
+
+// Pass is the interface between the driver and one analyzer applied to
+// one package: the syntax, the type information, and the report sink.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files holds the package's parsed syntax trees, comments included.
+	Files []*ast.File
+	// Pkg is the type-checked package (Pkg.Path() is the import path).
+	Pkg *types.Package
+	// TypesInfo records types, definitions, uses and selections for
+	// every expression in Files.
+	TypesInfo *types.Info
+	// Report delivers one diagnostic to the driver.
+	Report func(Diagnostic)
+}
+
+// Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf is the printf convenience over Report.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Preorder walks every file of the pass in depth-first preorder,
+// invoking f on each node (the inspector-lite the analyzers share).
+func (p *Pass) Preorder(f func(ast.Node)) {
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			if n != nil {
+				f(n)
+			}
+			return true
+		})
+	}
+}

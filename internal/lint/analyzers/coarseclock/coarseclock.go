@@ -1,0 +1,98 @@
+// Package coarseclock enforces the coarse-clock consolidation from the
+// lock-free access-path work (docs/PROTOCOLS.md §8.2): hot paths under
+// internal/ run ONE process-wide millisecond ticker
+// (internal/resource/clock.go) instead of allocating a time.Timer per
+// backoff, deadline or redelivery pause. The analyzer bans the raw
+// allocating primitives — time.NewTimer, time.NewTicker, time.Sleep,
+// time.After, time.AfterFunc, time.Tick — everywhere under
+// repro/internal/ except the two sanctioned sites: the timer wheel
+// itself (internal/resource/clock.go, which owns the one real ticker)
+// and internal/netsim (simulated link delays are test infrastructure,
+// not a hot path). Violators are directed to resource.CoarseSleep and
+// resource.CoarseTime. time.Now and duration arithmetic stay legal;
+// only the timer-allocating calls are the discipline.
+package coarseclock
+
+import (
+	"go/ast"
+	"go/types"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// banned are the time package functions that allocate a timer (or park
+// the goroutine on a private one).
+var banned = map[string]bool{
+	"NewTimer":  true,
+	"NewTicker": true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+}
+
+// scopePrefix limits the check to the platform's internal packages;
+// cmd/ and examples/ are not hot paths.
+const scopePrefix = "repro/internal/"
+
+// allowedPkgs may use raw timers wholesale.
+var allowedPkgs = map[string]bool{
+	"repro/internal/netsim": true,
+}
+
+// allowedFiles maps package path -> base filenames allowed within it.
+var allowedFiles = map[string]map[string]bool{
+	"repro/internal/resource": {"clock.go": true},
+}
+
+// Analyzer flags raw time.Timer/Ticker allocation in internal/ hot
+// paths, pointing at resource.CoarseSleep / resource.CoarseTime.
+var Analyzer = &analysis.Analyzer{
+	Name: "coarseclock",
+	Doc: "internal/ hot paths must use the shared coarse clock (resource.CoarseSleep/CoarseTime) " +
+		"instead of allocating time.Timer/time.Ticker per wait; only the timer wheel " +
+		"(internal/resource/clock.go) and internal/netsim hold raw timers",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	pkg := pass.Pkg.Path()
+	if !strings.HasPrefix(pkg, scopePrefix) || allowedPkgs[pkg] {
+		return nil
+	}
+	fileAllow := allowedFiles[pkg]
+	for i, file := range pass.Files {
+		if fileAllow != nil {
+			base := filepath.Base(pass.Fset.Position(file.Pos()).Filename)
+			if fileAllow[base] {
+				continue
+			}
+		}
+		ast.Inspect(pass.Files[i], func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			f := analysis.CalleeFunc(pass.TypesInfo, call)
+			if f == nil || f.Pkg() == nil || f.Pkg().Path() != "time" || !banned[f.Name()] {
+				return true
+			}
+			// Methods named like the banned functions (time.Time.After,
+			// expiry comparisons) are not timer allocations.
+			if sig, ok := f.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				return true
+			}
+			hint := "resource.CoarseSleep"
+			if f.Name() == "NewTicker" || f.Name() == "Tick" {
+				hint = "the shared ticker in internal/resource/clock.go (resource.CoarseSleep in a loop)"
+			}
+			pass.Reportf(call.Pos(),
+				"raw time.%s in internal/ hot path; use %s (coarse-clock consolidation, docs/PROTOCOLS.md §8.2)",
+				f.Name(), hint)
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package coarseclock_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analyzers/coarseclock"
+	"repro/internal/lint/linttest"
+)
+
+func TestCoarseClock(t *testing.T) {
+	linttest.Run(t, coarseclock.Analyzer, "testdata")
+}

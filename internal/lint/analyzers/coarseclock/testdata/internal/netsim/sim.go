@@ -1,0 +1,11 @@
+// Package netsim is allowlisted wholesale: simulated link delays are
+// test infrastructure, not a hot path.
+package netsim
+
+import "time"
+
+// Delay models a link delay with a real timer — sanctioned.
+func Delay(d time.Duration) {
+	t := time.NewTimer(d)
+	<-t.C
+}

@@ -1,0 +1,11 @@
+// Package resource mimics the timer wheel's home: clock.go is the one
+// file allowed to hold the real ticker.
+package resource
+
+import "time"
+
+// StartClock owns the process's one raw ticker — allowlisted by file.
+func StartClock() {
+	t := time.NewTicker(time.Millisecond)
+	defer t.Stop()
+}

@@ -1,0 +1,9 @@
+package resource
+
+import "time"
+
+// Elsewhere in the package the allowlist does not apply: only clock.go
+// may allocate timers.
+func Elsewhere(d time.Duration) {
+	time.Sleep(d) // want "raw time.Sleep"
+}

@@ -1,0 +1,45 @@
+// Package server is in coarseclock scope: raw timer allocation is a
+// finding, clock reads and expiry comparisons are not, and an inline
+// //lint:allow with a reason silences a site.
+package server
+
+import "time"
+
+// Reap allocates a ticker per call — exactly what the coarse-clock
+// consolidation removed from the hot paths.
+func Reap(d time.Duration) {
+	t := time.NewTicker(d) // want "raw time.NewTicker"
+	defer t.Stop()
+	time.Sleep(d)   // want "raw time.Sleep"
+	<-time.After(d) // want "raw time.After"
+}
+
+// Renamed imports do not dodge the type-aware check.
+func Renamed(d time.Duration) {
+	sleep(d)
+}
+
+func sleep(d time.Duration) {
+	_ = time.NewTimer(d) // want "raw time.NewTimer"
+}
+
+// Expired uses time.Time.After, the comparison method — clean.
+func Expired(deadline time.Time) bool {
+	return time.Now().After(deadline)
+}
+
+// Allowed documents why this one site may keep a raw timer.
+func Allowed(d time.Duration) {
+	time.Sleep(d) //lint:allow coarseclock fixture demonstrates the suppression grammar
+}
+
+// AllowedAbove carries the annotation on the preceding line.
+func AllowedAbove(d time.Duration) {
+	//lint:allow coarseclock the annotation may ride the line above
+	time.Sleep(d)
+}
+
+// WrongName suppresses a different analyzer, so the finding stands.
+func WrongName(d time.Duration) {
+	time.Sleep(d) //lint:allow errclass mismatched analyzer name // want "raw time.Sleep"
+}

@@ -1,0 +1,10 @@
+// Package tools sits outside internal/: the coarse-clock discipline
+// governs hot paths only.
+package tools
+
+import "time"
+
+// Wait may sleep however it likes.
+func Wait(d time.Duration) {
+	time.Sleep(d)
+}

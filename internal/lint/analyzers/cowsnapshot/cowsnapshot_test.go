@@ -1,0 +1,12 @@
+package cowsnapshot_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analyzers/cowsnapshot"
+	"repro/internal/lint/linttest"
+)
+
+func TestCOWSnapshot(t *testing.T) {
+	linttest.Run(t, cowsnapshot.Analyzer, "testdata")
+}

@@ -1,0 +1,19 @@
+// Package other sits outside the copy-on-write packages: the same
+// write pattern is not the analyzer's business here.
+package other
+
+import "sync/atomic"
+
+type state struct{ n int }
+
+type Box struct {
+	snap atomic.Pointer[state]
+}
+
+// Mutate would be a finding under internal/policy; here it is out of
+// scope (whatever discipline this package has, cowsnapshot does not
+// define it).
+func (b *Box) Mutate() {
+	cur := b.snap.Load()
+	cur.n = 1
+}

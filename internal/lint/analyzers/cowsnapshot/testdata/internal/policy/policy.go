@@ -1,0 +1,104 @@
+// Package policy reproduces the copy-on-write shapes the cowsnapshot
+// analyzer must judge: direct and aliased mutation of a loaded
+// snapshot (findings), and the sanctioned copy-then-publish idiom
+// (clean). The fixture module is named repro so the analyzer's package
+// scoping matches the real tree.
+package policy
+
+import "sync/atomic"
+
+type entry struct{ n int }
+
+type ruleSet struct {
+	rules  []int
+	groups map[string][]string
+	byPtr  map[string]*entry
+}
+
+// Engine mirrors the real policy engine's COW core.
+type Engine struct {
+	snap atomic.Pointer[ruleSet]
+}
+
+// BadDirect mutates the loaded generation in place.
+func (e *Engine) BadDirect() {
+	cur := e.snap.Load()
+	cur.rules = append(cur.rules, 1) // want "mutates a copy-on-write snapshot"
+}
+
+// BadMapWrite writes a map entry of the loaded generation.
+func (e *Engine) BadMapWrite(k string) {
+	cur := e.snap.Load()
+	cur.groups[k] = nil // want "mutates a copy-on-write snapshot"
+}
+
+// BadDelete deletes through an unassigned Load expression.
+func (e *Engine) BadDelete(k string) {
+	delete(e.snap.Load().groups, k) // want "mutates a copy-on-write snapshot"
+}
+
+// load is the accessor-wrapper shape: its callers' results are
+// snapshots too.
+func (e *Engine) load() *ruleSet { return e.snap.Load() }
+
+// BadViaAccessor mutates through the wrapper.
+func (e *Engine) BadViaAccessor() {
+	cur := e.load()
+	cur.rules[0] = 1 // want "mutates a copy-on-write snapshot"
+}
+
+// BadRangePointer mutates shared structs reached through a loaded map:
+// copying the map header does not copy what its pointers reach.
+func (e *Engine) BadRangePointer() {
+	for _, en := range e.snap.Load().byPtr {
+		en.n = 1 // want "mutates a copy-on-write snapshot"
+	}
+}
+
+// BadIncrement bumps a counter inside the shared generation.
+func (e *Engine) BadIncrement() {
+	cur := e.snap.Load()
+	cur.byPtr["x"].n++ // want "mutates a copy-on-write snapshot"
+}
+
+// Good is the sanctioned idiom: build a fresh successor from the
+// current generation, mutate the copy, publish.
+func (e *Engine) Good(k string) {
+	cur := e.snap.Load()
+	ns := &ruleSet{
+		rules:  append([]int(nil), cur.rules...),
+		groups: make(map[string][]string, len(cur.groups)),
+	}
+	for g, ms := range cur.groups {
+		ns.groups[g] = ms
+	}
+	ns.groups[k] = nil
+	ns.rules = append(ns.rules, 2)
+	e.snap.Store(ns)
+}
+
+// clone is the package's documented deep-copy helper; //cow:clone
+// exempts its body and keeps its results fresh.
+//
+//cow:clone
+func (e *Engine) clone() *ruleSet {
+	cur := e.snap.Load()
+	out := &ruleSet{rules: append([]int(nil), cur.rules...)}
+	return out
+}
+
+// GoodViaClone mutates a clone, never the loaded original.
+func (e *Engine) GoodViaClone() {
+	ns := e.clone()
+	ns.rules = append(ns.rules, 3)
+	e.snap.Store(ns)
+}
+
+// GoodReassigned shows taint clearing on reassignment: after cur is
+// rebound to a fresh value, writes through it are fine.
+func (e *Engine) GoodReassigned() {
+	cur := e.snap.Load()
+	cur = &ruleSet{rules: append([]int(nil), cur.rules...)}
+	cur.rules[0] = 9
+	e.snap.Store(cur)
+}

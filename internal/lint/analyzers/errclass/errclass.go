@@ -1,0 +1,147 @@
+// Package errclass machine-checks the error-classification discipline
+// on the send paths (docs/PROTOCOLS.md §7): every error that escapes
+// dispatch, dead-letter redelivery or the transfer protocol is routed
+// by internal/retry's classifier, which decides between retrying a
+// transient failure and failing an agent home permanently. A bare
+// errors.New or non-wrapping fmt.Errorf defeats that routing — the
+// default classifier can only treat it as transient, so a genuinely
+// permanent condition would be retried until the budget burns out.
+//
+// The analyzer inspects the configured send-path files and flags any
+// return whose error-position result is a direct errors.New(...) call,
+// or a fmt.Errorf(...) whose format string contains no %w verb. Legal
+// shapes: wrapping with retry.Permanent, %w-wrapping a sentinel or an
+// upstream error (classification flows through errors.Is/Unwrap), and
+// returning package-level sentinels (the classifier matches them by
+// identity; their errors.New sits in a var block, not a return).
+// Function literals are checked too — a bare constructor inside a
+// retry.Do callback is exactly an unclassified error entering the
+// retry loop.
+package errclass
+
+import (
+	"go/ast"
+	"go/types"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// scope maps package path -> base filenames checked within it; nil
+// means every file of the package.
+var scope = map[string]map[string]bool{
+	"repro/internal/transfer": nil,
+	"repro/internal/server": {
+		"dispatch.go":   true,
+		"deadletter.go": true,
+	},
+}
+
+// Analyzer flags unclassified error constructors escaping send paths.
+var Analyzer = &analysis.Analyzer{
+	Name: "errclass",
+	Doc: "errors escaping the send/transfer paths must be classified for internal/retry: " +
+		"wrap with retry.Permanent or %w-wrap a classified error; bare errors.New / " +
+		"non-wrapping fmt.Errorf defeat transient/permanent routing (docs/PROTOCOLS.md §7)",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	files, ok := scope[pass.Pkg.Path()]
+	if !ok {
+		return nil
+	}
+	for i, file := range pass.Files {
+		if files != nil {
+			base := filepath.Base(pass.Fset.Position(file.Pos()).Filename)
+			if !files[base] {
+				continue
+			}
+		}
+		checkFile(pass, pass.Files[i])
+	}
+	return nil
+}
+
+// checkFile walks every function (declaration or literal), attributing
+// each return statement to the nearest enclosing function signature.
+func checkFile(pass *analysis.Pass, file *ast.File) {
+	var walk func(n ast.Node, sig *types.Signature)
+	walk = func(n ast.Node, sig *types.Signature) {
+		ast.Inspect(n, func(node ast.Node) bool {
+			switch node := node.(type) {
+			case *ast.FuncDecl:
+				if node.Body == nil {
+					return false
+				}
+				if fn, ok := pass.TypesInfo.Defs[node.Name].(*types.Func); ok {
+					walk(node.Body, fn.Type().(*types.Signature))
+					return false
+				}
+				return false
+			case *ast.FuncLit:
+				if t, ok := pass.TypesInfo.Types[node].Type.(*types.Signature); ok {
+					walk(node.Body, t)
+				}
+				return false
+			case *ast.ReturnStmt:
+				checkReturn(pass, sig, node)
+			}
+			return true
+		})
+	}
+	walk(file, nil)
+}
+
+// checkReturn flags unclassified constructors in the error-result
+// positions of the return.
+func checkReturn(pass *analysis.Pass, sig *types.Signature, ret *ast.ReturnStmt) {
+	if sig == nil || ret.Results == nil {
+		return
+	}
+	results := sig.Results()
+	if results.Len() != len(ret.Results) {
+		return // `return f()` forwarding: the callee is checked at its own returns
+	}
+	for i := 0; i < results.Len(); i++ {
+		if !isErrorType(results.At(i).Type()) {
+			continue
+		}
+		call, ok := ast.Unparen(ret.Results[i]).(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		switch {
+		case analysis.IsPkgFunc(pass.TypesInfo, call, "errors", "New"):
+			pass.Reportf(call.Pos(),
+				"bare errors.New escapes a send path unclassified; wrap with retry.Permanent "+
+					"or return a package-level sentinel (docs/PROTOCOLS.md §7)")
+		case analysis.IsPkgFunc(pass.TypesInfo, call, "fmt", "Errorf"):
+			if !wrapsError(call) {
+				pass.Reportf(call.Pos(),
+					"fmt.Errorf without %%w escapes a send path unclassified; wrap a classified "+
+						"error with %%w or use retry.Permanent (docs/PROTOCOLS.md §7)")
+			}
+		}
+	}
+}
+
+// wrapsError reports whether the fmt.Errorf call's format literal
+// contains a %w verb. A non-literal format cannot be judged; give it
+// the benefit of the doubt.
+func wrapsError(call *ast.CallExpr) bool {
+	if len(call.Args) == 0 {
+		return false
+	}
+	lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+	if !ok {
+		return true
+	}
+	return strings.Contains(lit.Value, "%w")
+}
+
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}

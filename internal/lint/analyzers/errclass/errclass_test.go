@@ -1,0 +1,12 @@
+package errclass_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analyzers/errclass"
+	"repro/internal/lint/linttest"
+)
+
+func TestErrClass(t *testing.T) {
+	linttest.Run(t, errclass.Analyzer, "testdata")
+}

@@ -1,0 +1,16 @@
+// Package retry stubs the classification wrappers the errclass fixture
+// exercises.
+package retry
+
+type permanentError struct{ err error }
+
+func (p *permanentError) Error() string { return p.err.Error() }
+func (p *permanentError) Unwrap() error { return p.err }
+
+// Permanent marks err as not worth retrying.
+func Permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &permanentError{err: err}
+}

@@ -1,0 +1,14 @@
+// Package server: only the send-path files (dispatch.go,
+// deadletter.go) are in errclass scope.
+package server
+
+import "errors"
+
+// SendToAddr mimics the real shape that was fixed in the dogfooding
+// pass: a bare construction on the dispatch path.
+func SendToAddr(havePool bool) error {
+	if !havePool {
+		return errors.New("server: config needs Dial") // want "bare errors.New"
+	}
+	return nil
+}

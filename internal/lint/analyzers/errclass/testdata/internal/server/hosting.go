@@ -1,0 +1,13 @@
+package server
+
+import "errors"
+
+// Admit lives outside the send-path files: hosting errors surface to
+// the local caller, not to the retry loop, so the discipline does not
+// apply here.
+func Admit(full bool) error {
+	if full {
+		return errors.New("server: at capacity")
+	}
+	return nil
+}

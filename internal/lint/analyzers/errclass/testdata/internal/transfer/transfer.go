@@ -1,0 +1,59 @@
+// Package transfer reproduces the send-path error shapes errclass must
+// judge: bare constructors escaping (findings) versus sentinels,
+// %w-wrapping and retry.Permanent (clean).
+package transfer
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/retry"
+)
+
+// ErrAuth is a package-level sentinel: the classifier matches it by
+// identity, so its errors.New is fine where it is.
+var ErrAuth = errors.New("transfer: peer authentication failed")
+
+// Bad escapes a bare constructor: the classifier can only guess.
+func Bad() error {
+	return errors.New("boom") // want "bare errors.New"
+}
+
+// BadErrorf formats without wrapping: same problem, fancier text.
+func BadErrorf(frame int) error {
+	return fmt.Errorf("transfer: frame %d failed", frame) // want "fmt.Errorf without %w"
+}
+
+// GoodWrap forwards the upstream error's classification through %w.
+func GoodWrap(err error) error {
+	return fmt.Errorf("transfer: encode: %w", err)
+}
+
+// GoodSentinel wraps a sentinel the classifier knows.
+func GoodSentinel(peer string) error {
+	return fmt.Errorf("%w: bad transcript signature from %s", ErrAuth, peer)
+}
+
+// GoodPermanent pins the class explicitly.
+func GoodPermanent() error {
+	return retry.Permanent(errors.New("config needs Dial"))
+}
+
+// BadInClosure is the retry-callback shape: a bare constructor inside
+// the op is exactly an unclassified error entering the retry loop.
+func BadInClosure(ready bool) error {
+	op := func() error {
+		if !ready {
+			return errors.New("not ready") // want "bare errors.New"
+		}
+		return nil
+	}
+	return op()
+}
+
+// GoodVariable returns an error held in a variable: out of the
+// analyzer's one-step scope by design.
+func GoodVariable() error {
+	err := errors.New("pre-built")
+	return err
+}

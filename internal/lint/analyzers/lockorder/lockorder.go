@@ -1,0 +1,478 @@
+// Package lockorder machine-checks the mutex partial order documented
+// in docs/PROTOCOLS.md §8.5. The allowed order is not hard-coded in
+// the analyzer: it is derived from structured comments on the mutex
+// fields themselves (see docs/ANALYZERS.md for the grammar):
+//
+//	//lock:order visitMu < parkMu
+//
+// declares that visitMu may be held while acquiring parkMu. Every
+// sync.Mutex / sync.RWMutex field of a struct that carries at least
+// one //lock:order line becomes a participating lock; acquiring a
+// participating lock while holding another one is legal only along a
+// declared edge (edges compose transitively). Everything else — the
+// reverse nesting, any undeclared pair, re-acquiring a lock already
+// held — is a finding.
+//
+// The check is flow-approximate but call-aware: within a function the
+// held set is tracked through straight-line code and into nested
+// blocks; and when a function is called while locks are held, the
+// callee's own direct acquisitions are checked against the caller's
+// held set for one level of intra-package inlining. That one level is
+// what catches the real shapes in internal/server: a helper that locks
+// parkMu is fine on its own and fine from Await (visitMu < parkMu is
+// declared), but a finding from anything holding finalMu or netMu.
+//
+// Approximations (all toward false negatives, never silent deadlock
+// of the checker itself): function literals are analyzed with an empty
+// held set (goroutines start fresh; synchronous closures are the rare
+// miss), deferred unlocks hold until function end, and a lock released
+// inside a nested block is considered released only within that block.
+package lockorder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// Analyzer enforces the annotated mutex partial order.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockorder",
+	Doc: "locks annotated with //lock:order comments must only nest along the declared " +
+		"partial order (docs/PROTOCOLS.md §8.5); any other nesting is a deadlock risk",
+	Run: run,
+}
+
+// lockID identifies one participating lock: a mutex field of a named
+// struct type.
+type lockID struct {
+	typ   *types.TypeName
+	field string
+}
+
+func (l lockID) String() string { return l.typ.Name() + "." + l.field }
+
+// orderLine matches one //lock:order annotation; the chain form
+// "a < b < c" declares a<b and b<c.
+var orderLine = regexp.MustCompile(`^lock:order\s+(.+)$`)
+
+func run(pass *analysis.Pass) error {
+	locks, order := collectAnnotations(pass)
+	if len(locks) == 0 {
+		return nil
+	}
+	acquires := collectAcquires(pass, locks)
+
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			w := &walker{pass: pass, locks: locks, order: order, acquires: acquires}
+			w.block(fd.Body.List, nil)
+		}
+	}
+	return nil
+}
+
+// --- annotation collection ---------------------------------------------
+
+// collectAnnotations scans struct declarations for //lock:order lines
+// and returns the participating lock fields (keyed by their field
+// object) and the transitive closure of the declared order.
+func collectAnnotations(pass *analysis.Pass) (map[*types.Var]lockID, map[lockID]map[lockID]bool) {
+	locks := make(map[*types.Var]lockID)
+	order := make(map[lockID]map[lockID]bool)
+
+	addEdge := func(a, b lockID) {
+		if order[a] == nil {
+			order[a] = make(map[lockID]bool)
+		}
+		order[a][b] = true
+	}
+
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				tn, ok := pass.TypesInfo.Defs[ts.Name].(*types.TypeName)
+				if !ok {
+					continue
+				}
+				// Gather this struct's declared edges from the type's
+				// doc comment and every field's doc/line comments.
+				var edges [][2]string
+				for _, cg := range []*ast.CommentGroup{gd.Doc, ts.Doc, ts.Comment} {
+					edges = append(edges, parseOrder(pass, cg)...)
+				}
+				mutexFields := make(map[string]*types.Var)
+				for _, f := range st.Fields.List {
+					edges = append(edges, parseOrder(pass, f.Doc)...)
+					edges = append(edges, parseOrder(pass, f.Comment)...)
+					for _, name := range f.Names {
+						v, ok := pass.TypesInfo.Defs[name].(*types.Var)
+						if !ok {
+							continue
+						}
+						if analysis.IsNamedType(v.Type(), "sync", "Mutex") ||
+							analysis.IsNamedType(v.Type(), "sync", "RWMutex") {
+							mutexFields[name.Name] = v
+						}
+					}
+				}
+				if len(edges) == 0 {
+					continue
+				}
+				// An annotated struct enrolls all its mutex fields.
+				for name, v := range mutexFields {
+					locks[v] = lockID{typ: tn, field: name}
+				}
+				for _, e := range edges {
+					a, aok := mutexFields[e[0]]
+					b, bok := mutexFields[e[1]]
+					if !aok || !bok {
+						pass.Reportf(ts.Pos(),
+							"//lock:order names %q < %q but %s has no such mutex field",
+							e[0], e[1], tn.Name())
+						continue
+					}
+					addEdge(locks[a], locks[b])
+				}
+			}
+		}
+	}
+
+	// Transitive closure (the sets are tiny).
+	for changed := true; changed; {
+		changed = false
+		for a, bs := range order {
+			for b := range bs {
+				for c := range order[b] {
+					if !order[a][c] {
+						addEdge(a, c)
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	return locks, order
+}
+
+// parseOrder extracts the [before, after] pairs declared in one
+// comment group.
+func parseOrder(pass *analysis.Pass, cg *ast.CommentGroup) [][2]string {
+	if cg == nil {
+		return nil
+	}
+	var out [][2]string
+	for _, c := range cg.List {
+		text := strings.TrimPrefix(c.Text, "//")
+		text = strings.TrimSpace(text)
+		m := orderLine.FindStringSubmatch(text)
+		if m == nil {
+			continue
+		}
+		parts := strings.Split(m[1], "<")
+		if len(parts) < 2 {
+			pass.Reportf(c.Pos(), "malformed //lock:order line %q: want \"a < b\"", c.Text)
+			continue
+		}
+		for i := 0; i+1 < len(parts); i++ {
+			a, b := strings.TrimSpace(parts[i]), strings.TrimSpace(parts[i+1])
+			if a == "" || b == "" {
+				pass.Reportf(c.Pos(), "malformed //lock:order line %q: empty lock name", c.Text)
+				continue
+			}
+			out = append(out, [2]string{a, b})
+		}
+	}
+	return out
+}
+
+// --- acquisition maps --------------------------------------------------
+
+// lockOp classifies a call as an acquisition or release of a
+// participating lock.
+type lockOp struct {
+	id      lockID
+	acquire bool
+}
+
+// resolveLockOp decides whether the call is (m).Lock/RLock/Unlock/
+// RUnlock on a participating lock field.
+func resolveLockOp(pass *analysis.Pass, locks map[*types.Var]lockID, call *ast.CallExpr) (lockOp, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return lockOp{}, false
+	}
+	var acquire bool
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		acquire = true
+	case "Unlock", "RUnlock":
+		acquire = false
+	default:
+		return lockOp{}, false
+	}
+	// The receiver must be a selection of a participating field:
+	// s.visitMu.Lock() → inner selector s.visitMu.
+	inner, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+	if !ok {
+		return lockOp{}, false
+	}
+	fieldSel, ok := pass.TypesInfo.Selections[inner]
+	if !ok || fieldSel.Kind() != types.FieldVal {
+		return lockOp{}, false
+	}
+	v, ok := fieldSel.Obj().(*types.Var)
+	if !ok {
+		return lockOp{}, false
+	}
+	id, ok := locks[v]
+	if !ok {
+		return lockOp{}, false
+	}
+	return lockOp{id: id, acquire: acquire}, true
+}
+
+// collectAcquires records, for every top-level function in the
+// package, the participating locks its body acquires directly — the
+// data the one-level inlining check consults at call sites.
+func collectAcquires(pass *analysis.Pass, locks map[*types.Var]lockID) map[*types.Func][]lockID {
+	out := make(map[*types.Func][]lockID)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			var acq []lockID
+			seen := make(map[lockID]bool)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					if op, ok := resolveLockOp(pass, locks, call); ok && op.acquire && !seen[op.id] {
+						seen[op.id] = true
+						acq = append(acq, op.id)
+					}
+				}
+				return true
+			})
+			if len(acq) > 0 {
+				out[fn] = acq
+			}
+		}
+	}
+	return out
+}
+
+// --- the held-set walk -------------------------------------------------
+
+type heldLock struct {
+	id  lockID
+	pos token.Pos
+}
+
+type walker struct {
+	pass     *analysis.Pass
+	locks    map[*types.Var]lockID
+	order    map[lockID]map[lockID]bool
+	acquires map[*types.Func][]lockID
+}
+
+// block walks statements sequentially, threading the held set; the
+// returned slice is the held set at the end of the block.
+func (w *walker) block(stmts []ast.Stmt, held []heldLock) []heldLock {
+	for _, s := range stmts {
+		held = w.stmt(s, held)
+	}
+	return held
+}
+
+// branch walks a nested block with a copy of the held set (the parent
+// continues with its own set: releases inside a branch are local to
+// it, a deliberately conservative choice).
+func (w *walker) branch(stmts []ast.Stmt, held []heldLock) {
+	w.block(stmts, append([]heldLock(nil), held...))
+}
+
+func (w *walker) stmt(s ast.Stmt, held []heldLock) []heldLock {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if op, ok := resolveLockOp(w.pass, w.locks, call); ok {
+				if op.acquire {
+					w.checkAcquire(call.Pos(), op.id, held)
+					return append(held, heldLock{id: op.id, pos: call.Pos()})
+				}
+				return release(held, op.id)
+			}
+		}
+		w.checkCalls(s, held)
+		return held
+	case *ast.DeferStmt:
+		// A deferred Unlock keeps the lock held for the rest of the
+		// walk (correct: it releases at return). Deferred calls to
+		// other functions run with an unknowable held set; skip them.
+		if _, ok := resolveLockOp(w.pass, w.locks, s.Call); ok {
+			return held
+		}
+		w.funcLits(s.Call)
+		return held
+	case *ast.GoStmt:
+		// The spawned goroutine starts with nothing held.
+		w.funcLits(s.Call)
+		return held
+	case *ast.AssignStmt, *ast.ReturnStmt, *ast.DeclStmt, *ast.IncDecStmt, *ast.SendStmt:
+		w.checkCalls(s, held)
+		return held
+	case *ast.IfStmt:
+		if s.Init != nil {
+			held = w.stmt(s.Init, held)
+		}
+		w.checkCalls(s.Cond, held)
+		w.branch(s.Body.List, held)
+		if s.Else != nil {
+			w.branch([]ast.Stmt{s.Else}, held)
+		}
+		return held
+	case *ast.ForStmt:
+		if s.Init != nil {
+			held = w.stmt(s.Init, held)
+		}
+		w.branch(s.Body.List, held)
+		return held
+	case *ast.RangeStmt:
+		w.checkCalls(s.X, held)
+		w.branch(s.Body.List, held)
+		return held
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			held = w.stmt(s.Init, held)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.branch(cc.Body, held)
+			}
+		}
+		return held
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.branch(cc.Body, held)
+			}
+		}
+		return held
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				w.branch(cc.Body, held)
+			}
+		}
+		return held
+	case *ast.BlockStmt:
+		return w.block(s.List, held)
+	case *ast.LabeledStmt:
+		return w.stmt(s.Stmt, held)
+	default:
+		return held
+	}
+}
+
+// checkAcquire validates taking id while holding held.
+func (w *walker) checkAcquire(pos token.Pos, id lockID, held []heldLock) {
+	for _, h := range held {
+		switch {
+		case h.id == id:
+			w.pass.Reportf(pos, "%s acquired while already held (self-deadlock)", id)
+		case !w.order[h.id][id]:
+			w.pass.Reportf(pos,
+				"%s acquired while holding %s: no //lock:order edge allows this nesting "+
+					"(docs/PROTOCOLS.md §8.5)", id, h.id)
+		}
+	}
+}
+
+// checkCalls applies the one-level inlining rule to every call inside
+// the node: an intra-package callee's direct acquisitions must be
+// legal under the caller's current held set.
+func (w *walker) checkCalls(n ast.Node, held []heldLock) {
+	ast.Inspect(n, func(node ast.Node) bool {
+		if fl, ok := node.(*ast.FuncLit); ok {
+			// Closure bodies are analyzed with an empty held set.
+			w.block(fl.Body.List, nil)
+			return false
+		}
+		call, ok := node.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if _, ok := resolveLockOp(w.pass, w.locks, call); ok {
+			return true // handled by the statement walk
+		}
+		if len(held) == 0 {
+			return true
+		}
+		fn := analysis.CalleeFunc(w.pass.TypesInfo, call)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != w.pass.Pkg.Path() {
+			return true
+		}
+		for _, acq := range w.acquires[fn] {
+			for _, h := range held {
+				switch {
+				case h.id == acq:
+					w.pass.Reportf(call.Pos(),
+						"call to %s acquires %s, which is already held here (self-deadlock)",
+						fn.Name(), acq)
+				case !w.order[h.id][acq]:
+					w.pass.Reportf(call.Pos(),
+						"call to %s acquires %s while %s is held: no //lock:order edge allows "+
+							"this nesting (docs/PROTOCOLS.md §8.5)", fn.Name(), acq, h.id)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// funcLits walks any function literals in the call with an empty held
+// set so their own nestings are still checked.
+func (w *walker) funcLits(n ast.Node) {
+	ast.Inspect(n, func(node ast.Node) bool {
+		if fl, ok := node.(*ast.FuncLit); ok {
+			w.block(fl.Body.List, nil)
+			return false
+		}
+		return true
+	})
+}
+
+// release drops the most recent acquisition of id.
+func release(held []heldLock, id lockID) []heldLock {
+	for i := len(held) - 1; i >= 0; i-- {
+		if held[i].id == id {
+			return append(held[:i:i], held[i+1:]...)
+		}
+	}
+	return held
+}

@@ -1,0 +1,11 @@
+package lockfix
+
+import "sync"
+
+// Bad carries an annotation naming a field that does not exist; the
+// analyzer reports the annotation itself rather than silently
+// enforcing nothing.
+type Bad struct { // want "no such mutex field"
+	//lock:order aMu < ghostMu
+	aMu sync.Mutex
+}

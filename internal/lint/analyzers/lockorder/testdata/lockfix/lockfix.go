@@ -1,0 +1,101 @@
+// Package lockfix reproduces the internal/server lock shapes the
+// lockorder analyzer must judge: the legal Await visitMu→parkMu
+// nesting, the illegal inversion, and both verdicts again through one
+// level of intra-package calls.
+package lockfix
+
+import "sync"
+
+// Server mimics the real lock decomposition of internal/server.
+type Server struct {
+	// visitMu guards the hosting state machine.
+	//
+	//lock:order visitMu < parkMu
+	visitMu sync.Mutex
+	// parkMu guards the delivery backstops.
+	parkMu sync.Mutex
+	// finalMu guards the post-visit ledgers; it never nests.
+	finalMu sync.Mutex
+
+	held    map[string]int
+	waiters map[string]chan int
+	ledger  map[string]uint64
+}
+
+// Await is the real, legal shape: the held check and the waiter
+// registration are one atomic step, nesting along the declared edge.
+func (s *Server) Await(name string) chan int {
+	ch := make(chan int, 1)
+	s.visitMu.Lock()
+	s.parkMu.Lock()
+	if n, ok := s.held[name]; ok {
+		delete(s.held, name)
+		s.parkMu.Unlock()
+		s.visitMu.Unlock()
+		ch <- n
+		return ch
+	}
+	s.waiters[name] = ch
+	s.parkMu.Unlock()
+	s.visitMu.Unlock()
+	return ch
+}
+
+// Inverted is the forbidden mirror image of Await.
+func (s *Server) Inverted(name string) {
+	s.parkMu.Lock()
+	s.visitMu.Lock() // want "Server.visitMu acquired while holding Server.parkMu"
+	delete(s.held, name)
+	s.visitMu.Unlock()
+	s.parkMu.Unlock()
+}
+
+// bumpLedger takes finalMu on its own — legal in isolation.
+func (s *Server) bumpLedger(owner string) {
+	s.finalMu.Lock()
+	s.ledger[owner]++
+	s.finalMu.Unlock()
+}
+
+// settleUnderVisit calls bumpLedger while holding visitMu: finalMu has
+// no order edge with visitMu, so the one-level inlining check fires.
+func (s *Server) settleUnderVisit(owner string) {
+	s.visitMu.Lock()
+	defer s.visitMu.Unlock()
+	s.bumpLedger(owner) // want "call to bumpLedger acquires Server.finalMu while Server.visitMu is held"
+}
+
+// parkHelper takes parkMu on its own.
+func (s *Server) parkHelper(name string) {
+	s.parkMu.Lock()
+	s.held[name] = 1
+	s.parkMu.Unlock()
+}
+
+// deliverLocal reaches parkMu through a call while holding visitMu —
+// legal, the declared edge covers inlined acquisitions too.
+func (s *Server) deliverLocal(name string) {
+	s.visitMu.Lock()
+	defer s.visitMu.Unlock()
+	s.parkHelper(name)
+}
+
+// Reacquire deadlocks against itself.
+func (s *Server) Reacquire() {
+	s.visitMu.Lock()
+	s.visitMu.Lock() // want "Server.visitMu acquired while already held"
+	s.visitMu.Unlock()
+	s.visitMu.Unlock()
+}
+
+// Sequential is singular acquisition: release before the next lock.
+func (s *Server) Sequential(owner string) {
+	s.visitMu.Lock()
+	s.visits()
+	s.visitMu.Unlock()
+	s.finalMu.Lock()
+	s.ledger[owner]++
+	s.finalMu.Unlock()
+}
+
+func (s *Server) visits() {}

@@ -1,0 +1,63 @@
+// Package resourceimpl is the migrated form of the original syntactic
+// repolint rule: only the resource layer itself (and subpackages), the
+// registry and the server may name the concrete resource.ResourceImpl
+// type; every other package constructs implementations through
+// resource.NewImpl, so the concrete layout can evolve without a
+// tree-wide rewrite. The analyzer is now type-aware: it resolves
+// identifier uses instead of pattern-matching selector text, so
+// renamed imports, dot imports and type aliases are all caught.
+package resourceimpl
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// resourcePkg is the package owning the concrete type.
+const resourcePkg = "repro/internal/resource"
+
+// allowed are the import-path prefixes that may reference the concrete
+// type directly.
+var allowed = []string{
+	"repro/internal/resource",
+	"repro/internal/registry",
+	"repro/internal/server",
+}
+
+// Analyzer flags references to the concrete resource.ResourceImpl type
+// outside the allowlisted packages.
+var Analyzer = &analysis.Analyzer{
+	Name: "resourceimpl",
+	Doc: "only internal/resource (and subpackages), internal/registry and internal/server may " +
+		"reference the concrete resource.ResourceImpl type; other packages use resource.NewImpl",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, pfx := range allowed {
+		if pass.Pkg.Path() == pfx || strings.HasPrefix(pass.Pkg.Path(), pfx+"/") {
+			return nil
+		}
+	}
+	pass.Preorder(func(n ast.Node) {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return
+		}
+		obj := pass.TypesInfo.Uses[id]
+		tn, ok := obj.(*types.TypeName)
+		if !ok || tn.Pkg() == nil {
+			return
+		}
+		if tn.Pkg().Path() != resourcePkg || tn.Name() != "ResourceImpl" {
+			return
+		}
+		pass.Reportf(id.Pos(),
+			"package %s references the concrete resource.ResourceImpl type; use resource.NewImpl",
+			pass.Pkg.Path())
+	})
+	return nil
+}

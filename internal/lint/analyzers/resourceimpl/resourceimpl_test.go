@@ -1,0 +1,12 @@
+package resourceimpl_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analyzers/resourceimpl"
+	"repro/internal/lint/linttest"
+)
+
+func TestResourceImpl(t *testing.T) {
+	linttest.Run(t, resourceimpl.Analyzer, "testdata")
+}

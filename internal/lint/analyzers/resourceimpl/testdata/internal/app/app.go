@@ -1,0 +1,14 @@
+// Package app is outside the allowlist; naming the concrete type is a
+// finding however the import is spelled.
+package app
+
+import (
+	"repro/internal/resource"
+	res "repro/internal/resource"
+)
+
+var bad = resource.ResourceImpl{} // want "use resource.NewImpl"
+
+var renamed = res.ResourceImpl{} // want "use resource.NewImpl"
+
+var fine = resource.NewImpl()

@@ -1,0 +1,6 @@
+// Package buffer is a resource subpackage: still allowlisted.
+package buffer
+
+import "repro/internal/resource"
+
+var ok = resource.ResourceImpl{}

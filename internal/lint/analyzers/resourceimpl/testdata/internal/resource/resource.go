@@ -1,0 +1,10 @@
+// Package resource owns the concrete type; it may name it freely.
+package resource
+
+// ResourceImpl is the concrete implementation record.
+type ResourceImpl struct {
+	Name string
+}
+
+// NewImpl is the constructor everyone else goes through.
+func NewImpl() *ResourceImpl { return &ResourceImpl{} }

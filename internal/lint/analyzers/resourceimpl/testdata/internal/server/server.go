@@ -1,0 +1,6 @@
+// Package server builds system resources; it is allowlisted.
+package server
+
+import "repro/internal/resource"
+
+var ok = resource.ResourceImpl{}

@@ -1,174 +1,183 @@
-// Package lint is a small stdlib-only multichecker for this
-// repository's own Go source (the analogue, one level up, of the ASL
-// lint suite in internal/vm/analysis: the agents' code is vetted by
-// ajanta-vet, the platform's code by repolint). Rules are purely
-// syntactic — go/parser over every file, no type information — which
-// keeps the checker dependency-free and fast enough for CI.
+// Package lint is this repository's own analyzer suite — the
+// analogue, one level up, of the ASL lint suite in internal/vm/analysis
+// (the agents' code is vetted by ajanta-vet, the platform's code by
+// repolint). Since the type-aware rebuild the suite runs on
+// internal/lint/analysis, a stdlib-only re-statement of the
+// golang.org/x/tools/go/analysis contract, with full go/types
+// information loaded offline by internal/lint/load. Five analyzers
+// mechanize the invariants that used to live only in docs and review:
+//
+//	resourceimpl  concrete resource.ResourceImpl stays behind NewImpl
+//	lockorder     the //lock:order mutex partial order (§8.5)
+//	cowsnapshot   never mutate through atomic.Pointer.Load (§8.1)
+//	coarseclock   no raw time.Timer/Ticker in internal/ hot paths (§8.2)
+//	errclass      send-path errors are transient/permanent-classified (§7)
+//
+// A finding is silenced only by an inline annotation on the flagged
+// line (or the line above):
+//
+//	//lint:allow <analyzer> <reason>
+//
+// The reason is mandatory; a bare //lint:allow does not suppress.
+// See docs/ANALYZERS.md.
 package lint
 
 import (
 	"fmt"
-	"go/ast"
-	"go/parser"
-	"go/token"
-	"io/fs"
-	"path"
-	"path/filepath"
+	"os"
+	"regexp"
 	"sort"
-	"strconv"
 	"strings"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/analyzers/coarseclock"
+	"repro/internal/lint/analyzers/cowsnapshot"
+	"repro/internal/lint/analyzers/errclass"
+	"repro/internal/lint/analyzers/lockorder"
+	"repro/internal/lint/analyzers/resourceimpl"
+	"repro/internal/lint/load"
 )
 
-// modulePath is the import-path root of this repository.
-const modulePath = "repro"
+// Analyzers is the active suite, in reporting order.
+var Analyzers = []*analysis.Analyzer{
+	resourceimpl.Analyzer,
+	lockorder.Analyzer,
+	cowsnapshot.Analyzer,
+	coarseclock.Analyzer,
+	errclass.Analyzer,
+}
 
-// Finding is one rule violation.
+// Finding is one reported rule violation.
 type Finding struct {
-	Pos  string // file:line:col, relative to the checked root
-	Rule string
-	Msg  string
+	File string `json:"file"` // path as reported by the loader
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
+	Rule string `json:"rule"`
+	Msg  string `json:"msg"`
 }
 
-func (f Finding) String() string { return fmt.Sprintf("%s: %s: %s", f.Pos, f.Rule, f.Msg) }
-
-// File is one parsed source file handed to every rule.
-type File struct {
-	Path    string // path relative to the checked root
-	PkgPath string // import path of the containing package
-	Fset    *token.FileSet
-	AST     *ast.File
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.File, f.Line, f.Col, f.Rule, f.Msg)
 }
 
-// Rule is one check of the multichecker.
-type Rule struct {
-	Name  string
-	Doc   string
-	Check func(*File) []Finding
-}
-
-// Rules is the active rule set.
-var Rules = []Rule{resourceImplRule}
-
-// CheckDir parses every .go file under root (the repository checkout)
-// and applies all rules, returning findings sorted by position.
+// CheckDir loads every package under root (a module root or any
+// directory inside one) and applies the suite, returning the findings
+// that no //lint:allow annotation suppresses, sorted by position.
 func CheckDir(root string) ([]Finding, error) {
-	var findings []Finding
-	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
-		if err != nil {
-			return err
-		}
-		if d.IsDir() {
-			name := d.Name()
-			if name == "testdata" || strings.HasPrefix(name, ".") {
-				return filepath.SkipDir
-			}
-			return nil
-		}
-		if !strings.HasSuffix(path, ".go") {
-			return nil
-		}
-		rel, err := filepath.Rel(root, path)
-		if err != nil {
-			return err
-		}
-		fset := token.NewFileSet()
-		astf, err := parser.ParseFile(fset, path, nil, parser.SkipObjectResolution)
-		if err != nil {
-			return fmt.Errorf("lint: %w", err)
-		}
-		f := &File{
-			Path:    rel,
-			PkgPath: pkgPath(rel),
-			Fset:    fset,
-			AST:     astf,
-		}
-		for _, r := range Rules {
-			for _, fd := range r.Check(f) {
-				findings = append(findings, fd)
-			}
-		}
-		return nil
-	})
+	return CheckPackages(root, "./...")
+}
+
+// CheckPackages runs the suite over the packages matched by patterns,
+// resolved relative to dir.
+func CheckPackages(dir string, patterns ...string) ([]Finding, error) {
+	return CheckPackagesWith(dir, Analyzers, patterns...)
+}
+
+// CheckPackagesWith runs an explicit analyzer list (the linttest
+// harness runs one analyzer at a time) with the same loading,
+// suppression and ordering behaviour as the full suite.
+func CheckPackagesWith(dir string, analyzers []*analysis.Analyzer, patterns ...string) ([]Finding, error) {
+	pkgs, err := load.Load(dir, patterns...)
 	if err != nil {
 		return nil, err
 	}
-	sort.Slice(findings, func(i, j int) bool { return findings[i].Pos < findings[j].Pos })
+	var findings []Finding
+	sup := newSuppressions()
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			diags, err := RunAnalyzer(a, pkg)
+			if err != nil {
+				return nil, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.PkgPath, err)
+			}
+			for _, d := range diags {
+				pos := pkg.Fset.Position(d.Pos)
+				f := Finding{
+					File: pos.Filename,
+					Line: pos.Line,
+					Col:  pos.Column,
+					Rule: a.Name,
+					Msg:  d.Message,
+				}
+				if sup.allows(f) {
+					continue
+				}
+				findings = append(findings, f)
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Rule < b.Rule
+	})
 	return findings, nil
 }
 
-// pkgPath derives the import path of the package containing the file at
-// root-relative path rel.
-func pkgPath(rel string) string {
-	dir := filepath.ToSlash(filepath.Dir(rel))
-	if dir == "." {
-		return modulePath
+// RunAnalyzer applies one analyzer to one loaded package and returns
+// its raw (unsuppressed) diagnostics.
+func RunAnalyzer(a *analysis.Analyzer, pkg *load.Package) ([]analysis.Diagnostic, error) {
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.Info,
+		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
 	}
-	return modulePath + "/" + dir
+	if err := a.Run(pass); err != nil {
+		return nil, err
+	}
+	return diags, nil
 }
 
-// importName returns the local name the file binds importPath to, or
-// ok=false when the file does not import it.
-func importName(f *ast.File, importPath string) (string, bool) {
-	for _, imp := range f.Imports {
-		p, err := strconv.Unquote(imp.Path.Value)
-		if err != nil || p != importPath {
+// --- suppressions ------------------------------------------------------
+
+// allowRe matches one suppression comment: analyzer name, then a
+// mandatory free-text reason.
+var allowRe = regexp.MustCompile(`//lint:allow\s+([A-Za-z0-9_-]+)\s+\S`)
+
+// suppressions lazily reads source files and answers whether a finding
+// is annotated away on its own line or the line above.
+type suppressions struct {
+	lines map[string][]string // file -> lines
+}
+
+func newSuppressions() *suppressions {
+	return &suppressions{lines: make(map[string][]string)}
+}
+
+func (s *suppressions) fileLines(path string) []string {
+	if l, ok := s.lines[path]; ok {
+		return l
+	}
+	var l []string
+	if data, err := os.ReadFile(path); err == nil {
+		l = strings.Split(string(data), "\n")
+	}
+	s.lines[path] = l
+	return l
+}
+
+func (s *suppressions) allows(f Finding) bool {
+	lines := s.fileLines(f.File)
+	for _, ln := range []int{f.Line, f.Line - 1} {
+		if ln < 1 || ln > len(lines) {
 			continue
 		}
-		if imp.Name != nil {
-			return imp.Name.Name, true
+		for _, m := range allowRe.FindAllStringSubmatch(lines[ln-1], -1) {
+			if m[1] == f.Rule {
+				return true
+			}
 		}
-		return path.Base(p), true
 	}
-	return "", false
-}
-
-// --- rule: resourceimpl ------------------------------------------------
-
-// resourceImplAllowed are the package prefixes that may reference the
-// concrete resource.ResourceImpl type directly: the resource layer
-// itself (and its subpackages), the registry that stores entries, and
-// the server that builds system resources (mailboxes, VM-installed
-// resources). Everyone else goes through resource.NewImpl, so the
-// concrete layout can evolve without a tree-wide rewrite.
-var resourceImplAllowed = []string{
-	modulePath + "/internal/resource",
-	modulePath + "/internal/registry",
-	modulePath + "/internal/server",
-}
-
-var resourceImplRule = Rule{
-	Name: "resourceimpl",
-	Doc: "only internal/resource (and subpackages), internal/registry and internal/server may " +
-		"reference the concrete resource.ResourceImpl type; other packages use resource.NewImpl",
-	Check: func(f *File) []Finding {
-		for _, allowed := range resourceImplAllowed {
-			if f.PkgPath == allowed || strings.HasPrefix(f.PkgPath, allowed+"/") {
-				return nil
-			}
-		}
-		local, ok := importName(f.AST, modulePath+"/internal/resource")
-		if !ok || local == "_" {
-			return nil
-		}
-		var out []Finding
-		ast.Inspect(f.AST, func(n ast.Node) bool {
-			sel, ok := n.(*ast.SelectorExpr)
-			if !ok || sel.Sel.Name != "ResourceImpl" {
-				return true
-			}
-			id, ok := sel.X.(*ast.Ident)
-			if !ok || id.Name != local {
-				return true
-			}
-			pos := f.Fset.Position(sel.Pos())
-			out = append(out, Finding{
-				Pos:  fmt.Sprintf("%s:%d:%d", f.Path, pos.Line, pos.Column),
-				Rule: "resourceimpl",
-				Msg: fmt.Sprintf("package %s references the concrete resource.ResourceImpl type; use resource.NewImpl",
-					f.PkgPath),
-			})
-			return true
-		})
-		return out
-	},
+	return false
 }

@@ -3,100 +3,88 @@ package lint
 import (
 	"os"
 	"path/filepath"
-	"strings"
 	"testing"
 )
 
-// write lays out a file under dir, creating parents.
-func write(t *testing.T, dir, rel, src string) {
-	t.Helper()
-	path := filepath.Join(dir, rel)
-	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
-		t.Fatal(err)
-	}
-	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
-		t.Fatal(err)
-	}
-}
-
-func TestResourceImplRule(t *testing.T) {
-	dir := t.TempDir()
-	// A violating package: names the concrete type outside the
-	// allowlist.
-	write(t, dir, "internal/app/app.go", `package app
-
-import "repro/internal/resource"
-
-var bad = resource.ResourceImpl{}
-`)
-	// The resource package itself (and a subpackage) may.
-	write(t, dir, "internal/resource/ok.go", `package resource
-
-type ResourceImpl struct{}
-`)
-	write(t, dir, "internal/resource/buffer/ok.go", `package buffer
-
-import "repro/internal/resource"
-
-var ok = resource.ResourceImpl{}
-`)
-	// So may the server.
-	write(t, dir, "internal/server/ok.go", `package server
-
-import "repro/internal/resource"
-
-var ok = resource.ResourceImpl{}
-`)
-	// Renamed imports are still caught.
-	write(t, dir, "internal/other/other.go", `package other
-
-import res "repro/internal/resource"
-
-var bad = res.ResourceImpl{}
-`)
-	// Using the constructor is fine anywhere.
-	write(t, dir, "internal/fine/fine.go", `package fine
-
-import "repro/internal/resource"
-
-var ok = resource.NewImpl()
-`)
-
-	findings, err := CheckDir(dir)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(findings) != 2 {
-		t.Fatalf("findings = %v, want 2", findings)
-	}
-	for _, f := range findings {
-		if f.Rule != "resourceimpl" {
-			t.Errorf("rule = %q", f.Rule)
-		}
-	}
-	if !strings.HasPrefix(findings[0].Pos, filepath.Join("internal", "app", "app.go")+":") {
-		t.Errorf("finding[0] at %s", findings[0].Pos)
-	}
-	if !strings.HasPrefix(findings[1].Pos, filepath.Join("internal", "other", "other.go")+":") {
-		t.Errorf("finding[1] at %s", findings[1].Pos)
-	}
-}
-
-// TestRepositoryClean runs the multichecker over this repository
-// itself: the rules it enforces hold in the tree that ships them.
+// TestRepositoryClean is the dogfood gate: the full analyzer suite over
+// this repository must report zero unsuppressed findings. CI runs the
+// same check through cmd/repolint; keeping it in the test suite means a
+// plain `go test ./...` catches new violations too.
 func TestRepositoryClean(t *testing.T) {
-	root, err := filepath.Abs("../..")
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	root, err := filepath.Abs(filepath.Join("..", ".."))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if _, err := os.Stat(filepath.Join(root, "go.mod")); err != nil {
-		t.Skipf("repository root not found: %v", err)
+		t.Fatalf("expected module root at %s: %v", root, err)
 	}
 	findings, err := CheckDir(root)
 	if err != nil {
-		t.Fatal(err)
+		t.Fatalf("CheckDir: %v", err)
 	}
 	for _, f := range findings {
-		t.Errorf("%s", f)
+		t.Errorf("unsuppressed finding: %s", f)
+	}
+}
+
+// writeTemp writes a one-off source file and returns its path.
+func writeTemp(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "src.go")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestSuppressionSameLine(t *testing.T) {
+	path := writeTemp(t, "package p\n\nvar x = f() //lint:allow coarseclock timer lives outside the hot path\n")
+	sup := newSuppressions()
+	f := Finding{File: path, Line: 3, Rule: "coarseclock"}
+	if !sup.allows(f) {
+		t.Errorf("same-line annotation with reason should suppress %s", f)
+	}
+}
+
+func TestSuppressionLineAbove(t *testing.T) {
+	path := writeTemp(t, "package p\n\n//lint:allow errclass classified by the caller\nvar x = f()\n")
+	sup := newSuppressions()
+	f := Finding{File: path, Line: 4, Rule: "errclass"}
+	if !sup.allows(f) {
+		t.Errorf("line-above annotation with reason should suppress %s", f)
+	}
+}
+
+func TestSuppressionReasonMandatory(t *testing.T) {
+	// A bare //lint:allow <analyzer> with no reason must NOT suppress:
+	// the annotation grammar makes the justification part of the record.
+	path := writeTemp(t, "package p\n\nvar x = f() //lint:allow coarseclock\n")
+	sup := newSuppressions()
+	f := Finding{File: path, Line: 3, Rule: "coarseclock"}
+	if sup.allows(f) {
+		t.Errorf("annotation without a reason must not suppress %s", f)
+	}
+}
+
+func TestSuppressionAnalyzerMismatch(t *testing.T) {
+	path := writeTemp(t, "package p\n\nvar x = f() //lint:allow lockorder wrong analyzer named\n")
+	sup := newSuppressions()
+	f := Finding{File: path, Line: 3, Rule: "coarseclock"}
+	if sup.allows(f) {
+		t.Errorf("annotation naming a different analyzer must not suppress %s", f)
+	}
+}
+
+func TestSuppressionWrongLine(t *testing.T) {
+	// Two lines below the annotation is out of range: only the finding
+	// line and the line directly above count.
+	path := writeTemp(t, "package p\n\n//lint:allow coarseclock reason here\n\nvar x = f()\n")
+	sup := newSuppressions()
+	f := Finding{File: path, Line: 5, Rule: "coarseclock"}
+	if sup.allows(f) {
+		t.Errorf("annotation two lines above must not suppress %s", f)
 	}
 }

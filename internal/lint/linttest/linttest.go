@@ -1,0 +1,124 @@
+// Package linttest is the fixture harness for the analyzer suite — a
+// stdlib-only restatement of x/tools' analysistest. A fixture is a
+// self-contained module under an analyzer's testdata/ directory
+// (testdata is invisible to the enclosing module, so fixtures may
+// reuse the repro module path to trigger path-scoped analyzers).
+// Expectations ride on the flagged lines as comments:
+//
+//	s.parkMu.Lock() // want "no //lock:order edge"
+//
+// Run loads the fixture, applies one analyzer (with the production
+// //lint:allow suppression filtering), and fails the test on any
+// missing or unexpected finding. The quoted expectation is a regexp
+// matched against the finding message.
+package linttest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysis"
+)
+
+// wantRe extracts the expectation regexps on a line; a line may carry
+// several: // want "a" "b".
+var wantRe = regexp.MustCompile(`//\s*want\s+((?:"(?:[^"\\]|\\.)*"\s*)+)`)
+
+var wantArg = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// expectation is one // want entry.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+// Run applies one analyzer to the fixture module at dir and compares
+// findings against the fixture's // want comments.
+func Run(t *testing.T, a *analysis.Analyzer, dir string) {
+	t.Helper()
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := lint.CheckPackagesWith(abs, []*analysis.Analyzer{a}, "./...")
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+	expects, err := collectWants(abs)
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+
+	for _, f := range findings {
+		if f.Rule != a.Name {
+			t.Errorf("finding from unexpected analyzer %q: %s", f.Rule, f)
+			continue
+		}
+		matched := false
+		for _, e := range expects {
+			if e.hit || e.file != f.File || e.line != f.Line {
+				continue
+			}
+			if e.re.MatchString(f.Msg) {
+				e.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected finding: %s", rel(abs, f))
+		}
+	}
+	for _, e := range expects {
+		if !e.hit {
+			relFile, _ := filepath.Rel(abs, e.file)
+			t.Errorf("%s:%d: expected finding matching %q, got none", relFile, e.line, e.re)
+		}
+	}
+}
+
+// collectWants scans every fixture .go file for // want comments.
+func collectWants(dir string) ([]*expectation, error) {
+	var out []*expectation
+	err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantRe.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			for _, arg := range wantArg.FindAllStringSubmatch(m[1], -1) {
+				re, err := regexp.Compile(arg[1])
+				if err != nil {
+					return fmt.Errorf("%s:%d: bad want regexp: %w", path, i+1, err)
+				}
+				out = append(out, &expectation{file: path, line: i + 1, re: re})
+			}
+		}
+		return nil
+	})
+	return out, err
+}
+
+func rel(dir string, f lint.Finding) string {
+	if r, err := filepath.Rel(dir, f.File); err == nil {
+		f.File = r
+	}
+	return f.String()
+}

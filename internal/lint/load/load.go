@@ -1,0 +1,189 @@
+// Package load type-checks Go packages for the analyzer suite without
+// any dependency outside the standard library and the go toolchain
+// itself. It shells out to `go list -deps -export -json`, which makes
+// the toolchain compile every dependency and report the path of its
+// export data, then re-parses the *target* packages from source and
+// type-checks them with go/types, resolving imports through the
+// export files via go/importer's lookup mode. Everything works
+// offline: the only inputs are the checkout and the local build cache.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked target package.
+type Package struct {
+	PkgPath string
+	Dir     string
+	Fset    *token.FileSet
+	// Files are the parsed syntax trees (comments retained), in the
+	// order go list reports the source files.
+	Files []*ast.File
+	// GoFiles are the absolute paths corresponding to Files.
+	GoFiles []string
+	Types   *types.Package
+	Info    *types.Info
+	// TypeErrors collects soft type-check problems; analyzers still run
+	// on packages with partial information.
+	TypeErrors []error
+}
+
+// listedPkg mirrors the go list -json fields the loader consumes.
+type listedPkg struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Imports    []string
+	ImportMap  map[string]string
+	Export     string
+	DepOnly    bool
+	Standard   bool
+	Error      *struct{ Err string }
+}
+
+// Load lists patterns in dir (a module root or any directory inside
+// one) and returns the matched packages, type-checked from source.
+// Test files are not loaded: the invariants the suite checks are
+// hot-path disciplines, and tests legitimately use raw timers and
+// ad-hoc errors.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	// Export data for every compiled package, keyed by import path:
+	// the importer below reads dependencies (stdlib and intra-module
+	// alike) from these files instead of re-type-checking their source.
+	exports := make(map[string]string, len(listed))
+	importMap := make(map[string]string)
+	var targets []*listedPkg
+	for _, p := range listed {
+		if p.Error != nil && !p.DepOnly {
+			return nil, fmt.Errorf("load: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		for from, to := range p.ImportMap {
+			importMap[from] = to
+		}
+		if !p.DepOnly {
+			targets = append(targets, p)
+		}
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		if mapped, ok := importMap[path]; ok {
+			path = mapped
+		}
+		exp, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("load: no export data for %q", path)
+		}
+		return os.Open(exp)
+	})
+
+	var out []*Package
+	for _, t := range targets {
+		pkg, err := typecheck(fset, imp, t)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// typecheck parses one target package from source and runs go/types
+// over it.
+func typecheck(fset *token.FileSet, imp types.Importer, t *listedPkg) (*Package, error) {
+	pkg := &Package{
+		PkgPath: t.ImportPath,
+		Dir:     t.Dir,
+		Fset:    fset,
+	}
+	for _, name := range t.GoFiles {
+		path := filepath.Join(t.Dir, name)
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("load: %w", err)
+		}
+		pkg.Files = append(pkg.Files, f)
+		pkg.GoFiles = append(pkg.GoFiles, path)
+	}
+	pkg.Info = &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{
+		Importer: imp,
+		Error: func(err error) {
+			pkg.TypeErrors = append(pkg.TypeErrors, err)
+		},
+	}
+	tpkg, err := conf.Check(t.ImportPath, fset, pkg.Files, pkg.Info)
+	if tpkg == nil {
+		return nil, fmt.Errorf("load: type-check %s: %w", t.ImportPath, err)
+	}
+	pkg.Types = tpkg
+	return pkg, nil
+}
+
+// goList runs `go list -deps -export -json` and decodes the stream.
+func goList(dir string, patterns []string) ([]*listedPkg, error) {
+	args := append([]string{
+		"list", "-e", "-deps", "-export",
+		"-json=ImportPath,Dir,GoFiles,Imports,ImportMap,Export,DepOnly,Standard,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	// The loader must never reach for the network: everything it needs
+	// is the checkout, the local toolchain and the build cache.
+	cmd.Env = append(os.Environ(), "GOPROXY=off", "GOFLAGS=-mod=mod")
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		msg := strings.TrimSpace(stderr.String())
+		if msg == "" {
+			msg = err.Error()
+		}
+		return nil, fmt.Errorf("load: go list %s: %s", strings.Join(patterns, " "), msg)
+	}
+	dec := json.NewDecoder(&stdout)
+	var out []*listedPkg
+	for {
+		var p listedPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("load: decode go list output: %w", err)
+		}
+		out = append(out, &p)
+	}
+	return out, nil
+}

@@ -95,7 +95,10 @@ func (s *Server) sendTo(a *agent.Agent, dest names.Name) error {
 
 func (s *Server) sendToAddr(a *agent.Agent, addr string) error {
 	if s.pool == nil {
-		return errors.New("server: config needs Dial")
+		// Permanent: a server with no dialer will not grow one by
+		// retrying, and the retry loop must fail the agent home at
+		// once instead of burning its backoff budget.
+		return retry.Permanent(errors.New("server: config needs Dial"))
 	}
 	if err := s.pool.Send(addr, a); err != nil {
 		return err

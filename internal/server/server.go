@@ -143,9 +143,15 @@ type Server struct {
 	// pair ever nested is visitMu → parkMu (Await and deliverLocal
 	// must check-and-set waiters and held atomically); every other
 	// acquisition is singular. Never take visitMu while holding any of
-	// the others.
+	// the others. The //lock:order annotation below is the
+	// machine-readable form of this rule: the lockorder analyzer
+	// (cmd/repolint, docs/ANALYZERS.md) derives the allowed partial
+	// order from it and flags any other nesting of these four locks,
+	// including through one level of intra-package calls.
 
 	// visitMu guards the hosting state machine (hosting.go).
+	//
+	//lock:order visitMu < parkMu
 	visitMu sync.Mutex
 	visits  map[names.Name]*visit
 	waiters map[names.Name]chan *agent.Agent
