@@ -1,0 +1,204 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/loader"
+	"repro/internal/vm"
+)
+
+// c14Src mirrors the BenchmarkC14_AgentWorkload module (bench_vm_test.go):
+// one entry function per workload mix.
+const c14Src = `module c14
+
+var counter = 0
+
+func fib(n) {
+  if n < 2 {
+    return n
+  }
+  return fib(n - 1) + fib(n - 2)
+}
+
+func fibwork(n) {
+  return fib(n)
+}
+
+func loopwork(n) {
+  var acc = 0
+  var i = 0
+  while i < n {
+    acc = acc + i * 3 % 7
+    i = i + 1
+  }
+  return acc
+}
+
+func mapwork(n) {
+  var m = {"a": 0, "b": 1, "c": 2, "d": 3}
+  var i = 0
+  var acc = 0
+  while i < n {
+    m["a"] = m["a"] + 1
+    m["b"] = m["b"] + m["a"] % 5
+    acc = acc + m["b"] % 13
+    m["d"] = acc
+    i = i + 1
+  }
+  return acc + len(keys(m))
+}
+
+func hostwork(n) {
+  var i = 0
+  var acc = 0
+  while i < n {
+    acc = acc + ping(i)
+    i = i + 1
+  }
+  return acc
+}
+
+func statework(n) {
+  var i = 0
+  while i < n {
+    counter = counter + 1
+    i = i + 1
+  }
+  return counter
+}
+`
+
+// c14Result is one row of BENCH_vm.json: the cost of one agent
+// entry-function invocation for one (mix, interpreter) pair.
+type c14Result struct {
+	Mix         string  `json:"mix"`    // fib | loop | map | host | state
+	Interp      string  `json:"interp"` // fast | naive
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	InstrPerOp  float64 `json:"instr_per_op"`
+	NsPerInstr  float64 `json:"ns_per_instr"`
+}
+
+// c14Env builds one measurement environment: the module resolved
+// through a loader namespace (the hosted-visit code path, which hands
+// out the prepared execution copy) plus builtins and the ping host
+// function.
+func c14Env() (*vm.Env, *vm.Module) {
+	mod, err := compileASL(c14Src)
+	if err != nil {
+		panic(err)
+	}
+	ts, err := loader.NewTrustedSet()
+	if err != nil {
+		panic(err)
+	}
+	ns, err := loader.NewNamespace(ts, []vm.Module{*mod}, false)
+	if err != nil {
+		panic(err)
+	}
+	execMod, err := ns.Module("c14")
+	if err != nil {
+		panic(err)
+	}
+	env := vm.NewEnv()
+	env.Meter = vm.NewMeter(0)
+	env.Resolver = ns
+	vm.InstallBuiltins(env)
+	env.Host["ping"] = func(args []vm.Value) (vm.Value, error) {
+		return args[0], nil
+	}
+	return env, execMod
+}
+
+// tableC14 measures the VM fast path against the preserved naive
+// interpreter on the C14 workload mixes (experiment C14). When jsonPath
+// is non-empty the rows are written there (uploaded by CI as the
+// BENCH_vm artifact).
+func tableC14(jsonPath string) {
+	mixes := []struct {
+		name  string
+		entry string
+		arg   int64
+	}{
+		{"fib", "fibwork", 15},
+		{"loop", "loopwork", 500},
+		{"map", "mapwork", 200},
+		{"host", "hostwork", 500},
+		{"state", "statework", 500},
+	}
+
+	fmt.Println("C14: agent workload — fast interpreter vs naive baseline (ns per agent-op)")
+	fmt.Printf("  %-8s %12s %12s %10s %12s\n", "mix", "fast ns", "naive ns", "speedup", "fast allocs")
+	var results []c14Result
+	for _, mix := range mixes {
+		measure := func(run func(argv []vm.Value) error, meter func() uint64) c14Result {
+			argv := []vm.Value{vm.I(mix.arg)}
+			before := meter()
+			var n int
+			r := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if err := run(argv); err != nil {
+						b.Fatal(err)
+					}
+				}
+				n += b.N
+			})
+			instr := float64(meter()-before) / float64(n)
+			ns := float64(r.NsPerOp())
+			return c14Result{
+				Mix:         mix.name,
+				NsPerOp:     ns,
+				AllocsPerOp: r.AllocsPerOp(),
+				InstrPerOp:  instr,
+				NsPerInstr:  ns / instr,
+			}
+		}
+
+		env, mod := c14Env()
+		if _, err := vm.Run(env, mod, "__init__"); err != nil {
+			panic(err)
+		}
+		fast := measure(func(argv []vm.Value) error {
+			_, err := vm.Run(env, mod, mix.entry, argv...)
+			return err
+		}, env.Meter.Used)
+		fast.Interp = "fast"
+
+		nenv, _ := c14Env()
+		canon, err := compileASL(c14Src)
+		if err != nil {
+			panic(err)
+		}
+		nenv.Resolver = vm.ModuleResolver{M: canon}
+		var naive baseline.NaiveInterp
+		if _, err := naive.Run(nenv, canon, "__init__"); err != nil {
+			panic(err)
+		}
+		slow := measure(func(argv []vm.Value) error {
+			_, err := naive.Run(nenv, canon, mix.entry, argv...)
+			return err
+		}, nenv.Meter.Used)
+		slow.Interp = "naive"
+
+		results = append(results, fast, slow)
+		fmt.Printf("  %-8s %12.0f %12.0f %9.2fx %12d\n",
+			mix.name, fast.NsPerOp, slow.NsPerOp, slow.NsPerOp/fast.NsPerOp, fast.AllocsPerOp)
+	}
+	fmt.Println()
+
+	if jsonPath != "" {
+		blob, err := json.MarshalIndent(results, "", "  ")
+		if err != nil {
+			panic(err)
+		}
+		if err := os.WriteFile(jsonPath, append(blob, '\n'), 0o644); err != nil {
+			panic(err)
+		}
+		fmt.Printf("  wrote %s (%d rows)\n\n", jsonPath, len(results))
+	}
+}
