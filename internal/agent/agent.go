@@ -148,11 +148,19 @@ func (a *Agent) TakeHostState() any {
 // ErrNoCode is returned when constructing an agent without modules.
 var ErrNoCode = errors.New("agent: no code modules")
 
+// ErrFusedCode is returned when an agent's code bundle carries fused
+// superinstructions — prepared execution copies are process-local and
+// must never be constructed into, or cross the wire inside, an agent.
+var ErrFusedCode = errors.New("agent: bundle carries fused (non-canonical) bytecode")
+
 // New assembles an agent. The bundle is verified here as well as at
 // every receiving server (defence in depth).
 func New(creds cred.Credentials, mainModule string, code []vm.Module, it Itinerary) (*Agent, error) {
 	if len(code) == 0 {
 		return nil, ErrNoCode
+	}
+	if vm.BundleHasFused(code) {
+		return nil, ErrFusedCode
 	}
 	if err := vm.VerifyBundle(code); err != nil {
 		return nil, err
@@ -237,7 +245,16 @@ func stripHandles(v vm.Value) vm.Value {
 }
 
 // Encode serializes the agent with gob (the system's wire encoding).
+// Only canonical bytecode may cross the wire: the fused
+// superinstructions vm.Prepare rewrites into its process-local
+// execution copies are rejected here, so a bug that ever routed a
+// prepared module into an agent's Code fails loudly at the transfer
+// choke point instead of shipping non-canonical code (which would break
+// digest pinning and confuse remote verifiers).
 func (a *Agent) Encode() ([]byte, error) {
+	if vm.BundleHasFused(a.Code) {
+		return nil, fmt.Errorf("agent: encode: %w", ErrFusedCode)
+	}
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(a); err != nil {
 		return nil, fmt.Errorf("agent: encode: %w", err)
@@ -245,11 +262,15 @@ func (a *Agent) Encode() ([]byte, error) {
 	return buf.Bytes(), nil
 }
 
-// Decode deserializes an agent.
+// Decode deserializes an agent, rejecting non-canonical (fused)
+// bytecode a malicious or buggy sender may have produced.
 func Decode(data []byte) (*Agent, error) {
 	var a Agent
 	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&a); err != nil {
 		return nil, fmt.Errorf("agent: decode: %w", err)
+	}
+	if vm.BundleHasFused(a.Code) {
+		return nil, fmt.Errorf("agent: decode: %w", ErrFusedCode)
 	}
 	return &a, nil
 }

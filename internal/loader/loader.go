@@ -19,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/vm"
 )
@@ -36,6 +37,12 @@ var (
 type TrustedSet struct {
 	mu   sync.RWMutex
 	mods map[string]*vm.Module
+	// epoch increments whenever the set gains a module, i.e. whenever a
+	// name that previously resolved to an agent module could now be
+	// shadowed by a trusted one. The interpreter keys its call-site
+	// inline caches on it (vm.EpochResolver), so every cached
+	// resolution made before an install is revalidated after it.
+	epoch atomic.Uint64
 }
 
 // NewTrustedSet verifies and installs the given modules.
@@ -60,8 +67,15 @@ func (ts *TrustedSet) InstallTrusted(m *vm.Module) error {
 		return fmt.Errorf("loader: trusted module %q already installed", m.Name)
 	}
 	ts.mods[m.Name] = m
+	ts.epoch.Add(1)
 	return nil
 }
+
+// Epoch reports the installation epoch: it increases on every
+// InstallTrusted. Existing modules are never replaced (installs of a
+// duplicate name fail), so a resolution cached at epoch e stays valid
+// until the epoch moves past e.
+func (ts *TrustedSet) Epoch() uint64 { return ts.epoch.Load() }
 
 // Get returns a trusted module by name.
 func (ts *TrustedSet) Get(name string) (*vm.Module, bool) {
@@ -87,9 +101,23 @@ func (ts *TrustedSet) Names() []string {
 // module name is trusted-first, which yields the impostor-prevention
 // property: an agent-supplied module can never be selected when a
 // trusted module of the same name exists.
+// A Namespace hands out *execution copies* of its modules: prepared
+// forms built by vm.Prepare (superinstructions + inline-cache tables)
+// that share the canonical modules' constant pools but never alias
+// their code. The canonical bundle the agent carries — the thing that
+// is digested, manifest-checked and re-serialized on departure — is
+// untouched; prepared copies are process-local and never cross the
+// wire.
 type Namespace struct {
 	trusted *TrustedSet
-	own     map[string]*vm.Module
+	own     map[string]*vm.Module // prepared at admission
+
+	// Trusted modules are prepared lazily, once per namespace, on first
+	// resolution. The cache is keyed by name and never invalidated:
+	// InstallTrusted refuses duplicate names, so a trusted module, once
+	// seen, is immutable.
+	mu   sync.Mutex
+	exec map[string]*vm.Module
 }
 
 // NewNamespace verifies the agent's bundle and builds its namespace.
@@ -107,16 +135,38 @@ func NewNamespace(trusted *TrustedSet, bundle []vm.Module, strict bool) (*Namesp
 		if _, shadowed := trusted.Get(m.Name); shadowed && strict {
 			return nil, fmt.Errorf("%w: %q", ErrShadowedTrusted, m.Name)
 		}
-		ns.own[m.Name] = m
+		ns.own[m.Name] = vm.Prepare(m)
 	}
 	return ns, nil
 }
 
+// Epoch implements vm.EpochResolver: the namespace's resolution
+// function changes exactly when the trusted set gains a module (a new
+// trusted name may shadow an agent module from then on).
+func (ns *Namespace) Epoch() uint64 { return ns.trusted.Epoch() }
+
+// execTrusted returns the namespace's prepared copy of a trusted
+// module, building it on first use.
+func (ns *Namespace) execTrusted(name string, canon *vm.Module) *vm.Module {
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	if m, ok := ns.exec[name]; ok {
+		return m
+	}
+	if ns.exec == nil {
+		ns.exec = make(map[string]*vm.Module)
+	}
+	m := vm.Prepare(canon)
+	ns.exec[name] = m
+	return m
+}
+
 // Module resolves a module name: trusted set first, then the agent's
-// own bundle.
+// own bundle. The returned module is the namespace's prepared execution
+// copy, not the canonical form.
 func (ns *Namespace) Module(name string) (*vm.Module, error) {
 	if m, ok := ns.trusted.Get(name); ok {
-		return m, nil
+		return ns.execTrusted(name, m), nil
 	}
 	if m, ok := ns.own[name]; ok {
 		return m, nil

@@ -160,6 +160,11 @@ func interpret(m *vm.Module, f *vm.Func) (*funcAbs, error) {
 		res.visited[pc] = true
 		st := in[pc].clone()
 		ins := f.Code[pc]
+		// A fused head executes its shadow slots too: mark them visited
+		// so reachability-based diagnostics see the whole sequence.
+		for s := pc + 1; s < pc+ins.Op.Width() && s < n; s++ {
+			res.visited[s] = true
+		}
 
 		pop := func(k int) ([]AbsValue, error) {
 			if len(st.stack) < k {
@@ -324,6 +329,46 @@ func interpret(m *vm.Module, f *vm.Func) (*funcAbs, error) {
 				return nil, err
 			}
 			push(AbsValue{Kind: KMap})
+
+		// Fused superinstructions (vm.Prepare). Each one's abstract
+		// effect is exactly the composition of its canonical
+		// components, so a prepared module reaches the same states at
+		// every join point — and therefore the same manifest — as its
+		// canonical form.
+		case vm.OpLLIAdd:
+			if int(ins.A) < 0 || int(ins.A) >= len(st.locals) {
+				return nil, fmt.Errorf("analysis: %s.%s@%d: local out of range", m.Name, f.Name, pc)
+			}
+			// loadl;pushint;add — int+int when the local is known int,
+			// otherwise unknown (the add would trap at runtime).
+			if st.locals[ins.A].Kind == KInt {
+				push(AbsValue{Kind: KInt})
+			} else {
+				push(anyVal())
+			}
+		case vm.OpLLISub:
+			if int(ins.A) < 0 || int(ins.A) >= len(st.locals) {
+				return nil, fmt.Errorf("analysis: %s.%s@%d: local out of range", m.Name, f.Name, pc)
+			}
+			push(AbsValue{Kind: KInt})
+		case vm.OpLLILt, vm.OpLLILe:
+			if int(ins.A) < 0 || int(ins.A) >= len(st.locals) {
+				return nil, fmt.Errorf("analysis: %s.%s@%d: local out of range", m.Name, f.Name, pc)
+			}
+			push(AbsValue{Kind: KBool})
+		case vm.OpLLLL:
+			if int(ins.A) < 0 || int(ins.A) >= len(st.locals) ||
+				int(ins.B) < 0 || int(ins.B) >= len(st.locals) {
+				return nil, fmt.Errorf("analysis: %s.%s@%d: local out of range", m.Name, f.Name, pc)
+			}
+			push(st.locals[ins.A])
+			push(st.locals[ins.B])
+		case vm.OpEqJF, vm.OpNeJF, vm.OpLtJF, vm.OpLeJF, vm.OpGtJF, vm.OpGeJF:
+			if _, err := pop(2); err != nil {
+				return nil, err
+			}
+		case vm.OpPushIntRet:
+			terminal = true
 		default:
 			return nil, fmt.Errorf("analysis: %s.%s@%d: unknown opcode %d", m.Name, f.Name, pc, ins.Op)
 		}

@@ -42,46 +42,61 @@ type CFG struct {
 }
 
 // succPCs returns the successor instruction indices of pc, mirroring
-// the verifier's successor relation. Out-of-range targets cannot occur
-// on verified code; callers must verify first.
+// the verifier's successor relation: execution advances by the opcode's
+// width, so the shadow slots behind a fused superinstruction are
+// skipped. Out-of-range targets cannot occur on verified code; callers
+// must verify first.
 func succPCs(f *vm.Func, pc int) []int {
 	ins := f.Code[pc]
 	switch ins.Op {
-	case vm.OpReturn, vm.OpHalt:
+	case vm.OpReturn, vm.OpHalt, vm.OpPushIntRet:
 		return nil
 	case vm.OpJump:
 		return []int{int(ins.A)}
-	case vm.OpJumpIfFalse, vm.OpJumpIfTrue:
-		return []int{int(ins.A), pc + 1}
+	case vm.OpJumpIfFalse, vm.OpJumpIfTrue,
+		vm.OpEqJF, vm.OpNeJF, vm.OpLtJF, vm.OpLeJF, vm.OpGtJF, vm.OpGeJF:
+		return []int{int(ins.A), pc + ins.Op.Width()}
 	default:
-		return []int{pc + 1}
+		return []int{pc + ins.Op.Width()}
 	}
 }
 
 // BuildCFG partitions a verified function into basic blocks and
 // computes reachability from the entry. The function must have passed
-// vm.Verify (jump targets in range, no fall-off).
+// vm.Verify (jump targets in range, no fall-off). Prepared (fused)
+// functions are handled by decoding in width order: a fused head and
+// its shadow slots belong to one block and only heads contribute edges
+// (fusion guarantees shadows are never jump targets, so leaders always
+// land on heads).
 func BuildCFG(f *vm.Func) *CFG {
 	n := len(f.Code)
-	// Leaders: entry, every jump target, every instruction after a
-	// control transfer.
+	// head marks the instruction-stream decode positions; shadow slots
+	// behind a fused head are data.
+	head := make([]bool, n)
+	for pc := 0; pc < n; pc += f.Code[pc].Op.Width() {
+		head[pc] = true
+	}
+	// Leaders: entry, every jump target, every head after a control
+	// transfer.
 	leader := make([]bool, n)
 	if n > 0 {
 		leader[0] = true
 	}
-	for pc := 0; pc < n; pc++ {
+	for pc := 0; pc < n; pc += f.Code[pc].Op.Width() {
+		w := f.Code[pc].Op.Width()
 		switch f.Code[pc].Op {
-		case vm.OpJump, vm.OpJumpIfFalse, vm.OpJumpIfTrue:
+		case vm.OpJump, vm.OpJumpIfFalse, vm.OpJumpIfTrue,
+			vm.OpEqJF, vm.OpNeJF, vm.OpLtJF, vm.OpLeJF, vm.OpGtJF, vm.OpGeJF:
 			t := int(f.Code[pc].A)
 			if t >= 0 && t < n {
 				leader[t] = true
 			}
-			if pc+1 < n {
-				leader[pc+1] = true
+			if pc+w < n {
+				leader[pc+w] = true
 			}
-		case vm.OpReturn, vm.OpHalt:
-			if pc+1 < n {
-				leader[pc+1] = true
+		case vm.OpReturn, vm.OpHalt, vm.OpPushIntRet:
+			if pc+w < n {
+				leader[pc+w] = true
 			}
 		}
 	}
@@ -98,7 +113,12 @@ func BuildCFG(f *vm.Func) *CFG {
 		} else {
 			g.Blocks[i].End = n
 		}
+		// The block's terminator is its last *head*; End-1 may be a
+		// shadow slot of a fused instruction.
 		last := g.Blocks[i].End - 1
+		for last > g.Blocks[i].Start && !head[last] {
+			last--
+		}
 		for _, s := range succPCs(f, last) {
 			if s >= 0 && s < n {
 				g.Blocks[i].Succs = append(g.Blocks[i].Succs, g.BlockOf[s])

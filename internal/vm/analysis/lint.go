@@ -164,6 +164,20 @@ func liveness(f *vm.Func, g *CFG) map[int]bool {
 				}
 			case vm.OpStoreLocal:
 				def[b][slot] = true
+			// Fused superinstructions read locals through their A (and
+			// for ll_ll, B) operand; the loadl they swallowed is the
+			// replaced head slot, so it must be accounted for here.
+			case vm.OpLLIAdd, vm.OpLLISub, vm.OpLLILt, vm.OpLLILe:
+				if !def[b][slot] {
+					use[b][slot] = true
+				}
+			case vm.OpLLLL:
+				if !def[b][slot] {
+					use[b][slot] = true
+				}
+				if sb := int(ins.B); sb >= 0 && sb < nl && !def[b][sb] {
+					use[b][sb] = true
+				}
 			}
 		}
 	}
@@ -203,6 +217,13 @@ func liveness(f *vm.Func, g *CFG) map[int]bool {
 				live[slot] = false
 			case vm.OpLoadLocal:
 				live[slot] = true
+			case vm.OpLLIAdd, vm.OpLLISub, vm.OpLLILt, vm.OpLLILe:
+				live[slot] = true
+			case vm.OpLLLL:
+				live[slot] = true
+				if sb := int(ins.B); sb >= 0 && sb < nl {
+					live[sb] = true
+				}
 			}
 		}
 	}

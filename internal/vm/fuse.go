@@ -1,0 +1,296 @@
+package vm
+
+// This file implements Prepare: the load-time lowering of a verified
+// canonical module into the execution form the fast interpreter runs.
+// Preparation does three things, all local to this process:
+//
+//  1. copies the module's functions (sharing the immutable pools and
+//     debug tables) so the canonical bundle the agent carries — and
+//     re-serializes on departure — is never mutated;
+//  2. runs a peephole pass fusing hot straight-line pairs/triples into
+//     superinstructions (see the fused opcode block in isa.go). Fusion
+//     is PC-preserving: the fused opcode overwrites the first slot of
+//     the sequence and the interior slots keep their original
+//     instructions as unreachable "shadows", so jump targets, Pos
+//     tables, and the manifest's host-call PCs are all unchanged. A
+//     sequence is fused only when no interior slot is a jump target;
+//  3. attaches the funcRT runtime table: per-site inline-cache slots
+//     and the exact verified operand-stack bound, which lets the
+//     interpreter pre-size its arena and skip per-push checks.
+//
+// Prepared modules are process-local execution state, never protocol
+// state: agent.Encode/Decode reject fused bytecode, and the fusedwire
+// analyzer keeps Prepare calls inside the loader.
+
+// funcRT is the runtime table Prepare attaches to each function copy.
+type funcRT struct {
+	// maxStack is the function's exact maximum operand-stack depth as
+	// computed by the verifier dataflow over the fused code; the
+	// interpreter reserves NLocals+maxStack arena slots at frame entry
+	// and then pushes unchecked.
+	maxStack int
+	// sites holds one inline-cache slot per instruction, indexed by pc.
+	// nil when the function contains no cacheable site (named calls,
+	// host calls, global loads/stores).
+	sites []siteCache
+}
+
+// siteCache is one monomorphic inline cache. Which fields are
+// meaningful depends on the opcode at the site; validity is gated on
+// the owner fields (res/env) so caches shared between environments or
+// invalidated by a loader-epoch bump simply miss and re-resolve.
+type siteCache struct {
+	// OpCallNamed: resolution of Strs[A] through res at epoch.
+	res   Resolver
+	epoch uint64
+	mod   *Module
+	fn    *Func
+
+	// OpHostCall / OpLoadGlobal / OpStoreGlobal: owner environment.
+	env *Env
+	// OpHostCall: the resolved host function.
+	host HostFunc
+	// OpLoadGlobal / OpStoreGlobal: dense global slot index.
+	slot int32
+}
+
+// Prepare returns the execution copy of a verified canonical module:
+// fused code plus runtime tables. The input module is not modified and
+// may continue to be shared, serialized, and digested; the returned
+// module must never cross the wire. Preparing an already-prepared
+// module is valid and yields an equivalent copy (the peephole skips
+// fused heads and never re-fuses their shadows).
+func Prepare(m *Module) *Module {
+	cp := &Module{Name: m.Name, Ints: m.Ints, Strs: m.Strs, Fns: make([]Func, len(m.Fns))}
+	for i := range m.Fns {
+		f := &m.Fns[i]
+		nf := *f // shares Pos, LocalNames
+		nf.Code = fuse(f.Code)
+		nf.rt = buildRT(cp, &nf)
+		cp.Fns[i] = nf
+	}
+	return cp
+}
+
+// HasFused reports whether any instruction of the module is a fused
+// superinstruction — i.e. whether the module is a prepared execution
+// copy rather than canonical wire bytecode.
+func HasFused(m *Module) bool {
+	for i := range m.Fns {
+		for _, ins := range m.Fns[i].Code {
+			if ins.Op.Fused() {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// BundleHasFused reports whether any module of a bundle carries fused
+// bytecode. Transfer choke points use it to guarantee wire-format
+// modules stay canonical.
+func BundleHasFused(mods []Module) bool {
+	for i := range mods {
+		if HasFused(&mods[i]) {
+			return true
+		}
+	}
+	return false
+}
+
+// fuse runs the peephole pass over one function body and returns the
+// fused copy. Input must be verified canonical-or-prepared code; the
+// pass is idempotent.
+func fuse(code []Instr) []Instr {
+	n := len(code)
+	out := make([]Instr, n)
+	copy(out, code)
+
+	// An instruction that is a jump target must stay addressable as
+	// itself: it can never be buried as the interior of a fused
+	// sequence. Fused heads are fine as targets (their pc is unchanged).
+	target := make([]bool, n+1)
+	for pc := 0; pc < n; pc += int(code[pc].Op.Width()) {
+		switch code[pc].Op {
+		case OpJump, OpJumpIfFalse, OpJumpIfTrue, OpEqJF, OpNeJF, OpLtJF, OpLeJF, OpGtJF, OpGeJF:
+			t := int(code[pc].A)
+			if t >= 0 && t < n {
+				target[t] = true
+			}
+		}
+	}
+
+	free := func(pc int) bool { return pc < n && !target[pc] }
+
+	for pc := 0; pc < n; {
+		w := int(out[pc].Op.Width())
+		if w > 1 {
+			pc += w // already fused; never re-fuse shadows
+			continue
+		}
+		ins := out[pc]
+		switch ins.Op {
+		case OpLoadLocal:
+			// loadl A; pushint B; {add,sub,lt,le}  →  lli_* A B
+			if free(pc+1) && free(pc+2) && out[pc+1].Op == OpPushInt {
+				var fusedOp Opcode
+				switch out[pc+2].Op {
+				case OpAdd:
+					fusedOp = OpLLIAdd
+				case OpSub:
+					fusedOp = OpLLISub
+				case OpLt:
+					fusedOp = OpLLILt
+				case OpLe:
+					fusedOp = OpLLILe
+				}
+				if fusedOp != OpNop {
+					out[pc] = Instr{Op: fusedOp, A: ins.A, B: out[pc+1].A}
+					pc += 3
+					continue
+				}
+			}
+			// loadl A; loadl B  →  ll_ll A B — but only when a triple
+			// would not start at pc+1 (loadl;loadl;pushint;add fuses
+			// better as loadl + lli_add).
+			if free(pc+1) && out[pc+1].Op == OpLoadLocal {
+				tripleNext := free(pc+2) && free(pc+3) && out[pc+2].Op == OpPushInt &&
+					pc+3 < n &&
+					(out[pc+3].Op == OpAdd || out[pc+3].Op == OpSub ||
+						out[pc+3].Op == OpLt || out[pc+3].Op == OpLe)
+				if !tripleNext {
+					out[pc] = Instr{Op: OpLLLL, A: ins.A, B: out[pc+1].A}
+					pc += 2
+					continue
+				}
+			}
+		case OpEq, OpNe, OpLt, OpLe, OpGt, OpGe:
+			// cmp; jz T  →  cmp_jz T
+			if free(pc+1) && out[pc+1].Op == OpJumpIfFalse {
+				var fusedOp Opcode
+				switch ins.Op {
+				case OpEq:
+					fusedOp = OpEqJF
+				case OpNe:
+					fusedOp = OpNeJF
+				case OpLt:
+					fusedOp = OpLtJF
+				case OpLe:
+					fusedOp = OpLeJF
+				case OpGt:
+					fusedOp = OpGtJF
+				case OpGe:
+					fusedOp = OpGeJF
+				}
+				out[pc] = Instr{Op: fusedOp, A: out[pc+1].A}
+				pc += 2
+				continue
+			}
+		case OpPushInt:
+			// pushint A; ret  →  pushint_ret A
+			if free(pc+1) && out[pc+1].Op == OpReturn {
+				out[pc] = Instr{Op: OpPushIntRet, A: ins.A}
+				pc += 2
+				continue
+			}
+		}
+		pc++
+	}
+	return out
+}
+
+// buildRT computes the runtime table for a prepared function: the
+// exact operand-stack bound (the same dataflow the verifier runs, over
+// the fused code) and inline-cache slots when any site needs them.
+func buildRT(m *Module, f *Func) *funcRT {
+	rt := &funcRT{maxStack: maxStackDepth(m, f)}
+	for _, ins := range f.Code {
+		switch ins.Op {
+		case OpCallNamed, OpHostCall, OpLoadGlobal, OpStoreGlobal:
+			rt.sites = make([]siteCache, len(f.Code))
+		}
+		if rt.sites != nil {
+			break
+		}
+	}
+	return rt
+}
+
+// maxStackDepth runs the verifier's depth dataflow (fused-aware via
+// stackEffect) and returns the maximum operand depth reached. On any
+// inconsistency — impossible for code that passed Verify — it falls
+// back to the conservative bound the interpreter uses for unprepared
+// functions.
+func maxStackDepth(m *Module, f *Func) int {
+	n := len(f.Code)
+	depth := make([]int, n)
+	for i := range depth {
+		depth[i] = -1
+	}
+	if n == 0 {
+		return conservativeStackBound(f)
+	}
+	depth[0] = 0
+	work := []int{0}
+	maxd := 0
+	for len(work) > 0 {
+		pc := work[len(work)-1]
+		work = work[:len(work)-1]
+		d := depth[pc]
+		ins := f.Code[pc]
+		pops, pushes, err := stackEffect(m, f, pc, ins)
+		if err != nil || d < pops {
+			return conservativeStackBound(f)
+		}
+		nd := d - pops + pushes
+		// Fused arithmetic evaluates its virtual intermediates in
+		// registers, so the *net* effect is the honest bound — except
+		// the comparison fusions, whose two operands were already on
+		// the stack before the head executed.
+		if nd > maxd {
+			maxd = nd
+		}
+		for _, s := range fusedSuccs(f, pc, ins) {
+			if s < 0 || s >= n {
+				return conservativeStackBound(f)
+			}
+			switch depth[s] {
+			case -1:
+				depth[s] = nd
+				work = append(work, s)
+			case nd:
+			default:
+				return conservativeStackBound(f)
+			}
+		}
+	}
+	return maxd
+}
+
+// conservativeStackBound bounds the operand stack of any verified
+// function without running the dataflow: no instruction nets more than
+// +1, and the verifier guarantees a consistent depth per pc, so depth
+// can never exceed the instruction count (nor MaxVerifiedStack).
+func conservativeStackBound(f *Func) int {
+	if len(f.Code) < MaxVerifiedStack {
+		return len(f.Code)
+	}
+	return MaxVerifiedStack
+}
+
+// fusedSuccs is the successor relation over possibly-fused code:
+// execution advances by the opcode's width, branch targets are
+// absolute, fused heads branch like their final component.
+func fusedSuccs(f *Func, pc int, ins Instr) []int {
+	switch ins.Op {
+	case OpReturn, OpHalt, OpPushIntRet:
+		return nil
+	case OpJump:
+		return []int{int(ins.A)}
+	case OpJumpIfFalse, OpJumpIfTrue,
+		OpEqJF, OpNeJF, OpLtJF, OpLeJF, OpGtJF, OpGeJF:
+		return []int{int(ins.A), pc + ins.Op.Width()}
+	default:
+		return []int{pc + ins.Op.Width()}
+	}
+}

@@ -1,0 +1,196 @@
+package vm
+
+import (
+	"reflect"
+	"testing"
+)
+
+// mod1 wraps one function body into a verifiable module.
+func mod1(t *testing.T, nparams, nlocals int, code []Instr) *Module {
+	t.Helper()
+	m := &Module{
+		Name: "m",
+		Ints: []int64{0, 1, 2, 42},
+		Strs: []string{"g", "log"},
+		Fns:  []Func{{Name: "f", NParams: nparams, NLocals: nlocals, Code: code}},
+	}
+	if err := Verify(m); err != nil {
+		t.Fatalf("canonical module does not verify: %v", err)
+	}
+	return m
+}
+
+func TestFusePatterns(t *testing.T) {
+	cases := []struct {
+		name string
+		in   []Instr
+		want []Opcode // expected opcode at each slot after fusion
+	}{
+		{
+			name: "lli_add",
+			in: []Instr{
+				{Op: OpLoadLocal, A: 0}, {Op: OpPushInt, A: 1}, {Op: OpAdd},
+				{Op: OpReturn},
+			},
+			want: []Opcode{OpLLIAdd, OpPushInt, OpAdd, OpReturn},
+		},
+		{
+			name: "lli_lt_then_jz_not_refused",
+			in: []Instr{
+				{Op: OpLoadLocal, A: 0}, {Op: OpPushInt, A: 2}, {Op: OpLt},
+				{Op: OpJumpIfFalse, A: 6},
+				{Op: OpPushInt, A: 0}, {Op: OpReturn},
+				{Op: OpPushInt, A: 1}, {Op: OpReturn},
+			},
+			// The triple wins at pc 0; the jz at pc 3 stays canonical
+			// (its cmp partner was swallowed by the triple). Both
+			// pushint;ret tails fuse.
+			want: []Opcode{OpLLILt, OpPushInt, OpLt, OpJumpIfFalse,
+				OpPushIntRet, OpReturn, OpPushIntRet, OpReturn},
+		},
+		{
+			name: "cmp_jz",
+			in: []Instr{
+				{Op: OpLoadLocal, A: 0}, {Op: OpLoadLocal, A: 1}, {Op: OpEq},
+				{Op: OpJumpIfFalse, A: 6},
+				{Op: OpPushInt, A: 0}, {Op: OpReturn},
+				{Op: OpPushInt, A: 1}, {Op: OpReturn},
+			},
+			// ll_ll pairs the two loads, then eq;jz fuses.
+			want: []Opcode{OpLLLL, OpLoadLocal, OpEqJF, OpJumpIfFalse,
+				OpPushIntRet, OpReturn, OpPushIntRet, OpReturn},
+		},
+		{
+			name: "ll_ll_yields_to_triple",
+			in: []Instr{
+				{Op: OpLoadLocal, A: 0}, {Op: OpLoadLocal, A: 1},
+				{Op: OpPushInt, A: 1}, {Op: OpAdd},
+				{Op: OpReturn},
+			},
+			// loadl;loadl;pushint;add fuses better as loadl + lli_add.
+			want: []Opcode{OpLoadLocal, OpLLIAdd, OpPushInt, OpAdd, OpReturn},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := mod1(t, 2, 2, tc.in)
+			fused := fuse(m.Fns[0].Code)
+			if len(fused) != len(tc.in) {
+				t.Fatalf("fusion changed code length: %d -> %d", len(tc.in), len(fused))
+			}
+			for pc := range fused {
+				if fused[pc].Op != tc.want[pc] {
+					t.Errorf("pc %d: op = %s, want %s", pc, fused[pc].Op, tc.want[pc])
+				}
+			}
+			// Shadow slots must keep their original instructions
+			// (PC-preservation: Pos tables and manifests key on slots).
+			for pc := 0; pc < len(fused); {
+				w := fused[pc].Op.Width()
+				for s := pc + 1; s < pc+w; s++ {
+					if fused[s] != tc.in[s] {
+						t.Errorf("shadow slot %d rewritten: %v != %v", s, fused[s], tc.in[s])
+					}
+				}
+				pc += w
+			}
+			// Idempotence: preparing prepared code changes nothing.
+			again := fuse(fused)
+			if !reflect.DeepEqual(again, fused) {
+				t.Errorf("fuse is not idempotent:\n once: %v\ntwice: %v", fused, again)
+			}
+		})
+	}
+}
+
+func TestFuseSkipsJumpTargets(t *testing.T) {
+	// pc 1 (the pushint) is a jump target: the triple must not fuse,
+	// or the jump would land inside a shadow.
+	code := []Instr{
+		{Op: OpLoadLocal, A: 0},  // 0
+		{Op: OpPushInt, A: 1},    // 1  <- target
+		{Op: OpAdd},              // 2
+		{Op: OpDup},              // 3
+		{Op: OpPushInt, A: 3},    // 4
+		{Op: OpLt},               // 5
+		{Op: OpJumpIfTrue, A: 1}, // 6 jumps into what the triple would cover
+		{Op: OpReturn},           // 7
+	}
+	m := mod1(t, 1, 1, code)
+	fused := fuse(m.Fns[0].Code)
+	if fused[0].Op != OpLoadLocal {
+		t.Fatalf("triple fused across a jump target: pc0 = %s", fused[0].Op)
+	}
+}
+
+func TestVerifyAcceptsPrepared(t *testing.T) {
+	code := []Instr{
+		{Op: OpLoadLocal, A: 0}, {Op: OpPushInt, A: 2}, {Op: OpLt}, // lli_lt
+		{Op: OpJumpIfFalse, A: 6},
+		{Op: OpPushInt, A: 1}, {Op: OpReturn}, // pushint_ret
+		{Op: OpLoadLocal, A: 0}, {Op: OpLoadLocal, A: 0}, {Op: OpAdd}, // ll_ll + add
+		{Op: OpReturn},
+	}
+	m := mod1(t, 1, 1, code)
+	p := Prepare(m)
+	if !HasFused(p) {
+		t.Fatal("Prepare produced no fused instructions")
+	}
+	if err := Verify(p); err != nil {
+		t.Fatalf("prepared module does not verify: %v", err)
+	}
+	if HasFused(m) {
+		t.Fatal("Prepare mutated the canonical module")
+	}
+	// Pools are shared, code is not.
+	if &m.Fns[0].Code[0] == &p.Fns[0].Code[0] {
+		t.Fatal("prepared code aliases canonical code")
+	}
+	if m.Fns[0].rt != nil {
+		t.Fatal("canonical function gained a runtime table")
+	}
+	if p.Fns[0].rt == nil {
+		t.Fatal("prepared function has no runtime table")
+	}
+}
+
+func TestMaxStackDepthExact(t *testing.T) {
+	// f(x): return (x + 1) + (x + 2) — depth peaks at 2.
+	code := []Instr{
+		{Op: OpLoadLocal, A: 0}, {Op: OpPushInt, A: 1}, {Op: OpAdd},
+		{Op: OpLoadLocal, A: 0}, {Op: OpPushInt, A: 2}, {Op: OpAdd},
+		{Op: OpAdd},
+		{Op: OpReturn},
+	}
+	m := mod1(t, 1, 1, code)
+	p := Prepare(m)
+	if got := p.Fns[0].rt.maxStack; got != 2 {
+		t.Fatalf("maxStack = %d, want 2", got)
+	}
+}
+
+func TestFusedNeverCoversHostCalls(t *testing.T) {
+	// Host-call pcs must be identical before and after Prepare — the
+	// access manifest is keyed on them.
+	code := []Instr{
+		{Op: OpLoadLocal, A: 0}, {Op: OpPushInt, A: 1}, {Op: OpAdd},
+		{Op: OpHostCall, A: 1, B: 1}, // log(x+1)
+		{Op: OpReturn},
+	}
+	m := mod1(t, 1, 1, code)
+	p := Prepare(m)
+	var canonPCs, prepPCs []int
+	for pc, ins := range m.Fns[0].Code {
+		if ins.Op == OpHostCall {
+			canonPCs = append(canonPCs, pc)
+		}
+	}
+	for pc, ins := range p.Fns[0].Code {
+		if ins.Op == OpHostCall {
+			prepPCs = append(prepPCs, pc)
+		}
+	}
+	if !reflect.DeepEqual(canonPCs, prepPCs) {
+		t.Fatalf("host-call pcs moved: %v -> %v", canonPCs, prepPCs)
+	}
+}

@@ -3,7 +3,7 @@ package vm
 import (
 	"errors"
 	"fmt"
-	"strings"
+	"reflect"
 	"sync/atomic"
 )
 
@@ -13,6 +13,17 @@ const (
 	DefaultMaxFrames = 256
 	DefaultFuel      = 10_000_000
 )
+
+// FuelWindow is the reservation granularity of the fast interpreter:
+// the number of instructions an activity prepays from its shared Meter
+// in one atomic operation. Larger windows amortize the atomics further;
+// smaller windows tighten the abort-latency bound (an Abort from
+// another goroutine is observed at the next window refill, i.e. within
+// at most FuelWindow instructions) and the transient over-report of
+// Used() while a run is in flight. At settlement the unspent remainder
+// is refunded, so Used() is exact — equal to the naive per-instruction
+// accounting — whenever no Run is active on the meter.
+const FuelWindow = 128
 
 // Runtime errors.
 var (
@@ -30,6 +41,12 @@ func trap(m *Module, f *Func, pc int, format string, args ...any) error {
 // every frame of an execution (and may be shared across an agent's whole
 // visit). Thread-safe so a server can inspect usage concurrently and
 // abort a runaway activity from another goroutine.
+//
+// The fast interpreter does not charge per instruction: it reserves
+// FuelWindow instructions at a time (refill), burns them from a local
+// counter, and refunds the unspent remainder at settlement (refund).
+// Used() therefore over-reports by at most one window while a run is in
+// flight and is exact at every settlement point.
 type Meter struct {
 	limit   uint64
 	used    atomic.Uint64
@@ -40,8 +57,9 @@ type Meter struct {
 // was killed by its owner or the server).
 var ErrAborted = errors.New("vm: execution aborted")
 
-// Abort makes every subsequent Charge fail, stopping the activity at
-// its next instruction.
+// Abort makes every subsequent Charge fail, stopping the activity
+// within at most one reservation window (and before its next host
+// call).
 func (mt *Meter) Abort() {
 	if mt != nil {
 		mt.aborted.Store(true)
@@ -53,7 +71,9 @@ func (mt *Meter) Abort() {
 func NewMeter(limit uint64) *Meter { return &Meter{limit: limit} }
 
 // Charge consumes n instructions, failing once the budget is exceeded
-// or the meter has been aborted.
+// or the meter has been aborted. This is the naive per-call interface,
+// kept for host-side accounting and the preserved baseline interpreter;
+// the fast interpreter goes through refill/refund.
 func (mt *Meter) Charge(n uint64) error {
 	if mt == nil {
 		return nil
@@ -71,7 +91,72 @@ func (mt *Meter) Charge(n uint64) error {
 	return nil
 }
 
-// Used reports instructions consumed so far.
+// refill reserves up to want instructions, returning the granted count.
+// A grant is charged to used immediately; the unspent part must be
+// returned via refund at settlement. On exhaustion it charges one extra
+// unit and fails — exactly the accounting of a failing naive Charge(1),
+// which keeps Used() identical to per-instruction metering on the
+// exhaustion path.
+func (mt *Meter) refill(want uint64) (uint64, error) {
+	if mt.aborted.Load() {
+		return 0, ErrAborted
+	}
+	if mt.limit == 0 {
+		mt.used.Add(want)
+		return want, nil
+	}
+	for {
+		u := mt.used.Load()
+		if u >= mt.limit {
+			mt.used.Add(1)
+			return 0, ErrFuelExhausted
+		}
+		grant := mt.limit - u
+		if grant > want {
+			grant = want
+		}
+		if mt.used.CompareAndSwap(u, u+grant) {
+			return grant, nil
+		}
+	}
+}
+
+// refund returns n unspent reserved instructions.
+func (mt *Meter) refund(n uint64) {
+	if mt == nil || n == 0 {
+		return
+	}
+	mt.used.Add(^(n - 1))
+}
+
+// topUp grows a local reservation of have instructions until it covers
+// need, then consumes need and returns the remainder. On abort the
+// accumulated (unexecuted) reservation is refunded; on exhaustion the
+// partial grants stay charged, mirroring the naive interpreter whose
+// successful Charges before the failing one are never unwound. Either
+// way the caller's local fuel is spent (0 is returned), so settlement
+// refunds nothing extra.
+func (mt *Meter) topUp(have, need uint64) (uint64, error) {
+	if mt == nil {
+		return ^uint64(0), nil
+	}
+	for have < need {
+		g, err := mt.refill(FuelWindow)
+		if err != nil {
+			if errors.Is(err, ErrAborted) {
+				mt.refund(have)
+			}
+			return 0, err
+		}
+		have += g
+	}
+	return have - need, nil
+}
+
+// Used reports instructions consumed so far. While a Run is in flight
+// on this meter the value may transiently include up to one unspent
+// reservation window; at settlement (whenever no Run is active) it is
+// exact.
 func (mt *Meter) Used() uint64 {
 	if mt == nil {
 		return 0
@@ -99,6 +184,19 @@ type Resolver interface {
 	ResolveFunc(name string) (*Module, *Func, error)
 }
 
+// EpochResolver is a Resolver whose resolution function can change over
+// time (e.g. a namespace into which trusted modules are installed). The
+// epoch must increase whenever an existing name could resolve
+// differently; the interpreter keys its call-site inline caches on it.
+// Cache invalidation is observed at Run boundaries: an epoch bump
+// during a Run takes effect for call sites cached before the bump at
+// the next Run on that environment (uncached sites always resolve
+// through the live Resolver).
+type EpochResolver interface {
+	Resolver
+	Epoch() uint64
+}
+
 // ModuleResolver resolves names within one module only.
 type ModuleResolver struct{ M *Module }
 
@@ -115,6 +213,15 @@ func (r ModuleResolver) ResolveFunc(name string) (*Module, *Func, error) {
 // The env also carries an opaque Owner tag that host functions may use
 // to identify the calling protection domain; agent code cannot read or
 // forge it.
+//
+// An Env is single-activity state: it must not execute concurrent Runs
+// (nested Runs from within a host call are fine). While a Run is in
+// flight, Globals is not live: the interpreter snapshots globals into
+// dense slots at the outermost Run entry and flushes modified slots
+// back when that Run settles. Host functions must therefore not read or
+// write Env.Globals mid-run — they receive and return Values through
+// their arguments instead. Between Runs, Globals is authoritative and
+// may be freely inspected or mutated.
 type Env struct {
 	Globals   map[string]Value
 	Host      map[string]HostFunc
@@ -124,6 +231,19 @@ type Env struct {
 	// Owner is an opaque host-side tag (the protection-domain ID in
 	// the server). It never appears as a Value.
 	Owner any
+
+	// depth counts nested Run activations; globals sync in at 0→1 and
+	// flush back at 1→0.
+	depth int
+	// act is the reusable execution arena of the outermost Run.
+	act *activity
+	// Dense global slots: gidx maps a global's name to its slot, gslots
+	// holds the live values during a Run, gdirty marks slots written
+	// since the last flush (so never-written globals don't materialize
+	// map entries).
+	gidx   map[string]int32
+	gslots []Value
+	gdirty []bool
 }
 
 // NewEnv returns an environment with empty state and defaults.
@@ -137,18 +257,88 @@ func NewEnv() *Env {
 	}
 }
 
-type frame struct {
-	m      *Module
-	f      *Func
-	ip     int
-	locals []Value
+// globalSlot returns the dense slot of the named global, creating it
+// (initialized from the Globals map) on first use.
+func (env *Env) globalSlot(name string) int32 {
+	if i, ok := env.gidx[name]; ok {
+		return i
+	}
+	if env.gidx == nil {
+		env.gidx = make(map[string]int32)
+	}
+	i := int32(len(env.gslots))
+	env.gidx[name] = i
+	env.gslots = append(env.gslots, env.Globals[name])
+	env.gdirty = append(env.gdirty, false)
+	return i
+}
+
+// syncGlobalsIn refreshes every known slot from the Globals map. Runs
+// at the outermost Run entry so host-side mutations between Runs (state
+// sanitization, checkpoint restore, test setup) are observed.
+func (env *Env) syncGlobalsIn() {
+	for name, i := range env.gidx {
+		env.gslots[i] = env.Globals[name]
+		env.gdirty[i] = false
+	}
+}
+
+// flushGlobals writes modified slots back to the Globals map at the
+// outermost Run settlement (on success and on every error path alike).
+func (env *Env) flushGlobals() {
+	for name, i := range env.gidx {
+		if env.gdirty[i] {
+			if env.Globals == nil {
+				env.Globals = make(map[string]Value)
+			}
+			env.Globals[name] = env.gslots[i]
+			env.gdirty[i] = false
+		}
+	}
+}
+
+// frameRec is a suspended caller frame. Frames are indices into the
+// shared value-stack arena, not per-frame allocations: base is where
+// the frame's locals start, and the callee's locals overlap the
+// arguments the caller pushed.
+type frameRec struct {
+	m     *Module
+	f     *Func
+	sites []siteCache
+	ip    int
+	base  int
+}
+
+// activity is the reusable execution arena of one Env: the contiguous
+// value stack every frame lives in, and the suspended-frame stack.
+// Both retain their capacity across Runs, which is what makes the
+// steady-state call path allocation-free.
+type activity struct {
 	stack  []Value
+	frames []frameRec
+}
+
+// grow reallocates the arena to hold at least n values and returns it.
+func (act *activity) grow(n int) []Value {
+	c := 2*cap(act.stack) + 64
+	if c < n {
+		c = n
+	}
+	ns := make([]Value, c)
+	copy(ns, act.stack)
+	act.stack = ns
+	return ns
 }
 
 // Run executes function fname of module m with the given arguments and
 // returns its result. The module must already be verified — Run assumes
 // structural validity (bounds) established by Verify, but still guards
 // dynamic properties (types, division by zero, index range).
+//
+// Run executes both canonical modules and the prepared execution copies
+// built by Prepare (which carry fused superinstructions and inline-cache
+// tables); semantics, error classes and settled fuel accounting are
+// identical either way.
 func Run(env *Env, m *Module, fname string, args ...Value) (Value, error) {
 	_, f := m.Fn(fname)
 	if f == nil {
@@ -157,412 +347,671 @@ func Run(env *Env, m *Module, fname string, args ...Value) (Value, error) {
 	if len(args) != f.NParams {
 		return Nil(), fmt.Errorf("%w: %s.%s wants %d args, got %d", ErrTrap, m.Name, fname, f.NParams, len(args))
 	}
-	if env.MaxFrames == 0 {
-		env.MaxFrames = DefaultMaxFrames
+	maxFrames := env.MaxFrames
+	if maxFrames == 0 {
+		maxFrames = DefaultMaxFrames
 	}
-	frames := make([]*frame, 0, 8)
-	frames = append(frames, newFrame(m, f, args))
 
-	for {
-		fr := frames[len(frames)-1]
-		if err := env.Meter.Charge(1); err != nil {
-			return Nil(), err
+	var act *activity
+	if env.depth == 0 {
+		if env.act == nil {
+			env.act = &activity{}
 		}
-		ins := fr.f.Code[fr.ip]
-		fr.ip++
-		switch ins.Op {
-		case OpNop:
-		case OpPushInt:
-			fr.push(I(fr.m.Ints[ins.A]))
-		case OpPushStr:
-			fr.push(S(fr.m.Strs[ins.A]))
-		case OpPushTrue:
-			fr.push(B(true))
-		case OpPushFalse:
-			fr.push(B(false))
-		case OpPushNil:
-			fr.push(Nil())
-		case OpLoadLocal:
-			fr.push(fr.locals[ins.A])
-		case OpStoreLocal:
-			fr.locals[ins.A] = fr.pop()
-		case OpLoadGlobal:
-			fr.push(env.Globals[fr.m.Strs[ins.A]])
-		case OpStoreGlobal:
-			env.Globals[fr.m.Strs[ins.A]] = fr.pop()
-		case OpAdd, OpSub, OpMul, OpDiv, OpMod:
-			b, a := fr.pop(), fr.pop()
-			v, err := arith(fr, ins.Op, a, b)
-			if err != nil {
-				return Nil(), err
-			}
-			fr.push(v)
-		case OpNeg:
-			a := fr.pop()
-			if a.Kind != KindInt {
-				return Nil(), trap(fr.m, fr.f, fr.ip-1, "neg of %s", a.Kind)
-			}
-			fr.push(I(-a.Int))
-		case OpEq:
-			b, a := fr.pop(), fr.pop()
-			fr.push(B(a.Equal(b)))
-		case OpNe:
-			b, a := fr.pop(), fr.pop()
-			fr.push(B(!a.Equal(b)))
-		case OpLt, OpLe, OpGt, OpGe:
-			b, a := fr.pop(), fr.pop()
-			v, err := compare(fr, ins.Op, a, b)
-			if err != nil {
-				return Nil(), err
-			}
-			fr.push(v)
-		case OpNot:
-			fr.push(B(!fr.pop().Truthy()))
-		case OpJump:
-			fr.ip = int(ins.A)
-		case OpJumpIfFalse:
-			if !fr.pop().Truthy() {
-				fr.ip = int(ins.A)
-			}
-		case OpJumpIfTrue:
-			if fr.pop().Truthy() {
-				fr.ip = int(ins.A)
-			}
-		case OpCall:
-			callee := &fr.m.Fns[ins.A]
-			if len(frames) >= env.MaxFrames {
-				return Nil(), ErrStackOverflow
-			}
-			args := fr.popN(int(ins.B))
-			frames = append(frames, newFrame(fr.m, callee, args))
-		case OpCallNamed:
-			name := fr.m.Strs[ins.A]
-			if env.Resolver == nil {
-				return Nil(), trap(fr.m, fr.f, fr.ip-1, "no resolver for %q", name)
-			}
-			cm, cf, err := env.Resolver.ResolveFunc(name)
-			if err != nil {
-				return Nil(), trap(fr.m, fr.f, fr.ip-1, "resolve %q: %v", name, err)
-			}
-			if cf.NParams != int(ins.B) {
-				return Nil(), trap(fr.m, fr.f, fr.ip-1, "%q wants %d args, got %d", name, cf.NParams, ins.B)
-			}
-			if len(frames) >= env.MaxFrames {
-				return Nil(), ErrStackOverflow
-			}
-			args := fr.popN(int(ins.B))
-			frames = append(frames, newFrame(cm, cf, args))
-		case OpHostCall:
-			name := fr.m.Strs[ins.A]
-			hf := env.Host[name]
-			if hf == nil {
-				return Nil(), trap(fr.m, fr.f, fr.ip-1, "no host function %q", name)
-			}
-			args := fr.popN(int(ins.B))
-			v, err := hf(args)
-			if err != nil {
-				// Host errors abort execution and surface to the
-				// server (which distinguishes migration requests,
-				// security denials and plain failures).
-				return Nil(), err
-			}
-			fr.push(v)
-		case OpReturn:
-			v := fr.pop()
-			frames = frames[:len(frames)-1]
-			if len(frames) == 0 {
-				return v, nil
-			}
-			frames[len(frames)-1].push(v)
-		case OpPop:
-			fr.pop()
-		case OpDup:
-			v := fr.pop()
-			fr.push(v)
-			fr.push(v)
-		case OpMakeList:
-			elems := fr.popN(int(ins.A))
-			fr.push(L(elems...))
-		case OpIndex:
-			idx, agg := fr.pop(), fr.pop()
-			v, err := index(fr, agg, idx)
-			if err != nil {
-				return Nil(), err
-			}
-			fr.push(v)
-		case OpSetIndex:
-			val, idx, agg := fr.pop(), fr.pop(), fr.pop()
-			if err := setIndex(fr, agg, idx, val); err != nil {
-				return Nil(), err
-			}
-			fr.push(Nil())
-		case OpMakeMap:
-			kvs := fr.popN(2 * int(ins.A))
-			mm := make(map[string]Value, ins.A)
-			for i := 0; i < len(kvs); i += 2 {
-				if kvs[i].Kind != KindStr {
-					return Nil(), trap(fr.m, fr.f, fr.ip-1, "map key is %s, want str", kvs[i].Kind)
-				}
-				mm[kvs[i].Str] = kvs[i+1]
-			}
-			fr.push(M(mm))
-		case OpHalt:
-			return fr.pop(), nil
-		default:
-			return Nil(), trap(fr.m, fr.f, fr.ip-1, "unknown opcode %d", ins.Op)
+		act = env.act
+		env.syncGlobalsIn()
+	} else {
+		// Nested Run from within a host call: the outer Run owns
+		// env.act, so this (rare, correctness-only) path gets a fresh
+		// arena. Global slots are shared through env, so both nesting
+		// levels see one consistent view.
+		act = &activity{}
+	}
+	env.depth++
+	defer func() {
+		env.depth--
+		if env.depth == 0 {
+			env.flushGlobals()
 		}
-	}
+	}()
+	return env.exec(act, m, f, args, maxFrames)
 }
 
-func newFrame(m *Module, f *Func, args []Value) *frame {
-	locals := make([]Value, f.NLocals)
-	copy(locals, args)
-	return &frame{m: m, f: f, locals: locals, stack: make([]Value, 0, 16)}
-}
-
-func (fr *frame) push(v Value) { fr.stack = append(fr.stack, v) }
-
-func (fr *frame) pop() Value {
-	v := fr.stack[len(fr.stack)-1]
-	fr.stack = fr.stack[:len(fr.stack)-1]
-	return v
-}
-
-// popN pops n values and returns them in push order.
-func (fr *frame) popN(n int) []Value {
-	out := make([]Value, n)
-	copy(out, fr.stack[len(fr.stack)-n:])
-	fr.stack = fr.stack[:len(fr.stack)-n]
-	return out
-}
-
-func arith(fr *frame, op Opcode, a, b Value) (Value, error) {
-	// String concatenation rides on Add.
-	if op == OpAdd && a.Kind == KindStr && b.Kind == KindStr {
-		return S(a.Str + b.Str), nil
-	}
-	if a.Kind != KindInt || b.Kind != KindInt {
-		return Nil(), trap(fr.m, fr.f, fr.ip-1, "%s of %s and %s", op, a.Kind, b.Kind)
-	}
+// fusedCmpBase maps a fused compare-and-branch opcode to the canonical
+// comparison it stands for (used so trap messages match the naive
+// interpreter's exactly).
+func fusedCmpBase(op Opcode) Opcode {
 	switch op {
-	case OpAdd:
-		return I(a.Int + b.Int), nil
-	case OpSub:
-		return I(a.Int - b.Int), nil
-	case OpMul:
-		return I(a.Int * b.Int), nil
-	case OpDiv:
-		if b.Int == 0 {
-			return Nil(), trap(fr.m, fr.f, fr.ip-1, "division by zero")
-		}
-		return I(a.Int / b.Int), nil
-	case OpMod:
-		if b.Int == 0 {
-			return Nil(), trap(fr.m, fr.f, fr.ip-1, "modulo by zero")
-		}
-		return I(a.Int % b.Int), nil
+	case OpLtJF:
+		return OpLt
+	case OpLeJF:
+		return OpLe
+	case OpGtJF:
+		return OpGt
+	default:
+		return OpGe
 	}
-	return Nil(), trap(fr.m, fr.f, fr.ip-1, "bad arith op")
 }
 
-func compare(fr *frame, op Opcode, a, b Value) (Value, error) {
-	var c int
+// cmpOrder returns the ordering of two values (-1, 0, 1) and whether
+// they are ordered at all (two ints or two strings).
+func cmpOrder(a, b Value) (int, bool) {
 	switch {
 	case a.Kind == KindInt && b.Kind == KindInt:
 		switch {
 		case a.Int < b.Int:
-			c = -1
+			return -1, true
 		case a.Int > b.Int:
-			c = 1
+			return 1, true
 		}
+		return 0, true
 	case a.Kind == KindStr && b.Kind == KindStr:
 		switch {
 		case a.Str < b.Str:
-			c = -1
+			return -1, true
 		case a.Str > b.Str:
-			c = 1
+			return 1, true
 		}
-	default:
-		return Nil(), trap(fr.m, fr.f, fr.ip-1, "%s of %s and %s", op, a.Kind, b.Kind)
+		return 0, true
 	}
-	switch op {
-	case OpLt:
-		return B(c < 0), nil
-	case OpLe:
-		return B(c <= 0), nil
-	case OpGt:
-		return B(c > 0), nil
-	case OpGe:
-		return B(c >= 0), nil
-	}
-	return Nil(), trap(fr.m, fr.f, fr.ip-1, "bad compare op")
+	return 0, false
 }
 
-func index(fr *frame, agg, idx Value) (Value, error) {
+// exec is the interpreter core. The hot state of the current frame —
+// code, ip, stack pointer, frame base, the local fuel reservation —
+// lives in locals so the compiler can keep it in registers; it is
+// spilled to a frameRec only across calls. There is a single settlement
+// point (after the labeled loop) where the unspent fuel reservation is
+// refunded, so Used() is exact on every return path.
+func (env *Env) exec(act *activity, m *Module, f *Func, args []Value, maxFrames int) (Value, error) {
+	meter := env.Meter
+
+	// Inline-cache ownership for named-call sites. Caching requires a
+	// comparable resolver (so a cached site can be revalidated with ==);
+	// func-typed test resolvers simply resolve through the slow path.
+	var curEpoch uint64
+	resCmp := env.Resolver != nil && reflect.TypeOf(env.Resolver).Comparable()
+	if er, ok := env.Resolver.(EpochResolver); ok {
+		curEpoch = er.Epoch()
+	}
+
+	// Entry frame.
+	curM, curF := m, f
+	frames := act.frames[:0]
+	stk := act.stack
+	base := 0
+	var sites []siteCache
+	var bound int
+	if rt := curF.rt; rt != nil {
+		sites = rt.sites
+		bound = rt.maxStack
+	} else {
+		bound = conservativeStackBound(curF)
+	}
+	if need := curF.NLocals + bound; need > len(stk) {
+		stk = act.grow(need)
+	}
+	copy(stk, args)
+	for i := len(args); i < curF.NLocals; i++ {
+		stk[i] = Value{}
+	}
+	sp := curF.NLocals
+	ip := 0
+	code := curF.Code
+
+	// fuel is the local reservation: instructions prepaid to the meter
+	// but not yet executed. With no meter it starts effectively
+	// infinite and the refill path is never taken.
+	var fuel uint64
+	if meter == nil {
+		fuel = ^uint64(0)
+	}
+
+	var rv Value
+	var rerr error
+
+loop:
+	for {
+		if fuel == 0 {
+			fuel, rerr = meter.topUp(0, 1)
+			if rerr != nil {
+				break loop
+			}
+		} else {
+			fuel--
+		}
+		ins := code[ip]
+		ip++
+		switch ins.Op {
+		case OpNop:
+		case OpPushInt:
+			stk[sp] = I(curM.Ints[ins.A])
+			sp++
+		case OpPushStr:
+			stk[sp] = S(curM.Strs[ins.A])
+			sp++
+		case OpPushTrue:
+			stk[sp] = B(true)
+			sp++
+		case OpPushFalse:
+			stk[sp] = B(false)
+			sp++
+		case OpPushNil:
+			stk[sp] = Nil()
+			sp++
+		case OpLoadLocal:
+			stk[sp] = stk[base+int(ins.A)]
+			sp++
+		case OpStoreLocal:
+			sp--
+			stk[base+int(ins.A)] = stk[sp]
+		case OpLoadGlobal:
+			var slot int32
+			if sites != nil {
+				s := &sites[ip-1]
+				if s.env == env {
+					slot = s.slot
+				} else {
+					slot = env.globalSlot(curM.Strs[ins.A])
+					s.env, s.slot = env, slot
+				}
+			} else {
+				slot = env.globalSlot(curM.Strs[ins.A])
+			}
+			stk[sp] = env.gslots[slot]
+			sp++
+		case OpStoreGlobal:
+			var slot int32
+			if sites != nil {
+				s := &sites[ip-1]
+				if s.env == env {
+					slot = s.slot
+				} else {
+					slot = env.globalSlot(curM.Strs[ins.A])
+					s.env, s.slot = env, slot
+				}
+			} else {
+				slot = env.globalSlot(curM.Strs[ins.A])
+			}
+			sp--
+			env.gslots[slot] = stk[sp]
+			env.gdirty[slot] = true
+		case OpAdd, OpSub, OpMul, OpDiv, OpMod:
+			b, a := stk[sp-1], stk[sp-2]
+			sp--
+			if a.Kind == KindInt && b.Kind == KindInt {
+				var r int64
+				switch ins.Op {
+				case OpAdd:
+					r = a.Int + b.Int
+				case OpSub:
+					r = a.Int - b.Int
+				case OpMul:
+					r = a.Int * b.Int
+				case OpDiv:
+					if b.Int == 0 {
+						rerr = trap(curM, curF, ip-1, "division by zero")
+						break loop
+					}
+					r = a.Int / b.Int
+				default:
+					if b.Int == 0 {
+						rerr = trap(curM, curF, ip-1, "modulo by zero")
+						break loop
+					}
+					r = a.Int % b.Int
+				}
+				stk[sp-1] = I(r)
+			} else if ins.Op == OpAdd && a.Kind == KindStr && b.Kind == KindStr {
+				// String concatenation rides on Add.
+				stk[sp-1] = S(a.Str + b.Str)
+			} else {
+				rerr = trap(curM, curF, ip-1, "%s of %s and %s", ins.Op, a.Kind, b.Kind)
+				break loop
+			}
+		case OpNeg:
+			a := stk[sp-1]
+			if a.Kind != KindInt {
+				rerr = trap(curM, curF, ip-1, "neg of %s", a.Kind)
+				break loop
+			}
+			stk[sp-1] = I(-a.Int)
+		case OpEq:
+			b, a := stk[sp-1], stk[sp-2]
+			sp--
+			stk[sp-1] = B(a.Equal(b))
+		case OpNe:
+			b, a := stk[sp-1], stk[sp-2]
+			sp--
+			stk[sp-1] = B(!a.Equal(b))
+		case OpLt, OpLe, OpGt, OpGe:
+			b, a := stk[sp-1], stk[sp-2]
+			sp--
+			c, ok := cmpOrder(a, b)
+			if !ok {
+				rerr = trap(curM, curF, ip-1, "%s of %s and %s", ins.Op, a.Kind, b.Kind)
+				break loop
+			}
+			var t bool
+			switch ins.Op {
+			case OpLt:
+				t = c < 0
+			case OpLe:
+				t = c <= 0
+			case OpGt:
+				t = c > 0
+			default:
+				t = c >= 0
+			}
+			stk[sp-1] = B(t)
+		case OpNot:
+			stk[sp-1] = B(!stk[sp-1].Truthy())
+		case OpJump:
+			ip = int(ins.A)
+		case OpJumpIfFalse:
+			sp--
+			if !stk[sp].Truthy() {
+				ip = int(ins.A)
+			}
+		case OpJumpIfTrue:
+			sp--
+			if stk[sp].Truthy() {
+				ip = int(ins.A)
+			}
+		case OpCall:
+			cm, cf := curM, &curM.Fns[ins.A]
+			argc := int(ins.B)
+			if len(frames)+1 >= maxFrames {
+				rerr = ErrStackOverflow
+				break loop
+			}
+			frames = append(frames, frameRec{m: curM, f: curF, sites: sites, ip: ip, base: base})
+			base = sp - argc
+			curM, curF = cm, cf
+			code = curF.Code
+			if rt := curF.rt; rt != nil {
+				sites = rt.sites
+				bound = rt.maxStack
+			} else {
+				sites = nil
+				bound = conservativeStackBound(curF)
+			}
+			if need := base + curF.NLocals + bound; need > len(stk) {
+				stk = act.grow(need)
+			}
+			for i := base + argc; i < base+curF.NLocals; i++ {
+				stk[i] = Value{}
+			}
+			sp = base + curF.NLocals
+			ip = 0
+		case OpCallNamed:
+			var cm *Module
+			var cf *Func
+			if sites != nil {
+				if s := &sites[ip-1]; s.fn != nil && s.res == env.Resolver && s.epoch == curEpoch {
+					cm, cf = s.mod, s.fn
+				}
+			}
+			if cf == nil {
+				name := curM.Strs[ins.A]
+				if env.Resolver == nil {
+					rerr = trap(curM, curF, ip-1, "no resolver for %q", name)
+					break loop
+				}
+				var err error
+				cm, cf, err = env.Resolver.ResolveFunc(name)
+				if err != nil {
+					rerr = trap(curM, curF, ip-1, "resolve %q: %v", name, err)
+					break loop
+				}
+				if cf.NParams != int(ins.B) {
+					rerr = trap(curM, curF, ip-1, "%q wants %d args, got %d", name, cf.NParams, ins.B)
+					break loop
+				}
+				if sites != nil && resCmp {
+					sites[ip-1] = siteCache{res: env.Resolver, epoch: curEpoch, mod: cm, fn: cf}
+				}
+			}
+			argc := int(ins.B)
+			if len(frames)+1 >= maxFrames {
+				rerr = ErrStackOverflow
+				break loop
+			}
+			frames = append(frames, frameRec{m: curM, f: curF, sites: sites, ip: ip, base: base})
+			base = sp - argc
+			curM, curF = cm, cf
+			code = curF.Code
+			if rt := curF.rt; rt != nil {
+				sites = rt.sites
+				bound = rt.maxStack
+			} else {
+				sites = nil
+				bound = conservativeStackBound(curF)
+			}
+			if need := base + curF.NLocals + bound; need > len(stk) {
+				stk = act.grow(need)
+			}
+			for i := base + argc; i < base+curF.NLocals; i++ {
+				stk[i] = Value{}
+			}
+			sp = base + curF.NLocals
+			ip = 0
+		case OpHostCall:
+			var hf HostFunc
+			if sites != nil {
+				if s := &sites[ip-1]; s.host != nil && s.env == env {
+					hf = s.host
+				}
+			}
+			if hf == nil {
+				name := curM.Strs[ins.A]
+				hf = env.Host[name]
+				if hf == nil {
+					rerr = trap(curM, curF, ip-1, "no host function %q", name)
+					break loop
+				}
+				if sites != nil {
+					s := &sites[ip-1]
+					s.env, s.host = env, hf
+				}
+			}
+			// Observe a cross-goroutine Abort before crossing into host
+			// code, so abort latency is bounded by one reservation
+			// window of pure bytecode OR one host call, whichever comes
+			// first.
+			if meter != nil && meter.aborted.Load() {
+				rerr = ErrAborted
+				break loop
+			}
+			argc := int(ins.B)
+			hargs := make([]Value, argc)
+			copy(hargs, stk[sp-argc:sp])
+			sp -= argc
+			v, err := hf(hargs)
+			if err != nil {
+				// Host errors abort execution and surface to the
+				// server (which distinguishes migration requests,
+				// security denials and plain failures).
+				rerr = err
+				break loop
+			}
+			stk[sp] = v
+			sp++
+		case OpReturn:
+			sp--
+			v := stk[sp]
+			if len(frames) == 0 {
+				rv = v
+				break loop
+			}
+			fr := &frames[len(frames)-1]
+			stk[base] = v
+			sp = base + 1
+			curM, curF, sites, ip, base = fr.m, fr.f, fr.sites, fr.ip, fr.base
+			code = curF.Code
+			frames = frames[:len(frames)-1]
+		case OpPop:
+			sp--
+		case OpDup:
+			stk[sp] = stk[sp-1]
+			sp++
+		case OpMakeList:
+			n := int(ins.A)
+			elems := make([]Value, n)
+			copy(elems, stk[sp-n:sp])
+			sp -= n
+			stk[sp] = L(elems...)
+			sp++
+		case OpIndex:
+			idx, agg := stk[sp-1], stk[sp-2]
+			v, err := index(curM, curF, ip-1, agg, idx)
+			if err != nil {
+				rerr = err
+				break loop
+			}
+			sp--
+			stk[sp-1] = v
+		case OpSetIndex:
+			val, idx, agg := stk[sp-1], stk[sp-2], stk[sp-3]
+			if err := setIndex(curM, curF, ip-1, agg, idx, val); err != nil {
+				rerr = err
+				break loop
+			}
+			sp -= 2
+			stk[sp-1] = Nil()
+		case OpMakeMap:
+			n := 2 * int(ins.A)
+			mm := make(map[string]Value, ins.A)
+			bad := false
+			for i := sp - n; i < sp; i += 2 {
+				if stk[i].Kind != KindStr {
+					rerr = trap(curM, curF, ip-1, "map key is %s, want str", stk[i].Kind)
+					bad = true
+					break
+				}
+				mm[stk[i].Str] = stk[i+1]
+			}
+			if bad {
+				break loop
+			}
+			sp -= n
+			stk[sp] = M(mm)
+			sp++
+		case OpHalt:
+			sp--
+			rv = stk[sp]
+			break loop
+
+		case OpLLIAdd, OpLLISub:
+			// Covers loadl;pushint;{add,sub}: 3 canonical instructions,
+			// so 2 units beyond the dispatch charge — all upfront, which
+			// matches the naive accounting because the only trap is at
+			// the third component.
+			if fuel >= 2 {
+				fuel -= 2
+			} else {
+				fuel, rerr = meter.topUp(fuel, 2)
+				if rerr != nil {
+					break loop
+				}
+			}
+			a := stk[base+int(ins.A)]
+			if a.Kind != KindInt {
+				op := OpAdd
+				if ins.Op == OpLLISub {
+					op = OpSub
+				}
+				rerr = trap(curM, curF, ip+1, "%s of %s and %s", op, a.Kind, KindInt)
+				break loop
+			}
+			if ins.Op == OpLLIAdd {
+				stk[sp] = I(a.Int + curM.Ints[ins.B])
+			} else {
+				stk[sp] = I(a.Int - curM.Ints[ins.B])
+			}
+			sp++
+			ip += 2
+		case OpLLILt, OpLLILe:
+			if fuel >= 2 {
+				fuel -= 2
+			} else {
+				fuel, rerr = meter.topUp(fuel, 2)
+				if rerr != nil {
+					break loop
+				}
+			}
+			a := stk[base+int(ins.A)]
+			if a.Kind != KindInt {
+				op := OpLt
+				if ins.Op == OpLLILe {
+					op = OpLe
+				}
+				rerr = trap(curM, curF, ip+1, "%s of %s and %s", op, a.Kind, KindInt)
+				break loop
+			}
+			c := curM.Ints[ins.B]
+			var t bool
+			if ins.Op == OpLLILt {
+				t = a.Int < c
+			} else {
+				t = a.Int <= c
+			}
+			stk[sp] = B(t)
+			sp++
+			ip += 2
+		case OpLLLL:
+			if fuel >= 1 {
+				fuel--
+			} else {
+				fuel, rerr = meter.topUp(fuel, 1)
+				if rerr != nil {
+					break loop
+				}
+			}
+			stk[sp] = stk[base+int(ins.A)]
+			stk[sp+1] = stk[base+int(ins.B)]
+			sp += 2
+			ip++
+		case OpEqJF, OpNeJF:
+			b, a := stk[sp-1], stk[sp-2]
+			sp -= 2
+			cond := a.Equal(b)
+			if ins.Op == OpNeJF {
+				cond = !cond
+			}
+			// The branch half is charged separately *after* the compare
+			// executed: on a compare trap the naive interpreter never
+			// reaches the jz charge, and fuel parity must hold on trap
+			// paths too. (Eq/Ne cannot trap, but the charging protocol
+			// is uniform across the cmp_jz family.)
+			if fuel >= 1 {
+				fuel--
+			} else {
+				fuel, rerr = meter.topUp(fuel, 1)
+				if rerr != nil {
+					break loop
+				}
+			}
+			if !cond {
+				ip = int(ins.A)
+			} else {
+				ip++
+			}
+		case OpLtJF, OpLeJF, OpGtJF, OpGeJF:
+			b, a := stk[sp-1], stk[sp-2]
+			sp -= 2
+			c, ok := cmpOrder(a, b)
+			if !ok {
+				rerr = trap(curM, curF, ip-1, "%s of %s and %s", fusedCmpBase(ins.Op), a.Kind, b.Kind)
+				break loop
+			}
+			var cond bool
+			switch ins.Op {
+			case OpLtJF:
+				cond = c < 0
+			case OpLeJF:
+				cond = c <= 0
+			case OpGtJF:
+				cond = c > 0
+			default:
+				cond = c >= 0
+			}
+			if fuel >= 1 {
+				fuel--
+			} else {
+				fuel, rerr = meter.topUp(fuel, 1)
+				if rerr != nil {
+					break loop
+				}
+			}
+			if !cond {
+				ip = int(ins.A)
+			} else {
+				ip++
+			}
+		case OpPushIntRet:
+			if fuel >= 1 {
+				fuel--
+			} else {
+				fuel, rerr = meter.topUp(fuel, 1)
+				if rerr != nil {
+					break loop
+				}
+			}
+			v := I(curM.Ints[ins.A])
+			if len(frames) == 0 {
+				rv = v
+				break loop
+			}
+			fr := &frames[len(frames)-1]
+			stk[base] = v
+			sp = base + 1
+			curM, curF, sites, ip, base = fr.m, fr.f, fr.sites, fr.ip, fr.base
+			code = curF.Code
+			frames = frames[:len(frames)-1]
+
+		default:
+			rerr = trap(curM, curF, ip-1, "unknown opcode %d", ins.Op)
+			break loop
+		}
+	}
+
+	// Single settlement point: give back the unspent reservation (error
+	// paths that must keep their charges — exhaustion — zero fuel before
+	// breaking) and park the arena for the next Run.
+	if meter != nil {
+		meter.refund(fuel)
+	}
+	act.stack = stk
+	act.frames = frames[:0]
+	return rv, rerr
+}
+
+func index(m *Module, f *Func, pc int, agg, idx Value) (Value, error) {
 	switch agg.Kind {
 	case KindList:
 		if idx.Kind != KindInt {
-			return Nil(), trap(fr.m, fr.f, fr.ip-1, "list index is %s", idx.Kind)
+			return Nil(), trap(m, f, pc, "list index is %s", idx.Kind)
 		}
 		if idx.Int < 0 || idx.Int >= int64(len(agg.List)) {
-			return Nil(), trap(fr.m, fr.f, fr.ip-1, "index %d out of range (len %d)", idx.Int, len(agg.List))
+			return Nil(), trap(m, f, pc, "index %d out of range (len %d)", idx.Int, len(agg.List))
 		}
 		return agg.List[idx.Int], nil
 	case KindMap:
 		if idx.Kind != KindStr {
-			return Nil(), trap(fr.m, fr.f, fr.ip-1, "map key is %s", idx.Kind)
+			return Nil(), trap(m, f, pc, "map key is %s", idx.Kind)
 		}
 		return agg.Map[idx.Str], nil
 	case KindStr:
 		if idx.Kind != KindInt {
-			return Nil(), trap(fr.m, fr.f, fr.ip-1, "string index is %s", idx.Kind)
+			return Nil(), trap(m, f, pc, "string index is %s", idx.Kind)
 		}
 		if idx.Int < 0 || idx.Int >= int64(len(agg.Str)) {
-			return Nil(), trap(fr.m, fr.f, fr.ip-1, "index %d out of range (len %d)", idx.Int, len(agg.Str))
+			return Nil(), trap(m, f, pc, "index %d out of range (len %d)", idx.Int, len(agg.Str))
 		}
 		return S(string(agg.Str[idx.Int])), nil
 	default:
-		return Nil(), trap(fr.m, fr.f, fr.ip-1, "cannot index %s", agg.Kind)
+		return Nil(), trap(m, f, pc, "cannot index %s", agg.Kind)
 	}
 }
 
-func setIndex(fr *frame, agg, idx, val Value) error {
+func setIndex(m *Module, f *Func, pc int, agg, idx, val Value) error {
 	switch agg.Kind {
 	case KindList:
 		if idx.Kind != KindInt {
-			return trap(fr.m, fr.f, fr.ip-1, "list index is %s", idx.Kind)
+			return trap(m, f, pc, "list index is %s", idx.Kind)
 		}
 		if idx.Int < 0 || idx.Int >= int64(len(agg.List)) {
-			return trap(fr.m, fr.f, fr.ip-1, "index %d out of range (len %d)", idx.Int, len(agg.List))
+			return trap(m, f, pc, "index %d out of range (len %d)", idx.Int, len(agg.List))
 		}
 		agg.List[idx.Int] = val
 		return nil
 	case KindMap:
 		if idx.Kind != KindStr {
-			return trap(fr.m, fr.f, fr.ip-1, "map key is %s", idx.Kind)
+			return trap(m, f, pc, "map key is %s", idx.Kind)
 		}
 		agg.Map[idx.Str] = val
 		return nil
 	default:
-		return trap(fr.m, fr.f, fr.ip-1, "cannot set-index %s", agg.Kind)
-	}
-}
-
-// InstallBuiltins adds the pure builtins every environment gets: len,
-// append, str, contains, keys. They have no side effects and therefore
-// need no security mediation.
-func InstallBuiltins(env *Env) {
-	env.Host["len"] = func(args []Value) (Value, error) {
-		if len(args) != 1 {
-			return Nil(), fmt.Errorf("%w: len wants 1 arg", ErrTrap)
-		}
-		switch a := args[0]; a.Kind {
-		case KindStr:
-			return I(int64(len(a.Str))), nil
-		case KindList:
-			return I(int64(len(a.List))), nil
-		case KindMap:
-			return I(int64(len(a.Map))), nil
-		default:
-			return Nil(), fmt.Errorf("%w: len of %s", ErrTrap, a.Kind)
-		}
-	}
-	env.Host["append"] = func(args []Value) (Value, error) {
-		if len(args) < 1 || args[0].Kind != KindList {
-			return Nil(), fmt.Errorf("%w: append wants (list, items...)", ErrTrap)
-		}
-		out := make([]Value, 0, len(args[0].List)+len(args)-1)
-		out = append(out, args[0].List...)
-		out = append(out, args[1:]...)
-		return L(out...), nil
-	}
-	env.Host["str"] = func(args []Value) (Value, error) {
-		if len(args) != 1 {
-			return Nil(), fmt.Errorf("%w: str wants 1 arg", ErrTrap)
-		}
-		return S(args[0].Text()), nil
-	}
-	env.Host["contains"] = func(args []Value) (Value, error) {
-		if len(args) != 2 {
-			return Nil(), fmt.Errorf("%w: contains wants 2 args", ErrTrap)
-		}
-		switch a := args[0]; a.Kind {
-		case KindList:
-			for _, e := range a.List {
-				if e.Equal(args[1]) {
-					return B(true), nil
-				}
-			}
-			return B(false), nil
-		case KindMap:
-			if args[1].Kind != KindStr {
-				return Nil(), fmt.Errorf("%w: contains on map wants str key", ErrTrap)
-			}
-			_, ok := a.Map[args[1].Str]
-			return B(ok), nil
-		default:
-			return Nil(), fmt.Errorf("%w: contains on %s", ErrTrap, a.Kind)
-		}
-	}
-	env.Host["split"] = func(args []Value) (Value, error) {
-		if len(args) != 2 || args[0].Kind != KindStr || args[1].Kind != KindStr {
-			return Nil(), fmt.Errorf("%w: split wants (str, sep)", ErrTrap)
-		}
-		if args[1].Str == "" {
-			return Nil(), fmt.Errorf("%w: split with empty separator", ErrTrap)
-		}
-		parts := strings.Split(args[0].Str, args[1].Str)
-		out := make([]Value, len(parts))
-		for i, p := range parts {
-			out[i] = S(p)
-		}
-		return L(out...), nil
-	}
-	env.Host["join"] = func(args []Value) (Value, error) {
-		if len(args) != 2 || args[0].Kind != KindList || args[1].Kind != KindStr {
-			return Nil(), fmt.Errorf("%w: join wants (list, sep)", ErrTrap)
-		}
-		parts := make([]string, len(args[0].List))
-		for i, e := range args[0].List {
-			parts[i] = e.Text()
-		}
-		return S(strings.Join(parts, args[1].Str)), nil
-	}
-	env.Host["substr"] = func(args []Value) (Value, error) {
-		if len(args) != 3 || args[0].Kind != KindStr ||
-			args[1].Kind != KindInt || args[2].Kind != KindInt {
-			return Nil(), fmt.Errorf("%w: substr wants (str, start, end)", ErrTrap)
-		}
-		s, lo, hi := args[0].Str, args[1].Int, args[2].Int
-		if lo < 0 || hi < lo || hi > int64(len(s)) {
-			return Nil(), fmt.Errorf("%w: substr bounds [%d:%d] on len %d", ErrTrap, lo, hi, len(s))
-		}
-		return S(s[lo:hi]), nil
-	}
-	env.Host["find"] = func(args []Value) (Value, error) {
-		if len(args) != 2 || args[0].Kind != KindStr || args[1].Kind != KindStr {
-			return Nil(), fmt.Errorf("%w: find wants (str, substr)", ErrTrap)
-		}
-		return I(int64(strings.Index(args[0].Str, args[1].Str))), nil
-	}
-	env.Host["keys"] = func(args []Value) (Value, error) {
-		if len(args) != 1 || args[0].Kind != KindMap {
-			return Nil(), fmt.Errorf("%w: keys wants a map", ErrTrap)
-		}
-		ks := make([]string, 0, len(args[0].Map))
-		for k := range args[0].Map {
-			ks = append(ks, k)
-		}
-		// Deterministic order keeps agent programs reproducible.
-		for i := 1; i < len(ks); i++ {
-			for j := i; j > 0 && ks[j] < ks[j-1]; j-- {
-				ks[j], ks[j-1] = ks[j-1], ks[j]
-			}
-		}
-		out := make([]Value, len(ks))
-		for i, k := range ks {
-			out[i] = S(k)
-		}
-		return L(out...), nil
+		return trap(m, f, pc, "cannot set-index %s", agg.Kind)
 	}
 }

@@ -60,8 +60,66 @@ const (
 	OpSetIndex // pop val, pop idx, pop agg, store (agg mutated), push nil
 	OpMakeMap  // pop 2A values (k1,v1,...), keys must be str, push map
 	OpHalt     // stop with pop as the routine's value
-	opMax      // sentinel; keep last
+
+	// Fused superinstructions (vm.Prepare's peephole pass, fuse.go).
+	// Each stands for a short straight-line sequence of the canonical
+	// opcodes above and is PC-preserving: the fused opcode replaces the
+	// *first* instruction of the sequence and the remaining "shadow"
+	// slots keep their original instructions, so jump targets, position
+	// tables and manifest call sites are unchanged. Width() reports how
+	// many slots a fused head covers; execution and fuel charging both
+	// advance by that width. Fused opcodes are an execution-only form:
+	// they appear solely in the prepared copies built by vm.Prepare and
+	// must never be serialized into a transfer envelope (canonical wire
+	// bytecode is enforced by agent.Encode/Decode and the fusedwire
+	// analyzer).
+	OpLLIAdd     // push locals[A] + Ints[B]    (loadl A; pushint B; add)
+	OpLLISub     // push locals[A] - Ints[B]    (loadl A; pushint B; sub)
+	OpLLILt      // push locals[A] < Ints[B]    (loadl A; pushint B; lt)
+	OpLLILe      // push locals[A] <= Ints[B]   (loadl A; pushint B; le)
+	OpLLLL       // push locals[A]; push locals[B] (loadl A; loadl B)
+	OpEqJF       // pop b, pop a; if !(a == b) { ip = A } (eq; jz A)
+	OpNeJF       // pop b, pop a; if !(a != b) { ip = A } (ne; jz A)
+	OpLtJF       // pop b, pop a; if !(a < b)  { ip = A } (lt; jz A)
+	OpLeJF       // pop b, pop a; if !(a <= b) { ip = A } (le; jz A)
+	OpGtJF       // pop b, pop a; if !(a > b)  { ip = A } (gt; jz A)
+	OpGeJF       // pop b, pop a; if !(a >= b) { ip = A } (ge; jz A)
+	OpPushIntRet // return Ints[A]          (pushint A; ret) — terminal
+
+	opMax // sentinel; keep last
 )
+
+// opWidth maps each opcode to the number of instruction slots it
+// covers: 1 for canonical opcodes, the fused-sequence length for
+// superinstructions. Indexed hot by the interpreter.
+var opWidth = [opMax]uint8{
+	OpLLIAdd: 3, OpLLISub: 3, OpLLILt: 3, OpLLILe: 3,
+	OpLLLL: 2, OpEqJF: 2, OpNeJF: 2, OpLtJF: 2, OpLeJF: 2,
+	OpGtJF: 2, OpGeJF: 2, OpPushIntRet: 2,
+}
+
+func init() {
+	for op := range opWidth {
+		if opWidth[op] == 0 {
+			opWidth[op] = 1
+		}
+	}
+}
+
+// Width reports how many instruction slots the opcode covers: 1 for
+// every canonical opcode, 2 or 3 for fused superinstructions (whose
+// trailing shadow slots hold the original instructions and are skipped
+// by execution). Unknown opcodes report 1.
+func (o Opcode) Width() int {
+	if o < opMax {
+		return int(opWidth[o])
+	}
+	return 1
+}
+
+// Fused reports whether the opcode is an execution-only fused
+// superinstruction (never valid in wire-format modules).
+func (o Opcode) Fused() bool { return o.Width() > 1 }
 
 var opNames = [...]string{
 	OpNop: "nop", OpPushInt: "pushint", OpPushStr: "pushstr",
@@ -75,6 +133,9 @@ var opNames = [...]string{
 	OpReturn: "ret", OpPop: "pop", OpDup: "dup",
 	OpMakeList: "mklist", OpIndex: "index", OpSetIndex: "setindex",
 	OpMakeMap: "mkmap", OpHalt: "halt",
+	OpLLIAdd: "lli_add", OpLLISub: "lli_sub", OpLLILt: "lli_lt", OpLLILe: "lli_le",
+	OpLLLL: "ll_ll", OpEqJF: "eq_jz", OpNeJF: "ne_jz", OpLtJF: "lt_jz",
+	OpLeJF: "le_jz", OpGtJF: "gt_jz", OpGeJF: "ge_jz", OpPushIntRet: "pushint_ret",
 }
 
 func (o Opcode) String() string {
@@ -97,7 +158,8 @@ func (i Instr) String() string {
 		OpDiv, OpMod, OpNeg, OpEq, OpNe, OpLt, OpLe, OpGt, OpGe, OpNot,
 		OpReturn, OpPop, OpDup, OpIndex, OpSetIndex, OpHalt:
 		return i.Op.String()
-	case OpCall, OpCallNamed, OpHostCall:
+	case OpCall, OpCallNamed, OpHostCall,
+		OpLLIAdd, OpLLISub, OpLLILt, OpLLILe, OpLLLL:
 		return fmt.Sprintf("%s %d %d", i.Op, i.A, i.B)
 	default:
 		return fmt.Sprintf("%s %d", i.Op, i.A)
@@ -126,6 +188,12 @@ type Func struct {
 	// LocalNames names the local slots in order (parameters first).
 	// Optional debug metadata like Pos; may be shorter than NLocals.
 	LocalNames []string
+
+	// rt is the per-function runtime table built by Prepare (fuse.go):
+	// inline-cache slots and the verified operand-stack bound. nil on
+	// canonical (wire-form) functions; unexported so gob never carries
+	// it — serialization strips prepared state by construction.
+	rt *funcRT
 }
 
 // PosAt returns the source position of instruction pc, or a zero Pos
@@ -209,6 +277,14 @@ func (m *Module) Disassemble() string {
 			case OpCall:
 				if int(ins.A) < len(m.Fns) {
 					note = fmt.Sprintf("  ; %s", m.Fns[ins.A].Name)
+				}
+			case OpLLIAdd, OpLLISub, OpLLILt, OpLLILe:
+				if int(ins.B) < len(m.Ints) {
+					note = fmt.Sprintf("  ; %s, %d", f.LocalName(int(ins.A)), m.Ints[ins.B])
+				}
+			case OpPushIntRet:
+				if int(ins.A) < len(m.Ints) {
+					note = fmt.Sprintf("  ; %d", m.Ints[ins.A])
 				}
 			}
 			out += fmt.Sprintf("  %4d  %s%s\n", pc, ins, note)

@@ -132,6 +132,34 @@ func stackEffect(m *Module, f *Func, pc int, ins Instr) (pops, pushes int, err e
 			return 0, 0, vErr(m, f, pc, "negative map size")
 		}
 		return 2 * int(ins.A), 1, nil
+
+	// Fused superinstructions (fuse.go). Effects are the *net* effect
+	// of the canonical sequence each one stands for; the interpreter
+	// keeps the virtual intermediates out of the operand stack, so the
+	// net effect is also the honest per-slot depth change.
+	case OpLLIAdd, OpLLISub, OpLLILt, OpLLILe:
+		if int(ins.A) < 0 || int(ins.A) >= f.NLocals {
+			return 0, 0, vErr(m, f, pc, "local %d out of range (%d locals)", ins.A, f.NLocals)
+		}
+		if int(ins.B) < 0 || int(ins.B) >= len(m.Ints) {
+			return 0, 0, vErr(m, f, pc, "int pool index %d out of range", ins.B)
+		}
+		return 0, 1, nil
+	case OpLLLL:
+		if int(ins.A) < 0 || int(ins.A) >= f.NLocals {
+			return 0, 0, vErr(m, f, pc, "local %d out of range (%d locals)", ins.A, f.NLocals)
+		}
+		if int(ins.B) < 0 || int(ins.B) >= f.NLocals {
+			return 0, 0, vErr(m, f, pc, "local %d out of range (%d locals)", ins.B, f.NLocals)
+		}
+		return 0, 2, nil
+	case OpEqJF, OpNeJF, OpLtJF, OpLeJF, OpGtJF, OpGeJF:
+		return 2, 0, nil
+	case OpPushIntRet:
+		if int(ins.A) < 0 || int(ins.A) >= len(m.Ints) {
+			return 0, 0, vErr(m, f, pc, "int pool index %d out of range", ins.A)
+		}
+		return 0, 0, nil
 	default:
 		return 0, 0, vErr(m, f, pc, "unknown opcode %d", ins.Op)
 	}
@@ -167,22 +195,30 @@ func verifyFunc(m *Module, f *Func) error {
 			return vErr(m, f, pc, "stack depth %d exceeds limit %d", nd, MaxVerifiedStack)
 		}
 
-		// successors
+		// successors — execution advances by the opcode's width, so the
+		// shadow slots of a fused head are skipped (they are data, not
+		// reachable code).
 		var succs []int
 		switch ins.Op {
-		case OpReturn, OpHalt:
+		case OpReturn, OpHalt, OpPushIntRet:
 			// terminal
 		case OpJump:
 			succs = []int{int(ins.A)}
 		case OpJumpIfFalse, OpJumpIfTrue:
 			succs = []int{int(ins.A), pc + 1}
+		case OpEqJF, OpNeJF, OpLtJF, OpLeJF, OpGtJF, OpGeJF:
+			succs = []int{int(ins.A), pc + ins.Op.Width()}
 		default:
-			succs = []int{pc + 1}
+			succs = []int{pc + ins.Op.Width()}
 		}
 		for _, s := range succs {
 			if s < 0 || s >= n {
-				if ins.Op == OpJump || ins.Op == OpJumpIfFalse || ins.Op == OpJumpIfTrue {
-					return vErr(m, f, pc, "jump target %d out of range [0,%d)", s, n)
+				switch ins.Op {
+				case OpJump, OpJumpIfFalse, OpJumpIfTrue,
+					OpEqJF, OpNeJF, OpLtJF, OpLeJF, OpGtJF, OpGeJF:
+					if s != pc+ins.Op.Width() {
+						return vErr(m, f, pc, "jump target %d out of range [0,%d)", s, n)
+					}
 				}
 				return vErr(m, f, pc, "execution falls off end of function")
 			}
