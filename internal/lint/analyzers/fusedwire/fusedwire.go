@@ -1,0 +1,64 @@
+// Package fusedwire enforces the wire-canonicality half of the VM fast
+// path: vm.Prepare builds process-local execution copies whose fused
+// superinstructions must never appear in anything serialized (agent
+// bundles, digests, transfer envelopes). The transfer layer already
+// rejects fused code dynamically (agent.ErrFusedCode); this analyzer
+// closes the loop statically by keeping Prepare calls inside the two
+// packages that own the canonical/prepared split — the VM itself and
+// the loader, whose namespaces hand out prepared copies while keeping
+// the canonical bundle for re-serialization. Any other caller is one
+// refactor away from routing a prepared module into an agent's Code.
+package fusedwire
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// vmPkg owns Prepare.
+const vmPkg = "repro/internal/vm"
+
+// allowed are the import-path prefixes that may call vm.Prepare: the
+// defining package (and its subpackages) and the loader, which builds
+// the per-namespace execution copies.
+var allowed = []string{
+	"repro/internal/vm",
+	"repro/internal/loader",
+}
+
+// Analyzer flags references to vm.Prepare outside the allowlisted
+// packages.
+var Analyzer = &analysis.Analyzer{
+	Name: "fusedwire",
+	Doc: "only internal/vm and internal/loader may call vm.Prepare; prepared (fused) modules are " +
+		"process-local execution state and must never reach serialization paths",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, pfx := range allowed {
+		if pass.Pkg.Path() == pfx || strings.HasPrefix(pass.Pkg.Path(), pfx+"/") {
+			return nil
+		}
+	}
+	pass.Preorder(func(n ast.Node) {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return
+		}
+		fn, ok := pass.TypesInfo.Uses[id].(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return
+		}
+		if fn.Pkg().Path() != vmPkg || fn.Name() != "Prepare" {
+			return
+		}
+		pass.Reportf(id.Pos(),
+			"package %s calls vm.Prepare; prepared modules are process-local — resolve execution copies through the loader instead",
+			pass.Pkg.Path())
+	})
+	return nil
+}

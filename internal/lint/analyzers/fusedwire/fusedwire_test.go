@@ -1,0 +1,12 @@
+package fusedwire_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analyzers/fusedwire"
+	"repro/internal/lint/linttest"
+)
+
+func TestFusedWire(t *testing.T) {
+	linttest.Run(t, fusedwire.Analyzer, "testdata")
+}

@@ -1,0 +1,8 @@
+// Package loader is allowlisted: namespaces hand out prepared
+// execution copies.
+package loader
+
+import "repro/internal/vm"
+
+// Load prepares a module for execution.
+func Load(m *vm.Module) *vm.Module { return vm.Prepare(m) }

@@ -1,0 +1,14 @@
+// Package transfer is outside the allowlist; calling vm.Prepare here
+// is a finding however the import is spelled.
+package transfer
+
+import (
+	"repro/internal/vm"
+	v "repro/internal/vm"
+)
+
+var bad = vm.Prepare(&vm.Module{}) // want "resolve execution copies through the loader"
+
+var renamed = v.Prepare(&v.Module{}) // want "resolve execution copies through the loader"
+
+var fine = &vm.Module{Name: "canonical"}

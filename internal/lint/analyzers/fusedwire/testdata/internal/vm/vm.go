@@ -1,0 +1,13 @@
+// Package vm is the fixture stand-in for the real VM: it owns Prepare
+// and may call it freely.
+package vm
+
+// Module is a stand-in for the bytecode module.
+type Module struct {
+	Name string
+}
+
+// Prepare builds the process-local execution copy.
+func Prepare(m *Module) *Module { return &Module{Name: m.Name} }
+
+var self = Prepare(&Module{})

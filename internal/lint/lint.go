@@ -4,7 +4,7 @@
 // repolint). Since the type-aware rebuild the suite runs on
 // internal/lint/analysis, a stdlib-only re-statement of the
 // golang.org/x/tools/go/analysis contract, with full go/types
-// information loaded offline by internal/lint/load. Five analyzers
+// information loaded offline by internal/lint/load. Six analyzers
 // mechanize the invariants that used to live only in docs and review:
 //
 //	resourceimpl  concrete resource.ResourceImpl stays behind NewImpl
@@ -12,6 +12,7 @@
 //	cowsnapshot   never mutate through atomic.Pointer.Load (§8.1)
 //	coarseclock   no raw time.Timer/Ticker in internal/ hot paths (§8.2)
 //	errclass      send-path errors are transient/permanent-classified (§7)
+//	fusedwire     vm.Prepare (fused execution copies) stays in vm/loader
 //
 // A finding is silenced only by an inline annotation on the flagged
 // line (or the line above):
@@ -33,6 +34,7 @@ import (
 	"repro/internal/lint/analyzers/coarseclock"
 	"repro/internal/lint/analyzers/cowsnapshot"
 	"repro/internal/lint/analyzers/errclass"
+	"repro/internal/lint/analyzers/fusedwire"
 	"repro/internal/lint/analyzers/lockorder"
 	"repro/internal/lint/analyzers/resourceimpl"
 	"repro/internal/lint/load"
@@ -45,6 +47,7 @@ var Analyzers = []*analysis.Analyzer{
 	cowsnapshot.Analyzer,
 	coarseclock.Analyzer,
 	errclass.Analyzer,
+	fusedwire.Analyzer,
 }
 
 // Finding is one reported rule violation.
