@@ -3,9 +3,9 @@
 
 # The benchmark set the CI bench-gate guards against regression. C1
 # (access designs), C4 (accounting), C7 (transfer security + pooling),
-# C8 (contended access) and C14 (VM agent workloads) cover every hot
-# path this repo optimizes.
-GATE_BENCH := BenchmarkC1_|BenchmarkC4_|BenchmarkC7_|BenchmarkC8_|BenchmarkC14_
+# C8 (contended access), C14 (VM agent workloads) and C15 (dispatch-path
+# name resolution) cover every hot path this repo optimizes.
+GATE_BENCH := BenchmarkC1_|BenchmarkC4_|BenchmarkC7_|BenchmarkC8_|BenchmarkC14_|BenchmarkC15_
 BENCH_FLAGS := -run '^$$' -benchtime 0.5s -count 3
 
 .PHONY: test race lint bench-gate-run bench-baseline bench-gate

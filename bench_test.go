@@ -10,6 +10,7 @@ import (
 	"encoding/gob"
 	"encoding/json"
 	"fmt"
+	"net"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -1075,5 +1076,267 @@ func BenchmarkC13_AdmissionStorm(b *testing.B) {
 		b.ResetTimer()
 		sheds := storm(b, g, 1)
 		b.ReportMetric(float64(sheds)/float64(b.N), "shed/op")
+	})
+}
+
+// --- C15: federated name resolution ------------------------------------------
+
+// c15Bind populates a directory with n server bindings named
+// srv0000..srvNNNN.
+func c15Bind(b *testing.B, d names.Directory, n int) []names.Name {
+	b.Helper()
+	nms := make([]names.Name, n)
+	for i := range nms {
+		nms[i] = names.Server("umn.edu", fmt.Sprintf("srv%04d", i))
+		if err := d.Bind(nms[i], names.Location{
+			Address: fmt.Sprintf("srv%04d:7000", i), ServerName: nms[i],
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return nms
+}
+
+// c15ChurnNames is the rotating set of agent names the churn writer
+// rebinds (precomputed so the writer itself allocates as little as
+// possible).
+var c15ChurnNames = func() []names.Name {
+	nms := make([]names.Name, 64)
+	for i := range nms {
+		nms[i] = names.Agent("umn.edu", fmt.Sprintf("churn%02d", i))
+	}
+	return nms
+}()
+
+// c15Churn continuously rebinds a rotating set of agent names into d:
+// the steady-state directory write load of a busy fleet, where every
+// accepted transfer rebinds the migrated agent at its new host. Four
+// writers model four peer servers acking transfers concurrently. The
+// returned func stops them.
+func c15Churn(d names.Directory) func() {
+	const writers = 4
+	stop := make(chan struct{})
+	var done sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		done.Add(1)
+		go func(w int) {
+			defer done.Done()
+			loc := names.Location{Address: "churn:7000"}
+			for j := w; ; j += writers {
+				select {
+				case <-stop:
+					return
+				default:
+					_ = d.Bind(c15ChurnNames[j%len(c15ChurnNames)], loc)
+				}
+			}
+		}(w)
+	}
+	return func() { close(stop); done.Wait() }
+}
+
+// c15LookupResp is the wire response of the remote-directory rows.
+type c15LookupResp struct {
+	Loc names.Location
+	Err string
+}
+
+// c15ServeDirectory answers Lookup RPCs over gob: the flat name service
+// as the out-of-process directory any multi-machine deployment makes it
+// — federation's baseline cost when nothing caches.
+func c15ServeDirectory(l net.Listener, flat *baseline.FlatNameService) {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		go func(conn net.Conn) {
+			defer conn.Close()
+			dec, enc := gob.NewDecoder(conn), gob.NewEncoder(conn)
+			for {
+				var n names.Name
+				if dec.Decode(&n) != nil {
+					return
+				}
+				var resp c15LookupResp
+				if loc, err := flat.Lookup(n); err != nil {
+					resp.Err = err.Error()
+				} else {
+					resp.Loc = loc
+				}
+				if enc.Encode(resp) != nil {
+					return
+				}
+			}
+		}(conn)
+	}
+}
+
+// BenchmarkC15_Resolution measures the dispatch path's name resolution
+// across the three designs (EXPERIMENTS.md C15):
+//
+//   - flat: the seed's single RWMutex map (baseline.FlatNameService) —
+//     every Lookup takes the read lock.
+//   - authority: the sharded copy-on-write authoritative store
+//     (names.Service) resolved directly — lock-free reads, but in a
+//     federated deployment this is the store the authority round-trip
+//     would hit.
+//   - cached: the per-server lease-caching names.Resolver over that
+//     store, pre-warmed — the production dispatch path. A lease-valid
+//     hit must be a couple of atomic loads and map reads: zero locks,
+//     zero allocations.
+//
+// The quiet rows measure the read path alone. The _churn rows add the
+// production steady state — writers rebinding agent names into the
+// same directory, exactly what every accepted transfer does — and
+// separate the lock disciplines: the flat store's write lock stalls
+// readers, while COW readers never block. Reported allocs on _churn
+// rows are the background writers', not the resolve path's.
+//
+// flat_remote is the comparison the federated deployment is actually
+// about: the flat design has no cache, so once the directory is not
+// in-process — the norm under federation, and the deployment the
+// paper's name registry describes — every dispatch resolution is a
+// round-trip to the authority (measured here as a live gob RPC over a
+// netsim connection). The lease cache turns that round-trip into a
+// couple of atomic loads.
+//
+// ranked_replicas adds the location-aware flavor: ResolveAll over a
+// 3-replica binding with a proximity estimate, the co-location path.
+func BenchmarkC15_Resolution(b *testing.B) {
+	const nNames = 1024
+	coarse := func() int64 { return resource.CoarseTime().UnixNano() }
+	impls := []struct {
+		name string
+		mk   func(b *testing.B) (func(w int) error, names.Directory)
+	}{
+		{"flat", func(b *testing.B) (func(int) error, names.Directory) {
+			flat := baseline.NewFlatNameService()
+			nms := c15Bind(b, flat, nNames)
+			return func(w int) error {
+				_, err := flat.Lookup(nms[w%nNames])
+				return err
+			}, flat
+		}},
+		{"authority", func(b *testing.B) (func(int) error, names.Directory) {
+			svc := names.NewService()
+			nms := c15Bind(b, svc, nNames)
+			return func(w int) error {
+				_, err := svc.Resolve(nms[w%nNames])
+				return err
+			}, svc
+		}},
+		{"cached", func(b *testing.B) (func(int) error, names.Directory) {
+			svc := names.NewServiceWithLease(time.Hour)
+			nms := c15Bind(b, svc, nNames)
+			// The server injects the process-wide coarse clock; the
+			// bench measures the same wiring.
+			res := names.NewResolver(svc, names.ResolverConfig{
+				Self: "bench:7000",
+				Now:  coarse,
+			})
+			for _, n := range nms { // warm: every name lease-valid
+				if _, err := res.Resolve(n); err != nil {
+					b.Fatal(err)
+				}
+			}
+			return func(w int) error {
+				_, err := res.Resolve(nms[w%nNames])
+				return err
+			}, svc
+		}},
+	}
+	for _, churn := range []bool{false, true} {
+		for _, g := range []int{1, 16} {
+			if churn && g == 1 {
+				continue // churn rows target the concurrent dispatch path
+			}
+			for _, impl := range impls {
+				tag := impl.name
+				if churn {
+					tag += "_churn"
+				}
+				b.Run(fmt.Sprintf("%s/goroutines=%d", tag, g), func(b *testing.B) {
+					call, dir := impl.mk(b)
+					stopChurn := func() {}
+					if churn {
+						stopChurn = c15Churn(dir)
+					}
+					runContended(b, g, call)
+					stopChurn()
+				})
+			}
+		}
+	}
+	for _, g := range []int{1, 16} {
+		b.Run(fmt.Sprintf("flat_remote/goroutines=%d", g), func(b *testing.B) {
+			nw := netsim.NewNetwork()
+			flat := baseline.NewFlatNameService()
+			nms := c15Bind(b, flat, nNames)
+			l, err := nw.Listen("dir:7000")
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer l.Close()
+			go c15ServeDirectory(l, flat)
+			// One warm connection per goroutine, as a server's channel
+			// pool would hold to its authority.
+			type cli struct {
+				enc *gob.Encoder
+				dec *gob.Decoder
+			}
+			clis := make([]cli, g)
+			for i := range clis {
+				conn, err := nw.Dial("dir:7000")
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer conn.Close()
+				clis[i] = cli{gob.NewEncoder(conn), gob.NewDecoder(conn)}
+			}
+			runContended(b, g, func(w int) error {
+				if err := clis[w].enc.Encode(nms[w%nNames]); err != nil {
+					return err
+				}
+				var resp c15LookupResp
+				if err := clis[w].dec.Decode(&resp); err != nil {
+					return err
+				}
+				if resp.Err != "" {
+					return fmt.Errorf("remote lookup: %s", resp.Err)
+				}
+				return nil
+			})
+		})
+	}
+	b.Run("cached/ranked_replicas", func(b *testing.B) {
+		svc := names.NewServiceWithLease(time.Hour)
+		rn := names.Resource("umn.edu", "data")
+		for i := 0; i < 3; i++ {
+			if err := svc.BindReplica(rn, names.Location{
+				Address:    fmt.Sprintf("rep%d:7000", i),
+				ServerName: names.Server("umn.edu", fmt.Sprintf("rep%d", i)),
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		prox := func(from, to string) time.Duration {
+			return time.Duration(len(to)) * time.Millisecond
+		}
+		res := names.NewResolver(svc, names.ResolverConfig{
+			Self:      "bench:7000",
+			Proximity: prox,
+			Now:       func() int64 { return resource.CoarseTime().UnixNano() },
+		})
+		if _, err := res.ResolveAll(rn); err != nil {
+			b.Fatal(err)
+		}
+		runContended(b, 16, func(int) error {
+			locs, err := res.ResolveAll(rn)
+			if err == nil && len(locs) != 3 {
+				return fmt.Errorf("got %d replicas", len(locs))
+			}
+			return err
+		})
 	})
 }

@@ -1,0 +1,266 @@
+package main
+
+import (
+	"encoding/gob"
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/names"
+	"repro/internal/netsim"
+	"repro/internal/resource"
+)
+
+// c15Result is one row of BENCH_names.json: the cost of one dispatch
+// resolution for one (design, goroutines, churn) cell.
+type c15Result struct {
+	Design      string  `json:"design"` // flat | authority | cached | flat_remote | cached_ranked
+	Goroutines  int     `json:"goroutines"`
+	Churn       bool    `json:"churn"` // background agent-rebind writers active
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+const c15NNames = 1024
+
+// c15Populate binds srv0000..srvNNNN into d.
+func c15Populate(d names.Directory) []names.Name {
+	nms := make([]names.Name, c15NNames)
+	for i := range nms {
+		nms[i] = names.Server("umn.edu", fmt.Sprintf("srv%04d", i))
+		if err := d.Bind(nms[i], names.Location{
+			Address: fmt.Sprintf("srv%04d:7000", i), ServerName: nms[i],
+		}); err != nil {
+			panic(err)
+		}
+	}
+	return nms
+}
+
+// c15Contended runs call on g goroutines, splitting b.N among them
+// (the bench_test.go runContended shape).
+func c15Contended(b *testing.B, g int, call func(w int) error) {
+	b.ReportAllocs()
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	per := b.N / g
+	for w := 0; w < g; w++ {
+		n := per
+		if w == 0 {
+			n += b.N % g
+		}
+		wg.Add(1)
+		go func(w, n int) {
+			defer wg.Done()
+			for i := 0; i < n; i++ {
+				if err := call(w); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}(w, n)
+	}
+	wg.Wait()
+}
+
+// c15StartChurn launches 4 writers continuously rebinding agent names
+// into d (the steady-state write load of transfer acks); stop with the
+// returned func.
+func c15StartChurn(d names.Directory) func() {
+	const writers = 4
+	churnNames := make([]names.Name, 64)
+	for i := range churnNames {
+		churnNames[i] = names.Agent("umn.edu", fmt.Sprintf("churn%02d", i))
+	}
+	stop := make(chan struct{})
+	var done sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		done.Add(1)
+		go func(w int) {
+			defer done.Done()
+			loc := names.Location{Address: "churn:7000"}
+			for j := w; ; j += writers {
+				select {
+				case <-stop:
+					return
+				default:
+					_ = d.Bind(churnNames[j%len(churnNames)], loc)
+				}
+			}
+		}(w)
+	}
+	return func() { close(stop); done.Wait() }
+}
+
+// c15ServeDirectory answers Lookup RPCs over gob: the flat store as the
+// out-of-process authority a federated deployment makes it.
+func c15ServeDirectory(l net.Listener, flat *baseline.FlatNameService) {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		go func(conn net.Conn) {
+			defer conn.Close()
+			dec, enc := gob.NewDecoder(conn), gob.NewEncoder(conn)
+			for {
+				var n names.Name
+				if dec.Decode(&n) != nil {
+					return
+				}
+				var resp struct {
+					Loc names.Location
+					Err string
+				}
+				if loc, err := flat.Lookup(n); err != nil {
+					resp.Err = err.Error()
+				} else {
+					resp.Loc = loc
+				}
+				if enc.Encode(resp) != nil {
+					return
+				}
+			}
+		}(conn)
+	}
+}
+
+// tableC15 measures dispatch-path name resolution across the designs
+// (experiment C15): the seed's flat RWMutex map, the sharded COW
+// authoritative store, and the per-server lease-caching resolver —
+// quiet, under rebind churn, and (for the flat design) behind the
+// remote round-trip federation implies when nothing caches. When
+// jsonPath is non-empty the rows are written there (uploaded by CI as
+// the BENCH_names artifact).
+func tableC15(jsonPath string) {
+	coarse := func() int64 { return resource.CoarseTime().UnixNano() }
+	var results []c15Result
+
+	measure := func(design string, g int, churn bool, setup func() (func(w int) error, names.Directory)) c15Result {
+		call, dir := setup()
+		stopChurn := func() {}
+		if churn {
+			stopChurn = c15StartChurn(dir)
+		}
+		r := testing.Benchmark(func(b *testing.B) {
+			c15Contended(b, g, call)
+		})
+		stopChurn()
+		res := c15Result{
+			Design:      design,
+			Goroutines:  g,
+			Churn:       churn,
+			NsPerOp:     float64(r.NsPerOp()),
+			AllocsPerOp: r.AllocsPerOp(),
+		}
+		results = append(results, res)
+		return res
+	}
+
+	mkFlat := func() (func(w int) error, names.Directory) {
+		flat := baseline.NewFlatNameService()
+		nms := c15Populate(flat)
+		return func(w int) error {
+			_, err := flat.Lookup(nms[w%c15NNames])
+			return err
+		}, flat
+	}
+	mkAuthority := func() (func(w int) error, names.Directory) {
+		svc := names.NewService()
+		nms := c15Populate(svc)
+		return func(w int) error {
+			_, err := svc.Resolve(nms[w%c15NNames])
+			return err
+		}, svc
+	}
+	mkCached := func() (func(w int) error, names.Directory) {
+		svc := names.NewServiceWithLease(time.Hour)
+		nms := c15Populate(svc)
+		res := names.NewResolver(svc, names.ResolverConfig{Self: "exp:7000", Now: coarse})
+		for _, n := range nms {
+			if _, err := res.Resolve(n); err != nil {
+				panic(err)
+			}
+		}
+		return func(w int) error {
+			_, err := res.Resolve(nms[w%c15NNames])
+			return err
+		}, svc
+	}
+	mkRemote := func() (func(w int) error, names.Directory) {
+		nw := netsim.NewNetwork()
+		flat := baseline.NewFlatNameService()
+		nms := c15Populate(flat)
+		l, err := nw.Listen("dir:7000")
+		if err != nil {
+			panic(err)
+		}
+		go c15ServeDirectory(l, flat)
+		const maxG = 16
+		type cli struct {
+			enc *gob.Encoder
+			dec *gob.Decoder
+		}
+		clis := make([]cli, maxG)
+		for i := range clis {
+			conn, err := nw.Dial("dir:7000")
+			if err != nil {
+				panic(err)
+			}
+			clis[i] = cli{gob.NewEncoder(conn), gob.NewDecoder(conn)}
+		}
+		return func(w int) error {
+			c := clis[w%maxG]
+			if err := c.enc.Encode(nms[w%c15NNames]); err != nil {
+				return err
+			}
+			var resp struct {
+				Loc names.Location
+				Err string
+			}
+			if err := c.dec.Decode(&resp); err != nil {
+				return err
+			}
+			if resp.Err != "" {
+				return fmt.Errorf("remote lookup: %s", resp.Err)
+			}
+			return nil
+		}, flat
+	}
+
+	fmt.Println("C15: dispatch-path name resolution (ns per resolve)")
+	fmt.Printf("  %-12s %6s %6s %12s %8s\n", "design", "goros", "churn", "ns/op", "allocs")
+	show := func(r c15Result) {
+		fmt.Printf("  %-12s %6d %6v %12.0f %8d\n",
+			r.Design, r.Goroutines, r.Churn, r.NsPerOp, r.AllocsPerOp)
+	}
+	for _, g := range []int{1, 16} {
+		show(measure("flat", g, false, mkFlat))
+		show(measure("authority", g, false, mkAuthority))
+		show(measure("cached", g, false, mkCached))
+	}
+	for _, cell := range []struct {
+		design string
+		mk     func() (func(w int) error, names.Directory)
+	}{{"flat", mkFlat}, {"authority", mkAuthority}, {"cached", mkCached}} {
+		show(measure(cell.design, 16, true, cell.mk))
+	}
+	show(measure("flat_remote", 16, false, mkRemote))
+	fmt.Println()
+
+	if jsonPath != "" {
+		blob, err := json.MarshalIndent(results, "", "  ")
+		if err != nil {
+			panic(err)
+		}
+		if err := os.WriteFile(jsonPath, append(blob, '\n'), 0o644); err != nil {
+			panic(err)
+		}
+		fmt.Printf("wrote %d rows to %s\n", len(results), jsonPath)
+	}
+}

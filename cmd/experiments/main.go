@@ -33,8 +33,8 @@ import (
 )
 
 func main() {
-	only := flag.String("only", "", "run a single experiment: c1, c2, c3, c4, c6, c8, c12, c13, c14, vm")
-	jsonOut := flag.String("json", "", "write the selected experiment's results to this JSON file (c8 → BENCH_access.json rows; -only c12 → BENCH_scaling.json rows; -only c13 → BENCH_admission.json rows; -only c14 → BENCH_vm.json rows)")
+	only := flag.String("only", "", "run a single experiment: c1, c2, c3, c4, c6, c8, c12, c13, c14, c15, vm")
+	jsonOut := flag.String("json", "", "write the selected experiment's results to this JSON file (c8 → BENCH_access.json rows; -only c12 → BENCH_scaling.json rows; -only c13 → BENCH_admission.json rows; -only c14 → BENCH_vm.json rows; -only c15 → BENCH_names.json rows)")
 	flag.Parse()
 	run := func(name string, f func()) {
 		if *only == "" || *only == name {
@@ -74,6 +74,15 @@ func main() {
 			path = *jsonOut
 		}
 		tableC14(path)
+	})
+	run("c15", func() {
+		// Same shared-path convention as c12/c13/c14: only claim -json
+		// when c15 was selected explicitly.
+		path := ""
+		if *only == "c15" {
+			path = *jsonOut
+		}
+		tableC15(path)
 	})
 	run("vm", tableVM)
 }

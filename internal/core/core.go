@@ -165,6 +165,13 @@ func (p *Platform) StartServer(shortName, addr string, sc ServerConfig) (*server
 		self := addr
 		cfg.Dial = func(a string) (net.Conn, error) { return p.Net.DialFrom(self, a) }
 		cfg.Listen = func(a string) (net.Listener, error) { return p.Net.Listen(a) }
+		// The simulated per-link latency matrix doubles as the
+		// proximity estimate for location-aware routing: resolvers
+		// rank multi-location answers and dispatch ranks itinerary
+		// alternatives nearest-first. Until a matrix is attached
+		// (Net.SetLatencyMatrix) every link reads 0 — unmeasured —
+		// and routing keeps itinerary order.
+		cfg.Proximity = p.Net.Latency
 	}
 
 	if len(sc.TrustedSources) > 0 {

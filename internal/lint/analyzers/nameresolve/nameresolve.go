@@ -1,0 +1,64 @@
+// Package nameresolve enforces the naming fast path: servers resolve
+// names through their lease-caching names.Resolver (or the Directory
+// interface, which deliberately omits Lookup), never by hitting the
+// authoritative store's legacy Lookup method directly. A direct
+// Service.Lookup bypasses the cache — every call is an authority
+// round-trip in a federated deployment — and sidesteps the lease,
+// invalidation and forwarding-hint discipline the dispatch convergence
+// story depends on. The method survives inside internal/names as the
+// compatibility surface the Resolver itself is built on; this analyzer
+// keeps it there. (The lint loader skips _test.go files, so tests may
+// still call Lookup for assertions.)
+package nameresolve
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// namesPkg owns Service.Lookup.
+const namesPkg = "repro/internal/names"
+
+// allowed are the import-path prefixes that may call names'
+// Service.Lookup: the defining package (and its subpackages), which
+// builds the caching resolver on top of it.
+var allowed = []string{
+	"repro/internal/names",
+}
+
+// Analyzer flags references to the names package's Lookup outside the
+// allowlisted packages.
+var Analyzer = &analysis.Analyzer{
+	Name: "nameresolve",
+	Doc: "only internal/names may call names.Service.Lookup; servers resolve through the " +
+		"lease-caching Resolver so resolution stays lock-free and cache invalidation converges",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, pfx := range allowed {
+		if pass.Pkg.Path() == pfx || strings.HasPrefix(pass.Pkg.Path(), pfx+"/") {
+			return nil
+		}
+	}
+	pass.Preorder(func(n ast.Node) {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return
+		}
+		fn, ok := pass.TypesInfo.Uses[id].(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return
+		}
+		if fn.Pkg().Path() != namesPkg || fn.Name() != "Lookup" {
+			return
+		}
+		pass.Reportf(id.Pos(),
+			"package %s calls names Lookup directly; resolve through the server's names.Resolver (or the Directory interface) instead",
+			pass.Pkg.Path())
+	})
+	return nil
+}

@@ -1,0 +1,12 @@
+package nameresolve_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analyzers/nameresolve"
+	"repro/internal/lint/linttest"
+)
+
+func TestNameResolve(t *testing.T) {
+	linttest.Run(t, nameresolve.Analyzer, "testdata")
+}

@@ -1,0 +1,28 @@
+// Package names is the fixture stand-in for the real naming package:
+// it owns Service.Lookup and may call it freely (the Resolver is built
+// on it).
+package names
+
+// Name is a stand-in global name.
+type Name struct {
+	Authority, Path string
+}
+
+// Location is a stand-in network binding.
+type Location struct {
+	Address string
+}
+
+// Service is the authoritative store.
+type Service struct{}
+
+// Lookup is the legacy single-location resolution surface.
+func (s *Service) Lookup(n Name) (Location, error) { return Location{}, nil }
+
+// Resolver is the stand-in caching resolver; its internals use Lookup.
+type Resolver struct {
+	auth *Service
+}
+
+// Resolve serves through the cache.
+func (r *Resolver) Resolve(n Name) (Location, error) { return r.auth.Lookup(n) }

@@ -1,0 +1,26 @@
+// Package server is outside the allowlist; calling the store's Lookup
+// directly is a finding however the import is spelled. Resolution goes
+// through the Resolver.
+package server
+
+import (
+	"repro/internal/names"
+	nm "repro/internal/names"
+)
+
+// Config carries the directory.
+type Config struct {
+	NS *names.Service
+}
+
+func dispatch(cfg Config, n names.Name) {
+	_, _ = cfg.NS.Lookup(n) // want "resolve through the server's names.Resolver"
+}
+
+func renamed(ns *nm.Service, n nm.Name) {
+	_, _ = ns.Lookup(n) // want "resolve through the server's names.Resolver"
+}
+
+func fine(r *names.Resolver, n names.Name) {
+	_, _ = r.Resolve(n)
+}

@@ -1,0 +1,90 @@
+package netsim
+
+import (
+	"sync"
+	"time"
+)
+
+// LatencyMatrix extends the analytic Model with per-link one-way
+// latencies, giving the simulated network a WAN shape: links keep the
+// base model's bandwidth, but each address pair can carry its own
+// latency (undirected, like the fault plane's link keying). Like Model
+// it is analytic — nothing sleeps; consumers such as the name
+// resolver's proximity ranking and the communication experiments read
+// modeled time.
+type LatencyMatrix struct {
+	mu   sync.RWMutex
+	base Model
+	lat  map[linkKey]time.Duration
+}
+
+// NewLatencyMatrix returns a matrix whose unset links fall back to the
+// base model.
+func NewLatencyMatrix(base Model) *LatencyMatrix {
+	return &LatencyMatrix{base: base, lat: make(map[linkKey]time.Duration)}
+}
+
+// Base returns the fallback model.
+func (m *LatencyMatrix) Base() Model { return m.base }
+
+// SetLatency sets the one-way latency of the undirected link a↔b.
+// d <= 0 removes the override, restoring the base latency.
+func (m *LatencyMatrix) SetLatency(a, b string, d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if d <= 0 {
+		delete(m.lat, link(a, b))
+		return
+	}
+	m.lat[link(a, b)] = d
+}
+
+// Latency returns the one-way latency of the link a↔b: the per-link
+// override when set, the base model's latency otherwise.
+func (m *LatencyMatrix) Latency(a, b string) time.Duration {
+	m.mu.RLock()
+	d, ok := m.lat[link(a, b)]
+	m.mu.RUnlock()
+	if ok {
+		return d
+	}
+	return m.base.Latency
+}
+
+// TransferTime returns the modeled one-way delivery time for n bytes
+// over the link a↔b (per-link latency plus the base model's
+// bandwidth term).
+func (m *LatencyMatrix) TransferTime(a, b string, n uint64) time.Duration {
+	link := Model{Latency: m.Latency(a, b), Bandwidth: m.base.Bandwidth}
+	return link.TransferTime(n)
+}
+
+// RoundTrip returns the modeled time for a request of reqBytes and a
+// response of respBytes over the link a↔b.
+func (m *LatencyMatrix) RoundTrip(a, b string, reqBytes, respBytes uint64) time.Duration {
+	return m.TransferTime(a, b, reqBytes) + m.TransferTime(b, a, respBytes)
+}
+
+// SetLatencyMatrix attaches a per-link latency matrix to the network
+// (nil detaches it). The matrix is advisory: connections do not slow
+// down (netsim never sleeps); it feeds modeled-time consumers like the
+// servers' location-aware routing, which platforms wire as the
+// Proximity estimate.
+func (n *Network) SetLatencyMatrix(m *LatencyMatrix) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.latency = m
+}
+
+// Latency reports the modeled one-way latency between two addresses:
+// the matrix's answer when one is attached, 0 otherwise (no opinion —
+// consumers treat 0 as "unmeasured").
+func (n *Network) Latency(a, b string) time.Duration {
+	n.mu.Lock()
+	m := n.latency
+	n.mu.Unlock()
+	if m == nil {
+		return 0
+	}
+	return m.Latency(a, b)
+}

@@ -1,0 +1,64 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestLatencyMatrix(t *testing.T) {
+	base := Model{Latency: 5 * time.Millisecond, Bandwidth: 1e6}
+	m := NewLatencyMatrix(base)
+
+	// Unset links fall back to the base model.
+	if got := m.Latency("a", "b"); got != 5*time.Millisecond {
+		t.Fatalf("base fallback = %v", got)
+	}
+
+	// Overrides are undirected, like the fault plane's links.
+	m.SetLatency("a", "b", 40*time.Millisecond)
+	if got := m.Latency("a", "b"); got != 40*time.Millisecond {
+		t.Fatalf("override = %v", got)
+	}
+	if got := m.Latency("b", "a"); got != 40*time.Millisecond {
+		t.Fatalf("reverse direction = %v", got)
+	}
+	if got := m.Latency("a", "c"); got != 5*time.Millisecond {
+		t.Fatalf("unrelated link = %v", got)
+	}
+
+	// TransferTime combines per-link latency with base bandwidth.
+	want := 40*time.Millisecond + time.Duration(float64(1_000_000)/1e6*float64(time.Second))
+	if got := m.TransferTime("a", "b", 1_000_000); got != want {
+		t.Fatalf("TransferTime = %v, want %v", got, want)
+	}
+	if got, want := m.RoundTrip("a", "b", 0, 0), 80*time.Millisecond; got != want {
+		t.Fatalf("RoundTrip = %v, want %v", got, want)
+	}
+
+	// d <= 0 removes the override.
+	m.SetLatency("a", "b", 0)
+	if got := m.Latency("a", "b"); got != 5*time.Millisecond {
+		t.Fatalf("after removal = %v", got)
+	}
+}
+
+func TestNetworkLatencyMatrixAttachment(t *testing.T) {
+	n := NewNetwork()
+	// Without a matrix the network has no opinion: 0 = unmeasured.
+	if got := n.Latency("a", "b"); got != 0 {
+		t.Fatalf("detached Latency = %v", got)
+	}
+	m := NewLatencyMatrix(Model{Latency: time.Millisecond})
+	m.SetLatency("a", "b", 7*time.Millisecond)
+	n.SetLatencyMatrix(m)
+	if got := n.Latency("a", "b"); got != 7*time.Millisecond {
+		t.Fatalf("attached Latency = %v", got)
+	}
+	if got := n.Latency("a", "c"); got != time.Millisecond {
+		t.Fatalf("attached base Latency = %v", got)
+	}
+	n.SetLatencyMatrix(nil)
+	if got := n.Latency("a", "b"); got != 0 {
+		t.Fatalf("re-detached Latency = %v", got)
+	}
+}

@@ -44,6 +44,7 @@ type Network struct {
 	bytes     atomic.Uint64
 	messages  atomic.Uint64
 	faults    *faults
+	latency   *LatencyMatrix // optional per-link latency model (latency.go)
 }
 
 // NewNetwork returns an empty network.

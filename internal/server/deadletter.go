@@ -62,6 +62,14 @@ type Stats struct {
 	// count deferrals, not losses.
 	ShedRateLimit   uint64
 	ShedConcurrency uint64
+	// RebindFailures counts post-transfer directory rebinds that
+	// failed after the receiver had already accepted the agent
+	// (dispatch.go afterTransferAck). These are permanent directory
+	// errors — a name the authority rejects or a federation with no
+	// store for its authority — not transfer failures: the agent
+	// arrived, but the directory may still point at its old location
+	// until the receiver's own binding activity corrects it.
+	RebindFailures uint64
 }
 
 // counters aggregates the atomic tallies behind Stats.
@@ -74,6 +82,7 @@ type counters struct {
 	redelivered      atomic.Uint64
 	delivered        atomic.Uint64
 	admissionRejects atomic.Uint64
+	rebindFailures   atomic.Uint64
 }
 
 // Stats returns a snapshot of the server's counters.
@@ -96,6 +105,7 @@ func (s *Server) Stats() Stats {
 		AdmissionRejects: s.stats.admissionRejects.Load(),
 		ShedRateLimit:    gate.ShedRate,
 		ShedConcurrency:  gate.ShedConcurrency,
+		RebindFailures:   s.stats.rebindFailures.Load(),
 	}
 }
 

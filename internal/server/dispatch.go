@@ -3,6 +3,7 @@ package server
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"strings"
 	"time"
 
@@ -19,13 +20,15 @@ import (
 // delivery (homecoming) with dead-letter parking.
 
 // dispatchStop sends the agent to the first reachable alternative of a
-// stop. Each alternative gets the full transient-retry treatment
-// before the next one is tried (the paper's "try the next one"
-// pattern, §4); only when every alternative is exhausted does the
-// agent fail home, with a log entry naming each attempt.
+// stop, nearest alternative first when the server has a proximity
+// estimate (location-aware routing; itinerary order otherwise). Each
+// alternative gets the full transient-retry treatment before the next
+// one is tried (the paper's "try the next one" pattern, §4); only when
+// every alternative is exhausted does the agent fail home, with a log
+// entry naming each attempt.
 func (s *Server) dispatchStop(a *agent.Agent, stop agent.Stop) {
 	var attempts []string
-	for _, srv := range stop.Servers {
+	for _, srv := range s.rankAlternatives(stop.Servers) {
 		if srv == s.Name() {
 			// The next stop is this server — rare but legal; re-host.
 			s.wg.Add(1)
@@ -80,17 +83,95 @@ func (s *Server) sendTo(a *agent.Agent, dest names.Name) error {
 			return retry.Permanent(fmt.Errorf("server: dispatch delegation: %w", err))
 		}
 	}
-	loc, err := s.cfg.NameService.Lookup(dest)
-	if err != nil {
-		return err // ErrNotBound classifies as permanent
-	}
-	_, err = s.retry.DoWithCancel(s.quit, func() error {
-		return s.sendToAddr(a, loc.Address)
+	// Resolution happens inside the retry loop: a lease-valid cache
+	// hit costs an atomic load, and a send that fails through a cached
+	// location invalidates the entry so the next attempt re-resolves
+	// through the authority — the convergence path for stale caches.
+	// ErrNotBound / ErrNoAuthority still classify permanent and stop
+	// the loop on the first attempt.
+	_, err := s.retry.DoWithCancel(s.quit, func() error {
+		loc, err := s.resolver.Resolve(dest)
+		if err != nil {
+			return err
+		}
+		if err := s.sendToAddr(a, loc.Address); err != nil {
+			s.resolver.Invalidate(dest)
+			return err
+		}
+		return nil
 	})
 	if err == nil {
 		s.stats.dispatches.Add(1)
 	}
 	return err
+}
+
+// rankAlternatives orders a stop's alternative servers nearest-first
+// using the configured proximity estimate, resolving each through the
+// cache. This server itself ranks closest (a local re-host beats any
+// network hop); unmeasured or unresolvable alternatives keep their
+// itinerary order after the measured ones. Without a Proximity func
+// the itinerary order is returned untouched — the author's preference
+// stands.
+func (s *Server) rankAlternatives(servers []names.Name) []names.Name {
+	if s.cfg.Proximity == nil || len(servers) < 2 {
+		return servers
+	}
+	type ranked struct {
+		n  names.Name
+		d  time.Duration
+		ok bool
+	}
+	ds := make([]ranked, len(servers))
+	for i, srv := range servers {
+		ds[i] = ranked{n: srv}
+		if srv == s.Name() {
+			ds[i].ok = true // d = 0: local re-host
+			continue
+		}
+		loc, err := s.resolver.Resolve(srv)
+		if err != nil {
+			continue
+		}
+		d := s.cfg.Proximity(s.cfg.Address, loc.Address)
+		ds[i] = ranked{n: srv, d: d, ok: d > 0}
+	}
+	sort.SliceStable(ds, func(i, j int) bool {
+		switch {
+		case ds[i].ok && ds[j].ok:
+			return ds[i].d < ds[j].d
+		case ds[i].ok:
+			return true
+		default:
+			return false
+		}
+	})
+	out := make([]names.Name, len(ds))
+	for i := range ds {
+		out[i] = ds[i].n
+	}
+	return out
+}
+
+// afterTransferAck runs on the sending side of every accepted transfer
+// (wired as the endpoint's OnAck hook): the receiver's authenticated
+// ack proves the agent now lives at addr, so the authoritative rebind
+// and the local forwarding hint piggyback on it — the hot-destination
+// path costs zero extra round-trips. This replaces the old post-send
+// Bind whose error was silently discarded: a rebind failure here is
+// permanent by classification (a malformed name or an authority the
+// federation does not serve will not improve with retrying), so it is
+// not retried; it is counted in Stats.RebindFailures and the possibly
+// stale cache entry is dropped so later sends re-resolve through the
+// authority.
+func (s *Server) afterTransferAck(a *agent.Agent, receiver names.Name, addr string) {
+	loc := names.Location{Address: addr, ServerName: receiver}
+	if err := s.cfg.NameService.Bind(a.Name, loc); err != nil {
+		s.stats.rebindFailures.Add(1)
+		s.resolver.Invalidate(a.Name)
+		return
+	}
+	s.resolver.Observe(a.Name, loc)
 }
 
 func (s *Server) sendToAddr(a *agent.Agent, addr string) error {
@@ -100,14 +181,11 @@ func (s *Server) sendToAddr(a *agent.Agent, addr string) error {
 		// once instead of burning its backoff budget.
 		return retry.Permanent(errors.New("server: config needs Dial"))
 	}
-	if err := s.pool.Send(addr, a); err != nil {
-		return err
-	}
-	// Re-bind only after the receiver's ack: a failed transfer must not
-	// leave the name service pointing at a server that never got the
-	// agent.
-	_ = s.cfg.NameService.Bind(a.Name, names.Location{Address: addr})
-	return nil
+	// The post-ack rebind happens in afterTransferAck (the endpoint's
+	// OnAck hook), which fires only after the receiver accepts: a
+	// failed transfer never leaves the directory pointing at a server
+	// that never got the agent.
+	return s.pool.Send(addr, a)
 }
 
 // deliver completes an agent's journey: hand it to a local waiter, or

@@ -165,14 +165,24 @@ func (s *Server) installHostAPI(v *visit) {
 		if err != nil {
 			return vm.Nil(), fmt.Errorf("%w: colocate resource: %v", ErrBadArg, err)
 		}
-		loc, err := s.cfg.NameService.Lookup(rn)
+		// ResolveAll answers nearest-first when the server has a
+		// proximity estimate, so a resource replicated on several
+		// servers co-locates the agent with its closest live copy.
+		locs, err := s.resolver.ResolveAll(rn)
 		if err != nil {
 			return vm.Nil(), err
 		}
-		if loc.ServerName.IsZero() {
+		dest := names.Name{}
+		for _, loc := range locs {
+			if !loc.ServerName.IsZero() {
+				dest = loc.ServerName
+				break
+			}
+		}
+		if dest.IsZero() {
 			return vm.Nil(), fmt.Errorf("%w: resource %s has no hosting server", ErrBadArg, rn)
 		}
-		v.migrateDest = loc.ServerName
+		v.migrateDest = dest
 		v.migrateEntry = entry
 		return vm.Nil(), errMigrate
 	}

@@ -1,0 +1,629 @@
+package server
+
+import (
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/agent"
+	"repro/internal/asl"
+	"repro/internal/cred"
+	"repro/internal/domain"
+	"repro/internal/keys"
+	"repro/internal/names"
+	"repro/internal/netsim"
+	"repro/internal/policy"
+	"repro/internal/registry"
+	"repro/internal/resource"
+	"repro/internal/retry"
+	"repro/internal/vm"
+)
+
+// Server-level tests for the federated name service: authority
+// partitioning on the dispatch path, proximity-ranked routing,
+// forwarding-hint rebinds on transfer acks, and the stale-cache
+// convergence chaos run.
+
+// startNamed starts a server under an arbitrary global name (so tests
+// can place servers under different naming authorities) against any
+// Directory implementation.
+func (f *fixture) startNamed(t *testing.T, name names.Name, addr string, dir names.Directory, mut ...func(*Config)) *Server {
+	t.Helper()
+	id, err := keys.NewIdentity(f.ca, name, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Identity:       id,
+		Verifier:       f.ca.Verifier(),
+		Address:        addr,
+		NameService:    dir,
+		Policy:         policy.NewEngine(),
+		Dial:           func(a string) (net.Conn, error) { return f.nw.DialFrom(addr, a) },
+		Listen:         func(a string) (net.Listener, error) { return f.nw.Listen(a) },
+		Retry:          fastRetry(),
+		RedeliverEvery: 20 * time.Millisecond,
+	}
+	for _, m := range mut {
+		m(&cfg)
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func awaitAgent(t *testing.T, ch <-chan *agent.Agent) *agent.Agent {
+	t.Helper()
+	select {
+	case a := <-ch:
+		return a
+	case <-time.After(90 * time.Second):
+		t.Fatal("agent never reached a terminal state at home")
+		return nil
+	}
+}
+
+func waitUntil(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestFederatedDispatchAcrossAuthorities runs two servers under
+// different naming authorities against one Federation: each server's
+// binding lands in its own authority's store, and an agent dispatched
+// from one authority to a server of the other resolves through the
+// federation transparently.
+func TestFederatedDispatchAcrossAuthorities(t *testing.T) {
+	f := newFixture(t)
+	umn := names.NewService()
+	acme := names.NewService()
+	fed := names.NewFederation()
+	if err := fed.AddAuthority("umn.edu", umn); err != nil {
+		t.Fatal(err)
+	}
+	if err := fed.AddAuthority("acme.org", acme); err != nil {
+		t.Fatal(err)
+	}
+
+	home := f.startNamed(t, names.Server("umn.edu", "home"), "home:7000", fed)
+	defer home.Stop()
+	remote := f.startNamed(t, names.Server("acme.org", "w1"), "w1:7000", fed)
+	defer remote.Stop()
+
+	// Authority partitioning: each binding lives in exactly one store.
+	if _, err := acme.Resolve(remote.Name()); err != nil {
+		t.Fatalf("remote server missing from its own authority store: %v", err)
+	}
+	if _, err := umn.Resolve(remote.Name()); err == nil {
+		t.Fatal("acme.org binding leaked into the umn.edu store")
+	}
+	if _, err := umn.Resolve(home.Name()); err != nil {
+		t.Fatalf("home server missing from umn.edu store: %v", err)
+	}
+
+	a := f.agent(t, "traveler", "module m\nfunc main() { report(1) }",
+		agent.Itinerary{Stops: []agent.Stop{
+			{Servers: []names.Name{remote.Name()}, Entry: "main"},
+		}}, "home:7000")
+	ch := home.Await(a.Name)
+	if err := home.LaunchLocal(a); err != nil {
+		t.Fatal(err)
+	}
+	back := awaitAgent(t, ch)
+	if len(back.Results) != 1 {
+		t.Fatalf("results = %v, log = %v", back.Results, back.Log)
+	}
+	if remote.Arrivals() != 1 {
+		t.Fatalf("remote arrivals = %d, want 1", remote.Arrivals())
+	}
+}
+
+// TestUnknownAuthorityFailsPermanently: a stop whose first alternative
+// names a server under an unregistered authority must fail that
+// alternative immediately — ErrNoAuthority is permanent, no retry
+// budget is burned — and fall through to the live alternative.
+func TestUnknownAuthorityFailsPermanently(t *testing.T) {
+	f := newFixture(t)
+	umn := names.NewService()
+	fed := names.NewFederation()
+	if err := fed.AddAuthority("umn.edu", umn); err != nil {
+		t.Fatal(err)
+	}
+	home := f.startNamed(t, names.Server("umn.edu", "home"), "home:7000", fed)
+	defer home.Stop()
+	worker := f.startNamed(t, names.Server("umn.edu", "w1"), "w1:7000", fed)
+	defer worker.Stop()
+
+	ghost := names.Server("nowhere.net", "ghost")
+	a := f.agent(t, "fallback", "module m\nfunc main() { report(1) }",
+		agent.Itinerary{Stops: []agent.Stop{
+			{Servers: []names.Name{ghost, worker.Name()}, Entry: "main"},
+		}}, "home:7000")
+	ch := home.Await(a.Name)
+	if err := home.LaunchLocal(a); err != nil {
+		t.Fatal(err)
+	}
+	back := awaitAgent(t, ch)
+	if len(back.Results) != 1 {
+		t.Fatalf("results = %v, log = %v", back.Results, back.Log)
+	}
+	if worker.Arrivals() != 1 {
+		t.Fatalf("worker arrivals = %d, want 1", worker.Arrivals())
+	}
+	// Permanent classification means the unknown authority consumed no
+	// retry attempts (a healthy network saw no transient failures).
+	if st := home.Stats(); st.Retries != 0 {
+		t.Errorf("retries = %d, want 0 (ErrNoAuthority must classify permanent)", st.Retries)
+	}
+}
+
+// TestFederationPartitionHealsAndConverges launches an agent across a
+// partitioned inter-authority link; retries, dead-letter parking and
+// redelivery must carry it over once the partition heals.
+func TestFederationPartitionHealsAndConverges(t *testing.T) {
+	f := newFixture(t)
+	umn := names.NewService()
+	acme := names.NewService()
+	fed := names.NewFederation()
+	if err := fed.AddAuthority("umn.edu", umn); err != nil {
+		t.Fatal(err)
+	}
+	if err := fed.AddAuthority("acme.org", acme); err != nil {
+		t.Fatal(err)
+	}
+	// A retry policy patient enough to ride out the 50ms partition.
+	patient := func(cfg *Config) {
+		cfg.Retry = retry.Policy{MaxAttempts: 12,
+			BaseDelay: 5 * time.Millisecond, MaxDelay: 20 * time.Millisecond}
+	}
+	home := f.startNamed(t, names.Server("umn.edu", "home"), "home:7000", fed, patient)
+	defer home.Stop()
+	remote := f.startNamed(t, names.Server("acme.org", "w1"), "w1:7000", fed, patient)
+	defer remote.Stop()
+
+	f.nw.Partition("home:7000", "w1:7000")
+	a := f.agent(t, "crosser", "module m\nfunc main() { report(1) }",
+		agent.Itinerary{Stops: []agent.Stop{
+			{Servers: []names.Name{remote.Name()}, Entry: "main"},
+		}}, "home:7000")
+	ch := home.Await(a.Name)
+	if err := home.LaunchLocal(a); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond)
+	f.nw.Heal("home:7000", "w1:7000")
+
+	back := awaitAgent(t, ch)
+	if len(back.Results) != 1 {
+		t.Fatalf("results = %v, log = %v", back.Results, back.Log)
+	}
+	if st := home.Stats(); st.Retries == 0 && st.Parked == 0 {
+		t.Errorf("stats = %+v: partition left no trace in retries or parking", st)
+	}
+}
+
+// TestProximityRoutingPrefersNearest attaches a netsim latency matrix
+// and checks that a stop with three alternatives dispatches to the one
+// the matrix says is closest.
+func TestProximityRoutingPrefersNearest(t *testing.T) {
+	f := newFixture(t)
+	lm := netsim.NewLatencyMatrix(netsim.Model{Latency: 10 * time.Millisecond})
+	lm.SetLatency("home:7000", "w2:7000", 30*time.Millisecond)
+	lm.SetLatency("home:7000", "w3:7000", 20*time.Millisecond)
+	lm.SetLatency("home:7000", "w4:7000", 2*time.Millisecond)
+	f.nw.SetLatencyMatrix(lm)
+
+	ns := names.NewService()
+	mk := func(short, addr string) *Server {
+		cfg := f.config(t, short, addr)
+		cfg.NameService = ns
+		cfg.Retry = fastRetry()
+		cfg.RedeliverEvery = 20 * time.Millisecond
+		cfg.Proximity = f.nw.Latency
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Start(); err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	home := mk("home", "home:7000")
+	defer home.Stop()
+	w2 := mk("w2", "w2:7000")
+	defer w2.Stop()
+	w3 := mk("w3", "w3:7000")
+	defer w3.Stop()
+	w4 := mk("w4", "w4:7000")
+	defer w4.Stop()
+
+	a := f.agent(t, "nearest", "module m\nfunc main() { report(1) }",
+		agent.Itinerary{Stops: []agent.Stop{
+			{Servers: []names.Name{w2.Name(), w3.Name(), w4.Name()}, Entry: "main"},
+		}}, "home:7000")
+	ch := home.Await(a.Name)
+	if err := home.LaunchLocal(a); err != nil {
+		t.Fatal(err)
+	}
+	back := awaitAgent(t, ch)
+	if len(back.Results) != 1 {
+		t.Fatalf("results = %v, log = %v", back.Results, back.Log)
+	}
+	if got := w4.Arrivals(); got != 1 {
+		t.Errorf("nearest alternative w4 arrivals = %d, want 1", got)
+	}
+	if w2.Arrivals() != 0 || w3.Arrivals() != 0 {
+		t.Errorf("farther alternatives were visited: w2=%d w3=%d",
+			w2.Arrivals(), w3.Arrivals())
+	}
+}
+
+// TestColocatePrefersNearestReplica installs the same resource name on
+// two servers (BindReplica makes them alternative locations) and
+// checks that colocate moves the agent to the replica nearest to where
+// it is running.
+func TestColocatePrefersNearestReplica(t *testing.T) {
+	f := newFixture(t)
+	lm := netsim.NewLatencyMatrix(netsim.Model{Latency: 10 * time.Millisecond})
+	lm.SetLatency("w3:7000", "w2:7000", 50*time.Millisecond)
+	lm.SetLatency("w3:7000", "w4:7000", 2*time.Millisecond)
+	f.nw.SetLatencyMatrix(lm)
+
+	ns := names.NewService()
+	mk := func(short, addr string) *Server {
+		cfg := f.config(t, short, addr)
+		cfg.NameService = ns
+		cfg.Retry = fastRetry()
+		cfg.RedeliverEvery = 20 * time.Millisecond
+		cfg.Proximity = f.nw.Latency
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Start(); err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	home := mk("home", "home:7000")
+	defer home.Stop()
+	w2 := mk("w2", "w2:7000")
+	defer w2.Stop()
+	w3 := mk("w3", "w3:7000")
+	defer w3.Stop()
+	w4 := mk("w4", "w4:7000")
+	defer w4.Stop()
+
+	install := func(s *Server) {
+		def := &resource.Def{
+			ResourceImpl: resource.NewImpl(names.Resource("umn.edu", "data"),
+				names.Principal("umn.edu", "admin"), ""),
+			Path: "data",
+			Methods: map[string]resource.Method{
+				"ping": func([]vm.Value) (vm.Value, error) { return vm.I(1), nil },
+			},
+		}
+		if err := s.InstallResource(registry.Entry{
+			Name: def.Name, Resource: def, AP: def, OwnerDomain: domain.ServerID,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	install(w2)
+	install(w4)
+
+	// The agent reaches w3 first, then colocates with the resource;
+	// the nearest replica (per the matrix, from w3) is on w4.
+	a := f.agent(t, "seeker", `module m
+func main() { colocate("ajanta:resource:umn.edu/data", "work") }
+func work() { report(server_name()) }`,
+		agent.Itinerary{Stops: []agent.Stop{
+			{Servers: []names.Name{w3.Name()}, Entry: "main"},
+		}}, "home:7000")
+	ch := home.Await(a.Name)
+	if err := home.LaunchLocal(a); err != nil {
+		t.Fatal(err)
+	}
+	back := awaitAgent(t, ch)
+	if len(back.Results) != 1 {
+		t.Fatalf("results = %v, log = %v", back.Results, back.Log)
+	}
+	if got := back.Results[0].Text(); got != w4.Name().String() {
+		t.Errorf("agent colocated at %s, want nearest replica %s", got, w4.Name())
+	}
+}
+
+// TestTransferAckRebindsAgentLocation: every accepted transfer ack
+// rebinds the agent's name at the sender — zero extra round-trips —
+// so after a round trip the directory's last word is the home server.
+func TestTransferAckRebindsAgentLocation(t *testing.T) {
+	f := newFixture(t)
+	ns := names.NewService()
+	home := f.startServer(t, "home", "home:7000", ns)
+	defer home.Stop()
+	w2 := f.startServer(t, "w2", "w2:7000", ns)
+	defer w2.Stop()
+
+	a := f.agent(t, "mover", "module m\nfunc main() { report(1) }",
+		agent.Itinerary{Stops: []agent.Stop{
+			{Servers: []names.Name{w2.Name()}, Entry: "main"},
+		}}, "home:7000")
+	an := a.Name
+	ch := home.Await(an)
+	if err := home.LaunchLocal(a); err != nil {
+		t.Fatal(err)
+	}
+	back := awaitAgent(t, ch)
+	if len(back.Results) != 1 {
+		t.Fatalf("results = %v, log = %v", back.Results, back.Log)
+	}
+	// The homecoming ack fires on w2's sending goroutine, concurrent
+	// with home's delivery; poll for the final binding.
+	waitUntil(t, "agent rebound to home", func() bool {
+		b, err := ns.Resolve(an)
+		if err != nil {
+			return false
+		}
+		p := b.Primary()
+		return p.Address == "home:7000" && p.ServerName == home.Name() && b.Epoch >= 2
+	})
+}
+
+// TestRebindFailureSurfacedInStats: when the post-ack rebind cannot
+// reach any authority (the agent's name is under an unregistered
+// authority), the failure is counted in Stats rather than silently
+// discarded — the regression the old `_ = Bind` hid.
+func TestRebindFailureSurfacedInStats(t *testing.T) {
+	f := newFixture(t)
+	umn := names.NewService()
+	fed := names.NewFederation()
+	if err := fed.AddAuthority("umn.edu", umn); err != nil {
+		t.Fatal(err)
+	}
+	home := f.startNamed(t, names.Server("umn.edu", "home"), "home:7000", fed)
+	defer home.Stop()
+	w2 := f.startNamed(t, names.Server("umn.edu", "w2"), "w2:7000", fed)
+	defer w2.Stop()
+
+	c, err := cred.Issue(f.owner, names.Agent("nowhere.net", "stray"),
+		f.owner.Name, cred.NewRightSet(cred.All), time.Hour, "home:7000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := asl.Compile("module m\nfunc main() { report(1) }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := agent.New(c, mod.Name, []vm.Module{*mod}, agent.Itinerary{
+		Stops: []agent.Stop{{Servers: []names.Name{w2.Name()}, Entry: "main"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := home.Await(a.Name)
+	if err := home.LaunchLocal(a); err != nil {
+		t.Fatal(err)
+	}
+	back := awaitAgent(t, ch)
+	if len(back.Results) != 1 {
+		t.Fatalf("results = %v, log = %v", back.Results, back.Log)
+	}
+	// home's outbound transfer was acked, its rebind hit ErrNoAuthority.
+	waitUntil(t, "rebind failure counted", func() bool {
+		return home.Stats().RebindFailures >= 1
+	})
+}
+
+// TestChaosStaleCacheConvergence is the tentpole invariant check for
+// the lease-cached resolvers: servers resolve dispatch targets through
+// per-server caches with a deliberately short lease while a seeded
+// fault script rebinds a server name to a new address (a second
+// incarnation binds over the old one, then the old machine crashes for
+// good), partitions and heals a link, and crash/restarts another
+// worker. Stale cache entries must converge — lease expiry refreshes
+// them, failed sends invalidate them — and every agent must reach a
+// terminal state at home. Nothing may be lost.
+func TestChaosStaleCacheConvergence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos test skipped in -short mode")
+	}
+	const (
+		nAgents = 16
+		seed    = 43
+		lease   = 25 * time.Millisecond
+	)
+	f := newFixture(t)
+	ns := names.NewServiceWithLease(lease)
+	pol := retry.Policy{
+		MaxAttempts: 4,
+		BaseDelay:   2 * time.Millisecond,
+		MaxDelay:    20 * time.Millisecond,
+	}
+	mk := func(short, addr string) *Server {
+		cfg := f.config(t, short, addr)
+		cfg.NameService = ns
+		cfg.Retry = pol
+		cfg.RedeliverEvery = 25 * time.Millisecond
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Start(); err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	home := mk("home", "home:7000")
+	defer home.Stop()
+	s2 := mk("w2", "w2:7000")
+	defer s2.Stop()
+	s3old := mk("w3", "w3:7000") // will be replaced mid-run, crashes for good
+	s4 := mk("w4", "w4:7000")
+	defer s4.Stop()
+
+	// Warm every resolver cache with a fault-free tour so the fleet
+	// starts against lease-valid entries that then go stale.
+	warm := f.agent(t, "warmup", "module m\nfunc main() { report(1) }",
+		agent.Itinerary{Stops: []agent.Stop{
+			{Servers: []names.Name{s2.Name()}, Entry: "main"},
+			{Servers: []names.Name{s3old.Name()}, Entry: "main"},
+			{Servers: []names.Name{s4.Name()}, Entry: "main"},
+		}}, "home:7000")
+	wch := home.Await(warm.Name)
+	if err := home.LaunchLocal(warm); err != nil {
+		t.Fatal(err)
+	}
+	if back := awaitAgent(t, wch); len(back.Results) != 3 {
+		t.Fatalf("warmup results = %v, log = %v", back.Results, back.Log)
+	}
+
+	// Seeded background noise on every link.
+	f.nw.SeedFaults(seed)
+	addrs := []string{"home:7000", "w2:7000", "w3:7000", "w3b:7000", "w4:7000"}
+	for i, x := range addrs {
+		for _, y := range addrs[i+1:] {
+			f.nw.SetDropProb(x, y, 0.2)
+		}
+	}
+
+	workers := []names.Name{s2.Name(), s3old.Name(), s4.Name()}
+	type launched struct {
+		name names.Name
+		ch   <-chan *agent.Agent
+	}
+	fleet := make([]launched, 0, nAgents)
+	for i := 0; i < nAgents; i++ {
+		var stops []agent.Stop
+		for hop := 0; hop < 3; hop++ {
+			first := workers[(i+hop)%len(workers)]
+			second := workers[(i+hop+1)%len(workers)]
+			stops = append(stops, agent.Stop{
+				Servers: []names.Name{first, second}, Entry: "main",
+			})
+		}
+		a := f.agent(t, fmt.Sprintf("stale%02d", i),
+			"module m\nfunc main() { report(1) }",
+			agent.Itinerary{Stops: stops}, "home:7000")
+		ch := home.Await(a.Name)
+		if err := home.LaunchLocal(a); err != nil {
+			t.Fatal(err)
+		}
+		fleet = append(fleet, launched{name: a.Name, ch: ch})
+	}
+
+	// The fault script. The rebind: a new incarnation of w3 binds the
+	// same server name at a new address (epoch bump in the authority),
+	// then the old machine crashes for good. Caches still holding
+	// w3:7000 within the lease window either expire into a refresh or
+	// fail a send and invalidate — both must converge on w3b:7000.
+	var s3new *Server
+	scriptDone := make(chan struct{})
+	go func() {
+		defer close(scriptDone)
+		time.Sleep(10 * time.Millisecond)
+		s3new = mk("w3", "w3b:7000")
+		time.Sleep(30 * time.Millisecond)
+		s3old.Crash() // never restarts: the name now lives at w3b:7000
+		f.nw.Partition("home:7000", "w2:7000")
+		time.Sleep(80 * time.Millisecond)
+		f.nw.Heal("home:7000", "w2:7000")
+		s4.Crash()
+		time.Sleep(80 * time.Millisecond)
+		if err := s4.Restart(); err != nil {
+			t.Errorf("restart: %v", err)
+		}
+	}()
+
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	returned := make(map[names.Name]*agent.Agent, nAgents)
+	for _, l := range fleet {
+		wg.Add(1)
+		go func(l launched) {
+			defer wg.Done()
+			select {
+			case back := <-l.ch:
+				mu.Lock()
+				returned[l.name] = back
+				mu.Unlock()
+			case <-time.After(90 * time.Second):
+			}
+		}(l)
+	}
+	wg.Wait()
+	<-scriptDone
+	defer s3new.Stop()
+	defer s3old.Stop()
+
+	var lost []string
+	done, failed := 0, 0
+	for _, l := range fleet {
+		back, ok := returned[l.name]
+		if !ok {
+			lost = append(lost, l.name.String())
+			continue
+		}
+		if len(back.Results) == 3 {
+			done++
+		} else if len(back.Log) > 0 {
+			failed++
+		} else {
+			t.Errorf("%s came home with neither full results nor a log: %+v",
+				l.name, back.Results)
+		}
+	}
+	servers := []*Server{home, s2, s3old, s3new, s4}
+	if len(lost) > 0 {
+		for _, s := range servers {
+			t.Logf("%s(%s) stats: %+v parked: %v",
+				s.Name(), s.Address(), s.Stats(), s.ParkedAgents())
+		}
+		t.Fatalf("%d/%d agents lost: %s", len(lost), nAgents, strings.Join(lost, ", "))
+	}
+
+	// The authority's last word on w3 is the new incarnation.
+	if b, err := ns.Resolve(s3new.Name()); err != nil || b.Primary().Address != "w3b:7000" {
+		t.Errorf("authority resolves w3 to %+v, %v; want w3b:7000", b, err)
+	}
+
+	var st Stats
+	var rs names.ResolverStats
+	for _, s := range servers {
+		ss := s.Stats()
+		st.Retries += ss.Retries
+		st.Parked += ss.Parked
+		st.Redelivered += ss.Redelivered
+		r := s.ResolverStats()
+		rs.Hits += r.Hits
+		rs.StaleServes += r.StaleServes
+		rs.Misses += r.Misses
+		rs.Refreshes += r.Refreshes
+		rs.Invalidations += r.Invalidations
+	}
+	t.Logf("chaos: %d done, %d failed-with-log, dispatch=%+v resolver=%+v faults=%+v",
+		done, failed, st, rs, f.nw.FaultCounters())
+	if st.Retries == 0 {
+		t.Error("chaos run exercised no retries — fault injection inert")
+	}
+	if rs.Hits == 0 {
+		t.Error("resolver caches served no hits — lease caching inert")
+	}
+	if rs.Invalidations == 0 {
+		t.Error("no cache invalidations — failed sends are not invalidating stale entries")
+	}
+}

@@ -49,8 +49,19 @@ type Config struct {
 	// Address is the server's dialable endpoint; it is bound in the
 	// name service on Start.
 	Address string
-	// NameService resolves server names to locations.
-	NameService *names.Service
+	// NameService is the authoritative directory this server binds
+	// into and resolves against: a single names.Service, or a
+	// names.Federation partitioning authority across stores. The
+	// server never queries it directly on hot paths — every dispatch
+	// and host call resolves through the per-server lease-caching
+	// resolver built in New.
+	NameService names.Directory
+	// Proximity estimates the network latency between two addresses
+	// (netsim platforms wire the simulated per-link latency matrix
+	// here). When set, the resolver ranks multi-location answers
+	// nearest-first and itinerary dispatch prefers the nearest
+	// alternative; nil preserves itinerary order.
+	Proximity func(from, to string) time.Duration
 	// Policy is the server's security policy engine.
 	Policy *policy.Engine
 	// Trusted is the server's local module path (class-path
@@ -114,6 +125,11 @@ type Server struct {
 	secmgr   *sandbox.Manager
 	endpoint *transfer.Endpoint
 	pool     *transfer.Pool
+	// resolver is the server's lease-caching view of the authoritative
+	// directory: dispatch and host calls resolve through it (lock-free
+	// on lease-valid hits), and accepted transfer acks seed it with
+	// forwarding hints.
+	resolver *names.Resolver
 	// cache memoizes policy decisions per (credentials digest,
 	// resource), stamped with the policy+registry epochs they were
 	// computed under.
@@ -280,6 +296,14 @@ func New(cfg Config) (*Server, error) {
 		ledger:   make(map[names.Name]uint64),
 	}
 	s.gate = admission.NewGate(cfg.Policy, nil)
+	// The resolver rides the process-wide coarse clock: lease checks
+	// happen on every dispatch-path resolve, and ~1ms granularity is
+	// noise against any realistic lease TTL.
+	s.resolver = names.NewResolver(cfg.NameService, names.ResolverConfig{
+		Self:      cfg.Address,
+		Proximity: cfg.Proximity,
+		Now:       func() int64 { return resource.CoarseTime().UnixNano() },
+	})
 	// Resolve the dispatch retry policy: transfer-aware classification
 	// unless the config overrides it, and a hook that counts every
 	// backoff fired for Stats.
@@ -303,6 +327,10 @@ func New(cfg Config) (*Server, error) {
 	if s.endpoint.TransferTimeout == 0 {
 		s.endpoint.TransferTimeout = retry.DefaultPerAttempt
 	}
+	// Piggyback naming updates on transfer acks: an accepted ack
+	// already proves where the agent now lives, so the rebind and the
+	// local forwarding hint cost zero extra round-trips.
+	s.endpoint.OnAck = s.afterTransferAck
 	if cfg.Dial != nil {
 		pc := cfg.ChannelPool
 		pc.Dial = cfg.Dial
@@ -326,7 +354,8 @@ func transientTransferErr(err error) bool {
 		errors.Is(err, transfer.ErrRejected),
 		errors.Is(err, transfer.ErrAuth),
 		errors.Is(err, transfer.ErrPoolClosed),
-		errors.Is(err, names.ErrNotBound):
+		errors.Is(err, names.ErrNotBound),
+		errors.Is(err, names.ErrNoAuthority):
 		return false
 	}
 	return true
@@ -344,12 +373,15 @@ func (s *Server) Registry() *registry.Registry { return s.reg }
 
 // InstallResource registers a server-owned resource and publishes its
 // location in the name service, enabling agents elsewhere to co-locate
-// with it by name (§4's "co-location with named objects").
+// with it by name (§4's "co-location with named objects"). The binding
+// is added as a replica: several servers installing the same resource
+// name become alternative locations, and resolvers rank them by
+// proximity.
 func (s *Server) InstallResource(e registry.Entry) error {
 	if err := s.reg.Register(e); err != nil {
 		return err
 	}
-	return s.cfg.NameService.Bind(e.Name, names.Location{
+	return s.cfg.NameService.BindReplica(e.Name, names.Location{
 		Address: s.cfg.Address, ServerName: s.Name(),
 	})
 }
@@ -367,6 +399,13 @@ func (s *Server) Policy() *policy.Engine { return s.cfg.Policy }
 // counters (observability for the binding fast path).
 func (s *Server) DecisionCacheStats() (hits, misses uint64) {
 	return s.cache.Stats()
+}
+
+// ResolverStats reports the name resolver's counters (cache hits,
+// stale serves, forwarding-hint serves, invalidations — observability
+// for the dispatch resolution fast path).
+func (s *Server) ResolverStats() names.ResolverStats {
+	return s.resolver.Stats()
 }
 
 // AgentStatus reports a hosted (or previously hosted) agent's status:

@@ -126,12 +126,12 @@ func TestStartBindsNameService(t *testing.T) {
 	if err := s.Start(); err != nil {
 		t.Fatal(err)
 	}
-	loc, err := cfg.NameService.Lookup(s.Name())
-	if err != nil || loc.Address != "s1:7000" {
-		t.Fatalf("%+v %v", loc, err)
+	b, err := cfg.NameService.Resolve(s.Name())
+	if err != nil || b.Primary().Address != "s1:7000" {
+		t.Fatalf("%+v %v", b, err)
 	}
 	s.Stop()
-	if _, err := cfg.NameService.Lookup(s.Name()); err == nil {
+	if _, err := cfg.NameService.Resolve(s.Name()); err == nil {
 		t.Fatal("still bound after Stop")
 	}
 }

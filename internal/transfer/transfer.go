@@ -85,6 +85,15 @@ type Endpoint struct {
 	// draining then fails with a timeout instead of wedging the
 	// dispatching goroutine forever.
 	TransferTimeout time.Duration
+	// OnAck, when set, runs after a receiver accepts an agent this
+	// endpoint sent: receiver is the session's authenticated peer and
+	// addr the connection's remote address. The accept ack already
+	// proves "the agent now lives at addr", so the sender's naming
+	// layer can rebind and push forwarding hints by piggybacking on
+	// it — zero extra round-trips, no wire change. The hook runs on
+	// the sending goroutine; keep it cheap and never let it block on
+	// the network.
+	OnAck func(a *agent.Agent, receiver names.Name, addr string)
 }
 
 // --- wire messages -----------------------------------------------------
@@ -583,6 +592,9 @@ func (e *Endpoint) exchange(s *session, a *agent.Agent) error {
 			}
 		}
 		return fmt.Errorf("%w: %s", ErrRejected, ack.Reason)
+	}
+	if e.OnAck != nil {
+		e.OnAck(a, s.peer, s.conn.RemoteAddr().String())
 	}
 	return nil
 }
