@@ -8,7 +8,7 @@
 GATE_BENCH := BenchmarkC1_|BenchmarkC4_|BenchmarkC7_|BenchmarkC8_|BenchmarkC14_|BenchmarkC15_
 BENCH_FLAGS := -run '^$$' -benchtime 0.5s -count 3
 
-.PHONY: test race lint bench-gate-run bench-baseline bench-gate
+.PHONY: test race lint bench-gate-run bench-baseline bench-gate load load-smoke slo-gate
 
 test:
 	go build ./... && go test ./...
@@ -49,3 +49,22 @@ bench-baseline:
 # fails on a >15% geomean regression — the same check CI runs.
 bench-gate: bench-gate-run
 	go run ./cmd/benchgate -old bench/baseline.txt -new bench_new.txt
+
+# load runs the full cluster load scenario suite (C16): in-process
+# multi-server clusters, seeded open-loop agent load, scripted faults.
+# Writes BENCH_cluster.json + BENCH_cluster.csv.
+load:
+	go run ./cmd/ajanta-load -scenario all -seed 42 \
+		-json BENCH_cluster.json -csv BENCH_cluster.csv
+
+# load-smoke is the CI-sized variant (each scenario's smoke scaling) —
+# the same command the cluster-slo CI job runs.
+load-smoke:
+	go run ./cmd/ajanta-load -scenario all -smoke -seed 42 \
+		-json BENCH_cluster.json -csv BENCH_cluster.csv
+
+# slo-gate re-evaluates the measured artifact against every scenario's
+# SLO block and fails on any breach (lost agents, latency percentiles,
+# throughput floors) — the same check the cluster-slo CI job runs.
+slo-gate: load-smoke
+	go run ./cmd/slogate -report BENCH_cluster.json

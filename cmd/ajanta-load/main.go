@@ -1,0 +1,132 @@
+// ajanta-load runs cluster load scenarios (C16): it spins up an
+// in-process multi-server platform per scenario, drives seeded
+// open-loop agent load through the real launch/dispatch paths while a
+// scripted fault schedule plays out, and writes the measured
+// latency/throughput/shed/no-lost accounting as BENCH_cluster.json
+// (+ optional CSV). cmd/slogate turns the artifact into a CI verdict.
+//
+// Usage:
+//
+//	ajanta-load -list
+//	ajanta-load -scenario quiet_baseline -seed 42 -json BENCH_cluster.json
+//	ajanta-load -scenario all -smoke -json BENCH_cluster.json -csv BENCH_cluster.csv
+//	ajanta-load -scenario path/to/custom.json
+//
+// -scenario accepts a builtin name, "all" (the full suite), or a path
+// to a spec file (anything containing a path separator or ending in
+// .json). -smoke applies each scenario's smoke scaling — the CI-sized
+// run. Exit status is 0 even on SLO breaches: measuring and gating are
+// separate steps (the gate is cmd/slogate), so CI can always upload
+// the artifact of a failing run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/loadharness"
+)
+
+func main() {
+	scenario := flag.String("scenario", "all", "builtin scenario name, 'all', or a spec file path")
+	seed := flag.Int64("seed", 0, "override every scenario's seed (0 = use the spec's)")
+	smoke := flag.Bool("smoke", false, "apply each scenario's smoke scaling (CI-sized run)")
+	jsonPath := flag.String("json", "", "write the report to this file (JSON)")
+	csvPath := flag.String("csv", "", "write per-phase rows to this file (CSV)")
+	list := flag.Bool("list", false, "list builtin scenarios and exit")
+	quiet := flag.Bool("q", false, "suppress progress output")
+	flag.Parse()
+
+	if *list {
+		for _, name := range loadharness.BuiltinNames() {
+			sc, err := loadharness.Builtin(name)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("%-20s %s\n", name, sc.Description)
+		}
+		return
+	}
+
+	scenarios, err := selectScenarios(*scenario)
+	if err != nil {
+		fatal(err)
+	}
+
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, format+"\n", args...)
+	}
+	if *quiet {
+		logf = nil
+	}
+
+	report := &loadharness.Report{Suite: "cluster", Seed: *seed, Smoke: *smoke, AllPass: true}
+	for _, sc := range scenarios {
+		res, err := loadharness.Run(sc, loadharness.RunOptions{
+			Smoke: *smoke, Seed: *seed, Logf: logf,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		report.Scenarios = append(report.Scenarios, *res)
+		if !res.Pass {
+			report.AllPass = false
+		}
+		verdict := "PASS"
+		if !res.Pass {
+			verdict = "FAIL"
+		}
+		fmt.Printf("%s %-22s launched=%d completed=%d failed=%d lost=%d p50=%.1fms p99=%.1fms thr=%.2f/s sheds=%d retries=%d\n",
+			verdict, res.Name, res.Launched, res.Completed, res.FailedHome, res.Lost,
+			res.LatencyMS.P50, res.LatencyMS.P99, res.ThroughputPerSec, res.Sheds, res.Retries)
+		for _, b := range res.Breaches {
+			fmt.Printf("  breach: %s\n", b)
+		}
+	}
+
+	if *jsonPath != "" {
+		data, err := loadharness.MarshalReport(report)
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*jsonPath, data, 0o644); err != nil {
+			fatal(err)
+		}
+	}
+	if *csvPath != "" {
+		if err := os.WriteFile(*csvPath, []byte(loadharness.CSV(report)), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// selectScenarios resolves the -scenario flag: the whole builtin suite,
+// one builtin by name, or a spec file from disk.
+func selectScenarios(sel string) ([]*loadharness.Scenario, error) {
+	if sel == "all" {
+		return loadharness.Builtins()
+	}
+	if strings.ContainsAny(sel, "/\\") || strings.HasSuffix(sel, ".json") {
+		data, err := os.ReadFile(sel)
+		if err != nil {
+			return nil, err
+		}
+		sc, err := loadharness.Parse(data)
+		if err != nil {
+			return nil, err
+		}
+		return []*loadharness.Scenario{sc}, nil
+	}
+	sc, err := loadharness.Builtin(sel)
+	if err != nil {
+		return nil, err
+	}
+	return []*loadharness.Scenario{sc}, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ajanta-load:", err)
+	os.Exit(2)
+}

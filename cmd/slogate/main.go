@@ -1,0 +1,48 @@
+// slogate is the cluster-SLO release gate, the fleet-level sibling of
+// cmd/benchgate: it reads the BENCH_cluster.json artifact produced by
+// cmd/ajanta-load, re-evaluates every scenario's SLO block against its
+// measurements (stored pass/fail verdicts are not trusted), and exits
+// nonzero on any breach so CI blocks the merge.
+//
+// Usage:
+//
+//	slogate -report BENCH_cluster.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/loadharness"
+)
+
+func main() {
+	reportPath := flag.String("report", "BENCH_cluster.json", "cluster report to gate")
+	flag.Parse()
+	os.Exit(gate(*reportPath, os.Stdout))
+}
+
+// gate runs the whole check and returns the process exit code; split
+// from main so tests can drive a synthetic breach end to end.
+func gate(path string, out *os.File) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(out, "slogate:", err)
+		return 2
+	}
+	var r loadharness.Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		fmt.Fprintf(out, "slogate: parse %s: %v\n", path, err)
+		return 2
+	}
+	code, verdict := loadharness.GateReport(&r)
+	fmt.Fprint(out, verdict)
+	if code != 0 {
+		fmt.Fprintln(out, "slogate: SLO breach — gate failed")
+	} else {
+		fmt.Fprintln(out, "slogate: all scenarios within SLO")
+	}
+	return code
+}

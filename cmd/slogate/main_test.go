@@ -1,0 +1,54 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/loadharness"
+)
+
+// write marshals a report into a temp file and returns its path.
+func write(t *testing.T, r *loadharness.Report) string {
+	t.Helper()
+	data, err := loadharness.MarshalReport(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_cluster.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestGateExitCodes proves the CI contract end to end: a synthetic SLO
+// breach (one lost agent against the default zero-tolerance bound)
+// exits 1, a clean report exits 0, and a missing artifact exits 2.
+func TestGateExitCodes(t *testing.T) {
+	clean := loadharness.ScenarioResult{
+		Name: "ok", Launched: 10, Completed: 10,
+		ThroughputPerSec: 5,
+		LatencyMS:        loadharness.Percentiles{P99: 10, Count: 10},
+		SLO:              loadharness.SLO{P99MS: 100},
+	}
+	breached := clean
+	breached.Name = "lossy"
+	breached.Completed = 9
+	breached.Lost = 1
+	breached.Pass = true // stored verdicts are not trusted
+
+	if code := gate(write(t, &loadharness.Report{
+		Scenarios: []loadharness.ScenarioResult{clean},
+	}), os.Stderr); code != 0 {
+		t.Fatalf("clean report: exit %d, want 0", code)
+	}
+	if code := gate(write(t, &loadharness.Report{
+		Scenarios: []loadharness.ScenarioResult{clean, breached},
+	}), os.Stderr); code != 1 {
+		t.Fatalf("breached report: exit %d, want 1", code)
+	}
+	if code := gate(filepath.Join(t.TempDir(), "missing.json"), os.Stderr); code != 2 {
+		t.Fatalf("missing report: exit %d, want 2", code)
+	}
+}

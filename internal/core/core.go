@@ -46,6 +46,15 @@ type Platform struct {
 // NewPlatform creates a platform whose servers communicate over the
 // in-memory simulated network.
 func NewPlatform(authority string) (*Platform, error) {
+	return NewPlatformWithLease(authority, 0)
+}
+
+// NewPlatformWithLease is NewPlatform with an explicit name-service
+// lease TTL (0 = names.DefaultLease). Short leases make every server's
+// resolver cache expire and re-fetch continuously — the rebind-churn
+// regime the cluster load harness (internal/loadharness) scripts to
+// stress directory convergence under load.
+func NewPlatformWithLease(authority string, lease time.Duration) (*Platform, error) {
 	ca, err := keys.NewRegistry(names.Principal(authority, "ca"))
 	if err != nil {
 		return nil, err
@@ -53,7 +62,7 @@ func NewPlatform(authority string) (*Platform, error) {
 	return &Platform{
 		Authority: authority,
 		CA:        ca,
-		NS:        names.NewService(),
+		NS:        names.NewServiceWithLease(lease),
 		Net:       netsim.NewNetwork(),
 		servers:   make(map[names.Name]*server.Server),
 	}, nil

@@ -1,0 +1,273 @@
+package loadharness
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/server"
+)
+
+// Report is the harness's top-level artifact: one run of a scenario
+// suite, serialized as BENCH_cluster.json and consumed by cmd/slogate.
+type Report struct {
+	Suite     string           `json:"suite"`
+	Seed      int64            `json:"seed"`
+	Smoke     bool             `json:"smoke"`
+	Scenarios []ScenarioResult `json:"scenarios"`
+	AllPass   bool             `json:"all_pass"`
+}
+
+// ScenarioResult is one scenario's measured outcome plus its SLO
+// verdict.
+type ScenarioResult struct {
+	Name        string `json:"name"`
+	Description string `json:"description,omitempty"`
+	Seed        int64  `json:"seed"`
+	Smoke       bool   `json:"smoke"`
+	Servers     int    `json:"servers"`
+	Workload    string `json:"workload"`
+
+	// Fleet accounting. Launched + LaunchErrors = planned launches;
+	// Completed + FailedHome + Lost = Launched (every launched agent is
+	// attributed exactly one terminal bucket).
+	Launched     int `json:"launched"`
+	Completed    int `json:"completed"`
+	FailedHome   int `json:"failed_home"`
+	Lost         int `json:"lost"`
+	LaunchErrors int `json:"launch_errors,omitempty"`
+
+	// ThroughputPerSec is completed journeys over the scheduled load
+	// window (the drain is excluded: it is recovery time, not offered
+	// load).
+	ThroughputPerSec float64     `json:"throughput_per_sec"`
+	LatencyMS        Percentiles `json:"latency_ms"`
+
+	// Cluster-wide counter totals at the end of the run.
+	Sheds           uint64 `json:"sheds"`
+	ShedRateLimit   uint64 `json:"shed_rate_limit"`
+	ShedConcurrency uint64 `json:"shed_concurrency"`
+	Retries         uint64 `json:"retries"`
+	Parked          uint64 `json:"parked"`
+	Redelivered     uint64 `json:"redelivered"`
+
+	LoadWindowMS float64 `json:"load_window_ms"`
+	WallMS       float64 `json:"wall_ms"`
+
+	EventCounts EventCounts   `json:"event_counts"`
+	Phases      []PhaseResult `json:"phases"`
+
+	SLO      SLO      `json:"slo"`
+	Breaches []string `json:"breaches,omitempty"`
+	Pass     bool     `json:"pass"`
+}
+
+// EventCounts is the determinism contract: two runs of the same spec
+// and seed must produce identical values here. PlanDigest fingerprints
+// the full precomputed schedule (launch times, owners, routes, faults);
+// the per-phase counts and the terminal total must also match.
+type EventCounts struct {
+	LaunchesPerPhase []int  `json:"launches_per_phase"`
+	FaultsPerPhase   []int  `json:"faults_per_phase"`
+	Terminal         int    `json:"terminal"`
+	PlanDigest       string `json:"plan_digest"`
+}
+
+// Percentiles summarize one latency population (milliseconds).
+type Percentiles struct {
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+	Max   float64 `json:"max"`
+	Count int     `json:"count"`
+}
+
+// PhaseResult is one phase's slice of the run. Journeys are attributed
+// to the phase that launched them (a journey launched in the storm but
+// finishing during recovery is the storm's latency, not recovery's);
+// counter deltas are attributed to the phase window in which they
+// happened. The trailing "drain" pseudo-phase carries post-schedule
+// recovery traffic so the per-phase counters sum to the run totals.
+type PhaseResult struct {
+	Name             string      `json:"name"`
+	DurationMS       int         `json:"duration_ms"`
+	LaunchRate       float64     `json:"launch_rate"`
+	Launches         int         `json:"launches"`
+	Faults           int         `json:"faults"`
+	Completed        int         `json:"completed"`
+	FailedHome       int         `json:"failed_home"`
+	Lost             int         `json:"lost"`
+	ThroughputPerSec float64     `json:"throughput_per_sec"`
+	LatencyMS        Percentiles `json:"latency_ms"`
+
+	Arrivals    uint64 `json:"arrivals"`
+	Dispatches  uint64 `json:"dispatches"`
+	Retries     uint64 `json:"retries"`
+	Sheds       uint64 `json:"sheds"`
+	Parked      uint64 `json:"parked"`
+	Redelivered uint64 `json:"redelivered"`
+}
+
+// assembleInputs carries the raw run measurements into assemble.
+type assembleInputs struct {
+	launched    []int
+	faultsRun   []int
+	launchErrs  int
+	phaseDeltas []server.Stats
+	drainDelta  server.Stats
+	totals      server.Stats
+	loadWindow  time.Duration
+	wall        time.Duration
+}
+
+// assemble folds the raw journeys and counter snapshots into a
+// ScenarioResult.
+func assemble(sc *Scenario, plan *runPlan, journeys []journey, in assembleInputs) *ScenarioResult {
+	res := &ScenarioResult{
+		Name:         sc.Name,
+		Description:  sc.Description,
+		Seed:         sc.Seed,
+		Servers:      sc.Servers,
+		Workload:     sc.Workload,
+		SLO:          sc.SLO,
+		LaunchErrors: in.launchErrs,
+		LoadWindowMS: float64(in.loadWindow) / float64(time.Millisecond),
+		WallMS:       float64(in.wall) / float64(time.Millisecond),
+
+		ShedRateLimit:   in.totals.ShedRateLimit,
+		ShedConcurrency: in.totals.ShedConcurrency,
+		Retries:         in.totals.Retries,
+		Parked:          in.totals.Parked,
+		Redelivered:     in.totals.Redelivered,
+	}
+	res.Sheds = res.ShedRateLimit + res.ShedConcurrency
+
+	perPhaseLat := make([][]float64, len(sc.Phases))
+	perPhase := make([]PhaseResult, len(sc.Phases))
+	var allLat []float64
+	for _, j := range journeys {
+		res.Launched++
+		ph := &perPhase[j.phase]
+		switch {
+		case j.completed:
+			res.Completed++
+			ph.Completed++
+		case j.failed:
+			res.FailedHome++
+			ph.FailedHome++
+		default:
+			res.Lost++
+			ph.Lost++
+		}
+		if !j.lost {
+			ms := float64(j.latency) / float64(time.Millisecond)
+			allLat = append(allLat, ms)
+			perPhaseLat[j.phase] = append(perPhaseLat[j.phase], ms)
+		}
+	}
+	res.LatencyMS = computePercentiles(allLat)
+	if sec := in.loadWindow.Seconds(); sec > 0 {
+		res.ThroughputPerSec = float64(res.Completed) / sec
+	}
+
+	for i, ph := range sc.Phases {
+		pr := &perPhase[i]
+		pr.Name = ph.Name
+		pr.DurationMS = ph.DurationMS
+		pr.LaunchRate = ph.LaunchRate
+		pr.Launches = in.launched[i]
+		pr.Faults = in.faultsRun[i]
+		pr.LatencyMS = computePercentiles(perPhaseLat[i])
+		if sec := float64(ph.DurationMS) / 1000; sec > 0 {
+			pr.ThroughputPerSec = float64(pr.Completed) / sec
+		}
+		if i < len(in.phaseDeltas) {
+			d := in.phaseDeltas[i]
+			pr.Arrivals = d.Arrivals
+			pr.Dispatches = d.Dispatches
+			pr.Retries = d.Retries
+			pr.Sheds = d.ShedRateLimit + d.ShedConcurrency
+			pr.Parked = d.Parked
+			pr.Redelivered = d.Redelivered
+		}
+	}
+	res.Phases = perPhase
+	d := in.drainDelta
+	res.Phases = append(res.Phases, PhaseResult{
+		Name:        "drain",
+		Arrivals:    d.Arrivals,
+		Dispatches:  d.Dispatches,
+		Retries:     d.Retries,
+		Sheds:       d.ShedRateLimit + d.ShedConcurrency,
+		Parked:      d.Parked,
+		Redelivered: d.Redelivered,
+	})
+
+	res.EventCounts = EventCounts{
+		LaunchesPerPhase: in.launched,
+		FaultsPerPhase:   in.faultsRun,
+		Terminal:         res.Completed + res.FailedHome,
+		PlanDigest:       plan.digest,
+	}
+	return res
+}
+
+// computePercentiles sorts and summarizes one latency population.
+// Percentile q is the ceil(q*n)-th smallest sample (nearest-rank), the
+// same convention cmd/benchgate's inputs use.
+func computePercentiles(ms []float64) Percentiles {
+	if len(ms) == 0 {
+		return Percentiles{}
+	}
+	sorted := append([]float64(nil), ms...)
+	sort.Float64s(sorted)
+	rank := func(q float64) float64 {
+		i := int(math.Ceil(q*float64(len(sorted)))) - 1
+		if i < 0 {
+			i = 0
+		}
+		return sorted[i]
+	}
+	return Percentiles{
+		P50:   rank(0.50),
+		P95:   rank(0.95),
+		P99:   rank(0.99),
+		Max:   sorted[len(sorted)-1],
+		Count: len(sorted),
+	}
+}
+
+// MarshalReport renders the report as indented JSON (the
+// BENCH_cluster.json artifact).
+func MarshalReport(r *Report) ([]byte, error) {
+	out, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}
+
+// CSV renders the report as one row per (scenario, phase) — the
+// spreadsheet-friendly sibling of the JSON artifact.
+func CSV(r *Report) string {
+	var b strings.Builder
+	b.WriteString("scenario,phase,duration_ms,launch_rate,launches,faults," +
+		"completed,failed_home,lost,throughput_per_sec," +
+		"p50_ms,p95_ms,p99_ms,max_ms," +
+		"arrivals,dispatches,retries,sheds,parked,redelivered,pass\n")
+	for _, sc := range r.Scenarios {
+		for _, ph := range sc.Phases {
+			fmt.Fprintf(&b, "%s,%s,%d,%g,%d,%d,%d,%d,%d,%.3f,%.3f,%.3f,%.3f,%.3f,%d,%d,%d,%d,%d,%d,%t\n",
+				sc.Name, ph.Name, ph.DurationMS, ph.LaunchRate,
+				ph.Launches, ph.Faults, ph.Completed, ph.FailedHome, ph.Lost,
+				ph.ThroughputPerSec,
+				ph.LatencyMS.P50, ph.LatencyMS.P95, ph.LatencyMS.P99, ph.LatencyMS.Max,
+				ph.Arrivals, ph.Dispatches, ph.Retries, ph.Sheds,
+				ph.Parked, ph.Redelivered, sc.Pass)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,533 @@
+package loadharness
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/agent"
+	"repro/internal/asl"
+	"repro/internal/core"
+	"repro/internal/cred"
+	"repro/internal/keys"
+	"repro/internal/names"
+	"repro/internal/netsim"
+	"repro/internal/policy"
+	"repro/internal/resource"
+	"repro/internal/server"
+	"repro/internal/vm"
+	"repro/internal/vm/analysis"
+)
+
+// authority is the administrative domain every harness cluster runs
+// under; resource URIs and principal names hang off it.
+const authority = "load.example.org"
+
+// RunOptions tune one scenario execution without editing the spec.
+type RunOptions struct {
+	// Smoke applies the scenario's Smoke scaling (CI-sized run).
+	Smoke bool
+	// Seed, when non-zero, overrides the scenario's own seed.
+	Seed int64
+	// Logf, when set, receives progress lines (phase starts, faults).
+	Logf func(format string, args ...any)
+}
+
+// plannedLaunch is one precomputed launch: everything random about it
+// (time, owner, itinerary) is fixed before the run starts, so the
+// offered load is a pure function of the seed.
+type plannedLaunch struct {
+	at    time.Duration // offset from run start
+	phase int
+	owner int   // index into the owner population
+	route []int // worker index per (hop, alternative), row-major
+}
+
+// plannedFault is one scheduled fault with its absolute offset.
+type plannedFault struct {
+	at    time.Duration
+	phase int
+	fault Fault
+}
+
+// journey is one launched agent's outcome.
+type journey struct {
+	phase     int
+	latency   time.Duration
+	completed bool // full results came home
+	failed    bool // terminal at home, but short of full results
+	lost      bool // never reached a terminal state before the drain ended
+}
+
+// Run executes one scenario against a fresh in-process cluster and
+// returns its measured result. The run is open-loop: the launch
+// schedule is precomputed from the seeded RNG and never waits on
+// completions, so overload sheds and queues instead of silently
+// self-throttling the load generator.
+func Run(sc *Scenario, opts RunOptions) (*ScenarioResult, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	sc = sc.scaled(opts.Smoke, opts.Seed)
+	logf := opts.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+
+	cluster, err := buildCluster(sc)
+	if err != nil {
+		return nil, err
+	}
+	defer cluster.platform.StopAll()
+
+	plan := planRun(sc, cluster)
+	logf("scenario %s: %d servers, %d phases, %d launches planned (seed %d)",
+		sc.Name, sc.Servers, len(sc.Phases), len(plan.launches), sc.Seed)
+
+	res := executePlan(sc, cluster, plan, logf)
+	res.Smoke = opts.Smoke
+	res.Breaches = EvaluateSLO(res, sc.SLO)
+	res.Pass = len(res.Breaches) == 0
+	return res, nil
+}
+
+// cluster is the running infrastructure for one scenario.
+type cluster struct {
+	platform *core.Platform
+	servers  []*server.Server // index 0 = home / launch pad
+	owners   []keys.Identity
+
+	// The agent template, built once: per-launch work is credential
+	// issue + agent assembly only, so agent construction cost cannot
+	// distort the open-loop pacing.
+	mainModule string
+	bundle     []vm.Module
+	digest     []byte
+	manifest   *analysis.Manifest
+	ttl        time.Duration
+}
+
+// buildCluster starts the servers, certifies the owner population, and
+// compiles the workload bundle once.
+func buildCluster(sc *Scenario) (*cluster, error) {
+	lease := time.Duration(sc.NameLeaseMS) * time.Millisecond
+	p, err := core.NewPlatformWithLease(authority, lease)
+	if err != nil {
+		return nil, err
+	}
+	p.Net.SeedFaults(sc.Seed)
+
+	tiers := make([]policy.Tier, len(sc.Tiers))
+	for i, t := range sc.Tiers {
+		tiers[i] = policy.Tier{Name: t.Name, Rate: t.Rate, Burst: t.Burst,
+			MaxConcurrent: t.MaxConcurrent, Fuel: t.Fuel}
+	}
+	var assigns []policy.TierAssignment
+	if sc.AssignAllTier != "" {
+		assigns = []policy.TierAssignment{{AnyPrincipal: true, Tier: sc.AssignAllTier}}
+	}
+	admission := server.AdmissionOff
+	if sc.EnforceManifests {
+		admission = server.AdmissionEnforce
+	}
+
+	// The invoke workload's counter is a server-installed resource, so
+	// access flows through the policy engine: one wildcard grant on the
+	// counter path lets every certified owner's agents at it.
+	var rules []policy.Rule
+	if sc.Workload == WorkloadInvoke {
+		rules = []policy.Rule{{AnyPrincipal: true, Resource: "counter", Methods: []string{"*"}}}
+	}
+
+	c := &cluster{platform: p, ttl: time.Hour}
+	for i := 0; i < sc.Servers; i++ {
+		cfg := core.ServerConfig{
+			Fuel:      sc.Fuel,
+			Rules:     rules,
+			Admission: admission,
+		}
+		if i > 0 {
+			// Workers carry the admission tiers; server 0 stays
+			// untiered so local launches are never shed at the pad.
+			cfg.Tiers = tiers
+			cfg.TierAssignments = assigns
+		}
+		s, err := p.StartServer(fmt.Sprintf("s%d", i), serverAddr(i), cfg)
+		if err != nil {
+			p.StopAll()
+			return nil, fmt.Errorf("loadharness: start server %d: %v", i, err)
+		}
+		if sc.Workload == WorkloadInvoke && i > 0 {
+			// The shared counter, replicated on every worker so the
+			// invoke path stays local to each visit.
+			def := core.CounterResource(names.Resource(authority, "counter"), "counter")
+			if err := core.InstallResource(s, def); err != nil {
+				p.StopAll()
+				return nil, fmt.Errorf("loadharness: install resource on server %d: %v", i, err)
+			}
+		}
+		c.servers = append(c.servers, s)
+	}
+
+	owners := sc.Owners
+	if owners == 0 {
+		owners = defaultOwners
+	}
+	for i := 0; i < owners; i++ {
+		id, err := p.NewOwner(fmt.Sprintf("owner%d", i))
+		if err != nil {
+			p.StopAll()
+			return nil, err
+		}
+		c.owners = append(c.owners, id)
+	}
+
+	main, err := asl.Compile(workloadSource(sc))
+	if err != nil {
+		p.StopAll()
+		return nil, fmt.Errorf("loadharness: compile workload: %v", err)
+	}
+	c.mainModule = main.Name
+	c.bundle = []vm.Module{*main}
+	c.digest, err = agent.BundleDigest(c.bundle)
+	if err != nil {
+		p.StopAll()
+		return nil, err
+	}
+	c.manifest, err = analysis.ComputeManifest(c.bundle)
+	if err != nil {
+		p.StopAll()
+		return nil, err
+	}
+	return c, nil
+}
+
+// serverAddr is the netsim address of server i; fault specs target
+// servers by index and resolve through this.
+func serverAddr(i int) string { return fmt.Sprintf("s%d:7000", i) }
+
+// workloadSource renders the agent's ASL main module for the scenario's
+// workload mix. Every variant reports exactly once per stop, so a full
+// journey comes home with len(Results) == Hops.
+func workloadSource(sc *Scenario) string {
+	switch sc.Workload {
+	case WorkloadSpin:
+		iters := sc.SpinIters
+		if iters == 0 {
+			iters = 1000
+		}
+		return fmt.Sprintf(`module load
+func main() {
+  var i = 0
+  var acc = 0
+  while i < %d {
+    acc = acc + i * 3 %% 7
+    i = i + 1
+  }
+  report(acc)
+}`, iters)
+	case WorkloadInvoke:
+		calls := sc.InvokeCalls
+		if calls == 0 {
+			calls = 1
+		}
+		return fmt.Sprintf(`module load
+func main() {
+  var c = get_resource("ajanta:resource:%s/counter")
+  var i = 0
+  while i < %d {
+    invoke(c, "add", 1)
+    i = i + 1
+  }
+  report(invoke(c, "get"))
+}`, authority, calls)
+	default: // WorkloadReport
+		return `module load
+func main() { report(1) }`
+	}
+}
+
+// runPlan is the fully deterministic schedule for one run.
+type runPlan struct {
+	launches []plannedLaunch
+	faults   []plannedFault
+	// phaseEnd[i] is phase i's end offset from run start.
+	phaseEnd []time.Duration
+	// digest fingerprints the whole plan; two runs of the same spec and
+	// seed must produce the same digest (the determinism contract).
+	digest string
+}
+
+// planRun derives the complete launch and fault schedule from the
+// scenario seed. Launches within a phase are evenly spaced at the
+// phase's rate; each launch draws its owner and itinerary rotation from
+// the same seeded stream, in schedule order.
+func planRun(sc *Scenario, c *cluster) *runPlan {
+	rng := rand.New(rand.NewSource(sc.Seed))
+	workers := sc.Servers - 1
+	plan := &runPlan{}
+	h := sha256.New()
+
+	var offset time.Duration
+	for pi, ph := range sc.Phases {
+		dur := time.Duration(ph.DurationMS) * time.Millisecond
+		count := int(ph.LaunchRate * dur.Seconds())
+		for i := 0; i < count; i++ {
+			gap := time.Duration(float64(time.Second) / ph.LaunchRate)
+			l := plannedLaunch{
+				at:    offset + time.Duration(i)*gap,
+				phase: pi,
+				owner: rng.Intn(len(c.owners)),
+			}
+			// The route: Hops stops, each listing Alternatives workers
+			// starting at a seeded rotation so load spreads but stays
+			// reproducible.
+			start := rng.Intn(workers)
+			for hop := 0; hop < sc.Hops; hop++ {
+				for alt := 0; alt < sc.Alternatives; alt++ {
+					l.route = append(l.route, 1+(start+hop+alt)%workers)
+				}
+			}
+			plan.launches = append(plan.launches, l)
+			fmt.Fprintf(h, "L %d %d %d %v\n", pi, l.at.Microseconds(), l.owner, l.route)
+		}
+		for _, f := range ph.Faults {
+			at := offset + time.Duration(f.AtMS)*time.Millisecond
+			plan.faults = append(plan.faults, plannedFault{at: at, phase: pi, fault: f})
+			fmt.Fprintf(h, "F %d %d %s %d %d %v\n", pi, at.Microseconds(), f.Kind, f.A, f.B, f.Prob)
+		}
+		offset += dur
+		plan.phaseEnd = append(plan.phaseEnd, offset)
+	}
+	plan.digest = hex.EncodeToString(h.Sum(nil))[:16]
+	return plan
+}
+
+// timelineEvent is one entry in the merged run schedule.
+type timelineEvent struct {
+	at     time.Duration
+	kind   int // 0 = launch, 1 = fault, 2 = phase end
+	launch *plannedLaunch
+	fault  *plannedFault
+	phase  int
+}
+
+// executePlan runs the merged timeline against the live cluster and
+// aggregates the results.
+func executePlan(sc *Scenario, c *cluster, plan *runPlan, logf func(string, ...any)) *ScenarioResult {
+	// Merge launches, faults and phase boundaries into one sorted
+	// timeline. Phase-end events sort after same-instant launches and
+	// faults so boundary snapshots include them.
+	var events []timelineEvent
+	for i := range plan.launches {
+		l := &plan.launches[i]
+		events = append(events, timelineEvent{at: l.at, kind: 0, launch: l, phase: l.phase})
+	}
+	for i := range plan.faults {
+		f := &plan.faults[i]
+		events = append(events, timelineEvent{at: f.at, kind: 1, fault: f, phase: f.phase})
+	}
+	for i, end := range plan.phaseEnd {
+		events = append(events, timelineEvent{at: end, kind: 2, phase: i})
+	}
+	sort.SliceStable(events, func(i, j int) bool {
+		if events[i].at != events[j].at {
+			return events[i].at < events[j].at
+		}
+		return events[i].kind < events[j].kind
+	})
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		journeys []journey
+		stopCh   = make(chan struct{})
+	)
+	home := c.servers[0]
+	launched := make([]int, len(sc.Phases))
+	faultsRun := make([]int, len(sc.Phases))
+	launchErrs := 0
+	crashed := make(map[int]bool)
+
+	// Phase-boundary accounting: snapshot every server at each phase
+	// end and attribute the deltas to the closing phase.
+	prev := snapshotStats(c.servers)
+	var phaseDeltas []server.Stats
+
+	start := time.Now()
+	for i := range events {
+		ev := &events[i]
+		if wait := ev.at - time.Since(start); wait > 0 {
+			resource.CoarseSleep(wait, nil)
+		}
+		switch ev.kind {
+		case 0:
+			if err := launchOne(sc, c, ev.launch, home, &wg, &mu, &journeys, stopCh); err != nil {
+				launchErrs++
+			} else {
+				launched[ev.phase]++
+			}
+		case 1:
+			applyScenarioFault(c, ev.fault.fault, crashed, logf)
+			faultsRun[ev.phase]++
+		case 2:
+			cur := snapshotStats(c.servers)
+			phaseDeltas = append(phaseDeltas, cur.Delta(prev))
+			prev = cur
+			logf("phase %q done at +%v: %d launched, %d faults",
+				sc.Phases[ev.phase].Name, ev.at.Round(time.Millisecond),
+				launched[ev.phase], faultsRun[ev.phase])
+		}
+	}
+	loadWindow := time.Since(start)
+
+	// Drain: heal the failure plane, resurrect crashed servers, and
+	// give every in-flight agent a bounded window to reach a terminal
+	// state. An agent still outstanding after the drain is *lost* —
+	// the condition the no-lost-agents SLO exists to catch.
+	c.platform.Net.HealAll()
+	for idx := range crashed {
+		if crashed[idx] {
+			if err := c.servers[idx].Restart(); err != nil {
+				logf("drain: restart server %d: %v", idx, err)
+			}
+		}
+	}
+	drainTimeout := time.Duration(sc.DrainTimeoutMS) * time.Millisecond
+	if drainTimeout == 0 {
+		drainTimeout = DefaultDrainTimeoutMS * time.Millisecond
+	}
+	drained := make(chan struct{})
+	go func() { wg.Wait(); close(drained) }()
+	if ok := resource.CoarseSleep(drainTimeout, drained); !ok {
+		logf("drain timed out after %v; outstanding agents are lost", drainTimeout)
+	}
+	close(stopCh) // releases any waiters still blocked; they record lost
+	wg.Wait()
+	wall := time.Since(start)
+
+	// The drain's traffic lands in one trailing pseudo-phase so shed
+	// and retry totals reconcile against the per-phase rows.
+	cur := snapshotStats(c.servers)
+	drainDelta := cur.Delta(prev)
+
+	return assemble(sc, plan, journeys, assembleInputs{
+		launched: launched, faultsRun: faultsRun, launchErrs: launchErrs,
+		phaseDeltas: phaseDeltas, drainDelta: drainDelta, totals: cur,
+		loadWindow: loadWindow, wall: wall,
+	})
+}
+
+// launchOne issues credentials, assembles the agent from the prebuilt
+// bundle, and launches it; a goroutine waits for homecoming and records
+// the journey.
+func launchOne(sc *Scenario, c *cluster, l *plannedLaunch, home *server.Server,
+	wg *sync.WaitGroup, mu *sync.Mutex, journeys *[]journey, stopCh chan struct{}) error {
+	owner := c.owners[l.owner]
+	agentName, err := names.New(names.KindAgent, authority,
+		fmt.Sprintf("load-%d-%d", l.phase, l.at.Microseconds()))
+	if err != nil {
+		return err
+	}
+	creds, err := cred.IssueForCode(owner, agentName, owner.Name,
+		cred.NewRightSet(cred.All), c.ttl, home.Address(), c.digest)
+	if err != nil {
+		return err
+	}
+	stops := make([]agent.Stop, sc.Hops)
+	for hop := 0; hop < sc.Hops; hop++ {
+		alts := make([]names.Name, sc.Alternatives)
+		for alt := 0; alt < sc.Alternatives; alt++ {
+			alts[alt] = c.servers[l.route[hop*sc.Alternatives+alt]].Name()
+		}
+		stops[hop] = agent.Stop{Servers: alts, Entry: "main"}
+	}
+	a, err := agent.New(creds, c.mainModule, c.bundle, agent.Itinerary{Stops: stops})
+	if err != nil {
+		return err
+	}
+	a.Manifest = c.manifest
+
+	ch := home.Await(a.Name)
+	launchedAt := time.Now()
+	if err := home.LaunchLocal(a); err != nil {
+		return err
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		j := journey{phase: l.phase}
+		select {
+		case back := <-ch:
+			j.latency = time.Since(launchedAt)
+			if len(back.Results) >= sc.Hops {
+				j.completed = true
+			} else {
+				j.failed = true
+			}
+		case <-stopCh:
+			j.lost = true
+		}
+		mu.Lock()
+		*journeys = append(*journeys, j)
+		mu.Unlock()
+	}()
+	return nil
+}
+
+// applyScenarioFault translates one spec fault into the live cluster:
+// link kinds go to the netsim fault plane, crash/restart act on the
+// server process.
+func applyScenarioFault(c *cluster, f Fault, crashed map[int]bool, logf func(string, ...any)) {
+	switch f.Kind {
+	case FaultCrash:
+		c.servers[f.A].Crash()
+		crashed[f.A] = true
+		logf("fault: crash server %d", f.A)
+	case FaultRestart:
+		if err := c.servers[f.A].Restart(); err != nil {
+			logf("fault: restart server %d: %v", f.A, err)
+			return
+		}
+		crashed[f.A] = false
+		logf("fault: restart server %d", f.A)
+	default:
+		op := netsim.FaultOp{Kind: f.Kind, A: serverAddr(f.A), B: serverAddr(f.B), Prob: f.Prob}
+		if f.Kind == FaultHealAll {
+			op.A, op.B = "", ""
+		}
+		if err := c.platform.Net.ApplyFault(op); err != nil {
+			// Validate() vets kinds and operands up front, so this is a
+			// harness bug, not a spec error — surface it loudly.
+			logf("fault: apply %s: %v", f.Kind, err)
+			return
+		}
+		logf("fault: %s s%d<->s%d (p=%v)", f.Kind, f.A, f.B, f.Prob)
+	}
+}
+
+// snapshotStats sums every server's counters into one cluster view.
+func snapshotStats(servers []*server.Server) server.Stats {
+	var total server.Stats
+	for _, s := range servers {
+		st := s.Stats()
+		total.Arrivals += st.Arrivals
+		total.Dispatches += st.Dispatches
+		total.Retries += st.Retries
+		total.DispatchFailures += st.DispatchFailures
+		total.Parked += st.Parked
+		total.ParkedNow += st.ParkedNow
+		total.Redelivered += st.Redelivered
+		total.Delivered += st.Delivered
+		total.HeldNow += st.HeldNow
+		total.AdmissionRejects += st.AdmissionRejects
+		total.ShedRateLimit += st.ShedRateLimit
+		total.ShedConcurrency += st.ShedConcurrency
+		total.RebindFailures += st.RebindFailures
+	}
+	return total
+}

@@ -1,0 +1,84 @@
+package loadharness
+
+import (
+	"reflect"
+	"testing"
+)
+
+// tinyScenario is a CI-sized live run: small cluster, short phases, one
+// mid-run partition that heals. Big enough to cross every layer
+// (launch, dispatch, fault plane, homecoming, drain), small enough to
+// finish in about a second.
+func tinyScenario() *Scenario {
+	return &Scenario{
+		Name: "tiny", Seed: 42, Servers: 3, Hops: 2, Alternatives: 2,
+		Workload: WorkloadReport, Owners: 2,
+		DrainTimeoutMS: 20_000,
+		Phases: []Phase{
+			{Name: "steady", DurationMS: 300, LaunchRate: 20},
+			{Name: "cut", DurationMS: 300, LaunchRate: 20, Faults: []Fault{
+				{AtMS: 0, Kind: FaultPartition, A: 1, B: 2},
+				{AtMS: 200, Kind: FaultHeal, A: 1, B: 2},
+			}},
+		},
+		SLO: SLO{P99MS: 15_000},
+	}
+}
+
+// TestRunTinyScenarioEndToEnd drives a real cluster and checks the
+// fleet accounting closes: every launched agent lands in exactly one
+// terminal bucket and nothing is lost.
+func TestRunTinyScenarioEndToEnd(t *testing.T) {
+	res, err := Run(tinyScenario(), RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Launched == 0 {
+		t.Fatal("run launched no agents")
+	}
+	if got := res.Completed + res.FailedHome + res.Lost; got != res.Launched {
+		t.Fatalf("terminal buckets (%d+%d+%d=%d) do not sum to launched (%d)",
+			res.Completed, res.FailedHome, res.Lost, got, res.Launched)
+	}
+	if res.Lost != 0 {
+		t.Fatalf("%d agents lost in a survivable scenario", res.Lost)
+	}
+	if !res.Pass {
+		t.Fatalf("tiny scenario breached its SLO: %v", res.Breaches)
+	}
+	// The report carries one row per phase plus the drain pseudo-phase.
+	if len(res.Phases) != 3 {
+		t.Fatalf("phase rows = %d, want 3 (2 phases + drain)", len(res.Phases))
+	}
+	if res.Phases[1].Faults != 2 {
+		t.Fatalf("cut phase ran %d faults, want 2", res.Phases[1].Faults)
+	}
+}
+
+// TestRunDeterminism is the determinism contract: two runs of the same
+// spec and seed produce identical event counts — launches per phase,
+// faults per phase, terminal totals, and the full plan digest. Wall
+// times and latencies may differ; the experiment itself may not.
+func TestRunDeterminism(t *testing.T) {
+	a, err := Run(tinyScenario(), RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(tinyScenario(), RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.EventCounts, b.EventCounts) {
+		t.Fatalf("same seed produced different event counts:\n  a=%+v\n  b=%+v",
+			a.EventCounts, b.EventCounts)
+	}
+	// A different seed must shuffle the plan (owners, routes), which
+	// the digest captures even when the counts coincide.
+	c, err := Run(tinyScenario(), RunOptions{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.EventCounts.PlanDigest == a.EventCounts.PlanDigest {
+		t.Fatal("seed override did not change the plan digest")
+	}
+}

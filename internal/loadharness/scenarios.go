@@ -1,0 +1,52 @@
+package loadharness
+
+import (
+	"embed"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// The starter scenario library ships inside the binary so CI and
+// developers run byte-identical specs; custom specs load from disk via
+// cmd/ajanta-load -scenario <path>.
+//
+//go:embed scenarios/*.json
+var scenarioFS embed.FS
+
+// Builtin returns the embedded scenario by name.
+func Builtin(name string) (*Scenario, error) {
+	data, err := scenarioFS.ReadFile("scenarios/" + name + ".json")
+	if err != nil {
+		return nil, fmt.Errorf("loadharness: no builtin scenario %q (have: %s)",
+			name, strings.Join(BuiltinNames(), ", "))
+	}
+	return Parse(data)
+}
+
+// Builtins returns every embedded scenario, sorted by name.
+func Builtins() ([]*Scenario, error) {
+	var out []*Scenario
+	for _, name := range BuiltinNames() {
+		sc, err := Builtin(name)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, sc)
+	}
+	return out, nil
+}
+
+// BuiltinNames lists the embedded scenario names, sorted.
+func BuiltinNames() []string {
+	entries, err := scenarioFS.ReadDir("scenarios")
+	if err != nil {
+		return nil
+	}
+	var names []string
+	for _, e := range entries {
+		names = append(names, strings.TrimSuffix(e.Name(), ".json"))
+	}
+	sort.Strings(names)
+	return names
+}

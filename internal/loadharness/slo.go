@@ -1,0 +1,103 @@
+package loadharness
+
+import "fmt"
+
+// EvaluateSLO checks one measured result against its SLO block and
+// returns every breach as a human-readable line (empty = pass). The
+// same function gates a live run (Run fills Breaches from it) and a
+// stored artifact (cmd/slogate re-evaluates BENCH_cluster.json), so the
+// in-process verdict and the CI verdict can never disagree.
+func EvaluateSLO(res *ScenarioResult, slo SLO) []string {
+	var breaches []string
+	fail := func(format string, args ...any) {
+		breaches = append(breaches, fmt.Sprintf(format, args...))
+	}
+
+	// No-lost-agents is the default gate: absent max_lost_agents means
+	// zero tolerance, the invariant the dead-letter machinery exists
+	// to uphold.
+	maxLost := 0
+	if slo.MaxLostAgents != nil {
+		maxLost = *slo.MaxLostAgents
+	}
+	if res.Lost > maxLost {
+		fail("lost agents: %d > max %d", res.Lost, maxLost)
+	}
+	if res.LaunchErrors > 0 {
+		fail("launch errors at the home pad: %d (home must admit every local launch)", res.LaunchErrors)
+	}
+
+	if slo.P50MS > 0 && res.LatencyMS.P50 > slo.P50MS {
+		fail("p50 latency: %.1fms > %.1fms", res.LatencyMS.P50, slo.P50MS)
+	}
+	if slo.P95MS > 0 && res.LatencyMS.P95 > slo.P95MS {
+		fail("p95 latency: %.1fms > %.1fms", res.LatencyMS.P95, slo.P95MS)
+	}
+	if slo.P99MS > 0 && res.LatencyMS.P99 > slo.P99MS {
+		fail("p99 latency: %.1fms > %.1fms", res.LatencyMS.P99, slo.P99MS)
+	}
+
+	if slo.MinThroughput > 0 && res.ThroughputPerSec < slo.MinThroughput {
+		fail("throughput: %.2f/s < min %.2f/s", res.ThroughputPerSec, slo.MinThroughput)
+	}
+
+	if slo.MaxShedRatio != nil {
+		denom := float64(res.Launched) + float64(res.Sheds)
+		if denom > 0 {
+			ratio := float64(res.Sheds) / denom
+			if ratio > *slo.MaxShedRatio {
+				fail("shed ratio: %.3f > max %.3f (%d sheds / %d launches)",
+					ratio, *slo.MaxShedRatio, res.Sheds, res.Launched)
+			}
+		}
+	}
+
+	// Minimum-activity assertions: a fault scenario whose faults never
+	// landed, or a storm that shed nothing, proved nothing. These turn
+	// "the harness went inert" into a gate failure instead of a
+	// silently green run.
+	if slo.MinSheds > 0 && res.Sheds < slo.MinSheds {
+		fail("sheds: %d < min %d — the admission pressure never landed", res.Sheds, slo.MinSheds)
+	}
+	if slo.MinRetries > 0 && res.Retries < slo.MinRetries {
+		fail("retries: %d < min %d — the fault injection was inert", res.Retries, slo.MinRetries)
+	}
+	return breaches
+}
+
+// GateReport re-evaluates every scenario in a stored report and returns
+// the process exit code (0 pass, 1 breach) plus a human-readable
+// verdict. It trusts the measurements but not the stored verdicts: Pass
+// flags are recomputed from the SLO blocks, so a hand-edited artifact
+// cannot sneak through the gate.
+func GateReport(r *Report) (int, string) {
+	code := 0
+	var out []string
+	for i := range r.Scenarios {
+		sc := &r.Scenarios[i]
+		breaches := EvaluateSLO(sc, sc.SLO)
+		if len(breaches) == 0 {
+			out = append(out, fmt.Sprintf("PASS %-22s p99=%.1fms thr=%.2f/s lost=%d sheds=%d retries=%d",
+				sc.Name, sc.LatencyMS.P99, sc.ThroughputPerSec, sc.Lost, sc.Sheds, sc.Retries))
+			continue
+		}
+		code = 1
+		out = append(out, fmt.Sprintf("FAIL %s", sc.Name))
+		for _, b := range breaches {
+			out = append(out, "  - "+b)
+		}
+	}
+	if len(r.Scenarios) == 0 {
+		code = 1
+		out = append(out, "FAIL: report contains no scenarios")
+	}
+	return code, joinLines(out)
+}
+
+func joinLines(lines []string) string {
+	s := ""
+	for _, l := range lines {
+		s += l + "\n"
+	}
+	return s
+}

@@ -1,0 +1,109 @@
+package loadharness
+
+import (
+	"strings"
+	"testing"
+)
+
+// passingResult is a measured result comfortably inside the SLO the
+// breach cases below tighten one bound at a time.
+func passingResult() *ScenarioResult {
+	return &ScenarioResult{
+		Name: "t", Launched: 100, Completed: 98, FailedHome: 2,
+		ThroughputPerSec: 20,
+		LatencyMS:        Percentiles{P50: 5, P95: 20, P99: 40, Max: 60, Count: 100},
+		Sheds:            30, Retries: 12,
+	}
+}
+
+func TestEvaluateSLOPasses(t *testing.T) {
+	ratio := 0.5
+	slo := SLO{P50MS: 10, P95MS: 50, P99MS: 100, MinThroughput: 10,
+		MaxShedRatio: &ratio, MinSheds: 5, MinRetries: 1}
+	if breaches := EvaluateSLO(passingResult(), slo); len(breaches) != 0 {
+		t.Fatalf("clean result breached: %v", breaches)
+	}
+}
+
+func TestEvaluateSLOBreaches(t *testing.T) {
+	tighten := func(mutate func(*ScenarioResult, *SLO)) (*ScenarioResult, SLO) {
+		res, slo := passingResult(), SLO{}
+		mutate(res, &slo)
+		return res, slo
+	}
+	cases := []struct {
+		name   string
+		mutate func(*ScenarioResult, *SLO)
+		want   string
+	}{
+		{"lost agent with default zero tolerance",
+			func(r *ScenarioResult, s *SLO) { r.Lost = 1 },
+			"lost agents: 1 > max 0"},
+		{"lost agents above an explicit budget",
+			func(r *ScenarioResult, s *SLO) { r.Lost = 3; two := 2; s.MaxLostAgents = &two },
+			"lost agents: 3 > max 2"},
+		{"p99 over bound",
+			func(r *ScenarioResult, s *SLO) { s.P99MS = 30 },
+			"p99 latency: 40.0ms > 30.0ms"},
+		{"throughput under floor",
+			func(r *ScenarioResult, s *SLO) { s.MinThroughput = 25 },
+			"throughput: 20.00/s < min 25.00/s"},
+		{"shed ratio over bound",
+			func(r *ScenarioResult, s *SLO) { ratio := 0.1; s.MaxShedRatio = &ratio },
+			"shed ratio: 0.231 > max 0.100"},
+		{"storm that shed nothing",
+			func(r *ScenarioResult, s *SLO) { r.Sheds = 0; s.MinSheds = 10 },
+			"sheds: 0 < min 10"},
+		{"fault scenario with inert injection",
+			func(r *ScenarioResult, s *SLO) { r.Retries = 0; s.MinRetries = 1 },
+			"retries: 0 < min 1"},
+		{"launch errors at the pad",
+			func(r *ScenarioResult, s *SLO) { r.LaunchErrors = 2 },
+			"launch errors at the home pad: 2"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			res, slo := tighten(tc.mutate)
+			breaches := EvaluateSLO(res, slo)
+			if len(breaches) == 0 {
+				t.Fatal("no breach reported")
+			}
+			found := false
+			for _, b := range breaches {
+				if strings.Contains(b, tc.want) {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("breaches %v do not contain %q", breaches, tc.want)
+			}
+		})
+	}
+}
+
+// TestGateReportRecomputesVerdicts: slogate must not trust stored Pass
+// flags — a breached scenario hand-edited to "pass": true still fails
+// the gate, and an empty report is a failure, not a free pass.
+func TestGateReportRecomputesVerdicts(t *testing.T) {
+	res := passingResult()
+	res.Lost = 5
+	res.Pass = true // lie
+	r := &Report{Scenarios: []ScenarioResult{*res}}
+	code, verdict := GateReport(r)
+	if code != 1 {
+		t.Fatalf("gate code = %d for a lost-agent report, want 1", code)
+	}
+	if !strings.Contains(verdict, "FAIL t") || !strings.Contains(verdict, "lost agents") {
+		t.Fatalf("verdict missing failure detail:\n%s", verdict)
+	}
+
+	code, verdict = GateReport(&Report{})
+	if code != 1 || !strings.Contains(verdict, "no scenarios") {
+		t.Fatalf("empty report passed the gate: code=%d %q", code, verdict)
+	}
+
+	good := &Report{Scenarios: []ScenarioResult{*passingResult()}}
+	if code, _ := GateReport(good); code != 0 {
+		t.Fatalf("clean report failed the gate (code %d)", code)
+	}
+}

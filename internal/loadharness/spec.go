@@ -1,0 +1,386 @@
+// Package loadharness is the scenario-driven cluster load harness: it
+// measures the platform as a *fleet* instead of one subsystem at a
+// time. A declarative, seeded scenario spec describes a cluster (server
+// count, agent population, itinerary shapes, invocation/fuel mix, tier
+// assignments) and a phased fault schedule (partitions, crashes, drops
+// over netsim); the runner (run.go) spins the cluster up in-process,
+// drives open-loop load through the real launch/dispatch paths, and
+// emits per-phase latency percentiles, throughput, shed counts, and
+// no-lost-agents accounting (report.go). Each scenario carries an SLO
+// block evaluated by slo.go — cmd/slogate turns a breach into a CI
+// failure, the cluster-scale sibling of cmd/benchgate.
+//
+// Everything is deterministic modulo goroutine scheduling: the launch
+// schedule, the itineraries, and the fault schedule are all derived
+// from the scenario seed before the run starts, so two runs with the
+// same seed produce identical event counts.
+package loadharness
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+)
+
+// Workload kinds: what each agent executes at every itinerary stop.
+const (
+	// WorkloadReport is the minimal visit: report one value and move on.
+	WorkloadReport = "report"
+	// WorkloadSpin burns SpinIters loop iterations of fuel per stop.
+	WorkloadSpin = "spin"
+	// WorkloadInvoke binds the shared counter resource and invokes it
+	// InvokeCalls times per stop — the Fig. 6 protected-access path
+	// under fleet load.
+	WorkloadInvoke = "invoke"
+)
+
+// Fault kinds accepted in a phase schedule. The link kinds map onto
+// netsim.FaultOp; crash/restart act on the server process itself.
+const (
+	FaultPartition = "partition"
+	FaultHeal      = "heal"
+	FaultHealAll   = "heal_all"
+	FaultDrop      = "drop"
+	FaultReset     = "reset"
+	FaultCrash     = "crash"
+	FaultRestart   = "restart"
+)
+
+// Scenario is one declarative cluster load experiment.
+type Scenario struct {
+	Name        string `json:"name"`
+	Description string `json:"description,omitempty"`
+	// Seed drives every random choice (itineraries, owners) and the
+	// netsim fault RNG. The CLI's -seed flag overrides it.
+	Seed int64 `json:"seed"`
+	// Servers is the cluster size. Server 0 is the launch pad (home):
+	// it stays untiered so local launches are never shed; servers
+	// 1..N-1 are the workers agents tour.
+	Servers int `json:"servers"`
+	// Hops is the itinerary length; Alternatives is how many candidate
+	// servers each stop lists (>= 1; extras are failover targets).
+	Hops         int `json:"hops"`
+	Alternatives int `json:"alternatives"`
+	// Workload selects the per-stop agent behaviour; SpinIters and
+	// InvokeCalls parameterize spin and invoke.
+	Workload    string `json:"workload"`
+	SpinIters   int    `json:"spin_iters,omitempty"`
+	InvokeCalls int    `json:"invoke_calls,omitempty"`
+	// Fuel is the per-visit instruction budget (0 = the VM default).
+	Fuel uint64 `json:"fuel,omitempty"`
+	// Owners is the launching-principal population (default 4) —
+	// admission tiers rate-limit per owner, so this sets how many
+	// token buckets the load spreads across.
+	Owners int `json:"owners,omitempty"`
+	// Tiers and AssignAllTier configure the workers' admission gates;
+	// AssignAllTier assigns every owner to the named tier.
+	Tiers         []TierSpec `json:"tiers,omitempty"`
+	AssignAllTier string     `json:"assign_all_tier,omitempty"`
+	// EnforceManifests turns on static manifest admission control at
+	// every server's arrival gate.
+	EnforceManifests bool `json:"enforce_manifests,omitempty"`
+	// NameLeaseMS sets the name-service lease TTL; small values force
+	// resolver-cache churn (0 = the directory default).
+	NameLeaseMS int `json:"name_lease_ms,omitempty"`
+	// DrainTimeoutMS bounds the post-schedule drain in which every
+	// in-flight agent must reach a terminal state (default 60000).
+	DrainTimeoutMS int     `json:"drain_timeout_ms,omitempty"`
+	Phases         []Phase `json:"phases"`
+	SLO            SLO     `json:"slo"`
+	// Smoke, when present, is the scaling applied in smoke mode (CI):
+	// phase durations and fault offsets shrink by DurationScale, launch
+	// rates and the min-throughput SLO by RateScale.
+	Smoke *Scale `json:"smoke,omitempty"`
+}
+
+// TierSpec mirrors policy.Tier in spec form.
+type TierSpec struct {
+	Name          string  `json:"name"`
+	Rate          float64 `json:"rate,omitempty"`
+	Burst         float64 `json:"burst,omitempty"`
+	MaxConcurrent int     `json:"max_concurrent,omitempty"`
+	Fuel          uint64  `json:"fuel,omitempty"`
+}
+
+// Phase is one contiguous window of the experiment: an open-loop launch
+// rate and a fault schedule relative to the phase start.
+type Phase struct {
+	Name       string  `json:"name"`
+	DurationMS int     `json:"duration_ms"`
+	LaunchRate float64 `json:"launch_rate"` // agents/second; 0 = observe only
+	Faults     []Fault `json:"faults,omitempty"`
+}
+
+// Fault is one scheduled failure-plane event. A and B are server
+// indexes (0 = home). Link kinds use both; crash/restart use A only.
+type Fault struct {
+	AtMS int     `json:"at_ms"`
+	Kind string  `json:"kind"`
+	A    int     `json:"a"`
+	B    int     `json:"b,omitempty"`
+	Prob float64 `json:"prob,omitempty"`
+}
+
+// SLO is a scenario's release gate: bounds on the measured aggregates
+// (percentiles over the whole run's journey latencies, throughput over
+// the scheduled load window) plus minimum-activity assertions that
+// prove the scripted pressure actually landed (a storm that shed
+// nothing tested nothing).
+type SLO struct {
+	P50MS float64 `json:"p50_ms,omitempty"`
+	P95MS float64 `json:"p95_ms,omitempty"`
+	P99MS float64 `json:"p99_ms,omitempty"`
+	// MaxLostAgents bounds agents that never reached a terminal state.
+	// Absent means 0: losing an agent is a gate failure by default.
+	MaxLostAgents *int `json:"max_lost_agents,omitempty"`
+	// MinThroughput is the floor on completed journeys per second over
+	// the scheduled (pre-drain) load window.
+	MinThroughput float64 `json:"min_throughput,omitempty"`
+	// MaxShedRatio bounds sheds / (launches + sheds); nil = no bound.
+	MaxShedRatio *float64 `json:"max_shed_ratio,omitempty"`
+	// MinSheds / MinRetries assert the scenario exercised the gate /
+	// the retry machinery at least this many times.
+	MinSheds   uint64 `json:"min_sheds,omitempty"`
+	MinRetries uint64 `json:"min_retries,omitempty"`
+}
+
+// Scale shrinks a scenario for smoke mode.
+type Scale struct {
+	DurationScale float64 `json:"duration_scale,omitempty"` // 0 = 1.0
+	RateScale     float64 `json:"rate_scale,omitempty"`     // 0 = 1.0
+}
+
+// DefaultDrainTimeoutMS bounds the drain when a scenario does not set
+// its own: generous, because a breached drain means lost agents and a
+// failed gate, not a slow one.
+const DefaultDrainTimeoutMS = 60_000
+
+// defaultOwners is the launching-principal population when unset.
+const defaultOwners = 4
+
+// Parse decodes and validates one scenario spec. Unknown JSON fields
+// are rejected — a misspelled knob must not silently run a different
+// experiment than the one written down.
+func Parse(data []byte) (*Scenario, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var sc Scenario
+	if err := dec.Decode(&sc); err != nil {
+		return nil, fmt.Errorf("loadharness: parse scenario: %v", err)
+	}
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	return &sc, nil
+}
+
+// Validate checks structural well-formedness: phase schedules, fault
+// kinds and targets, and that the SLO block is satisfiable at all.
+func (sc *Scenario) Validate() error {
+	fail := func(format string, args ...any) error {
+		return fmt.Errorf("loadharness: scenario %q: %s", sc.Name, fmt.Sprintf(format, args...))
+	}
+	if sc.Name == "" {
+		return fmt.Errorf("loadharness: scenario has no name")
+	}
+	if sc.Servers < 2 {
+		return fail("needs at least 2 servers (one launch pad + one worker), got %d", sc.Servers)
+	}
+	if sc.Hops < 1 {
+		return fail("itinerary needs at least 1 hop, got %d", sc.Hops)
+	}
+	workers := sc.Servers - 1
+	if sc.Alternatives < 1 || sc.Alternatives > workers {
+		return fail("alternatives %d outside [1, %d] (workers available)", sc.Alternatives, workers)
+	}
+	switch sc.Workload {
+	case WorkloadReport, WorkloadSpin, WorkloadInvoke:
+	default:
+		return fail("unknown workload %q (want %s, %s or %s)",
+			sc.Workload, WorkloadReport, WorkloadSpin, WorkloadInvoke)
+	}
+	if sc.SpinIters < 0 || sc.InvokeCalls < 0 {
+		return fail("spin_iters/invoke_calls must be non-negative")
+	}
+	if sc.Owners < 0 {
+		return fail("owners must be non-negative, got %d", sc.Owners)
+	}
+	if sc.NameLeaseMS < 0 {
+		return fail("name_lease_ms must be non-negative, got %d", sc.NameLeaseMS)
+	}
+	if sc.DrainTimeoutMS < 0 {
+		return fail("drain_timeout_ms must be non-negative, got %d", sc.DrainTimeoutMS)
+	}
+	tierNames := make(map[string]bool, len(sc.Tiers))
+	for i, t := range sc.Tiers {
+		if t.Name == "" {
+			return fail("tier %d has no name", i)
+		}
+		if tierNames[t.Name] {
+			return fail("tier %q defined twice", t.Name)
+		}
+		tierNames[t.Name] = true
+		if t.Rate < 0 || t.Burst < 0 || t.MaxConcurrent < 0 {
+			return fail("tier %q: rate, burst and max_concurrent must be non-negative", t.Name)
+		}
+	}
+	if sc.AssignAllTier != "" && !tierNames[sc.AssignAllTier] {
+		return fail("assign_all_tier %q names no defined tier", sc.AssignAllTier)
+	}
+	if len(sc.Phases) == 0 {
+		return fail("needs at least one phase")
+	}
+	phaseNames := make(map[string]bool, len(sc.Phases))
+	for i, ph := range sc.Phases {
+		pfail := func(format string, args ...any) error {
+			return fail("phase %q: %s", ph.Name, fmt.Sprintf(format, args...))
+		}
+		if ph.Name == "" {
+			return fail("phase %d has no name", i)
+		}
+		if phaseNames[ph.Name] {
+			return fail("phase %q defined twice", ph.Name)
+		}
+		phaseNames[ph.Name] = true
+		if ph.DurationMS <= 0 {
+			return pfail("duration_ms must be positive, got %d", ph.DurationMS)
+		}
+		if ph.LaunchRate < 0 {
+			return pfail("launch_rate must be non-negative, got %v", ph.LaunchRate)
+		}
+		for j, f := range ph.Faults {
+			if err := sc.validateFault(f, ph.DurationMS); err != nil {
+				return pfail("fault %d: %v", j, err)
+			}
+		}
+	}
+	if err := sc.validateSLO(); err != nil {
+		return fail("%v", err)
+	}
+	if sc.Smoke != nil {
+		if sc.Smoke.DurationScale < 0 || sc.Smoke.RateScale < 0 {
+			return fail("smoke scales must be non-negative")
+		}
+	}
+	return nil
+}
+
+// validateFault checks one fault entry against the cluster shape.
+func (sc *Scenario) validateFault(f Fault, durationMS int) error {
+	if f.AtMS < 0 || f.AtMS > durationMS {
+		return fmt.Errorf("at_ms %d outside the phase window [0, %d]", f.AtMS, durationMS)
+	}
+	inRange := func(idx int, label string) error {
+		if idx < 0 || idx >= sc.Servers {
+			return fmt.Errorf("server index %s=%d outside [0, %d)", label, idx, sc.Servers)
+		}
+		return nil
+	}
+	switch f.Kind {
+	case FaultPartition, FaultHeal, FaultDrop, FaultReset:
+		if err := inRange(f.A, "a"); err != nil {
+			return err
+		}
+		if err := inRange(f.B, "b"); err != nil {
+			return err
+		}
+		if f.A == f.B {
+			return fmt.Errorf("link fault %q needs two distinct servers, got a=b=%d", f.Kind, f.A)
+		}
+		if (f.Kind == FaultDrop || f.Kind == FaultReset) && (f.Prob < 0 || f.Prob > 1) {
+			return fmt.Errorf("fault %q probability %v outside [0, 1]", f.Kind, f.Prob)
+		}
+	case FaultHealAll:
+		// No operands.
+	case FaultCrash, FaultRestart:
+		if err := inRange(f.A, "a"); err != nil {
+			return err
+		}
+		if f.A == 0 {
+			return fmt.Errorf("fault %q cannot target server 0 (the launch pad)", f.Kind)
+		}
+	default:
+		return fmt.Errorf("unknown fault kind %q", f.Kind)
+	}
+	return nil
+}
+
+// validateSLO rejects bounds no run could ever satisfy.
+func (sc *Scenario) validateSLO() error {
+	s := sc.SLO
+	if s.P50MS < 0 || s.P95MS < 0 || s.P99MS < 0 {
+		return fmt.Errorf("slo: latency bounds must be non-negative")
+	}
+	if s.MinThroughput < 0 {
+		return fmt.Errorf("slo: min_throughput must be non-negative, got %v", s.MinThroughput)
+	}
+	if s.MaxLostAgents != nil && *s.MaxLostAgents < 0 {
+		return fmt.Errorf("slo: max_lost_agents must be non-negative, got %d", *s.MaxLostAgents)
+	}
+	if s.MaxShedRatio != nil && (*s.MaxShedRatio < 0 || *s.MaxShedRatio > 1) {
+		return fmt.Errorf("slo: max_shed_ratio %v outside [0, 1]", *s.MaxShedRatio)
+	}
+	// A throughput floor above the offered load is unsatisfiable: the
+	// open-loop schedule cannot complete more journeys than it launches.
+	if s.MinThroughput > 0 {
+		var launches, totalMS float64
+		for _, ph := range sc.Phases {
+			launches += ph.LaunchRate * float64(ph.DurationMS) / 1000
+			totalMS += float64(ph.DurationMS)
+		}
+		offered := launches / (totalMS / 1000)
+		if s.MinThroughput > offered {
+			return fmt.Errorf("slo: min_throughput %.2f/s exceeds the offered load %.2f/s — unsatisfiable",
+				s.MinThroughput, offered)
+		}
+	}
+	return nil
+}
+
+// scaled returns a deep-enough copy with the smoke scaling (if any) and
+// seed override applied; the original spec is never mutated.
+func (sc *Scenario) scaled(smoke bool, seedOverride int64) *Scenario {
+	out := *sc
+	if seedOverride != 0 {
+		out.Seed = seedOverride
+	}
+	out.Phases = make([]Phase, len(sc.Phases))
+	copy(out.Phases, sc.Phases)
+	if !smoke || sc.Smoke == nil {
+		for i := range out.Phases {
+			out.Phases[i].Faults = append([]Fault(nil), sc.Phases[i].Faults...)
+		}
+		return &out
+	}
+	ds, rs := sc.Smoke.DurationScale, sc.Smoke.RateScale
+	if ds == 0 {
+		ds = 1
+	}
+	if rs == 0 {
+		rs = 1
+	}
+	for i := range out.Phases {
+		ph := &out.Phases[i]
+		ph.DurationMS = scaleMS(ph.DurationMS, ds)
+		ph.LaunchRate *= rs
+		ph.Faults = append([]Fault(nil), sc.Phases[i].Faults...)
+		for j := range ph.Faults {
+			ph.Faults[j].AtMS = scaleMS(ph.Faults[j].AtMS, ds)
+			if ph.Faults[j].AtMS > ph.DurationMS {
+				ph.Faults[j].AtMS = ph.DurationMS
+			}
+		}
+	}
+	out.SLO.MinThroughput *= rs
+	return &out
+}
+
+// scaleMS scales a millisecond quantity, keeping positives positive so
+// a 1 ms fault offset cannot scale into "before the phase".
+func scaleMS(ms int, scale float64) int {
+	scaled := int(float64(ms) * scale)
+	if ms > 0 && scaled < 1 {
+		return 1
+	}
+	return scaled
+}

@@ -1,0 +1,234 @@
+package loadharness
+
+import (
+	"strings"
+	"testing"
+)
+
+// validSpec is a minimal well-formed scenario the malformed cases below
+// perturb one field at a time.
+const validSpec = `{
+  "name": "t",
+  "seed": 1,
+  "servers": 3,
+  "hops": 2,
+  "alternatives": 1,
+  "workload": "report",
+  "phases": [
+    { "name": "p1", "duration_ms": 100, "launch_rate": 10 }
+  ],
+  "slo": { "p99_ms": 1000 }
+}`
+
+func TestParseValidSpec(t *testing.T) {
+	sc, err := Parse([]byte(validSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Name != "t" || len(sc.Phases) != 1 {
+		t.Fatalf("parsed spec mangled: %+v", sc)
+	}
+}
+
+// TestParseMalformedSpecs locks in the golden error messages a spec
+// author sees: each rejection must name the scenario, the offending
+// phase or fault, and what is wrong — a typo in a scenario must never
+// silently run a different experiment.
+func TestParseMalformedSpecs(t *testing.T) {
+	cases := []struct {
+		name string
+		spec string
+		want string
+	}{
+		{
+			name: "unknown top-level field",
+			spec: `{"name": "t", "servers": 3, "hopps": 2}`,
+			want: `unknown field "hopps"`,
+		},
+		{
+			name: "no phases",
+			spec: `{"name": "t", "seed": 1, "servers": 3, "hops": 1, "alternatives": 1,
+			        "workload": "report", "phases": [], "slo": {}}`,
+			want: `scenario "t": needs at least one phase`,
+		},
+		{
+			name: "unknown workload",
+			spec: `{"name": "t", "seed": 1, "servers": 3, "hops": 1, "alternatives": 1,
+			        "workload": "mine_bitcoin",
+			        "phases": [{"name": "p", "duration_ms": 100, "launch_rate": 1}], "slo": {}}`,
+			want: `unknown workload "mine_bitcoin"`,
+		},
+		{
+			name: "zero-duration phase",
+			spec: `{"name": "t", "seed": 1, "servers": 3, "hops": 1, "alternatives": 1,
+			        "workload": "report",
+			        "phases": [{"name": "p", "duration_ms": 0, "launch_rate": 1}], "slo": {}}`,
+			want: `phase "p": duration_ms must be positive`,
+		},
+		{
+			name: "duplicate phase name",
+			spec: `{"name": "t", "seed": 1, "servers": 3, "hops": 1, "alternatives": 1,
+			        "workload": "report",
+			        "phases": [{"name": "p", "duration_ms": 100, "launch_rate": 1},
+			                   {"name": "p", "duration_ms": 100, "launch_rate": 1}], "slo": {}}`,
+			want: `phase "p" defined twice`,
+		},
+		{
+			name: "unknown fault kind",
+			spec: `{"name": "t", "seed": 1, "servers": 3, "hops": 1, "alternatives": 1,
+			        "workload": "report",
+			        "phases": [{"name": "p", "duration_ms": 100, "launch_rate": 1,
+			                    "faults": [{"at_ms": 10, "kind": "meteor", "a": 0, "b": 1}]}],
+			        "slo": {}}`,
+			want: `phase "p": fault 0: unknown fault kind "meteor"`,
+		},
+		{
+			name: "fault outside phase window",
+			spec: `{"name": "t", "seed": 1, "servers": 3, "hops": 1, "alternatives": 1,
+			        "workload": "report",
+			        "phases": [{"name": "p", "duration_ms": 100, "launch_rate": 1,
+			                    "faults": [{"at_ms": 500, "kind": "heal_all"}]}],
+			        "slo": {}}`,
+			want: `at_ms 500 outside the phase window [0, 100]`,
+		},
+		{
+			name: "partition of a server with itself",
+			spec: `{"name": "t", "seed": 1, "servers": 3, "hops": 1, "alternatives": 1,
+			        "workload": "report",
+			        "phases": [{"name": "p", "duration_ms": 100, "launch_rate": 1,
+			                    "faults": [{"at_ms": 10, "kind": "partition", "a": 1, "b": 1}]}],
+			        "slo": {}}`,
+			want: `needs two distinct servers`,
+		},
+		{
+			name: "fault targets a server outside the cluster",
+			spec: `{"name": "t", "seed": 1, "servers": 3, "hops": 1, "alternatives": 1,
+			        "workload": "report",
+			        "phases": [{"name": "p", "duration_ms": 100, "launch_rate": 1,
+			                    "faults": [{"at_ms": 10, "kind": "partition", "a": 0, "b": 7}]}],
+			        "slo": {}}`,
+			want: `server index b=7 outside [0, 3)`,
+		},
+		{
+			name: "drop probability out of range",
+			spec: `{"name": "t", "seed": 1, "servers": 3, "hops": 1, "alternatives": 1,
+			        "workload": "report",
+			        "phases": [{"name": "p", "duration_ms": 100, "launch_rate": 1,
+			                    "faults": [{"at_ms": 10, "kind": "drop", "a": 0, "b": 1, "prob": 1.5}]}],
+			        "slo": {}}`,
+			want: `probability 1.5 outside [0, 1]`,
+		},
+		{
+			name: "crashing the launch pad",
+			spec: `{"name": "t", "seed": 1, "servers": 3, "hops": 1, "alternatives": 1,
+			        "workload": "report",
+			        "phases": [{"name": "p", "duration_ms": 100, "launch_rate": 1,
+			                    "faults": [{"at_ms": 10, "kind": "crash", "a": 0}]}],
+			        "slo": {}}`,
+			want: `fault "crash" cannot target server 0 (the launch pad)`,
+		},
+		{
+			name: "negative latency SLO",
+			spec: `{"name": "t", "seed": 1, "servers": 3, "hops": 1, "alternatives": 1,
+			        "workload": "report",
+			        "phases": [{"name": "p", "duration_ms": 100, "launch_rate": 1}],
+			        "slo": {"p99_ms": -5}}`,
+			want: `slo: latency bounds must be non-negative`,
+		},
+		{
+			name: "negative max_lost_agents",
+			spec: `{"name": "t", "seed": 1, "servers": 3, "hops": 1, "alternatives": 1,
+			        "workload": "report",
+			        "phases": [{"name": "p", "duration_ms": 100, "launch_rate": 1}],
+			        "slo": {"max_lost_agents": -1}}`,
+			want: `slo: max_lost_agents must be non-negative`,
+		},
+		{
+			name: "shed ratio out of range",
+			spec: `{"name": "t", "seed": 1, "servers": 3, "hops": 1, "alternatives": 1,
+			        "workload": "report",
+			        "phases": [{"name": "p", "duration_ms": 100, "launch_rate": 1}],
+			        "slo": {"max_shed_ratio": 1.2}}`,
+			want: `slo: max_shed_ratio 1.2 outside [0, 1]`,
+		},
+		{
+			name: "throughput floor above offered load",
+			spec: `{"name": "t", "seed": 1, "servers": 3, "hops": 1, "alternatives": 1,
+			        "workload": "report",
+			        "phases": [{"name": "p", "duration_ms": 1000, "launch_rate": 5}],
+			        "slo": {"min_throughput": 50}}`,
+			want: `min_throughput 50.00/s exceeds the offered load 5.00/s — unsatisfiable`,
+		},
+		{
+			name: "more alternatives than workers",
+			spec: `{"name": "t", "seed": 1, "servers": 3, "hops": 1, "alternatives": 5,
+			        "workload": "report",
+			        "phases": [{"name": "p", "duration_ms": 100, "launch_rate": 1}], "slo": {}}`,
+			want: `alternatives 5 outside [1, 2]`,
+		},
+		{
+			name: "one-server cluster",
+			spec: `{"name": "t", "seed": 1, "servers": 1, "hops": 1, "alternatives": 1,
+			        "workload": "report",
+			        "phases": [{"name": "p", "duration_ms": 100, "launch_rate": 1}], "slo": {}}`,
+			want: `needs at least 2 servers`,
+		},
+		{
+			name: "assign_all_tier names no tier",
+			spec: `{"name": "t", "seed": 1, "servers": 3, "hops": 1, "alternatives": 1,
+			        "workload": "report", "assign_all_tier": "gold",
+			        "phases": [{"name": "p", "duration_ms": 100, "launch_rate": 1}], "slo": {}}`,
+			want: `assign_all_tier "gold" names no defined tier`,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse([]byte(tc.spec))
+			if err == nil {
+				t.Fatalf("Parse accepted a malformed spec")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not contain %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestBuiltinScenariosAreValid keeps the shipped library honest: every
+// embedded spec must parse and validate, or CI has nothing to run.
+func TestBuiltinScenariosAreValid(t *testing.T) {
+	names := BuiltinNames()
+	if len(names) < 4 {
+		t.Fatalf("builtin library too small: %v", names)
+	}
+	scenarios, err := Builtins()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sc := range scenarios {
+		if sc.Smoke == nil {
+			t.Errorf("scenario %s has no smoke scaling — it cannot run in CI", sc.Name)
+		}
+	}
+}
+
+// TestSmokeScalingPreservesSatisfiability: the scaled spec must still
+// validate (rates, durations and SLO floors shrink together).
+func TestSmokeScalingPreservesSatisfiability(t *testing.T) {
+	scenarios, err := Builtins()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sc := range scenarios {
+		scaled := sc.scaled(true, 7)
+		if err := scaled.Validate(); err != nil {
+			t.Errorf("scenario %s: smoke-scaled spec no longer validates: %v", sc.Name, err)
+		}
+		if scaled.Seed != 7 {
+			t.Errorf("scenario %s: seed override not applied", sc.Name)
+		}
+		if sc.Seed == 7 {
+			t.Errorf("scenario %s: scaling mutated the original spec", sc.Name)
+		}
+	}
+}

@@ -1,0 +1,85 @@
+// Declarative fault application: the bridge between a scenario spec's
+// fault schedule and the programmatic fault plane (faults.go). The
+// cluster load harness (internal/loadharness) parses fault entries from
+// JSON and hands them here one at a time; tests can use the same ops to
+// script failures from tables instead of method-call sequences.
+package netsim
+
+import "fmt"
+
+// Fault op kinds accepted by ApplyFault. Server crash/restart is not a
+// network fault — the harness models it by crashing the server process
+// itself — so it deliberately has no op here.
+const (
+	FaultPartition = "partition" // cut the A<->B link until heal
+	FaultHeal      = "heal"      // restore the A<->B link
+	FaultHealAll   = "heal_all"  // remove every partition
+	FaultDrop      = "drop"      // set A<->B dial-drop probability to Prob
+	FaultReset     = "reset"     // set A<->B mid-stream reset probability to Prob
+	FaultDropNext  = "drop_next" // deterministically fail the next K A<->B dials
+)
+
+// FaultOp is one declarative fault-plane mutation. A and B are network
+// addresses (the per-link key the fault plane uses); Prob parameterizes
+// the probabilistic kinds and K the deterministic drop_next.
+type FaultOp struct {
+	Kind string
+	A, B string
+	Prob float64
+	K    int
+}
+
+// ApplyFault validates and applies one declarative fault op. Link kinds
+// require both endpoints; probabilities must lie in [0, 1]. Unknown
+// kinds are rejected rather than ignored so a typo in a scenario spec
+// cannot silently run a milder experiment than the one written down.
+func (n *Network) ApplyFault(op FaultOp) error {
+	needLink := func() error {
+		if op.A == "" || op.B == "" || op.A == op.B {
+			return fmt.Errorf("netsim: fault %q needs two distinct endpoints, got %q and %q",
+				op.Kind, op.A, op.B)
+		}
+		return nil
+	}
+	switch op.Kind {
+	case FaultPartition:
+		if err := needLink(); err != nil {
+			return err
+		}
+		n.Partition(op.A, op.B)
+	case FaultHeal:
+		if err := needLink(); err != nil {
+			return err
+		}
+		n.Heal(op.A, op.B)
+	case FaultHealAll:
+		n.HealAll()
+	case FaultDrop:
+		if err := needLink(); err != nil {
+			return err
+		}
+		if op.Prob < 0 || op.Prob > 1 {
+			return fmt.Errorf("netsim: fault %q probability %v outside [0, 1]", op.Kind, op.Prob)
+		}
+		n.SetDropProb(op.A, op.B, op.Prob)
+	case FaultReset:
+		if err := needLink(); err != nil {
+			return err
+		}
+		if op.Prob < 0 || op.Prob > 1 {
+			return fmt.Errorf("netsim: fault %q probability %v outside [0, 1]", op.Kind, op.Prob)
+		}
+		n.SetResetProb(op.A, op.B, op.Prob)
+	case FaultDropNext:
+		if err := needLink(); err != nil {
+			return err
+		}
+		if op.K < 0 {
+			return fmt.Errorf("netsim: fault %q count %d is negative", op.Kind, op.K)
+		}
+		n.DropNextDials(op.A, op.B, op.K)
+	default:
+		return fmt.Errorf("netsim: unknown fault kind %q", op.Kind)
+	}
+	return nil
+}

@@ -1,0 +1,73 @@
+package netsim
+
+import (
+	"strings"
+	"testing"
+)
+
+// ApplyFault is the scenario harness's entry point into the fault
+// plane: every declarative op must land on the same state the direct
+// methods mutate, and malformed ops must be rejected loudly.
+
+func TestApplyFaultPartitionAndHeal(t *testing.T) {
+	nw := NewNetwork()
+	if err := nw.ApplyFault(FaultOp{Kind: FaultPartition, A: "a:1", B: "b:1"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nw.DialFrom("a:1", "b:1"); err == nil {
+		t.Fatal("dial succeeded across an applied partition")
+	}
+	if err := nw.ApplyFault(FaultOp{Kind: FaultHeal, A: "a:1", B: "b:1"}); err != nil {
+		t.Fatal(err)
+	}
+	// The link is healed; the dial now fails only because nothing
+	// listens at b:1, not because of the fault plane.
+	if c := nw.FaultCounters(); c.Partitions != 1 {
+		t.Fatalf("partitions counter = %d, want 1", c.Partitions)
+	}
+}
+
+func TestApplyFaultDropNextIsDeterministic(t *testing.T) {
+	nw := NewNetwork()
+	l, err := nw.Listen("b:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if err := nw.ApplyFault(FaultOp{Kind: FaultDropNext, A: "a:1", B: "b:1", K: 2}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := nw.DialFrom("a:1", "b:1"); err == nil {
+			t.Fatalf("dial %d succeeded during drop_next window", i)
+		}
+	}
+	if _, err := nw.DialFrom("a:1", "b:1"); err != nil {
+		t.Fatalf("dial after drop_next window failed: %v", err)
+	}
+}
+
+func TestApplyFaultRejectsMalformedOps(t *testing.T) {
+	nw := NewNetwork()
+	cases := []struct {
+		op   FaultOp
+		want string
+	}{
+		{FaultOp{Kind: "meteor", A: "a:1", B: "b:1"}, `unknown fault kind "meteor"`},
+		{FaultOp{Kind: FaultPartition, A: "a:1"}, "needs two distinct endpoints"},
+		{FaultOp{Kind: FaultHeal, A: "a:1", B: "a:1"}, "needs two distinct endpoints"},
+		{FaultOp{Kind: FaultDrop, A: "a:1", B: "b:1", Prob: 1.5}, "outside [0, 1]"},
+		{FaultOp{Kind: FaultReset, A: "a:1", B: "b:1", Prob: -0.1}, "outside [0, 1]"},
+		{FaultOp{Kind: FaultDropNext, A: "a:1", B: "b:1", K: -1}, "is negative"},
+	}
+	for _, tc := range cases {
+		err := nw.ApplyFault(tc.op)
+		if err == nil {
+			t.Errorf("ApplyFault(%+v) accepted a malformed op", tc.op)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("ApplyFault(%+v) error %q does not contain %q", tc.op, err, tc.want)
+		}
+	}
+}

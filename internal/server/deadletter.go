@@ -72,6 +72,29 @@ type Stats struct {
 	RebindFailures uint64
 }
 
+// Delta returns the traffic one measurement window contributed: every
+// monotonic counter as s minus prev, with the point-in-time gauges
+// (ParkedNow, HeldNow) kept at their current value — a gauge has no
+// meaningful difference. The cluster load harness snapshots Stats at
+// each phase boundary and attributes the deltas to the phase.
+func (s Stats) Delta(prev Stats) Stats {
+	return Stats{
+		Arrivals:         s.Arrivals - prev.Arrivals,
+		Dispatches:       s.Dispatches - prev.Dispatches,
+		Retries:          s.Retries - prev.Retries,
+		DispatchFailures: s.DispatchFailures - prev.DispatchFailures,
+		Parked:           s.Parked - prev.Parked,
+		ParkedNow:        s.ParkedNow,
+		Redelivered:      s.Redelivered - prev.Redelivered,
+		Delivered:        s.Delivered - prev.Delivered,
+		HeldNow:          s.HeldNow,
+		AdmissionRejects: s.AdmissionRejects - prev.AdmissionRejects,
+		ShedRateLimit:    s.ShedRateLimit - prev.ShedRateLimit,
+		ShedConcurrency:  s.ShedConcurrency - prev.ShedConcurrency,
+		RebindFailures:   s.RebindFailures - prev.RebindFailures,
+	}
+}
+
 // counters aggregates the atomic tallies behind Stats.
 type counters struct {
 	arrivals         atomic.Uint64
